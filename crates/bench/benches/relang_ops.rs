@@ -1,0 +1,92 @@
+//! B3 — the regular-language substrate: determinism (UPA) checking,
+//! compiled content-model matching, determinization, minimization, and
+//! the DFA → regex elimination that Algorithm 2 leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use bonxai_gen::{random_dre, DreConfig};
+use relang::ops::{determinize, dfa_to_regex, minimize, regex_to_dfa};
+use relang::regex::determinism::is_deterministic;
+use relang::{CompiledDre, Nfa, Regex, Sym};
+
+const N_SYMS: usize = 12;
+
+fn expressions(n: usize, seed: u64) -> Vec<Regex> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let syms: Vec<Sym> = (0..N_SYMS as u32).map(Sym).collect();
+    (0..n)
+        .map(|_| random_dre(&syms, &DreConfig::default(), &mut rng))
+        .collect()
+}
+
+fn sample_words(r: &Regex, n: usize, seed: u64) -> Vec<Vec<Sym>> {
+    let dfa = regex_to_dfa(r, N_SYMS);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let words = dfa.enumerate_words(12, 200);
+    (0..n)
+        .map(|_| words.choose(&mut rng).cloned().unwrap_or_default())
+        .collect()
+}
+
+fn bench_relang(c: &mut Criterion) {
+    let exprs = expressions(50, 3);
+
+    let mut group = c.benchmark_group("regex");
+    group.bench_function("upa_check_50_exprs", |b| {
+        b.iter(|| exprs.iter().filter(|r| is_deterministic(r)).count())
+    });
+    group.bench_function("compile_50_matchers", |b| {
+        b.iter(|| {
+            exprs
+                .iter()
+                .map(|r| CompiledDre::compile(r, N_SYMS))
+                .collect::<Vec<_>>()
+                .len()
+        })
+    });
+    group.finish();
+
+    // Matching throughput on a single compiled model.
+    let model = &exprs[0];
+    let matcher = CompiledDre::compile(model, N_SYMS);
+    let words = sample_words(model, 500, 7);
+    let total: usize = words.iter().map(Vec::len).sum();
+    let mut group = c.benchmark_group("matching");
+    group.throughput(Throughput::Elements(total.max(1) as u64));
+    group.bench_function("compiled_dre_500_words", |b| {
+        b.iter(|| words.iter().filter(|w| matcher.matches(w)).count())
+    });
+    group.bench_function("derivative_500_words", |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .filter(|w| relang::regex::derivative::matches(model, w))
+                .count()
+        })
+    });
+    group.finish();
+
+    // Automata pipeline on growing expressions.
+    let mut group = c.benchmark_group("automata");
+    for size in [8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(size as u64);
+        let syms: Vec<Sym> = (0..size as u32).map(Sym).collect();
+        let r = random_dre(&syms, &DreConfig { max_depth: 4, ..DreConfig::default() }, &mut rng);
+        group.bench_with_input(BenchmarkId::new("determinize", size), &r, |b, r| {
+            b.iter(|| determinize(&Nfa::from_regex(r, size, 100_000).expect("fits")).n_states())
+        });
+        let dfa = determinize(&Nfa::from_regex(&r, size, 100_000).expect("fits"));
+        group.bench_with_input(BenchmarkId::new("minimize", size), &dfa, |b, d| {
+            b.iter(|| minimize(d).n_states())
+        });
+        group.bench_with_input(BenchmarkId::new("dfa_to_regex", size), &dfa, |b, d| {
+            b.iter(|| dfa_to_regex(d, &d.final_states()).size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relang);
+criterion_main!(benches);

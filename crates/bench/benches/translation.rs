@@ -1,0 +1,80 @@
+//! B2 — translation pipelines: Algorithm 1+2 (XSD → BonXai), Algorithm
+//! 3+4 (BonXai → XSD), the Theorem 12 fast path vs. the general Algorithm
+//! 3 on the same suffix-based input, and XSD type minimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use bonxai_core::translate::{
+    bxsd_to_dfa_xsd, dfa_xsd_to_bxsd, dfa_xsd_to_xsd, suffix_bxsd_to_dfa_xsd, xsd_to_dfa_xsd,
+};
+use bonxai_gen::{random_suffix_bxsd, theorem8_xn, theorem9_bn, SchemaConfig};
+
+fn bench_translation(c: &mut Criterion) {
+    // Fast path vs. Algorithm 3 on identical suffix-based schemas.
+    let mut group = c.benchmark_group("bonxai_to_xsd");
+    for n_rules in [8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(n_rules as u64);
+        let schema = random_suffix_bxsd(
+            &SchemaConfig {
+                n_names: 10,
+                n_rules,
+                k: 2,
+                ..SchemaConfig::default()
+            },
+            &mut rng,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("theorem12_fast_path", n_rules),
+            &schema,
+            |b, s| b.iter(|| suffix_bxsd_to_dfa_xsd(s).expect("suffix-based").n_states()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("algorithm3_general", n_rules),
+            &schema,
+            |b, s| b.iter(|| bxsd_to_dfa_xsd(s).n_states()),
+        );
+    }
+    group.finish();
+
+    // The worst-case families at small n (the exponential step itself).
+    let mut group = c.benchmark_group("worst_case_families");
+    for n in [2usize, 3, 4] {
+        let xn = theorem8_xn(n);
+        group.bench_with_input(BenchmarkId::new("thm8_xsd_to_bxsd", n), &xn, |b, x| {
+            b.iter(|| dfa_xsd_to_bxsd(x).size())
+        });
+        let bn = theorem9_bn(n);
+        group.bench_with_input(BenchmarkId::new("thm9_bxsd_to_xsd", n), &bn, |b, x| {
+            b.iter(|| bxsd_to_dfa_xsd(x).n_states())
+        });
+    }
+    group.finish();
+
+    // Linear translations + minimization on Figure 3.
+    let fig3 = xsd::parse_xsd(
+        &std::fs::read_to_string(format!(
+            "{}/../../data/figure3.xsd",
+            env!("CARGO_MANIFEST_DIR")
+        ))
+        .expect("figure 3"),
+    )
+    .expect("parses");
+    let mut group = c.benchmark_group("linear_algorithms");
+    group.bench_function("algorithm1_xsd_to_dfa", |b| {
+        b.iter(|| xsd_to_dfa_xsd(&fig3).n_states())
+    });
+    let dfa = xsd_to_dfa_xsd(&fig3);
+    group.bench_function("algorithm4_dfa_to_xsd", |b| {
+        b.iter(|| dfa_xsd_to_xsd(&dfa).n_types())
+    });
+    let back = dfa_xsd_to_xsd(&dfa);
+    group.bench_function("minimize_types", |b| {
+        b.iter(|| xsd::minimize_types(&back).n_types())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

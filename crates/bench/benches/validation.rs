@@ -1,0 +1,106 @@
+//! B1 — validation throughput: the same documents validated against the
+//! DTD of Figure 2, the XSD of Figure 3, and the BonXai schemas of
+//! Figures 4/5 (compiled validators, measured per document batch).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use bonxai_core::translate::xsd_to_dfa_xsd;
+use bonxai_core::{BonxaiSchema, CompiledBxsd};
+use bonxai_gen::{sample_document, DocConfig};
+use xmltree::{dtd, Document};
+use xsd::CompiledXsd;
+
+fn data(name: &str) -> String {
+    std::fs::read_to_string(format!("{}/../../data/{name}", env!("CARGO_MANIFEST_DIR")))
+        .expect("figure data")
+}
+
+fn sample_docs(n: usize) -> Vec<Document> {
+    let fig3 = xsd::parse_xsd(&data("figure3.xsd")).expect("figure 3");
+    let schema = xsd_to_dfa_xsd(&fig3);
+    let mut rng = StdRng::seed_from_u64(5);
+    let cfg = DocConfig {
+        max_nodes: 400,
+        ..DocConfig::default()
+    };
+    (0..n)
+        .map(|_| sample_document(&schema, &cfg, &mut rng).expect("has roots"))
+        .collect()
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let docs = sample_docs(20);
+    let total_nodes: usize = docs.iter().map(Document::element_count).sum();
+
+    let fig2 = dtd::parse_dtd(&data("figure2.dtd")).expect("figure 2");
+    let fig3 = xsd::parse_xsd(&data("figure3.xsd")).expect("figure 3");
+    let fig5 = BonxaiSchema::parse(&data("figure5.bonxai")).expect("figure 5");
+
+    let mut group = c.benchmark_group("validation");
+    group.throughput(Throughput::Elements(total_nodes as u64));
+
+    let compiled_dtd = fig2.compile();
+    group.bench_function("dtd_fig2", |b| {
+        b.iter(|| {
+            docs.iter()
+                .map(|d| dtd::validator::validate_compiled(&compiled_dtd, d).len())
+                .sum::<usize>()
+        })
+    });
+
+    let compiled_xsd = CompiledXsd::new(&fig3);
+    group.bench_function("xsd_fig3", |b| {
+        b.iter(|| {
+            docs.iter()
+                .map(|d| compiled_xsd.validate(d).violations.len())
+                .sum::<usize>()
+        })
+    });
+
+    let compiled_bxsd = CompiledBxsd::new(&fig5.bxsd);
+    group.bench_function("bonxai_fig5", |b| {
+        b.iter(|| {
+            docs.iter()
+                .map(|d| compiled_bxsd.validate(d).violations.len())
+                .sum::<usize>()
+        })
+    });
+
+    // Validation through the DFA-based XSD (the translated form of Fig 5):
+    // one automaton instead of one DFA per rule.
+    let dfa_schema = bonxai_core::translate::bxsd_to_dfa_xsd(&fig5.bxsd);
+    let compiled_dfa = dfa_schema.compile();
+    group.bench_function("bonxai_fig5_as_dfa_xsd", |b| {
+        b.iter(|| {
+            docs.iter()
+                .map(|d| compiled_dfa.validate(d).len())
+                .sum::<usize>()
+        })
+    });
+
+    group.finish();
+
+    // Parsing throughput for context.
+    let texts: Vec<String> = docs.iter().map(xmltree::to_string).collect();
+    let bytes: usize = texts.iter().map(String::len).sum();
+    let mut group = c.benchmark_group("xml_parse");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("parse_documents", |b| {
+        b.iter_batched(
+            || texts.clone(),
+            |texts| {
+                texts
+                    .iter()
+                    .map(|t| xmltree::parse_document(t).expect("parses").len())
+                    .sum::<usize>()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

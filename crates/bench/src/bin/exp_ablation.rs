@@ -1,0 +1,181 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **λ-pruning in Algorithm 3** (the paper's reachable-states remark):
+//!    product states with pruning vs. the plain reachable product vs. the
+//!    full product bound.
+//! 2. **Type minimization after Algorithm 4**: output type counts with and
+//!    without the Martens–Niehren pass.
+//! 3. **Elimination order in Algorithm 2**: the fill-in-minimizing
+//!    heuristic vs. naive sequential elimination (BXSD sizes).
+//! 4. **Theorem 12 fast path vs. Algorithm 3** on identical suffix-based
+//!    inputs (state counts).
+
+use bonxai_bench::{print_table, timed};
+use bonxai_core::translate::{
+    bxsd_to_dfa_xsd, dfa_xsd_to_xsd, suffix_bxsd_to_dfa_xsd,
+};
+use bonxai_gen::{random_suffix_bxsd, theorem8_xn, theorem9_bn, SchemaConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use relang::ops::{
+    dfa_to_regex_with_order, lazy_product, lazy_product_pruned, minimize, regex_to_dfa,
+    EliminationOrder,
+};
+use relang::Dfa;
+
+fn main() {
+    ablate_pruning();
+    ablate_minimization();
+    ablate_elimination_order();
+    ablate_fast_path();
+}
+
+/// 1. λ-pruning: how many product states does the pruning avoid?
+fn ablate_pruning() {
+    let mut rows = Vec::new();
+    for n in 2..=6 {
+        let b = theorem9_bn(n);
+        let n_syms = b.ename.len();
+        let components: Vec<Dfa> = b
+            .rules
+            .iter()
+            .map(|r| minimize(&regex_to_dfa(&r.ancestor, n_syms)))
+            .collect();
+        let refs: Vec<&Dfa> = components.iter().collect();
+        let full_bound: usize = components.iter().map(Dfa::n_states).product();
+        let (unpruned, _) = timed(|| lazy_product(&refs).dfa.n_states());
+        // the pruned product is what Algorithm 3 actually builds
+        let (pruned, _) = timed(|| bxsd_to_dfa_xsd(&b).n_states() - 1);
+        // reference: pruning that only allows symbols in content models is
+        // implemented inside bxsd_to_dfa_xsd; here also show a trivial
+        // "allow everything" pruned product to confirm it matches unpruned
+        let sanity = lazy_product_pruned(&refs, |_, _| true).dfa.n_states();
+        assert_eq!(sanity, unpruned);
+        rows.push(vec![
+            format!("B_{n}"),
+            full_bound.to_string(),
+            unpruned.to_string(),
+            pruned.to_string(),
+            format!("{:.1}%", 100.0 * pruned as f64 / unpruned as f64),
+        ]);
+    }
+    print_table(
+        "Ablation 1: Algorithm 3 product size (family B_n)",
+        &["schema", "full bound", "reachable", "λ-pruned", "pruned/reachable"],
+        &rows,
+    );
+    println!(
+        "Reachability alone already beats the full product bound; the \
+         λ-pruning removes the transitions no conforming document can take."
+    );
+}
+
+/// 2. Minimization after Algorithm 4.
+fn ablate_minimization() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut rows = Vec::new();
+    for &(label, k) in &[("k=1", 1usize), ("k=2", 2), ("k=3", 3)] {
+        let b = random_suffix_bxsd(
+            &SchemaConfig {
+                n_names: 12,
+                n_rules: 16,
+                k,
+                ..SchemaConfig::default()
+            },
+            &mut rng,
+        );
+        let d = suffix_bxsd_to_dfa_xsd(&b).expect("suffix-based");
+        let raw = dfa_xsd_to_xsd(&d);
+        let (minimized, ms) = timed(|| xsd::minimize_types(&raw));
+        rows.push(vec![
+            label.to_owned(),
+            raw.n_types().to_string(),
+            minimized.n_types().to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * minimized.n_types() as f64 / raw.n_types() as f64
+            ),
+            format!("{ms:.2}"),
+        ]);
+    }
+    print_table(
+        "Ablation 2: type minimization after Algorithm 4",
+        &["schema", "raw types", "minimized", "kept", "min ms"],
+        &rows,
+    );
+}
+
+/// 3. Elimination order in Algorithm 2 (DFA → regex).
+fn ablate_elimination_order() {
+    let mut rows = Vec::new();
+    for n in 2..=5 {
+        let x = theorem8_xn(n);
+        let states: Vec<usize> = (1..x.dfa.n_states()).collect();
+        let (smart, smart_ms) = timed(|| {
+            states
+                .iter()
+                .map(|&q| {
+                    dfa_to_regex_with_order(&x.dfa, &[q], EliminationOrder::LowDegreeFirst)
+                        .size()
+                })
+                .sum::<usize>()
+        });
+        let (naive, naive_ms) = timed(|| {
+            states
+                .iter()
+                .map(|&q| {
+                    dfa_to_regex_with_order(&x.dfa, &[q], EliminationOrder::Sequential).size()
+                })
+                .sum::<usize>()
+        });
+        rows.push(vec![
+            format!("X_{n}"),
+            smart.to_string(),
+            naive.to_string(),
+            format!("{:.2}x", naive as f64 / smart as f64),
+            format!("{smart_ms:.1}"),
+            format!("{naive_ms:.1}"),
+        ]);
+    }
+    print_table(
+        "Ablation 3: Algorithm 2 elimination order (total LHS regex size)",
+        &["schema", "low-degree-first", "sequential", "ratio", "smart ms", "naive ms"],
+        &rows,
+    );
+    println!(
+        "Both orders are exponential on X_n (Theorem 8 guarantees it), but \
+         the heuristic's constant factor matters on practical inputs."
+    );
+}
+
+/// 4. Theorem 12 fast path vs. Algorithm 3 on the same input.
+fn ablate_fast_path() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut rows = Vec::new();
+    for &n_rules in &[8usize, 16, 32, 64] {
+        let b = random_suffix_bxsd(
+            &SchemaConfig {
+                n_names: 10,
+                n_rules,
+                k: 2,
+                ..SchemaConfig::default()
+            },
+            &mut rng,
+        );
+        let (fast, fast_ms) = timed(|| suffix_bxsd_to_dfa_xsd(&b).expect("suffix").n_states());
+        let (slow, slow_ms) = timed(|| bxsd_to_dfa_xsd(&b).n_states());
+        rows.push(vec![
+            n_rules.to_string(),
+            fast.to_string(),
+            slow.to_string(),
+            format!("{fast_ms:.2}"),
+            format!("{slow_ms:.2}"),
+            format!("{:.1}x", slow_ms / fast_ms.max(0.001)),
+        ]);
+    }
+    print_table(
+        "Ablation 4: Theorem 12 Aho-Corasick vs. Algorithm 3 product",
+        &["rules", "AC states", "product states", "AC ms", "product ms", "speedup"],
+        &rows,
+    );
+}

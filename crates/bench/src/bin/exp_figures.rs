@@ -1,0 +1,101 @@
+//! Experiments E1/E2 — the paper's worked example, as a printed report:
+//! Figure 1's document against the DTD (Fig. 2), the XSD (Fig. 3), and
+//! the two BonXai schemas (Figs. 4 and 5), plus the translations between
+//! them. The same checks run as assertions in `tests/figures.rs`; this
+//! binary prints the verdict table.
+
+use bonxai_bench::print_table;
+use bonxai_core::translate::TranslateOptions;
+use bonxai_core::{dtd_import, pipeline, BonxaiSchema};
+use xmltree::{dtd, Document};
+
+fn data(name: &str) -> String {
+    // The harness runs from the workspace; data/ sits at its root.
+    for base in [".", "..", "../.."] {
+        if let Ok(text) = std::fs::read_to_string(format!("{base}/data/{name}")) {
+            return text;
+        }
+    }
+    panic!("data file {name} not found (run from the workspace root)");
+}
+
+fn main() {
+    let doc = xmltree::parse_document(&data("figure1_document.xml")).expect("figure 1");
+    let fig2 = dtd::parse_dtd(&data("figure2.dtd")).expect("figure 2");
+    let fig3 = xsd::parse_xsd(&data("figure3.xsd")).expect("figure 3");
+    let fig4 = BonxaiSchema::parse(&data("figure4.bonxai")).expect("figure 4");
+    let fig5 = BonxaiSchema::parse(&data("figure5.bonxai")).expect("figure 5");
+    let opts = TranslateOptions::default();
+
+    // Derived schemas.
+    let dtd_as_bonxai = dtd_import::dtd_to_bonxai(&fig2, &["document"]).expect("converts");
+    let (fig5_as_xsd, p1) = pipeline::bonxai_to_xsd(&fig5, &opts);
+    let (fig3_as_bonxai, p2) = pipeline::xsd_to_bonxai(&fig3, &opts);
+
+    // Documents: the example plus targeted variants.
+    let mut title_less = doc.clone();
+    let content = title_less
+        .elements()
+        .into_iter()
+        .find(|&n| title_less.name(n) == Some("content"))
+        .expect("content");
+    title_less.add_element(content, "section");
+
+    let mut template_text = doc.clone();
+    let template = template_text
+        .elements()
+        .into_iter()
+        .find(|&n| template_text.name(n) == Some("template"))
+        .expect("template");
+    let tsec = template_text
+        .element_children(template)
+        .next()
+        .expect("section");
+    template_text.add_text(tsec, "text in template");
+
+    let broken = xmltree::parse_document(
+        "<document><userstyles/><template><section/></template><content/></document>",
+    )
+    .expect("parses");
+
+    let docs: Vec<(&str, &Document)> = vec![
+        ("Figure 1 document", &doc),
+        ("title-less content section", &title_less),
+        ("text in template section", &template_text),
+        ("top-level order broken", &broken),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, d) in &docs {
+        rows.push(vec![
+            (*name).to_owned(),
+            dtd::is_valid(&fig2, d).to_string(),
+            fig4.is_valid(d).to_string(),
+            dtd_as_bonxai.is_valid(d).to_string(),
+            xsd::is_valid(&fig3, d).to_string(),
+            fig5.is_valid(d).to_string(),
+            xsd::is_valid(&fig5_as_xsd, d).to_string(),
+            fig3_as_bonxai.is_valid(d).to_string(),
+        ]);
+    }
+    print_table(
+        "The running example (Figures 1-5) under every schema",
+        &[
+            "document",
+            "Fig2 DTD",
+            "Fig4 BonXai",
+            "DTD->BonXai",
+            "Fig3 XSD",
+            "Fig5 BonXai",
+            "Fig5->XSD",
+            "XSD->BonXai",
+        ],
+        &rows,
+    );
+    println!("\ntranslation paths: Fig5 -> XSD via {p1:?}, Fig3 -> BonXai via {p2:?}");
+    println!(
+        "Expected shape: column groups agree pairwise (DTD-level schemas \
+         accept the context-insensitive variants; XSD-level schemas reject \
+         them; everything rejects the broken document)."
+    );
+}

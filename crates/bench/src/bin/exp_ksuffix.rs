@@ -1,0 +1,91 @@
+//! Experiments E5/E6 — the efficient fragment of Section 4.4.
+//!
+//! * Theorem 12: k-suffix based BXSDs translate into DFA-based XSDs of
+//!   **linear size** in polynomial time. We sweep schema sizes and report
+//!   the output/input size ratio (it should stay flat) and wall time.
+//! * Theorem 13: k-suffix DFA-based XSDs translate back into suffix-based
+//!   BXSDs in polynomial time for constant k (we sweep k = 1, 2, 3).
+
+use bonxai_bench::{print_table, timed};
+use bonxai_core::translate::{k_suffix_dfa_to_bxsd, suffix_bxsd_to_dfa_xsd};
+use bonxai_gen::{random_suffix_bxsd, SchemaConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2015);
+
+    // --- Theorem 12: size sweep at k = 3. ---
+    let mut rows = Vec::new();
+    for &(n_names, n_rules) in &[(8, 8), (12, 16), (16, 32), (24, 64), (32, 128), (48, 256)] {
+        let cfg = SchemaConfig {
+            n_names,
+            n_rules,
+            k: 3,
+            ..SchemaConfig::default()
+        };
+        // average over a few schemas
+        let mut in_size = 0usize;
+        let mut out_states = 0usize;
+        let mut ms_total = 0.0;
+        const REPS: usize = 5;
+        for _ in 0..REPS {
+            let b = random_suffix_bxsd(&cfg, &mut rng);
+            in_size += b.size();
+            let (d, ms) = timed(|| suffix_bxsd_to_dfa_xsd(&b).expect("suffix-based"));
+            out_states += d.n_states();
+            ms_total += ms;
+        }
+        rows.push(vec![
+            n_rules.to_string(),
+            format!("{}", in_size / REPS),
+            format!("{}", out_states / REPS),
+            format!("{:.2}", out_states as f64 / in_size as f64),
+            format!("{:.2}", ms_total / REPS as f64),
+        ]);
+    }
+    print_table(
+        "Theorem 12: suffix-based BonXai -> DFA-based XSD (k = 3)",
+        &["rules", "BXSD size", "XSD states", "states/size", "ms"],
+        &rows,
+    );
+    println!("Expected shape: states/size stays roughly constant (linear-size output).");
+
+    // --- Theorem 13: k sweep. ---
+    let mut rows = Vec::new();
+    for k in 1..=3 {
+        for &(n_names, n_rules) in &[(10, 12), (20, 40)] {
+            let cfg = SchemaConfig {
+                n_names,
+                n_rules,
+                k,
+                ..SchemaConfig::default()
+            };
+            let b = random_suffix_bxsd(&cfg, &mut rng);
+            // forward: build the k-suffix DFA-based XSD…
+            let d = suffix_bxsd_to_dfa_xsd(&b).expect("suffix-based");
+            // …then time the reverse translation (Theorem 13).
+            let (back, ms) = timed(|| {
+                k_suffix_dfa_to_bxsd(&d, k, 10_000_000).expect("k-suffix by construction")
+            });
+            rows.push(vec![
+                k.to_string(),
+                n_names.to_string(),
+                d.n_states().to_string(),
+                back.n_rules().to_string(),
+                back.size().to_string(),
+                format!("{ms:.2}"),
+            ]);
+        }
+    }
+    print_table(
+        "Theorem 13: k-suffix DFA-based XSD -> suffix-based BonXai",
+        &["k", "names", "XSD states", "BXSD rules", "BXSD size", "ms"],
+        &rows,
+    );
+    println!(
+        "Expected shape: rule counts grow with the number of realizable \
+         k-suffixes (polynomial for constant k; the k = 3 rows stay modest \
+         because only realizable suffixes are enumerated)."
+    );
+}

@@ -1,0 +1,117 @@
+//! Experiment E8 — Section 3.2: priority vs. existential vs. universal
+//! semantics for pattern-based schemas.
+//!
+//! On schemas with overlapping rules, the three semantics genuinely
+//! disagree; on schemas whose rule LHS are pairwise disjoint, priorities
+//! are irrelevant and priority/universal coincide (existential
+//! additionally requires every node to be matched). The paper's point:
+//! only the priority semantics is compatible with UPA, because DREs are
+//! not closed under the unions (existential) or intersections (universal)
+//! the other semantics would need.
+
+use bonxai_bench::print_table;
+use bonxai_core::semantics::{conforms, Semantics};
+use bonxai_core::translate::bxsd_to_dfa_xsd;
+use bonxai_core::Bxsd;
+use bonxai_gen::{mutate_document, random_suffix_bxsd, sample_document, DocConfig, SchemaConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn census(bxsd: &Bxsd, rng: &mut StdRng, n_docs: usize) -> [usize; 4] {
+    // counts of verdict patterns over sampled + mutated documents:
+    // [all agree, priority≠universal, priority≠existential, any disagreement]
+    let schema = bxsd_to_dfa_xsd(bxsd);
+    let mut counts = [0usize; 4];
+    for i in 0..n_docs {
+        let Some(doc) = sample_document(&schema, &DocConfig::default(), rng) else {
+            continue;
+        };
+        let doc = if i % 2 == 0 {
+            doc
+        } else {
+            mutate_document(&doc, rng)
+        };
+        let p = conforms(bxsd, &doc, Semantics::Priority);
+        let u = conforms(bxsd, &doc, Semantics::Universal);
+        let e = conforms(bxsd, &doc, Semantics::Existential);
+        if p == u && u == e {
+            counts[0] += 1;
+        }
+        if p != u {
+            counts[1] += 1;
+        }
+        if p != e {
+            counts[2] += 1;
+        }
+        if !(p == u && u == e) {
+            counts[3] += 1;
+        }
+    }
+    counts
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let n_docs = 200;
+
+    // Overlapping rules: generated suffix schemas freely reuse labels, so
+    // several rules can match the same node with different content models.
+    let overlapping = random_suffix_bxsd(
+        &SchemaConfig {
+            n_names: 6,
+            n_rules: 12,
+            k: 2,
+            ..SchemaConfig::default()
+        },
+        &mut rng,
+    );
+    let c_overlap = census(&overlapping, &mut rng, n_docs);
+
+    // Disjoint rules: one rule per label (a DTD-like schema) — priorities
+    // are irrelevant, as the paper notes for rules ending in different
+    // element names.
+    let disjoint = {
+        use bonxai_core::bxsd::BxsdBuilder;
+        use relang::Regex;
+        use xsd::ContentModel;
+        let mut b = BxsdBuilder::new();
+        b.start("r");
+        let names = ["r", "x", "y", "z"];
+        let syms: Vec<_> = names.iter().map(|n| b.ename.intern(n)).collect();
+        b.suffix_rule(
+            &["r"],
+            ContentModel::new(Regex::star(Regex::alt(vec![
+                Regex::sym(syms[1]),
+                Regex::sym(syms[2]),
+            ]))),
+        );
+        b.suffix_rule(&["x"], ContentModel::new(Regex::opt(Regex::sym(syms[3]))));
+        b.suffix_rule(&["y"], ContentModel::new(Regex::star(Regex::sym(syms[3]))));
+        b.suffix_rule(&["z"], ContentModel::empty());
+        b.build().expect("valid")
+    };
+    let c_disjoint = census(&disjoint, &mut rng, n_docs);
+
+    let row = |name: &str, c: [usize; 4]| {
+        vec![
+            name.to_owned(),
+            n_docs.to_string(),
+            c[0].to_string(),
+            c[1].to_string(),
+            c[2].to_string(),
+            format!("{:.1}%", 100.0 * c[3] as f64 / n_docs as f64),
+        ]
+    };
+    print_table(
+        "Priority vs. universal vs. existential semantics",
+        &["schema", "docs", "agree", "P!=U", "P!=E", "disagree%"],
+        &[row("overlapping rules", c_overlap), row("disjoint rules", c_disjoint)],
+    );
+    println!(
+        "\nExpected shape: with overlapping rules the semantics disagree on \
+         a sizable fraction of documents; with pairwise-disjoint rules, \
+         priority and universal verdicts coincide (P!=U stays 0), matching \
+         the paper's remark that priorities are irrelevant when ancestor \
+         languages are disjoint."
+    );
+}

@@ -1,0 +1,64 @@
+//! Experiment E3 — Theorem 8: translating the family X_n (XSDs of size
+//! O(n²)) to BonXai requires exponential-size schemas, even with the
+//! priority system.
+//!
+//! Regenerates a table of: n, |X_n| (states / total size), the size of the
+//! BXSD produced by Algorithm 2, the largest single ancestor expression,
+//! and wall time. The expected shape is ~2^n growth of the BXSD size
+//! against ~n² growth of the XSD size.
+
+use bonxai_bench::{print_table, timed};
+use bonxai_core::translate::dfa_xsd_to_bxsd;
+use bonxai_gen::theorem8_xn;
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let mut rows = Vec::new();
+    let mut prev_size: Option<usize> = None;
+    for n in 1..=max_n {
+        let x = theorem8_xn(n);
+        let (b, ms) = timed(|| dfa_xsd_to_bxsd(&x));
+        let bxsd_size = b.size();
+        let max_lhs = b
+            .rules
+            .iter()
+            .map(|r| r.ancestor.size())
+            .max()
+            .unwrap_or(0);
+        let growth = prev_size
+            .map(|p| format!("{:.2}x", bxsd_size as f64 / p as f64))
+            .unwrap_or_else(|| "-".to_owned());
+        prev_size = Some(bxsd_size);
+        rows.push(vec![
+            n.to_string(),
+            x.n_states().to_string(),
+            x.size().to_string(),
+            b.n_rules().to_string(),
+            bxsd_size.to_string(),
+            max_lhs.to_string(),
+            growth,
+            format!("{ms:.1}"),
+        ]);
+    }
+    print_table(
+        "Theorem 8: XSD -> BonXai worst case (family X_n)",
+        &[
+            "n",
+            "XSD states",
+            "XSD size",
+            "BXSD rules",
+            "BXSD size",
+            "max |r_q|",
+            "growth",
+            "ms",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: XSD size grows ~n^2, BXSD size grows ~2^n \
+         (the paper's lower bound is 2^Omega(n) against |X_n| = O(n^2))."
+    );
+}

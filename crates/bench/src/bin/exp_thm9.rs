@@ -1,0 +1,67 @@
+//! Experiment E4 — Theorem 9: translating the family B_n (BXSDs of size
+//! O(n)) to XML Schema requires at least 2^n types; minimization does not
+//! help, because the type automaton genuinely needs to remember which a_i
+//! have occurred once vs. twice on the ancestor path.
+
+use bonxai_bench::{print_table, timed};
+use bonxai_core::translate::{bxsd_to_dfa_xsd, dfa_xsd_to_xsd};
+use bonxai_gen::theorem9_bn;
+use xsd::minimize_types;
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let minimize_up_to: usize = 8; // minimization is O(types²)-ish; cap it
+    let mut rows = Vec::new();
+    let mut prev: Option<usize> = None;
+    for n in 1..=max_n {
+        let b = theorem9_bn(n);
+        let ((dfa_xsd, x), ms) = timed(|| {
+            let d = bxsd_to_dfa_xsd(&b);
+            let x = dfa_xsd_to_xsd(&d);
+            (d, x)
+        });
+        let (min_types, min_ms) = if n <= minimize_up_to {
+            let (m, ms2) = timed(|| minimize_types(&x));
+            (m.n_types().to_string(), format!("{ms2:.1}"))
+        } else {
+            ("-".to_owned(), "-".to_owned())
+        };
+        let growth = prev
+            .map(|p| format!("{:.2}x", x.n_types() as f64 / p as f64))
+            .unwrap_or_else(|| "-".to_owned());
+        prev = Some(x.n_types());
+        rows.push(vec![
+            n.to_string(),
+            b.size().to_string(),
+            dfa_xsd.n_states().to_string(),
+            x.n_types().to_string(),
+            min_types,
+            format!(">=2^{n}={}", 1usize << n),
+            growth,
+            format!("{ms:.1}"),
+            min_ms,
+        ]);
+    }
+    print_table(
+        "Theorem 9: BonXai -> XSD worst case (family B_n)",
+        &[
+            "n",
+            "BXSD size",
+            "DFA states",
+            "XSD types",
+            "minimized",
+            "bound",
+            "growth",
+            "ms",
+            "min ms",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: BXSD size grows linearly in n, XSD types grow \
+         >= 2^n, and minimization cannot reduce them below the bound."
+    );
+}

@@ -1,0 +1,122 @@
+//! Validation-throughput scaling: the same (Figure-3-shaped) language
+//! validated as DTD, XSD (typed), BonXai (per-rule), and DFA-based XSD
+//! (single automaton), over documents from ~100 to ~100k element nodes.
+//!
+//! The per-node cost of each validator should be flat (all four are
+//! linear-time); the interesting column is the constant: the BonXai
+//! validator steps one DFA per rule per node (the price of matched-rule
+//! reporting), while the translated DFA-based XSD steps exactly one.
+
+use bonxai_bench::{print_table, timed};
+use bonxai_core::translate::bxsd_to_dfa_xsd;
+use bonxai_core::{BonxaiSchema, CompiledBxsd};
+use bonxai_gen::{sample_document, DocConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xmltree::Document;
+use xsd::CompiledXsd;
+
+fn data(name: &str) -> String {
+    for base in [".", "..", "../.."] {
+        if let Ok(text) = std::fs::read_to_string(format!("{base}/data/{name}")) {
+            return text;
+        }
+    }
+    panic!("data file {name} not found (run from the workspace root)");
+}
+
+fn main() {
+    let fig2 = xmltree::dtd::parse_dtd(&data("figure2.dtd")).expect("figure 2");
+    let fig3 = xsd::parse_xsd(&data("figure3.xsd")).expect("figure 3");
+    let fig5 = BonxaiSchema::parse(&data("figure5.bonxai")).expect("figure 5");
+
+    let dfa_schema = bxsd_to_dfa_xsd(&fig5.bxsd);
+    let compiled_dtd = fig2.compile();
+    let compiled_xsd = CompiledXsd::new(&fig3);
+    let compiled_bxsd = CompiledBxsd::new(&fig5.bxsd);
+    let compiled_dfa = dfa_schema.compile();
+
+    let gen_schema = bonxai_core::translate::xsd_to_dfa_xsd(&fig3);
+    let mut rng = StdRng::seed_from_u64(2015);
+    let mut rows = Vec::new();
+    for target in [100usize, 1_000, 10_000, 100_000] {
+        // Build one big document of roughly `target` element nodes by
+        // concatenating samples under a shared root.
+        let mut doc = Document::new("document");
+        let root = doc.root();
+        // the Figure-2 DTD requires exactly one section below template
+        let template = doc.add_element(root, "template");
+        doc.add_element(template, "section");
+        doc.add_element(root, "userstyles");
+        let content = doc.add_element(root, "content");
+        while doc.element_count() < target {
+            let sample = sample_document(
+                &gen_schema,
+                &DocConfig {
+                    max_nodes: 400,
+                    ..DocConfig::default()
+                },
+                &mut rng,
+            )
+            .expect("figure 3 has roots");
+            // graft the sample's content sections under our content node
+            let sc = sample
+                .elements()
+                .into_iter()
+                .find(|&n| sample.name(n) == Some("content"))
+                .expect("content");
+            for child in sample.element_children(sc) {
+                graft(&sample, child, &mut doc, content);
+            }
+        }
+        let nodes = doc.element_count();
+
+        let (_, dtd_ms) = timed(|| {
+            assert!(xmltree::dtd::validator::validate_compiled(&compiled_dtd, &doc).is_empty())
+        });
+        let (_, xsd_ms) = timed(|| assert!(compiled_xsd.validate(&doc).is_valid()));
+        let (_, bxsd_ms) = timed(|| assert!(compiled_bxsd.validate(&doc).is_valid()));
+        let (_, dfa_ms) = timed(|| assert!(compiled_dfa.validate(&doc).is_empty()));
+
+        let per = |ms: f64| format!("{:.0}", ms * 1e6 / nodes as f64);
+        rows.push(vec![
+            nodes.to_string(),
+            per(dtd_ms),
+            per(xsd_ms),
+            per(bxsd_ms),
+            per(dfa_ms),
+        ]);
+    }
+    print_table(
+        "Validation cost per element node (ns/node)",
+        &["nodes", "DTD", "XSD (typed)", "BonXai (rules)", "DFA-based XSD"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: every column flat (linear-time validators); the \
+         BonXai column's constant is ~#rules DFA steps per node, the others ~1."
+    );
+}
+
+/// Copies the subtree rooted at `src_node` under `dst_parent`.
+fn graft(
+    src: &Document,
+    src_node: xmltree::NodeId,
+    dst: &mut Document,
+    dst_parent: xmltree::NodeId,
+) {
+    match src.kind(src_node) {
+        xmltree::NodeKind::Text(t) => {
+            dst.add_text(dst_parent, t);
+        }
+        xmltree::NodeKind::Element { name, attributes } => {
+            let id = dst.add_element(dst_parent, name);
+            for a in attributes {
+                dst.set_attribute(id, &a.name, &a.value);
+            }
+            for &c in src.children(src_node) {
+                graft(src, c, dst, id);
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # bonxai-bench — experiment harnesses
+//!
+//! The `exp_*` binaries in `src/bin/` regenerate the paper's figures and
+//! theorem-scaling tables (see EXPERIMENTS.md at the workspace root);
+//! the Criterion benches in `benches/` cover the performance-critical
+//! paths (validation, translation, automata operations).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Runs `f`, returning its result and the elapsed wall time in ms.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Prints a row-aligned table: a header, then rows of equal arity.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}

@@ -1,0 +1,352 @@
+//! Implementations of the CLI subcommands.
+
+use std::fs;
+use std::process::ExitCode;
+
+use bonxai_core::translate::{Path as TranslatePath, TranslateOptions};
+use bonxai_core::{dtd_import, pipeline, BonxaiSchema};
+use xmltree::Document;
+
+/// A loaded schema in any of the three formalisms.
+enum AnySchema {
+    Bonxai(BonxaiSchema),
+    Xsd(xsd::Xsd),
+    Dtd(xmltree::dtd::Dtd),
+}
+
+/// Loads a schema file, detecting the formalism from the extension or,
+/// failing that, the content.
+fn load_schema(path: &str) -> Result<AnySchema, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let lower = path.to_ascii_lowercase();
+    let kind = if lower.ends_with(".bonxai") {
+        "bonxai"
+    } else if lower.ends_with(".xsd") {
+        "xsd"
+    } else if lower.ends_with(".dtd") {
+        "dtd"
+    } else {
+        let head = text.trim_start();
+        if head.starts_with("<!") {
+            "dtd"
+        } else if head.starts_with('<') {
+            "xsd"
+        } else {
+            "bonxai"
+        }
+    };
+    match kind {
+        "bonxai" => BonxaiSchema::parse(&text)
+            .map(AnySchema::Bonxai)
+            .map_err(|e| format!("{path}: {e}")),
+        "xsd" => xsd::parse_xsd(&text)
+            .map(AnySchema::Xsd)
+            .map_err(|e| format!("{path}: {e}")),
+        _ => xmltree::dtd::parse_dtd(&text)
+            .map(AnySchema::Dtd)
+            .map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+fn load_document(path: &str) -> Result<Document, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    xmltree::parse_document(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Writes to `-o <file>` if present in args, else stdout.
+fn emit_output(args: &[String], content: &str) -> Result<(), String> {
+    match flag_value(args, "-o") {
+        Some(path) => {
+            fs::write(&path, content).map_err(|e| format!("cannot write {path}: {e}"))
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "-o" || a == "--root" || a == "--seed" || a == "--count" {
+            skip = true;
+            continue;
+        }
+        if a.starts_with('-') {
+            continue;
+        }
+        let _ = i;
+        out.push(a);
+    }
+    out
+}
+
+pub fn validate(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [schema_path, doc_path] = pos.as_slice() else {
+        return Err("usage: bonxai validate <schema> <document.xml> [--rules]".into());
+    };
+    let schema = load_schema(schema_path)?;
+    let doc = load_document(doc_path)?;
+
+    let valid = match &schema {
+        AnySchema::Bonxai(s) => {
+            let report = s.validate(&doc);
+            for v in report.violations() {
+                println!("violation: {}", v.kind);
+            }
+            for v in &report.constraints {
+                println!("constraint violation: {v}");
+            }
+            if has_flag(args, "--rules") {
+                println!("--- relevant rules ---");
+                for node in doc.elements() {
+                    let m = &report.structure.matches[&node];
+                    let rule = m
+                        .relevant
+                        .map(|i| s.ast.rules[s.rule_source[i]].pattern.source.clone())
+                        .unwrap_or_else(|| "(unconstrained)".to_owned());
+                    println!(
+                        "  /{} ← {}",
+                        doc.anc_str(node).join("/"),
+                        rule
+                    );
+                }
+            }
+            report.is_valid()
+        }
+        AnySchema::Xsd(x) => {
+            let report = xsd::validate(x, &doc);
+            for v in &report.violations {
+                println!("violation: {}", v.kind);
+            }
+            report.is_valid()
+        }
+        AnySchema::Dtd(d) => {
+            let violations = xmltree::dtd::validate(d, &doc);
+            for v in &violations {
+                println!("violation: {}", v.kind);
+            }
+            violations.is_empty()
+        }
+    };
+    if valid {
+        println!("valid");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("INVALID");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+pub fn to_xsd(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [schema_path] = pos.as_slice() else {
+        return Err("usage: bonxai to-xsd <schema.bonxai> [-o out.xsd]".into());
+    };
+    let AnySchema::Bonxai(schema) = load_schema(schema_path)? else {
+        return Err("to-xsd expects a BonXai schema".into());
+    };
+    let opts = TranslateOptions::default();
+    let (x, path) = pipeline::bonxai_to_xsd(&schema, &opts);
+    let text = xsd::emit_xsd(&x, schema.ast.target_namespace.as_deref())
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "translated via {} ({} types)",
+        path_name(path),
+        x.n_types()
+    );
+    emit_output(args, &text)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+pub fn from_xsd(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [schema_path] = pos.as_slice() else {
+        return Err("usage: bonxai from-xsd <schema.xsd> [-o out.bonxai]".into());
+    };
+    let AnySchema::Xsd(x) = load_schema(schema_path)? else {
+        return Err("from-xsd expects an XML Schema".into());
+    };
+    let opts = TranslateOptions::default();
+    let (schema, path) = pipeline::xsd_to_bonxai(&x, &opts);
+    eprintln!(
+        "translated via {} ({} rules)",
+        path_name(path),
+        schema.bxsd.n_rules()
+    );
+    emit_output(args, &schema.to_source())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+pub fn from_dtd(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [schema_path] = pos.as_slice() else {
+        return Err("usage: bonxai from-dtd <schema.dtd> --root <name> [-o out.bonxai]".into());
+    };
+    let root = flag_value(args, "--root")
+        .ok_or("from-dtd requires --root <name> (DTDs do not declare roots)")?;
+    let AnySchema::Dtd(dtd) = load_schema(schema_path)? else {
+        return Err("from-dtd expects a DTD".into());
+    };
+    let schema =
+        dtd_import::dtd_to_bonxai(&dtd, &[root.as_str()]).map_err(|e| e.to_string())?;
+    emit_output(args, &schema.to_source())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+pub fn analyze(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [schema_path] = pos.as_slice() else {
+        return Err("usage: bonxai analyze <schema>".into());
+    };
+    let opts = TranslateOptions::default();
+    let dfa_schema = match load_schema(schema_path)? {
+        AnySchema::Bonxai(s) => {
+            println!("formalism:       BonXai");
+            println!("rules:           {}", s.bxsd.n_rules());
+            println!("size:            {}", s.bxsd.size());
+            println!("element names:   {}", s.bxsd.ename.len());
+            println!("constraints:     {}", s.ast.constraints.len());
+            match bonxai_core::translate::classify_bxsd(&s.bxsd) {
+                Some((_, k)) => println!("fragment:        suffix-based (k = {k})"),
+                None => println!("fragment:        general (not suffix-based)"),
+            }
+            bonxai_core::translate::bxsd_to_dfa_xsd(&s.bxsd)
+        }
+        AnySchema::Xsd(x) => {
+            println!("formalism:       XML Schema");
+            println!("types:           {}", x.n_types());
+            println!("size:            {}", x.size());
+            println!("element names:   {}", x.ename.len());
+            let minimized = xsd::minimize_types(&x);
+            println!("minimal types:   {}", minimized.n_types());
+            bonxai_core::translate::xsd_to_dfa_xsd(&x)
+        }
+        AnySchema::Dtd(d) => {
+            println!("formalism:       DTD");
+            println!("elements:        {}", d.elements.len());
+            println!("size:            {}", d.size());
+            println!("fragment:        1-suffix (DTDs are context-insensitive)");
+            return Ok(ExitCode::SUCCESS);
+        }
+    };
+    match xsd::minimal_k(&dfa_schema, 5, 2_000_000) {
+        Some(k) => println!("k-suffix:        yes, minimal k = {k}"),
+        None => println!("k-suffix:        no (for k ≤ 5)"),
+    }
+    println!("type automaton:  {} states", dfa_schema.n_states());
+    let _ = opts;
+    Ok(ExitCode::SUCCESS)
+}
+
+pub fn sample(args: &[String]) -> Result<ExitCode, String> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let pos = positional(args);
+    let [schema_path] = pos.as_slice() else {
+        return Err("usage: bonxai sample <schema> [--seed N] [--count N]".into());
+    };
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(0);
+    let count: usize = flag_value(args, "--count")
+        .map(|s| s.parse().map_err(|_| "bad --count"))
+        .transpose()?
+        .unwrap_or(1);
+    let dtd_root = flag_value(args, "--root");
+    let dfa_schema = to_dfa_schema(load_schema(schema_path)?, dtd_root.as_deref())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..count {
+        match bonxai_gen::sample_document(&dfa_schema, &bonxai_gen::DocConfig::default(), &mut rng)
+        {
+            Some(doc) => print!("{}", xmltree::to_string_pretty(&doc)),
+            None => {
+                return Err("the schema admits no finite conforming document".into())
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Converts any loaded schema to its DFA-based XSD form for comparison.
+/// For DTDs (which declare no roots), `dtd_root` names the root; by
+/// default every declared element may be a root.
+fn to_dfa_schema(schema: AnySchema, dtd_root: Option<&str>) -> Result<xsd::DfaXsd, String> {
+    Ok(match schema {
+        AnySchema::Bonxai(s) => bonxai_core::translate::bxsd_to_dfa_xsd(&s.bxsd),
+        AnySchema::Xsd(x) => bonxai_core::translate::xsd_to_dfa_xsd(&x),
+        AnySchema::Dtd(d) => {
+            let roots: Vec<String> = match dtd_root {
+                Some(r) => vec![r.to_owned()],
+                None => d.elements.keys().cloned().collect(),
+            };
+            let roots: Vec<&str> = roots.iter().map(String::as_str).collect();
+            let s = dtd_import::dtd_to_bonxai(&d, &roots).map_err(|e| e.to_string())?;
+            bonxai_core::translate::bxsd_to_dfa_xsd(&s.bxsd)
+        }
+    })
+}
+
+pub fn diff(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [left_path, right_path] = pos.as_slice() else {
+        return Err(
+            "usage: bonxai diff <schema1> <schema2> [--structural] [--root <name>]".into(),
+        );
+    };
+    let dtd_root = flag_value(args, "--root");
+    let mut left = to_dfa_schema(load_schema(left_path)?, dtd_root.as_deref())?;
+    let mut right = to_dfa_schema(load_schema(right_path)?, dtd_root.as_deref())?;
+    if has_flag(args, "--structural") {
+        left = xsd::erase_datatypes(&left);
+        right = xsd::erase_datatypes(&right);
+    }
+    match xsd::check_schemas_equivalent(&left, &right) {
+        Ok(()) => {
+            println!("equivalent: the schemas accept the same documents");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(divergence) => {
+            println!("NOT equivalent: {divergence}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+pub fn check(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [schema_path] = pos.as_slice() else {
+        return Err("usage: bonxai check <schema>".into());
+    };
+    match load_schema(schema_path)? {
+        AnySchema::Bonxai(s) => println!("OK: BonXai schema, {} rules", s.bxsd.n_rules()),
+        AnySchema::Xsd(x) => println!("OK: XML Schema, {} types", x.n_types()),
+        AnySchema::Dtd(d) => println!("OK: DTD, {} elements", d.elements.len()),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn path_name(p: TranslatePath) -> String {
+    match p {
+        TranslatePath::Fast(k) => format!("the k-suffix fast path (k = {k})"),
+        TranslatePath::General => "the general algorithm".to_owned(),
+    }
+}

@@ -1,0 +1,84 @@
+//! `bonxai` — the command-line front end, mirroring the tool described in
+//! the paper's reference \[19\]: parse BonXai schemas, validate XML against
+//! them (highlighting matching rules), and translate back and forth
+//! between BonXai, XML Schema, and DTD.
+
+use std::process::ExitCode;
+
+mod commands;
+
+const USAGE: &str = "\
+bonxai — the BonXai schema language tool
+
+USAGE:
+    bonxai <COMMAND> [ARGS]
+
+COMMANDS:
+    validate <schema> <document.xml>
+        Validate an XML document. The schema may be .bonxai, .xsd, or
+        .dtd (detected by extension or content). Prints violations, or
+        with --rules the relevant BonXai rule for every element.
+
+    to-xsd <schema.bonxai> [-o out.xsd]
+        Compile a BonXai schema to XML Schema.
+
+    from-xsd <schema.xsd> [-o out.bonxai]
+        Translate an XML Schema to BonXai.
+
+    from-dtd <schema.dtd> --root <name> [-o out.bonxai]
+        Convert a DTD to BonXai (roots must be named; DTDs do not
+        declare them).
+
+    diff <schema1> <schema2> [--structural] [--root <name>]
+        Decide whether two schemas (any mix of .bonxai/.xsd/.dtd) accept
+        the same documents; prints a witness context if not. With
+        --structural, attribute/element datatypes are erased first.
+
+    analyze <schema>
+        Report schema statistics: rules/types, alphabet, whether the
+        schema is k-suffix (and the minimal k up to 5), and which
+        translation path conversions would take.
+
+    sample <schema> [--seed N] [--count N]
+        Generate random documents conforming to the schema.
+
+    check <schema>
+        Parse and type-check a schema, reporting the first error.
+
+OPTIONS:
+    -o <file>    write output to a file instead of stdout
+    --rules      (validate) print the relevant rule per element
+    --seed N     (sample) RNG seed (default 0)
+    --count N    (sample) number of documents (default 1)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "validate" => commands::validate(rest),
+        "to-xsd" => commands::to_xsd(rest),
+        "from-xsd" => commands::from_xsd(rest),
+        "from-dtd" => commands::from_dtd(rest),
+        "analyze" => commands::analyze(rest),
+        "diff" => commands::diff(rest),
+        "sample" => commands::sample(rest),
+        "check" => commands::check(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}; try `bonxai help`")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end tests of the `bonxai` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn data(name: &str) -> String {
+    let root: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", ".."].iter().collect();
+    root.join("data").join(name).to_string_lossy().into_owned()
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bonxai"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn validate_accepts_figure1_under_all_schemas() {
+    for schema in ["figure2.dtd", "figure3.xsd", "figure4.bonxai", "figure5.bonxai"] {
+        let out = run(&["validate", &data(schema), &data("figure1_document.xml")]);
+        assert!(out.status.success(), "{schema}: {}", stdout(&out));
+        assert!(stdout(&out).contains("valid"));
+    }
+}
+
+#[test]
+fn validate_rejects_and_reports() {
+    let tmp = std::env::temp_dir().join("bonxai_cli_bad.xml");
+    std::fs::write(&tmp, "<document><content/></document>").expect("writes");
+    let out = run(&[
+        "validate",
+        &data("figure5.bonxai"),
+        tmp.to_str().expect("utf8"),
+    ]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("INVALID"), "{text}");
+    assert!(text.contains("violation"), "{text}");
+}
+
+#[test]
+fn validate_rules_mode_prints_relevant_rules() {
+    let out = run(&[
+        "validate",
+        &data("figure5.bonxai"),
+        &data("figure1_document.xml"),
+        "--rules",
+    ]);
+    let text = stdout(&out);
+    assert!(text.contains("relevant rules"), "{text}");
+    assert!(text.contains("template//section"), "{text}");
+}
+
+#[test]
+fn to_xsd_from_xsd_roundtrip() {
+    let tmp = std::env::temp_dir().join("bonxai_cli_out.xsd");
+    let out = run(&[
+        "to-xsd",
+        &data("figure4.bonxai"),
+        "-o",
+        tmp.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success());
+    let out = run(&["validate", tmp.to_str().expect("utf8"), &data("figure1_document.xml")]);
+    assert!(out.status.success(), "{}", stdout(&out));
+
+    let out = run(&["from-xsd", tmp.to_str().expect("utf8")]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("grammar {"));
+}
+
+#[test]
+fn from_dtd_requires_root() {
+    let out = run(&["from-dtd", &data("figure2.dtd")]);
+    assert!(!out.status.success());
+    let out = run(&["from-dtd", &data("figure2.dtd"), "--root", "document"]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("global { document }"));
+}
+
+#[test]
+fn analyze_reports_fragment() {
+    let out = run(&["analyze", &data("figure4.bonxai")]);
+    let text = stdout(&out);
+    assert!(text.contains("suffix-based (k = 1)"), "{text}");
+    let out = run(&["analyze", &data("figure3.xsd")]);
+    let text = stdout(&out);
+    assert!(text.contains("k-suffix:        no"), "{text}");
+}
+
+#[test]
+fn sample_produces_valid_documents() {
+    let out = run(&["sample", &data("figure5.bonxai"), "--seed", "1", "--count", "1"]);
+    assert!(out.status.success());
+    let doc_text = stdout(&out);
+    // the sampled document validates
+    let tmp = std::env::temp_dir().join("bonxai_cli_sample.xml");
+    std::fs::write(&tmp, &doc_text).expect("writes");
+    let out = run(&["validate", &data("figure5.bonxai"), tmp.to_str().expect("utf8")]);
+    assert!(out.status.success(), "sample:\n{doc_text}\n{}", stdout(&out));
+}
+
+#[test]
+fn check_reports_formalism() {
+    let out = run(&["check", &data("figure4.bonxai")]);
+    assert!(stdout(&out).contains("BonXai schema"));
+    let out = run(&["check", &data("figure3.xsd")]);
+    assert!(stdout(&out).contains("XML Schema"));
+    let out = run(&["check", &data("figure2.dtd")]);
+    assert!(stdout(&out).contains("DTD"));
+}
+
+#[test]
+fn unknown_command_fails_gracefully() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn diff_decides_equivalence() {
+    // Figure 3 (XSD) and Figure 5 (BonXai) are equivalent
+    let out = run(&["diff", &data("figure3.xsd"), &data("figure5.bonxai")]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("equivalent"));
+    // Figure 4 and Figure 5 are not, with a witness
+    let out = run(&["diff", &data("figure4.bonxai"), &data("figure5.bonxai")]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("NOT equivalent"), "{text}");
+    assert!(text.contains("at /document"), "{text}");
+    // structural mode: the DTD and Figure 4 agree
+    let out = run(&[
+        "diff",
+        &data("figure2.dtd"),
+        &data("figure4.bonxai"),
+        "--structural",
+        "--root",
+        "document",
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+}

@@ -1,0 +1,281 @@
+//! DTD → BonXai conversion (the Figure 2 → Figure 4 direction).
+//!
+//! Every DTD is trivially a BXSD: element declarations are context
+//! insensitive, so each `<!ELEMENT a SPEC>` becomes the 1-suffix rule
+//! `//a = {…}`. Attribute lists become inline attribute items with types
+//! mapped from the DTD attribute types.
+
+use xmltree::dtd::{AttType, ContentSpec, DefaultDecl, Dtd};
+use xsd::SimpleType;
+
+use crate::lang::ast::{
+    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody,
+    SchemaAst,
+};
+use crate::lang::LangError;
+use crate::schema::BonxaiSchema;
+
+/// Converts a DTD into an equivalent BonXai schema.
+///
+/// DTDs do not declare root elements; pass the intended roots (usually
+/// the `<!DOCTYPE name …>` name).
+pub fn dtd_to_bonxai(dtd: &Dtd, roots: &[&str]) -> Result<BonxaiSchema, LangError> {
+    let mut ast = SchemaAst {
+        globals: roots.iter().map(|r| (*r).to_owned()).collect(),
+        ..SchemaAst::default()
+    };
+
+    let all_names: Vec<String> = dtd.elements.keys().cloned().collect();
+
+    for (name, spec) in &dtd.elements {
+        let mut cp = ChildPattern::default();
+        match spec {
+            ContentSpec::Empty => {}
+            ContentSpec::Any => {
+                cp.mixed = true;
+                cp.particle = Some(star_of_names(&all_names));
+            }
+            ContentSpec::Mixed(syms) => {
+                cp.mixed = true;
+                let names: Vec<String> = syms
+                    .iter()
+                    .map(|&s| dtd.alphabet.name(s).to_owned())
+                    .collect();
+                if !names.is_empty() {
+                    cp.particle = Some(star_of_names(&names));
+                }
+            }
+            ContentSpec::Children(regex) => {
+                cp.particle = Some(regex_to_particle(regex, dtd));
+            }
+        }
+        for def in dtd.attributes_of(name) {
+            cp.attributes.push(AttributeItem {
+                name: def.name.clone(),
+                optional: !matches!(def.default, DefaultDecl::Required),
+            });
+        }
+        ast.rules.push(RuleAst {
+            pattern: AncestorPattern {
+                path: PathExpr::Seq(vec![
+                    PathExpr::AnyChain,
+                    PathExpr::Name(name.clone()),
+                ]),
+                attributes: Vec::new(),
+                source: name.clone(),
+            },
+            body: RuleBody::Complex(cp),
+        });
+    }
+
+    // Attribute-type rules: scoped per element (DTD types per element).
+    for (elem, defs) in &dtd.attlists {
+        for def in defs {
+            let (st, facets) = att_type_to_simple(&def.att_type);
+            if st == SimpleType::String && facets.is_empty() {
+                continue; // the default; no rule needed
+            }
+            ast.rules.push(RuleAst {
+                pattern: AncestorPattern {
+                    path: PathExpr::Seq(vec![
+                        PathExpr::AnyChain,
+                        PathExpr::Name(elem.clone()),
+                    ]),
+                    attributes: vec![def.name.clone()],
+                    source: format!("{elem}/@{}", def.name),
+                },
+                body: RuleBody::Simple(st, facets),
+            });
+        }
+    }
+
+    BonxaiSchema::from_ast(ast)
+}
+
+fn star_of_names(names: &[String]) -> Particle {
+    let alts: Vec<Particle> = names
+        .iter()
+        .map(|n| Particle::Element(n.clone()))
+        .collect();
+    Particle::Star(Box::new(if alts.len() == 1 {
+        alts.into_iter().next().expect("len checked")
+    } else {
+        Particle::Alt(alts)
+    }))
+}
+
+fn regex_to_particle(r: &relang::Regex, dtd: &Dtd) -> Particle {
+    use relang::Regex;
+    match r {
+        Regex::Empty | Regex::Epsilon => Particle::Seq(Vec::new()),
+        Regex::Sym(s) => Particle::Element(dtd.alphabet.name(*s).to_owned()),
+        Regex::Concat(parts) => {
+            Particle::Seq(parts.iter().map(|p| regex_to_particle(p, dtd)).collect())
+        }
+        Regex::Alt(parts) => {
+            Particle::Alt(parts.iter().map(|p| regex_to_particle(p, dtd)).collect())
+        }
+        Regex::Interleave(parts) => {
+            Particle::Interleave(parts.iter().map(|p| regex_to_particle(p, dtd)).collect())
+        }
+        Regex::Star(inner) => Particle::Star(Box::new(regex_to_particle(inner, dtd))),
+        Regex::Plus(inner) => Particle::Plus(Box::new(regex_to_particle(inner, dtd))),
+        Regex::Opt(inner) => Particle::Opt(Box::new(regex_to_particle(inner, dtd))),
+        Regex::Repeat(inner, lo, hi) => Particle::Repeat(
+            Box::new(regex_to_particle(inner, dtd)),
+            *lo,
+            match hi {
+                relang::UpperBound::Finite(m) => Some(*m),
+                relang::UpperBound::Unbounded => None,
+            },
+        ),
+    }
+}
+
+fn att_type_to_simple(t: &AttType) -> (SimpleType, xsd::simple_types::Facets) {
+    use xsd::simple_types::Facets;
+    match t {
+        AttType::Cdata => (SimpleType::String, Facets::default()),
+        AttType::Id => (SimpleType::Id, Facets::default()),
+        AttType::IdRef | AttType::IdRefs => (SimpleType::IdRef, Facets::default()),
+        AttType::NmToken | AttType::NmTokens | AttType::Entity => {
+            (SimpleType::NmToken, Facets::default())
+        }
+        // DTD enumerations map exactly onto the enumeration facet.
+        AttType::Enumerated(values) => (
+            SimpleType::NmToken,
+            Facets {
+                enumeration: values.clone(),
+                ..Facets::default()
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::dtd::parse_dtd;
+    use xmltree::parse_document;
+
+    /// A reduced version of Figure 2's DTD.
+    const DTD: &str = r#"
+        <!ENTITY % markup "bold|italic">
+        <!ELEMENT document (template, content)>
+        <!ELEMENT template (section)>
+        <!ELEMENT content (section)*>
+        <!ELEMENT section (#PCDATA|section|%markup;)*>
+        <!ATTLIST section title CDATA #IMPLIED
+                          level CDATA #IMPLIED>
+        <!ELEMENT bold (#PCDATA|%markup;)*>
+        <!ELEMENT italic (#PCDATA|%markup;)*>
+    "#;
+
+    #[test]
+    fn converted_schema_agrees_with_dtd_validator() {
+        let dtd = parse_dtd(DTD).unwrap();
+        let schema = dtd_to_bonxai(&dtd, &["document"]).unwrap();
+        let docs = [
+            r#"<document><template><section/></template>
+               <content><section title="A">x <bold>y</bold></section></content></document>"#,
+            r#"<document><content/><template><section/></template></document>"#, // wrong order
+            r#"<document><template><section/></template><content><template/></content></document>"#,
+            r#"<document><template><section/></template><content/></document>"#,
+        ];
+        for src in docs {
+            let doc = parse_document(src).unwrap();
+            assert_eq!(
+                xmltree::dtd::is_valid(&dtd, &doc),
+                schema.is_valid(&doc),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn converted_schema_is_one_suffix_style() {
+        // every rule LHS is //name — a 1-suffix schema, as the paper notes
+        // DTDs are.
+        let dtd = parse_dtd(DTD).unwrap();
+        let schema = dtd_to_bonxai(&dtd, &["document"]).unwrap();
+        let (_, k) = crate::translate::classify_bxsd(&schema.bxsd)
+            .expect("DTD conversion yields suffix rules");
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn empty_and_any_content() {
+        let dtd = parse_dtd("<!ELEMENT a EMPTY> <!ELEMENT b ANY> <!ELEMENT c (a, b)>").unwrap();
+        let schema = dtd_to_bonxai(&dtd, &["c"]).unwrap();
+        let doc =
+            parse_document(r#"<c><a/><b>anything <a/> goes</b></c>"#).unwrap();
+        assert!(schema.is_valid(&doc), "{:?}", schema.validate(&doc).structure.violations);
+        let bad = parse_document(r#"<c><a>no children</a><b/></c>"#).unwrap();
+        assert!(!schema.is_valid(&bad));
+    }
+
+    #[test]
+    fn attribute_types_mapped() {
+        let dtd = parse_dtd(
+            r#"<!ELEMENT a EMPTY>
+               <!ATTLIST a id ID #REQUIRED kind (x|y) "x">"#,
+        )
+        .unwrap();
+        let schema = dtd_to_bonxai(&dtd, &["a"]).unwrap();
+        let good = parse_document(r#"<a id="i1" kind="x"/>"#).unwrap();
+        assert!(schema.is_valid(&good));
+        let missing = parse_document(r#"<a kind="x"/>"#).unwrap();
+        assert!(!schema.is_valid(&missing));
+        let bad_token = parse_document(r#"<a id="two words"/>"#).unwrap();
+        assert!(!schema.is_valid(&bad_token));
+    }
+}
+
+#[cfg(test)]
+mod any_tests {
+    use crate::schema::BonxaiSchema;
+    use xmltree::parse_document;
+
+    /// The `any` wildcard: open content through the whole pipeline.
+    #[test]
+    fn any_wildcard_end_to_end() {
+        let schema = BonxaiSchema::parse(
+            r#"
+            global { doc }
+            grammar {
+              doc = { element head, element blob }
+              head = { }
+              blob = { any }
+            }
+        "#,
+        )
+        .unwrap();
+        // blob accepts arbitrary content: any order, repetition, text and
+        // attributes. (Descendants still match their own rules — a nested
+        // <head> must satisfy the head rule, which empty ones do.)
+        let ok = parse_document(
+            r#"<doc><head/><blob x="1">text <head/><blob>more <head/><head/></blob></blob></doc>"#,
+        )
+        .unwrap();
+        assert!(schema.is_valid(&ok), "{:?}", schema.validate(&ok).structure.violations);
+        // but head stays strict
+        let bad = parse_document(r#"<doc><head>nope</head><blob/></doc>"#).unwrap();
+        assert!(!schema.is_valid(&bad));
+
+        // printing round-trips the wildcard
+        let printed = schema.to_source();
+        assert!(printed.contains("{ any }"), "{printed}");
+        let again = BonxaiSchema::parse(&printed).unwrap();
+        assert!(again.is_valid(&ok));
+        assert!(!again.is_valid(&bad));
+    }
+
+    #[test]
+    fn any_cannot_mix_with_elements() {
+        let err = BonxaiSchema::parse(
+            "global { a } grammar { a = { any, element b } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("any"), "{err}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Surface AST of the practical BonXai language (Section 3.1).
+//!
+//! A BonXai schema consists of up to five blocks:
+//!
+//! ```text
+//! target namespace <uri>
+//! namespace xs = <uri>
+//! global { document }
+//! groups {
+//!   group markup = { element bold | element italic | … }
+//!   attribute-group fontattr = { attribute name?, attribute size? }
+//! }
+//! grammar {
+//!   <ancestor pattern> = [mixed] { <child pattern> }
+//!   @size = { type xs:integer }
+//! }
+//! constraints { … }
+//! ```
+
+use xsd::{simple_types::Facets, SimpleType};
+
+/// A parsed BonXai schema file.
+#[derive(Clone, Debug, Default)]
+pub struct SchemaAst {
+    /// `target namespace <uri>`.
+    pub target_namespace: Option<String>,
+    /// `namespace <prefix> = <uri>` declarations.
+    pub namespaces: Vec<(String, String)>,
+    /// The `global { … }` block: allowed root element names.
+    pub globals: Vec<String>,
+    /// Named content-model groups.
+    pub groups: Vec<(String, Particle)>,
+    /// Named attribute groups.
+    pub attribute_groups: Vec<(String, Vec<AttributeItem>)>,
+    /// The `grammar { … }` block, in priority order (later overrides).
+    pub rules: Vec<RuleAst>,
+    /// The `constraints { … }` block.
+    pub constraints: Vec<crate::constraints::Constraint>,
+}
+
+/// One grammar rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleAst {
+    /// The left-hand side.
+    pub pattern: AncestorPattern,
+    /// The right-hand side.
+    pub body: RuleBody,
+}
+
+/// An ancestor pattern, already split into its element part and the
+/// optional trailing attribute part (attribute names may only occur at
+/// the end of ancestor patterns — "in XML, attributes cannot have
+/// children").
+#[derive(Clone, Debug, PartialEq)]
+pub struct AncestorPattern {
+    /// The element-path part.
+    pub path: PathExpr,
+    /// Trailing attribute alternatives (`(@c|@d)`), if this is an
+    /// attribute rule.
+    pub attributes: Vec<String>,
+    /// The original source text (kept for diagnostics and printing).
+    pub source: String,
+}
+
+/// The element-path part of an ancestor pattern: a regular expression
+/// whose atoms are element names, with `/` (child), `//` (descendant
+/// gap), `|`, `*`, `+`, `?`, `{n,m}` and grouping.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PathExpr {
+    /// The empty path (only meaningful as a prefix of attribute rules or
+    /// under `//`-prefixed patterns).
+    Empty,
+    /// An element name.
+    Name(String),
+    /// `EName*` — the gap a `//` step denotes.
+    AnyChain,
+    /// Concatenation of steps.
+    Seq(Vec<PathExpr>),
+    /// Alternation.
+    Alt(Vec<PathExpr>),
+    /// Kleene star.
+    Star(Box<PathExpr>),
+    /// One or more.
+    Plus(Box<PathExpr>),
+    /// Zero or one.
+    Opt(Box<PathExpr>),
+    /// Counted repetition; `None` = unbounded.
+    Repeat(Box<PathExpr>, u32, Option<u32>),
+}
+
+/// A rule right-hand side.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuleBody {
+    /// `[mixed] { <child pattern> }`.
+    Complex(ChildPattern),
+    /// `{ type xs:… [{ facets }] }` — simple content (for element rules)
+    /// or the attribute's type (for attribute rules), with optional
+    /// restriction facets (`min`, `max`, `minLength`, `maxLength`,
+    /// `enum`, values quoted).
+    Simple(SimpleType, Facets),
+}
+
+/// The content of a complex rule body.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ChildPattern {
+    /// `any` keyword present: wildcard content — any children, any
+    /// attributes, any text (Section 3.1's anytype/anyattribute).
+    pub open: bool,
+    /// `mixed` keyword present.
+    pub mixed: bool,
+    /// Attribute items declared inline (`attribute title`, `attribute
+    /// name?`).
+    pub attributes: Vec<AttributeItem>,
+    /// `attribute-group` references.
+    pub attribute_group_refs: Vec<String>,
+    /// The element particle (None = empty content).
+    pub particle: Option<Particle>,
+}
+
+/// One attribute item in a child pattern or attribute group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttributeItem {
+    /// Attribute name.
+    pub name: String,
+    /// `?` suffix: the attribute is optional.
+    pub optional: bool,
+}
+
+/// The element structure of a child pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Particle {
+    /// `element name`.
+    Element(String),
+    /// `group name`.
+    GroupRef(String),
+    /// Concatenation (`,`).
+    Seq(Vec<Particle>),
+    /// Union (`|`).
+    Alt(Vec<Particle>),
+    /// Interleaving (`&`, the `xs:all` analogue).
+    Interleave(Vec<Particle>),
+    /// `p*`.
+    Star(Box<Particle>),
+    /// `p+`.
+    Plus(Box<Particle>),
+    /// `p?`.
+    Opt(Box<Particle>),
+    /// `p{n,m}`; `None` = `*` upper bound.
+    Repeat(Box<Particle>, u32, Option<u32>),
+}

@@ -1,0 +1,330 @@
+//! Lifting a formal BXSD back into the practical language — the last step
+//! of the XSD → BonXai front-end pipeline.
+//!
+//! Ancestor regexes become path expressions (`EName*` subterms become
+//! `//` gaps), content models become child patterns, and the carried
+//! attribute types are re-expressed as attribute rules (a single global
+//! `@a = { type T }` when the type is uniform, scoped
+//! `<pattern>/@a = { type T }` rules otherwise).
+
+use std::collections::BTreeMap;
+
+use relang::Regex;
+use xsd::{simple_types::Facets, ContentModel, SimpleType};
+
+use crate::bxsd::Bxsd;
+use crate::lang::ast::{
+    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody,
+    SchemaAst,
+};
+
+/// Lifts a BXSD into a surface schema AST (printable with
+/// [`crate::lang::printer::print_schema`]).
+pub fn lift(bxsd: &Bxsd) -> SchemaAst {
+    let names: Vec<String> = bxsd
+        .ename
+        .entries()
+        .map(|(_, n)| n.to_owned())
+        .collect();
+    let mut ast = SchemaAst {
+        globals: bxsd
+            .start
+            .iter()
+            .map(|&s| bxsd.ename.name(s).to_owned())
+            .collect(),
+        ..SchemaAst::default()
+    };
+
+    // Collect attribute types: name → set of non-trivial (type, facets)
+    // combinations used.
+    let mut attr_types: BTreeMap<&str, Vec<(SimpleType, Facets)>> = BTreeMap::new();
+    for rule in &bxsd.rules {
+        for a in &rule.content.attributes {
+            let e = attr_types.entry(a.name.as_str()).or_default();
+            let key = (a.simple_type, a.facets.clone());
+            if !e.contains(&key) {
+                e.push(key);
+            }
+        }
+    }
+
+    for rule in &bxsd.rules {
+        let path = regex_to_path(&rule.ancestor, bxsd);
+        let body = content_to_body(&rule.content, bxsd);
+        let source = crate::lang::printer::pattern_str(&path, &[], &names);
+        ast.rules.push(RuleAst {
+            pattern: AncestorPattern {
+                path: path.clone(),
+                attributes: Vec::new(),
+                source,
+            },
+            body,
+        });
+        // Scoped attribute-type rules for non-uniform attribute names.
+        for a in &rule.content.attributes {
+            if a.simple_type == SimpleType::AnySimpleType && a.facets.is_empty() {
+                continue;
+            }
+            let uniform = attr_types[a.name.as_str()].len() == 1;
+            if !uniform {
+                let source = crate::lang::printer::pattern_str(
+                    &path,
+                    std::slice::from_ref(&a.name),
+                    &names,
+                );
+                ast.rules.push(RuleAst {
+                    pattern: AncestorPattern {
+                        path: path.clone(),
+                        attributes: vec![a.name.clone()],
+                        source,
+                    },
+                    body: RuleBody::Simple(a.simple_type, a.facets.clone()),
+                });
+            }
+        }
+    }
+
+    // Global attribute-type rules for uniformly typed names.
+    for (name, types) in attr_types {
+        let only = &types[0];
+        let trivial = only.0 == SimpleType::AnySimpleType && only.1.is_empty();
+        if types.len() == 1 && !trivial {
+            ast.rules.push(RuleAst {
+                pattern: AncestorPattern {
+                    path: PathExpr::AnyChain,
+                    attributes: vec![name.to_owned()],
+                    source: format!("@{name}"),
+                },
+                body: RuleBody::Simple(only.0, only.1.clone()),
+            });
+        }
+    }
+
+    ast
+}
+
+/// Converts an ancestor regex to a path expression, recognizing
+/// `(n1+…+nk)*` over the full alphabet as the `//` gap.
+pub fn regex_to_path(r: &Regex, bxsd: &Bxsd) -> PathExpr {
+    let n = bxsd.ename.len();
+    if is_any_chain(r, n) {
+        return PathExpr::AnyChain;
+    }
+    match r {
+        Regex::Empty => PathExpr::Alt(Vec::new()), // unmatched; rendered as ()
+        Regex::Epsilon => PathExpr::Empty,
+        Regex::Sym(s) => PathExpr::Name(bxsd.ename.name(*s).to_owned()),
+        Regex::Concat(parts) => {
+            PathExpr::Seq(parts.iter().map(|p| regex_to_path(p, bxsd)).collect())
+        }
+        Regex::Alt(parts) => {
+            PathExpr::Alt(parts.iter().map(|p| regex_to_path(p, bxsd)).collect())
+        }
+        Regex::Star(inner) => PathExpr::Star(Box::new(regex_to_path(inner, bxsd))),
+        Regex::Plus(inner) => PathExpr::Plus(Box::new(regex_to_path(inner, bxsd))),
+        Regex::Opt(inner) => PathExpr::Opt(Box::new(regex_to_path(inner, bxsd))),
+        Regex::Repeat(inner, lo, hi) => PathExpr::Repeat(
+            Box::new(regex_to_path(inner, bxsd)),
+            *lo,
+            match hi {
+                relang::UpperBound::Finite(m) => Some(*m),
+                relang::UpperBound::Unbounded => None,
+            },
+        ),
+        Regex::Interleave(_) => {
+            unreachable!("ancestor expressions never contain interleaving")
+        }
+    }
+}
+
+fn is_any_chain(r: &Regex, n_syms: usize) -> bool {
+    match r {
+        Regex::Star(inner) => {
+            let mut syms = match &**inner {
+                Regex::Sym(s) => vec![*s],
+                Regex::Alt(parts) => {
+                    let mut syms = Vec::new();
+                    for p in parts {
+                        match p {
+                            Regex::Sym(s) => syms.push(*s),
+                            _ => return false,
+                        }
+                    }
+                    syms
+                }
+                _ => return false,
+            };
+            syms.sort_unstable();
+            syms.dedup();
+            syms.len() == n_syms
+        }
+        _ => false,
+    }
+}
+
+fn content_to_body(cm: &ContentModel, bxsd: &Bxsd) -> RuleBody {
+    if let Some(st) = cm.simple_content {
+        return RuleBody::Simple(st, cm.simple_facets.clone());
+    }
+    let particle = match &cm.regex {
+        Regex::Epsilon => None,
+        r => Some(regex_to_particle(r, bxsd)),
+    };
+    if cm.open {
+        return RuleBody::Complex(ChildPattern {
+            open: true,
+            ..ChildPattern::default()
+        });
+    }
+    RuleBody::Complex(ChildPattern {
+        open: false,
+        mixed: cm.mixed,
+        attributes: cm
+            .attributes
+            .iter()
+            .map(|a| AttributeItem {
+                name: a.name.clone(),
+                optional: !a.required,
+            })
+            .collect(),
+        attribute_group_refs: Vec::new(),
+        particle,
+    })
+}
+
+fn regex_to_particle(r: &Regex, bxsd: &Bxsd) -> Particle {
+    match r {
+        Regex::Empty | Regex::Epsilon => Particle::Seq(Vec::new()),
+        Regex::Sym(s) => Particle::Element(bxsd.ename.name(*s).to_owned()),
+        Regex::Concat(parts) => {
+            Particle::Seq(parts.iter().map(|p| regex_to_particle(p, bxsd)).collect())
+        }
+        Regex::Alt(parts) => {
+            Particle::Alt(parts.iter().map(|p| regex_to_particle(p, bxsd)).collect())
+        }
+        Regex::Interleave(parts) => {
+            Particle::Interleave(parts.iter().map(|p| regex_to_particle(p, bxsd)).collect())
+        }
+        Regex::Star(inner) => Particle::Star(Box::new(regex_to_particle(inner, bxsd))),
+        Regex::Plus(inner) => Particle::Plus(Box::new(regex_to_particle(inner, bxsd))),
+        Regex::Opt(inner) => Particle::Opt(Box::new(regex_to_particle(inner, bxsd))),
+        Regex::Repeat(inner, lo, hi) => Particle::Repeat(
+            Box::new(regex_to_particle(inner, bxsd)),
+            *lo,
+            match hi {
+                relang::UpperBound::Finite(m) => Some(*m),
+                relang::UpperBound::Unbounded => None,
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bxsd::BxsdBuilder;
+    use crate::lang::lower::lower;
+    use crate::lang::parser::parse_schema;
+    use crate::lang::printer::print_schema;
+    use crate::validate::is_valid;
+    use xmltree::builder::elem;
+    use xsd::AttributeUse;
+
+    fn example_bxsd() -> Bxsd {
+        let mut b = BxsdBuilder::new();
+        b.start("document");
+        let template = b.ename.intern("template");
+        let content = b.ename.intern("content");
+        let section = b.ename.intern("section");
+        b.suffix_rule(
+            &["document"],
+            ContentModel::new(Regex::concat(vec![
+                Regex::sym(template),
+                Regex::sym(content),
+            ])),
+        );
+        b.suffix_rule(&["template"], ContentModel::new(Regex::opt(Regex::sym(section))));
+        b.suffix_rule(&["content"], ContentModel::new(Regex::star(Regex::sym(section))));
+        b.suffix_rule(
+            &["section"],
+            ContentModel::new(Regex::star(Regex::sym(section)))
+                .with_mixed(true)
+                .with_attributes([
+                    AttributeUse::required("title"),
+                    AttributeUse::optional("level").with_type(SimpleType::Integer),
+                ]),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lift_print_parse_lower_roundtrip() {
+        let b = example_bxsd();
+        let ast = lift(&b);
+        let names: Vec<String> = b.ename.entries().map(|(_, n)| n.to_owned()).collect();
+        let printed = print_schema(&ast, &names);
+        let reparsed = parse_schema(&printed).expect("printed schema parses");
+        let lowered = lower(&reparsed).expect("reparsed schema lowers");
+
+        let docs = [
+            elem("document")
+                .child(elem("template").child(elem("section")))
+                .child(
+                    elem("content").child(
+                        elem("section")
+                            .attr("title", "Intro")
+                            .attr("level", "2")
+                            .text("hi"),
+                    ),
+                )
+                .build(),
+            elem("document")
+                .child(elem("template"))
+                .child(elem("content").child(elem("section"))) // missing title
+                .build(),
+            elem("document")
+                .child(elem("template"))
+                .child(
+                    elem("content")
+                        .child(elem("section").attr("title", "t").attr("level", "two")),
+                )
+                .build(),
+            elem("content").build(),
+        ];
+        for doc in &docs {
+            assert_eq!(
+                is_valid(&b, doc),
+                is_valid(&lowered.bxsd, doc),
+                "{}\n--- printed schema ---\n{printed}",
+                xmltree::to_string(doc)
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_attribute_types_become_global_rules() {
+        let b = example_bxsd();
+        let ast = lift(&b);
+        // the integer "level" attribute gets a global @level rule
+        assert!(ast.rules.iter().any(|r| {
+            r.pattern.attributes == vec!["level".to_owned()]
+                && r.body == RuleBody::Simple(SimpleType::Integer, Facets::default())
+        }));
+        // "title" is xs:string everywhere → one global rule
+        assert!(ast.rules.iter().any(|r| {
+            r.pattern.attributes == vec!["title".to_owned()]
+                && r.body == RuleBody::Simple(SimpleType::String, Facets::default())
+        }));
+    }
+
+    #[test]
+    fn any_chain_is_recognized() {
+        let b = example_bxsd();
+        let ast = lift(&b);
+        // rule 0's path starts with // (AnyChain)
+        match &ast.rules[0].pattern.path {
+            PathExpr::Seq(items) => assert_eq!(items[0], PathExpr::AnyChain),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Lowering the practical language to the formal core (BXSD).
+//!
+//! Groups are expanded, ancestor patterns become regular expressions over
+//! the schema's element alphabet (with `//` as `EName*`), and attribute
+//! rules (`@size = { type xs:integer }`) are resolved into the static
+//! attribute types carried by each rule's content model.
+//!
+//! Attribute-type resolution is static: for an element rule `P = {…
+//! attribute a …}` the type of `a` is taken from the *latest* attribute
+//! rule `Q(@…a…) = { type T }` whose element pattern `Q` intersects `P`.
+//! This is exact whenever attribute-rule patterns subsume the element
+//! patterns they apply to — which covers the global `(@name|@title) =
+//! { type xs:string }` style of Figures 4/5 and everything our printer
+//! emits.
+
+use std::collections::BTreeMap;
+
+use relang::{Alphabet, Regex};
+use xsd::{simple_types::Facets, AttributeUse, ContentModel, SimpleType};
+
+use crate::bxsd::{Bxsd, Rule};
+use crate::lang::ast::{
+    AttributeItem, ChildPattern, Particle, PathExpr, RuleBody, SchemaAst,
+};
+use crate::lang::lexer::LangError;
+
+/// The result of lowering: the formal schema plus provenance.
+#[derive(Clone, Debug)]
+pub struct Lowered {
+    /// The formal core schema.
+    pub bxsd: Bxsd,
+    /// For each BXSD rule, the index of the source rule in the AST.
+    pub rule_source: Vec<usize>,
+}
+
+/// Lowers a parsed schema to its BXSD core.
+pub fn lower(ast: &SchemaAst) -> Result<Lowered, LangError> {
+    // 1. The element alphabet: everything mentioned anywhere.
+    let mut alphabet = Alphabet::new();
+    for g in &ast.globals {
+        alphabet.intern(g);
+    }
+    for rule in &ast.rules {
+        collect_path_names(&rule.pattern.path, &mut alphabet);
+        if let RuleBody::Complex(cp) = &rule.body {
+            if let Some(p) = &cp.particle {
+                collect_particle_names(p, &mut alphabet);
+            }
+        }
+    }
+    for (_, p) in &ast.groups {
+        collect_particle_names(p, &mut alphabet);
+    }
+    for c in &ast.constraints {
+        collect_path_names(&c.selector, &mut alphabet);
+    }
+
+    let groups: BTreeMap<&str, &Particle> = ast
+        .groups
+        .iter()
+        .map(|(n, p)| (n.as_str(), p))
+        .collect();
+    let attribute_groups: BTreeMap<&str, &Vec<AttributeItem>> = ast
+        .attribute_groups
+        .iter()
+        .map(|(n, a)| (n.as_str(), a))
+        .collect();
+
+    // 2. Attribute rules (LHS carries attribute names).
+    struct AttrRule {
+        path: Regex,
+        names: Vec<String>,
+        simple_type: SimpleType,
+        facets: Facets,
+    }
+    let mut attr_rules: Vec<AttrRule> = Vec::new();
+    for rule in &ast.rules {
+        if rule.pattern.attributes.is_empty() {
+            continue;
+        }
+        let (simple_type, facets) = match &rule.body {
+            RuleBody::Simple(st, facets) => (*st, facets.clone()),
+            RuleBody::Complex(_) => {
+                return Err(LangError::new(
+                    0,
+                    0,
+                    format!(
+                        "attribute rule {:?} must have a '{{ type … }}' body",
+                        rule.pattern.source
+                    ),
+                ))
+            }
+        };
+        attr_rules.push(AttrRule {
+            path: path_to_regex_resolved(&rule.pattern.path, &alphabet),
+            names: rule.pattern.attributes.clone(),
+            simple_type,
+            facets,
+        });
+    }
+
+    // 3. Element rules.
+    let resolve_attr_type = |name: &str, elem_path: &Regex| -> (SimpleType, Facets) {
+        for ar in attr_rules.iter().rev() {
+            if ar.names.iter().any(|n| n == name)
+                && relang::ops::language::intersection_witness(
+                    &ar.path,
+                    elem_path,
+                    alphabet.len(),
+                )
+                .is_some()
+            {
+                return (ar.simple_type, ar.facets.clone());
+            }
+        }
+        (SimpleType::AnySimpleType, Facets::default())
+    };
+
+    let mut rules = Vec::new();
+    let mut rule_source = Vec::new();
+    for (idx, rule) in ast.rules.iter().enumerate() {
+        if !rule.pattern.attributes.is_empty() {
+            continue; // attribute rules are folded into content models
+        }
+        let ancestor = path_to_regex_resolved(&rule.pattern.path, &alphabet);
+        let content = match &rule.body {
+            RuleBody::Simple(st, facets) => {
+                ContentModel::simple(*st).with_simple_facets(facets.clone())
+            }
+            RuleBody::Complex(cp) => {
+                lower_child_pattern(cp, &groups, &attribute_groups, &alphabet, &ancestor, &resolve_attr_type)
+                    .map_err(|msg| {
+                        LangError::new(0, 0, format!("in rule {:?}: {msg}", rule.pattern.source))
+                    })?
+            }
+        };
+        rules.push(Rule::new(ancestor, content));
+        rule_source.push(idx);
+    }
+
+    let mut start = std::collections::BTreeSet::new();
+    for g in &ast.globals {
+        start.insert(alphabet.lookup(g).expect("interned above"));
+    }
+    let bxsd = Bxsd::new(alphabet, start, rules).map_err(|e| match e {
+        crate::bxsd::BxsdError::NotDeterministic { rule, witness } => LangError::new(
+            0,
+            0,
+            format!(
+                "content model of rule {:?} violates UPA: {witness}",
+                ast.rules[rule_source[rule]].pattern.source
+            ),
+        ),
+    })?;
+    Ok(Lowered { bxsd, rule_source })
+}
+
+fn lower_child_pattern(
+    cp: &ChildPattern,
+    groups: &BTreeMap<&str, &Particle>,
+    attribute_groups: &BTreeMap<&str, &Vec<AttributeItem>>,
+    alphabet: &Alphabet,
+    elem_path: &Regex,
+    resolve_attr_type: &impl Fn(&str, &Regex) -> (SimpleType, Facets),
+) -> Result<ContentModel, String> {
+    if cp.open {
+        // `any`: wildcard content (attribute items are redundant under an
+        // open model but harmless).
+        return Ok(ContentModel::any_content(alphabet));
+    }
+    let regex = match &cp.particle {
+        None => Regex::Epsilon,
+        Some(p) => {
+            let mut stack = Vec::new();
+            particle_to_regex(p, groups, alphabet, &mut stack)?
+        }
+    };
+    let mut attr_items: Vec<AttributeItem> = cp.attributes.clone();
+    for gref in &cp.attribute_group_refs {
+        let items = attribute_groups
+            .get(gref.as_str())
+            .ok_or_else(|| format!("unknown attribute group {gref:?}"))?;
+        attr_items.extend((*items).clone());
+    }
+    let attributes: Vec<AttributeUse> = attr_items
+        .into_iter()
+        .map(|item| {
+            let (simple_type, facets) = resolve_attr_type(&item.name, elem_path);
+            AttributeUse {
+                simple_type,
+                facets,
+                required: !item.optional,
+                name: item.name,
+            }
+        })
+        .collect();
+    Ok(ContentModel::new(regex)
+        .with_mixed(cp.mixed)
+        .with_attributes(attributes))
+}
+
+fn particle_to_regex(
+    p: &Particle,
+    groups: &BTreeMap<&str, &Particle>,
+    alphabet: &Alphabet,
+    stack: &mut Vec<String>,
+) -> Result<Regex, String> {
+    Ok(match p {
+        Particle::Element(name) => Regex::sym(
+            alphabet
+                .lookup(name)
+                .expect("element names were interned during collection"),
+        ),
+        Particle::GroupRef(name) => {
+            if stack.iter().any(|g| g == name) {
+                return Err(format!("cyclic group reference through {name:?}"));
+            }
+            let inner = groups
+                .get(name.as_str())
+                .ok_or_else(|| format!("unknown group {name:?}"))?;
+            stack.push(name.clone());
+            let r = particle_to_regex(inner, groups, alphabet, stack)?;
+            stack.pop();
+            r
+        }
+        Particle::Seq(items) => Regex::concat(
+            items
+                .iter()
+                .map(|i| particle_to_regex(i, groups, alphabet, stack))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Particle::Alt(items) => Regex::alt(
+            items
+                .iter()
+                .map(|i| particle_to_regex(i, groups, alphabet, stack))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Particle::Interleave(items) => Regex::interleave(
+            items
+                .iter()
+                .map(|i| particle_to_regex(i, groups, alphabet, stack))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Particle::Star(inner) => Regex::star(particle_to_regex(inner, groups, alphabet, stack)?),
+        Particle::Plus(inner) => Regex::plus(particle_to_regex(inner, groups, alphabet, stack)?),
+        Particle::Opt(inner) => Regex::opt(particle_to_regex(inner, groups, alphabet, stack)?),
+        Particle::Repeat(inner, lo, hi) => Regex::repeat(
+            particle_to_regex(inner, groups, alphabet, stack)?,
+            *lo,
+            hi.map_or(relang::UpperBound::Unbounded, relang::UpperBound::Finite),
+        ),
+    })
+}
+
+/// Converts a path expression into a regex over `alphabet`. Names not in
+/// the alphabet denote the empty language (they can never match).
+pub fn path_to_regex_resolved(path: &PathExpr, alphabet: &Alphabet) -> Regex {
+    match path {
+        PathExpr::Empty => Regex::Epsilon,
+        PathExpr::Name(n) => alphabet
+            .lookup(n)
+            .map_or(Regex::Empty, Regex::sym),
+        PathExpr::AnyChain => Regex::star(Regex::sym_set(alphabet.symbols())),
+        PathExpr::Seq(items) => Regex::concat(
+            items
+                .iter()
+                .map(|i| path_to_regex_resolved(i, alphabet))
+                .collect(),
+        ),
+        PathExpr::Alt(items) => Regex::alt(
+            items
+                .iter()
+                .map(|i| path_to_regex_resolved(i, alphabet))
+                .collect(),
+        ),
+        PathExpr::Star(inner) => Regex::star(path_to_regex_resolved(inner, alphabet)),
+        PathExpr::Plus(inner) => Regex::plus(path_to_regex_resolved(inner, alphabet)),
+        PathExpr::Opt(inner) => Regex::opt(path_to_regex_resolved(inner, alphabet)),
+        PathExpr::Repeat(inner, lo, hi) => Regex::repeat(
+            path_to_regex_resolved(inner, alphabet),
+            *lo,
+            hi.map_or(relang::UpperBound::Unbounded, relang::UpperBound::Finite),
+        ),
+    }
+}
+
+fn collect_path_names(path: &PathExpr, alphabet: &mut Alphabet) {
+    match path {
+        PathExpr::Empty | PathExpr::AnyChain => {}
+        PathExpr::Name(n) => {
+            alphabet.intern(n);
+        }
+        PathExpr::Seq(items) | PathExpr::Alt(items) => {
+            for i in items {
+                collect_path_names(i, alphabet);
+            }
+        }
+        PathExpr::Star(i) | PathExpr::Plus(i) | PathExpr::Opt(i) | PathExpr::Repeat(i, _, _) => {
+            collect_path_names(i, alphabet)
+        }
+    }
+}
+
+fn collect_particle_names(p: &Particle, alphabet: &mut Alphabet) {
+    match p {
+        Particle::Element(n) => {
+            alphabet.intern(n);
+        }
+        Particle::GroupRef(_) => {}
+        Particle::Seq(items) | Particle::Alt(items) | Particle::Interleave(items) => {
+            for i in items {
+                collect_particle_names(i, alphabet);
+            }
+        }
+        Particle::Star(i) | Particle::Plus(i) | Particle::Opt(i) | Particle::Repeat(i, _, _) => {
+            collect_particle_names(i, alphabet)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parser::parse_schema;
+    use crate::validate::is_valid;
+    use xmltree::builder::elem;
+
+    #[test]
+    fn lowers_figure4_style_dtd_equivalent() {
+        let src = r#"
+            global { document }
+            grammar {
+              document = { element template, element content }
+              template = { element section }
+              content = { (element section)* }
+              section = mixed { attribute title?, (element section)* }
+              @title = { type xs:string }
+            }
+        "#;
+        let lowered = lower(&parse_schema(src).unwrap()).unwrap();
+        let b = &lowered.bxsd;
+        assert_eq!(b.n_rules(), 4); // the @title rule folds into attributes
+        assert_eq!(lowered.rule_source, vec![0, 1, 2, 3]);
+
+        let good = elem("document")
+            .child(elem("template").child(elem("section").attr("title", "t").text("x")))
+            .child(elem("content"))
+            .build();
+        assert!(is_valid(b, &good));
+        let bad = elem("document").child(elem("content")).build();
+        assert!(!is_valid(b, &bad));
+    }
+
+    #[test]
+    fn groups_expand() {
+        let src = r#"
+            global { p }
+            groups {
+              group markup = { element b | element i }
+            }
+            grammar {
+              p = mixed { (group markup)* }
+              (b|i) = mixed { (group markup)* }
+            }
+        "#;
+        let lowered = lower(&parse_schema(src).unwrap()).unwrap();
+        let doc = elem("p")
+            .text("hello ")
+            .child(elem("b").text("bold").child(elem("i").text("it")))
+            .build();
+        assert!(is_valid(&lowered.bxsd, &doc));
+    }
+
+    #[test]
+    fn attribute_types_resolve_by_pattern() {
+        let src = r#"
+            global { doc }
+            grammar {
+              doc = { (element item)* }
+              item = { attribute n }
+              @n = { type xs:string }
+              item/@n = { type xs:integer }
+            }
+        "#;
+        // later rule wins: items' n attributes are integers
+        let lowered = lower(&parse_schema(src).unwrap()).unwrap();
+        let rule = lowered
+            .bxsd
+            .rules
+            .iter()
+            .find(|r| !r.content.attributes.is_empty())
+            .unwrap();
+        assert_eq!(rule.content.attributes[0].simple_type, SimpleType::Integer);
+        let good = elem("doc").child(elem("item").attr("n", "42")).build();
+        assert!(is_valid(&lowered.bxsd, &good));
+        let bad = elem("doc").child(elem("item").attr("n", "x")).build();
+        assert!(!is_valid(&lowered.bxsd, &bad));
+    }
+
+    #[test]
+    fn simple_content_rules() {
+        let src = r#"
+            global { doc }
+            grammar {
+              doc = { element price }
+              price = { type xs:decimal }
+            }
+        "#;
+        let lowered = lower(&parse_schema(src).unwrap()).unwrap();
+        let good = elem("doc").child(elem("price").text("9.99")).build();
+        assert!(is_valid(&lowered.bxsd, &good));
+        let bad = elem("doc").child(elem("price").text("cheap")).build();
+        assert!(!is_valid(&lowered.bxsd, &bad));
+    }
+
+    #[test]
+    fn upa_violation_reported_with_source() {
+        let src = r#"
+            global { a }
+            grammar {
+              a = { (element b | element c)*, element b }
+            }
+        "#;
+        let err = lower(&parse_schema(src).unwrap()).unwrap_err();
+        assert!(err.message.contains("UPA"), "{err}");
+        assert!(err.message.contains('a'), "{err}");
+    }
+
+    #[test]
+    fn unknown_group_reported() {
+        let src = "global { a } grammar { a = { group nope } }";
+        let err = lower(&parse_schema(src).unwrap()).unwrap_err();
+        assert!(err.message.contains("unknown group"), "{err}");
+    }
+
+    #[test]
+    fn cyclic_group_reported() {
+        let src = r#"
+            global { a }
+            groups {
+              group g = { element x, group g }
+            }
+            grammar { a = { group g } }
+        "#;
+        let err = lower(&parse_schema(src).unwrap()).unwrap_err();
+        assert!(err.message.contains("cyclic"), "{err}");
+    }
+}

@@ -1,0 +1,19 @@
+//! The practical BonXai language (Section 3): compact syntax, parser,
+//! printer, and the lowering to / lifting from the formal BXSD core.
+
+pub mod ast;
+pub mod lexer;
+pub mod lift;
+pub mod lower;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{
+    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody,
+    SchemaAst,
+};
+pub use lexer::LangError;
+pub use lift::lift;
+pub use lower::{lower, Lowered};
+pub use parser::{parse_ancestor_pattern, parse_schema};
+pub use printer::print_schema;

@@ -1,0 +1,365 @@
+//! Pretty-printing schemas back to the BonXai compact syntax.
+//!
+//! `parse_schema ∘ print_schema` is semantics-preserving (checked by the
+//! round-trip tests): patterns are printed with explicit `/`, `//`, and
+//! anchoring so that the implicit-`//` convention cannot change their
+//! meaning on re-parse.
+
+use std::fmt::Write as _;
+
+use crate::constraints::{Constraint, ConstraintKind};
+use crate::lang::ast::{Particle, PathExpr, RuleBody, SchemaAst};
+
+/// Renders a schema in the compact syntax.
+///
+/// `all_names` is the element alphabet, used to render a bare `EName*`
+/// in positions where `//` syntax cannot express it (e.g. at the end of
+/// a pattern) as an explicit `(n1|…|nk)*` group.
+pub fn print_schema(ast: &SchemaAst, all_names: &[String]) -> String {
+    let mut out = String::new();
+    if let Some(tns) = &ast.target_namespace {
+        let _ = writeln!(out, "target namespace {tns}");
+    }
+    for (prefix, uri) in &ast.namespaces {
+        if prefix.is_empty() {
+            let _ = writeln!(out, "default namespace {uri}");
+        } else {
+            let _ = writeln!(out, "namespace {prefix} = {uri}");
+        }
+    }
+    if !ast.globals.is_empty() {
+        let _ = writeln!(out, "global {{ {} }}", ast.globals.join(", "));
+    }
+    if !ast.groups.is_empty() || !ast.attribute_groups.is_empty() {
+        let _ = writeln!(out, "groups {{");
+        for (name, items) in &ast.attribute_groups {
+            let rendered: Vec<String> = items
+                .iter()
+                .map(|a| {
+                    format!(
+                        "attribute {}{}",
+                        a.name,
+                        if a.optional { "?" } else { "" }
+                    )
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  attribute-group {name} = {{ {} }}",
+                rendered.join(", ")
+            );
+        }
+        for (name, p) in &ast.groups {
+            let _ = writeln!(out, "  group {name} = {{ {} }}", particle_str(p));
+        }
+        let _ = writeln!(out, "}}");
+    }
+    let _ = writeln!(out, "grammar {{");
+    for rule in &ast.rules {
+        let lhs = pattern_str(&rule.pattern.path, &rule.pattern.attributes, all_names);
+        let rhs = match &rule.body {
+            RuleBody::Simple(st, facets) if facets.is_empty() => {
+                format!("{{ type {} }}", st.qname())
+            }
+            RuleBody::Simple(st, facets) => {
+                format!("{{ type {} {} }}", st.qname(), facets.display())
+            }
+            RuleBody::Complex(cp) if cp.open => "{ any }".to_owned(),
+            RuleBody::Complex(cp) => {
+                let mut items: Vec<String> = Vec::new();
+                for a in &cp.attributes {
+                    items.push(format!(
+                        "attribute {}{}",
+                        a.name,
+                        if a.optional { "?" } else { "" }
+                    ));
+                }
+                for g in &cp.attribute_group_refs {
+                    items.push(format!("attribute-group {g}"));
+                }
+                if let Some(p) = &cp.particle {
+                    items.push(particle_str(p));
+                }
+                let body = if items.is_empty() {
+                    "{ }".to_owned()
+                } else {
+                    format!("{{ {} }}", items.join(", "))
+                };
+                if cp.mixed {
+                    format!("mixed {body}")
+                } else {
+                    body
+                }
+            }
+        };
+        let _ = writeln!(out, "  {lhs} = {rhs}");
+    }
+    let _ = writeln!(out, "}}");
+    if !ast.constraints.is_empty() {
+        let _ = writeln!(out, "constraints {{");
+        for c in &ast.constraints {
+            let _ = writeln!(out, "  {}", constraint_str(c, all_names));
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Renders an ancestor pattern (path + optional trailing attributes).
+pub fn pattern_str(path: &PathExpr, attributes: &[String], all_names: &[String]) -> String {
+    // A pure attribute rule over any element path prints as `@a` /
+    // `(@a|@b)` — the implicit leading `//` restores the AnyChain.
+    if matches!(path, PathExpr::AnyChain) && !attributes.is_empty() {
+        let alts: Vec<String> = attributes.iter().map(|a| format!("@{a}")).collect();
+        return if alts.len() == 1 {
+            alts.into_iter().next().expect("len checked")
+        } else {
+            format!("({})", alts.join("|"))
+        };
+    }
+    let mut out = path_str(path, all_names);
+    match attributes.len() {
+        0 => {}
+        1 => {
+            if !out.is_empty() && !out.ends_with('/') {
+                out.push('/');
+            }
+            out.push('@');
+            out.push_str(&attributes[0]);
+        }
+        _ => {
+            if !out.is_empty() && !out.ends_with('/') {
+                out.push('/');
+            }
+            let alts: Vec<String> = attributes.iter().map(|a| format!("@{a}")).collect();
+            let _ = write!(out, "({})", alts.join("|"));
+        }
+    }
+    out
+}
+
+/// Renders a path expression with explicit anchoring (`/…` or `//…`).
+pub fn path_str(path: &PathExpr, all_names: &[String]) -> String {
+    let items: Vec<&PathExpr> = match path {
+        PathExpr::Seq(items) => items.iter().collect(),
+        PathExpr::Empty => return String::new(),
+        other => vec![other],
+    };
+    let mut out = String::new();
+    let mut pending_gap = false;
+    let mut emitted_any = false;
+    for (i, item) in items.iter().enumerate() {
+        if matches!(item, PathExpr::AnyChain) {
+            if i + 1 == items.len() {
+                // trailing EName*: no `//` syntax for it — explicit group
+                out.push_str(&sep(pending_gap, emitted_any));
+                out.push_str(&any_chain_str(all_names));
+                emitted_any = true;
+                pending_gap = false;
+            } else {
+                pending_gap = true;
+            }
+            continue;
+        }
+        out.push_str(&sep(pending_gap, emitted_any));
+        pending_gap = false;
+        out.push_str(&atom_str(item, all_names));
+        emitted_any = true;
+    }
+    return out;
+
+    fn sep(gap: bool, emitted_any: bool) -> String {
+        match (gap, emitted_any) {
+            (true, _) => "//".to_owned(),
+            (false, _) => "/".to_owned(),
+        }
+    }
+}
+
+/// Renders a non-seq path atom (adding parentheses where needed).
+fn atom_str(p: &PathExpr, all_names: &[String]) -> String {
+    match p {
+        PathExpr::Name(n) => n.clone(),
+        PathExpr::Empty => String::new(),
+        PathExpr::AnyChain => any_chain_str(all_names),
+        PathExpr::Seq(_) => format!("({})", path_str(p, all_names)),
+        PathExpr::Alt(items) => {
+            let branches: Vec<String> = items
+                .iter()
+                .map(|i| match i {
+                    PathExpr::Name(n) => n.clone(),
+                    other => path_str(other, all_names),
+                })
+                .collect();
+            format!("({})", branches.join("|"))
+        }
+        PathExpr::Star(inner) => format!("{}*", group_if_seq(inner, all_names)),
+        PathExpr::Plus(inner) => format!("{}+", group_if_seq(inner, all_names)),
+        PathExpr::Opt(inner) => format!("{}?", group_if_seq(inner, all_names)),
+        PathExpr::Repeat(inner, lo, Some(hi)) => {
+            format!("{}{{{lo},{hi}}}", group_if_seq(inner, all_names))
+        }
+        PathExpr::Repeat(inner, lo, None) => {
+            format!("{}{{{lo},*}}", group_if_seq(inner, all_names))
+        }
+    }
+}
+
+fn group_if_seq(p: &PathExpr, all_names: &[String]) -> String {
+    match p {
+        PathExpr::Name(_) => atom_str(p, all_names),
+        PathExpr::Seq(_) => format!("({})", path_str(p, all_names)),
+        _ => atom_str(p, all_names),
+    }
+}
+
+/// `EName*` as an explicit group.
+fn any_chain_str(all_names: &[String]) -> String {
+    format!("({})*", all_names.join("|"))
+}
+
+/// Renders a child-pattern particle.
+pub fn particle_str(p: &Particle) -> String {
+    particle_prec(p, 0)
+}
+
+/// prec: 0 = seq (`,`), 1 = alt (`|`), 2 = inter (`&`), 3 = postfix.
+fn particle_prec(p: &Particle, ctx: u8) -> String {
+    let (s, prec) = match p {
+        Particle::Element(n) => (format!("element {n}"), 3),
+        Particle::GroupRef(n) => (format!("group {n}"), 3),
+        Particle::Seq(items) => (
+            items
+                .iter()
+                .map(|i| particle_prec(i, 1))
+                .collect::<Vec<_>>()
+                .join(", "),
+            0,
+        ),
+        Particle::Alt(items) => (
+            items
+                .iter()
+                .map(|i| particle_prec(i, 2))
+                .collect::<Vec<_>>()
+                .join(" | "),
+            1,
+        ),
+        Particle::Interleave(items) => (
+            items
+                .iter()
+                .map(|i| particle_prec(i, 3))
+                .collect::<Vec<_>>()
+                .join(" & "),
+            2,
+        ),
+        Particle::Star(inner) => (format!("{}*", particle_atom(inner)), 3),
+        Particle::Plus(inner) => (format!("{}+", particle_atom(inner)), 3),
+        Particle::Opt(inner) => (format!("{}?", particle_atom(inner)), 3),
+        Particle::Repeat(inner, lo, Some(hi)) => {
+            (format!("{}{{{lo},{hi}}}", particle_atom(inner)), 3)
+        }
+        Particle::Repeat(inner, lo, None) => (format!("{}{{{lo},*}}", particle_atom(inner)), 3),
+    };
+    if prec < ctx {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+/// Postfix operands always get parentheses unless they are leaf refs —
+/// `element a` takes postfix directly (`element a?`), everything else is
+/// grouped.
+fn particle_atom(p: &Particle) -> String {
+    match p {
+        Particle::Element(_) | Particle::GroupRef(_) => particle_prec(p, 3),
+        _ => format!("({})", particle_prec(p, 0)),
+    }
+}
+
+fn constraint_str(c: &Constraint, all_names: &[String]) -> String {
+    let fields: Vec<String> = c.fields.iter().map(|f| f.to_string()).collect();
+    let selector = path_str(&c.selector, all_names);
+    match &c.kind {
+        ConstraintKind::Unique => {
+            format!("unique {selector} {{ {} }}", fields.join(", "))
+        }
+        ConstraintKind::Key => format!(
+            "key {} = {selector} {{ {} }}",
+            c.name.as_deref().unwrap_or("unnamed"),
+            fields.join(", ")
+        ),
+        ConstraintKind::KeyRef { refer } => format!(
+            "keyref {selector} {{ {} }} references {refer}",
+            fields.join(", ")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parser::{parse_ancestor_pattern, parse_schema};
+
+    #[test]
+    fn pattern_roundtrips() {
+        for src in [
+            "//section",
+            "/document/template",
+            "//content//section",
+            "//(bold|italic)",
+            "//(userstyles|template)//(font|titlefont)",
+            "(/a/a)*/@c",
+            "//style/@name",
+        ] {
+            let p = parse_ancestor_pattern(src).unwrap();
+            let printed = pattern_str(&p.path, &p.attributes, &[]);
+            let p2 = parse_ancestor_pattern(&printed).unwrap();
+            assert_eq!(p.path, p2.path, "{src} printed as {printed}");
+            assert_eq!(p.attributes, p2.attributes, "{src} printed as {printed}");
+        }
+    }
+
+    #[test]
+    fn schema_roundtrips_through_printer() {
+        let src = r#"
+            target namespace http://example.org/ns
+            global { document }
+            groups {
+              attribute-group fa = { attribute name?, attribute size? }
+              group markup = { (element bold | element italic)* }
+            }
+            grammar {
+              document = { element content }
+              content = mixed { attribute-group fa, group markup }
+              (bold|italic) = mixed { group markup }
+              @size = { type xs:integer }
+            }
+            constraints {
+              key k = //content { @name }
+              keyref //bold { @name } references k
+            }
+        "#;
+        let ast = parse_schema(src).unwrap();
+        let printed = print_schema(&ast, &[]);
+        let ast2 = parse_schema(&printed).unwrap();
+        assert_eq!(ast.globals, ast2.globals);
+        assert_eq!(ast.groups, ast2.groups);
+        assert_eq!(ast.attribute_groups, ast2.attribute_groups);
+        assert_eq!(ast.rules.len(), ast2.rules.len());
+        for (a, b) in ast.rules.iter().zip(&ast2.rules) {
+            assert_eq!(a.pattern.path, b.pattern.path);
+            assert_eq!(a.pattern.attributes, b.pattern.attributes);
+            assert_eq!(a.body, b.body);
+        }
+        assert_eq!(ast.constraints, ast2.constraints);
+    }
+
+    #[test]
+    fn particle_precedence_printing() {
+        let src = "global { r } grammar { r = { element a, (element b | element c)* } }";
+        let ast = parse_schema(src).unwrap();
+        let printed = print_schema(&ast, &[]);
+        assert!(printed.contains("element a, (element b | element c)*"));
+    }
+}

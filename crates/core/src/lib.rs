@@ -1,0 +1,39 @@
+//! # bonxai-core — the BonXai schema language
+//!
+//! A faithful implementation of *BonXai: Combining the simplicity of DTD
+//! with the expressiveness of XML Schema* (Martens, Neven, Niewerth,
+//! Schwentick — PODS 2015):
+//!
+//! * [`bxsd`] — the formal core (Definition 1): ordered rules
+//!   `ancestor-regex → deterministic content model` with priority
+//!   semantics;
+//! * [`validate`] — document validation with matched-rule reporting;
+//! * [`semantics`] — the universal/existential alternatives (Section 3.2)
+//!   for comparison;
+//! * [`translate`] — Algorithms 1–4 and the k-suffix fast paths
+//!   (Theorems 12/13), composed into end-to-end pipelines;
+//! * [`lang`] — the practical language of Section 3 (the compact syntax
+//!   of Figures 4/5): lexer, parser, printer, lowering, lifting;
+//! * [`schema`] — [`BonxaiSchema`], the user-facing schema object;
+//! * [`constraints`] — `unique`/`key`/`keyref` integrity constraints;
+//! * [`dtd_import`] — DTD → BonXai conversion (Figure 2 → Figure 4);
+//! * [`pipeline`] — BonXai text ⇄ XSD text, end to end.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bxsd;
+pub mod constraints;
+pub mod dtd_import;
+pub mod lang;
+pub mod pipeline;
+pub mod schema;
+pub mod semantics;
+pub mod translate;
+pub mod validate;
+
+pub use bxsd::{Bxsd, BxsdBuilder, BxsdError, Rule};
+pub use pipeline::{bonxai_to_xsd_text, xsd_to_bonxai_text, PipelineError, Translated};
+pub use schema::{BonxaiSchema, ValidationReport};
+pub use semantics::{conforms, Semantics};
+pub use validate::{is_valid, validate, BxsdReport, CompiledBxsd, NodeMatch};

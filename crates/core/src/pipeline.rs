@@ -1,0 +1,169 @@
+//! End-to-end pipelines: BonXai text ⇄ XSD text.
+//!
+//! This is BonXai's headline feature — "a practical front-end for XML
+//! Schema": schemas written in the compact syntax are compiled to real
+//! `<xs:schema>` documents and back, via the formal translations of
+//! Section 4.2 (taking the k-suffix fast paths of Section 4.4 whenever
+//! they apply).
+
+use std::fmt;
+
+use xsd::Xsd;
+
+use crate::bxsd::Bxsd;
+use crate::schema::BonxaiSchema;
+use crate::translate::{self, Path, TranslateOptions};
+
+/// An error anywhere along a pipeline.
+#[derive(Clone, Debug)]
+pub enum PipelineError {
+    /// BonXai syntax or lowering error.
+    Bonxai(crate::lang::LangError),
+    /// XSD syntax or model error.
+    Xsd(xsd::syntax::SyntaxError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Bonxai(e) => write!(f, "BonXai: {e}"),
+            PipelineError::Xsd(e) => write!(f, "XSD: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<crate::lang::LangError> for PipelineError {
+    fn from(e: crate::lang::LangError) -> Self {
+        PipelineError::Bonxai(e)
+    }
+}
+
+impl From<xsd::syntax::SyntaxError> for PipelineError {
+    fn from(e: xsd::syntax::SyntaxError) -> Self {
+        PipelineError::Xsd(e)
+    }
+}
+
+/// The result of an end-to-end translation, with provenance.
+#[derive(Clone, Debug)]
+pub struct Translated<T> {
+    /// The produced schema / text.
+    pub output: T,
+    /// Which algorithm path was taken.
+    pub path: Path,
+}
+
+/// Compiles a BonXai schema (compact syntax) to XSD XML text.
+pub fn bonxai_to_xsd_text(
+    source: &str,
+    opts: &TranslateOptions,
+) -> Result<Translated<String>, PipelineError> {
+    let schema = BonxaiSchema::parse(source)?;
+    let (xsd, path) = bonxai_to_xsd(&schema, opts);
+    let text = xsd::emit_xsd(&xsd, schema.ast.target_namespace.as_deref())?;
+    Ok(Translated { output: text, path })
+}
+
+/// Compiles a BonXai schema object to a core XSD.
+pub fn bonxai_to_xsd(schema: &BonxaiSchema, opts: &TranslateOptions) -> (Xsd, Path) {
+    translate::bxsd_to_xsd(&schema.bxsd, opts)
+}
+
+/// Translates XSD XML text into BonXai compact syntax.
+pub fn xsd_to_bonxai_text(
+    source: &str,
+    opts: &TranslateOptions,
+) -> Result<Translated<String>, PipelineError> {
+    let xsd = xsd::parse_xsd(source)?;
+    let (schema, path) = xsd_to_bonxai(&xsd, opts);
+    Ok(Translated {
+        output: schema.to_source(),
+        path,
+    })
+}
+
+/// Translates a core XSD into a BonXai schema object.
+pub fn xsd_to_bonxai(xsd: &Xsd, opts: &TranslateOptions) -> (BonxaiSchema, Path) {
+    let (bxsd, path) = translate::xsd_to_bxsd(xsd, opts);
+    (BonxaiSchema::from_bxsd(bxsd), path)
+}
+
+/// Translates a BXSD into a BonXai schema and back to a BXSD through the
+/// surface syntax (used by round-trip tests; exposed for tools).
+pub fn bxsd_surface_roundtrip(bxsd: &Bxsd) -> Result<Bxsd, PipelineError> {
+    let schema = BonxaiSchema::from_bxsd(bxsd.clone());
+    let source = schema.to_source();
+    Ok(BonxaiSchema::parse(&source)?.bxsd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::parse_document;
+
+    const BONXAI: &str = r#"
+        target namespace http://example.org/doc
+        global { document }
+        grammar {
+          document = { element template, element content }
+          template = { (element section)? }
+          content = { (element section)* }
+          section = mixed { attribute title, (element section)* }
+          template/section = { (element section)? }
+          @title = { type xs:string }
+        }
+    "#;
+
+    fn docs() -> Vec<xmltree::Document> {
+        [
+            r#"<document><template><section/></template>
+               <content><section title="A">x<section title="B"/></section></content></document>"#,
+            r#"<document><template><section title="no"/></template><content/></document>"#,
+            r#"<document><content/><template/></document>"#,
+            r#"<document><template/><content><section/></content></document>"#,
+        ]
+        .iter()
+        .map(|s| parse_document(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn bonxai_to_xsd_and_back_preserves_language() {
+        let opts = TranslateOptions::default();
+        let schema = BonxaiSchema::parse(BONXAI).unwrap();
+        let xsd_text = bonxai_to_xsd_text(BONXAI, &opts).unwrap();
+        assert!(xsd_text.output.contains("xs:schema"));
+        assert!(xsd_text.output.contains("targetNamespace=\"http://example.org/doc\""));
+
+        let xsd = xsd::parse_xsd(&xsd_text.output).unwrap();
+        let back = xsd_to_bonxai_text(&xsd_text.output, &opts).unwrap();
+        let back_schema = BonxaiSchema::parse(&back.output).unwrap();
+
+        for doc in &docs() {
+            let expected = schema.is_valid(doc);
+            assert_eq!(xsd::is_valid(&xsd, doc), expected, "{}", xmltree::to_string(doc));
+            assert_eq!(back_schema.is_valid(doc), expected, "{}", xmltree::to_string(doc));
+        }
+    }
+
+    #[test]
+    fn fast_path_is_taken_for_suffix_schemas() {
+        let opts = TranslateOptions::default();
+        let t = bonxai_to_xsd_text(BONXAI, &opts).unwrap();
+        assert!(matches!(t.path, Path::Fast(k) if k <= 2), "{:?}", t.path);
+    }
+
+    #[test]
+    fn surface_roundtrip_preserves_language() {
+        let schema = BonxaiSchema::parse(BONXAI).unwrap();
+        let back = bxsd_surface_roundtrip(&schema.bxsd).unwrap();
+        for doc in &docs() {
+            assert_eq!(
+                crate::validate::is_valid(&schema.bxsd, doc),
+                crate::validate::is_valid(&back, doc)
+            );
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! [`BonxaiSchema`]: the user-facing schema object tying together the
+//! surface syntax, the formal core, and integrity constraints.
+
+use xmltree::Document;
+use xsd::violation::Violation;
+
+use crate::bxsd::Bxsd;
+use crate::constraints::ConstraintViolation;
+use crate::lang::{self, LangError, SchemaAst};
+use crate::validate::{BxsdReport, CompiledBxsd};
+
+/// A complete BonXai schema: parsed surface form plus its lowered core.
+///
+/// ```
+/// use bonxai_core::BonxaiSchema;
+/// let schema = BonxaiSchema::parse(r#"
+///     global { note }
+///     grammar {
+///       note = { element to, element body }
+///       to   = { type xs:string }
+///       body = mixed { }
+///     }
+/// "#).unwrap();
+/// let doc = xmltree::parse_document("<note><to>Ada</to><body>hi</body></note>").unwrap();
+/// assert!(schema.validate(&doc).is_valid());
+/// ```
+#[derive(Clone, Debug)]
+pub struct BonxaiSchema {
+    /// The surface AST (groups, namespaces, constraints, rule order).
+    pub ast: SchemaAst,
+    /// The lowered formal core.
+    pub bxsd: Bxsd,
+    /// For each BXSD rule, the source rule index in `ast.rules`.
+    pub rule_source: Vec<usize>,
+}
+
+/// A full validation report: structural violations plus constraint
+/// violations.
+#[derive(Clone, Debug)]
+pub struct ValidationReport {
+    /// The structural (rule-based) report, with matched-rule info.
+    pub structure: BxsdReport,
+    /// Integrity-constraint violations.
+    pub constraints: Vec<ConstraintViolation>,
+}
+
+impl ValidationReport {
+    /// Whether the document conforms (structure and constraints).
+    pub fn is_valid(&self) -> bool {
+        self.structure.is_valid() && self.constraints.is_empty()
+    }
+
+    /// All structural violations.
+    pub fn violations(&self) -> &[Violation] {
+        &self.structure.violations
+    }
+}
+
+impl BonxaiSchema {
+    /// Parses and lowers a schema from BonXai compact syntax.
+    pub fn parse(source: &str) -> Result<BonxaiSchema, LangError> {
+        let ast = lang::parse_schema(source)?;
+        Self::from_ast(ast)
+    }
+
+    /// Builds a schema from an already-parsed AST.
+    pub fn from_ast(ast: SchemaAst) -> Result<BonxaiSchema, LangError> {
+        let lowered = lang::lower(&ast)?;
+        Ok(BonxaiSchema {
+            ast,
+            bxsd: lowered.bxsd,
+            rule_source: lowered.rule_source,
+        })
+    }
+
+    /// Builds a schema object from a formal BXSD (lifting it to surface
+    /// syntax for display).
+    pub fn from_bxsd(bxsd: Bxsd) -> BonxaiSchema {
+        let ast = lang::lift(&bxsd);
+        let rule_source = (0..bxsd.n_rules()).collect();
+        BonxaiSchema {
+            ast,
+            bxsd,
+            rule_source,
+        }
+    }
+
+    /// Validates a document: rule structure + integrity constraints.
+    pub fn validate(&self, doc: &Document) -> ValidationReport {
+        let structure = CompiledBxsd::new(&self.bxsd).validate(doc);
+        let constraints = crate::constraints::check_constraints(
+            &self.ast.constraints,
+            &self.bxsd.ename,
+            doc,
+        );
+        ValidationReport {
+            structure,
+            constraints,
+        }
+    }
+
+    /// Whether `doc` conforms to the schema.
+    pub fn is_valid(&self, doc: &Document) -> bool {
+        self.validate(doc).is_valid()
+    }
+
+    /// Renders the schema in BonXai compact syntax.
+    pub fn to_source(&self) -> String {
+        let names: Vec<String> = self
+            .bxsd
+            .ename
+            .entries()
+            .map(|(_, n)| n.to_owned())
+            .collect();
+        lang::print_schema(&self.ast, &names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::parse_document;
+
+    const SCHEMA: &str = r#"
+        global { library }
+        grammar {
+          library = { (element book)* }
+          book = { attribute id, element title, (element author)+ }
+          title = mixed { }
+          author = mixed { }
+          @id = { type xs:NMTOKEN }
+        }
+        constraints {
+          key bookKey = //book { @id }
+        }
+    "#;
+
+    #[test]
+    fn parse_validate_roundtrip() {
+        let schema = BonxaiSchema::parse(SCHEMA).unwrap();
+        let good = parse_document(
+            r#"<library>
+                 <book id="b1"><title>T</title><author>A</author></book>
+                 <book id="b2"><title>U</title><author>B</author><author>C</author></book>
+               </library>"#,
+        )
+        .unwrap();
+        let r = schema.validate(&good);
+        assert!(r.is_valid(), "{:?} {:?}", r.structure.violations, r.constraints);
+    }
+
+    #[test]
+    fn constraint_violations_reported() {
+        let schema = BonxaiSchema::parse(SCHEMA).unwrap();
+        let dup = parse_document(
+            r#"<library>
+                 <book id="b1"><title>T</title><author>A</author></book>
+                 <book id="b1"><title>U</title><author>B</author></book>
+               </library>"#,
+        )
+        .unwrap();
+        let r = schema.validate(&dup);
+        assert!(r.structure.is_valid());
+        assert!(!r.is_valid());
+        assert_eq!(r.constraints.len(), 1);
+    }
+
+    #[test]
+    fn to_source_reparses() {
+        let schema = BonxaiSchema::parse(SCHEMA).unwrap();
+        let printed = schema.to_source();
+        let again = BonxaiSchema::parse(&printed).unwrap();
+        let doc = parse_document(
+            r#"<library><book id="x"><title>T</title><author>A</author></book></library>"#,
+        )
+        .unwrap();
+        assert_eq!(schema.is_valid(&doc), again.is_valid(&doc));
+    }
+
+    #[test]
+    fn structural_error_beats_constraints() {
+        let schema = BonxaiSchema::parse(SCHEMA).unwrap();
+        let bad = parse_document(r#"<library><book id="b"/></library>"#).unwrap();
+        let r = schema.validate(&bad);
+        assert!(!r.structure.is_valid());
+    }
+}

@@ -1,0 +1,232 @@
+//! Alternative semantics for pattern-based schemas (Section 3.2).
+//!
+//! Before BonXai settled on the priority semantics, the theory of
+//! pattern-based schemas studied two alternatives [13, 16]:
+//!
+//! * **universal**: for each node and *each* rule whose ancestor pattern
+//!   matches it, the children must match that rule's content model;
+//! * **existential**: for each node there must be *at least one* rule
+//!   whose ancestor pattern matches it and whose content model accepts
+//!   the children.
+//!
+//! Neither is compatible with UPA — translating them to XSDs requires
+//! intersections (universal) or unions (existential) of deterministic
+//! expressions, under which DREs are not closed — which is exactly why
+//! BonXai uses priorities. These validators exist so the difference can
+//! be demonstrated empirically (experiment E8).
+
+use relang::{CompiledDre, Dfa, Sym};
+use xmltree::{Document, NodeId};
+
+use crate::bxsd::Bxsd;
+
+/// Which pattern-based semantics to validate under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Semantics {
+    /// BonXai's priority semantics (Definition 1).
+    Priority,
+    /// Every matching rule must be satisfied.
+    Universal,
+    /// Some matching rule must be satisfied (and one must match).
+    Existential,
+}
+
+/// Validates `doc` against the rule set of `bxsd` under the chosen
+/// semantics, returning whether it conforms.
+///
+/// (The priority case delegates to the main validator; the alternative
+/// semantics only answer yes/no since they exist for comparison.)
+pub fn conforms(bxsd: &Bxsd, doc: &Document, semantics: Semantics) -> bool {
+    match semantics {
+        Semantics::Priority => crate::validate::is_valid(bxsd, doc),
+        Semantics::Universal | Semantics::Existential => {
+            let root = doc.root();
+            let root_sym = doc
+                .name(root)
+                .and_then(|n| bxsd.ename.lookup(n));
+            let Some(root_sym) = root_sym else { return false };
+            if !bxsd.start.contains(&root_sym) {
+                return false;
+            }
+            let v = AltValidator::new(bxsd);
+            let init: Vec<Option<usize>> = v
+                .ancestor_dfas
+                .iter()
+                .map(|d| d.transition(d.initial(), root_sym))
+                .collect();
+            v.walk(doc, root, init, semantics)
+        }
+    }
+}
+
+struct AltValidator<'a> {
+    bxsd: &'a Bxsd,
+    ancestor_dfas: Vec<Dfa>,
+    content_matchers: Vec<CompiledDre>,
+}
+
+impl<'a> AltValidator<'a> {
+    fn new(bxsd: &'a Bxsd) -> Self {
+        let n = bxsd.ename.len();
+        AltValidator {
+            bxsd,
+            ancestor_dfas: bxsd
+                .rules
+                .iter()
+                .map(|r| relang::ops::regex_to_dfa(&r.ancestor, n))
+                .collect(),
+            content_matchers: bxsd
+                .rules
+                .iter()
+                .map(|r| CompiledDre::compile(&r.content.regex, n))
+                .collect(),
+        }
+    }
+
+    fn walk(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        states: Vec<Option<usize>>,
+        semantics: Semantics,
+    ) -> bool {
+        // Per-child symbols; a name outside EName yields None (no content
+        // model over EName can accept such a child string).
+        let child_syms: Vec<Option<Sym>> = doc
+            .element_children(node)
+            .map(|c| self.bxsd.ename.lookup(doc.name(c).expect("element")))
+            .collect();
+        let word: Option<Vec<Sym>> = child_syms.iter().copied().collect();
+        let matching: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| s.is_some_and(|q| self.ancestor_dfas[*i].is_final(q)))
+            .map(|(i, _)| i)
+            .collect();
+
+        let ok_here = match semantics {
+            Semantics::Universal => matching.iter().all(|&i| {
+                word.as_deref()
+                    .is_some_and(|w| self.content_matchers[i].matches(w))
+            }),
+            Semantics::Existential => matching.iter().any(|&i| {
+                word.as_deref()
+                    .is_some_and(|w| self.content_matchers[i].matches(w))
+            }),
+            Semantics::Priority => unreachable!("handled by the main validator"),
+        };
+        if !ok_here {
+            return false;
+        }
+
+        for (i, child) in doc.element_children(node).enumerate() {
+            let next: Vec<Option<usize>> = match child_syms[i] {
+                Some(sym) => states
+                    .iter()
+                    .zip(&self.ancestor_dfas)
+                    .map(|(s, d)| s.and_then(|q| d.transition(q, sym)))
+                    .collect(),
+                None => vec![None; states.len()],
+            };
+            if !self.walk(doc, child, next, semantics) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bxsd::BxsdBuilder;
+    use relang::Regex;
+    use xmltree::builder::elem;
+    use xsd::ContentModel;
+
+    /// Two overlapping rules with *different* content models for the same
+    /// nodes: //a section-like setup where semantics visibly diverge.
+    /// Rule 0: //b → (c)   Rule 1: //a//b → (d)
+    fn overlapping() -> Bxsd {
+        let mut b = BxsdBuilder::new();
+        b.start("a");
+        let c = b.ename.intern("c");
+        let d = b.ename.intern("d");
+        let bb = b.ename.intern("b");
+        b.suffix_rule(&["a"], ContentModel::new(Regex::star(Regex::sym(bb))));
+        // leaf rules (lowest priority, disjoint from the others) so that
+        // the existential semantics has a matching rule at every node
+        b.suffix_rule(&["c"], ContentModel::empty());
+        b.suffix_rule(&["d"], ContentModel::empty());
+        b.suffix_rule(&["b"], ContentModel::new(Regex::sym(c)));
+        b.suffix_rule(&["a", "b"], ContentModel::new(Regex::sym(d)));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn semantics_diverge_on_overlap() {
+        let x = overlapping();
+        // b directly under a: both //b and //a b match.
+        let with_c = elem("a").child(elem("b").child(elem("c"))).build();
+        let with_d = elem("a").child(elem("b").child(elem("d"))).build();
+
+        // Priority: the later rule (//a b → d) is relevant.
+        assert!(!conforms(&x, &with_c, Semantics::Priority));
+        assert!(conforms(&x, &with_d, Semantics::Priority));
+
+        // Existential: either suffices.
+        assert!(conforms(&x, &with_c, Semantics::Existential));
+        assert!(conforms(&x, &with_d, Semantics::Existential));
+
+        // Universal: both must hold — impossible, since c ≠ d.
+        assert!(!conforms(&x, &with_c, Semantics::Universal));
+        assert!(!conforms(&x, &with_d, Semantics::Universal));
+    }
+
+    #[test]
+    fn existential_requires_some_match() {
+        let mut b = BxsdBuilder::new();
+        b.start("a");
+        let bb = b.ename.intern("b");
+        b.suffix_rule(&["a"], ContentModel::new(Regex::opt(Regex::sym(bb))));
+        let x = b.build().unwrap();
+        // node b has no matching rule at all
+        let doc = elem("a").child(elem("b")).build();
+        assert!(!conforms(&x, &doc, Semantics::Existential));
+        // universal and priority treat unmatched nodes as unconstrained
+        assert!(conforms(&x, &doc, Semantics::Universal));
+        assert!(conforms(&x, &doc, Semantics::Priority));
+    }
+
+    #[test]
+    fn all_semantics_agree_on_disjoint_rules() {
+        // Disjoint LHS (different last labels) → priorities irrelevant,
+        // and a unique rule matches each node.
+        let mut b = BxsdBuilder::new();
+        b.start("r");
+        let x_ = b.ename.intern("x");
+        let y = b.ename.intern("y");
+        b.suffix_rule(
+            &["r"],
+            ContentModel::new(Regex::concat(vec![Regex::sym(x_), Regex::sym(y)])),
+        );
+        b.suffix_rule(&["x"], ContentModel::empty());
+        b.suffix_rule(&["y"], ContentModel::empty());
+        let x = b.build().unwrap();
+        let good = elem("r").child(elem("x")).child(elem("y")).build();
+        let bad = elem("r").child(elem("y")).child(elem("x")).build();
+        for sem in [Semantics::Priority, Semantics::Universal, Semantics::Existential] {
+            assert!(conforms(&x, &good, sem), "{sem:?}");
+            assert!(!conforms(&x, &bad, sem), "{sem:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_root_rejected_everywhere() {
+        let x = overlapping();
+        let doc = elem("zzz").build();
+        for sem in [Semantics::Priority, Semantics::Universal, Semantics::Existential] {
+            assert!(!conforms(&x, &doc, sem));
+        }
+    }
+}

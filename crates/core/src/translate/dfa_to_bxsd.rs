@@ -1,0 +1,159 @@
+//! Algorithm 2: translating a DFA-based XSD into an equivalent BXSD
+//! (Lemma 5 — linearly many rules, but possibly exponential-size regexes).
+//!
+//! ```text
+//! 1: for every state q:  rq := a regular expression for (Q, EName, δ, q0, {q})
+//! 2:                     sq := λ(q)
+//! 3: R := rq1 → sq1, …, rqn → sqn
+//! ```
+//!
+//! Line 1 is the DFA→regex conversion that is exponential in the worst
+//! case (Ehrenfeucht & Zeiger; Theorem 8 of the paper shows the blow-up is
+//! unavoidable even with BonXai's priorities). The rule order is
+//! arbitrary because the languages `L(rq)` are pairwise disjoint — `A` is
+//! deterministic, so every ancestor string reaches exactly one state.
+
+use std::collections::BTreeSet;
+
+use relang::ops::eliminate::language_reaching;
+use relang::regex::props::is_empty_language;
+use xsd::DfaXsd;
+
+use crate::bxsd::{Bxsd, Rule};
+
+/// Translates a DFA-based XSD into an equivalent BXSD.
+///
+/// States unreachable from `q0` produce empty ancestor languages and are
+/// skipped (their rules could never be relevant).
+pub fn dfa_xsd_to_bxsd(schema: &DfaXsd) -> Bxsd {
+    let q0 = schema.dfa.initial();
+    let mut rules = Vec::new();
+    for q in 0..schema.dfa.n_states() {
+        if q == q0 {
+            continue;
+        }
+        let rq = language_reaching(&schema.dfa, q);
+        if is_empty_language(&rq) {
+            continue;
+        }
+        rules.push(Rule::new(rq, schema.model(q).clone()));
+    }
+    let start: BTreeSet<_> = schema.roots.iter().copied().collect();
+    Bxsd::new(schema.ename.clone(), start, rules)
+        .expect("content models are moved verbatim, so UPA is preserved")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::is_valid as bxsd_valid;
+    use relang::ops::language::intersection_witness;
+    use relang::Regex;
+    use xmltree::builder::elem;
+    use xsd::{ContentModel, DfaXsdBuilder};
+
+    fn example() -> DfaXsd {
+        let mut b = DfaXsdBuilder::new();
+        let q_doc = b.add_state();
+        let q_template = b.add_state();
+        let q_content = b.add_state();
+        let q_tsec = b.add_state();
+        let q_sec = b.add_state();
+        b.root("document");
+        b.transition(0, "document", q_doc);
+        b.transition(q_doc, "template", q_template);
+        b.transition(q_doc, "content", q_content);
+        b.transition(q_template, "section", q_tsec);
+        b.transition(q_tsec, "section", q_tsec);
+        b.transition(q_content, "section", q_sec);
+        b.transition(q_sec, "section", q_sec);
+        let template = b.ename.lookup("template").unwrap();
+        let content = b.ename.lookup("content").unwrap();
+        let section = b.ename.lookup("section").unwrap();
+        b.lambda(
+            q_doc,
+            ContentModel::new(Regex::concat(vec![
+                Regex::sym(template),
+                Regex::sym(content),
+            ])),
+        );
+        b.lambda(q_template, ContentModel::new(Regex::opt(Regex::sym(section))));
+        b.lambda(q_content, ContentModel::new(Regex::star(Regex::sym(section))));
+        b.lambda(q_tsec, ContentModel::new(Regex::opt(Regex::sym(section))));
+        b.lambda(
+            q_sec,
+            ContentModel::new(Regex::star(Regex::sym(section))).with_mixed(true),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn produces_one_rule_per_reachable_state() {
+        let d = example();
+        let b = dfa_xsd_to_bxsd(&d);
+        assert_eq!(b.n_rules(), 5);
+    }
+
+    #[test]
+    fn rule_languages_are_pairwise_disjoint() {
+        let d = example();
+        let b = dfa_xsd_to_bxsd(&d);
+        let n = b.ename.len();
+        for i in 0..b.n_rules() {
+            for j in i + 1..b.n_rules() {
+                assert_eq!(
+                    intersection_witness(&b.rules[i].ancestor, &b.rules[j].ancestor, n),
+                    None,
+                    "rules {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn translation_preserves_validation() {
+        let d = example();
+        let b = dfa_xsd_to_bxsd(&d);
+        let docs = [
+            elem("document")
+                .child(elem("template").child(elem("section").child(elem("section"))))
+                .child(elem("content").child(elem("section").text("t")))
+                .build(),
+            elem("document")
+                .child(
+                    elem("template")
+                        .child(elem("section"))
+                        .child(elem("section")),
+                )
+                .child(elem("content"))
+                .build(),
+            elem("document")
+                .child(elem("template"))
+                .child(elem("content").child(elem("section").text("ok")))
+                .build(),
+            elem("template").build(),
+        ];
+        for doc in &docs {
+            assert_eq!(
+                d.is_valid(doc),
+                bxsd_valid(&b, doc),
+                "{}",
+                xmltree::to_string(doc)
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_states_are_dropped() {
+        let mut builder = DfaXsdBuilder::new();
+        let q1 = builder.add_state();
+        let orphan = builder.add_state();
+        builder.root("a");
+        builder.transition(0, "a", q1);
+        builder.lambda(q1, ContentModel::empty());
+        builder.lambda(orphan, ContentModel::empty());
+        let d = builder.build().unwrap();
+        let b = dfa_xsd_to_bxsd(&d);
+        assert_eq!(b.n_rules(), 1);
+    }
+}

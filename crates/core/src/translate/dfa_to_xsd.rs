@@ -1,0 +1,153 @@
+//! Algorithm 4: translating a DFA-based XSD to an equivalent XSD
+//! (Lemma 7 — linear time).
+//!
+//! ```text
+//! 1: Types := Q
+//! 2: T0 := {a[δ(q0, a)] | a ∈ S, δ(q0, a) ≠ ∅}
+//! 3: for each state q, ρ(q) := λ(q) with every a replaced by a[δ(q, a)]
+//! ```
+//!
+//! In the factored representation the relabeling of line 3 is just the
+//! construction of the child-type map from δ — the regexes are moved
+//! verbatim, preserving UPA.
+
+use std::collections::BTreeMap;
+
+use relang::Sym;
+use xsd::{DfaXsd, TypeId, Xsd};
+
+/// Translates a DFA-based XSD into an equivalent XSD.
+///
+/// Non-initial state `q` becomes the type named `T{q}`; unreachable states
+/// are kept (they are harmless and keep the mapping trivial — run
+/// [`xsd::minimize_types`] afterwards to drop them and merge equivalents).
+pub fn dfa_xsd_to_xsd(schema: &DfaXsd) -> Xsd {
+    let q0 = schema.dfa.initial();
+    // Dense type ids for all non-initial states.
+    let mut type_of_state: BTreeMap<usize, TypeId> = BTreeMap::new();
+    for q in 0..schema.dfa.n_states() {
+        if q == q0 {
+            continue;
+        }
+        type_of_state.insert(q, TypeId(type_of_state.len() as u32));
+    }
+    // Line 3: ρ(q) from λ(q) and δ(q, ·).
+    let mut defs = Vec::with_capacity(type_of_state.len());
+    for q in 0..schema.dfa.n_states() {
+        if q == q0 {
+            continue;
+        }
+        let model = schema.model(q).clone();
+        let child_type: BTreeMap<Sym, TypeId> = model
+            .regex
+            .symbols()
+            .into_iter()
+            .map(|a| {
+                let t = schema
+                    .dfa
+                    .transition(q, a)
+                    .expect("DfaXsd invariant: names in λ(q) are wired");
+                (a, type_of_state[&t])
+            })
+            .collect();
+        defs.push((
+            format!("T{q}"),
+            xsd::TypeDef {
+                content: model,
+                child_type,
+            },
+        ));
+    }
+    // Line 2: T0.
+    let t0: BTreeMap<Sym, TypeId> = schema
+        .roots
+        .iter()
+        .filter_map(|&a| {
+            schema
+                .dfa
+                .transition(q0, a)
+                .map(|t| (a, type_of_state[&t]))
+        })
+        .collect();
+
+    Xsd::new(schema.ename.clone(), defs, t0)
+        .expect("a valid DFA-based XSD yields a valid XSD")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::xsd_to_dfa::xsd_to_dfa_xsd;
+    use relang::Regex;
+    use xmltree::builder::elem;
+    use xsd::{ContentModel, DfaXsdBuilder};
+
+    fn example() -> DfaXsd {
+        let mut b = DfaXsdBuilder::new();
+        let q_doc = b.add_state();
+        let q_template = b.add_state();
+        let q_content = b.add_state();
+        let q_tsec = b.add_state();
+        let q_sec = b.add_state();
+        b.root("document");
+        b.transition(0, "document", q_doc);
+        b.transition(q_doc, "template", q_template);
+        b.transition(q_doc, "content", q_content);
+        b.transition(q_template, "section", q_tsec);
+        b.transition(q_tsec, "section", q_tsec);
+        b.transition(q_content, "section", q_sec);
+        b.transition(q_sec, "section", q_sec);
+        let template = b.ename.lookup("template").unwrap();
+        let content = b.ename.lookup("content").unwrap();
+        let section = b.ename.lookup("section").unwrap();
+        b.lambda(
+            q_doc,
+            ContentModel::new(Regex::concat(vec![
+                Regex::sym(template),
+                Regex::sym(content),
+            ])),
+        );
+        b.lambda(q_template, ContentModel::new(Regex::opt(Regex::sym(section))));
+        b.lambda(q_content, ContentModel::new(Regex::star(Regex::sym(section))));
+        b.lambda(q_tsec, ContentModel::new(Regex::opt(Regex::sym(section))));
+        b.lambda(
+            q_sec,
+            ContentModel::new(Regex::star(Regex::sym(section))).with_mixed(true),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_with_algorithm_1() {
+        let d = example();
+        let x = dfa_xsd_to_xsd(&d);
+        assert_eq!(x.n_types(), d.n_states() - 1);
+        let d2 = xsd_to_dfa_xsd(&x);
+        // same language on samples
+        let docs = [
+            elem("document")
+                .child(elem("template").child(elem("section").child(elem("section"))))
+                .child(elem("content").child(elem("section").text("t")))
+                .build(),
+            elem("document")
+                .child(elem("template").child(elem("section").text("bad")))
+                .child(elem("content"))
+                .build(),
+            elem("document").child(elem("content")).build(),
+        ];
+        for doc in &docs {
+            assert_eq!(d.is_valid(doc), xsd::is_valid(&x, doc));
+            assert_eq!(d.is_valid(doc), d2.is_valid(doc));
+        }
+    }
+
+    #[test]
+    fn content_models_are_moved_not_rebuilt() {
+        let d = example();
+        let x = dfa_xsd_to_xsd(&d);
+        for q in 1..d.n_states() {
+            let t = x.type_by_name(&format!("T{q}")).unwrap();
+            assert_eq!(x.content(t), d.model(q));
+        }
+    }
+}

@@ -1,0 +1,644 @@
+//! The efficient translations for the k-suffix fragment (Section 4.4).
+//!
+//! * **Theorem 12**: each k-suffix based BXSD translates in polynomial
+//!   time into an equivalent k-suffix DFA-based XSD of linear size —
+//!   implemented with an Aho–Corasick automaton over the rule words
+//!   ([`suffix_bxsd_to_dfa_xsd`]), rather than the exponential product of
+//!   Algorithm 3.
+//! * **Theorem 13**: for constant k, each k-suffix DFA-based XSD
+//!   translates in polynomial time into an equivalent k-suffix based BXSD
+//!   ([`k_suffix_dfa_to_bxsd`]) — no DFA-to-regex state elimination, so
+//!   the Theorem 8 blow-up is avoided.
+//!
+//! A *suffix language* (Definition 11) is `{w}` or `L(EName* w)`; a BXSD
+//! is k-suffix based if every rule's LHS is a suffix language with
+//! `|w| ≤ k`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use relang::{Dfa, Regex, Sym};
+use xsd::{ContentModel, DfaXsd};
+
+use crate::bxsd::{Bxsd, Rule};
+
+/// A suffix language (Definition 11).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SuffixLang {
+    /// `{w}` — exactly the word `w`.
+    Exact(Vec<Sym>),
+    /// `L(EName* w)` — all strings ending in `w`.
+    Suffix(Vec<Sym>),
+}
+
+impl SuffixLang {
+    /// The word `w`.
+    pub fn word(&self) -> &[Sym] {
+        match self {
+            SuffixLang::Exact(w) | SuffixLang::Suffix(w) => w,
+        }
+    }
+}
+
+/// Recognizes whether `r` denotes a suffix language over an alphabet of
+/// `n_syms` symbols (syntactically: a word, or `EName* · word`).
+pub fn classify_suffix(r: &Regex, n_syms: usize) -> Option<SuffixLang> {
+    if let Some(w) = as_word(r) {
+        return Some(SuffixLang::Exact(w));
+    }
+    match r {
+        Regex::Star(inner) if is_full_symset(inner, n_syms) => {
+            Some(SuffixLang::Suffix(Vec::new()))
+        }
+        Regex::Concat(parts) if !parts.is_empty() => {
+            let (head, tail) = parts.split_first().expect("nonempty");
+            let prefix_ok = matches!(head, Regex::Star(inner) if is_full_symset(inner, n_syms));
+            if !prefix_ok {
+                return None;
+            }
+            let mut w = Vec::with_capacity(tail.len());
+            for p in tail {
+                match p {
+                    Regex::Sym(s) => w.push(*s),
+                    _ => return None,
+                }
+            }
+            Some(SuffixLang::Suffix(w))
+        }
+        _ => None,
+    }
+}
+
+/// If every rule LHS is a suffix language, returns the rules' words (in
+/// rule order) and the fragment's k = the maximum word length.
+pub fn classify_bxsd(bxsd: &Bxsd) -> Option<(Vec<SuffixLang>, usize)> {
+    let n = bxsd.ename.len();
+    let langs: Option<Vec<SuffixLang>> = bxsd
+        .rules
+        .iter()
+        .map(|r| classify_suffix(&r.ancestor, n))
+        .collect();
+    let langs = langs?;
+    let k = langs.iter().map(|l| l.word().len()).max().unwrap_or(0);
+    Some((langs, k))
+}
+
+fn as_word(r: &Regex) -> Option<Vec<Sym>> {
+    match r {
+        Regex::Epsilon => Some(Vec::new()),
+        Regex::Sym(s) => Some(vec![*s]),
+        Regex::Concat(parts) => {
+            let mut w = Vec::with_capacity(parts.len());
+            for p in parts {
+                match p {
+                    Regex::Sym(s) => w.push(*s),
+                    _ => return None,
+                }
+            }
+            Some(w)
+        }
+        _ => None,
+    }
+}
+
+fn is_full_symset(r: &Regex, n_syms: usize) -> bool {
+    let syms: BTreeSet<Sym> = match r {
+        Regex::Sym(s) => [*s].into(),
+        Regex::Alt(parts) => {
+            let mut set = BTreeSet::new();
+            for p in parts {
+                match p {
+                    Regex::Sym(s) => {
+                        set.insert(*s);
+                    }
+                    _ => return false,
+                }
+            }
+            set
+        }
+        _ => return false,
+    };
+    syms.len() == n_syms
+}
+
+// ---------------------------------------------------------------------
+// Theorem 12: suffix-based BXSD → DFA-based XSD via Aho–Corasick.
+// ---------------------------------------------------------------------
+
+/// Error cases of the fast path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KSuffixError {
+    /// Some rule LHS is not a suffix language — use Algorithm 3 instead.
+    NotSuffixBased {
+        /// Index of the offending rule.
+        rule: usize,
+    },
+    /// The schema is not k-suffix: two states share a k-suffix.
+    NotKSuffix {
+        /// The shared suffix (as names).
+        suffix: Vec<String>,
+    },
+    /// Exploration exceeded the state budget.
+    BudgetExceeded,
+}
+
+impl std::fmt::Display for KSuffixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KSuffixError::NotSuffixBased { rule } => {
+                write!(f, "rule {rule} is not a suffix language")
+            }
+            KSuffixError::NotKSuffix { suffix } => {
+                write!(f, "schema is not k-suffix: suffix {suffix:?} is ambiguous")
+            }
+            KSuffixError::BudgetExceeded => write!(f, "state budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for KSuffixError {}
+
+/// Translates a suffix-based BXSD into an equivalent DFA-based XSD in
+/// polynomial time (Theorem 12).
+///
+/// The automaton is an Aho–Corasick machine over the rule words: its
+/// state after reading an ancestor string knows exactly which rule words
+/// are suffixes of the string (the AC output function), which determines
+/// the relevant rule. Exact-word rules `{w}` additionally need the depth
+/// capped at `D+1` where `D` is the longest exact word.
+pub fn suffix_bxsd_to_dfa_xsd(bxsd: &Bxsd) -> Result<DfaXsd, KSuffixError> {
+    let n = bxsd.ename.len();
+    let langs: Vec<SuffixLang> = bxsd
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            classify_suffix(&r.ancestor, n).ok_or(KSuffixError::NotSuffixBased { rule: i })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let ac = AhoCorasick::build(&langs, n);
+    // Depth cap: exact rules need exact depths up to D; beyond D+1 all
+    // depths behave identically.
+    let depth_cap = langs
+        .iter()
+        .filter(|l| matches!(l, SuffixLang::Exact(_)))
+        .map(|l| l.word().len())
+        .max()
+        .map_or(1, |d| d + 1);
+
+    // Relevant rule for an (ac state, capped depth) pair.
+    let relevant = |ac_state: usize, depth: usize| -> Option<usize> {
+        ac.outputs[ac_state]
+            .iter()
+            .rev()
+            .copied()
+            .find(|&i| match &langs[i] {
+                SuffixLang::Suffix(_) => true,
+                SuffixLang::Exact(w) => depth == w.len(),
+            })
+    };
+
+    // Explore reachable (ac, depth) states; fresh q0 = state 0.
+    let mut ids: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut order: Vec<(usize, usize)> = Vec::new();
+    let mut transitions: Vec<Vec<usize>> = Vec::new(); // per state, per sym
+    let mut queue = VecDeque::new();
+    let mut intern = |key: (usize, usize),
+                      order: &mut Vec<(usize, usize)>,
+                      queue: &mut VecDeque<(usize, usize)>| {
+        *ids.entry(key).or_insert_with(|| {
+            order.push(key);
+            queue.push_back(key);
+            order.len() - 1
+        })
+    };
+
+    // Root transitions from q0.
+    let mut root_targets: BTreeMap<Sym, usize> = BTreeMap::new();
+    for &a in &bxsd.start {
+        let key = (ac.goto(ac.root, a), 1.min(depth_cap));
+        let id = intern(key, &mut order, &mut queue);
+        root_targets.insert(a, id);
+    }
+    while let Some((acs, d)) = queue.pop_front() {
+        let mut row = Vec::with_capacity(n);
+        for a in 0..n {
+            let key = (ac.goto(acs, Sym(a as u32)), (d + 1).min(depth_cap));
+            row.push(intern(key, &mut order, &mut queue));
+        }
+        transitions.push(row);
+    }
+
+    let n_states = 1 + order.len();
+    let mut dfa = Dfa::new(n, n_states, 0);
+    for (&a, &t) in &root_targets {
+        dfa.set_transition(0, a, Some(1 + t));
+    }
+    for (p, row) in transitions.iter().enumerate() {
+        for (a, &t) in row.iter().enumerate() {
+            dfa.set_transition(1 + p, Sym(a as u32), Some(1 + t));
+        }
+    }
+    let mut lambda: Vec<Option<ContentModel>> = vec![None; n_states];
+    for (p, &(acs, d)) in order.iter().enumerate() {
+        lambda[1 + p] = Some(match relevant(acs, d) {
+            Some(i) => bxsd.rules[i].content.clone(),
+            None => ContentModel::any_content(&bxsd.ename),
+        });
+    }
+    let roots: BTreeSet<Sym> = bxsd.start.iter().copied().collect();
+    Ok(DfaXsd::new(bxsd.ename.clone(), dfa, roots, lambda)
+        .expect("Aho–Corasick construction satisfies Definition 3"))
+}
+
+/// A complete-goto Aho–Corasick automaton over the rule words.
+struct AhoCorasick {
+    root: usize,
+    /// goto table: per node, per symbol.
+    table: Vec<Vec<usize>>,
+    /// Rule indices whose word is a suffix of the input at this node,
+    /// sorted ascending.
+    outputs: Vec<Vec<usize>>,
+}
+
+impl AhoCorasick {
+    fn goto(&self, node: usize, a: Sym) -> usize {
+        self.table[node][a.index()]
+    }
+
+    #[allow(clippy::needless_range_loop)] // goto-table row indexing
+    fn build(langs: &[SuffixLang], n_syms: usize) -> AhoCorasick {
+        // Trie.
+        let mut children: Vec<BTreeMap<Sym, usize>> = vec![BTreeMap::new()];
+        let mut ends: Vec<Vec<usize>> = vec![Vec::new()];
+        for (i, lang) in langs.iter().enumerate() {
+            let mut node = 0usize;
+            for &a in lang.word() {
+                node = match children[node].get(&a) {
+                    Some(&c) => c,
+                    None => {
+                        children.push(BTreeMap::new());
+                        ends.push(Vec::new());
+                        let c = children.len() - 1;
+                        children[node].insert(a, c);
+                        c
+                    }
+                };
+            }
+            ends[node].push(i);
+        }
+        let n_nodes = children.len();
+        // Failure links + complete goto via BFS.
+        let mut fail = vec![0usize; n_nodes];
+        let mut table = vec![vec![0usize; n_syms]; n_nodes];
+        let mut outputs: Vec<Vec<usize>> = ends.clone();
+        let mut queue = VecDeque::new();
+        for a in 0..n_syms {
+            match children[0].get(&Sym(a as u32)) {
+                Some(&c) => {
+                    fail[c] = 0;
+                    table[0][a] = c;
+                    queue.push_back(c);
+                }
+                None => table[0][a] = 0,
+            }
+        }
+        while let Some(node) = queue.pop_front() {
+            let mut out = outputs[fail[node]].clone();
+            out.extend(outputs[node].iter().copied());
+            out.sort_unstable();
+            out.dedup();
+            outputs[node] = out;
+            for a in 0..n_syms {
+                match children[node].get(&Sym(a as u32)) {
+                    Some(&c) => {
+                        fail[c] = table[fail[node]][a];
+                        table[node][a] = c;
+                        queue.push_back(c);
+                    }
+                    None => table[node][a] = table[fail[node]][a],
+                }
+            }
+        }
+        AhoCorasick {
+            root: 0,
+            table,
+            outputs,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 13: k-suffix DFA-based XSD → suffix-based BXSD.
+// ---------------------------------------------------------------------
+
+/// Translates a k-suffix DFA-based XSD into an equivalent k-suffix based
+/// BXSD (Theorem 13), verifying the k-suffix property along the way.
+///
+/// Rules are emitted with pairwise disjoint left-hand sides — exact words
+/// `{w}` for realizable ancestor strings shorter than k, suffix rules
+/// `EName* w` for the realizable k-suffixes — so priorities are irrelevant
+/// in the output, as the paper observes for this fragment.
+pub fn k_suffix_dfa_to_bxsd(
+    schema: &DfaXsd,
+    k: usize,
+    budget: usize,
+) -> Result<Bxsd, KSuffixError> {
+    let dfa = &schema.dfa;
+    let q0 = dfa.initial();
+    let allowed: Vec<BTreeSet<Sym>> = (0..dfa.n_states())
+        .map(|q| {
+            if q == q0 {
+                schema.roots.iter().copied().collect()
+            } else {
+                schema.model(q).regex.symbols().into_iter().collect()
+            }
+        })
+        .collect();
+
+    // Explore realizable (state, suffix ≤ k) pairs; exact strings are
+    // those still shorter than k.
+    let mut short: BTreeMap<Vec<Sym>, usize> = BTreeMap::new();
+    let mut long: BTreeMap<Vec<Sym>, usize> = BTreeMap::new();
+    let mut seen: BTreeSet<(usize, Vec<Sym>, bool)> = BTreeSet::new();
+    let start = (q0, Vec::new(), true);
+    seen.insert(start.clone());
+    let mut queue = VecDeque::from([start]);
+    while let Some((q, suffix, is_exact)) = queue.pop_front() {
+        if seen.len() > budget {
+            return Err(KSuffixError::BudgetExceeded);
+        }
+        if q != q0 {
+            let map = if is_exact && suffix.len() < k {
+                &mut short
+            } else {
+                &mut long
+            };
+            if let Some(&prev) = map.get(&suffix) {
+                if prev != q {
+                    return Err(KSuffixError::NotKSuffix {
+                        suffix: suffix
+                            .iter()
+                            .map(|&s| schema.ename.name(s).to_owned())
+                            .collect(),
+                    });
+                }
+            } else {
+                map.insert(suffix.clone(), q);
+            }
+        }
+        for &a in &allowed[q] {
+            let Some(t) = dfa.transition(q, a) else { continue };
+            let mut next = suffix.clone();
+            next.push(a);
+            let mut next_exact = is_exact;
+            if next.len() > k {
+                next.remove(0);
+                next_exact = false;
+            }
+            let item = (t, next, next_exact);
+            if seen.insert(item.clone()) {
+                queue.push_back(item);
+            }
+        }
+    }
+
+    // Emit rules: exact short strings first, then k-suffixes (the order
+    // is irrelevant — the LHS languages are pairwise disjoint).
+    let any = Regex::star(Regex::sym_set(schema.ename.symbols()));
+    let mut rules = Vec::with_capacity(short.len() + long.len());
+    for (w, q) in &short {
+        rules.push(Rule::new(Regex::word(w), schema.model(*q).clone()));
+    }
+    for (w, q) in &long {
+        let mut parts = vec![any.clone()];
+        parts.extend(w.iter().map(|&s| Regex::sym(s)));
+        rules.push(Rule::new(Regex::concat(parts), schema.model(*q).clone()));
+    }
+    let start: BTreeSet<Sym> = schema.roots.iter().copied().collect();
+    Ok(Bxsd::new(schema.ename.clone(), start, rules)
+        .expect("content models are moved verbatim, so UPA is preserved"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bxsd::BxsdBuilder;
+    use crate::translate::bxsd_to_dfa::bxsd_to_dfa_xsd;
+    use crate::validate::is_valid as bxsd_valid;
+    use xmltree::builder::elem;
+    use xsd::DfaXsdBuilder;
+
+    #[test]
+    fn classify_recognizes_shapes() {
+        let mut b = BxsdBuilder::new();
+        b.start("a");
+        let a = b.ename.intern("a");
+        let c = b.ename.intern("c");
+        // //a c
+        b.suffix_rule(&["a", "c"], ContentModel::empty());
+        // exact word a c
+        b.rule(Regex::word(&[a, c]), ContentModel::empty());
+        // not a suffix language: (a + c a)
+        b.rule(
+            Regex::alt(vec![Regex::sym(a), Regex::word(&[c, a])]),
+            ContentModel::empty(),
+        );
+        let x = b.build().unwrap();
+        let n = x.ename.len();
+        assert_eq!(
+            classify_suffix(&x.rules[0].ancestor, n),
+            Some(SuffixLang::Suffix(vec![a, c]))
+        );
+        assert_eq!(
+            classify_suffix(&x.rules[1].ancestor, n),
+            Some(SuffixLang::Exact(vec![a, c]))
+        );
+        assert_eq!(classify_suffix(&x.rules[2].ancestor, n), None);
+        assert!(classify_bxsd(&x).is_none());
+    }
+
+    /// A 2-suffix schema exercising priorities between overlapping
+    /// suffix rules.
+    fn suffix_schema() -> Bxsd {
+        let mut b = BxsdBuilder::new();
+        b.start("doc");
+        let sec = b.ename.intern("sec");
+        let tpl = b.ename.intern("tpl");
+        b.suffix_rule(
+            &["doc"],
+            ContentModel::new(Regex::concat(vec![
+                Regex::sym(tpl),
+                Regex::star(Regex::sym(sec)),
+            ])),
+        );
+        b.suffix_rule(&["tpl"], ContentModel::new(Regex::opt(Regex::sym(sec))));
+        b.suffix_rule(
+            &["sec"],
+            ContentModel::new(Regex::star(Regex::sym(sec))).with_mixed(true),
+        );
+        b.suffix_rule(&["tpl", "sec"], ContentModel::new(Regex::opt(Regex::sym(sec))));
+        b.build().unwrap()
+    }
+
+    fn sample_docs() -> Vec<xmltree::Document> {
+        vec![
+            elem("doc")
+                .child(elem("tpl").child(elem("sec").child(elem("sec").text("deep"))))
+                .child(elem("sec").text("hello"))
+                .build(),
+            elem("doc")
+                .child(elem("tpl").child(elem("sec").text("no text here")))
+                .build(),
+            elem("doc").child(elem("sec")).build(),
+            elem("doc")
+                .child(elem("tpl").child(elem("sec").child(elem("sec")).child(elem("sec"))))
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn fast_path_agrees_with_algorithm_3() {
+        let b = suffix_schema();
+        let fast = suffix_bxsd_to_dfa_xsd(&b).unwrap();
+        let slow = bxsd_to_dfa_xsd(&b);
+        for doc in &sample_docs() {
+            assert_eq!(
+                fast.is_valid(doc),
+                slow.is_valid(doc),
+                "{}",
+                xmltree::to_string(doc)
+            );
+            assert_eq!(fast.is_valid(doc), bxsd_valid(&b, doc));
+        }
+    }
+
+    #[test]
+    fn fast_path_output_is_k_suffix() {
+        let b = suffix_schema();
+        let fast = suffix_bxsd_to_dfa_xsd(&b).unwrap();
+        // all rules are suffix rules with |w| ≤ 2 and no exact rules
+        assert_eq!(
+            xsd::ksuffix::is_k_suffix(&fast, 2, 100_000),
+            xsd::ksuffix::KSuffixOutcome::Yes
+        );
+    }
+
+    #[test]
+    fn exact_rules_use_depth() {
+        let mut b = BxsdBuilder::new();
+        b.start("a");
+        let a = b.ename.intern("a");
+        // //a → a?   but the root itself (exact word "a") must have a child
+        b.suffix_rule(&["a"], ContentModel::new(Regex::opt(Regex::sym(a))));
+        b.rule(Regex::word(&[a]), ContentModel::new(Regex::sym(a)));
+        let x = b.build().unwrap();
+        let fast = suffix_bxsd_to_dfa_xsd(&x).unwrap();
+        let leaf_only = elem("a").build(); // root must have a child → invalid
+        let chain2 = elem("a").child(elem("a")).build();
+        let chain3 = elem("a").child(elem("a").child(elem("a"))).build();
+        for doc in [&leaf_only, &chain2, &chain3] {
+            assert_eq!(fast.is_valid(doc), bxsd_valid(&x, doc));
+        }
+        assert!(!fast.is_valid(&leaf_only));
+        assert!(fast.is_valid(&chain2));
+        assert!(fast.is_valid(&chain3));
+    }
+
+    /// Build a 2-suffix DFA-based XSD directly and convert it back.
+    #[test]
+    fn theorem13_roundtrip() {
+        let mut builder = DfaXsdBuilder::new();
+        let q_doc = builder.add_state();
+        let q_tsec = builder.add_state(); // sec under tpl-ish context
+        let q_sec = builder.add_state();
+        let q_tpl = builder.add_state();
+        builder.root("doc");
+        builder.transition(0, "doc", q_doc);
+        builder.transition(q_doc, "tpl", q_tpl);
+        builder.transition(q_doc, "sec", q_sec);
+        builder.transition(q_tpl, "sec", q_tsec);
+        builder.transition(q_tsec, "sec", q_sec);
+        builder.transition(q_sec, "sec", q_sec);
+        let sec = builder.ename.lookup("sec").unwrap();
+        let tpl = builder.ename.lookup("tpl").unwrap();
+        builder.lambda(
+            q_doc,
+            ContentModel::new(Regex::concat(vec![
+                Regex::opt(Regex::sym(tpl)),
+                Regex::star(Regex::sym(sec)),
+            ])),
+        );
+        builder.lambda(q_tpl, ContentModel::new(Regex::opt(Regex::sym(sec))));
+        builder.lambda(q_tsec, ContentModel::new(Regex::star(Regex::sym(sec))));
+        builder.lambda(
+            q_sec,
+            ContentModel::new(Regex::star(Regex::sym(sec))).with_mixed(true),
+        );
+        let schema = builder.build().unwrap();
+
+        let b = k_suffix_dfa_to_bxsd(&schema, 2, 100_000).unwrap();
+        // output is suffix-based with k ≤ 2
+        let (_, k) = classify_bxsd(&b).expect("output is suffix-based");
+        assert!(k <= 2);
+        // language agreement
+        let docs = [
+            elem("doc")
+                .child(elem("tpl").child(elem("sec").child(elem("sec").text("x"))))
+                .child(elem("sec"))
+                .build(),
+            elem("doc").child(elem("sec").child(elem("sec")).text("mix")).build(),
+            elem("doc").child(elem("sec")).child(elem("tpl")).build(),
+            elem("doc")
+                .child(elem("tpl").child(elem("sec").text("text not allowed")))
+                .build(),
+        ];
+        for doc in &docs {
+            assert_eq!(
+                schema.is_valid(doc),
+                bxsd_valid(&b, doc),
+                "{}",
+                xmltree::to_string(doc)
+            );
+        }
+    }
+
+    #[test]
+    fn theorem13_rejects_non_k_suffix() {
+        // The running example (template vs content sections at any depth)
+        // is not k-suffix for any k.
+        let mut builder = DfaXsdBuilder::new();
+        let q_doc = builder.add_state();
+        let q_t = builder.add_state();
+        let q_c = builder.add_state();
+        let q_ts = builder.add_state();
+        let q_cs = builder.add_state();
+        builder.root("doc");
+        builder.transition(0, "doc", q_doc);
+        builder.transition(q_doc, "t", q_t);
+        builder.transition(q_doc, "c", q_c);
+        builder.transition(q_t, "s", q_ts);
+        builder.transition(q_ts, "s", q_ts);
+        builder.transition(q_c, "s", q_cs);
+        builder.transition(q_cs, "s", q_cs);
+        let t = builder.ename.lookup("t").unwrap();
+        let c = builder.ename.lookup("c").unwrap();
+        let s = builder.ename.lookup("s").unwrap();
+        builder.lambda(
+            q_doc,
+            ContentModel::new(Regex::concat(vec![Regex::sym(t), Regex::sym(c)])),
+        );
+        builder.lambda(q_t, ContentModel::new(Regex::opt(Regex::sym(s))));
+        builder.lambda(q_c, ContentModel::new(Regex::star(Regex::sym(s))));
+        builder.lambda(q_ts, ContentModel::new(Regex::opt(Regex::sym(s))));
+        builder.lambda(
+            q_cs,
+            ContentModel::new(Regex::star(Regex::sym(s))).with_mixed(true),
+        );
+        let schema = builder.build().unwrap();
+        assert!(matches!(
+            k_suffix_dfa_to_bxsd(&schema, 3, 100_000),
+            Err(KSuffixError::NotKSuffix { .. })
+        ));
+    }
+}

@@ -1,0 +1,162 @@
+//! Algorithm 1: translating an XSD to an equivalent DFA-based XSD
+//! (Lemma 4 — linear time).
+//!
+//! ```text
+//! 1: S := {a | ∃t such that a[t] ∈ T0}
+//! 2: Q := {q0} ⊎ Types
+//! 3: for each a[t] ∈ T0,  δ(q0, a) := t
+//! 4: for each t1 and a with a[t2] in ρ(t1),  δ(t1, a) := t2
+//! 5: for each t,  λ(t) := µ(ρ(t))     (µ drops the types from symbols)
+//! ```
+//!
+//! Our factored XSD representation already stores ρ(t) as a plain regex
+//! plus a child-type map, so µ is the identity on the regex — the content
+//! models are moved, never rebuilt, preserving UPA.
+
+use std::collections::BTreeSet;
+
+use relang::Dfa;
+use xsd::{DfaXsd, Xsd};
+
+/// Translates `xsd` into an equivalent DFA-based XSD.
+///
+/// State 0 is `q0`; state `1 + t` corresponds to type `t`.
+pub fn xsd_to_dfa_xsd(xsd: &Xsd) -> DfaXsd {
+    let n_states = 1 + xsd.n_types();
+    let mut dfa = Dfa::new(xsd.ename.len(), n_states, 0);
+
+    // Line 3: T0 wiring.
+    for (&a, &t) in xsd.start_elements() {
+        dfa.set_transition(0, a, Some(1 + t.index()));
+    }
+    // Line 4: child typing becomes the transition function.
+    for t1 in xsd.type_ids() {
+        for (&a, &t2) in &xsd.type_def(t1).child_type {
+            dfa.set_transition(1 + t1.index(), a, Some(1 + t2.index()));
+        }
+    }
+    // Line 5: λ(t) := µ(ρ(t)) — the content model, moved verbatim.
+    let mut lambda = vec![None; n_states];
+    for t in xsd.type_ids() {
+        lambda[1 + t.index()] = Some(xsd.content(t).clone());
+    }
+    // Line 1: S.
+    let roots: BTreeSet<_> = xsd.start_elements().keys().copied().collect();
+
+    DfaXsd::new(xsd.ename.clone(), dfa, roots, lambda)
+        .expect("a valid XSD yields a valid DFA-based XSD")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relang::Regex;
+    use xmltree::builder::elem;
+    use xsd::{ContentModel, TypeDef, XsdBuilder};
+
+    fn example() -> Xsd {
+        let mut b = XsdBuilder::new();
+        let document = b.ename.intern("document");
+        let template = b.ename.intern("template");
+        let content = b.ename.intern("content");
+        let section = b.ename.intern("section");
+        let t_doc = b.declare_type("Tdoc");
+        let t_template = b.declare_type("Ttemplate");
+        let t_content = b.declare_type("Tcontent");
+        let t_tsec = b.declare_type("TtemplateSection");
+        let t_sec = b.declare_type("Tsection");
+        b.define(
+            t_doc,
+            TypeDef {
+                content: ContentModel::new(Regex::concat(vec![
+                    Regex::sym(template),
+                    Regex::sym(content),
+                ])),
+                child_type: [(template, t_template), (content, t_content)].into(),
+            },
+        );
+        b.define(
+            t_template,
+            TypeDef {
+                content: ContentModel::new(Regex::opt(Regex::sym(section))),
+                child_type: [(section, t_tsec)].into(),
+            },
+        );
+        b.define(
+            t_content,
+            TypeDef {
+                content: ContentModel::new(Regex::star(Regex::sym(section))),
+                child_type: [(section, t_sec)].into(),
+            },
+        );
+        b.define(
+            t_tsec,
+            TypeDef {
+                content: ContentModel::new(Regex::opt(Regex::sym(section))),
+                child_type: [(section, t_tsec)].into(),
+            },
+        );
+        b.define(
+            t_sec,
+            TypeDef {
+                content: ContentModel::new(Regex::star(Regex::sym(section))).with_mixed(true),
+                child_type: [(section, t_sec)].into(),
+            },
+        );
+        b.add_start(document, t_doc);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn translation_is_linear_in_structure() {
+        let x = example();
+        let d = xsd_to_dfa_xsd(&x);
+        assert_eq!(d.n_states(), 1 + x.n_types());
+    }
+
+    #[test]
+    fn translation_preserves_validation() {
+        let x = example();
+        let d = xsd_to_dfa_xsd(&x);
+        let docs = [
+            // valid
+            elem("document")
+                .child(elem("template").child(elem("section")))
+                .child(elem("content").child(elem("section").text("hi")))
+                .build(),
+            // invalid: two template sections
+            elem("document")
+                .child(
+                    elem("template")
+                        .child(elem("section"))
+                        .child(elem("section")),
+                )
+                .child(elem("content"))
+                .build(),
+            // invalid: text in template section
+            elem("document")
+                .child(elem("template").child(elem("section").text("x")))
+                .child(elem("content"))
+                .build(),
+            // invalid root
+            elem("content").build(),
+        ];
+        for doc in &docs {
+            assert_eq!(
+                xsd::is_valid(&x, doc),
+                d.is_valid(doc),
+                "{}",
+                xmltree::to_string(doc)
+            );
+        }
+    }
+
+    #[test]
+    fn content_models_are_moved_not_rebuilt() {
+        let x = example();
+        let d = xsd_to_dfa_xsd(&x);
+        for t in x.type_ids() {
+            assert_eq!(d.model(1 + t.index()), x.content(t));
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Validation of documents against BXSDs under the priority semantics,
+//! with matched-rule reporting (the tool feature from \[19\]: "validate XML
+//! against them and highlights matching rules").
+
+use std::collections::BTreeMap;
+
+use relang::{CompiledDre, Dfa};
+use xmltree::{Document, NodeId};
+use xsd::violation::{Violation, ViolationKind};
+
+use crate::bxsd::Bxsd;
+
+/// Per-node rule-match information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeMatch {
+    /// All rule indices whose ancestor expression matches this node's
+    /// ancestor string, in schema order.
+    pub matching: Vec<usize>,
+    /// The relevant (highest-priority) rule, if any. Nodes with no
+    /// matching rule are unconstrained under Definition 1.
+    pub relevant: Option<usize>,
+}
+
+/// The result of validating a document against a BXSD.
+#[derive(Clone, Debug)]
+pub struct BxsdReport {
+    /// All violations (empty = the document conforms).
+    pub violations: Vec<Violation>,
+    /// Rule matches per element node.
+    pub matches: BTreeMap<NodeId, NodeMatch>,
+}
+
+impl BxsdReport {
+    /// Whether the document conforms.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A BXSD compiled for repeated validation: one DFA per ancestor
+/// expression (run in lock-step down the tree) and one matcher per
+/// content model.
+pub struct CompiledBxsd<'a> {
+    bxsd: &'a Bxsd,
+    ancestor_dfas: Vec<Dfa>,
+    content_matchers: Vec<CompiledDre>,
+}
+
+impl<'a> CompiledBxsd<'a> {
+    /// Compiles all rule expressions of `bxsd`.
+    pub fn new(bxsd: &'a Bxsd) -> Self {
+        let n = bxsd.ename.len();
+        let ancestor_dfas = bxsd
+            .rules
+            .iter()
+            .map(|r| relang::ops::regex_to_dfa(&r.ancestor, n))
+            .collect();
+        let content_matchers = bxsd
+            .rules
+            .iter()
+            .map(|r| CompiledDre::compile(&r.content.regex, n))
+            .collect();
+        CompiledBxsd {
+            bxsd,
+            ancestor_dfas,
+            content_matchers,
+        }
+    }
+
+    /// The underlying schema.
+    pub fn bxsd(&self) -> &Bxsd {
+        self.bxsd
+    }
+
+    /// Validates `doc` under the priority semantics.
+    pub fn validate(&self, doc: &Document) -> BxsdReport {
+        let mut report = BxsdReport {
+            violations: Vec::new(),
+            matches: BTreeMap::new(),
+        };
+        let root = doc.root();
+        let root_name = doc.name(root).expect("root is an element");
+        let root_sym = self.bxsd.ename.lookup(root_name);
+        if !root_sym.is_some_and(|s| self.bxsd.start.contains(&s)) {
+            report.violations.push(Violation {
+                node: root,
+                kind: ViolationKind::RootNotAllowed(root_name.to_owned()),
+            });
+            return report;
+        }
+        // Per-rule ancestor-DFA states (None = dead).
+        let init: Vec<Option<usize>> = self
+            .ancestor_dfas
+            .iter()
+            .map(|d| {
+                let sym = root_sym.expect("checked");
+                d.transition(d.initial(), sym)
+            })
+            .collect();
+        // Explicit work stack: documents can be arbitrarily deep.
+        let mut stack = vec![(root, init)];
+        while let Some((node, states)) = stack.pop() {
+            self.visit(doc, node, states, &mut report, &mut stack);
+        }
+        report
+    }
+
+    fn visit(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        states: Vec<Option<usize>>,
+        report: &mut BxsdReport,
+        stack: &mut Vec<(NodeId, Vec<Option<usize>>)>,
+    ) {
+        let matching: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| s.is_some_and(|q| self.ancestor_dfas[*i].is_final(q)))
+            .map(|(i, _)| i)
+            .collect();
+        let relevant = matching.last().copied();
+        report.matches.insert(
+            node,
+            NodeMatch {
+                matching: matching.clone(),
+                relevant,
+            },
+        );
+
+        // Child word over EName. Definition 1 considers trees labeled from
+        // EName; a name outside the alphabet is a violation at the child
+        // itself (and fails a constrained parent's content model) — this
+        // matches the behavior of the translated schemas, whose `(EName)*`
+        // filler states also reject foreign names.
+        let mut word = Vec::new();
+        let mut unknown_at = None;
+        for (i, child) in doc.element_children(node).enumerate() {
+            match self.bxsd.ename.lookup(doc.name(child).expect("element")) {
+                Some(sym) => word.push(sym),
+                None => {
+                    report.violations.push(Violation {
+                        node: child,
+                        kind: ViolationKind::NoGoverningDefinition(
+                            doc.name(child).expect("element").to_owned(),
+                        ),
+                    });
+                    unknown_at = Some(i);
+                    break;
+                }
+            }
+        }
+
+        if let Some(i) = relevant {
+            let model = &self.bxsd.rules[i].content;
+            let name = doc.name(node).expect("element");
+            xsd::violation::check_text(doc, node, model, &mut report.violations);
+            xsd::violation::check_attributes(doc, node, model, &mut report.violations);
+            let failed_at = unknown_at.or_else(|| {
+                if model.simple_content.is_some() {
+                    // simple content: no element children at all
+                    (!word.is_empty() || unknown_at.is_some()).then_some(0)
+                } else {
+                    self.content_matchers[i].first_error(&word)
+                }
+            });
+            if let Some(at) = failed_at {
+                report.violations.push(Violation {
+                    node,
+                    kind: ViolationKind::ContentModel {
+                        element: name.to_owned(),
+                        at,
+                    },
+                });
+            }
+        }
+
+        // Queue the children with advanced rule states. Children with
+        // unknown names get no matches.
+        for (i, child) in doc.element_children(node).enumerate() {
+            let next: Vec<Option<usize>> = match word.get(i) {
+                Some(&sym) => states
+                    .iter()
+                    .zip(&self.ancestor_dfas)
+                    .map(|(s, d)| s.and_then(|q| d.transition(q, sym)))
+                    .collect(),
+                None => vec![None; states.len()],
+            };
+            stack.push((child, next));
+        }
+    }
+}
+
+/// One-shot validation under the priority semantics.
+pub fn validate(bxsd: &Bxsd, doc: &Document) -> BxsdReport {
+    CompiledBxsd::new(bxsd).validate(doc)
+}
+
+/// Whether `doc` conforms to `bxsd` (priority semantics).
+pub fn is_valid(bxsd: &Bxsd, doc: &Document) -> bool {
+    validate(bxsd, doc).is_valid()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bxsd::BxsdBuilder;
+    use relang::{Regex, Sym};
+    use xmltree::builder::elem;
+    use xsd::{AttributeUse, ContentModel};
+
+    /// The Figure-5-style schema from the bxsd module tests, with a
+    /// required title on content sections.
+    fn example() -> Bxsd {
+        let mut b = BxsdBuilder::new();
+        b.start("document");
+        let template = b.ename.intern("template");
+        let content = b.ename.intern("content");
+        let section = b.ename.intern("section");
+        b.suffix_rule(
+            &["document"],
+            ContentModel::new(Regex::concat(vec![
+                Regex::sym(template),
+                Regex::sym(content),
+            ])),
+        );
+        b.suffix_rule(&["template"], ContentModel::new(Regex::opt(Regex::sym(section))));
+        b.suffix_rule(&["content"], ContentModel::new(Regex::star(Regex::sym(section))));
+        b.suffix_rule(
+            &["section"],
+            ContentModel::new(Regex::star(Regex::sym(section)))
+                .with_mixed(true)
+                .with_attributes([AttributeUse::required("title")]),
+        );
+        b.suffix_rule(
+            &["template", "section"],
+            ContentModel::new(Regex::opt(Regex::sym(section))),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accepts_valid_document() {
+        let x = example();
+        let doc = elem("document")
+            .child(elem("template").child(elem("section")))
+            .child(
+                elem("content")
+                    .child(elem("section").attr("title", "Intro").text("hi")),
+            )
+            .build();
+        let r = validate(&x, &doc);
+        assert!(r.is_valid(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn priority_overrides_general_rule() {
+        let x = example();
+        // A template section must NOT need a title (rule 4 wins over 3).
+        let doc = elem("document")
+            .child(elem("template").child(elem("section")))
+            .child(elem("content"))
+            .build();
+        let r = validate(&x, &doc);
+        assert!(r.is_valid(), "{:?}", r.violations);
+        // the template section matched rules [3, 4], relevant = 4
+        let tsec = doc
+            .elements()
+            .into_iter()
+            .find(|&n| {
+                doc.name(n) == Some("section")
+            })
+            .unwrap();
+        let m = &r.matches[&tsec];
+        assert_eq!(m.matching, vec![3, 4]);
+        assert_eq!(m.relevant, Some(4));
+    }
+
+    #[test]
+    fn general_rule_applies_where_special_does_not() {
+        let x = example();
+        // content section without title: rule 3 is relevant → violation
+        let doc = elem("document")
+            .child(elem("template"))
+            .child(elem("content").child(elem("section")))
+            .build();
+        let r = validate(&x, &doc);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::MissingAttribute(a) if a == "title")));
+    }
+
+    #[test]
+    fn nodes_without_matching_rule_are_unconstrained() {
+        let mut b = BxsdBuilder::new();
+        b.start("a");
+        let a = b.ename.intern("a");
+        let bb = b.ename.intern("b");
+        // only rule: a's children must be b
+        b.rule(
+            Regex::word(&[a]),
+            ContentModel::new(Regex::sym(bb)),
+        );
+        let x = b.build().unwrap();
+        // b itself has no rule: anything under it is fine (Definition 1)
+        let doc = elem("a")
+            .child(elem("b").child(elem("b")).child(elem("b")).text("text"))
+            .build();
+        let r = validate(&x, &doc);
+        assert!(r.is_valid(), "{:?}", r.violations);
+        let bnode = doc.element_children(doc.root()).next().unwrap();
+        assert_eq!(r.matches[&bnode].relevant, None);
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let x = example();
+        let doc = elem("section").build();
+        let r = validate(&x, &doc);
+        assert!(matches!(
+            r.violations[0].kind,
+            ViolationKind::RootNotAllowed(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_child_fails_constrained_parent() {
+        let x = example();
+        let doc = elem("document")
+            .child(elem("template"))
+            .child(elem("content").child(elem("zzz")))
+            .build();
+        let r = validate(&x, &doc);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::ContentModel { element, at: 0 } if element == "content")));
+    }
+
+    #[test]
+    fn compiled_validator_agrees_with_reference_relevance() {
+        let x = example();
+        let doc = elem("document")
+            .child(elem("template").child(elem("section").child(elem("section"))))
+            .child(
+                elem("content").child(
+                    elem("section")
+                        .attr("title", "t")
+                        .child(elem("section").attr("title", "u")),
+                ),
+            )
+            .build();
+        let r = validate(&x, &doc);
+        for (&node, m) in &r.matches {
+            let path: Vec<Sym> = doc
+                .anc_str(node)
+                .iter()
+                .map(|n| x.ename.lookup(n).unwrap())
+                .collect();
+            assert_eq!(m.relevant, x.relevant_rule(&path), "node {node:?}");
+        }
+    }
+}

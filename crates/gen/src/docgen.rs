@@ -1,0 +1,469 @@
+//! Sampling conforming documents from a DFA-based XSD.
+//!
+//! Used by the validation benchmarks and the round-trip property tests:
+//! translations are checked not only on automata but on actual documents
+//! drawn from the schema's language.
+
+use rand::prelude::*;
+use relang::{Dfa, Sym};
+use xmltree::{Document, NodeId};
+use xsd::{DfaXsd, SimpleType};
+
+/// Tuning knobs for document generation.
+#[derive(Clone, Copy, Debug)]
+pub struct DocConfig {
+    /// Soft cap on the number of element nodes.
+    pub max_nodes: usize,
+    /// Hard cap on tree depth (beyond it, shortest completions are used).
+    pub max_depth: usize,
+    /// Probability of taking a continuing transition instead of stopping
+    /// at an accepting content-model state.
+    pub continue_prob: f64,
+    /// Probability of emitting an optional attribute.
+    pub optional_attr_prob: f64,
+}
+
+impl Default for DocConfig {
+    fn default() -> Self {
+        DocConfig {
+            max_nodes: 200,
+            max_depth: 12,
+            continue_prob: 0.6,
+            optional_attr_prob: 0.5,
+        }
+    }
+}
+
+/// Samples a document conforming to `schema`.
+///
+/// Returns `None` if the schema has no roots or no root admits a *finite*
+/// conforming document. Finishability of each state (does a finite
+/// conforming subtree exist below it?) is computed as a least fixpoint
+/// first, and word sampling is restricted to finishable successor states,
+/// so generation always terminates and samples are always valid.
+pub fn sample_document(
+    schema: &DfaXsd,
+    cfg: &DocConfig,
+    rng: &mut impl Rng,
+) -> Option<Document> {
+    let n_states = schema.dfa.n_states();
+    let n_syms = schema.ename.len();
+    let q0 = schema.dfa.initial();
+
+    // Base DFAs of the content models.
+    let dfas: Vec<Option<Dfa>> = schema
+        .lambda
+        .iter()
+        .map(|m| m.as_ref().map(|cm| relang::ops::regex_to_dfa(&cm.regex, n_syms)))
+        .collect();
+
+    // Least fixpoint: a state is finishable iff its content model accepts
+    // some word whose symbols all lead to finishable states. The round in
+    // which a state is marked bounds the minimal height of a conforming
+    // subtree below it — the strictly decreasing measure the sampler's
+    // panic mode descends along.
+    let mut fin_round: Vec<Option<usize>> = vec![None; n_states];
+    let mut round = 0usize;
+    loop {
+        round += 1;
+        let mut newly = Vec::new();
+        for q in 0..n_states {
+            if q == q0 || fin_round[q].is_some() {
+                continue;
+            }
+            let allowed = |a: Sym| {
+                schema
+                    .dfa
+                    .transition(q, a)
+                    .is_some_and(|t| fin_round[t].is_some())
+            };
+            let dfa = dfas[q].as_ref().expect("non-initial state");
+            if distance_to_accept(dfa, &allowed)[dfa.initial()] != usize::MAX {
+                newly.push(q);
+            }
+        }
+        if newly.is_empty() {
+            break;
+        }
+        for q in newly {
+            fin_round[q] = Some(round);
+        }
+    }
+    let finishable: Vec<bool> = fin_round.iter().map(Option::is_some).collect();
+
+    // Pick a root whose state is finishable.
+    let mut roots: Vec<Sym> = schema
+        .roots
+        .iter()
+        .copied()
+        .filter(|&r| {
+            schema
+                .dfa
+                .transition(q0, r)
+                .is_some_and(|t| finishable[t])
+        })
+        .collect();
+    roots.sort_unstable();
+    let root = *roots.choose(rng)?;
+    let root_state = schema.dfa.transition(q0, root).expect("filtered above");
+
+    // Per-state samplers restricted to finishable successors.
+    let samplers: Vec<Option<WordSampler>> = (0..n_states)
+        .map(|q| {
+            if q == q0 || !finishable[q] {
+                return None;
+            }
+            let dfa = dfas[q].as_ref().expect("non-initial state").clone();
+            let allowed: Vec<bool> = (0..n_syms)
+                .map(|a| {
+                    schema
+                        .dfa
+                        .transition(q, Sym(a as u32))
+                        .is_some_and(|t| finishable[t])
+                })
+                .collect();
+            let dist = distance_to_accept(&dfa, &|a: Sym| allowed[a.index()]);
+            // Strict mode: only successors marked in an earlier fixpoint
+            // round, which strictly decreases the height measure.
+            let my_round = fin_round[q].expect("finishable");
+            let strict_allowed: Vec<bool> = (0..n_syms)
+                .map(|a| {
+                    schema
+                        .dfa
+                        .transition(q, Sym(a as u32))
+                        .is_some_and(|t| fin_round[t].is_some_and(|r| r < my_round))
+                })
+                .collect();
+            let dist_strict =
+                distance_to_accept(&dfa, &|a: Sym| strict_allowed[a.index()]);
+            Some(WordSampler {
+                dfa,
+                dist,
+                allowed,
+                dist_strict,
+                strict_allowed,
+            })
+        })
+        .collect();
+
+    let mut doc = Document::new(schema.ename.name(root));
+    let mut gen = Generator {
+        schema,
+        cfg,
+        nodes: 1,
+        samplers,
+    };
+    let root_node = doc.root();
+    gen.fill(&mut doc, root_node, root_state, 1, rng);
+    Some(doc)
+}
+
+struct Generator<'a> {
+    schema: &'a DfaXsd,
+    cfg: &'a DocConfig,
+    nodes: usize,
+    samplers: Vec<Option<WordSampler>>,
+}
+
+impl<'a> Generator<'a> {
+    fn fill(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+        state: usize,
+        depth: usize,
+        rng: &mut impl Rng,
+    ) {
+        let model = self.schema.model(state).clone();
+        // Attributes.
+        for a in &model.attributes {
+            if a.required || rng.gen_bool(self.cfg.optional_attr_prob) {
+                doc.set_attribute(node, &a.name, &sample_value(a.simple_type, rng));
+            }
+        }
+        if let Some(st) = model.simple_content {
+            doc.add_text(node, &sample_value(st, rng));
+            return;
+        }
+        // Children.
+        let shortest_only =
+            depth >= self.cfg.max_depth || self.nodes >= self.cfg.max_nodes;
+        // Far past the depth budget, switch to the strictly height-
+        // decreasing word choice so recursion provably terminates.
+        let strict = depth >= self.cfg.max_depth + 16;
+        let word = self.samplers[state]
+            .as_ref()
+            .expect("only finishable states are entered")
+            .sample(self.cfg.continue_prob, shortest_only, strict, rng);
+        if model.mixed && rng.gen_bool(0.5) {
+            doc.add_text(node, "text ");
+        }
+        self.nodes += word.len();
+        for sym in word {
+            let child = doc.add_element(node, self.schema.ename.name(sym));
+            let next = self
+                .schema
+                .dfa
+                .transition(state, sym)
+                .expect("sampled symbols are wired");
+            self.fill(doc, child, next, depth + 1, rng);
+        }
+    }
+}
+
+/// Samples words from a content model's language, restricted to symbols
+/// whose successor states are finishable.
+struct WordSampler {
+    dfa: Dfa,
+    /// Shortest number of steps to acceptance under the restriction
+    /// (usize::MAX = no accepting state reachable).
+    dist: Vec<usize>,
+    /// Which symbols may be used.
+    allowed: Vec<bool>,
+    /// Distances and symbols for the strictly height-decreasing mode.
+    dist_strict: Vec<usize>,
+    strict_allowed: Vec<bool>,
+}
+
+impl WordSampler {
+    /// Draws an accepted word. With `shortest_only`, always takes a
+    /// shortest completion (bounding recursion); otherwise continues past
+    /// accepting states with probability `continue_prob`.
+    fn sample(
+        &self,
+        continue_prob: f64,
+        shortest_only: bool,
+        strict: bool,
+        rng: &mut impl Rng,
+    ) -> Vec<Sym> {
+        let (dist, allowed) = if strict {
+            (&self.dist_strict, &self.strict_allowed)
+        } else {
+            (&self.dist, &self.allowed)
+        };
+        let mut word = Vec::new();
+        let mut q = self.dfa.initial();
+        if dist[q] == usize::MAX {
+            return word; // unreachable for finishable states
+        }
+        loop {
+            let accepting = self.dfa.is_final(q);
+            let stop = accepting
+                && (shortest_only || strict || word.len() > 64 || !rng.gen_bool(continue_prob));
+            if stop {
+                return word;
+            }
+            // candidate moves that can still reach acceptance
+            let mut moves: Vec<(Sym, usize)> = (0..self.dfa.n_syms())
+                .filter_map(|a| {
+                    let a = Sym(a as u32);
+                    if !allowed[a.index()] {
+                        return None;
+                    }
+                    self.dfa
+                        .transition(q, a)
+                        .filter(|&t| dist[t] != usize::MAX)
+                        .map(|t| (a, t))
+                })
+                .collect();
+            if moves.is_empty() {
+                debug_assert!(accepting, "dead non-accepting state has dist MAX");
+                return word;
+            }
+            if shortest_only || strict || word.len() > 64 {
+                // move strictly closer to acceptance
+                moves.sort_by_key(|&(_, t)| dist[t]);
+                let best = dist[moves[0].1];
+                moves.retain(|&(_, t)| dist[t] == best);
+            }
+            let &(a, t) = moves.choose(rng).expect("nonempty");
+            word.push(a);
+            q = t;
+        }
+    }
+}
+
+fn distance_to_accept(dfa: &Dfa, allowed: &dyn Fn(Sym) -> bool) -> Vec<usize> {
+    let n = dfa.n_states();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue: std::collections::VecDeque<usize> = (0..n)
+        .filter(|&q| dfa.is_final(q))
+        .inspect(|&q| dist[q] = 0)
+        .collect();
+    // reverse edges over allowed symbols only
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for q in 0..n {
+        for a in 0..dfa.n_syms() {
+            let a = Sym(a as u32);
+            if !allowed(a) {
+                continue;
+            }
+            if let Some(t) = dfa.transition(q, a) {
+                rev[t].push(q);
+            }
+        }
+    }
+    while let Some(q) = queue.pop_front() {
+        for &p in &rev[q] {
+            if dist[p] == usize::MAX {
+                dist[p] = dist[q] + 1;
+                queue.push_back(p);
+            }
+        }
+    }
+    dist
+}
+
+/// Samples a lexical value of a simple type.
+pub fn sample_value(st: SimpleType, rng: &mut impl Rng) -> String {
+    match st {
+        SimpleType::Integer => rng.gen_range(-1000..1000i32).to_string(),
+        SimpleType::NonNegativeInteger => rng.gen_range(0..1000u32).to_string(),
+        SimpleType::PositiveInteger => rng.gen_range(1..1000u32).to_string(),
+        SimpleType::Decimal => format!("{}.{:02}", rng.gen_range(0..100), rng.gen_range(0..100)),
+        SimpleType::Double => format!("{:.3}", rng.gen_range(-1.0..1.0f64) * 1000.0),
+        SimpleType::Boolean => if rng.gen_bool(0.5) { "true" } else { "false" }.to_owned(),
+        SimpleType::Date => format!(
+            "20{:02}-{:02}-{:02}",
+            rng.gen_range(0..30),
+            rng.gen_range(1..13),
+            rng.gen_range(1..29)
+        ),
+        SimpleType::Time => format!(
+            "{:02}:{:02}:{:02}",
+            rng.gen_range(0..24),
+            rng.gen_range(0..60),
+            rng.gen_range(0..60)
+        ),
+        SimpleType::DateTime => format!(
+            "20{:02}-{:02}-{:02}T{:02}:{:02}:{:02}",
+            rng.gen_range(0..30),
+            rng.gen_range(1..13),
+            rng.gen_range(1..29),
+            rng.gen_range(0..24),
+            rng.gen_range(0..60),
+            rng.gen_range(0..60)
+        ),
+        SimpleType::Id | SimpleType::IdRef | SimpleType::NmToken => {
+            format!("tok{}", rng.gen_range(0..100000))
+        }
+        _ => format!("value-{}", rng.gen_range(0..1000)),
+    }
+}
+
+/// Randomly corrupts a document (for negative-path benchmarks): renames
+/// an element, drops an attribute, or appends a stray child.
+pub fn mutate_document(doc: &Document, rng: &mut impl Rng) -> Document {
+    let mut out = doc.clone();
+    let elements = out.elements();
+    let &victim = elements.choose(rng).expect("documents have a root");
+    match rng.gen_range(0..3) {
+        0 => {
+            out.add_element(victim, "intruder");
+        }
+        1 => {
+            let name = out.name(victim).expect("element").to_owned();
+            let child = out.add_element(victim, &name);
+            out.add_element(child, "intruder");
+        }
+        _ => {
+            out.add_text(victim, "unexpected text !");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use relang::Regex;
+    use xsd::{ContentModel, DfaXsdBuilder};
+
+    fn schema() -> DfaXsd {
+        let mut b = DfaXsdBuilder::new();
+        let q_doc = b.add_state();
+        let q_item = b.add_state();
+        let q_name = b.add_state();
+        b.root("doc");
+        b.transition(0, "doc", q_doc);
+        b.transition(q_doc, "item", q_item);
+        b.transition(q_item, "name", q_name);
+        b.transition(q_item, "item", q_item);
+        let item = b.ename.lookup("item").unwrap();
+        let name = b.ename.lookup("name").unwrap();
+        b.lambda(q_doc, ContentModel::new(Regex::star(Regex::sym(item))));
+        b.lambda(
+            q_item,
+            ContentModel::new(Regex::concat(vec![
+                Regex::sym(name),
+                Regex::star(Regex::sym(item)),
+            ]))
+            .with_attributes([xsd::AttributeUse::required("id")
+                .with_type(SimpleType::NmToken)]),
+        );
+        b.lambda(q_name, ContentModel::empty().with_mixed(true));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn samples_are_valid() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let doc = sample_document(&s, &DocConfig::default(), &mut rng).unwrap();
+            assert!(s.is_valid(&doc), "{}", xmltree::to_string(&doc));
+        }
+    }
+
+    #[test]
+    fn sampler_respects_node_budget_softly() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = DocConfig {
+            max_nodes: 30,
+            ..DocConfig::default()
+        };
+        for _ in 0..20 {
+            let doc = sample_document(&s, &cfg, &mut rng).unwrap();
+            // soft cap: one extra word may exceed it, but not wildly
+            assert!(doc.element_count() < 200, "{}", doc.element_count());
+        }
+    }
+
+    #[test]
+    fn mutations_usually_invalidate() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut invalid = 0;
+        for _ in 0..40 {
+            let doc = sample_document(&s, &DocConfig::default(), &mut rng).unwrap();
+            let bad = mutate_document(&doc, &mut rng);
+            if !s.is_valid(&bad) {
+                invalid += 1;
+            }
+        }
+        assert!(invalid >= 25, "only {invalid}/40 mutations detected");
+    }
+
+    #[test]
+    fn simple_values_validate() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for st in [
+            SimpleType::Integer,
+            SimpleType::Decimal,
+            SimpleType::Boolean,
+            SimpleType::Date,
+            SimpleType::Time,
+            SimpleType::DateTime,
+            SimpleType::NmToken,
+            SimpleType::String,
+        ] {
+            for _ in 0..50 {
+                let v = sample_value(st, &mut rng);
+                assert!(st.validates(&v), "{st}: {v:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Random deterministic content models.
+//!
+//! The generator produces *single-occurrence* regular expressions (every
+//! symbol occurs at most once), which are deterministic by construction —
+//! the Glushkov automaton cannot have two competing positions for the
+//! same symbol. Studies of real-world schemas (Bex et al., cited by the
+//! paper) found that practical content models overwhelmingly have this
+//! shape.
+
+use rand::prelude::*;
+use relang::{Regex, Sym, UpperBound};
+
+/// Tuning knobs for content-model generation.
+#[derive(Clone, Copy, Debug)]
+pub struct DreConfig {
+    /// Probability that an internal node is a choice (vs. a sequence).
+    pub choice_prob: f64,
+    /// Probability of wrapping a node in `*`/`+`/`?`/`{n,m}`.
+    pub modifier_prob: f64,
+    /// Probability that a modifier is a counter `{n,m}`.
+    pub counter_prob: f64,
+    /// Maximum nesting depth.
+    pub max_depth: usize,
+}
+
+impl Default for DreConfig {
+    fn default() -> Self {
+        DreConfig {
+            choice_prob: 0.4,
+            modifier_prob: 0.5,
+            counter_prob: 0.1,
+            max_depth: 3,
+        }
+    }
+}
+
+/// Generates a deterministic expression using each of `syms` at most
+/// once. Returns [`Regex::Epsilon`] when `syms` is empty.
+///
+/// Single-occurrence expressions are deterministic except for some
+/// counter nestings (a counter body that can restart on the same symbol);
+/// the generator uses rejection sampling for those rare cases and falls
+/// back to a plain sequence, which is always deterministic.
+pub fn random_dre(syms: &[Sym], cfg: &DreConfig, rng: &mut impl Rng) -> Regex {
+    let mut pool: Vec<Sym> = syms.to_vec();
+    pool.shuffle(rng);
+    for _ in 0..8 {
+        let r = build(&pool, cfg, cfg.max_depth, rng);
+        if relang::regex::determinism::is_deterministic(&r) {
+            return r;
+        }
+    }
+    Regex::concat(pool.into_iter().map(Regex::sym).collect())
+}
+
+fn build(pool: &[Sym], cfg: &DreConfig, depth: usize, rng: &mut impl Rng) -> Regex {
+    let base = match pool {
+        [] => Regex::Epsilon,
+        [s] => Regex::sym(*s),
+        _ if depth == 0 => {
+            // flat sequence or choice over the pool
+            let parts: Vec<Regex> = pool.iter().map(|&s| Regex::sym(s)).collect();
+            if rng.gen_bool(cfg.choice_prob) {
+                Regex::alt(parts)
+            } else {
+                Regex::concat(parts)
+            }
+        }
+        _ => {
+            // split the pool into 2–4 chunks
+            let k = rng.gen_range(2..=pool.len().min(4));
+            let mut cuts: Vec<usize> = (1..pool.len()).collect();
+            cuts.shuffle(rng);
+            let mut cuts: Vec<usize> = cuts.into_iter().take(k - 1).collect();
+            cuts.sort_unstable();
+            cuts.insert(0, 0);
+            cuts.push(pool.len());
+            let parts: Vec<Regex> = cuts
+                .windows(2)
+                .map(|w| {
+                    let part = build(&pool[w[0]..w[1]], cfg, depth - 1, rng);
+                    maybe_modify(part, cfg, rng)
+                })
+                .collect();
+            if rng.gen_bool(cfg.choice_prob) {
+                Regex::alt(parts)
+            } else {
+                Regex::concat(parts)
+            }
+        }
+    };
+    maybe_modify(base, cfg, rng)
+}
+
+fn maybe_modify(r: Regex, cfg: &DreConfig, rng: &mut impl Rng) -> Regex {
+    if matches!(r, Regex::Epsilon | Regex::Empty) || !rng.gen_bool(cfg.modifier_prob) {
+        return r;
+    }
+    // Counters over a *nullable* body are not one-unambiguous (the reader
+    // cannot tell a skipped iteration from a finished counter), so they
+    // are only applied to non-nullable bodies.
+    if rng.gen_bool(cfg.counter_prob) && !relang::regex::props::nullable(&r) {
+        let lo = rng.gen_range(0..=2u32);
+        let hi = lo + rng.gen_range(1..=3u32);
+        return Regex::repeat(r, lo, UpperBound::Finite(hi));
+    }
+    match rng.gen_range(0..3) {
+        0 => Regex::star(r),
+        1 => Regex::plus(r),
+        _ => Regex::opt(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use relang::regex::determinism::is_deterministic;
+
+    #[test]
+    fn generated_expressions_are_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let syms: Vec<Sym> = (0..8).map(Sym).collect();
+        for _ in 0..200 {
+            let r = random_dre(&syms, &DreConfig::default(), &mut rng);
+            assert!(is_deterministic(&r), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn symbols_occur_at_most_once() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let syms: Vec<Sym> = (0..6).map(Sym).collect();
+        for _ in 0..100 {
+            let r = random_dre(&syms, &DreConfig::default(), &mut rng);
+            let mut occ = Vec::new();
+            collect(&r, &mut occ);
+            let mut sorted = occ.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), occ.len(), "{r:?}");
+        }
+
+        fn collect(r: &Regex, out: &mut Vec<Sym>) {
+            match r {
+                Regex::Sym(s) => out.push(*s),
+                Regex::Concat(ps) | Regex::Alt(ps) | Regex::Interleave(ps) => {
+                    for p in ps {
+                        collect(p, out);
+                    }
+                }
+                Regex::Star(p) | Regex::Plus(p) | Regex::Opt(p) | Regex::Repeat(p, _, _) => {
+                    collect(p, out)
+                }
+                Regex::Empty | Regex::Epsilon => {}
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pool_gives_epsilon() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(
+            random_dre(&[], &DreConfig::default(), &mut rng),
+            Regex::Epsilon
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let syms: Vec<Sym> = (0..5).map(Sym).collect();
+        let r1 = random_dre(&syms, &DreConfig::default(), &mut StdRng::seed_from_u64(42));
+        let r2 = random_dre(&syms, &DreConfig::default(), &mut StdRng::seed_from_u64(42));
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,268 @@
+//! The worst-case families of Theorems 8 and 9.
+//!
+//! * [`theorem8_xn`] — the XSDs (X_n), of size O(n²), whose smallest
+//!   equivalent BXSDs have size 2^Ω(n). The construction extends
+//!   Ehrenfeucht & Zeiger's language Z_n over Σ_n = {a_ij}: words where
+//!   each symbol's target must match the next symbol's source; the
+//!   automaton remembers the *error index* of bad words, and branching
+//!   `a_ll a_ll` is only allowed below an error with index l.
+//! * [`theorem9_bn`] — the BXSDs (B_n), of size O(n), whose smallest
+//!   equivalent XSDs have at least 2^n types: the XSD must track the set
+//!   of indices i for which a_i has occurred once vs. twice on the path.
+
+use std::collections::BTreeSet;
+
+use bonxai_core::bxsd::{Bxsd, BxsdBuilder};
+use relang::{Alphabet, Dfa, Regex, Sym};
+use xsd::{ContentModel, DfaXsd};
+
+/// Builds X_n as a DFA-based XSD (Theorem 8's family).
+///
+/// States: a fresh root state, the "tracking" states q_1..q_n, and the
+/// "error" states e_1..e_n. Alphabet: Σ_n = {a_ij | i,j ∈ 1..n}, with
+/// `a_ij` named `a_i_j`.
+#[allow(clippy::needless_range_loop)] // i/j/l mirror the paper's a_ij indexing
+pub fn theorem8_xn(n: usize) -> DfaXsd {
+    assert!(n >= 1);
+    let mut ename = Alphabet::new();
+    // sym(i, j) with 1-based i, j.
+    let mut sym = vec![vec![Sym(0); n + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=n {
+            sym[i][j] = ename.intern(&format!("a_{i}_{j}"));
+        }
+    }
+    let n_syms = ename.len();
+
+    // State numbering: 0 = q0 (root), 1..=n = q_i, n+1..=2n = e_i.
+    let q = |i: usize| i; // q_i
+    let e = |i: usize| n + i; // e_i
+    let n_states = 1 + 2 * n;
+    let mut dfa = Dfa::new(n_syms, n_states, 0);
+
+    // From q_i: a_jl → q_l if i == j, else e_i.
+    for i in 1..=n {
+        for j in 1..=n {
+            for l in 1..=n {
+                let target = if i == j { q(l) } else { e(i) };
+                dfa.set_transition(q(i), sym[j][l], Some(target));
+            }
+        }
+    }
+    // Error states absorb.
+    for i in 1..=n {
+        for j in 1..=n {
+            for l in 1..=n {
+                dfa.set_transition(e(i), sym[j][l], Some(e(i)));
+            }
+        }
+    }
+    // Root: mirrors q_1's row (the paper's initial state is q_1).
+    for j in 1..=n {
+        for l in 1..=n {
+            let target = if j == 1 { q(l) } else { e(1) };
+            dfa.set_transition(0, sym[j][l], Some(target));
+        }
+    }
+
+    // λ(q_i) = ε ∪ Σ; λ(e_l) = ε ∪ Σ ∪ {a_ll a_ll}.
+    let all: Vec<Sym> = ename.symbols().collect();
+    let eps_or_sigma = Regex::opt(Regex::sym_set(all.iter().copied()));
+    let mut lambda: Vec<Option<ContentModel>> = vec![None; n_states];
+    for i in 1..=n {
+        lambda[q(i)] = Some(ContentModel::new(eps_or_sigma.clone()));
+    }
+    for l in 1..=n {
+        // (a_ll (a_ll)? + Σ\{a_ll})? — deterministic by distinct firsts.
+        let all_sym = sym[l][l];
+        let mut branches = vec![Regex::concat(vec![
+            Regex::sym(all_sym),
+            Regex::opt(Regex::sym(all_sym)),
+        ])];
+        branches.extend(
+            all.iter()
+                .copied()
+                .filter(|&s| s != all_sym)
+                .map(Regex::sym),
+        );
+        lambda[e(l)] = Some(ContentModel::new(Regex::opt(Regex::alt(branches))));
+    }
+
+    let roots: BTreeSet<Sym> = ename.symbols().collect();
+    DfaXsd::new(ename, dfa, roots, lambda).expect("X_n is a valid DFA-based XSD")
+}
+
+/// Builds B_n (Theorem 9's family):
+///
+/// ```text
+/// //a               → ε
+/// //(b1 + … + bn)   → ε
+/// //(a1 + … + an)   → (a + a1 + … + an)
+/// //a1//a1//a       → b1
+///   …
+/// //an//an//a       → bn
+/// ```
+pub fn theorem9_bn(n: usize) -> Bxsd {
+    assert!(n >= 1);
+    let mut b = BxsdBuilder::new();
+    let a = b.ename.intern("a");
+    let a_i: Vec<Sym> = (1..=n).map(|i| b.ename.intern(&format!("a{i}"))).collect();
+    let b_i: Vec<Sym> = (1..=n).map(|i| b.ename.intern(&format!("b{i}"))).collect();
+    for i in 1..=n {
+        b.start(&format!("a{i}"));
+    }
+
+    b.suffix_rule(&["a"], ContentModel::empty());
+    // //(b1 + … + bn) → ε
+    b.rule(
+        Regex::concat(vec![
+            b.any_chain(),
+            Regex::sym_set(b_i.iter().copied()),
+        ]),
+        ContentModel::empty(),
+    );
+    // //(a1 + … + an) → (a + a1 + … + an)
+    let content = Regex::opt(Regex::alt(
+        std::iter::once(a)
+            .chain(a_i.iter().copied())
+            .map(Regex::sym)
+            .collect(),
+    ));
+    b.rule(
+        Regex::concat(vec![
+            b.any_chain(),
+            Regex::sym_set(a_i.iter().copied()),
+        ]),
+        ContentModel::new(content),
+    );
+    // //ai//ai//a → bi
+    for i in 1..=n {
+        b.rule(
+            Regex::concat(vec![
+                b.any_chain(),
+                Regex::sym(a_i[i - 1]),
+                b.any_chain(),
+                Regex::sym(a_i[i - 1]),
+                b.any_chain(),
+                Regex::sym(a),
+            ]),
+            ContentModel::new(Regex::sym(b_i[i - 1])),
+        );
+    }
+    b.build().expect("B_n is a valid BXSD")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonxai_core::translate::{bxsd_to_dfa_xsd, dfa_xsd_to_bxsd};
+    use bonxai_core::validate::is_valid as bxsd_valid;
+    use xmltree::builder::elem;
+
+    #[test]
+    fn xn_has_quadratic_size() {
+        for n in 1..=4 {
+            let x = theorem8_xn(n);
+            assert_eq!(x.n_states(), 1 + 2 * n);
+            assert_eq!(x.ename.len(), n * n);
+        }
+    }
+
+    #[test]
+    fn xn_accepts_zn_chains() {
+        let x = theorem8_xn(3);
+        // a valid chain: a_12 a_23 a_31 (targets match sources), rooted at
+        // a_1* because the root mirrors q_1
+        let doc = elem("a_1_2")
+            .child(elem("a_2_3").child(elem("a_3_1")))
+            .build();
+        assert!(x.is_valid(&doc), "{:?}", x.validate(&doc));
+        // branching below a non-error chain is rejected
+        let doc = elem("a_1_2")
+            .child(elem("a_2_3"))
+            .child(elem("a_2_1"))
+            .build();
+        assert!(!x.is_valid(&doc));
+    }
+
+    #[test]
+    fn xn_allows_branching_below_errors() {
+        let x = theorem8_xn(3);
+        // a_12 then a_31 is an error with index 2 (previous target 2 ≠
+        // source 3). Below it, a_22 a_22 branching is allowed.
+        let doc = elem("a_1_2")
+            .child(
+                elem("a_3_1")
+                    .child(elem("a_2_2"))
+                    .child(elem("a_2_2")),
+            )
+            .build();
+        assert!(x.is_valid(&doc), "{:?}", x.validate(&doc));
+        // but a_33 a_33 branching is not (wrong error index)
+        let doc = elem("a_1_2")
+            .child(
+                elem("a_3_1")
+                    .child(elem("a_3_3"))
+                    .child(elem("a_3_3")),
+            )
+            .build();
+        assert!(!x.is_valid(&doc));
+    }
+
+    #[test]
+    fn xn_to_bxsd_preserves_language_small() {
+        let x = theorem8_xn(2);
+        let b = dfa_xsd_to_bxsd(&x);
+        let docs = [
+            elem("a_1_2").child(elem("a_2_1")).build(),
+            elem("a_1_1").child(elem("a_2_2")).build(), // error path
+            elem("a_1_2")
+                .child(elem("a_1_1").child(elem("a_2_2")).child(elem("a_2_2")))
+                .build(),
+        ];
+        for doc in &docs {
+            assert_eq!(x.is_valid(doc), bxsd_valid(&b, doc), "{}", xmltree::to_string(doc));
+        }
+    }
+
+    #[test]
+    fn bn_has_linear_size() {
+        let s3 = theorem9_bn(3).size();
+        let s6 = theorem9_bn(6).size();
+        // size grows linearly-ish in n (the //-gaps contribute |EName|)
+        assert!(s6 < 4 * s3 + 40, "s3={s3} s6={s6}");
+    }
+
+    #[test]
+    fn bn_semantics() {
+        let b = theorem9_bn(2);
+        // a2 a1 a1 a: a1 occurs twice, largest such j = 1 → child b1
+        let doc = elem("a2")
+            .child(elem("a1").child(elem("a1").child(elem("a").child(elem("b1")))))
+            .build();
+        assert!(bxsd_valid(&b, &doc), "{}", b.display());
+        // with b2 instead: invalid
+        let doc = elem("a2")
+            .child(elem("a1").child(elem("a1").child(elem("a").child(elem("b2")))))
+            .build();
+        assert!(!bxsd_valid(&b, &doc));
+        // no repeated ai: a's content must be ε
+        let doc = elem("a2").child(elem("a1").child(elem("a"))).build();
+        assert!(bxsd_valid(&b, &doc));
+        let doc = elem("a2")
+            .child(elem("a1").child(elem("a").child(elem("b1"))))
+            .build();
+        assert!(!bxsd_valid(&b, &doc));
+    }
+
+    #[test]
+    fn bn_to_xsd_blows_up() {
+        // the state count of Algorithm 3's output grows like 2^n
+        let s2 = bxsd_to_dfa_xsd(&theorem9_bn(2)).n_states();
+        let s4 = bxsd_to_dfa_xsd(&theorem9_bn(4)).n_states();
+        let s6 = bxsd_to_dfa_xsd(&theorem9_bn(6)).n_states();
+        assert!(s4 >= 2 * s2, "s2={s2} s4={s4}");
+        assert!(s6 >= 2 * s4, "s4={s4} s6={s6}");
+        assert!(s6 >= 64, "s6={s6}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # bonxai-gen — workload generators for the BonXai reproduction
+//!
+//! * [`families`] — the worst-case families of Theorems 8 (X_n) and
+//!   9 (B_n);
+//! * [`dre`] — random deterministic (single-occurrence) content models;
+//! * [`docgen`] — sampling conforming documents from schemas (plus a
+//!   mutator for negative paths);
+//! * [`corpus`] — random k-suffix schemas and the synthetic stand-in for
+//!   the paper's 225-XSD Web corpus (98% 3-suffix, per Section 4.4).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod docgen;
+pub mod dre;
+pub mod families;
+
+pub use corpus::{random_regular_bxsd, random_suffix_bxsd, web_corpus, CorpusEntry, SchemaConfig};
+pub use docgen::{mutate_document, sample_document, sample_value, DocConfig};
+pub use dre::{random_dre, DreConfig};
+pub use families::{theorem8_xn, theorem9_bn};

@@ -1,0 +1,170 @@
+//! Interned symbols and alphabets.
+//!
+//! The formal development of the paper works over a finite alphabet `EName`
+//! of element names (Section 4.1). We intern names into dense `u32`-backed
+//! [`Sym`] handles so that automata can use dense transition tables and
+//! comparisons are O(1). An [`Alphabet`] owns the bidirectional mapping.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An interned symbol (element name) of an [`Alphabet`].
+///
+/// Symbols are small dense indices; `Sym(i)` is the `i`-th distinct name
+/// interned into its alphabet. A `Sym` is only meaningful together with the
+/// alphabet that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The dense index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A finite alphabet of interned names (the paper's `EName`).
+///
+/// Interning is append-only: symbols are never removed, so `Sym` handles
+/// stay valid for the lifetime of the alphabet.
+///
+/// ```
+/// use relang::Alphabet;
+/// let mut sigma = Alphabet::new();
+/// let a = sigma.intern("section");
+/// let b = sigma.intern("style");
+/// assert_ne!(a, b);
+/// assert_eq!(sigma.intern("section"), a);
+/// assert_eq!(sigma.name(a), "section");
+/// assert_eq!(sigma.len(), 2);
+/// ```
+#[derive(Clone, Default)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: BTreeMap<String, Sym>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet containing the given names, in order.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut a = Self::new();
+        for n in names {
+            a.intern(n.as_ref());
+        }
+        a
+    }
+
+    /// Interns `name`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.index.get(name) {
+            return s;
+        }
+        let s = Sym(u32::try_from(self.names.len()).expect("alphabet overflow"));
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Looks up a previously interned name.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of a symbol. Panics if `s` is not from this alphabet.
+    pub fn name(&self, s: Sym) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Number of distinct symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all symbols in index order.
+    pub fn symbols(&self) -> impl Iterator<Item = Sym> + '_ {
+        (0..self.names.len() as u32).map(Sym)
+    }
+
+    /// Iterates over `(Sym, name)` pairs in index order.
+    pub fn entries(&self) -> impl Iterator<Item = (Sym, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_str()))
+    }
+}
+
+impl fmt::Debug for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.names.iter().enumerate())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut a = Alphabet::new();
+        let s1 = a.intern("x");
+        let s2 = a.intern("x");
+        assert_eq!(s1, s2);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_distinct_syms() {
+        let mut a = Alphabet::new();
+        let x = a.intern("x");
+        let y = a.intern("y");
+        assert_ne!(x, y);
+        assert_eq!(a.name(x), "x");
+        assert_eq!(a.name(y), "y");
+    }
+
+    #[test]
+    fn from_names_preserves_order() {
+        let a = Alphabet::from_names(["a", "b", "c"]);
+        let syms: Vec<_> = a.symbols().collect();
+        assert_eq!(syms, vec![Sym(0), Sym(1), Sym(2)]);
+        assert_eq!(a.name(Sym(2)), "c");
+    }
+
+    #[test]
+    fn lookup_missing_is_none() {
+        let a = Alphabet::from_names(["a"]);
+        assert!(a.lookup("zzz").is_none());
+        assert_eq!(a.lookup("a"), Some(Sym(0)));
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let a = Alphabet::from_names(["p", "q"]);
+        let pairs: Vec<_> = a.entries().collect();
+        assert_eq!(pairs, vec![(Sym(0), "p"), (Sym(1), "q")]);
+    }
+}

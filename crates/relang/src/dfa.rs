@@ -1,0 +1,369 @@
+//! Deterministic finite automata with dense transition tables.
+//!
+//! The paper uses DFAs in two roles: as the "type automaton" of DFA-based
+//! XSDs (Definition 3 — a DFA without final states whose initial state has
+//! no incoming transitions) and as minimal complete DFAs for the rule
+//! languages `L(ri)` in Algorithm 3. This module provides the shared
+//! machinery; the schema-specific wrappers live in the `xsd` and
+//! `bonxai-core` crates.
+
+use std::collections::VecDeque;
+
+use crate::alphabet::Sym;
+
+/// A DFA state identifier (dense index).
+pub type StateId = usize;
+
+/// A deterministic finite automaton over symbols `Sym(0)..Sym(n_syms-1)`.
+///
+/// Transitions are partial: a missing transition rejects. Use
+/// [`Dfa::complete`] to totalize with an explicit sink.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dfa {
+    n_syms: usize,
+    initial: StateId,
+    /// Row-major `states × n_syms` table; `None` = undefined.
+    table: Vec<Option<StateId>>,
+    finals: Vec<bool>,
+}
+
+impl Dfa {
+    /// Creates a DFA with `n_states` states, no transitions, no finals.
+    pub fn new(n_syms: usize, n_states: usize, initial: StateId) -> Self {
+        assert!(initial < n_states || n_states == 0);
+        Dfa {
+            n_syms,
+            initial,
+            table: vec![None; n_states * n_syms],
+            finals: vec![false; n_states],
+        }
+    }
+
+    /// Number of states (the paper's size measure `|A|`).
+    pub fn n_states(&self) -> usize {
+        self.finals.len()
+    }
+
+    /// Alphabet size.
+    pub fn n_syms(&self) -> usize {
+        self.n_syms
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Changes the initial state.
+    pub fn set_initial(&mut self, q: StateId) {
+        assert!(q < self.n_states());
+        self.initial = q;
+    }
+
+    /// Adds a fresh state, returning its id.
+    pub fn add_state(&mut self) -> StateId {
+        let id = self.n_states();
+        self.table.extend(std::iter::repeat_n(None, self.n_syms));
+        self.finals.push(false);
+        id
+    }
+
+    /// Sets `δ(q, a)`.
+    pub fn set_transition(&mut self, q: StateId, a: Sym, target: Option<StateId>) {
+        let idx = q * self.n_syms + a.index();
+        self.table[idx] = target;
+    }
+
+    /// `δ(q, a)`.
+    #[inline]
+    pub fn transition(&self, q: StateId, a: Sym) -> Option<StateId> {
+        self.table[q * self.n_syms + a.index()]
+    }
+
+    /// Marks/unmarks `q` as accepting.
+    pub fn set_final(&mut self, q: StateId, accepting: bool) {
+        self.finals[q] = accepting;
+    }
+
+    /// Whether `q` is accepting.
+    #[inline]
+    pub fn is_final(&self, q: StateId) -> bool {
+        self.finals[q]
+    }
+
+    /// All accepting states.
+    pub fn final_states(&self) -> Vec<StateId> {
+        (0..self.n_states()).filter(|&q| self.finals[q]).collect()
+    }
+
+    /// Runs the automaton on `word` from the initial state.
+    pub fn run(&self, word: &[Sym]) -> Option<StateId> {
+        self.run_from(self.initial, word)
+    }
+
+    /// Runs the automaton on `word` from `q`.
+    pub fn run_from(&self, mut q: StateId, word: &[Sym]) -> Option<StateId> {
+        for &a in word {
+            q = self.transition(q, a)?;
+        }
+        Some(q)
+    }
+
+    /// Whether the automaton accepts `word`.
+    pub fn accepts(&self, word: &[Sym]) -> bool {
+        self.run(word).is_some_and(|q| self.finals[q])
+    }
+
+    /// Whether every state has a transition on every symbol.
+    pub fn is_complete(&self) -> bool {
+        self.table.iter().all(Option::is_some)
+    }
+
+    /// Totalizes the transition function by adding (at most) one
+    /// non-accepting sink state. Returns the sink's id if one was added.
+    pub fn complete(&mut self) -> Option<StateId> {
+        if self.is_complete() {
+            return None;
+        }
+        let sink = self.add_state();
+        for q in 0..self.n_states() {
+            for a in 0..self.n_syms {
+                let idx = q * self.n_syms + a;
+                if self.table[idx].is_none() {
+                    self.table[idx] = Some(sink);
+                }
+            }
+        }
+        Some(sink)
+    }
+
+    /// States reachable from the initial state, in BFS order.
+    pub fn reachable(&self) -> Vec<StateId> {
+        let mut seen = vec![false; self.n_states()];
+        let mut queue = VecDeque::new();
+        let mut order = Vec::new();
+        if self.n_states() == 0 {
+            return order;
+        }
+        seen[self.initial] = true;
+        queue.push_back(self.initial);
+        while let Some(q) = queue.pop_front() {
+            order.push(q);
+            for a in 0..self.n_syms {
+                if let Some(t) = self.transition(q, Sym(a as u32)) {
+                    if !seen[t] {
+                        seen[t] = true;
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Restricts the DFA to its reachable part, renumbering states.
+    /// Returns the old-to-new state mapping (`None` for removed states).
+    pub fn trim_unreachable(&mut self) -> Vec<Option<StateId>> {
+        let order = self.reachable();
+        let mut remap: Vec<Option<StateId>> = vec![None; self.n_states()];
+        for (new, &old) in order.iter().enumerate() {
+            remap[old] = Some(new);
+        }
+        let mut out = Dfa::new(self.n_syms, order.len(), 0);
+        out.initial = remap[self.initial].expect("initial is reachable");
+        for (&old, new) in order.iter().zip(0..) {
+            out.finals[new] = self.finals[old];
+            for a in 0..self.n_syms {
+                let t = self.transition(old, Sym(a as u32)).and_then(|t| remap[t]);
+                out.set_transition(new, Sym(a as u32), t);
+            }
+        }
+        *self = out;
+        remap
+    }
+
+    /// Whether some accepting state is reachable.
+    pub fn accepts_some_word(&self) -> bool {
+        self.reachable().iter().any(|&q| self.finals[q])
+    }
+
+    /// A shortest accepted word, if any (BFS).
+    pub fn shortest_accepted_word(&self) -> Option<Vec<Sym>> {
+        if self.n_states() == 0 {
+            return None;
+        }
+        let mut pred: Vec<Option<(StateId, Sym)>> = vec![None; self.n_states()];
+        let mut seen = vec![false; self.n_states()];
+        let mut queue = VecDeque::new();
+        seen[self.initial] = true;
+        queue.push_back(self.initial);
+        let mut hit = None;
+        if self.finals[self.initial] {
+            hit = Some(self.initial);
+        }
+        'bfs: while let Some(q) = queue.pop_front() {
+            if hit.is_some() {
+                break;
+            }
+            for a in 0..self.n_syms {
+                if let Some(t) = self.transition(q, Sym(a as u32)) {
+                    if !seen[t] {
+                        seen[t] = true;
+                        pred[t] = Some((q, Sym(a as u32)));
+                        if self.finals[t] {
+                            hit = Some(t);
+                            break 'bfs;
+                        }
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        let mut cur = hit?;
+        let mut word = Vec::new();
+        while let Some((p, a)) = pred[cur] {
+            word.push(a);
+            cur = p;
+        }
+        word.reverse();
+        Some(word)
+    }
+
+    /// Enumerates accepted words in length-lexicographic order, up to
+    /// `limit` words and length `max_len`. Useful for tests and examples.
+    pub fn enumerate_words(&self, max_len: usize, limit: usize) -> Vec<Vec<Sym>> {
+        let mut out = Vec::new();
+        let mut layer: Vec<(StateId, Vec<Sym>)> = vec![(self.initial, Vec::new())];
+        if self.n_states() == 0 {
+            return out;
+        }
+        for len in 0..=max_len {
+            for (q, word) in &layer {
+                if self.finals[*q] {
+                    out.push(word.clone());
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+            if len == max_len {
+                break;
+            }
+            let mut next = Vec::new();
+            for (q, word) in &layer {
+                for a in 0..self.n_syms {
+                    if let Some(t) = self.transition(*q, Sym(a as u32)) {
+                        let mut w = word.clone();
+                        w.push(Sym(a as u32));
+                        next.push((t, w));
+                    }
+                }
+            }
+            layer = next;
+            if layer.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Complements acceptance. The automaton must be complete.
+    pub fn complement(&self) -> Dfa {
+        assert!(self.is_complete(), "complement requires a complete DFA");
+        let mut out = self.clone();
+        for f in &mut out.finals {
+            *f = !*f;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// DFA for (ab)* over {a=0, b=1}.
+    fn ab_star() -> Dfa {
+        let mut d = Dfa::new(2, 2, 0);
+        d.set_transition(0, Sym(0), Some(1));
+        d.set_transition(1, Sym(1), Some(0));
+        d.set_final(0, true);
+        d
+    }
+
+    #[test]
+    fn run_and_accept() {
+        let d = ab_star();
+        assert!(d.accepts(&[]));
+        assert!(d.accepts(&[Sym(0), Sym(1)]));
+        assert!(!d.accepts(&[Sym(0)]));
+        assert!(!d.accepts(&[Sym(1)]));
+        assert!(d.accepts(&[Sym(0), Sym(1), Sym(0), Sym(1)]));
+    }
+
+    #[test]
+    fn completion_adds_single_sink() {
+        let mut d = ab_star();
+        assert!(!d.is_complete());
+        let sink = d.complete().unwrap();
+        assert!(d.is_complete());
+        assert_eq!(d.n_states(), 3);
+        assert_eq!(d.transition(0, Sym(1)), Some(sink));
+        assert_eq!(d.transition(sink, Sym(0)), Some(sink));
+        assert!(d.complete().is_none());
+    }
+
+    #[test]
+    fn reachability_and_trim() {
+        let mut d = ab_star();
+        let orphan = d.add_state();
+        d.set_final(orphan, true);
+        assert_eq!(d.reachable(), vec![0, 1]);
+        let remap = d.trim_unreachable();
+        assert_eq!(d.n_states(), 2);
+        assert_eq!(remap[orphan], None);
+        assert!(d.accepts(&[Sym(0), Sym(1)]));
+    }
+
+    #[test]
+    fn shortest_word() {
+        let d = ab_star();
+        assert_eq!(d.shortest_accepted_word(), Some(vec![]));
+        let mut d2 = ab_star();
+        d2.set_final(0, false);
+        d2.set_final(1, true);
+        assert_eq!(d2.shortest_accepted_word(), Some(vec![Sym(0)]));
+    }
+
+    #[test]
+    fn no_accepting_state_no_word() {
+        let mut d = ab_star();
+        d.set_final(0, false);
+        assert_eq!(d.shortest_accepted_word(), None);
+        assert!(!d.accepts_some_word());
+    }
+
+    #[test]
+    fn enumerate_words_in_order() {
+        let d = ab_star();
+        let words = d.enumerate_words(4, 10);
+        assert_eq!(
+            words,
+            vec![
+                vec![],
+                vec![Sym(0), Sym(1)],
+                vec![Sym(0), Sym(1), Sym(0), Sym(1)]
+            ]
+        );
+    }
+
+    #[test]
+    fn complement_flips_acceptance() {
+        let mut d = ab_star();
+        d.complete();
+        let c = d.complement();
+        assert!(!c.accepts(&[]));
+        assert!(c.accepts(&[Sym(0)]));
+        assert!(!c.accepts(&[Sym(0), Sym(1)]));
+    }
+}

@@ -1,0 +1,53 @@
+//! # relang — the regular-language substrate of the BonXai implementation
+//!
+//! Everything the BonXai ⇄ XML Schema translation algorithms (Martens,
+//! Neven, Niewerth, Schwentick, *BonXai: Combining the simplicity of DTD
+//! with the expressiveness of XML Schema*, PODS 2015) need to know about
+//! regular languages, built from scratch:
+//!
+//! * [`Alphabet`] / [`Sym`] — interned element names (the paper's `EName`);
+//! * [`Regex`] — expressions in the paper's Section 4.1 syntax, extended
+//!   with the practical language's counting `{n,m}` and interleaving `&`;
+//! * [`regex::determinism`] — the one-unambiguity (UPA) test;
+//! * [`regex::derivative`] — Brzozowski derivatives (general matching);
+//! * [`Nfa`] (Glushkov construction) and [`Dfa`] (dense tables);
+//! * [`ops`] — subset construction, Hopcroft minimization, (lazy) products,
+//!   DFA→regex state elimination, and language decision procedures;
+//! * [`CompiledDre`] — reusable compiled matchers for content models.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use relang::{Alphabet, Regex, CompiledDre};
+//! use relang::regex::determinism::is_deterministic;
+//!
+//! let mut sigma = Alphabet::new();
+//! let (title, section) = (sigma.intern("title"), sigma.intern("section"));
+//!
+//! // content model: title section*
+//! let model = Regex::concat(vec![
+//!     Regex::sym(title),
+//!     Regex::star(Regex::sym(section)),
+//! ]);
+//! assert!(is_deterministic(&model)); // satisfies UPA
+//!
+//! let matcher = CompiledDre::compile(&model, sigma.len());
+//! assert!(matcher.matches(&[title, section, section]));
+//! assert!(!matcher.matches(&[section]));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alphabet;
+pub mod dfa;
+pub mod matcher;
+pub mod nfa;
+pub mod ops;
+pub mod regex;
+
+pub use alphabet::{Alphabet, Sym};
+pub use dfa::{Dfa, StateId};
+pub use matcher::CompiledDre;
+pub use nfa::Nfa;
+pub use regex::ast::{Regex, UpperBound};

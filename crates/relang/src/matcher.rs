@@ -1,0 +1,289 @@
+//! Compiled matchers for deterministic content models.
+//!
+//! Validation (of BonXai, XSD, and DTD schemas alike) spends its time
+//! checking child strings `ch-str(v)` against content models. Content
+//! models are deterministic regular expressions (UPA), so matching is
+//! linear-time via the deterministic Glushkov automaton. This module
+//! compiles a content model once and reuses it across nodes:
+//!
+//! * core expressions (plus modest counting) → deterministic Glushkov DFA;
+//! * `xs:all`-style interleavings → a dedicated occurrence-counting matcher;
+//! * anything else (huge counters) → Brzozowski derivatives as a fallback.
+
+use std::collections::BTreeMap;
+
+use crate::alphabet::Sym;
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::ops::subset::determinize;
+use crate::regex::ast::{Regex, UpperBound};
+use crate::regex::derivative;
+use crate::regex::props::nullable;
+
+/// Desugaring budget for compilation; beyond this, the derivative fallback
+/// is used (correct, a little slower per word).
+const COMPILE_BUDGET: usize = 20_000;
+
+/// A content model compiled for repeated matching.
+#[derive(Clone, Debug)]
+pub struct CompiledDre {
+    imp: Impl,
+}
+
+#[derive(Clone, Debug)]
+enum Impl {
+    /// Deterministic automaton (partial transitions reject).
+    Auto(Dfa),
+    /// `xs:all`: per-symbol occurrence bounds; `None` bound = unbounded.
+    All(BTreeMap<Sym, (u32, UpperBound)>),
+    /// Derivative-based fallback (exact for all operators).
+    Deriv(Regex),
+}
+
+impl CompiledDre {
+    /// Compiles `r` for matching over an alphabet of `n_syms` symbols.
+    ///
+    /// The expression need not be deterministic — a nondeterministic
+    /// expression is determinized (subset construction), so `CompiledDre`
+    /// is also usable for the ancestor-pattern side where determinism is
+    /// not required.
+    pub fn compile(r: &Regex, n_syms: usize) -> CompiledDre {
+        if let Regex::Interleave(parts) = r {
+            if let Some(bounds) = all_bounds(parts) {
+                return CompiledDre {
+                    imp: Impl::All(bounds),
+                };
+            }
+        }
+        match Nfa::from_regex(r, n_syms, COMPILE_BUDGET) {
+            Some(nfa) => {
+                let dfa = if nfa.is_deterministic() {
+                    nfa_as_dfa(&nfa)
+                } else {
+                    determinize(&nfa)
+                };
+                CompiledDre {
+                    imp: Impl::Auto(dfa),
+                }
+            }
+            None => CompiledDre {
+                imp: Impl::Deriv(r.clone()),
+            },
+        }
+    }
+
+    /// Whether `word` matches the compiled model.
+    pub fn matches(&self, word: &[Sym]) -> bool {
+        match &self.imp {
+            Impl::Auto(dfa) => dfa.accepts(word),
+            Impl::All(bounds) => {
+                let mut counts: BTreeMap<Sym, u32> = BTreeMap::new();
+                for &a in word {
+                    if !bounds.contains_key(&a) {
+                        return false;
+                    }
+                    *counts.entry(a).or_insert(0) += 1;
+                }
+                bounds.iter().all(|(&sym, &(lo, hi))| {
+                    let c = counts.get(&sym).copied().unwrap_or(0);
+                    c >= lo && hi.admits(c)
+                })
+            }
+            Impl::Deriv(r) => derivative::matches(r, word),
+        }
+    }
+
+    /// Where matching fails: the index of the first offending position
+    /// (`word.len()` means the word is a proper prefix of a longer match).
+    /// `None` means the word matches.
+    pub fn first_error(&self, word: &[Sym]) -> Option<usize> {
+        match &self.imp {
+            Impl::Auto(dfa) => {
+                let mut q = dfa.initial();
+                for (i, &a) in word.iter().enumerate() {
+                    match dfa.transition(q, a) {
+                        Some(t) => q = t,
+                        None => return Some(i),
+                    }
+                }
+                if dfa.is_final(q) {
+                    None
+                } else {
+                    Some(word.len())
+                }
+            }
+            Impl::All(bounds) => {
+                let mut counts: BTreeMap<Sym, u32> = BTreeMap::new();
+                for (i, &a) in word.iter().enumerate() {
+                    match bounds.get(&a) {
+                        None => return Some(i),
+                        Some(&(_, hi)) => {
+                            let c = counts.entry(a).or_insert(0);
+                            *c += 1;
+                            if !hi.admits(*c) {
+                                return Some(i);
+                            }
+                        }
+                    }
+                }
+                let complete = bounds.iter().all(|(&sym, &(lo, _))| {
+                    counts.get(&sym).copied().unwrap_or(0) >= lo
+                });
+                if complete {
+                    None
+                } else {
+                    Some(word.len())
+                }
+            }
+            Impl::Deriv(r) => {
+                let mut cur = r.clone();
+                for (i, &a) in word.iter().enumerate() {
+                    cur = derivative::derivative(&cur, a);
+                    if crate::regex::props::is_empty_language(&cur) {
+                        return Some(i);
+                    }
+                }
+                if nullable(&cur) {
+                    None
+                } else {
+                    Some(word.len())
+                }
+            }
+        }
+    }
+}
+
+/// Extracts per-symbol occurrence bounds from `xs:all` operands, if the
+/// interleave is of the restricted counted-symbol form.
+fn all_bounds(parts: &[Regex]) -> Option<BTreeMap<Sym, (u32, UpperBound)>> {
+    let mut bounds = BTreeMap::new();
+    for p in parts {
+        let (sym, lo, hi) = match p {
+            Regex::Sym(s) => (*s, 1, UpperBound::Finite(1)),
+            Regex::Opt(inner) => match **inner {
+                Regex::Sym(s) => (s, 0, UpperBound::Finite(1)),
+                _ => return None,
+            },
+            Regex::Star(inner) => match **inner {
+                Regex::Sym(s) => (s, 0, UpperBound::Unbounded),
+                _ => return None,
+            },
+            Regex::Plus(inner) => match **inner {
+                Regex::Sym(s) => (s, 1, UpperBound::Unbounded),
+                _ => return None,
+            },
+            Regex::Repeat(inner, lo, hi) => match **inner {
+                Regex::Sym(s) => (s, *lo, *hi),
+                _ => return None,
+            },
+            _ => return None,
+        };
+        if bounds.insert(sym, (lo, hi)).is_some() {
+            return None; // duplicate symbol: not a valid xs:all
+        }
+    }
+    Some(bounds)
+}
+
+/// Views a deterministic NFA as a DFA directly (no subset construction).
+fn nfa_as_dfa(nfa: &Nfa) -> Dfa {
+    debug_assert!(nfa.is_deterministic());
+    let mut dfa = Dfa::new(nfa.n_syms(), nfa.n_states(), nfa.initial());
+    for q in 0..nfa.n_states() {
+        dfa.set_final(q, nfa.is_final(q));
+        for a in 0..nfa.n_syms() {
+            let ts = nfa.targets(q, Sym(a as u32));
+            if let Some(&t) = ts.first() {
+                dfa.set_transition(q, Sym(a as u32), Some(t));
+            }
+        }
+    }
+    dfa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> Regex {
+        Regex::Sym(Sym(i))
+    }
+    fn w(items: &[u32]) -> Vec<Sym> {
+        items.iter().map(|&i| Sym(i)).collect()
+    }
+
+    #[test]
+    fn compiled_core_matching() {
+        let r = Regex::concat(vec![s(0), Regex::star(Regex::alt(vec![s(1), s(2)]))]);
+        let m = CompiledDre::compile(&r, 3);
+        assert!(m.matches(&w(&[0])));
+        assert!(m.matches(&w(&[0, 1, 2, 1])));
+        assert!(!m.matches(&w(&[1])));
+        assert!(!m.matches(&w(&[])));
+    }
+
+    #[test]
+    fn compiled_all_matching() {
+        // a & b? & c{0,2}
+        let r = Regex::Interleave(vec![
+            s(0),
+            Regex::opt(s(1)),
+            Regex::repeat(s(2), 0, UpperBound::Finite(2)),
+        ]);
+        let m = CompiledDre::compile(&r, 3);
+        assert!(matches!(m.imp, Impl::All(_)));
+        assert!(m.matches(&w(&[0])));
+        assert!(m.matches(&w(&[2, 0, 2, 1])));
+        assert!(!m.matches(&w(&[2, 0, 2, 2])));
+        assert!(!m.matches(&w(&[1])));
+    }
+
+    #[test]
+    fn compiled_counting() {
+        let r = Regex::repeat(s(0), 2, UpperBound::Finite(4));
+        let m = CompiledDre::compile(&r, 1);
+        assert!(!m.matches(&w(&[0])));
+        assert!(m.matches(&w(&[0, 0])));
+        assert!(m.matches(&w(&[0, 0, 0, 0])));
+        assert!(!m.matches(&w(&[0, 0, 0, 0, 0])));
+    }
+
+    #[test]
+    fn huge_counter_uses_derivative_fallback() {
+        let r = Regex::repeat(s(0), 5_000, UpperBound::Finite(50_000));
+        let m = CompiledDre::compile(&r, 1);
+        assert!(matches!(m.imp, Impl::Deriv(_)));
+        assert!(!m.matches(&w(&[0; 10])));
+        assert!(m.matches(&vec![Sym(0); 5_000]));
+    }
+
+    #[test]
+    fn first_error_positions() {
+        // a b c
+        let r = Regex::concat(vec![s(0), s(1), s(2)]);
+        let m = CompiledDre::compile(&r, 3);
+        assert_eq!(m.first_error(&w(&[0, 1, 2])), None);
+        assert_eq!(m.first_error(&w(&[0, 2])), Some(1));
+        assert_eq!(m.first_error(&w(&[0, 1])), Some(2)); // incomplete
+        assert_eq!(m.first_error(&w(&[1])), Some(0));
+    }
+
+    #[test]
+    fn first_error_all() {
+        let r = Regex::Interleave(vec![s(0), s(1)]);
+        let m = CompiledDre::compile(&r, 2);
+        assert_eq!(m.first_error(&w(&[1, 0])), None);
+        assert_eq!(m.first_error(&w(&[1, 1])), Some(1));
+        assert_eq!(m.first_error(&w(&[0])), Some(1)); // missing b
+    }
+
+    #[test]
+    fn nondeterministic_expressions_still_match() {
+        // (a+b)* a — nondeterministic but CompiledDre determinizes
+        let r = Regex::concat(vec![Regex::star(Regex::alt(vec![s(0), s(1)])), s(0)]);
+        let m = CompiledDre::compile(&r, 2);
+        assert!(m.matches(&w(&[0])));
+        assert!(m.matches(&w(&[1, 1, 0])));
+        assert!(!m.matches(&w(&[1])));
+    }
+}

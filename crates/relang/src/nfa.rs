@@ -1,0 +1,199 @@
+//! Nondeterministic finite automata and the Glushkov construction.
+//!
+//! The Glushkov (position) automaton of a regex has one state per symbol
+//! occurrence plus a start state and no ε-transitions; it is deterministic
+//! exactly when the expression is one-unambiguous, which is why it doubles
+//! as the UPA decision procedure (see [`crate::regex::determinism`]) and as
+//! the linear-time matcher for deterministic content models
+//! ([`crate::matcher`]).
+
+use std::collections::BTreeMap;
+
+use crate::alphabet::Sym;
+use crate::regex::ast::Regex;
+use crate::regex::props::{positions, NonCoreOperator};
+
+/// An NFA state identifier.
+pub type StateId = usize;
+
+/// A nondeterministic finite automaton (no ε-transitions).
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    n_syms: usize,
+    initial: StateId,
+    /// Per-state transition map; target lists are sorted and deduplicated.
+    transitions: Vec<BTreeMap<Sym, Vec<StateId>>>,
+    finals: Vec<bool>,
+}
+
+impl Nfa {
+    /// Creates an NFA with `n_states` states and no transitions.
+    pub fn new(n_syms: usize, n_states: usize, initial: StateId) -> Self {
+        assert!(initial < n_states);
+        Nfa {
+            n_syms,
+            initial,
+            transitions: vec![BTreeMap::new(); n_states],
+            finals: vec![false; n_states],
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.finals.len()
+    }
+
+    /// Alphabet size.
+    pub fn n_syms(&self) -> usize {
+        self.n_syms
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Adds a transition `q --a--> t`.
+    pub fn add_transition(&mut self, q: StateId, a: Sym, t: StateId) {
+        let targets = self.transitions[q].entry(a).or_default();
+        if let Err(pos) = targets.binary_search(&t) {
+            targets.insert(pos, t);
+        }
+    }
+
+    /// Targets of `q` on `a` (sorted).
+    pub fn targets(&self, q: StateId, a: Sym) -> &[StateId] {
+        self.transitions[q].get(&a).map_or(&[], Vec::as_slice)
+    }
+
+    /// Marks `q` accepting.
+    pub fn set_final(&mut self, q: StateId, accepting: bool) {
+        self.finals[q] = accepting;
+    }
+
+    /// Whether `q` is accepting.
+    pub fn is_final(&self, q: StateId) -> bool {
+        self.finals[q]
+    }
+
+    /// Whether the automaton is deterministic (≤ 1 target per state/symbol).
+    pub fn is_deterministic(&self) -> bool {
+        self.transitions
+            .iter()
+            .all(|m| m.values().all(|ts| ts.len() <= 1))
+    }
+
+    /// Whether `word` is accepted (on-the-fly subset simulation).
+    pub fn accepts(&self, word: &[Sym]) -> bool {
+        let mut cur = vec![self.initial];
+        for &a in word {
+            let mut next: Vec<StateId> = Vec::new();
+            for &q in &cur {
+                next.extend_from_slice(self.targets(q, a));
+            }
+            next.sort_unstable();
+            next.dedup();
+            if next.is_empty() {
+                return false;
+            }
+            cur = next;
+        }
+        cur.iter().any(|&q| self.finals[q])
+    }
+
+    /// Builds the Glushkov automaton of a core expression.
+    ///
+    /// State 0 is the start state (no incoming transitions); state `1 + p`
+    /// corresponds to position `p`.
+    pub fn glushkov(r: &Regex, n_syms: usize) -> Result<Nfa, NonCoreOperator> {
+        let p = positions(r)?;
+        let n = 1 + p.syms.len();
+        let mut nfa = Nfa::new(n_syms, n, 0);
+        for &f in &p.first {
+            nfa.add_transition(0, p.syms[f], 1 + f);
+        }
+        for (q, fset) in p.follow.iter().enumerate() {
+            for &f in fset {
+                nfa.add_transition(1 + q, p.syms[f], 1 + f);
+            }
+        }
+        for &l in &p.last {
+            nfa.set_final(1 + l, true);
+        }
+        nfa.set_final(0, p.nullable);
+        Ok(nfa)
+    }
+
+    /// Builds an automaton for any expression: Glushkov for core
+    /// expressions, Glushkov-of-desugared otherwise (with `budget` capping
+    /// the desugared size).
+    pub fn from_regex(r: &Regex, n_syms: usize, budget: usize) -> Option<Nfa> {
+        if r.is_core() {
+            Some(Self::glushkov(r, n_syms).expect("core expression"))
+        } else {
+            let core = r.desugar(budget)?;
+            Some(Self::glushkov(&core, n_syms).expect("desugared expression is core"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> Regex {
+        Regex::Sym(Sym(i))
+    }
+    fn w(items: &[u32]) -> Vec<Sym> {
+        items.iter().map(|&i| Sym(i)).collect()
+    }
+
+    #[test]
+    fn glushkov_of_concat() {
+        let r = Regex::concat(vec![s(0), s(1)]);
+        let n = Nfa::glushkov(&r, 2).unwrap();
+        assert_eq!(n.n_states(), 3);
+        assert!(n.accepts(&w(&[0, 1])));
+        assert!(!n.accepts(&w(&[0])));
+        assert!(!n.accepts(&w(&[1, 0])));
+        assert!(n.is_deterministic());
+    }
+
+    #[test]
+    fn glushkov_of_nondeterministic_expression() {
+        // (a+b)* a
+        let r = Regex::concat(vec![Regex::star(Regex::alt(vec![s(0), s(1)])), s(0)]);
+        let n = Nfa::glushkov(&r, 2).unwrap();
+        assert!(!n.is_deterministic());
+        assert!(n.accepts(&w(&[0])));
+        assert!(n.accepts(&w(&[1, 1, 0])));
+        assert!(!n.accepts(&w(&[1])));
+        assert!(!n.accepts(&w(&[])));
+    }
+
+    #[test]
+    fn glushkov_nullable_start() {
+        let r = Regex::star(s(0));
+        let n = Nfa::glushkov(&r, 1).unwrap();
+        assert!(n.accepts(&[]));
+        assert!(n.accepts(&w(&[0, 0])));
+    }
+
+    #[test]
+    fn from_regex_desugars_counting() {
+        let r = Regex::repeat(s(0), 2, crate::regex::ast::UpperBound::Finite(3));
+        let n = Nfa::from_regex(&r, 1, 1000).unwrap();
+        assert!(!n.accepts(&w(&[0])));
+        assert!(n.accepts(&w(&[0, 0])));
+        assert!(n.accepts(&w(&[0, 0, 0])));
+        assert!(!n.accepts(&w(&[0, 0, 0, 0])));
+    }
+
+    #[test]
+    fn add_transition_dedups() {
+        let mut n = Nfa::new(1, 2, 0);
+        n.add_transition(0, Sym(0), 1);
+        n.add_transition(0, Sym(0), 1);
+        assert_eq!(n.targets(0, Sym(0)), &[1]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Canonical forms of regular languages.
+//!
+//! The minimal complete DFA of a language is unique up to isomorphism, and
+//! a breadth-first relabeling (exploring transitions in symbol order) is a
+//! deterministic choice of representative. Hence two languages over the
+//! same alphabet are equal **iff** their canonical keys are equal — which
+//! turns language equivalence into hashing, the trick that makes XSD type
+//! minimization (cf. \[22\] in the paper) near-linear instead of quadratic.
+
+use crate::alphabet::Sym;
+use crate::dfa::Dfa;
+use crate::ops::minimize::minimize;
+
+/// A canonical fingerprint of a regular language: alphabet size, state
+/// count, flattened BFS-ordered transition table, and finals bitmap.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LanguageKey(Vec<u64>);
+
+impl LanguageKey {
+    /// Prefixes a key with extra discriminating data (the prefix must be
+    /// self-delimiting, e.g. start with its own length). Used by callers
+    /// that need to distinguish equal languages over different underlying
+    /// symbol sets, such as XSD type minimization.
+    pub fn compose(prefix: Vec<u64>, key: LanguageKey) -> LanguageKey {
+        let mut v = prefix;
+        v.extend(key.0);
+        LanguageKey(v)
+    }
+}
+
+/// Computes the canonical key of the language accepted by `dfa`.
+pub fn language_key(dfa: &Dfa) -> LanguageKey {
+    let min = minimize(dfa);
+    // BFS relabel from the initial state, transitions in symbol order.
+    let n = min.n_states();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut newid: Vec<Option<usize>> = vec![None; n];
+    order.push(min.initial());
+    newid[min.initial()] = Some(0);
+    let mut head = 0;
+    while head < order.len() {
+        let q = order[head];
+        head += 1;
+        for a in 0..min.n_syms() {
+            let t = min
+                .transition(q, Sym(a as u32))
+                .expect("minimize yields a complete DFA");
+            if newid[t].is_none() {
+                newid[t] = Some(order.len());
+                order.push(t);
+            }
+        }
+    }
+    // Minimal DFAs are reachable-only, so every state is ordered.
+    let mut key: Vec<u64> = Vec::with_capacity(2 + n * (min.n_syms() + 1));
+    key.push(min.n_syms() as u64);
+    key.push(n as u64);
+    for &q in &order {
+        for a in 0..min.n_syms() {
+            let t = min.transition(q, Sym(a as u32)).expect("complete");
+            key.push(newid[t].expect("reachable") as u64);
+        }
+        key.push(u64::from(min.is_final(q)));
+    }
+    LanguageKey(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::ops::subset::determinize;
+    use crate::regex::ast::Regex;
+
+    fn key_of(r: &Regex, n_syms: usize) -> LanguageKey {
+        language_key(&determinize(&Nfa::from_regex(r, n_syms, 10_000).unwrap()))
+    }
+
+    fn s(i: u32) -> Regex {
+        Regex::Sym(Sym(i))
+    }
+
+    #[test]
+    fn equivalent_languages_share_keys() {
+        // (a+b)* a  vs  b* a (b* a)*
+        let r1 = Regex::concat(vec![Regex::star(Regex::alt(vec![s(0), s(1)])), s(0)]);
+        let ba = Regex::concat(vec![Regex::star(s(1)), s(0)]);
+        let r2 = Regex::concat(vec![ba.clone(), Regex::star(ba)]);
+        assert_eq!(key_of(&r1, 2), key_of(&r2, 2));
+    }
+
+    #[test]
+    fn different_languages_differ() {
+        assert_ne!(key_of(&Regex::star(s(0)), 2), key_of(&Regex::plus(s(0)), 2));
+        assert_ne!(key_of(&s(0), 2), key_of(&s(1), 2));
+    }
+
+    #[test]
+    fn key_is_stable_under_state_renumbering() {
+        // Build the same language with scrambled state ids.
+        let mut d1 = Dfa::new(1, 2, 0);
+        d1.set_transition(0, Sym(0), Some(1));
+        d1.set_final(1, true);
+        let mut d2 = Dfa::new(1, 3, 2);
+        d2.set_transition(2, Sym(0), Some(0));
+        d2.set_final(0, true);
+        assert_eq!(language_key(&d1), language_key(&d2));
+    }
+}

@@ -1,0 +1,275 @@
+//! DFA → regular expression via state elimination.
+//!
+//! This is line 2 of Algorithm 2 in the paper ("rq := a reg. expression for
+//! (Q, EName, δ, q0, {q})"), and the provably exponential step of the
+//! XSD → BonXai translation (Theorem 8, via Ehrenfeucht & Zeiger). We use a
+//! generalized-NFA elimination with a fill-in-minimizing ordering heuristic,
+//! which keeps expressions small on the benign automata that dominate in
+//! practice (Section 4.4) while of course remaining exponential on the
+//! lower-bound family.
+
+use std::collections::BTreeMap;
+
+use crate::alphabet::Sym;
+use crate::dfa::Dfa;
+use crate::regex::ast::Regex;
+
+/// Elimination-order strategies for [`dfa_to_regex_with_order`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EliminationOrder {
+    /// Eliminate the state minimizing fan-in × fan-out next (the default;
+    /// keeps intermediate expressions small on benign automata).
+    LowDegreeFirst,
+    /// Eliminate states in numeric order (the naive baseline, used by the
+    /// ablation experiment).
+    Sequential,
+}
+
+/// Computes a regular expression for the language accepted by `dfa` with
+/// the given set of accepting states (ignoring the DFA's own finals).
+///
+/// Only the reachable, co-reachable part of the automaton participates;
+/// if no accepting state is reachable the result is [`Regex::Empty`].
+pub fn dfa_to_regex(dfa: &Dfa, finals: &[usize]) -> Regex {
+    dfa_to_regex_with_order(dfa, finals, EliminationOrder::LowDegreeFirst)
+}
+
+/// Like [`dfa_to_regex`], with an explicit elimination-order strategy.
+pub fn dfa_to_regex_with_order(
+    dfa: &Dfa,
+    finals: &[usize],
+    order: EliminationOrder,
+) -> Regex {
+    let n = dfa.n_states();
+    if n == 0 || finals.is_empty() {
+        return Regex::Empty;
+    }
+
+    // Reachable from initial.
+    let reachable = {
+        let mut seen = vec![false; n];
+        let mut stack = vec![dfa.initial()];
+        seen[dfa.initial()] = true;
+        while let Some(q) = stack.pop() {
+            for a in 0..dfa.n_syms() {
+                if let Some(t) = dfa.transition(q, Sym(a as u32)) {
+                    if !seen[t] {
+                        seen[t] = true;
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        seen
+    };
+    // Co-reachable to some final.
+    let coreachable = {
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for q in 0..n {
+            for a in 0..dfa.n_syms() {
+                if let Some(t) = dfa.transition(q, Sym(a as u32)) {
+                    rev[t].push(q);
+                }
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> = finals.to_vec();
+        for &f in finals {
+            seen[f] = true;
+        }
+        while let Some(q) = stack.pop() {
+            for &p in &rev[q] {
+                if !seen[p] {
+                    seen[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    };
+
+    let alive = |q: usize| reachable[q] && coreachable[q];
+    if !alive(dfa.initial()) {
+        return Regex::Empty;
+    }
+
+    // GNFA nodes: usize state ids; virtual start = n, accept = n + 1.
+    let start = n;
+    let accept = n + 1;
+    let mut edges: BTreeMap<(usize, usize), Regex> = BTreeMap::new();
+    let add_edge = |edges: &mut BTreeMap<(usize, usize), Regex>, i: usize, j: usize, r: Regex| {
+        if r == Regex::Empty {
+            return;
+        }
+        match edges.remove(&(i, j)) {
+            Some(prev) => {
+                edges.insert((i, j), Regex::alt(vec![prev, r]));
+            }
+            None => {
+                edges.insert((i, j), r);
+            }
+        }
+    };
+
+    for q in 0..n {
+        if !alive(q) {
+            continue;
+        }
+        for a in 0..dfa.n_syms() {
+            if let Some(t) = dfa.transition(q, Sym(a as u32)) {
+                if alive(t) {
+                    add_edge(&mut edges, q, t, Regex::Sym(Sym(a as u32)));
+                }
+            }
+        }
+    }
+    add_edge(&mut edges, start, dfa.initial(), Regex::Epsilon);
+    for &f in finals {
+        if alive(f) {
+            add_edge(&mut edges, f, accept, Regex::Epsilon);
+        }
+    }
+
+    // Eliminate internal nodes, cheapest (in-degree × out-degree) first.
+    let mut remaining: Vec<usize> = (0..n).filter(|&q| alive(q)).collect();
+    while !remaining.is_empty() {
+        // Pick the next node per the chosen strategy.
+        let k = match order {
+            EliminationOrder::Sequential => remaining[0],
+            EliminationOrder::LowDegreeFirst => remaining
+                .iter()
+                .copied()
+                .min_by_key(|&q| {
+                    let indeg = edges.keys().filter(|&&(i, j)| j == q && i != q).count();
+                    let outdeg =
+                        edges.keys().filter(|&&(i, j)| i == q && j != q).count();
+                    (indeg * outdeg, q)
+                })
+                .expect("remaining is nonempty"),
+        };
+        remaining.retain(|&q| q != k);
+
+        let self_loop = edges.remove(&(k, k));
+        let loop_star = self_loop.map(Regex::star);
+        let incoming: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|&(&(i, j), _)| j == k && i != k)
+            .map(|(&(i, _), r)| (i, r.clone()))
+            .collect();
+        let outgoing: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|&(&(i, j), _)| i == k && j != k)
+            .map(|(&(_, j), r)| (j, r.clone()))
+            .collect();
+        edges.retain(|&(i, j), _| i != k && j != k);
+
+        for (i, rin) in &incoming {
+            for (j, rout) in &outgoing {
+                let mut seq = vec![rin.clone()];
+                if let Some(ls) = &loop_star {
+                    seq.push(ls.clone());
+                }
+                seq.push(rout.clone());
+                add_edge(&mut edges, *i, *j, Regex::concat(seq));
+            }
+        }
+    }
+
+    edges.remove(&(start, accept)).unwrap_or(Regex::Empty)
+}
+
+/// Convenience: regex for the language that *reaches* state `q` from the
+/// initial state — exactly the `rq` of Algorithm 2.
+pub fn language_reaching(dfa: &Dfa, q: usize) -> Regex {
+    dfa_to_regex(dfa, &[q])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::ops::subset::determinize;
+    use crate::regex::derivative::matches;
+
+    fn s(i: u32) -> Regex {
+        Regex::Sym(Sym(i))
+    }
+
+    fn dfa_of(r: &Regex, n_syms: usize) -> Dfa {
+        determinize(&Nfa::from_regex(r, n_syms, 10_000).unwrap())
+    }
+
+    fn assert_roundtrip(r: &Regex, n_syms: usize, max_len: usize) {
+        let dfa = dfa_of(r, n_syms);
+        let back = dfa_to_regex(&dfa, &dfa.final_states());
+        // exhaustive word comparison
+        let mut words = vec![vec![]];
+        for _ in 0..=max_len {
+            for w in &words {
+                assert_eq!(
+                    matches(r, w),
+                    matches(&back, w),
+                    "word {w:?}: orig {r:?} vs back {back:?}"
+                );
+            }
+            let mut next = Vec::new();
+            for w in &words {
+                for a in 0..n_syms as u32 {
+                    let mut w2 = w.clone();
+                    w2.push(Sym(a));
+                    next.push(w2);
+                }
+            }
+            words = next;
+        }
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        assert_roundtrip(&Regex::concat(vec![s(0), s(1)]), 2, 5);
+        assert_roundtrip(&Regex::star(Regex::concat(vec![s(0), s(1)])), 2, 6);
+        assert_roundtrip(&Regex::Epsilon, 2, 3);
+        assert_roundtrip(&Regex::Empty, 2, 3);
+    }
+
+    #[test]
+    fn roundtrip_alternation_and_star() {
+        let r = Regex::concat(vec![Regex::star(Regex::alt(vec![s(0), s(1)])), s(0)]);
+        assert_roundtrip(&r, 2, 6);
+    }
+
+    #[test]
+    fn roundtrip_three_symbols() {
+        // a (b + c a)* b?
+        let r = Regex::concat(vec![
+            s(0),
+            Regex::star(Regex::alt(vec![s(1), Regex::concat(vec![s(2), s(0)])])),
+            Regex::opt(s(1)),
+        ]);
+        assert_roundtrip(&r, 3, 5);
+    }
+
+    #[test]
+    fn language_reaching_states() {
+        // DFA for a b: states 0 -a-> 1 -b-> 2
+        let mut d = Dfa::new(2, 3, 0);
+        d.set_transition(0, Sym(0), Some(1));
+        d.set_transition(1, Sym(1), Some(2));
+        let r0 = language_reaching(&d, 0);
+        let r1 = language_reaching(&d, 1);
+        let r2 = language_reaching(&d, 2);
+        assert!(matches(&r0, &[]));
+        assert!(!matches(&r0, &[Sym(0)]));
+        assert!(matches(&r1, &[Sym(0)]));
+        assert!(matches(&r2, &[Sym(0), Sym(1)]));
+        assert!(!matches(&r2, &[Sym(0)]));
+    }
+
+    #[test]
+    fn unreachable_finals_yield_empty() {
+        let mut d = Dfa::new(1, 2, 0);
+        // state 1 unreachable
+        d.set_transition(0, Sym(0), Some(0));
+        assert_eq!(dfa_to_regex(&d, &[1]), Regex::Empty);
+    }
+}

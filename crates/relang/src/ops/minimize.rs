@@ -1,0 +1,234 @@
+//! DFA minimization (Hopcroft's algorithm).
+//!
+//! Algorithm 3 of the paper needs the *minimal complete* DFA for each rule
+//! language `L(ri)`; minimality keeps the product automaton as small as the
+//! theory allows.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::alphabet::Sym;
+use crate::dfa::Dfa;
+
+/// Minimizes `dfa` with Hopcroft's partition-refinement algorithm.
+///
+/// The input is first completed and trimmed to its reachable part; the
+/// output is the unique (up to isomorphism) minimal complete DFA for the
+/// same language. State 0 is the initial state of the result.
+#[allow(clippy::needless_range_loop)] // dense-table row indexing
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let mut dfa = dfa.clone();
+    dfa.complete();
+    dfa.trim_unreachable();
+    let n = dfa.n_states();
+    let n_syms = dfa.n_syms();
+    if n == 0 {
+        return dfa;
+    }
+
+    // Inverse transition lists: rev[a][q] = states p with δ(p,a)=q.
+    let mut rev: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n]; n_syms];
+    for p in 0..n {
+        for a in 0..n_syms {
+            let q = dfa
+                .transition(p, Sym(a as u32))
+                .expect("completed automaton");
+            rev[a][q].push(p);
+        }
+    }
+
+    // Partition as block id per state; blocks as sorted vectors.
+    let finals: BTreeSet<usize> = dfa.final_states().into_iter().collect();
+    let nonfinals: BTreeSet<usize> = (0..n).filter(|q| !finals.contains(q)).collect();
+    let mut blocks: Vec<BTreeSet<usize>> = Vec::new();
+    let mut block_of: Vec<usize> = vec![0; n];
+    for set in [finals, nonfinals] {
+        if set.is_empty() {
+            continue;
+        }
+        let id = blocks.len();
+        for &q in &set {
+            block_of[q] = id;
+        }
+        blocks.push(set);
+    }
+
+    // Worklist of (block id, symbol) splitters.
+    let mut work: BTreeSet<(usize, usize)> = BTreeSet::new();
+    // Hopcroft: start with the smaller of the two initial blocks (all
+    // symbols); adding both is also correct and simpler.
+    for b in 0..blocks.len() {
+        for a in 0..n_syms {
+            work.insert((b, a));
+        }
+    }
+
+    while let Some(&(b, a)) = work.iter().next() {
+        work.remove(&(b, a));
+        // X = states with a-transition into block b
+        let mut x: BTreeSet<usize> = BTreeSet::new();
+        for &q in &blocks[b] {
+            for &p in &rev[a][q] {
+                x.insert(p);
+            }
+        }
+        if x.is_empty() {
+            continue;
+        }
+        // Group X members by their current block and split.
+        let mut touched: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &p in &x {
+            touched.entry(block_of[p]).or_default().push(p);
+        }
+        for (blk, members) in touched {
+            if members.len() == blocks[blk].len() {
+                continue; // block entirely inside X: no split
+            }
+            // Split blk into (members) and (rest).
+            let new_id = blocks.len();
+            let member_set: BTreeSet<usize> = members.into_iter().collect();
+            let rest: BTreeSet<usize> = blocks[blk].difference(&member_set).copied().collect();
+            // Keep the larger part in place, move the smaller out (Hopcroft).
+            let (stay, moved) = if member_set.len() <= rest.len() {
+                (rest, member_set)
+            } else {
+                (member_set, rest)
+            };
+            blocks[blk] = stay;
+            for &q in &moved {
+                block_of[q] = new_id;
+            }
+            blocks.push(moved);
+            // Update the worklist.
+            for s in 0..n_syms {
+                if work.contains(&(blk, s)) {
+                    work.insert((new_id, s));
+                } else {
+                    // add the smaller of the two; we moved the smaller out
+                    work.insert((new_id, s));
+                }
+            }
+        }
+    }
+
+    // Build the quotient automaton with block of the initial state first.
+    let init_block = block_of[dfa.initial()];
+    let mut order: Vec<usize> = Vec::with_capacity(blocks.len());
+    order.push(init_block);
+    for b in 0..blocks.len() {
+        if b != init_block {
+            order.push(b);
+        }
+    }
+    let mut newid: Vec<usize> = vec![0; blocks.len()];
+    for (i, &b) in order.iter().enumerate() {
+        newid[b] = i;
+    }
+    let mut out = Dfa::new(n_syms, blocks.len(), 0);
+    for b in 0..blocks.len() {
+        let repr = *blocks[b].iter().next().expect("blocks are nonempty");
+        let q = newid[b];
+        out.set_final(q, dfa.is_final(repr));
+        for a in 0..n_syms {
+            let t = dfa
+                .transition(repr, Sym(a as u32))
+                .expect("completed automaton");
+            out.set_transition(q, Sym(a as u32), Some(newid[block_of[t]]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::ops::subset::determinize;
+    use crate::regex::ast::Regex;
+
+    fn s(i: u32) -> Regex {
+        Regex::Sym(Sym(i))
+    }
+
+    fn dfa_of(r: &Regex, n_syms: usize) -> Dfa {
+        determinize(&Nfa::from_regex(r, n_syms, 10_000).unwrap())
+    }
+
+    fn assert_same_language(d1: &Dfa, d2: &Dfa, n_syms: usize, max_len: usize) {
+        let mut words = vec![vec![]];
+        for _ in 0..=max_len {
+            for w in &words {
+                assert_eq!(d1.accepts(w), d2.accepts(w), "{w:?}");
+            }
+            let mut next = Vec::new();
+            for w in &words {
+                for a in 0..n_syms as u32 {
+                    let mut w2 = w.clone();
+                    w2.push(Sym(a));
+                    next.push(w2);
+                }
+            }
+            words = next;
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_language() {
+        // (a+b)* a b
+        let r = Regex::concat(vec![Regex::star(Regex::alt(vec![s(0), s(1)])), s(0), s(1)]);
+        let d = dfa_of(&r, 2);
+        let m = minimize(&d);
+        assert!(m.is_complete());
+        assert!(m.n_states() <= d.n_states() + 1);
+        assert_same_language(&d, &m, 2, 6);
+    }
+
+    #[test]
+    fn minimize_known_state_count() {
+        // The minimal complete DFA for (a+b)* a b has exactly 3 states.
+        let r = Regex::concat(vec![Regex::star(Regex::alt(vec![s(0), s(1)])), s(0), s(1)]);
+        let m = minimize(&dfa_of(&r, 2));
+        assert_eq!(m.n_states(), 3);
+    }
+
+    #[test]
+    fn minimize_empty_language() {
+        let m = minimize(&dfa_of(&Regex::Empty, 2));
+        // single sink state, non-accepting
+        assert_eq!(m.n_states(), 1);
+        assert!(!m.accepts(&[]));
+        assert!(!m.accepts(&[Sym(0)]));
+    }
+
+    #[test]
+    fn minimize_sigma_star() {
+        let r = Regex::star(Regex::alt(vec![s(0), s(1)]));
+        let m = minimize(&dfa_of(&r, 2));
+        assert_eq!(m.n_states(), 1);
+        assert!(m.accepts(&[]));
+        assert!(m.accepts(&[Sym(0), Sym(1), Sym(1)]));
+    }
+
+    #[test]
+    fn minimize_word_language() {
+        // {aba}: minimal complete DFA has |w|+2 = 5 states
+        let r = Regex::word(&[Sym(0), Sym(1), Sym(0)]);
+        let m = minimize(&dfa_of(&r, 2));
+        assert_eq!(m.n_states(), 5);
+        assert!(m.accepts(&[Sym(0), Sym(1), Sym(0)]));
+        assert!(!m.accepts(&[Sym(0), Sym(1)]));
+        assert!(!m.accepts(&[Sym(0), Sym(1), Sym(0), Sym(0)]));
+    }
+
+    #[test]
+    fn minimize_merges_equivalent_states() {
+        // a b + c b : states after a and after c are equivalent
+        let r = Regex::alt(vec![
+            Regex::concat(vec![s(0), s(1)]),
+            Regex::concat(vec![s(2), s(1)]),
+        ]);
+        let d = dfa_of(&r, 3);
+        let m = minimize(&d);
+        // states: start, {after a / after c merged}, accept, sink
+        assert_eq!(m.n_states(), 4);
+    }
+}

@@ -1,0 +1,110 @@
+//! NFA → DFA subset construction.
+
+use std::collections::BTreeMap;
+
+use crate::alphabet::Sym;
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+
+/// Determinizes `nfa` via the subset construction, exploring only reachable
+/// subsets. The result is partial: the empty subset is represented by a
+/// missing transition rather than a sink state.
+#[allow(clippy::needless_range_loop)] // dense-table row indexing
+pub fn determinize(nfa: &Nfa) -> Dfa {
+    let mut ids: BTreeMap<Vec<usize>, usize> = BTreeMap::new();
+    let mut subsets: Vec<Vec<usize>> = Vec::new();
+    let start = vec![nfa.initial()];
+    ids.insert(start.clone(), 0);
+    subsets.push(start);
+
+    let mut rows: Vec<Vec<Option<usize>>> = Vec::new();
+    let mut next = 0usize;
+    while next < subsets.len() {
+        let cur = subsets[next].clone();
+        let mut row = vec![None; nfa.n_syms()];
+        for a in 0..nfa.n_syms() {
+            let mut targets: Vec<usize> = Vec::new();
+            for &q in &cur {
+                targets.extend_from_slice(nfa.targets(q, Sym(a as u32)));
+            }
+            targets.sort_unstable();
+            targets.dedup();
+            if targets.is_empty() {
+                continue;
+            }
+            let id = *ids.entry(targets.clone()).or_insert_with(|| {
+                subsets.push(targets);
+                subsets.len() - 1
+            });
+            row[a] = Some(id);
+        }
+        rows.push(row);
+        next += 1;
+    }
+
+    let mut dfa = Dfa::new(nfa.n_syms(), subsets.len(), 0);
+    for (q, row) in rows.iter().enumerate() {
+        for (a, &t) in row.iter().enumerate() {
+            dfa.set_transition(q, Sym(a as u32), t);
+        }
+        if subsets[q].iter().any(|&s| nfa.is_final(s)) {
+            dfa.set_final(q, true);
+        }
+    }
+    dfa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::ast::Regex;
+
+    fn s(i: u32) -> Regex {
+        Regex::Sym(Sym(i))
+    }
+    fn w(items: &[u32]) -> Vec<Sym> {
+        items.iter().map(|&i| Sym(i)).collect()
+    }
+
+    #[test]
+    fn determinize_nondeterministic_glushkov() {
+        // (a+b)* a over {a,b}
+        let r = Regex::concat(vec![Regex::star(Regex::alt(vec![s(0), s(1)])), s(0)]);
+        let nfa = Nfa::glushkov(&r, 2).unwrap();
+        assert!(!nfa.is_deterministic());
+        let dfa = determinize(&nfa);
+        for word in [&w(&[0])[..], &w(&[1, 0]), &w(&[0, 0, 0])] {
+            assert!(dfa.accepts(word), "{word:?}");
+        }
+        for word in [&w(&[])[..], &w(&[1]), &w(&[0, 1])] {
+            assert!(!dfa.accepts(word), "{word:?}");
+        }
+    }
+
+    #[test]
+    fn determinize_agrees_with_nfa_on_enumeration() {
+        // (ab + aba)*
+        let r = Regex::star(Regex::alt(vec![
+            Regex::concat(vec![s(0), s(1)]),
+            Regex::concat(vec![s(0), s(1), s(0)]),
+        ]));
+        let nfa = Nfa::glushkov(&r, 2).unwrap();
+        let dfa = determinize(&nfa);
+        // exhaustive comparison over all words of length <= 7
+        let mut words = vec![vec![]];
+        for _ in 0..7 {
+            let mut next = Vec::new();
+            for word in &words {
+                for a in 0..2u32 {
+                    let mut w2 = word.clone();
+                    w2.push(Sym(a));
+                    next.push(w2);
+                }
+            }
+            for word in &next {
+                assert_eq!(nfa.accepts(word), dfa.accepts(word), "{word:?}");
+            }
+            words = next;
+        }
+    }
+}

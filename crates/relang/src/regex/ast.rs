@@ -1,0 +1,527 @@
+//! Regular-expression abstract syntax.
+//!
+//! Mirrors the syntax of Section 4.1 of the paper:
+//!
+//! ```text
+//! r ::= ε | ∅ | a | r·r | r + r | (r)? | (r)+ | (r)*
+//! ```
+//!
+//! extended with the two operators of the practical language (Section 3.1):
+//! counted repetition `r{n,m}` and restricted interleaving `r & r`
+//! (XML Schema's `xs:all`). The formal algorithms only ever see the plain
+//! operators; the extensions are desugared or handled by the validator.
+
+use crate::alphabet::Sym;
+
+/// Upper bound of a counted repetition: a number or `*` (unbounded).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum UpperBound {
+    /// A concrete maximum number of repetitions.
+    Finite(u32),
+    /// `*`: no upper bound.
+    Unbounded,
+}
+
+impl UpperBound {
+    /// Whether `n` repetitions stay within the bound.
+    #[inline]
+    pub fn admits(self, n: u32) -> bool {
+        match self {
+            UpperBound::Finite(m) => n <= m,
+            UpperBound::Unbounded => true,
+        }
+    }
+}
+
+/// A regular expression over interned symbols.
+///
+/// n-ary `Concat` and `Alt` keep trees shallow; the canonical empty
+/// concatenation is [`Regex::Epsilon`] and the canonical empty alternation
+/// is [`Regex::Empty`] (constructors normalize these).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Regex {
+    /// `∅` — the empty language.
+    Empty,
+    /// `ε` — the language containing only the empty word.
+    Epsilon,
+    /// A single symbol.
+    Sym(Sym),
+    /// Concatenation `r1 · r2 · … · rk`, k ≥ 2.
+    Concat(Vec<Regex>),
+    /// Union `r1 + r2 + … + rk`, k ≥ 2.
+    Alt(Vec<Regex>),
+    /// Kleene star `r*`.
+    Star(Box<Regex>),
+    /// One-or-more `r+`.
+    Plus(Box<Regex>),
+    /// Zero-or-one `r?`.
+    Opt(Box<Regex>),
+    /// Counted repetition `r{n,m}` with `m` possibly `*`.
+    Repeat(Box<Regex>, u32, UpperBound),
+    /// Interleaving (shuffle) `r1 & … & rk`, k ≥ 2. Restricted as in
+    /// XML Schema's `xs:all`; see [`crate::regex::props`].
+    Interleave(Vec<Regex>),
+}
+
+impl Regex {
+    /// A single-symbol expression.
+    pub fn sym(s: Sym) -> Regex {
+        Regex::Sym(s)
+    }
+
+    /// Concatenation of `parts`, flattening nested concatenations and
+    /// normalizing the empty and singleton cases. `∅` absorbs.
+    pub fn concat(parts: Vec<Regex>) -> Regex {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Epsilon => {}
+                Regex::Empty => return Regex::Empty,
+                Regex::Concat(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Epsilon,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Concat(out),
+        }
+    }
+
+    /// Union of `parts`, flattening nested unions and dropping `∅`.
+    pub fn alt(parts: Vec<Regex>) -> Regex {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Empty => {}
+                Regex::Alt(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Empty,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Alt(out),
+        }
+    }
+
+    /// `r*`, normalizing `∅* = ε* = ε` and collapsing iterated stars.
+    pub fn star(r: Regex) -> Regex {
+        match r {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            s @ Regex::Star(_) => s,
+            Regex::Plus(inner) | Regex::Opt(inner) => Regex::Star(inner),
+            other => Regex::Star(Box::new(other)),
+        }
+    }
+
+    /// `r+`, normalizing `∅+ = ∅`, `ε+ = ε`.
+    pub fn plus(r: Regex) -> Regex {
+        match r {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            s @ Regex::Star(_) => s,
+            p @ Regex::Plus(_) => p,
+            Regex::Opt(inner) => Regex::Star(inner),
+            other => Regex::Plus(Box::new(other)),
+        }
+    }
+
+    /// `r?`, normalizing `∅? = ε`, `ε? = ε`.
+    pub fn opt(r: Regex) -> Regex {
+        match r {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            s @ Regex::Star(_) => s,
+            Regex::Plus(inner) => Regex::Star(inner),
+            o @ Regex::Opt(_) => o,
+            other => Regex::Opt(Box::new(other)),
+        }
+    }
+
+    /// `r{lo,hi}`. Normalizes the cases expressible with core operators
+    /// (`{0,*}` = `*`, `{1,*}` = `+`, `{0,1}` = `?`, `{1,1}` = identity).
+    pub fn repeat(r: Regex, lo: u32, hi: UpperBound) -> Regex {
+        debug_assert!(hi.admits(lo), "empty repetition range");
+        match (lo, hi) {
+            (0, UpperBound::Unbounded) => Regex::star(r),
+            (1, UpperBound::Unbounded) => Regex::plus(r),
+            (0, UpperBound::Finite(1)) => Regex::opt(r),
+            (1, UpperBound::Finite(1)) => r,
+            (0, UpperBound::Finite(0)) => Regex::Epsilon,
+            _ => match r {
+                Regex::Empty => {
+                    if lo == 0 {
+                        Regex::Epsilon
+                    } else {
+                        Regex::Empty
+                    }
+                }
+                Regex::Epsilon => Regex::Epsilon,
+                other => Regex::Repeat(Box::new(other), lo, hi),
+            },
+        }
+    }
+
+    /// Interleaving of `parts`, flattening and dropping `ε`; `∅` absorbs.
+    pub fn interleave(parts: Vec<Regex>) -> Regex {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Epsilon => {}
+                Regex::Empty => return Regex::Empty,
+                Regex::Interleave(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Epsilon,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Interleave(out),
+        }
+    }
+
+    /// Union of a set of symbols, the paper's `S` abbreviation for
+    /// `(a1 + … + an)`.
+    pub fn sym_set<I: IntoIterator<Item = Sym>>(syms: I) -> Regex {
+        Regex::alt(syms.into_iter().map(Regex::Sym).collect())
+    }
+
+    /// A concatenation of single symbols — the regex `{w}` for a word `w`.
+    pub fn word(w: &[Sym]) -> Regex {
+        Regex::concat(w.iter().copied().map(Regex::Sym).collect())
+    }
+
+    /// The paper's size measure: the total number of alphabet-symbol
+    /// occurrences. `aaa` and `a(b+c)?` both have size 3.
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon => 0,
+            Regex::Sym(_) => 1,
+            Regex::Concat(parts) | Regex::Alt(parts) | Regex::Interleave(parts) => {
+                parts.iter().map(Regex::size).sum()
+            }
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) | Regex::Repeat(r, _, _) => r.size(),
+        }
+    }
+
+    /// Number of AST nodes; a syntactic size useful for cost caps.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Sym(_) => 1,
+            Regex::Concat(parts) | Regex::Alt(parts) | Regex::Interleave(parts) => {
+                1 + parts.iter().map(Regex::node_count).sum::<usize>()
+            }
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) | Regex::Repeat(r, _, _) => {
+                1 + r.node_count()
+            }
+        }
+    }
+
+    /// Whether the expression uses only the core operators of Section 4.1
+    /// (no counting, no interleaving).
+    pub fn is_core(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Sym(_) => true,
+            Regex::Concat(parts) | Regex::Alt(parts) => parts.iter().all(Regex::is_core),
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) => r.is_core(),
+            Regex::Repeat(..) | Regex::Interleave(..) => false,
+        }
+    }
+
+    /// All distinct symbols occurring in the expression, sorted.
+    pub fn symbols(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        self.collect_symbols(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut Vec<Sym>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Sym(s) => out.push(*s),
+            Regex::Concat(parts) | Regex::Alt(parts) | Regex::Interleave(parts) => {
+                for p in parts {
+                    p.collect_symbols(out);
+                }
+            }
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) | Regex::Repeat(r, _, _) => {
+                r.collect_symbols(out)
+            }
+        }
+    }
+
+    /// Applies `f` to every symbol, producing a relabeled expression.
+    ///
+    /// This is the `µ`-replacement of Algorithm 1 (and its inverse in
+    /// Algorithm 4): symbols are renamed but the expression's *structure*
+    /// — and hence its determinism — is untouched.
+    pub fn map_symbols(&self, f: &mut impl FnMut(Sym) -> Sym) -> Regex {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Sym(s) => Regex::Sym(f(*s)),
+            Regex::Concat(parts) => {
+                Regex::Concat(parts.iter().map(|p| p.map_symbols(f)).collect())
+            }
+            Regex::Alt(parts) => Regex::Alt(parts.iter().map(|p| p.map_symbols(f)).collect()),
+            Regex::Interleave(parts) => {
+                Regex::Interleave(parts.iter().map(|p| p.map_symbols(f)).collect())
+            }
+            Regex::Star(r) => Regex::Star(Box::new(r.map_symbols(f))),
+            Regex::Plus(r) => Regex::Plus(Box::new(r.map_symbols(f))),
+            Regex::Opt(r) => Regex::Opt(Box::new(r.map_symbols(f))),
+            Regex::Repeat(r, lo, hi) => Regex::Repeat(Box::new(r.map_symbols(f)), *lo, *hi),
+        }
+    }
+
+    /// Expands counting and interleaving into the core operators.
+    ///
+    /// Counted repetitions are unrolled (`r{2,4}` → `r r (r (r)?)?`), and
+    /// interleavings are expanded into a union over orderings. Both can
+    /// blow up; `budget` caps the node count of the result (`None` on
+    /// overflow). Used only where a plain-regex view is unavoidable — the
+    /// translation algorithms themselves never call this on content models.
+    pub fn desugar(&self, budget: usize) -> Option<Regex> {
+        let r = self.desugar_inner()?;
+        (r.node_count() <= budget).then_some(r)
+    }
+
+    fn desugar_inner(&self) -> Option<Regex> {
+        match self {
+            Regex::Empty => Some(Regex::Empty),
+            Regex::Epsilon => Some(Regex::Epsilon),
+            Regex::Sym(s) => Some(Regex::Sym(*s)),
+            Regex::Concat(parts) => Some(Regex::concat(
+                parts
+                    .iter()
+                    .map(Regex::desugar_inner)
+                    .collect::<Option<Vec<_>>>()?,
+            )),
+            Regex::Alt(parts) => Some(Regex::alt(
+                parts
+                    .iter()
+                    .map(Regex::desugar_inner)
+                    .collect::<Option<Vec<_>>>()?,
+            )),
+            Regex::Star(r) => Some(Regex::star(r.desugar_inner()?)),
+            Regex::Plus(r) => Some(Regex::plus(r.desugar_inner()?)),
+            Regex::Opt(r) => Some(Regex::opt(r.desugar_inner()?)),
+            Regex::Repeat(r, lo, hi) => {
+                let inner = r.desugar_inner()?;
+                let lo = *lo;
+                match hi {
+                    UpperBound::Unbounded => {
+                        // r{n,*} = r^n r*
+                        let mut parts = vec![inner.clone(); lo as usize];
+                        parts.push(Regex::star(inner));
+                        Some(Regex::concat(parts))
+                    }
+                    UpperBound::Finite(hi) => {
+                        if *hi > 64 {
+                            return None; // unrolling would be unreasonable
+                        }
+                        // r{n,m} = r^n (r (r (…)?)?)? with m-n nested options
+                        let mut tail = Regex::Epsilon;
+                        for _ in lo..*hi {
+                            tail = Regex::opt(Regex::concat(vec![inner.clone(), tail]));
+                        }
+                        let mut parts = vec![inner; lo as usize];
+                        parts.push(tail);
+                        Some(Regex::concat(parts))
+                    }
+                }
+            }
+            Regex::Interleave(parts) => {
+                if parts.len() > 6 {
+                    return None; // factorially many orderings
+                }
+                let parts = parts
+                    .iter()
+                    .map(Regex::desugar_inner)
+                    .collect::<Option<Vec<_>>>()?;
+                // The permutation expansion below is exact only when every
+                // operand matches words of length ≤ 1; richer interleaves
+                // (e.g. `a{2,3} & b`) are left to the derivative-based
+                // machinery, which handles them exactly.
+                let ok = parts.iter().all(|p| {
+                    matches!(p, Regex::Sym(_) | Regex::Epsilon)
+                        || matches!(p, Regex::Opt(inner) if matches!(**inner, Regex::Sym(_)))
+                });
+                if !ok {
+                    return None;
+                }
+                Some(shuffle_expand(&parts))
+            }
+        }
+    }
+}
+
+/// Expands the shuffle of expressions that are each a symbol, an optional
+/// symbol, or small expressions, into a union over all orderings.
+///
+/// XML Schema's `xs:all` restricts interleaving operands to (counted)
+/// element declarations, so the operands here are tiny and an explicit
+/// expansion over the `k!` permutations of `k` operands is acceptable for
+/// the small `k` guarded by the caller.
+fn shuffle_expand(parts: &[Regex]) -> Regex {
+    match parts.len() {
+        0 => Regex::Epsilon,
+        1 => parts[0].clone(),
+        _ => {
+            let mut alts = Vec::new();
+            for i in 0..parts.len() {
+                let mut rest: Vec<Regex> = parts.to_vec();
+                let head = rest.remove(i);
+                // head must match a nonempty prefix: split head by nullability.
+                let tail = shuffle_expand(&rest);
+                alts.push(Regex::concat(vec![head, tail]));
+            }
+            // If all parts are nullable, the empty word is included via any
+            // branch; otherwise the branches already cover the language of
+            // interleavings where some part goes first. NOTE: this expansion
+            // is exact only when each operand matches words of length <= 1
+            // (the xs:all case after per-element counting normalization).
+            Regex::alt(alts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> Regex {
+        Regex::Sym(Sym(i))
+    }
+
+    #[test]
+    fn concat_normalizes() {
+        assert_eq!(Regex::concat(vec![]), Regex::Epsilon);
+        assert_eq!(Regex::concat(vec![s(0)]), s(0));
+        assert_eq!(
+            Regex::concat(vec![s(0), Regex::Epsilon, s(1)]),
+            Regex::Concat(vec![s(0), s(1)])
+        );
+        assert_eq!(Regex::concat(vec![s(0), Regex::Empty]), Regex::Empty);
+    }
+
+    #[test]
+    fn concat_flattens() {
+        let inner = Regex::concat(vec![s(1), s(2)]);
+        let outer = Regex::concat(vec![s(0), inner]);
+        assert_eq!(outer, Regex::Concat(vec![s(0), s(1), s(2)]));
+    }
+
+    #[test]
+    fn alt_normalizes() {
+        assert_eq!(Regex::alt(vec![]), Regex::Empty);
+        assert_eq!(Regex::alt(vec![s(3)]), s(3));
+        assert_eq!(
+            Regex::alt(vec![Regex::Empty, s(0), s(1)]),
+            Regex::Alt(vec![s(0), s(1)])
+        );
+    }
+
+    #[test]
+    fn star_normalizes() {
+        assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
+        assert_eq!(Regex::star(Regex::Epsilon), Regex::Epsilon);
+        let ss = Regex::star(s(0));
+        assert_eq!(Regex::star(ss.clone()), ss);
+        assert_eq!(Regex::star(Regex::plus(s(0))), ss);
+        assert_eq!(Regex::star(Regex::opt(s(0))), ss);
+    }
+
+    #[test]
+    fn plus_and_opt_normalize() {
+        assert_eq!(Regex::plus(Regex::Empty), Regex::Empty);
+        assert_eq!(Regex::plus(Regex::Epsilon), Regex::Epsilon);
+        assert_eq!(Regex::opt(Regex::Empty), Regex::Epsilon);
+        assert_eq!(Regex::plus(Regex::opt(s(0))), Regex::star(s(0)));
+        assert_eq!(Regex::opt(Regex::plus(s(0))), Regex::star(s(0)));
+    }
+
+    #[test]
+    fn repeat_normalizes_core_cases() {
+        assert_eq!(
+            Regex::repeat(s(0), 0, UpperBound::Unbounded),
+            Regex::star(s(0))
+        );
+        assert_eq!(
+            Regex::repeat(s(0), 1, UpperBound::Unbounded),
+            Regex::plus(s(0))
+        );
+        assert_eq!(
+            Regex::repeat(s(0), 0, UpperBound::Finite(1)),
+            Regex::opt(s(0))
+        );
+        assert_eq!(Regex::repeat(s(0), 1, UpperBound::Finite(1)), s(0));
+        assert_eq!(
+            Regex::repeat(s(0), 0, UpperBound::Finite(0)),
+            Regex::Epsilon
+        );
+    }
+
+    #[test]
+    fn size_matches_paper_examples() {
+        // "both expressions aaa and a(b+c)? have size three"
+        let aaa = Regex::concat(vec![s(0), s(0), s(0)]);
+        assert_eq!(aaa.size(), 3);
+        let abc = Regex::concat(vec![s(0), Regex::opt(Regex::alt(vec![s(1), s(2)]))]);
+        assert_eq!(abc.size(), 3);
+    }
+
+    #[test]
+    fn word_builds_concatenation() {
+        let w = Regex::word(&[Sym(0), Sym(1), Sym(0)]);
+        assert_eq!(w, Regex::Concat(vec![s(0), s(1), s(0)]));
+        assert_eq!(Regex::word(&[]), Regex::Epsilon);
+    }
+
+    #[test]
+    fn is_core_detects_extensions() {
+        assert!(Regex::star(s(0)).is_core());
+        assert!(!Regex::repeat(s(0), 2, UpperBound::Finite(5)).is_core());
+        assert!(!Regex::interleave(vec![s(0), s(1)]).is_core());
+    }
+
+    #[test]
+    fn desugar_repeat_bounded() {
+        let r = Regex::repeat(s(0), 2, UpperBound::Finite(4));
+        let d = r.desugar(100).unwrap();
+        assert!(d.is_core());
+        assert_eq!(d.size(), 4);
+    }
+
+    #[test]
+    fn desugar_repeat_unbounded() {
+        let r = Regex::repeat(s(0), 3, UpperBound::Unbounded);
+        let d = r.desugar(100).unwrap();
+        assert!(d.is_core());
+        // a a a a*
+        assert_eq!(d.size(), 4);
+    }
+
+    #[test]
+    fn desugar_respects_budget() {
+        let r = Regex::repeat(s(0), 0, UpperBound::Finite(64));
+        assert!(r.desugar(3).is_none());
+    }
+
+    #[test]
+    fn symbols_are_sorted_and_deduped() {
+        let r = Regex::concat(vec![s(2), s(0), s(2), s(1)]);
+        assert_eq!(r.symbols(), vec![Sym(0), Sym(1), Sym(2)]);
+    }
+
+    #[test]
+    fn map_symbols_relabels() {
+        let r = Regex::concat(vec![s(0), Regex::star(s(1))]);
+        let mapped = r.map_symbols(&mut |Sym(i)| Sym(i + 10));
+        assert_eq!(mapped.symbols(), vec![Sym(10), Sym(11)]);
+        // Structure preserved
+        assert_eq!(mapped.size(), r.size());
+    }
+}

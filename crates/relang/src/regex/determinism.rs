@@ -1,0 +1,278 @@
+//! Deterministic (one-unambiguous) regular expressions.
+//!
+//! The Unique Particle Attribution rule of XML Schema (Section 3.8.6.4 of
+//! the XSD specification, and Section 3.2/4.1 of the paper) requires content
+//! models to be *deterministic*: while reading a word left to right, the
+//! symbol occurrence of the expression that matches the next input symbol is
+//! always uniquely determined without lookahead (Brüggemann-Klein & Wood's
+//! "one-unambiguous" languages).
+//!
+//! The classic decision procedure is via the Glushkov automaton: an
+//! expression is deterministic iff its Glushkov NFA is deterministic, i.e.
+//! no state has two outgoing transitions on the same symbol. In position
+//! terms: `first` contains at most one position per symbol, and each
+//! `follow(p)` contains at most one position per symbol.
+
+use std::collections::BTreeMap;
+
+use crate::alphabet::Sym;
+use crate::regex::ast::Regex;
+use crate::regex::props::{check_all_restrictions, positions, Pos};
+
+/// Budget (in AST nodes) for desugaring counted expressions before the
+/// Glushkov test. Content models in real schemas have tiny counters; this
+/// bound is generous.
+const DESUGAR_BUDGET: usize = 50_000;
+
+/// Why an expression failed the determinism (UPA) test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NonDeterminism {
+    /// Two occurrences of `sym` compete at the start of a match.
+    AmbiguousFirst {
+        /// The contested symbol.
+        sym: Sym,
+        /// First competing occurrence.
+        pos1: Pos,
+        /// Second competing occurrence.
+        pos2: Pos,
+    },
+    /// After position `after`, two occurrences of `sym` compete.
+    AmbiguousFollow {
+        /// Occurrence after which the ambiguity arises.
+        after: Pos,
+        /// The contested symbol.
+        sym: Sym,
+        /// First competing occurrence.
+        pos1: Pos,
+        /// Second competing occurrence.
+        pos2: Pos,
+    },
+    /// Interleaving violates the `xs:all` restrictions.
+    AllViolation(crate::regex::props::AllViolation),
+    /// Two interleaving operands declare the same symbol.
+    DuplicateAllOperand {
+        /// The duplicated symbol.
+        sym: Sym,
+    },
+    /// Counted repetition too large to analyze.
+    CountingTooLarge,
+}
+
+impl std::fmt::Display for NonDeterminism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NonDeterminism::AmbiguousFirst { sym, pos1, pos2 } => write!(
+                f,
+                "ambiguous start: symbol {sym:?} matched by competing occurrences {pos1} and {pos2}"
+            ),
+            NonDeterminism::AmbiguousFollow {
+                after,
+                sym,
+                pos1,
+                pos2,
+            } => write!(
+                f,
+                "ambiguity after occurrence {after}: symbol {sym:?} matched by competing occurrences {pos1} and {pos2}"
+            ),
+            NonDeterminism::AllViolation(v) => write!(f, "{v}"),
+            NonDeterminism::DuplicateAllOperand { sym } => {
+                write!(f, "interleaving declares symbol {sym:?} twice")
+            }
+            NonDeterminism::CountingTooLarge => {
+                write!(f, "counted repetition too large for determinism analysis")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NonDeterminism {}
+
+/// Checks whether `r` is a deterministic (one-unambiguous) expression,
+/// returning the first witness of non-determinism found.
+///
+/// ```
+/// use relang::{Alphabet, Regex};
+/// use relang::regex::determinism::check_deterministic;
+/// let mut sigma = Alphabet::new();
+/// let (a, b) = (sigma.intern("a"), sigma.intern("b"));
+/// // (a b)* a? is NOT deterministic: after reading `a`, the next `a`…
+/// // wait—after `a` only `b` or end follows; this one IS deterministic.
+/// let det = Regex::concat(vec![
+///     Regex::star(Regex::concat(vec![Regex::sym(a), Regex::sym(b)])),
+///     Regex::opt(Regex::sym(a)),
+/// ]);
+/// assert!(check_deterministic(&det).is_err()); // a competes: loop vs. tail
+/// let det2 = Regex::star(Regex::concat(vec![Regex::sym(a), Regex::sym(b)]));
+/// assert!(check_deterministic(&det2).is_ok());
+/// ```
+pub fn check_deterministic(r: &Regex) -> Result<(), NonDeterminism> {
+    // Interleaving: the xs:all rules, then per-operand distinctness.
+    if let Regex::Interleave(parts) = r {
+        check_all_restrictions(r).map_err(NonDeterminism::AllViolation)?;
+        let mut seen: BTreeMap<Sym, ()> = BTreeMap::new();
+        for p in parts {
+            let sym = interleave_operand_symbol(p)
+                .expect("checked by all restrictions: operand is counted symbol");
+            if seen.insert(sym, ()).is_some() {
+                return Err(NonDeterminism::DuplicateAllOperand { sym });
+            }
+        }
+        return Ok(());
+    }
+    check_all_restrictions(r).map_err(NonDeterminism::AllViolation)?;
+
+    let core = if r.is_core() {
+        r.clone()
+    } else {
+        r.desugar(DESUGAR_BUDGET)
+            .ok_or(NonDeterminism::CountingTooLarge)?
+    };
+    let p = positions(&core).expect("desugared expression is core");
+
+    // first must be symbol-unique
+    let mut by_sym: BTreeMap<Sym, Pos> = BTreeMap::new();
+    for &pos in &p.first {
+        if let Some(&prev) = by_sym.get(&p.syms[pos]) {
+            return Err(NonDeterminism::AmbiguousFirst {
+                sym: p.syms[pos],
+                pos1: prev,
+                pos2: pos,
+            });
+        }
+        by_sym.insert(p.syms[pos], pos);
+    }
+    // each follow set must be symbol-unique
+    for (after, fset) in p.follow.iter().enumerate() {
+        let mut by_sym: BTreeMap<Sym, Pos> = BTreeMap::new();
+        for &pos in fset {
+            if let Some(&prev) = by_sym.get(&p.syms[pos]) {
+                return Err(NonDeterminism::AmbiguousFollow {
+                    after,
+                    sym: p.syms[pos],
+                    pos1: prev,
+                    pos2: pos,
+                });
+            }
+            by_sym.insert(p.syms[pos], pos);
+        }
+    }
+    Ok(())
+}
+
+/// Convenience wrapper returning a boolean.
+pub fn is_deterministic(r: &Regex) -> bool {
+    check_deterministic(r).is_ok()
+}
+
+/// The symbol of an interleaving operand of the restricted form.
+fn interleave_operand_symbol(r: &Regex) -> Option<Sym> {
+    match r {
+        Regex::Sym(s) => Some(*s),
+        Regex::Opt(inner) | Regex::Plus(inner) | Regex::Star(inner)
+        | Regex::Repeat(inner, _, _) => match **inner {
+            Regex::Sym(s) => Some(s),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::ast::UpperBound;
+
+    fn s(i: u32) -> Regex {
+        Regex::Sym(Sym(i))
+    }
+
+    #[test]
+    fn classic_nondeterministic_example() {
+        // (a+b)* a — the textbook non-deterministic expression
+        let r = Regex::concat(vec![Regex::star(Regex::alt(vec![s(0), s(1)])), s(0)]);
+        assert!(!is_deterministic(&r));
+    }
+
+    #[test]
+    fn classic_deterministic_examples() {
+        // b* a (b* a)*  — deterministic expression for the same language
+        let ba = Regex::concat(vec![Regex::star(s(1)), s(0)]);
+        let r = Regex::concat(vec![ba.clone(), Regex::star(ba)]);
+        assert!(is_deterministic(&r));
+        // a (b + c)?
+        let r = Regex::concat(vec![s(0), Regex::opt(Regex::alt(vec![s(1), s(2)]))]);
+        assert!(is_deterministic(&r));
+    }
+
+    #[test]
+    fn ambiguous_first_detected() {
+        // a b + a c
+        let r = Regex::alt(vec![
+            Regex::concat(vec![s(0), s(1)]),
+            Regex::concat(vec![s(0), s(2)]),
+        ]);
+        match check_deterministic(&r) {
+            Err(NonDeterminism::AmbiguousFirst { sym, .. }) => assert_eq!(sym, Sym(0)),
+            other => panic!("expected ambiguous first, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ambiguous_follow_detected() {
+        // a (b c + b d)
+        let r = Regex::concat(vec![
+            s(0),
+            Regex::alt(vec![
+                Regex::concat(vec![s(1), s(2)]),
+                Regex::concat(vec![s(1), s(3)]),
+            ]),
+        ]);
+        match check_deterministic(&r) {
+            Err(NonDeterminism::AmbiguousFollow { sym, .. }) => assert_eq!(sym, Sym(1)),
+            other => panic!("expected ambiguous follow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counting_is_checked_via_desugaring() {
+        // a{2,4} is deterministic
+        let r = Regex::repeat(s(0), 2, UpperBound::Finite(4));
+        assert!(is_deterministic(&r));
+        // (a?){2,2} a is not (a can come from the counter body or the tail)
+        let r = Regex::concat(vec![
+            Regex::Repeat(Box::new(Regex::opt(s(0))), 2, UpperBound::Finite(2)),
+            s(0),
+        ]);
+        assert!(!is_deterministic(&r));
+    }
+
+    #[test]
+    fn interleave_distinct_symbols_ok() {
+        let r = Regex::Interleave(vec![s(0), Regex::opt(s(1)), s(2)]);
+        assert!(is_deterministic(&r));
+    }
+
+    #[test]
+    fn interleave_duplicate_symbol_rejected() {
+        let r = Regex::Interleave(vec![s(0), Regex::opt(s(0))]);
+        assert_eq!(
+            check_deterministic(&r),
+            Err(NonDeterminism::DuplicateAllOperand { sym: Sym(0) })
+        );
+    }
+
+    #[test]
+    fn interleave_under_concat_rejected() {
+        let r = Regex::Concat(vec![Regex::Interleave(vec![s(0), s(1)]), s(2)]);
+        assert!(matches!(
+            check_deterministic(&r),
+            Err(NonDeterminism::AllViolation(_))
+        ));
+    }
+
+    #[test]
+    fn epsilon_and_empty_are_deterministic() {
+        assert!(is_deterministic(&Regex::Epsilon));
+        assert!(is_deterministic(&Regex::Empty));
+    }
+}

@@ -1,0 +1,143 @@
+//! Rendering regular expressions back to the text syntax of
+//! [`crate::regex::parser`].
+
+use std::fmt::Write as _;
+
+use crate::alphabet::Alphabet;
+use crate::regex::ast::{Regex, UpperBound};
+
+/// Precedence levels, loosest to tightest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Alt,
+    Inter,
+    Concat,
+    Postfix,
+}
+
+/// Renders `r` using names from `alphabet`, inserting parentheses only
+/// where precedence requires. The output reparses to an equal AST
+/// (see the round-trip tests and proptests).
+pub fn display_regex(r: &Regex, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    write_regex(&mut out, r, alphabet, Prec::Alt);
+    out
+}
+
+fn write_regex(out: &mut String, r: &Regex, alphabet: &Alphabet, ctx: Prec) {
+    let prec = prec_of(r);
+    let need_parens = prec < ctx;
+    if need_parens {
+        out.push('(');
+    }
+    match r {
+        Regex::Empty => out.push_str("%empty"),
+        Regex::Epsilon => out.push_str("%eps"),
+        Regex::Sym(s) => out.push_str(alphabet.name(*s)),
+        Regex::Concat(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                write_regex(out, p, alphabet, Prec::Postfix);
+            }
+        }
+        Regex::Alt(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                write_regex(out, p, alphabet, Prec::Inter);
+            }
+        }
+        Regex::Interleave(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" & ");
+                }
+                write_regex(out, p, alphabet, Prec::Concat);
+            }
+        }
+        Regex::Star(inner) => {
+            write_regex(out, inner, alphabet, Prec::Postfix);
+            maybe_postfix_parens(out, inner);
+            out.push('*');
+        }
+        Regex::Plus(inner) => {
+            write_regex(out, inner, alphabet, Prec::Postfix);
+            maybe_postfix_parens(out, inner);
+            out.push('+');
+        }
+        Regex::Opt(inner) => {
+            write_regex(out, inner, alphabet, Prec::Postfix);
+            maybe_postfix_parens(out, inner);
+            out.push('?');
+        }
+        Regex::Repeat(inner, lo, hi) => {
+            write_regex(out, inner, alphabet, Prec::Postfix);
+            maybe_postfix_parens(out, inner);
+            match hi {
+                UpperBound::Finite(m) => {
+                    let _ = write!(out, "{{{lo},{m}}}");
+                }
+                UpperBound::Unbounded => {
+                    let _ = write!(out, "{{{lo},*}}");
+                }
+            }
+        }
+    }
+    if need_parens {
+        out.push(')');
+    }
+}
+
+/// Stacked postfix operators like `a*?` parse back fine (postfix loops), but
+/// `a**` means the same as `(a*)*` anyway, so no extra parens are needed;
+/// this hook exists for clarity and currently does nothing.
+fn maybe_postfix_parens(_out: &mut String, _inner: &Regex) {}
+
+fn prec_of(r: &Regex) -> Prec {
+    match r {
+        Regex::Alt(_) => Prec::Alt,
+        Regex::Interleave(_) => Prec::Inter,
+        Regex::Concat(_) => Prec::Concat,
+        _ => Prec::Postfix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parser::parse_regex;
+
+    fn roundtrip(input: &str) {
+        let mut a = Alphabet::new();
+        let r = parse_regex(input, &mut a).unwrap();
+        let shown = display_regex(&r, &a);
+        let mut a2 = a.clone();
+        let r2 = parse_regex(&shown, &mut a2).unwrap();
+        assert_eq!(r, r2, "input {input:?} rendered as {shown:?}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("a b c");
+        roundtrip("a | b | c");
+        roundtrip("(a | b) c");
+        roundtrip("a (b | c)*");
+        roundtrip("a{2,4} b{1,*}");
+        roundtrip("a & b? & c");
+        roundtrip("(a b)*");
+        roundtrip("%eps | a");
+        roundtrip("%empty");
+    }
+
+    #[test]
+    fn output_is_minimal_for_simple_cases() {
+        let mut a = Alphabet::new();
+        let r = parse_regex("(a | b) c", &mut a).unwrap();
+        assert_eq!(display_regex(&r, &a), "(a | b) c");
+        let r = parse_regex("a b | c", &mut a).unwrap();
+        assert_eq!(display_regex(&r, &a), "a b | c");
+    }
+}

@@ -1,0 +1,13 @@
+//! Regular expressions: AST, Glushkov properties, determinism (UPA),
+//! derivatives, parsing, and display.
+
+pub mod ast;
+pub mod derivative;
+pub mod determinism;
+pub mod display;
+pub mod parser;
+pub mod props;
+
+pub use ast::{Regex, UpperBound};
+pub use display::display_regex;
+pub use parser::{parse_regex, ParseError};

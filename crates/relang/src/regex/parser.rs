@@ -1,0 +1,357 @@
+//! A plain-text syntax for regular expressions over named symbols.
+//!
+//! This is the library-internal syntax used by tests, tools and examples
+//! (the BonXai ancestor-pattern and child-pattern syntaxes have their own
+//! parsers in `bonxai-core`). Grammar, loosest to tightest binding:
+//!
+//! ```text
+//! alt    ::= inter ('|' inter)*
+//! inter  ::= concat ('&' concat)*
+//! concat ::= postfix+
+//! postfix::= atom ('*' | '+' | '?' | '{' n ',' (m | '*') '}')*
+//! atom   ::= name | '%eps' | '%empty' | '(' alt ')'
+//! ```
+//!
+//! Names match `[A-Za-z_][A-Za-z0-9_.-]*` and are interned into the given
+//! alphabet. Whitespace separates tokens; concatenation is juxtaposition.
+
+use std::fmt;
+
+use crate::alphabet::Alphabet;
+use crate::regex::ast::{Regex, UpperBound};
+
+/// A parse error with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input string.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `input`, interning symbol names into `alphabet`.
+pub fn parse_regex(input: &str, alphabet: &mut Alphabet) -> Result<Regex, ParseError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        alphabet,
+    };
+    p.skip_ws();
+    if p.at_end() {
+        return Ok(Regex::Epsilon);
+    }
+    let r = p.parse_alt()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(r)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    alphabet: &'a mut Alphabet,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: msg.to_owned(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.parse_inter()?];
+        loop {
+            self.skip_ws();
+            if self.eat(b'|') {
+                parts.push(self.parse_inter()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Regex::alt(parts)
+        })
+    }
+
+    fn parse_inter(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.parse_concat()?];
+        loop {
+            self.skip_ws();
+            if self.eat(b'&') {
+                parts.push(self.parse_concat()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Regex::interleave(parts)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None | Some(b')' | b'|' | b'&') => break,
+                _ => parts.push(self.parse_postfix()?),
+            }
+        }
+        if parts.is_empty() {
+            return Err(self.err("expected expression"));
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Regex::concat(parts)
+        })
+    }
+
+    fn parse_postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut r = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    r = Regex::star(r);
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    r = Regex::plus(r);
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    r = Regex::opt(r);
+                }
+                Some(b'{') => {
+                    self.pos += 1;
+                    let lo = self.parse_number()?;
+                    self.skip_ws();
+                    if !self.eat(b',') {
+                        return Err(self.err("expected ',' in counter"));
+                    }
+                    self.skip_ws();
+                    let hi = if self.eat(b'*') {
+                        UpperBound::Unbounded
+                    } else {
+                        UpperBound::Finite(self.parse_number()?)
+                    };
+                    self.skip_ws();
+                    if !self.eat(b'}') {
+                        return Err(self.err("expected '}' in counter"));
+                    }
+                    if let UpperBound::Finite(m) = hi {
+                        if m < lo {
+                            return Err(self.err("counter upper bound below lower bound"));
+                        }
+                    }
+                    r = Regex::repeat(r, lo, hi);
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    fn parse_number(&mut self) -> Result<u32, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected number"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .expect("digits are ascii")
+            .parse()
+            .map_err(|_| self.err("number too large"))
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let r = self.parse_alt()?;
+                self.skip_ws();
+                if !self.eat(b')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(r)
+            }
+            Some(b'%') => {
+                let start = self.pos;
+                self.pos += 1;
+                let word = self.parse_name_raw()?;
+                match word {
+                    "eps" => Ok(Regex::Epsilon),
+                    "empty" => Ok(Regex::Empty),
+                    _ => {
+                        self.pos = start;
+                        Err(self.err("expected %eps or %empty"))
+                    }
+                }
+            }
+            Some(c) if is_name_start(c) => {
+                let name = self.parse_name_raw()?.to_owned();
+                Ok(Regex::Sym(self.alphabet.intern(&name)))
+            }
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_name_raw(&mut self) -> Result<&'a str, ParseError> {
+        let start = self.pos;
+        if !matches!(self.peek(), Some(c) if is_name_start(c)) {
+            return Err(self.err("expected name"));
+        }
+        self.pos += 1;
+        while matches!(self.peek(), Some(c) if is_name_continue(c)) {
+            self.pos += 1;
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos]).expect("names are ascii"))
+    }
+}
+
+fn is_name_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_name_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b'.' | b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Sym;
+
+    fn parse(input: &str) -> (Regex, Alphabet) {
+        let mut a = Alphabet::new();
+        let r = parse_regex(input, &mut a).unwrap();
+        (r, a)
+    }
+
+    #[test]
+    fn parses_symbols_and_concat() {
+        let (r, a) = parse("a b c");
+        assert_eq!(a.len(), 3);
+        assert_eq!(
+            r,
+            Regex::Concat(vec![
+                Regex::Sym(Sym(0)),
+                Regex::Sym(Sym(1)),
+                Regex::Sym(Sym(2))
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_alternation_precedence() {
+        let (r, _) = parse("a b | c");
+        assert!(matches!(r, Regex::Alt(ref parts) if parts.len() == 2));
+    }
+
+    #[test]
+    fn parses_postfix_operators() {
+        let (r, _) = parse("a* b+ c? d{2,4} e{1,*}");
+        if let Regex::Concat(parts) = r {
+            assert!(matches!(parts[0], Regex::Star(_)));
+            assert!(matches!(parts[1], Regex::Plus(_)));
+            assert!(matches!(parts[2], Regex::Opt(_)));
+            assert!(matches!(parts[3], Regex::Repeat(_, 2, UpperBound::Finite(4))));
+            assert!(matches!(parts[4], Regex::Plus(_))); // {1,*} normalizes to +
+        } else {
+            panic!("expected concat, got {r:?}");
+        }
+    }
+
+    #[test]
+    fn parses_interleave_precedence() {
+        // a & b | c  =  (a & b) | c
+        let (r, _) = parse("a & b | c");
+        assert!(matches!(r, Regex::Alt(ref parts) if parts.len() == 2));
+        // a b & c  =  (a b) & c
+        let (r, _) = parse("a b & c");
+        assert!(matches!(r, Regex::Interleave(ref parts) if parts.len() == 2));
+    }
+
+    #[test]
+    fn parses_groups_and_specials() {
+        let (r, _) = parse("(a | %eps) b");
+        assert!(matches!(r, Regex::Concat(_)));
+        let (r, _) = parse("%empty");
+        assert_eq!(r, Regex::Empty);
+        let (r, _) = parse("");
+        assert_eq!(r, Regex::Epsilon);
+    }
+
+    #[test]
+    fn same_name_same_symbol() {
+        let (r, a) = parse("ab ab");
+        assert_eq!(a.len(), 1);
+        assert_eq!(
+            r,
+            Regex::Concat(vec![Regex::Sym(Sym(0)), Regex::Sym(Sym(0))])
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut a = Alphabet::new();
+        assert!(parse_regex("a |", &mut a).is_err());
+        assert!(parse_regex("(a", &mut a).is_err());
+        assert!(parse_regex("a)", &mut a).is_err());
+        assert!(parse_regex("a{3,2}", &mut a).is_err());
+        assert!(parse_regex("a{,2}", &mut a).is_err());
+        assert!(parse_regex("%bogus", &mut a).is_err());
+        assert!(parse_regex("*", &mut a).is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let mut a = Alphabet::new();
+        let e = parse_regex("ab *", &mut a).unwrap_err();
+        assert_eq!(e.offset, 3);
+    }
+}

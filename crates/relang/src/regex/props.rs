@@ -1,0 +1,353 @@
+//! Glushkov position sets: nullability, `first`, `last`, `follow`.
+//!
+//! These drive the Glushkov automaton construction ([`crate::nfa`]) and the
+//! one-unambiguity (UPA) test ([`crate::regex::determinism`]). They are
+//! defined for *core* expressions (Section 4.1 syntax); counted repetition
+//! and interleaving must be desugared first (see [`Regex::desugar`]) or
+//! handled by the operator-aware code paths.
+
+use std::collections::BTreeSet;
+
+use crate::alphabet::Sym;
+use crate::regex::ast::Regex;
+
+/// A position: the index of a symbol *occurrence* in the linearized regex.
+pub type Pos = usize;
+
+/// The computed Glushkov data of a core regex.
+#[derive(Debug, Clone)]
+pub struct Positions {
+    /// Symbol at each position, in left-to-right occurrence order.
+    pub syms: Vec<Sym>,
+    /// Whether the regex matches the empty word.
+    pub nullable: bool,
+    /// Positions that can start a match.
+    pub first: BTreeSet<Pos>,
+    /// Positions that can end a match.
+    pub last: BTreeSet<Pos>,
+    /// `follow[p]` = positions that can directly follow position `p`.
+    pub follow: Vec<BTreeSet<Pos>>,
+}
+
+/// Error returned when an expression contains non-core operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonCoreOperator;
+
+impl std::fmt::Display for NonCoreOperator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "expression contains counting or interleaving; desugar before Glushkov analysis"
+        )
+    }
+}
+
+impl std::error::Error for NonCoreOperator {}
+
+/// Whether a regex (any operators) matches the empty word.
+pub fn nullable(r: &Regex) -> bool {
+    match r {
+        Regex::Empty => false,
+        Regex::Epsilon => true,
+        Regex::Sym(_) => false,
+        Regex::Concat(parts) => parts.iter().all(nullable),
+        Regex::Alt(parts) => parts.iter().any(nullable),
+        Regex::Star(_) | Regex::Opt(_) => true,
+        Regex::Plus(r) => nullable(r),
+        Regex::Repeat(r, lo, _) => *lo == 0 || nullable(r),
+        Regex::Interleave(parts) => parts.iter().all(nullable),
+    }
+}
+
+/// Whether `L(r)` is empty (any operators).
+pub fn is_empty_language(r: &Regex) -> bool {
+    match r {
+        Regex::Empty => true,
+        Regex::Epsilon | Regex::Sym(_) => false,
+        Regex::Concat(parts) | Regex::Interleave(parts) => parts.iter().any(is_empty_language),
+        Regex::Alt(parts) => parts.iter().all(is_empty_language),
+        Regex::Star(_) | Regex::Opt(_) => false,
+        Regex::Plus(r) => is_empty_language(r),
+        Regex::Repeat(r, lo, _) => *lo > 0 && is_empty_language(r),
+    }
+}
+
+/// Computes the Glushkov position sets of a core expression.
+pub fn positions(r: &Regex) -> Result<Positions, NonCoreOperator> {
+    let mut p = Positions {
+        syms: Vec::new(),
+        nullable: false,
+        first: BTreeSet::new(),
+        last: BTreeSet::new(),
+        follow: Vec::new(),
+    };
+    let (first, last, null) = go(r, &mut p)?;
+    p.first = first;
+    p.last = last;
+    p.nullable = null;
+    return Ok(p);
+
+    /// Returns (first, last, nullable) for the subexpression, appending
+    /// positions and in-subtree follow edges into `acc`.
+    fn go(
+        r: &Regex,
+        acc: &mut Positions,
+    ) -> Result<(BTreeSet<Pos>, BTreeSet<Pos>, bool), NonCoreOperator> {
+        match r {
+            Regex::Empty => Ok((BTreeSet::new(), BTreeSet::new(), false)),
+            Regex::Epsilon => Ok((BTreeSet::new(), BTreeSet::new(), true)),
+            Regex::Sym(s) => {
+                let p = acc.syms.len();
+                acc.syms.push(*s);
+                acc.follow.push(BTreeSet::new());
+                let set: BTreeSet<Pos> = [p].into_iter().collect();
+                Ok((set.clone(), set, false))
+            }
+            Regex::Concat(parts) => {
+                let mut first = BTreeSet::new();
+                let mut last: BTreeSet<Pos> = BTreeSet::new();
+                let mut null = true;
+                for part in parts {
+                    let (f, l, n) = go(part, acc)?;
+                    // follow edges: every last of the prefix so far -> every
+                    // first of this part
+                    for &p in &last {
+                        acc.follow[p].extend(f.iter().copied());
+                    }
+                    if null {
+                        first.extend(f.iter().copied());
+                    }
+                    if n {
+                        last.extend(l);
+                    } else {
+                        last = l;
+                    }
+                    null &= n;
+                }
+                Ok((first, last, null))
+            }
+            Regex::Alt(parts) => {
+                let mut first = BTreeSet::new();
+                let mut last = BTreeSet::new();
+                let mut null = false;
+                for part in parts {
+                    let (f, l, n) = go(part, acc)?;
+                    first.extend(f);
+                    last.extend(l);
+                    null |= n;
+                }
+                Ok((first, last, null))
+            }
+            Regex::Star(inner) => {
+                let (f, l, _) = go(inner, acc)?;
+                for &p in &l {
+                    acc.follow[p].extend(f.iter().copied());
+                }
+                Ok((f, l, true))
+            }
+            Regex::Plus(inner) => {
+                let (f, l, n) = go(inner, acc)?;
+                for &p in &l {
+                    acc.follow[p].extend(f.iter().copied());
+                }
+                Ok((f, l, n))
+            }
+            Regex::Opt(inner) => {
+                let (f, l, _) = go(inner, acc)?;
+                Ok((f, l, true))
+            }
+            Regex::Repeat(..) | Regex::Interleave(..) => Err(NonCoreOperator),
+        }
+    }
+}
+
+/// The "all-group" (interleave) restrictions of XML Schema, as described in
+/// Section 3.1 of the paper:
+///
+/// 1. no content model may use interleaving together with union or
+///    concatenation, and
+/// 2. in a content model containing interleaving, counters may appear only
+///    directly above symbol (element) declarations.
+///
+/// Concretely this means: an expression containing `&` must be of the form
+/// `e1 & … & ek` (possibly `(…)?`/`{0,1}`-wrapped as a whole is *not*
+/// allowed by rule 1 since `?` is a counter), where each `ei` is `a` or
+/// `a{n,m}` for a symbol `a`.
+pub fn check_all_restrictions(r: &Regex) -> Result<(), AllViolation> {
+    if !contains_interleave(r) {
+        return Ok(());
+    }
+    match r {
+        Regex::Interleave(parts) => {
+            for part in parts {
+                match part {
+                    Regex::Sym(_) => {}
+                    Regex::Repeat(inner, _, _) | Regex::Opt(inner) | Regex::Plus(inner)
+                        if matches!(**inner, Regex::Sym(_)) => {}
+                    Regex::Star(inner) if matches!(**inner, Regex::Sym(_)) => {}
+                    _ => return Err(AllViolation::OperandNotCountedSymbol),
+                }
+            }
+            Ok(())
+        }
+        _ => Err(AllViolation::MixedWithOtherOperators),
+    }
+}
+
+fn contains_interleave(r: &Regex) -> bool {
+    match r {
+        Regex::Interleave(_) => true,
+        Regex::Empty | Regex::Epsilon | Regex::Sym(_) => false,
+        Regex::Concat(parts) | Regex::Alt(parts) => parts.iter().any(contains_interleave),
+        Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) | Regex::Repeat(r, _, _) => {
+            contains_interleave(r)
+        }
+    }
+}
+
+/// Violation of the interleaving restrictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllViolation {
+    /// `&` combined with `,`/`|` or nested under other operators.
+    MixedWithOtherOperators,
+    /// An interleaving operand is not a (counted) symbol.
+    OperandNotCountedSymbol,
+}
+
+impl std::fmt::Display for AllViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllViolation::MixedWithOtherOperators => write!(
+                f,
+                "interleaving (&) may not be combined with union or concatenation"
+            ),
+            AllViolation::OperandNotCountedSymbol => write!(
+                f,
+                "interleaving operands must be (counted) element declarations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Sym;
+    use crate::regex::ast::UpperBound;
+
+    fn s(i: u32) -> Regex {
+        Regex::Sym(Sym(i))
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(!nullable(&Regex::Empty));
+        assert!(nullable(&Regex::Epsilon));
+        assert!(!nullable(&s(0)));
+        assert!(nullable(&Regex::star(s(0))));
+        assert!(!nullable(&Regex::plus(s(0))));
+        assert!(nullable(&Regex::opt(s(0))));
+        assert!(nullable(&Regex::repeat(s(0), 0, UpperBound::Finite(3))));
+        assert!(!nullable(&Regex::repeat(s(0), 2, UpperBound::Finite(3))));
+        assert!(nullable(&Regex::concat(vec![
+            Regex::opt(s(0)),
+            Regex::star(s(1))
+        ])));
+        assert!(!nullable(&Regex::concat(vec![Regex::opt(s(0)), s(1)])));
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        assert!(is_empty_language(&Regex::Empty));
+        assert!(!is_empty_language(&Regex::Epsilon));
+        assert!(is_empty_language(&Regex::Concat(vec![s(0), Regex::Empty])));
+        assert!(!is_empty_language(&Regex::Alt(vec![s(0), Regex::Empty])));
+    }
+
+    #[test]
+    fn positions_of_simple_concat() {
+        // ab
+        let r = Regex::concat(vec![s(0), s(1)]);
+        let p = positions(&r).unwrap();
+        assert_eq!(p.syms, vec![Sym(0), Sym(1)]);
+        assert!(!p.nullable);
+        assert_eq!(p.first.iter().copied().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(p.last.iter().copied().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(p.follow[0].iter().copied().collect::<Vec<_>>(), vec![1]);
+        assert!(p.follow[1].is_empty());
+    }
+
+    #[test]
+    fn positions_of_star() {
+        // (ab)*
+        let r = Regex::star(Regex::concat(vec![s(0), s(1)]));
+        let p = positions(&r).unwrap();
+        assert!(p.nullable);
+        assert_eq!(p.first.iter().copied().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(p.last.iter().copied().collect::<Vec<_>>(), vec![1]);
+        // last -> first loop edge
+        assert_eq!(p.follow[1].iter().copied().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn positions_of_alt_in_concat() {
+        // (a+b)c
+        let r = Regex::concat(vec![Regex::alt(vec![s(0), s(1)]), s(2)]);
+        let p = positions(&r).unwrap();
+        assert_eq!(p.first.iter().copied().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(p.last.iter().copied().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(p.follow[0].iter().copied().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(p.follow[1].iter().copied().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn positions_with_nullable_prefix() {
+        // a? b : first = {a,b}
+        let r = Regex::concat(vec![Regex::opt(s(0)), s(1)]);
+        let p = positions(&r).unwrap();
+        assert_eq!(p.first.iter().copied().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn positions_reject_noncore() {
+        let r = Regex::repeat(s(0), 2, UpperBound::Finite(5));
+        assert!(positions(&r).is_err());
+        let r = Regex::interleave(vec![s(0), s(1)]);
+        assert!(positions(&r).is_err());
+    }
+
+    #[test]
+    fn all_restrictions_accept_valid() {
+        // a & b? & c{1,3}
+        let r = Regex::Interleave(vec![
+            s(0),
+            Regex::opt(s(1)),
+            Regex::repeat(s(2), 1, UpperBound::Finite(3)),
+        ]);
+        assert!(check_all_restrictions(&r).is_ok());
+        // no interleaving at all
+        assert!(check_all_restrictions(&Regex::concat(vec![s(0), s(1)])).is_ok());
+    }
+
+    #[test]
+    fn all_restrictions_reject_mixing() {
+        // (a & b), c  — interleave under concat
+        let r = Regex::Concat(vec![Regex::Interleave(vec![s(0), s(1)]), s(2)]);
+        assert_eq!(
+            check_all_restrictions(&r),
+            Err(AllViolation::MixedWithOtherOperators)
+        );
+    }
+
+    #[test]
+    fn all_restrictions_reject_complex_operand() {
+        // (a b) & c
+        let r = Regex::Interleave(vec![Regex::Concat(vec![s(0), s(1)]), s(2)]);
+        assert_eq!(
+            check_all_restrictions(&r),
+            Err(AllViolation::OperandNotCountedSymbol)
+        );
+    }
+}

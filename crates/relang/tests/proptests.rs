@@ -1,0 +1,169 @@
+//! Property-based tests over the regular-language substrate.
+//!
+//! Core invariants checked here:
+//! * derivative membership agrees with Glushkov-automaton membership;
+//! * subset construction and minimization preserve the language;
+//! * DFA→regex state elimination round-trips;
+//! * print∘parse is the identity on regex ASTs;
+//! * the determinism checker agrees with the Glushkov automaton's
+//!   syntactic determinism.
+
+use proptest::prelude::*;
+
+use relang::ops::{determinize, dfa_to_regex, minimize};
+use relang::regex::derivative::matches as dmatches;
+use relang::regex::determinism::is_deterministic;
+use relang::regex::display::display_regex;
+use relang::regex::parser::parse_regex;
+use relang::{Alphabet, CompiledDre, Nfa, Regex, Sym};
+
+const N_SYMS: usize = 3;
+
+/// Strategy for core regexes over 3 symbols.
+fn core_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        3 => (0u32..N_SYMS as u32).prop_map(|i| Regex::Sym(Sym(i))),
+        1 => Just(Regex::Epsilon),
+        1 => Just(Regex::Empty),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::star),
+            inner.clone().prop_map(Regex::plus),
+            inner.prop_map(Regex::opt),
+        ]
+    })
+}
+
+/// Strategy for extended regexes (counting + interleave).
+fn extended_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        3 => (0u32..N_SYMS as u32).prop_map(|i| Regex::Sym(Sym(i))),
+        1 => Just(Regex::Epsilon),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::star),
+            (inner.clone(), 0u32..3, 0u32..3).prop_map(|(r, lo, extra)| {
+                Regex::repeat(r, lo, relang::UpperBound::Finite(lo + extra))
+            }),
+            prop::collection::vec(
+                (0u32..N_SYMS as u32).prop_map(|i| Regex::Sym(Sym(i))),
+                2..4
+            )
+            .prop_map(Regex::interleave),
+        ]
+    })
+}
+
+fn words_up_to(len: usize) -> Vec<Vec<Sym>> {
+    let mut all = vec![vec![]];
+    let mut layer: Vec<Vec<Sym>> = vec![vec![]];
+    for _ in 0..len {
+        let mut next = Vec::new();
+        for w in &layer {
+            for a in 0..N_SYMS as u32 {
+                let mut w2 = w.clone();
+                w2.push(Sym(a));
+                next.push(w2);
+            }
+        }
+        all.extend(next.iter().cloned());
+        layer = next;
+    }
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn derivatives_agree_with_glushkov(r in core_regex()) {
+        let nfa = Nfa::glushkov(&r, N_SYMS).unwrap();
+        for w in words_up_to(4) {
+            prop_assert_eq!(nfa.accepts(&w), dmatches(&r, &w), "word {:?}", &w);
+        }
+    }
+
+    #[test]
+    fn determinization_preserves_language(r in core_regex()) {
+        let nfa = Nfa::glushkov(&r, N_SYMS).unwrap();
+        let dfa = determinize(&nfa);
+        for w in words_up_to(4) {
+            prop_assert_eq!(nfa.accepts(&w), dfa.accepts(&w), "word {:?}", &w);
+        }
+    }
+
+    #[test]
+    fn minimization_preserves_language_and_shrinks(r in core_regex()) {
+        let dfa = determinize(&Nfa::glushkov(&r, N_SYMS).unwrap());
+        let min = minimize(&dfa);
+        prop_assert!(min.is_complete());
+        prop_assert!(min.n_states() <= dfa.n_states() + 1);
+        for w in words_up_to(4) {
+            prop_assert_eq!(dfa.accepts(&w), min.accepts(&w), "word {:?}", &w);
+        }
+    }
+
+    #[test]
+    fn state_elimination_roundtrips(r in core_regex()) {
+        let dfa = determinize(&Nfa::glushkov(&r, N_SYMS).unwrap());
+        let back = dfa_to_regex(&dfa, &dfa.final_states());
+        for w in words_up_to(4) {
+            prop_assert_eq!(dmatches(&r, &w), dmatches(&back, &w), "word {:?}", &w);
+        }
+    }
+
+    #[test]
+    fn print_parse_identity(r in extended_regex()) {
+        let mut alphabet = Alphabet::new();
+        for i in 0..N_SYMS {
+            alphabet.intern(&format!("n{i}"));
+        }
+        let shown = display_regex(&r, &alphabet);
+        let mut alphabet2 = alphabet.clone();
+        let parsed = parse_regex(&shown, &mut alphabet2).unwrap();
+        prop_assert_eq!(&parsed, &r, "rendered {:?}", shown);
+    }
+
+    #[test]
+    fn determinism_checker_matches_glushkov_determinism(r in core_regex()) {
+        let nfa = Nfa::glushkov(&r, N_SYMS).unwrap();
+        prop_assert_eq!(is_deterministic(&r), nfa.is_deterministic());
+    }
+
+    #[test]
+    fn compiled_matcher_agrees_with_derivatives(r in extended_regex()) {
+        let m = CompiledDre::compile(&r, N_SYMS);
+        for w in words_up_to(4) {
+            prop_assert_eq!(m.matches(&w), dmatches(&r, &w), "word {:?}", &w);
+        }
+    }
+
+    #[test]
+    fn first_error_consistent_with_matches(r in core_regex()) {
+        let m = CompiledDre::compile(&r, N_SYMS);
+        for w in words_up_to(4) {
+            prop_assert_eq!(m.first_error(&w).is_none(), m.matches(&w), "word {:?}", &w);
+        }
+    }
+
+    #[test]
+    fn minimal_dfas_of_equivalent_regexes_have_equal_size(r in core_regex()) {
+        // r and a structurally different but equivalent regex (r | r, r·ε)
+        let r2 = Regex::alt(vec![r.clone(), r.clone()]);
+        let m1 = minimize(&determinize(&Nfa::glushkov(&r, N_SYMS).unwrap()));
+        let m2 = minimize(&determinize(&Nfa::glushkov(&r2, N_SYMS).unwrap()));
+        prop_assert_eq!(m1.n_states(), m2.n_states());
+    }
+
+    #[test]
+    fn parser_never_panics(input in "[a-z(){}|&*+?,%0-9 ]{0,40}") {
+        let mut a = Alphabet::new();
+        let _ = parse_regex(&input, &mut a);
+    }
+}

@@ -1,0 +1,126 @@
+//! Ergonomic programmatic document construction.
+//!
+//! ```
+//! use xmltree::builder::elem;
+//! let doc = elem("document")
+//!     .child(elem("template").child(elem("section")))
+//!     .child(elem("content").child(elem("section").attr("title", "Intro").text("hello")))
+//!     .build();
+//! assert_eq!(doc.ch_str(doc.root()), vec!["template", "content"]);
+//! ```
+
+use crate::tree::{Document, NodeId};
+
+/// A pending element in a builder tree.
+#[derive(Clone, Debug)]
+pub struct ElementBuilder {
+    name: String,
+    attributes: Vec<(String, String)>,
+    children: Vec<Child>,
+}
+
+#[derive(Clone, Debug)]
+enum Child {
+    Element(ElementBuilder),
+    Text(String),
+}
+
+/// Starts building an element with the given name.
+pub fn elem(name: &str) -> ElementBuilder {
+    ElementBuilder {
+        name: name.to_owned(),
+        attributes: Vec::new(),
+        children: Vec::new(),
+    }
+}
+
+impl ElementBuilder {
+    /// Adds an attribute.
+    pub fn attr(mut self, name: &str, value: &str) -> Self {
+        self.attributes.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Appends a child element.
+    pub fn child(mut self, child: ElementBuilder) -> Self {
+        self.children.push(Child::Element(child));
+        self
+    }
+
+    /// Appends several child elements.
+    pub fn children<I: IntoIterator<Item = ElementBuilder>>(mut self, items: I) -> Self {
+        for c in items {
+            self.children.push(Child::Element(c));
+        }
+        self
+    }
+
+    /// Appends a text child.
+    pub fn text(mut self, text: &str) -> Self {
+        self.children.push(Child::Text(text.to_owned()));
+        self
+    }
+
+    /// Materializes the tree as a [`Document`] with this element as root.
+    pub fn build(self) -> Document {
+        let mut doc = Document::new(&self.name);
+        let root = doc.root();
+        for (n, v) in &self.attributes {
+            doc.set_attribute(root, n, v);
+        }
+        for c in self.children {
+            attach(&mut doc, root, c);
+        }
+        doc
+    }
+
+    /// Appends this builder's tree under an existing node of `doc`.
+    pub fn attach_to(self, doc: &mut Document, parent: NodeId) -> NodeId {
+        let id = doc.add_element(parent, &self.name);
+        for (n, v) in &self.attributes {
+            doc.set_attribute(id, n, v);
+        }
+        for c in self.children {
+            attach(doc, id, c);
+        }
+        id
+    }
+}
+
+fn attach(doc: &mut Document, parent: NodeId, child: Child) {
+    match child {
+        Child::Element(e) => {
+            e.attach_to(doc, parent);
+        }
+        Child::Text(t) => {
+            doc.add_text(parent, &t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_structure() {
+        let doc = elem("a")
+            .attr("x", "1")
+            .child(elem("b").text("hi"))
+            .children([elem("c"), elem("d")])
+            .build();
+        assert_eq!(doc.attribute(doc.root(), "x"), Some("1"));
+        assert_eq!(doc.ch_str(doc.root()), vec!["b", "c", "d"]);
+        let b = doc.element_children(doc.root()).next().unwrap();
+        assert_eq!(doc.text(doc.children(b)[0]), Some("hi"));
+    }
+
+    #[test]
+    fn attach_to_existing_document() {
+        let mut doc = elem("root").build();
+        let r = doc.root();
+        let added = elem("extra").attr("k", "v").attach_to(&mut doc, r);
+        assert_eq!(doc.parent(added), Some(r));
+        assert_eq!(doc.attribute(added, "k"), Some("v"));
+    }
+}

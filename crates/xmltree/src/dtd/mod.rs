@@ -1,0 +1,9 @@
+//! Document Type Definitions: the paper's baseline schema formalism.
+
+pub mod model;
+pub mod parser;
+pub mod validator;
+
+pub use model::{AttDef, AttType, ContentSpec, DefaultDecl, Dtd};
+pub use parser::parse_dtd;
+pub use validator::{is_valid, validate, DtdViolation, ViolationKind};

@@ -1,0 +1,170 @@
+//! The DTD object model.
+//!
+//! DTDs are the baseline formalism of the paper: "element declarations are
+//! entirely context insensitive — the content model for an element is
+//! solely dependent on the name of that element" (Section 2). Content
+//! models reuse the [`relang`] regex machinery over a DTD-owned alphabet
+//! of element names.
+
+use std::collections::BTreeMap;
+
+use relang::{Alphabet, CompiledDre, Regex, Sym};
+
+/// A content specification from `<!ELEMENT name SPEC>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ContentSpec {
+    /// `EMPTY` — no children, no text.
+    Empty,
+    /// `ANY` — anything.
+    Any,
+    /// `(#PCDATA | a | b)*` — mixed content; the listed element names may
+    /// interleave with text in any order. `(#PCDATA)` is the empty list.
+    Mixed(Vec<Sym>),
+    /// Element content: a regular expression over element names. The XML
+    /// spec requires these to be deterministic, like XSD's UPA.
+    Children(Regex),
+}
+
+/// One attribute definition from an `<!ATTLIST>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttDef {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type.
+    pub att_type: AttType,
+    /// Default declaration.
+    pub default: DefaultDecl,
+}
+
+/// Attribute types (the tokenized types are recognized but all validated
+/// as token strings; ID/IDREF cross-references are checked).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttType {
+    /// `CDATA` — any string.
+    Cdata,
+    /// `ID` — document-unique identifier.
+    Id,
+    /// `IDREF` — must match some ID in the document.
+    IdRef,
+    /// `IDREFS` — whitespace-separated IDREFs.
+    IdRefs,
+    /// `NMTOKEN` — a single name token.
+    NmToken,
+    /// `NMTOKENS` — whitespace-separated name tokens.
+    NmTokens,
+    /// `ENTITY`/`ENTITIES` — accepted, validated as tokens.
+    Entity,
+    /// Enumerated values `(v1 | v2 | …)`.
+    Enumerated(Vec<String>),
+}
+
+/// Attribute default declarations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DefaultDecl {
+    /// `#REQUIRED` — must be present.
+    Required,
+    /// `#IMPLIED` — optional, no default.
+    Implied,
+    /// `#FIXED "v"` — if present must equal `v`.
+    Fixed(String),
+    /// `"v"` — optional with default `v`.
+    Default(String),
+}
+
+/// A parsed DTD.
+#[derive(Clone, Debug, Default)]
+pub struct Dtd {
+    /// Alphabet of element names mentioned anywhere in the DTD.
+    pub alphabet: Alphabet,
+    /// Element declarations by name.
+    pub elements: BTreeMap<String, ContentSpec>,
+    /// Attribute-list declarations by element name.
+    pub attlists: BTreeMap<String, Vec<AttDef>>,
+    /// General entities declared in the DTD (`<!ENTITY name "value">`).
+    pub general_entities: BTreeMap<String, String>,
+}
+
+impl Dtd {
+    /// Looks up the content spec of an element.
+    pub fn content_of(&self, element: &str) -> Option<&ContentSpec> {
+        self.elements.get(element)
+    }
+
+    /// Attribute definitions of an element (empty slice if none declared).
+    pub fn attributes_of(&self, element: &str) -> &[AttDef] {
+        self.attlists.get(element).map_or(&[], Vec::as_slice)
+    }
+
+    /// Compiles all `Children` content models for repeated matching.
+    pub fn compile(&self) -> CompiledDtd<'_> {
+        let matchers = self
+            .elements
+            .iter()
+            .filter_map(|(name, spec)| match spec {
+                ContentSpec::Children(r) => {
+                    Some((name.clone(), CompiledDre::compile(r, self.alphabet.len())))
+                }
+                _ => None,
+            })
+            .collect();
+        CompiledDtd { dtd: self, matchers }
+    }
+
+    /// The total size of the DTD: sum of content-model sizes.
+    pub fn size(&self) -> usize {
+        self.elements
+            .values()
+            .map(|spec| match spec {
+                ContentSpec::Empty | ContentSpec::Any => 1,
+                ContentSpec::Mixed(names) => names.len().max(1),
+                ContentSpec::Children(r) => r.size(),
+            })
+            .sum()
+    }
+}
+
+/// A DTD with compiled content models, ready for validation.
+#[derive(Clone, Debug)]
+pub struct CompiledDtd<'a> {
+    /// The underlying DTD.
+    pub dtd: &'a Dtd,
+    pub(crate) matchers: BTreeMap<String, CompiledDre>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_counts_symbol_occurrences() {
+        let mut dtd = Dtd::default();
+        let a = dtd.alphabet.intern("a");
+        let b = dtd.alphabet.intern("b");
+        dtd.elements.insert(
+            "root".to_owned(),
+            ContentSpec::Children(Regex::concat(vec![
+                Regex::sym(a),
+                Regex::star(Regex::sym(b)),
+            ])),
+        );
+        dtd.elements.insert("a".to_owned(), ContentSpec::Empty);
+        dtd.elements
+            .insert("b".to_owned(), ContentSpec::Mixed(vec![]));
+        assert_eq!(dtd.size(), 2 + 1 + 1);
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let mut dtd = Dtd::default();
+        dtd.attlists.insert(
+            "a".to_owned(),
+            vec![AttDef {
+                name: "id".to_owned(),
+                att_type: AttType::Id,
+                default: DefaultDecl::Required,
+            }],
+        );
+        assert_eq!(dtd.attributes_of("a").len(), 1);
+        assert!(dtd.attributes_of("zzz").is_empty());
+    }
+}

@@ -1,0 +1,781 @@
+//! Parser for DTD declarations (internal subsets and standalone DTD files).
+//!
+//! Handles `<!ELEMENT>`, `<!ATTLIST>`, `<!ENTITY>` (general and parameter),
+//! comments, and processing instructions. Parameter entities (`%name;`)
+//! are textually substituted, which is exactly what Figure 2 of the paper
+//! relies on with its `%markup;` entity.
+
+use std::collections::BTreeMap;
+
+use relang::Regex;
+
+use crate::dtd::model::{AttDef, AttType, ContentSpec, DefaultDecl, Dtd};
+use crate::error::{ParseError, Position};
+
+/// Parses a DTD from the text of declarations (without `<!DOCTYPE … [` /
+/// `]>` wrappers).
+pub fn parse_dtd(input: &str) -> Result<Dtd, ParseError> {
+    let mut p = DtdParser {
+        input: input.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+        dtd: Dtd::default(),
+        param_entities: BTreeMap::new(),
+    };
+    p.parse()?;
+    Ok(p.dtd)
+}
+
+struct DtdParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    dtd: Dtd,
+    param_entities: BTreeMap<String, String>,
+}
+
+impl<'a> DtdParser<'a> {
+    fn position(&self) -> Position {
+        Position {
+            line: self.line,
+            column: (self.pos - self.line_start) as u32 + 1,
+            offset: self.pos,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.position(), msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn expect_str(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn parse(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.pos >= self.input.len() {
+                return Ok(());
+            }
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<!ELEMENT") {
+                self.parse_element_decl()?;
+            } else if self.starts_with("<!ATTLIST") {
+                self.parse_attlist_decl()?;
+            } else if self.starts_with("<!ENTITY") {
+                self.parse_entity_decl()?;
+            } else if self.starts_with("<!NOTATION") {
+                self.skip_until_gt()?;
+            } else if self.starts_with("%") {
+                // Parameter-entity reference between declarations: expand
+                // and parse the replacement text recursively.
+                self.bump();
+                let name = self.parse_name()?;
+                self.expect_str(";")?;
+                let text = self
+                    .param_entities
+                    .get(&name)
+                    .cloned()
+                    .ok_or_else(|| self.err(format!("undeclared parameter entity %{name};")))?;
+                let sub = parse_dtd_with_params(&text, &self.param_entities)?;
+                merge_dtd(&mut self.dtd, sub);
+            } else {
+                return Err(self.err("expected a DTD declaration"));
+            }
+        }
+    }
+
+    /// Reads up to the closing `>` of a declaration, expanding parameter
+    /// entities textually.
+    fn read_decl_body(&mut self) -> Result<String, ParseError> {
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated declaration")),
+                Some(b'>') => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'%') => {
+                    self.bump();
+                    // `%` followed by a name is a parameter entity ref;
+                    // a lone `%` (e.g. inside a quoted value of ENTITY %)
+                    // does not occur in declaration bodies we read here.
+                    let name = self.parse_name()?;
+                    self.expect_str(";")?;
+                    let val = self
+                        .param_entities
+                        .get(&name)
+                        .cloned()
+                        .ok_or_else(|| self.err(format!("undeclared parameter entity %{name};")))?;
+                    out.push_str(&val);
+                }
+                Some(b'"') | Some(b'\'') => {
+                    let quote = self.bump().expect("peeked");
+                    out.push(quote as char);
+                    loop {
+                        match self.bump() {
+                            None => return Err(self.err("unterminated quoted value")),
+                            Some(c) if c == quote => {
+                                out.push(c as char);
+                                break;
+                            }
+                            Some(c) => out.push(c as char),
+                        }
+                    }
+                }
+                Some(_) => {
+                    let c = self.bump().expect("peeked");
+                    out.push(c as char);
+                }
+            }
+        }
+    }
+
+    fn parse_element_decl(&mut self) -> Result<(), ParseError> {
+        let decl_pos = self.position();
+        self.expect_str("<!ELEMENT")?;
+        let body = self.read_decl_body()?;
+        let body = body.trim();
+        let (name, spec_text) = split_name(body)
+            .ok_or_else(|| ParseError::new(decl_pos, "malformed <!ELEMENT> declaration"))?;
+        let spec = parse_content_spec(spec_text.trim(), &mut self.dtd, decl_pos)?;
+        self.dtd.elements.insert(name.to_owned(), spec);
+        Ok(())
+    }
+
+    fn parse_attlist_decl(&mut self) -> Result<(), ParseError> {
+        let decl_pos = self.position();
+        self.expect_str("<!ATTLIST")?;
+        let body = self.read_decl_body()?;
+        let body = body.trim();
+        let (elem_name, rest) = split_name(body)
+            .ok_or_else(|| ParseError::new(decl_pos, "malformed <!ATTLIST> declaration"))?;
+        let defs = parse_att_defs(rest.trim(), decl_pos)?;
+        self.dtd
+            .attlists
+            .entry(elem_name.to_owned())
+            .or_default()
+            .extend(defs);
+        Ok(())
+    }
+
+    fn parse_entity_decl(&mut self) -> Result<(), ParseError> {
+        let decl_pos = self.position();
+        self.expect_str("<!ENTITY")?;
+        self.skip_ws();
+        let is_param = if self.peek() == Some(b'%') {
+            self.bump();
+            self.skip_ws();
+            true
+        } else {
+            false
+        };
+        let name = self.parse_name()?;
+        self.skip_ws();
+        let value = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.bump();
+                let start = self.pos;
+                while self.peek() != Some(q) {
+                    if self.bump().is_none() {
+                        return Err(self.err("unterminated entity value"));
+                    }
+                }
+                let v = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in entity value"))?
+                    .to_owned();
+                self.bump(); // closing quote
+                v
+            }
+            _ => {
+                // External entity (SYSTEM/PUBLIC): skip, record empty.
+                self.skip_until_gt()?;
+                if is_param {
+                    self.param_entities.insert(name, String::new());
+                } else {
+                    self.dtd.general_entities.insert(name, String::new());
+                }
+                return Ok(());
+            }
+        };
+        self.skip_ws();
+        self.expect_str(">")
+            .map_err(|_| ParseError::new(decl_pos, "malformed <!ENTITY> declaration"))?;
+        if is_param {
+            self.param_entities.insert(name, value);
+        } else {
+            self.dtd.general_entities.insert(name, value);
+        }
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected name")),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("names are ascii")
+            .to_owned())
+    }
+
+    fn skip_comment(&mut self) -> Result<(), ParseError> {
+        self.expect_str("<!--")?;
+        loop {
+            if self.starts_with("-->") {
+                return self.expect_str("-->");
+            }
+            if self.bump().is_none() {
+                return Err(self.err("unterminated comment"));
+            }
+        }
+    }
+
+    fn skip_pi(&mut self) -> Result<(), ParseError> {
+        self.expect_str("<?")?;
+        loop {
+            if self.starts_with("?>") {
+                return self.expect_str("?>");
+            }
+            if self.bump().is_none() {
+                return Err(self.err("unterminated processing instruction"));
+            }
+        }
+    }
+
+    fn skip_until_gt(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated declaration")),
+                Some(b'>') => return Ok(()),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Parses with a pre-seeded parameter entity table (used when expanding a
+/// parameter entity whose replacement text contains whole declarations).
+fn parse_dtd_with_params(
+    input: &str,
+    params: &BTreeMap<String, String>,
+) -> Result<Dtd, ParseError> {
+    let mut p = DtdParser {
+        input: input.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+        dtd: Dtd::default(),
+        param_entities: params.clone(),
+    };
+    p.parse()?;
+    Ok(p.dtd)
+}
+
+fn merge_dtd(into: &mut Dtd, from: Dtd) {
+    // Remap symbols of `from`'s alphabet into `into`'s.
+    for (name, spec) in from.elements {
+        let spec = remap_spec(spec, &from.alphabet, into);
+        into.elements.entry(name).or_insert(spec);
+    }
+    for (name, defs) in from.attlists {
+        into.attlists.entry(name).or_default().extend(defs);
+    }
+    for (name, v) in from.general_entities {
+        into.general_entities.entry(name).or_insert(v);
+    }
+}
+
+fn remap_spec(spec: ContentSpec, from: &relang::Alphabet, into: &mut Dtd) -> ContentSpec {
+    match spec {
+        ContentSpec::Empty => ContentSpec::Empty,
+        ContentSpec::Any => ContentSpec::Any,
+        ContentSpec::Mixed(syms) => ContentSpec::Mixed(
+            syms.into_iter()
+                .map(|s| into.alphabet.intern(from.name(s)))
+                .collect(),
+        ),
+        ContentSpec::Children(r) => {
+            let remapped = r.map_symbols(&mut |s| into.alphabet.intern(from.name(s)));
+            ContentSpec::Children(remapped)
+        }
+    }
+}
+
+/// Splits `body` into a leading name and the rest.
+fn split_name(body: &str) -> Option<(&str, &str)> {
+    let body = body.trim_start();
+    let end = body
+        .char_indices()
+        .find(|&(_, c)| c.is_whitespace())
+        .map_or(body.len(), |(i, _)| i);
+    if end == 0 {
+        return None;
+    }
+    Some((&body[..end], &body[end..]))
+}
+
+/// Parses a content specification: `EMPTY`, `ANY`, mixed, or children.
+fn parse_content_spec(
+    text: &str,
+    dtd: &mut Dtd,
+    pos: Position,
+) -> Result<ContentSpec, ParseError> {
+    match text {
+        "EMPTY" => return Ok(ContentSpec::Empty),
+        "ANY" => return Ok(ContentSpec::Any),
+        _ => {}
+    }
+    if text.contains("#PCDATA") {
+        // (#PCDATA) or (#PCDATA|a|b)* — be lenient about whitespace.
+        let inner = text
+            .trim()
+            .trim_end_matches('*')
+            .trim()
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| ParseError::new(pos, "malformed mixed content model"))?;
+        let mut names = Vec::new();
+        for part in inner.split('|') {
+            let part = part.trim();
+            if part == "#PCDATA" || part.is_empty() {
+                continue;
+            }
+            names.push(dtd.alphabet.intern(part));
+        }
+        names.sort_unstable();
+        names.dedup();
+        return Ok(ContentSpec::Mixed(names));
+    }
+    let regex = parse_children_model(text, dtd, pos)?;
+    Ok(ContentSpec::Children(regex))
+}
+
+/// Parses a children content model (`(a, (b | c)*, d?)`) into a regex.
+fn parse_children_model(text: &str, dtd: &mut Dtd, pos: Position) -> Result<Regex, ParseError> {
+    // Translate the DTD syntax into the relang regex syntax: `,` becomes
+    // juxtaposition; names, `|`, `()`, `*+?` carry over directly.
+    let mut p = ModelParser {
+        input: text.as_bytes(),
+        pos: 0,
+        dtd,
+        err_pos: pos,
+    };
+    p.skip_ws();
+    let r = p.parse_alt()?;
+    p.skip_ws();
+    if p.pos < p.input.len() {
+        return Err(ParseError::new(
+            p.err_pos,
+            format!("trailing input in content model: {text:?}"),
+        ));
+    }
+    Ok(r)
+}
+
+struct ModelParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    dtd: &'a mut Dtd,
+    err_pos: Position,
+}
+
+impl<'a> ModelParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.err_pos, msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.parse_seq()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'|') {
+                self.pos += 1;
+                parts.push(self.parse_seq()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Regex::alt(parts))
+    }
+
+    fn parse_seq(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.parse_postfix()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+                parts.push(self.parse_postfix()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Regex::concat(parts))
+    }
+
+    fn parse_postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut r = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    r = Regex::star(r);
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    r = Regex::plus(r);
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    r = Regex::opt(r);
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let r = self.parse_alt()?;
+                self.skip_ws();
+                if self.peek() != Some(b')') {
+                    return Err(self.err("expected ')' in content model"));
+                }
+                self.pos += 1;
+                Ok(r)
+            }
+            Some(c) if is_name_start(c) => {
+                let start = self.pos;
+                self.pos += 1;
+                while matches!(self.peek(), Some(c) if is_name_char(c)) {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
+                Ok(Regex::sym(self.dtd.alphabet.intern(name)))
+            }
+            _ => Err(self.err("expected name or '(' in content model")),
+        }
+    }
+}
+
+/// Parses the attribute definitions of an `<!ATTLIST>` body.
+fn parse_att_defs(text: &str, pos: Position) -> Result<Vec<AttDef>, ParseError> {
+    let mut defs = Vec::new();
+    let mut toks = Tokens::new(text);
+    while let Some(name) = toks.next_token() {
+        let att_type = match toks
+            .next_token()
+            .ok_or_else(|| ParseError::new(pos, "missing attribute type"))?
+        {
+            t if t == "CDATA" => AttType::Cdata,
+            t if t == "ID" => AttType::Id,
+            t if t == "IDREF" => AttType::IdRef,
+            t if t == "IDREFS" => AttType::IdRefs,
+            t if t == "NMTOKEN" => AttType::NmToken,
+            t if t == "NMTOKENS" => AttType::NmTokens,
+            t if t == "ENTITY" || t == "ENTITIES" => AttType::Entity,
+            t if t == "NOTATION" => {
+                // NOTATION (n1|n2): consume the group, validate as token.
+                let group = toks
+                    .next_token()
+                    .ok_or_else(|| ParseError::new(pos, "missing notation group"))?;
+                let _ = group;
+                AttType::NmToken
+            }
+            t if t.starts_with('(') => {
+                let inner = t.trim_start_matches('(').trim_end_matches(')');
+                AttType::Enumerated(
+                    inner
+                        .split('|')
+                        .map(|v| v.trim().to_owned())
+                        .filter(|v| !v.is_empty())
+                        .collect(),
+                )
+            }
+            t => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unknown attribute type {t:?}"),
+                ))
+            }
+        };
+        let default = match toks
+            .next_token()
+            .ok_or_else(|| ParseError::new(pos, "missing attribute default"))?
+        {
+            t if t == "#REQUIRED" => DefaultDecl::Required,
+            t if t == "#IMPLIED" => DefaultDecl::Implied,
+            t if t == "#FIXED" => {
+                let v = toks
+                    .next_token()
+                    .ok_or_else(|| ParseError::new(pos, "missing #FIXED value"))?;
+                DefaultDecl::Fixed(unquote(&v))
+            }
+            t if t.starts_with('"') || t.starts_with('\'') => DefaultDecl::Default(unquote(&t)),
+            t => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unknown attribute default {t:?}"),
+                ))
+            }
+        };
+        defs.push(AttDef {
+            name,
+            att_type,
+            default,
+        });
+    }
+    Ok(defs)
+}
+
+fn unquote(s: &str) -> String {
+    s.trim_matches(|c| c == '"' || c == '\'').to_owned()
+}
+
+/// Simple whitespace tokenizer that keeps `(...)` groups and quoted strings
+/// together as single tokens.
+struct Tokens<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(s: &'a str) -> Self {
+        Tokens { rest: s }
+    }
+
+    fn next_token(&mut self) -> Option<String> {
+        self.rest = self.rest.trim_start();
+        if self.rest.is_empty() {
+            return None;
+        }
+        let bytes = self.rest.as_bytes();
+        let end = match bytes[0] {
+            b'(' => {
+                let mut depth = 0usize;
+                let mut end = 0usize;
+                for (i, &c) in bytes.iter().enumerate() {
+                    if c == b'(' {
+                        depth += 1;
+                    } else if c == b')' {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = i + 1;
+                            break;
+                        }
+                    }
+                }
+                if end == 0 {
+                    self.rest.len()
+                } else {
+                    end
+                }
+            }
+            q @ (b'"' | b'\'') => {
+                let mut end = self.rest.len();
+                for (i, &c) in bytes.iter().enumerate().skip(1) {
+                    if c == q {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                end
+            }
+            _ => bytes
+                .iter()
+                .position(|&c| c.is_ascii_whitespace())
+                .unwrap_or(self.rest.len()),
+        };
+        let tok = self.rest[..end].to_owned();
+        self.rest = &self.rest[end..];
+        Some(tok)
+    }
+}
+
+fn is_name_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c == b':' || c >= 0x80
+}
+
+fn is_name_char(c: u8) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || matches!(c, b'-' | b'.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_element_declarations() {
+        let dtd = parse_dtd(
+            r#"
+            <!ELEMENT doc (head, body)>
+            <!ELEMENT head EMPTY>
+            <!ELEMENT body ANY>
+            <!ELEMENT p (#PCDATA | em | strong)*>
+            <!ELEMENT em (#PCDATA)>
+        "#,
+        )
+        .unwrap();
+        assert_eq!(dtd.elements.len(), 5);
+        assert_eq!(dtd.content_of("head"), Some(&ContentSpec::Empty));
+        assert_eq!(dtd.content_of("body"), Some(&ContentSpec::Any));
+        match dtd.content_of("p").unwrap() {
+            ContentSpec::Mixed(names) => assert_eq!(names.len(), 2),
+            other => panic!("expected mixed, got {other:?}"),
+        }
+        match dtd.content_of("em").unwrap() {
+            ContentSpec::Mixed(names) => assert!(names.is_empty()),
+            other => panic!("expected mixed, got {other:?}"),
+        }
+        match dtd.content_of("doc").unwrap() {
+            ContentSpec::Children(r) => assert_eq!(r.size(), 2),
+            other => panic!("expected children, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_children_operators() {
+        let dtd = parse_dtd("<!ELEMENT a ((b | c)*, d?, e+)>").unwrap();
+        match dtd.content_of("a").unwrap() {
+            ContentSpec::Children(r) => {
+                assert_eq!(r.size(), 4);
+                assert!(relang::regex::determinism::is_deterministic(r));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_attlist() {
+        let dtd = parse_dtd(
+            r#"
+            <!ELEMENT a EMPTY>
+            <!ATTLIST a
+                id     ID                #REQUIRED
+                kind   (alpha | beta)    "alpha"
+                note   CDATA             #IMPLIED
+                ver    CDATA             #FIXED "1.0">
+        "#,
+        )
+        .unwrap();
+        let defs = dtd.attributes_of("a");
+        assert_eq!(defs.len(), 4);
+        assert_eq!(defs[0].att_type, AttType::Id);
+        assert_eq!(defs[0].default, DefaultDecl::Required);
+        assert_eq!(
+            defs[1].att_type,
+            AttType::Enumerated(vec!["alpha".to_owned(), "beta".to_owned()])
+        );
+        assert_eq!(defs[1].default, DefaultDecl::Default("alpha".to_owned()));
+        assert_eq!(defs[3].default, DefaultDecl::Fixed("1.0".to_owned()));
+    }
+
+    #[test]
+    fn parameter_entities_expand() {
+        // The Figure 2 pattern: an entity holding part of a content model.
+        let dtd = parse_dtd(
+            r#"
+            <!ENTITY % markup "bold|italic|font">
+            <!ELEMENT section (#PCDATA|title|%markup;)*>
+            <!ELEMENT bold (#PCDATA|%markup;)*>
+        "#,
+        )
+        .unwrap();
+        match dtd.content_of("section").unwrap() {
+            ContentSpec::Mixed(names) => {
+                let names: Vec<_> = names.iter().map(|&s| dtd.alphabet.name(s)).collect();
+                assert_eq!(names, vec!["title", "bold", "italic", "font"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn general_entities_collected() {
+        let dtd = parse_dtd(r#"<!ENTITY greet "hi there">"#).unwrap();
+        assert_eq!(dtd.general_entities.get("greet").map(String::as_str), Some("hi there"));
+    }
+
+    #[test]
+    fn comments_and_pis_skipped() {
+        let dtd = parse_dtd("<!-- c --><?pi?><!ELEMENT a EMPTY>").unwrap();
+        assert_eq!(dtd.elements.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_dtd("<!ELEMENT a (b,>").is_err());
+        assert!(parse_dtd("<!BOGUS a>").is_err());
+        assert!(parse_dtd("<!ELEMENT a (#PCDATA | b>").is_err());
+        assert!(parse_dtd("<!ELEMENT >").is_err());
+    }
+
+    #[test]
+    fn mixed_names_sorted_for_stability() {
+        let dtd = parse_dtd("<!ELEMENT a (#PCDATA | z | b)*>").unwrap();
+        match dtd.content_of("a").unwrap() {
+            ContentSpec::Mixed(names) => {
+                // interned in occurrence order (z then b) but stored sorted
+                assert_eq!(names.len(), 2);
+                assert!(names.windows(2).all(|w| w[0] <= w[1]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

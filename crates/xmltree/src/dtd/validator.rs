@@ -1,0 +1,410 @@
+//! DTD validation of documents.
+//!
+//! Checks element content models (context-insensitively, as DTDs do),
+//! attribute declarations (required/fixed/enumerated), and ID/IDREF
+//! integrity.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::dtd::model::{AttType, CompiledDtd, ContentSpec, DefaultDecl, Dtd};
+use crate::tree::{Document, NodeId};
+
+/// A validation violation, attached to a node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DtdViolation {
+    /// The offending node.
+    pub node: NodeId,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+/// Kinds of DTD validation violations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Element name has no `<!ELEMENT>` declaration.
+    UndeclaredElement(String),
+    /// Child string does not match the content model; the index is the
+    /// first offending child position (== len means incomplete content).
+    ContentModel {
+        /// Element name whose model failed.
+        element: String,
+        /// Index of the first offending element child.
+        at: usize,
+    },
+    /// Significant text where the content model forbids it.
+    UnexpectedText(String),
+    /// Child elements under an `EMPTY` element.
+    UnexpectedChildren(String),
+    /// A child name not allowed by a mixed content model.
+    DisallowedMixedChild {
+        /// The parent element.
+        element: String,
+        /// The offending child name.
+        child: String,
+    },
+    /// A `#REQUIRED` attribute is missing.
+    MissingAttribute(String),
+    /// An attribute not declared for this element.
+    UndeclaredAttribute(String),
+    /// Value differs from a `#FIXED` default.
+    FixedMismatch {
+        /// Attribute name.
+        attribute: String,
+        /// The required fixed value.
+        expected: String,
+    },
+    /// Value not among the enumerated alternatives.
+    NotInEnumeration {
+        /// Attribute name.
+        attribute: String,
+        /// The offending value.
+        value: String,
+    },
+    /// Duplicate ID value.
+    DuplicateId(String),
+    /// IDREF to an ID that does not exist.
+    DanglingIdRef(String),
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViolationKind::UndeclaredElement(n) => write!(f, "undeclared element <{n}>"),
+            ViolationKind::ContentModel { element, at } => {
+                write!(f, "content of <{element}> fails its model at child {at}")
+            }
+            ViolationKind::UnexpectedText(n) => write!(f, "<{n}> may not contain text"),
+            ViolationKind::UnexpectedChildren(n) => {
+                write!(f, "<{n}> is declared EMPTY but has children")
+            }
+            ViolationKind::DisallowedMixedChild { element, child } => {
+                write!(f, "<{child}> not allowed in mixed content of <{element}>")
+            }
+            ViolationKind::MissingAttribute(a) => write!(f, "required attribute {a:?} missing"),
+            ViolationKind::UndeclaredAttribute(a) => write!(f, "undeclared attribute {a:?}"),
+            ViolationKind::FixedMismatch { attribute, expected } => {
+                write!(f, "attribute {attribute:?} must have fixed value {expected:?}")
+            }
+            ViolationKind::NotInEnumeration { attribute, value } => {
+                write!(f, "value {value:?} of {attribute:?} not in enumeration")
+            }
+            ViolationKind::DuplicateId(v) => write!(f, "duplicate ID {v:?}"),
+            ViolationKind::DanglingIdRef(v) => write!(f, "IDREF {v:?} matches no ID"),
+        }
+    }
+}
+
+/// Validates `doc` against `dtd`, returning all violations (empty = valid).
+pub fn validate(dtd: &Dtd, doc: &Document) -> Vec<DtdViolation> {
+    validate_compiled(&dtd.compile(), doc)
+}
+
+/// Validation against a pre-compiled DTD (for hot loops and benches).
+pub fn validate_compiled(compiled: &CompiledDtd<'_>, doc: &Document) -> Vec<DtdViolation> {
+    let dtd = compiled.dtd;
+    let mut violations = Vec::new();
+    let mut ids: BTreeMap<String, NodeId> = BTreeMap::new();
+    let mut idrefs: Vec<(NodeId, String)> = Vec::new();
+
+    for node in doc.elements() {
+        let name = doc.name(node).expect("elements() yields elements");
+        let Some(spec) = dtd.content_of(name) else {
+            violations.push(DtdViolation {
+                node,
+                kind: ViolationKind::UndeclaredElement(name.to_owned()),
+            });
+            continue;
+        };
+
+        match spec {
+            ContentSpec::Any => {}
+            ContentSpec::Empty => {
+                if doc.element_children(node).next().is_some() {
+                    violations.push(DtdViolation {
+                        node,
+                        kind: ViolationKind::UnexpectedChildren(name.to_owned()),
+                    });
+                }
+                if doc.has_significant_text(node) {
+                    violations.push(DtdViolation {
+                        node,
+                        kind: ViolationKind::UnexpectedText(name.to_owned()),
+                    });
+                }
+            }
+            ContentSpec::Mixed(allowed) => {
+                let allowed: BTreeSet<&str> =
+                    allowed.iter().map(|&s| dtd.alphabet.name(s)).collect();
+                for child in doc.element_children(node) {
+                    let cname = doc.name(child).expect("element");
+                    if !allowed.contains(cname) {
+                        violations.push(DtdViolation {
+                            node: child,
+                            kind: ViolationKind::DisallowedMixedChild {
+                                element: name.to_owned(),
+                                child: cname.to_owned(),
+                            },
+                        });
+                    }
+                }
+            }
+            ContentSpec::Children(_) => {
+                if doc.has_significant_text(node) {
+                    violations.push(DtdViolation {
+                        node,
+                        kind: ViolationKind::UnexpectedText(name.to_owned()),
+                    });
+                }
+                let word: Option<Vec<relang::Sym>> = doc
+                    .element_children(node)
+                    .map(|c| dtd.alphabet.lookup(doc.name(c).expect("element")))
+                    .collect();
+                let matcher = compiled
+                    .matchers
+                    .get(name)
+                    .expect("compiled matcher for every Children spec");
+                match word {
+                    None => {
+                        // Some child name is not in the DTD's alphabet at
+                        // all: find it for a precise report.
+                        let at = doc
+                            .element_children(node)
+                            .position(|c| {
+                                dtd.alphabet
+                                    .lookup(doc.name(c).expect("element"))
+                                    .is_none()
+                            })
+                            .expect("some child missing from alphabet");
+                        violations.push(DtdViolation {
+                            node,
+                            kind: ViolationKind::ContentModel {
+                                element: name.to_owned(),
+                                at,
+                            },
+                        });
+                    }
+                    Some(word) => {
+                        if let Some(at) = matcher.first_error(&word) {
+                            violations.push(DtdViolation {
+                                node,
+                                kind: ViolationKind::ContentModel {
+                                    element: name.to_owned(),
+                                    at,
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Attributes.
+        let defs = dtd.attributes_of(name);
+        let declared: BTreeSet<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+        for attr in doc.attributes(node) {
+            if attr.name.starts_with("xmlns") {
+                continue; // namespace declarations are not DTD attributes
+            }
+            if !declared.contains(attr.name.as_str()) {
+                violations.push(DtdViolation {
+                    node,
+                    kind: ViolationKind::UndeclaredAttribute(attr.name.clone()),
+                });
+            }
+        }
+        for def in defs {
+            let value = doc.attribute(node, &def.name);
+            match (&def.default, value) {
+                (DefaultDecl::Required, None) => {
+                    violations.push(DtdViolation {
+                        node,
+                        kind: ViolationKind::MissingAttribute(def.name.clone()),
+                    });
+                    continue;
+                }
+                (DefaultDecl::Fixed(expected), Some(v)) if v != expected => {
+                    violations.push(DtdViolation {
+                        node,
+                        kind: ViolationKind::FixedMismatch {
+                            attribute: def.name.clone(),
+                            expected: expected.clone(),
+                        },
+                    });
+                }
+                _ => {}
+            }
+            let Some(v) = value else { continue };
+            match &def.att_type {
+                AttType::Enumerated(options)
+                    if !options.iter().any(|o| o == v) => {
+                        violations.push(DtdViolation {
+                            node,
+                            kind: ViolationKind::NotInEnumeration {
+                                attribute: def.name.clone(),
+                                value: v.to_owned(),
+                            },
+                        });
+                    }
+                AttType::Id
+                    if ids.insert(v.to_owned(), node).is_some() => {
+                        violations.push(DtdViolation {
+                            node,
+                            kind: ViolationKind::DuplicateId(v.to_owned()),
+                        });
+                    }
+                AttType::IdRef => idrefs.push((node, v.to_owned())),
+                AttType::IdRefs => {
+                    for tok in v.split_whitespace() {
+                        idrefs.push((node, tok.to_owned()));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    for (node, idref) in idrefs {
+        if !ids.contains_key(&idref) {
+            violations.push(DtdViolation {
+                node,
+                kind: ViolationKind::DanglingIdRef(idref),
+            });
+        }
+    }
+
+    violations
+}
+
+/// Whether `doc` is valid with respect to `dtd`.
+pub fn is_valid(dtd: &Dtd, doc: &Document) -> bool {
+    validate(dtd, doc).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::parser::parse_dtd;
+    use crate::parser::parse_document;
+
+    fn dtd() -> Dtd {
+        parse_dtd(
+            r#"
+            <!ELEMENT doc (head, body)>
+            <!ELEMENT head EMPTY>
+            <!ELEMENT body (p)*>
+            <!ELEMENT p (#PCDATA | em)*>
+            <!ELEMENT em (#PCDATA)>
+            <!ATTLIST p
+                id   ID              #IMPLIED
+                ref  IDREF           #IMPLIED
+                kind (note | warn)   "note"
+                lang CDATA           #REQUIRED>
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_document() {
+        let doc = parse_document(
+            r#"<doc><head/><body><p lang="en">hi <em>there</em></p></body></doc>"#,
+        )
+        .unwrap();
+        assert!(is_valid(&dtd(), &doc));
+    }
+
+    #[test]
+    fn content_model_violation() {
+        // body before head
+        let doc = parse_document(r#"<doc><body/><head/></doc>"#).unwrap();
+        let v = validate(&dtd(), &doc);
+        assert!(v
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::ContentModel { element, at: 0 } if element == "doc")));
+    }
+
+    #[test]
+    fn incomplete_content_reported_at_end() {
+        let doc = parse_document(r#"<doc><head/></doc>"#).unwrap();
+        let v = validate(&dtd(), &doc);
+        assert!(v
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::ContentModel { at: 1, .. })));
+    }
+
+    #[test]
+    fn empty_element_violations() {
+        let doc =
+            parse_document(r#"<doc><head>text</head><body/></doc>"#).unwrap();
+        let v = validate(&dtd(), &doc);
+        assert!(v
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::UnexpectedText(n) if n == "head")));
+    }
+
+    #[test]
+    fn undeclared_element() {
+        let doc = parse_document(r#"<doc><head/><body><zzz/></body></doc>"#).unwrap();
+        let v = validate(&dtd(), &doc);
+        assert!(v
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::UndeclaredElement(n) if n == "zzz")));
+        // and the body content model also fails (zzz not in alphabet? it is:
+        // zzz is not in the alphabet, so ContentModel at 0)
+        assert!(v
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::ContentModel { at: 0, .. })));
+    }
+
+    #[test]
+    fn mixed_content_checks() {
+        let doc = parse_document(
+            r#"<doc><head/><body><p lang="en">ok <head/></p></body></doc>"#,
+        )
+        .unwrap();
+        let v = validate(&dtd(), &doc);
+        assert!(v.iter().any(|v| matches!(
+            &v.kind,
+            ViolationKind::DisallowedMixedChild { element, child }
+                if element == "p" && child == "head"
+        )));
+    }
+
+    #[test]
+    fn attribute_checks() {
+        let doc = parse_document(
+            r#"<doc><head/><body><p kind="fatal" bogus="1"><em>x</em></p></body></doc>"#,
+        )
+        .unwrap();
+        let v = validate(&dtd(), &doc);
+        assert!(v
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::MissingAttribute(a) if a == "lang")));
+        assert!(v
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::UndeclaredAttribute(a) if a == "bogus")));
+        assert!(v.iter().any(|v| matches!(
+            &v.kind,
+            ViolationKind::NotInEnumeration { value, .. } if value == "fatal"
+        )));
+    }
+
+    #[test]
+    fn id_integrity() {
+        let doc = parse_document(
+            r#"<doc><head/><body>
+                <p lang="en" id="x"/>
+                <p lang="en" id="x"/>
+                <p lang="en" ref="ghost"/>
+            </body></doc>"#,
+        )
+        .unwrap();
+        let v = validate(&dtd(), &doc);
+        assert!(v
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::DuplicateId(x) if x == "x")));
+        assert!(v
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::DanglingIdRef(r) if r == "ghost")));
+    }
+}

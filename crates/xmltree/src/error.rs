@@ -1,0 +1,46 @@
+//! Positioned errors for the XML and DTD parsers.
+
+use std::fmt;
+
+/// A position in the input text (1-based line/column, 0-based byte offset).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub column: u32,
+    /// 0-based byte offset.
+    pub offset: usize,
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A parse error with a position and message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Where the problem was detected.
+    pub position: Position,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(position: Position, message: impl Into<String>) -> Self {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,190 @@
+//! XML serialization: compact and pretty-printed writers with escaping.
+
+use crate::tree::{Document, NodeId, NodeKind};
+
+/// Serializes a document compactly (no inserted whitespace).
+///
+/// `parse ∘ to_string` is the identity on documents (checked by the
+/// round-trip property tests).
+pub fn to_string(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node(&mut out, doc, doc.root());
+    out
+}
+
+
+/// Serializes a document with an XML declaration and 2-space indentation.
+///
+/// Text-bearing elements are kept on one line so that significant text is
+/// not padded with extra whitespace.
+pub fn to_string_pretty(doc: &Document) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    write_node_pretty(&mut out, doc, doc.root(), 0);
+    out.push('\n');
+    out
+}
+
+/// Iterative writer (documents can be arbitrarily deep).
+fn write_node(out: &mut String, doc: &Document, node: NodeId) {
+    enum Item {
+        Node(NodeId),
+        CloseTag(NodeId),
+    }
+    let mut stack = vec![Item::Node(node)];
+    while let Some(item) = stack.pop() {
+        match item {
+            Item::CloseTag(n) => {
+                out.push_str("</");
+                out.push_str(doc.name(n).expect("close tags are elements"));
+                out.push('>');
+            }
+            Item::Node(n) => match doc.kind(n) {
+                NodeKind::Text(t) => escape_text(out, t),
+                NodeKind::Element { name, attributes } => {
+                    out.push('<');
+                    out.push_str(name);
+                    for a in attributes {
+                        out.push(' ');
+                        out.push_str(&a.name);
+                        out.push_str("=\"");
+                        escape_attr(out, &a.value);
+                        out.push('"');
+                    }
+                    let children = doc.children(n);
+                    if children.is_empty() {
+                        out.push_str("/>");
+                    } else {
+                        out.push('>');
+                        stack.push(Item::CloseTag(n));
+                        for &c in children.iter().rev() {
+                            stack.push(Item::Node(c));
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+fn write_node_pretty(out: &mut String, doc: &Document, node: NodeId, indent: usize) {
+    match doc.kind(node) {
+        NodeKind::Text(t) => escape_text(out, t),
+        NodeKind::Element { name, attributes } => {
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+            out.push('<');
+            out.push_str(name);
+            for a in attributes {
+                out.push(' ');
+                out.push_str(&a.name);
+                out.push_str("=\"");
+                escape_attr(out, &a.value);
+                out.push('"');
+            }
+            let children = doc.children(node);
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            let mixed = children.iter().any(|&c| doc.text(c).is_some());
+            out.push('>');
+            if mixed {
+                // Inline: preserve text exactly.
+                for &c in children {
+                    match doc.kind(c) {
+                        NodeKind::Text(t) => escape_text(out, t),
+                        NodeKind::Element { .. } => {
+                            let mut inner = String::new();
+                            write_node(&mut inner, doc, c);
+                            out.push_str(&inner);
+                        }
+                    }
+                }
+            } else {
+                for &c in children {
+                    out.push('\n');
+                    write_node_pretty(out, doc, c, indent + 1);
+                }
+                out.push('\n');
+                for _ in 0..indent {
+                    out.push_str("  ");
+                }
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
+}
+
+fn escape_text(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = r#"<a x="1&amp;2"><b/><c>t &lt; u</c></a>"#;
+        let d = parse_document(src).unwrap();
+        assert_eq!(to_string(&d), src);
+    }
+
+    #[test]
+    fn escaping() {
+        let mut d = Document::new("a");
+        d.set_attribute(d.root(), "q", "say \"hi\" & <go>");
+        d.add_text(d.root(), "1 < 2 & 3 > 2");
+        let s = to_string(&d);
+        assert_eq!(
+            s,
+            "<a q=\"say &quot;hi&quot; &amp; &lt;go&gt;\">1 &lt; 2 &amp; 3 &gt; 2</a>"
+        );
+        // and it reparses to the same values
+        let d2 = parse_document(&s).unwrap();
+        assert_eq!(d2.attribute(d2.root(), "q"), Some("say \"hi\" & <go>"));
+    }
+
+    #[test]
+    fn pretty_print_structure() {
+        let d = parse_document("<a><b><c/></b><d>text</d></a>").unwrap();
+        let s = to_string_pretty(&d);
+        assert!(s.starts_with("<?xml"));
+        assert!(s.contains("\n  <b>\n    <c/>\n  </b>"));
+        assert!(s.contains("<d>text</d>"));
+    }
+
+    #[test]
+    fn pretty_print_reparses_equal_modulo_whitespace() {
+        let d = parse_document("<a><b x=\"1\"/><c>hi</c></a>").unwrap();
+        let d2 = parse_document(&to_string_pretty(&d)).unwrap();
+        assert_eq!(d2.ch_str(d2.root()), vec!["b", "c"]);
+        let c = d2.element_children(d2.root()).nth(1).unwrap();
+        assert_eq!(d2.text(d2.children(c)[0]), Some("hi"));
+    }
+}

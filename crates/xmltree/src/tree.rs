@@ -1,0 +1,354 @@
+//! The XML document model: a finite, rooted, ordered, labeled, unranked
+//! tree (Section 4.1 of the paper), with attributes and text.
+//!
+//! Nodes live in an arena owned by the [`Document`]; [`NodeId`]s are dense
+//! indices. The two string accessors the paper's formal development is
+//! built on — the *ancestor string* `anc-str(v)` and *child string*
+//! `ch-str(v)` — are provided directly on the document.
+
+use std::fmt;
+
+/// Index of a node in a document's arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// An attribute: name/value pair. Order of attributes is preserved as
+/// written but is semantically irrelevant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Attribute {
+    /// Attribute name (qualified as written, e.g. `xs:type` or `title`).
+    pub name: String,
+    /// Attribute value (entity references already resolved).
+    pub value: String,
+}
+
+/// The payload of a node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// An element with a name and attributes.
+    Element {
+        /// Element name (qualified as written).
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// A text node (character data; CDATA sections are merged in).
+    Text(String),
+}
+
+#[derive(Clone, Debug)]
+struct NodeData {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+/// An XML document: an arena of nodes with a single element root.
+#[derive(Clone, Debug)]
+pub struct Document {
+    nodes: Vec<NodeData>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Creates a document whose root element has the given name.
+    pub fn new(root_name: &str) -> Self {
+        Document {
+            nodes: vec![NodeData {
+                kind: NodeKind::Element {
+                    name: root_name.to_owned(),
+                    attributes: Vec::new(),
+                },
+                parent: None,
+                children: Vec::new(),
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes (elements + text).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the document has only the root node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Appends a child element to `parent`, returning the new node.
+    pub fn add_element(&mut self, parent: NodeId, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeData {
+            kind: NodeKind::Element {
+                name: name.to_owned(),
+                attributes: Vec::new(),
+            },
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Appends a text child to `parent`, returning the new node.
+    pub fn add_text(&mut self, parent: NodeId, text: &str) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeData {
+            kind: NodeKind::Text(text.to_owned()),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Sets (or replaces) an attribute on an element node.
+    ///
+    /// Panics if `node` is a text node.
+    pub fn set_attribute(&mut self, node: NodeId, name: &str, value: &str) {
+        match &mut self.nodes[node.0].kind {
+            NodeKind::Element { attributes, .. } => {
+                if let Some(a) = attributes.iter_mut().find(|a| a.name == name) {
+                    a.value = value.to_owned();
+                } else {
+                    attributes.push(Attribute {
+                        name: name.to_owned(),
+                        value: value.to_owned(),
+                    });
+                }
+            }
+            NodeKind::Text(_) => panic!("cannot set attribute on a text node"),
+        }
+    }
+
+    /// The node's payload.
+    pub fn kind(&self, node: NodeId) -> &NodeKind {
+        &self.nodes[node.0].kind
+    }
+
+    /// The element name of `node`, or `None` for text nodes.
+    pub fn name(&self, node: NodeId) -> Option<&str> {
+        match &self.nodes[node.0].kind {
+            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// The local part of the element name (after any `prefix:`).
+    pub fn local_name(&self, node: NodeId) -> Option<&str> {
+        self.name(node)
+            .map(|n| n.rsplit_once(':').map_or(n, |(_, local)| local))
+    }
+
+    /// The text content of a text node, or `None` for elements.
+    pub fn text(&self, node: NodeId) -> Option<&str> {
+        match &self.nodes[node.0].kind {
+            NodeKind::Text(t) => Some(t),
+            NodeKind::Element { .. } => None,
+        }
+    }
+
+    /// Whether the node is an element.
+    pub fn is_element(&self, node: NodeId) -> bool {
+        matches!(self.nodes[node.0].kind, NodeKind::Element { .. })
+    }
+
+    /// The node's parent.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.0].parent
+    }
+
+    /// The node's children (elements and text), in document order.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.0].children
+    }
+
+    /// The node's element children only, in document order.
+    pub fn element_children(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(node)
+            .iter()
+            .copied()
+            .filter(move |&c| self.is_element(c))
+    }
+
+    /// The attributes of an element (empty for text nodes).
+    pub fn attributes(&self, node: NodeId) -> &[Attribute] {
+        match &self.nodes[node.0].kind {
+            NodeKind::Element { attributes, .. } => attributes,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attribute(&self, node: NodeId, name: &str) -> Option<&str> {
+        self.attributes(node)
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// The paper's `anc-str(v)`: the element names on the path from the
+    /// root down to (and including) `v`.
+    ///
+    /// ```
+    /// use xmltree::Document;
+    /// let mut d = Document::new("document");
+    /// let t = d.add_element(d.root(), "template");
+    /// let s = d.add_element(t, "section");
+    /// assert_eq!(d.anc_str(s), vec!["document", "template", "section"]);
+    /// ```
+    pub fn anc_str(&self, node: NodeId) -> Vec<&str> {
+        let mut path = Vec::new();
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            if let Some(name) = self.name(n) {
+                path.push(name);
+            }
+            cur = self.parent(n);
+        }
+        path.reverse();
+        path
+    }
+
+    /// The paper's `ch-str(v)`: the names of the element children of `v`,
+    /// left to right. (Text children are not part of the child string; see
+    /// the validators for how mixed content is treated.)
+    pub fn ch_str(&self, node: NodeId) -> Vec<&str> {
+        self.element_children(node)
+            .map(|c| self.name(c).expect("element child has a name"))
+            .collect()
+    }
+
+    /// Whether `node` has any non-whitespace text children.
+    pub fn has_significant_text(&self, node: NodeId) -> bool {
+        self.children(node).iter().any(|&c| {
+            self.text(c)
+                .is_some_and(|t| !t.chars().all(char::is_whitespace))
+        })
+    }
+
+    /// All element nodes in depth-first (document) order, starting at the
+    /// root.
+    pub fn elements(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            if self.is_element(n) {
+                out.push(n);
+                for &c in self.children(n).iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of element nodes.
+    pub fn element_count(&self) -> usize {
+        (0..self.nodes.len())
+            .filter(|&i| self.is_element(NodeId(i)))
+            .count()
+    }
+
+    /// Maximum depth of the tree (root = 1).
+    pub fn depth(&self) -> usize {
+        fn go(d: &Document, n: NodeId) -> usize {
+            1 + d
+                .element_children(n)
+                .map(|c| go(d, c))
+                .max()
+                .unwrap_or(0)
+        }
+        go(self, self.root)
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::serializer::to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId) {
+        let mut d = Document::new("document");
+        let template = d.add_element(d.root(), "template");
+        let content = d.add_element(d.root(), "content");
+        let s1 = d.add_element(template, "section");
+        d.set_attribute(s1, "title", "Intro");
+        d.add_text(content, "hello");
+        (d, template, s1)
+    }
+
+    #[test]
+    fn structure_accessors() {
+        let (d, template, s1) = sample();
+        assert_eq!(d.name(d.root()), Some("document"));
+        assert_eq!(d.parent(s1), Some(template));
+        assert_eq!(d.parent(d.root()), None);
+        assert_eq!(d.children(d.root()).len(), 2);
+        assert_eq!(d.attribute(s1, "title"), Some("Intro"));
+        assert_eq!(d.attribute(s1, "missing"), None);
+    }
+
+    #[test]
+    fn anc_and_ch_str() {
+        let (d, template, s1) = sample();
+        assert_eq!(d.anc_str(s1), vec!["document", "template", "section"]);
+        assert_eq!(d.ch_str(d.root()), vec!["template", "content"]);
+        assert_eq!(d.ch_str(template), vec!["section"]);
+        assert!(d.ch_str(s1).is_empty());
+    }
+
+    #[test]
+    fn text_handling() {
+        let (d, _, _) = sample();
+        let content = d.children(d.root())[1];
+        assert!(d.has_significant_text(content));
+        assert!(!d.has_significant_text(d.root()));
+        assert!(d.ch_str(content).is_empty());
+    }
+
+    #[test]
+    fn set_attribute_replaces() {
+        let (mut d, _, s1) = sample();
+        d.set_attribute(s1, "title", "New");
+        assert_eq!(d.attribute(s1, "title"), Some("New"));
+        assert_eq!(d.attributes(s1).len(), 1);
+    }
+
+    #[test]
+    fn elements_in_document_order() {
+        let (d, _, _) = sample();
+        let names: Vec<_> = d
+            .elements()
+            .into_iter()
+            .map(|n| d.name(n).unwrap().to_owned())
+            .collect();
+        assert_eq!(names, vec!["document", "template", "section", "content"]);
+    }
+
+    #[test]
+    fn local_name_strips_prefix() {
+        let mut d = Document::new("xs:schema");
+        assert_eq!(d.local_name(d.root()), Some("schema"));
+        let e = d.add_element(d.root(), "element");
+        assert_eq!(d.local_name(e), Some("element"));
+    }
+
+    #[test]
+    fn depth_computation() {
+        let (d, _, _) = sample();
+        assert_eq!(d.depth(), 3);
+        assert_eq!(Document::new("r").depth(), 1);
+    }
+}

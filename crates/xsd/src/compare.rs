@@ -1,0 +1,395 @@
+//! Deciding equivalence of schemas (as conformance sets).
+//!
+//! The BonXai tool of the paper's companion demo (reference \[19\]) lets
+//! users "inspect, analyze and provide a deeper understanding" of
+//! schemas; the core analysis is: do two schemas accept the same
+//! documents, and if not, where do they diverge?
+//!
+//! Two DFA-based XSDs are compared by exploring pairs of states reachable
+//! via *realizable* ancestor paths common to both. At each pair the
+//! content languages must be equal (decided via canonical minimal-DFA
+//! keys / product witnesses) and the carried metadata (attributes,
+//! mixedness, simple content) must agree. If the languages at every
+//! reachable pair agree, the schemas accept the same documents —
+//! provided every reachable state is *productive* (admits a finite
+//! conforming subtree), which holds for every schema this library's
+//! translations produce from satisfiable inputs.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use relang::ops::language::check_equivalent_dfa;
+use relang::ops::regex_to_dfa;
+use relang::{Dfa, Sym};
+
+use crate::content::ContentModel;
+use crate::dfa_xsd::DfaXsd;
+
+/// Why two schemas differ.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DivergenceReason {
+    /// The allowed root element names differ.
+    Roots {
+        /// Roots only in the first schema.
+        only_left: Vec<String>,
+        /// Roots only in the second schema.
+        only_right: Vec<String>,
+    },
+    /// The content languages differ; the witness child string is accepted
+    /// by exactly one side.
+    ContentLanguage {
+        /// A child string in the symmetric difference.
+        witness: Vec<String>,
+    },
+    /// The attribute declarations differ.
+    Attributes,
+    /// One side allows text here (mixed / simple content) and the other
+    /// does not, or simple content types differ.
+    Text,
+}
+
+/// A divergence between two schemas: where, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// An ancestor path (element names from the root) leading to the
+    /// diverging context.
+    pub path: Vec<String>,
+    /// What differs there.
+    pub reason: DivergenceReason,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at /{}: ", self.path.join("/"))?;
+        match &self.reason {
+            DivergenceReason::Roots { only_left, only_right } => write!(
+                f,
+                "root sets differ (only left: {only_left:?}, only right: {only_right:?})"
+            ),
+            DivergenceReason::ContentLanguage { witness } => {
+                write!(f, "content models differ on child string {witness:?}")
+            }
+            DivergenceReason::Attributes => write!(f, "attribute declarations differ"),
+            DivergenceReason::Text => write!(f, "text/mixed/simple-content treatment differs"),
+        }
+    }
+}
+
+/// Checks whether two DFA-based XSDs accept the same documents; on
+/// divergence, reports a witness context.
+///
+/// The two schemas may use different alphabets; names are matched by
+/// string. A name known to only one schema is treated as a distinct
+/// symbol the other schema's content models never accept.
+pub fn check_schemas_equivalent(left: &DfaXsd, right: &DfaXsd) -> Result<(), Divergence> {
+    // Shared name universe.
+    let mut names: BTreeSet<&str> = left.ename.entries().map(|(_, n)| n).collect();
+    names.extend(right.ename.entries().map(|(_, n)| n));
+    let names: Vec<&str> = names.into_iter().collect();
+    let index: BTreeMap<&str, usize> = names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+    // Roots must coincide.
+    let roots_of = |s: &DfaXsd| -> BTreeSet<String> {
+        s.roots
+            .iter()
+            .map(|&r| s.ename.name(r).to_owned())
+            .collect()
+    };
+    let (lr, rr) = (roots_of(left), roots_of(right));
+    if lr != rr {
+        return Err(Divergence {
+            path: Vec::new(),
+            reason: DivergenceReason::Roots {
+                only_left: lr.difference(&rr).cloned().collect(),
+                only_right: rr.difference(&lr).cloned().collect(),
+            },
+        });
+    }
+
+    // Remap a content-model regex into the shared universe.
+    let remap = |schema: &DfaXsd, cm: &ContentModel| -> relang::Regex {
+        cm.regex
+            .map_symbols(&mut |s| Sym(index[schema.ename.name(s)] as u32))
+    };
+    // Cache of per-state shared-universe content DFAs.
+    let mut dfas_l: Vec<Option<Dfa>> = vec![None; left.dfa.n_states()];
+    let mut dfas_r: Vec<Option<Dfa>> = vec![None; right.dfa.n_states()];
+
+    // BFS over state pairs reachable by common realizable paths.
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut queue: VecDeque<(usize, usize, Vec<String>)> = VecDeque::new();
+    for root in &lr {
+        let ql = left
+            .dfa
+            .transition(left.dfa.initial(), left.ename.lookup(root).expect("root"))
+            .expect("roots are wired");
+        let qr = right
+            .dfa
+            .transition(
+                right.dfa.initial(),
+                right.ename.lookup(root).expect("root"),
+            )
+            .expect("roots are wired");
+        if seen.insert((ql, qr)) {
+            queue.push_back((ql, qr, vec![root.clone()]));
+        }
+    }
+
+    while let Some((ql, qr, path)) = queue.pop_front() {
+        let ml = left.model(ql);
+        let mr = right.model(qr);
+
+        // Metadata: text and attributes.
+        let text_l = (
+            ml.mixed || ml.open,
+            ml.simple_content.map(|t| t.value_class()),
+            ml.simple_facets.clone(),
+        );
+        let text_r = (
+            mr.mixed || mr.open,
+            mr.simple_content.map(|t| t.value_class()),
+            mr.simple_facets.clone(),
+        );
+        if text_l != text_r {
+            return Err(Divergence {
+                path,
+                reason: DivergenceReason::Text,
+            });
+        }
+        let attrs_l: BTreeMap<_, _> = if ml.open {
+            BTreeMap::new()
+        } else {
+            ml.attributes
+                .iter()
+                .map(|a| {
+                    (
+                        a.name.clone(),
+                        (a.required, a.simple_type.value_class(), a.facets.clone()),
+                    )
+                })
+                .collect()
+        };
+        let attrs_r: BTreeMap<_, _> = if mr.open {
+            BTreeMap::new()
+        } else {
+            mr.attributes
+                .iter()
+                .map(|a| {
+                    (
+                        a.name.clone(),
+                        (a.required, a.simple_type.value_class(), a.facets.clone()),
+                    )
+                })
+                .collect()
+        };
+        if ml.open != mr.open || attrs_l != attrs_r {
+            return Err(Divergence {
+                path,
+                reason: DivergenceReason::Attributes,
+            });
+        }
+
+        // Content languages over the shared universe.
+        if dfas_l[ql].is_none() {
+            dfas_l[ql] = Some(regex_to_dfa(&remap(left, ml), names.len()));
+        }
+        if dfas_r[qr].is_none() {
+            dfas_r[qr] = Some(regex_to_dfa(&remap(right, mr), names.len()));
+        }
+        let dl = dfas_l[ql].as_ref().expect("just set");
+        let dr = dfas_r[qr].as_ref().expect("just set");
+        if let Err(witness) = check_equivalent_dfa(dl, dr) {
+            return Err(Divergence {
+                path,
+                reason: DivergenceReason::ContentLanguage {
+                    witness: witness
+                        .iter()
+                        .map(|&s| names[s.index()].to_owned())
+                        .collect(),
+                },
+            });
+        }
+
+        // Continue along every symbol the (equal) content language uses.
+        for (i, &name) in names.iter().enumerate() {
+            let shared = Sym(i as u32);
+            // symbol useful = some accepted word passes through it:
+            // approximate by "occurs in the regex and is live in the DFA"
+            if !symbol_is_useful(dl, shared) {
+                continue;
+            }
+            let tl = left
+                .ename
+                .lookup(name)
+                .and_then(|s| left.dfa.transition(ql, s));
+            let tr = right
+                .ename
+                .lookup(name)
+                .and_then(|s| right.dfa.transition(qr, s));
+            match (tl, tr) {
+                (Some(tl), Some(tr)) => {
+                    if seen.insert((tl, tr)) {
+                        let mut p = path.clone();
+                        p.push(name.to_owned());
+                        queue.push_back((tl, tr, p));
+                    }
+                }
+                // A useful symbol must be wired on both sides (Definition
+                // 3's invariant); if one side lacks the name entirely the
+                // content languages could not have been equal.
+                _ => unreachable!("useful symbols are wired on both sides"),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns a copy of `schema` with all attribute and simple-content
+/// datatypes erased (everything becomes `xs:string`, facets cleared).
+///
+/// Comparing erased schemas decides *structural* equivalence — the notion
+/// the paper uses when calling Figure 4 "equivalent to the DTD of
+/// Figure 2" even though Figure 4 types `@size` as `xs:integer` and the
+/// DTD's CDATA accepts any string.
+pub fn erase_datatypes(schema: &DfaXsd) -> DfaXsd {
+    let mut out = schema.clone();
+    for m in out.lambda.iter_mut().flatten() {
+        for a in &mut m.attributes {
+            a.simple_type = crate::simple_types::SimpleType::String;
+            a.facets = crate::simple_types::Facets::default();
+        }
+        if m.simple_content.is_some() {
+            m.simple_content = Some(crate::simple_types::SimpleType::String);
+            m.simple_facets = crate::simple_types::Facets::default();
+        }
+    }
+    out
+}
+
+/// Whether some accepted word of `dfa` contains `sym` (the symbol lies on
+/// a path from the initial state through itself to an accepting state).
+fn symbol_is_useful(dfa: &Dfa, sym: Sym) -> bool {
+    let reachable = dfa.reachable();
+    let reach_set: BTreeSet<usize> = reachable.iter().copied().collect();
+    for &q in &reachable {
+        if let Some(t) = dfa.transition(q, sym) {
+            if reach_set.contains(&q) && coreaches_final(dfa, t) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn coreaches_final(dfa: &Dfa, from: usize) -> bool {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![from];
+    seen.insert(from);
+    while let Some(q) = stack.pop() {
+        if dfa.is_final(q) {
+            return true;
+        }
+        for a in 0..dfa.n_syms() {
+            if let Some(t) = dfa.transition(q, Sym(a as u32)) {
+                if seen.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::ContentModel;
+    use crate::dfa_xsd::DfaXsdBuilder;
+    use relang::Regex;
+
+    fn simple_schema(star: bool) -> DfaXsd {
+        let mut b = DfaXsdBuilder::new();
+        let q_doc = b.add_state();
+        let q_item = b.add_state();
+        b.root("doc");
+        b.transition(0, "doc", q_doc);
+        b.transition(q_doc, "item", q_item);
+        let item = b.ename.lookup("item").unwrap();
+        let model = if star {
+            Regex::star(Regex::sym(item))
+        } else {
+            Regex::opt(Regex::sym(item))
+        };
+        b.lambda(q_doc, ContentModel::new(model));
+        b.lambda(q_item, ContentModel::empty());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_schemas_are_equivalent() {
+        assert_eq!(
+            check_schemas_equivalent(&simple_schema(true), &simple_schema(true)),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn content_divergence_reports_witness() {
+        let e = check_schemas_equivalent(&simple_schema(true), &simple_schema(false))
+            .unwrap_err();
+        assert_eq!(e.path, vec!["doc"]);
+        match e.reason {
+            DivergenceReason::ContentLanguage { witness } => {
+                assert_eq!(witness, vec!["item", "item"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_divergence() {
+        let mut b = DfaXsdBuilder::new();
+        let q = b.add_state();
+        b.root("other");
+        b.transition(0, "other", q);
+        b.lambda(q, ContentModel::empty());
+        let other = b.build().unwrap();
+        let e = check_schemas_equivalent(&simple_schema(true), &other).unwrap_err();
+        assert!(matches!(e.reason, DivergenceReason::Roots { .. }));
+    }
+
+    #[test]
+    fn attribute_divergence() {
+        let mut with_attr = simple_schema(true);
+        // add a required attribute to the item state (state 2)
+        let m = with_attr.lambda[2].as_mut().unwrap();
+        *m = m
+            .clone()
+            .with_attributes([crate::content::AttributeUse::required("id")]);
+        let e = check_schemas_equivalent(&with_attr, &simple_schema(true)).unwrap_err();
+        assert_eq!(e.path, vec!["doc", "item"]);
+        assert_eq!(e.reason, DivergenceReason::Attributes);
+    }
+
+    #[test]
+    fn different_expressions_same_language_are_equivalent() {
+        // item* vs (item item*)? — equal languages, different DREs
+        let a = simple_schema(true);
+        let mut b = DfaXsdBuilder::new();
+        let q_doc = b.add_state();
+        let q_item = b.add_state();
+        b.root("doc");
+        b.transition(0, "doc", q_doc);
+        b.transition(q_doc, "item", q_item);
+        let item = b.ename.lookup("item").unwrap();
+        b.lambda(
+            q_doc,
+            ContentModel::new(Regex::opt(Regex::concat(vec![
+                Regex::sym(item),
+                Regex::star(Regex::sym(item)),
+            ]))),
+        );
+        b.lambda(q_item, ContentModel::empty());
+        let b = b.build().unwrap();
+        assert_eq!(check_schemas_equivalent(&a, &b), Ok(()));
+    }
+}

@@ -1,0 +1,230 @@
+//! Content models: the right-hand sides of type definitions and BonXai
+//! rules.
+//!
+//! The paper's *formal* content model is just a deterministic regular
+//! expression over element names (Definitions 1–3). Its *practical*
+//! languages additionally carry attributes and mixedness ("BonXai's current
+//! implementation also models attributes, … mixed and nillable content
+//! models", Section 3.1). [`ContentModel`] bundles the formal regex with
+//! that carried metadata; crucially, all four translation algorithms move
+//! a `ContentModel` around *without touching the regex structure*, which
+//! is what preserves UPA (Section 4.1).
+
+use relang::regex::determinism::{check_deterministic, NonDeterminism};
+use relang::{Alphabet, Regex};
+
+use crate::simple_types::{Facets, SimpleType};
+
+/// An attribute use on a complex type / BonXai rule.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AttributeUse {
+    /// Attribute name (no namespace prefix).
+    pub name: String,
+    /// Whether the attribute must be present (`use="required"`).
+    pub required: bool,
+    /// The attribute's simple type.
+    pub simple_type: SimpleType,
+    /// Restriction facets on the type (empty = none).
+    pub facets: Facets,
+}
+
+impl AttributeUse {
+    /// A required attribute of type `xs:string`.
+    pub fn required(name: &str) -> Self {
+        AttributeUse {
+            name: name.to_owned(),
+            required: true,
+            simple_type: SimpleType::String,
+            facets: Facets::default(),
+        }
+    }
+
+    /// An optional attribute of type `xs:string`.
+    pub fn optional(name: &str) -> Self {
+        AttributeUse {
+            name: name.to_owned(),
+            required: false,
+            simple_type: SimpleType::String,
+            facets: Facets::default(),
+        }
+    }
+
+    /// Sets the simple type (builder style).
+    pub fn with_type(mut self, t: SimpleType) -> Self {
+        self.simple_type = t;
+        self
+    }
+
+    /// Sets restriction facets (builder style).
+    pub fn with_facets(mut self, facets: Facets) -> Self {
+        self.facets = facets;
+        self
+    }
+
+    /// Whether `value` satisfies the type and its facets.
+    pub fn validates(&self, value: &str) -> bool {
+        self.simple_type.validates(value) && self.facets.validates(self.simple_type, value)
+    }
+
+    /// The type with facets, rendered for diagnostics.
+    pub fn type_display(&self) -> String {
+        if self.facets.is_empty() {
+            self.simple_type.qname().to_owned()
+        } else {
+            format!("{} {}", self.simple_type.qname(), self.facets.display())
+        }
+    }
+}
+
+/// A content model: deterministic regex over element names, plus the
+/// carried attribute and mixedness metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContentModel {
+    /// The regular expression over element-name symbols (the formal part).
+    pub regex: Regex,
+    /// Whether text may interleave with the element children.
+    pub mixed: bool,
+    /// Declared attributes, sorted by name.
+    pub attributes: Vec<AttributeUse>,
+    /// If set, the element has *simple content* of this type: no element
+    /// children (`regex` is ε) and its text must validate against the
+    /// type. BonXai writes this as `{ type xs:string }`.
+    pub simple_content: Option<SimpleType>,
+    /// Restriction facets on the simple content type.
+    pub simple_facets: Facets,
+    /// An *open* model accepts any attributes and text in addition to what
+    /// the regex allows. Used for the `(EName)*` filler states Algorithm 3
+    /// assigns to ancestor strings no rule matches (such nodes are
+    /// unconstrained under Definition 1).
+    pub open: bool,
+}
+
+impl ContentModel {
+    /// A pure element content model (not mixed, no attributes).
+    pub fn new(regex: Regex) -> Self {
+        ContentModel {
+            regex,
+            mixed: false,
+            attributes: Vec::new(),
+            simple_content: None,
+            simple_facets: Facets::default(),
+            open: false,
+        }
+    }
+
+    /// The empty content model `ε` (leaf elements).
+    pub fn empty() -> Self {
+        Self::new(Regex::Epsilon)
+    }
+
+    /// A simple-content model: text of the given type, no children.
+    pub fn simple(t: SimpleType) -> Self {
+        ContentModel {
+            regex: Regex::Epsilon,
+            mixed: false,
+            attributes: Vec::new(),
+            simple_content: Some(t),
+            simple_facets: Facets::default(),
+            open: false,
+        }
+    }
+
+    /// The fully permissive model `(EName)*` over the given alphabet:
+    /// any children, any attributes, any text (Algorithm 3's filler).
+    pub fn any_content(alphabet: &Alphabet) -> Self {
+        let mut cm = ContentModel::new(Regex::star(Regex::sym_set(alphabet.symbols())));
+        cm.mixed = true;
+        cm.open = true;
+        cm
+    }
+
+    /// Sets restriction facets on the simple content (builder style).
+    pub fn with_simple_facets(mut self, facets: Facets) -> Self {
+        self.simple_facets = facets;
+        self
+    }
+
+    /// Marks the model open (builder style); see the `open` field.
+    pub fn with_open(mut self, open: bool) -> Self {
+        self.open = open;
+        self
+    }
+
+    /// Marks the model mixed (builder style).
+    pub fn with_mixed(mut self, mixed: bool) -> Self {
+        self.mixed = mixed;
+        self
+    }
+
+    /// Adds attributes (builder style); keeps them sorted by name.
+    pub fn with_attributes<I: IntoIterator<Item = AttributeUse>>(mut self, attrs: I) -> Self {
+        self.attributes.extend(attrs);
+        self.attributes.sort();
+        self
+    }
+
+    /// The paper's size measure of the model (symbol occurrences).
+    pub fn size(&self) -> usize {
+        self.regex.size()
+    }
+
+    /// Checks the UPA/determinism requirement on the regex.
+    pub fn check_deterministic(&self) -> Result<(), NonDeterminism> {
+        check_deterministic(&self.regex)
+    }
+
+    /// Looks up a declared attribute by name.
+    pub fn attribute(&self, name: &str) -> Option<&AttributeUse> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Renders the regex with names from `alphabet` (for diagnostics).
+    pub fn display_regex(&self, alphabet: &Alphabet) -> String {
+        relang::regex::display_regex(&self.regex, alphabet)
+    }
+}
+
+impl From<Regex> for ContentModel {
+    fn from(regex: Regex) -> Self {
+        ContentModel::new(regex)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relang::Sym;
+
+    #[test]
+    fn builder_sorts_attributes() {
+        let cm = ContentModel::empty().with_attributes([
+            AttributeUse::optional("z"),
+            AttributeUse::required("a"),
+        ]);
+        assert_eq!(cm.attributes[0].name, "a");
+        assert_eq!(cm.attributes[1].name, "z");
+        assert!(cm.attribute("z").is_some());
+        assert!(cm.attribute("q").is_none());
+    }
+
+    #[test]
+    fn determinism_delegates() {
+        let a = Regex::Sym(Sym(0));
+        let det = ContentModel::new(Regex::concat(vec![a.clone(), a.clone()]));
+        assert!(det.check_deterministic().is_ok());
+        let nondet = ContentModel::new(Regex::concat(vec![
+            Regex::star(Regex::alt(vec![a.clone(), Regex::Sym(Sym(1))])),
+            a,
+        ]));
+        assert!(nondet.check_deterministic().is_err());
+    }
+
+    #[test]
+    fn size_is_symbol_occurrences() {
+        let a = Regex::Sym(Sym(0));
+        let cm = ContentModel::new(Regex::concat(vec![a.clone(), Regex::star(a)]))
+            .with_mixed(true)
+            .with_attributes([AttributeUse::required("title")]);
+        assert_eq!(cm.size(), 2); // attributes/mixed don't count
+    }
+}

@@ -1,0 +1,496 @@
+//! DFA-based XSDs — Definition 3 of the paper.
+//!
+//! > A DFA-based XSD is a tuple (A, S, λ), where A = (Q, EName, δ, q0) is a
+//! > DFA with initial state q0 and without final states such that q0 has no
+//! > incoming transitions, S ⊆ EName is the set of allowed root element
+//! > names and λ maps each state in Q \ {q0} to a deterministic regular
+//! > expression over EName. Furthermore, for every state q and every
+//! > element name a occurring in λ(q), δ(q, a) is non-empty.
+//!
+//! This is the intermediate representation of all four translation
+//! algorithms. A document satisfies (A, S, λ) if its root's name is in S
+//! and, for every node u, `A(anc-str(u)) = q` implies that `ch-str(u)`
+//! matches λ(q).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use relang::{Alphabet, CompiledDre, Dfa, Sym};
+use xmltree::{Document, NodeId};
+
+use crate::content::ContentModel;
+use crate::violation::{check_attributes, check_text, Violation, ViolationKind};
+
+/// A DFA-based XSD (with deterministic content models).
+#[derive(Clone, Debug)]
+pub struct DfaXsd {
+    /// The element-name alphabet.
+    pub ename: Alphabet,
+    /// The type automaton A (finals unused; possibly partial).
+    pub dfa: Dfa,
+    /// The allowed root element names S.
+    pub roots: BTreeSet<Sym>,
+    /// λ: content model per state; `None` exactly for the initial state.
+    pub lambda: Vec<Option<ContentModel>>,
+}
+
+/// Errors detected when assembling a DFA-based XSD.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DfaXsdError {
+    /// The initial state has an incoming transition.
+    InitialHasIncoming,
+    /// λ is missing for a non-initial state.
+    MissingLambda(usize),
+    /// λ(q) mentions a name `a` with δ(q, a) undefined.
+    MissingTransition {
+        /// The state q.
+        state: usize,
+        /// The name mentioned in λ(q).
+        element: String,
+    },
+    /// A content model violates UPA.
+    NotDeterministic(usize),
+    /// A root name has no transition from the initial state.
+    RootNotWired(String),
+    /// λ given for the initial state.
+    LambdaOnInitial,
+}
+
+impl fmt::Display for DfaXsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfaXsdError::InitialHasIncoming => {
+                write!(f, "the initial state must have no incoming transitions")
+            }
+            DfaXsdError::MissingLambda(q) => write!(f, "state {q} has no content model"),
+            DfaXsdError::MissingTransition { state, element } => write!(
+                f,
+                "λ({state}) mentions {element} but δ({state}, {element}) is undefined"
+            ),
+            DfaXsdError::NotDeterministic(q) => {
+                write!(f, "content model of state {q} violates UPA")
+            }
+            DfaXsdError::RootNotWired(a) => {
+                write!(f, "root element {a} has no transition from the initial state")
+            }
+            DfaXsdError::LambdaOnInitial => {
+                write!(f, "the initial state must not have a content model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DfaXsdError {}
+
+impl DfaXsd {
+    /// Assembles and checks a DFA-based XSD.
+    pub fn new(
+        ename: Alphabet,
+        dfa: Dfa,
+        roots: BTreeSet<Sym>,
+        lambda: Vec<Option<ContentModel>>,
+    ) -> Result<DfaXsd, DfaXsdError> {
+        let x = DfaXsd {
+            ename,
+            dfa,
+            roots,
+            lambda,
+        };
+        x.check()?;
+        Ok(x)
+    }
+
+    fn check(&self) -> Result<(), DfaXsdError> {
+        let q0 = self.dfa.initial();
+        for q in 0..self.dfa.n_states() {
+            for a in 0..self.dfa.n_syms() {
+                if self.dfa.transition(q, Sym(a as u32)) == Some(q0) {
+                    return Err(DfaXsdError::InitialHasIncoming);
+                }
+            }
+        }
+        if self.lambda.get(q0).is_some_and(Option::is_some) {
+            return Err(DfaXsdError::LambdaOnInitial);
+        }
+        for q in 0..self.dfa.n_states() {
+            if q == q0 {
+                continue;
+            }
+            let model = self
+                .lambda
+                .get(q)
+                .and_then(Option::as_ref)
+                .ok_or(DfaXsdError::MissingLambda(q))?;
+            model
+                .check_deterministic()
+                .map_err(|_| DfaXsdError::NotDeterministic(q))?;
+            for sym in model.regex.symbols() {
+                if self.dfa.transition(q, sym).is_none() {
+                    return Err(DfaXsdError::MissingTransition {
+                        state: q,
+                        element: self.ename.name(sym).to_owned(),
+                    });
+                }
+            }
+        }
+        for &a in &self.roots {
+            if self.dfa.transition(q0, a).is_none() {
+                return Err(DfaXsdError::RootNotWired(self.ename.name(a).to_owned()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The content model of a non-initial state.
+    pub fn model(&self, q: usize) -> &ContentModel {
+        self.lambda[q]
+            .as_ref()
+            .expect("non-initial states carry content models")
+    }
+
+    /// The paper's size measure `|A|`: the number of states.
+    pub fn n_states(&self) -> usize {
+        self.dfa.n_states()
+    }
+
+    /// Total size: states + content-model symbol occurrences.
+    pub fn size(&self) -> usize {
+        self.dfa.n_states()
+            + self
+                .lambda
+                .iter()
+                .flatten()
+                .map(ContentModel::size)
+                .sum::<usize>()
+    }
+
+    /// Compiles the content models for repeated validation.
+    pub fn compile(&self) -> CompiledDfaXsd<'_> {
+        let matchers = self
+            .lambda
+            .iter()
+            .map(|m| {
+                m.as_ref()
+                    .map(|cm| CompiledDre::compile(&cm.regex, self.ename.len()))
+            })
+            .collect();
+        CompiledDfaXsd {
+            schema: self,
+            matchers,
+        }
+    }
+
+    /// One-shot document validation.
+    pub fn validate(&self, doc: &Document) -> Vec<Violation> {
+        self.compile().validate(doc)
+    }
+
+    /// Whether `doc` satisfies the schema.
+    pub fn is_valid(&self, doc: &Document) -> bool {
+        self.validate(doc).is_empty()
+    }
+
+    /// The state reached on an ancestor string (names), if defined.
+    pub fn state_of_path(&self, path: &[&str]) -> Option<usize> {
+        let mut q = self.dfa.initial();
+        for name in path {
+            let sym = self.ename.lookup(name)?;
+            q = self.dfa.transition(q, sym)?;
+        }
+        Some(q)
+    }
+}
+
+/// A DFA-based XSD with compiled content models.
+pub struct CompiledDfaXsd<'a> {
+    schema: &'a DfaXsd,
+    matchers: Vec<Option<CompiledDre>>,
+}
+
+impl<'a> CompiledDfaXsd<'a> {
+    /// Validates `doc`, collecting all violations.
+    pub fn validate(&self, doc: &Document) -> Vec<Violation> {
+        let s = self.schema;
+        let mut violations = Vec::new();
+        let root = doc.root();
+        let root_name = doc.name(root).expect("root is an element");
+        let root_sym = s.ename.lookup(root_name);
+        let allowed = root_sym.is_some_and(|sym| s.roots.contains(&sym));
+        if !allowed {
+            violations.push(Violation {
+                node: root,
+                kind: ViolationKind::RootNotAllowed(root_name.to_owned()),
+            });
+            return violations;
+        }
+        let q0 = s.dfa.initial();
+        let root_state = s
+            .dfa
+            .transition(q0, root_sym.expect("checked"))
+            .expect("checked by constructor: roots are wired");
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, root_state)];
+        while let Some((node, q)) = stack.pop() {
+            self.check_node(doc, node, q, &mut violations, &mut stack);
+        }
+        violations
+    }
+
+    fn check_node(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        q: usize,
+        violations: &mut Vec<Violation>,
+        stack: &mut Vec<(NodeId, usize)>,
+    ) {
+        let s = self.schema;
+        let name = doc.name(node).expect("element");
+        let model = s.model(q);
+        check_text(doc, node, model, violations);
+        check_attributes(doc, node, model, violations);
+
+        let mut word = Vec::new();
+        let mut failed_at = None;
+        for (i, child) in doc.element_children(node).enumerate() {
+            match s.ename.lookup(doc.name(child).expect("element")) {
+                Some(sym) => word.push(sym),
+                None => {
+                    failed_at = Some(i);
+                    break;
+                }
+            }
+        }
+        let matcher = self.matchers[q].as_ref().expect("non-initial state");
+        let failed_at = failed_at.or_else(|| matcher.first_error(&word));
+        if let Some(at) = failed_at {
+            violations.push(Violation {
+                node,
+                kind: ViolationKind::ContentModel {
+                    element: name.to_owned(),
+                    at,
+                },
+            });
+        }
+        for (i, child) in doc.element_children(node).enumerate() {
+            if let Some(at) = failed_at {
+                if i >= at {
+                    break;
+                }
+            }
+            let sym = word[i];
+            match s.dfa.transition(q, sym) {
+                Some(t) => stack.push((child, t)),
+                None => violations.push(Violation {
+                    node: child,
+                    kind: ViolationKind::NoGoverningDefinition(
+                        doc.name(child).expect("element").to_owned(),
+                    ),
+                }),
+            }
+        }
+    }
+}
+
+/// Builder for DFA-based XSDs where states are created on demand.
+#[derive(Clone, Debug)]
+pub struct DfaXsdBuilder {
+    /// Element-name alphabet being accumulated.
+    pub ename: Alphabet,
+    transitions: BTreeMap<(usize, String), usize>,
+    lambda: BTreeMap<usize, ContentModel>,
+    roots: BTreeSet<String>,
+    n_states: usize,
+}
+
+impl Default for DfaXsdBuilder {
+    fn default() -> Self {
+        DfaXsdBuilder {
+            ename: Alphabet::new(),
+            transitions: BTreeMap::new(),
+            lambda: BTreeMap::new(),
+            roots: BTreeSet::new(),
+            n_states: 1, // state 0 = q0
+        }
+    }
+}
+
+impl DfaXsdBuilder {
+    /// Creates a builder with only the initial state (id 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fresh state.
+    pub fn add_state(&mut self) -> usize {
+        let id = self.n_states;
+        self.n_states += 1;
+        id
+    }
+
+    /// Sets δ(q, name) = target.
+    pub fn transition(&mut self, q: usize, name: &str, target: usize) {
+        self.ename.intern(name);
+        self.transitions.insert((q, name.to_owned()), target);
+    }
+
+    /// Sets λ(q).
+    pub fn lambda(&mut self, q: usize, model: ContentModel) {
+        self.lambda.insert(q, model);
+    }
+
+    /// Declares a root element name.
+    pub fn root(&mut self, name: &str) {
+        self.ename.intern(name);
+        self.roots.insert(name.to_owned());
+    }
+
+    /// Finalizes the schema (interning any regex symbols is the caller's
+    /// job: content models must already use this builder's alphabet).
+    pub fn build(self) -> Result<DfaXsd, DfaXsdError> {
+        let mut dfa = Dfa::new(self.ename.len(), self.n_states, 0);
+        for ((q, name), target) in &self.transitions {
+            let sym = self.ename.lookup(name).expect("interned in transition()");
+            dfa.set_transition(*q, sym, Some(*target));
+        }
+        let mut lambda = vec![None; self.n_states];
+        for (q, m) in self.lambda {
+            lambda[q] = Some(m);
+        }
+        let roots = self
+            .roots
+            .iter()
+            .map(|n| self.ename.lookup(n).expect("interned in root()"))
+            .collect();
+        DfaXsd::new(self.ename, dfa, roots, lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relang::Regex;
+    use xmltree::builder::elem;
+
+    /// The running example as a DFA-based XSD: ancestor-aware sections.
+    fn example() -> DfaXsd {
+        let mut b = DfaXsdBuilder::new();
+        let q_doc = b.add_state();
+        let q_template = b.add_state();
+        let q_content = b.add_state();
+        let q_tsec = b.add_state();
+        let q_sec = b.add_state();
+        b.root("document");
+        b.transition(0, "document", q_doc);
+        b.transition(q_doc, "template", q_template);
+        b.transition(q_doc, "content", q_content);
+        b.transition(q_template, "section", q_tsec);
+        b.transition(q_tsec, "section", q_tsec);
+        b.transition(q_content, "section", q_sec);
+        b.transition(q_sec, "section", q_sec);
+
+        let template = b.ename.lookup("template").unwrap();
+        let content = b.ename.lookup("content").unwrap();
+        let section = b.ename.lookup("section").unwrap();
+        b.lambda(
+            q_doc,
+            ContentModel::new(Regex::concat(vec![
+                Regex::sym(template),
+                Regex::sym(content),
+            ])),
+        );
+        b.lambda(q_template, ContentModel::new(Regex::opt(Regex::sym(section))));
+        b.lambda(q_content, ContentModel::new(Regex::star(Regex::sym(section))));
+        b.lambda(q_tsec, ContentModel::new(Regex::opt(Regex::sym(section))));
+        b.lambda(
+            q_sec,
+            ContentModel::new(Regex::star(Regex::sym(section))).with_mixed(true),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn validates_context_sensitively() {
+        let x = example();
+        let good = elem("document")
+            .child(elem("template").child(elem("section")))
+            .child(elem("content").child(elem("section").text("hi")))
+            .build();
+        assert!(x.is_valid(&good), "{:?}", x.validate(&good));
+        // two sections under template: fails
+        let bad = elem("document")
+            .child(
+                elem("template")
+                    .child(elem("section"))
+                    .child(elem("section")),
+            )
+            .child(elem("content"))
+            .build();
+        let v = x.validate(&bad);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::ContentModel { at: 1, .. })));
+        // text under a template section: fails (not mixed)
+        let bad2 = elem("document")
+            .child(elem("template").child(elem("section").text("boom")))
+            .child(elem("content"))
+            .build();
+        assert!(!x.is_valid(&bad2));
+    }
+
+    #[test]
+    fn state_of_path() {
+        let x = example();
+        let q1 = x.state_of_path(&["document", "template", "section"]).unwrap();
+        let q2 = x
+            .state_of_path(&["document", "template", "section", "section"])
+            .unwrap();
+        assert_eq!(q1, q2); // template sections loop
+        let q3 = x.state_of_path(&["document", "content", "section"]).unwrap();
+        assert_ne!(q1, q3);
+        assert_eq!(x.state_of_path(&["document", "bogus"]), None);
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let x = example();
+        let doc = elem("content").build();
+        let v = x.validate(&doc);
+        assert!(matches!(v[0].kind, ViolationKind::RootNotAllowed(_)));
+    }
+
+    #[test]
+    fn constructor_checks_fire() {
+        // λ mentions a name with no transition
+        let mut b = DfaXsdBuilder::new();
+        let q = b.add_state();
+        b.root("a");
+        b.transition(0, "a", q);
+        let missing = b.ename.intern("missing");
+        b.lambda(q, ContentModel::new(Regex::sym(missing)));
+        assert!(matches!(
+            b.build(),
+            Err(DfaXsdError::MissingTransition { .. })
+        ));
+
+        // root not wired
+        let mut b = DfaXsdBuilder::new();
+        b.root("a");
+        assert!(matches!(b.build(), Err(DfaXsdError::RootNotWired(_))));
+
+        // incoming transition to q0
+        let mut b = DfaXsdBuilder::new();
+        let q = b.add_state();
+        b.root("a");
+        b.transition(0, "a", q);
+        b.transition(q, "a", 0);
+        b.lambda(q, ContentModel::empty());
+        assert!(matches!(b.build(), Err(DfaXsdError::InitialHasIncoming)));
+    }
+
+    #[test]
+    fn size_measures() {
+        let x = example();
+        assert_eq!(x.n_states(), 6);
+        assert!(x.size() > 6);
+    }
+}

@@ -1,0 +1,422 @@
+//! The formal core XSD model — Definition 2 of the paper.
+//!
+//! > An XSchema Definition (XSD) is a tuple X = (EName, Types, ρ, T0) where
+//! > EName and Types are finite sets of elements and types, ρ is a mapping
+//! > from Types to regular expressions over alphabet TEName, and T0 ⊆
+//! > TEName is a set of typed start elements, subject to **EDC** (no two
+//! > typed elements `a[t1]`, `a[t2]` with t1 ≠ t2 in one expression or in T0)
+//! > and **UPA** (each ρ(t) is deterministic).
+//!
+//! Thanks to EDC, a regular expression over *typed* element names `a[t]`
+//! factors into a plain expression over element names plus a per-type map
+//! `EName → Types` assigning each occurring name its unique type. That is
+//! exactly how [`TypeDef`] stores ρ(t): the factored representation makes
+//! EDC hold *by construction* and keeps the translation algorithms honest
+//! (they relabel symbols; they never restructure expressions).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use relang::regex::determinism::NonDeterminism;
+use relang::{Alphabet, Sym};
+
+use crate::content::ContentModel;
+
+/// Identifier of a complex type (dense index into the type table).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// ρ(t) in factored form: content model + the EDC-unique typing of the
+/// names occurring in it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeDef {
+    /// The content model (regex over `EName` + carried metadata).
+    pub content: ContentModel,
+    /// For each element name occurring in `content.regex`, the type of
+    /// that child. EDC is structural: a map cannot assign two types.
+    pub child_type: BTreeMap<Sym, TypeId>,
+}
+
+/// A core XSD (Definition 2).
+#[derive(Clone, Debug)]
+pub struct Xsd {
+    /// The element-name alphabet `EName`.
+    pub ename: Alphabet,
+    type_names: Vec<String>,
+    types: Vec<TypeDef>,
+    /// T0 as a map (EDC on start elements is structural too).
+    t0: BTreeMap<Sym, TypeId>,
+}
+
+/// Errors detected when assembling an XSD.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XsdError {
+    /// A content model violates UPA.
+    NotDeterministic {
+        /// Offending type.
+        type_name: String,
+        /// The witness from the checker.
+        witness: NonDeterminism,
+    },
+    /// A name occurs in a content model without an assigned child type.
+    MissingChildType {
+        /// Offending type.
+        type_name: String,
+        /// The untyped element name.
+        element: String,
+    },
+    /// A child-type entry references a type id out of range.
+    DanglingType {
+        /// Offending type.
+        type_name: String,
+    },
+    /// Two types share a name.
+    DuplicateTypeName(String),
+}
+
+impl fmt::Display for XsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XsdError::NotDeterministic { type_name, witness } => {
+                write!(f, "content model of type {type_name} violates UPA: {witness}")
+            }
+            XsdError::MissingChildType { type_name, element } => write!(
+                f,
+                "element {element} in content of type {type_name} has no assigned type"
+            ),
+            XsdError::DanglingType { type_name } => {
+                write!(f, "type {type_name} references an unknown type")
+            }
+            XsdError::DuplicateTypeName(n) => write!(f, "duplicate type name {n}"),
+        }
+    }
+}
+
+impl std::error::Error for XsdError {}
+
+impl Xsd {
+    /// Assembles and checks an XSD.
+    ///
+    /// `types` pairs names with definitions; `t0` maps root element names
+    /// to their types. Checks UPA, completeness of child typings, and
+    /// referential integrity. (EDC holds by construction.)
+    pub fn new(
+        ename: Alphabet,
+        types: Vec<(String, TypeDef)>,
+        t0: BTreeMap<Sym, TypeId>,
+    ) -> Result<Xsd, XsdError> {
+        let mut type_names = Vec::with_capacity(types.len());
+        let mut defs = Vec::with_capacity(types.len());
+        for (name, def) in types {
+            if type_names.contains(&name) {
+                return Err(XsdError::DuplicateTypeName(name));
+            }
+            type_names.push(name);
+            defs.push(def);
+        }
+        let xsd = Xsd {
+            ename,
+            type_names,
+            types: defs,
+            t0,
+        };
+        xsd.check()?;
+        Ok(xsd)
+    }
+
+    fn check(&self) -> Result<(), XsdError> {
+        let n = self.types.len();
+        for (name, def) in self.type_names.iter().zip(&self.types) {
+            def.content
+                .check_deterministic()
+                .map_err(|witness| XsdError::NotDeterministic {
+                    type_name: name.clone(),
+                    witness,
+                })?;
+            for sym in def.content.regex.symbols() {
+                match def.child_type.get(&sym) {
+                    None => {
+                        return Err(XsdError::MissingChildType {
+                            type_name: name.clone(),
+                            element: self.ename.name(sym).to_owned(),
+                        })
+                    }
+                    Some(t) if t.index() >= n => {
+                        return Err(XsdError::DanglingType {
+                            type_name: name.clone(),
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        for t in self.t0.values() {
+            if t.index() >= n {
+                return Err(XsdError::DanglingType {
+                    type_name: "<root>".to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of complex types.
+    pub fn n_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// All type ids.
+    pub fn type_ids(&self) -> impl Iterator<Item = TypeId> {
+        (0..self.types.len() as u32).map(TypeId)
+    }
+
+    /// The name of a type.
+    pub fn type_name(&self, t: TypeId) -> &str {
+        &self.type_names[t.index()]
+    }
+
+    /// Looks up a type by name.
+    pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
+        self.type_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| TypeId(i as u32))
+    }
+
+    /// The definition ρ(t).
+    pub fn type_def(&self, t: TypeId) -> &TypeDef {
+        &self.types[t.index()]
+    }
+
+    /// The content model of a type.
+    pub fn content(&self, t: TypeId) -> &ContentModel {
+        &self.types[t.index()].content
+    }
+
+    /// The unique type of child element `name` within ρ(t) (EDC).
+    pub fn child_type(&self, t: TypeId, name: Sym) -> Option<TypeId> {
+        self.types[t.index()].child_type.get(&name).copied()
+    }
+
+    /// The typed start elements T0.
+    pub fn start_elements(&self) -> &BTreeMap<Sym, TypeId> {
+        &self.t0
+    }
+
+    /// The set S of allowed root element names.
+    pub fn root_names(&self) -> Vec<Sym> {
+        self.t0.keys().copied().collect()
+    }
+
+    /// The paper's size measure: total number of symbol occurrences over
+    /// all content models, plus the number of types (so that "trivial"
+    /// types still count).
+    pub fn size(&self) -> usize {
+        self.types.len()
+            + self
+                .types
+                .iter()
+                .map(|d| d.content.size())
+                .sum::<usize>()
+    }
+}
+
+/// Incremental construction of XSDs (used by the XML-syntax reader, the
+/// translations, and the generators).
+#[derive(Clone, Debug, Default)]
+pub struct XsdBuilder {
+    /// Element-name alphabet being accumulated.
+    pub ename: Alphabet,
+    types: Vec<(String, TypeDef)>,
+    t0: BTreeMap<Sym, TypeId>,
+}
+
+impl XsdBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves the next type id for `name` with a placeholder definition;
+    /// the definition can be filled in later with [`XsdBuilder::define`].
+    pub fn declare_type(&mut self, name: &str) -> TypeId {
+        let id = TypeId(self.types.len() as u32);
+        self.types.push((
+            name.to_owned(),
+            TypeDef {
+                content: ContentModel::empty(),
+                child_type: BTreeMap::new(),
+            },
+        ));
+        id
+    }
+
+    /// Fills in the definition of a previously declared type.
+    pub fn define(&mut self, t: TypeId, def: TypeDef) {
+        self.types[t.index()].1 = def;
+    }
+
+    /// Declares a typed start element.
+    pub fn add_start(&mut self, name: Sym, t: TypeId) {
+        self.t0.insert(name, t);
+    }
+
+    /// Finalizes, running all checks.
+    pub fn build(self) -> Result<Xsd, XsdError> {
+        Xsd::new(self.ename, self.types, self.t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relang::Regex;
+
+    /// The skeleton of the paper's running example (Figure 3), reduced to
+    /// document/template/content/section.
+    pub(crate) fn example_xsd() -> Xsd {
+        let mut b = XsdBuilder::new();
+        let document = b.ename.intern("document");
+        let template = b.ename.intern("template");
+        let content = b.ename.intern("content");
+        let section = b.ename.intern("section");
+
+        let t_doc = b.declare_type("Tdoc");
+        let t_template = b.declare_type("Ttemplate");
+        let t_content = b.declare_type("Tcontent");
+        let t_tsec = b.declare_type("TtemplateSection");
+        let t_sec = b.declare_type("Tsection");
+
+        b.define(
+            t_doc,
+            TypeDef {
+                content: ContentModel::new(Regex::concat(vec![
+                    Regex::sym(template),
+                    Regex::sym(content),
+                ])),
+                child_type: [(template, t_template), (content, t_content)].into(),
+            },
+        );
+        b.define(
+            t_template,
+            TypeDef {
+                content: ContentModel::new(Regex::opt(Regex::sym(section))),
+                child_type: [(section, t_tsec)].into(),
+            },
+        );
+        b.define(
+            t_content,
+            TypeDef {
+                content: ContentModel::new(Regex::star(Regex::sym(section))),
+                child_type: [(section, t_sec)].into(),
+            },
+        );
+        b.define(
+            t_tsec,
+            TypeDef {
+                content: ContentModel::new(Regex::opt(Regex::sym(section))),
+                child_type: [(section, t_tsec)].into(),
+            },
+        );
+        b.define(
+            t_sec,
+            TypeDef {
+                content: ContentModel::new(Regex::star(Regex::sym(section))).with_mixed(true),
+                child_type: [(section, t_sec)].into(),
+            },
+        );
+        b.add_start(document, t_doc);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example_builds_and_queries() {
+        let x = example_xsd();
+        assert_eq!(x.n_types(), 5);
+        let t_doc = x.type_by_name("Tdoc").unwrap();
+        let template = x.ename.lookup("template").unwrap();
+        let section = x.ename.lookup("section").unwrap();
+        let t_template = x.child_type(t_doc, template).unwrap();
+        assert_eq!(x.type_name(t_template), "Ttemplate");
+        let t_tsec = x.child_type(t_template, section).unwrap();
+        // recursion: template sections contain template sections
+        assert_eq!(x.child_type(t_tsec, section), Some(t_tsec));
+        assert_eq!(x.root_names(), vec![x.ename.lookup("document").unwrap()]);
+        assert!(x.size() >= 5);
+    }
+
+    #[test]
+    fn upa_violation_rejected() {
+        let mut b = XsdBuilder::new();
+        let a = b.ename.intern("a");
+        let bsym = b.ename.intern("b");
+        let t = b.declare_type("T");
+        // (a+b)* a is not deterministic
+        b.define(
+            t,
+            TypeDef {
+                content: ContentModel::new(Regex::concat(vec![
+                    Regex::star(Regex::alt(vec![Regex::sym(a), Regex::sym(bsym)])),
+                    Regex::sym(a),
+                ])),
+                child_type: [(a, t), (bsym, t)].into(),
+            },
+        );
+        b.add_start(a, t);
+        assert!(matches!(
+            b.build(),
+            Err(XsdError::NotDeterministic { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_child_type_rejected() {
+        let mut b = XsdBuilder::new();
+        let a = b.ename.intern("a");
+        let t = b.declare_type("T");
+        b.define(
+            t,
+            TypeDef {
+                content: ContentModel::new(Regex::sym(a)),
+                child_type: BTreeMap::new(),
+            },
+        );
+        assert!(matches!(
+            b.build(),
+            Err(XsdError::MissingChildType { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_type_rejected() {
+        let mut b = XsdBuilder::new();
+        let a = b.ename.intern("a");
+        let t = b.declare_type("T");
+        b.define(
+            t,
+            TypeDef {
+                content: ContentModel::new(Regex::sym(a)),
+                child_type: [(a, TypeId(99))].into(),
+            },
+        );
+        assert!(matches!(b.build(), Err(XsdError::DanglingType { .. })));
+    }
+
+    #[test]
+    fn duplicate_type_name_rejected() {
+        let mut b = XsdBuilder::new();
+        b.declare_type("T");
+        b.declare_type("T");
+        assert!(matches!(
+            b.build(),
+            Err(XsdError::DuplicateTypeName(_))
+        ));
+    }
+}

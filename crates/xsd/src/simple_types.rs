@@ -1,0 +1,444 @@
+//! A small registry of XML Schema simple types with value validation.
+//!
+//! The paper treats datatypes as "unavoidable cosmetics" outside the formal
+//! model (Section 4), and notes that BonXai does not define simple types
+//! natively (Section 5) — it refers to the `xs:` built-ins. This registry
+//! covers the built-ins that the paper's examples and realistic schemas
+//! use; unknown `xs:` names fall back to `AnySimpleType`.
+
+use std::fmt;
+
+/// A built-in XML Schema simple type.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SimpleType {
+    /// `xs:string` — any string.
+    String,
+    /// `xs:boolean` — `true`, `false`, `1`, `0`.
+    Boolean,
+    /// `xs:integer` — optionally signed decimal integer.
+    Integer,
+    /// `xs:nonNegativeInteger`.
+    NonNegativeInteger,
+    /// `xs:positiveInteger`.
+    PositiveInteger,
+    /// `xs:decimal` — decimal number.
+    Decimal,
+    /// `xs:double` — floating point (also covers `xs:float`).
+    Double,
+    /// `xs:date` — `YYYY-MM-DD`.
+    Date,
+    /// `xs:time` — `hh:mm:ss(.fff)?`.
+    Time,
+    /// `xs:dateTime` — `YYYY-MM-DDThh:mm:ss`.
+    DateTime,
+    /// `xs:anyURI` — any string (URI syntax not enforced).
+    AnyUri,
+    /// `xs:ID` — an XML name, unique per document.
+    Id,
+    /// `xs:IDREF` — an XML name referencing an ID.
+    IdRef,
+    /// `xs:NMTOKEN` — a name token.
+    NmToken,
+    /// `xs:token`/`xs:normalizedString` — whitespace-normalized string.
+    Token,
+    /// `xs:anySimpleType` — anything (also the fallback for unknown names).
+    AnySimpleType,
+}
+
+impl SimpleType {
+    /// Resolves a QName like `xs:string` (any prefix) or a bare local name.
+    pub fn from_qname(qname: &str) -> SimpleType {
+        let local = qname.rsplit_once(':').map_or(qname, |(_, l)| l);
+        match local {
+            "string" => SimpleType::String,
+            "boolean" => SimpleType::Boolean,
+            "integer" | "int" | "long" | "short" | "byte" => SimpleType::Integer,
+            "nonNegativeInteger" | "unsignedInt" | "unsignedLong" | "unsignedShort"
+            | "unsignedByte" => SimpleType::NonNegativeInteger,
+            "positiveInteger" => SimpleType::PositiveInteger,
+            "decimal" => SimpleType::Decimal,
+            "double" | "float" => SimpleType::Double,
+            "date" => SimpleType::Date,
+            "time" => SimpleType::Time,
+            "dateTime" => SimpleType::DateTime,
+            "anyURI" => SimpleType::AnyUri,
+            "ID" => SimpleType::Id,
+            "IDREF" => SimpleType::IdRef,
+            "NMTOKEN" => SimpleType::NmToken,
+            "token" | "normalizedString" => SimpleType::Token,
+            _ => SimpleType::AnySimpleType,
+        }
+    }
+
+    /// The canonical `xs:`-prefixed name.
+    pub fn qname(&self) -> &'static str {
+        match self {
+            SimpleType::String => "xs:string",
+            SimpleType::Boolean => "xs:boolean",
+            SimpleType::Integer => "xs:integer",
+            SimpleType::NonNegativeInteger => "xs:nonNegativeInteger",
+            SimpleType::PositiveInteger => "xs:positiveInteger",
+            SimpleType::Decimal => "xs:decimal",
+            SimpleType::Double => "xs:double",
+            SimpleType::Date => "xs:date",
+            SimpleType::Time => "xs:time",
+            SimpleType::DateTime => "xs:dateTime",
+            SimpleType::AnyUri => "xs:anyURI",
+            SimpleType::Id => "xs:ID",
+            SimpleType::IdRef => "xs:IDREF",
+            SimpleType::NmToken => "xs:NMTOKEN",
+            SimpleType::Token => "xs:token",
+            SimpleType::AnySimpleType => "xs:anySimpleType",
+        }
+    }
+
+    /// The *value-semantics class* of the type: types in the same class
+    /// accept exactly the same lexical values, so schema comparison
+    /// treats them as interchangeable (`xs:string`, `xs:anyURI`,
+    /// `xs:token`, and `xs:anySimpleType` all accept every string).
+    pub fn value_class(&self) -> u8 {
+        match self {
+            SimpleType::String
+            | SimpleType::AnyUri
+            | SimpleType::Token
+            | SimpleType::AnySimpleType => 0,
+            SimpleType::Boolean => 1,
+            SimpleType::Integer => 2,
+            SimpleType::NonNegativeInteger => 3,
+            SimpleType::PositiveInteger => 4,
+            SimpleType::Decimal => 5,
+            SimpleType::Double => 6,
+            SimpleType::Date => 7,
+            SimpleType::Time => 8,
+            SimpleType::DateTime => 9,
+            // ID/IDREF/NMTOKEN accept the same token syntax
+            SimpleType::Id | SimpleType::IdRef | SimpleType::NmToken => 10,
+        }
+    }
+
+    /// Whether `value` is a valid lexical form of this type.
+    pub fn validates(&self, value: &str) -> bool {
+        match self {
+            SimpleType::String | SimpleType::AnyUri | SimpleType::AnySimpleType => true,
+            SimpleType::Token => true, // any string normalizes
+            SimpleType::Boolean => matches!(value, "true" | "false" | "1" | "0"),
+            SimpleType::Integer => parse_integer(value).is_some(),
+            SimpleType::NonNegativeInteger => parse_integer(value).is_some_and(|v| v >= 0),
+            SimpleType::PositiveInteger => parse_integer(value).is_some_and(|v| v > 0),
+            SimpleType::Decimal => is_decimal(value),
+            SimpleType::Double => {
+                value.parse::<f64>().is_ok() || matches!(value, "INF" | "-INF" | "NaN")
+            }
+            SimpleType::Date => is_date(value),
+            SimpleType::Time => is_time(value),
+            SimpleType::DateTime => {
+                value.split_once('T').is_some_and(|(d, t)| is_date(d) && is_time(t))
+            }
+            SimpleType::Id | SimpleType::IdRef | SimpleType::NmToken => is_nmtoken(value),
+        }
+    }
+}
+
+impl fmt::Display for SimpleType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.qname())
+    }
+}
+
+/// Restriction facets on a simple type (`<xs:restriction>`).
+///
+/// The paper's Section 5 names native simple types as "one of the most
+/// desirable extensions of the current language" — this implements the
+/// extension: BonXai writes `{ type xs:integer { min "0", max "100" } }`
+/// and the XSD side round-trips it as an `xs:restriction`.
+///
+/// Bounds are stored lexically; for numeric bases they compare by value,
+/// otherwise lexicographically (the common string-enumeration case uses
+/// `enumeration` anyway). The `xs:pattern` facet is not supported.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Facets {
+    /// `xs:minInclusive`.
+    pub min_inclusive: Option<String>,
+    /// `xs:maxInclusive`.
+    pub max_inclusive: Option<String>,
+    /// `xs:minLength`.
+    pub min_length: Option<u32>,
+    /// `xs:maxLength`.
+    pub max_length: Option<u32>,
+    /// `xs:enumeration` values (empty = unconstrained).
+    pub enumeration: Vec<String>,
+}
+
+impl Facets {
+    /// Whether no facet is set.
+    pub fn is_empty(&self) -> bool {
+        *self == Facets::default()
+    }
+
+    /// Whether `value` (already valid for `base`) satisfies the facets.
+    pub fn validates(&self, base: SimpleType, value: &str) -> bool {
+        if !self.enumeration.is_empty() && !self.enumeration.iter().any(|e| e == value) {
+            return false;
+        }
+        let len = value.chars().count() as u32;
+        if self.min_length.is_some_and(|m| len < m) {
+            return false;
+        }
+        if self.max_length.is_some_and(|m| len > m) {
+            return false;
+        }
+        let cmp = |bound: &str, v: &str| -> std::cmp::Ordering {
+            match base {
+                SimpleType::Integer
+                | SimpleType::NonNegativeInteger
+                | SimpleType::PositiveInteger
+                | SimpleType::Decimal
+                | SimpleType::Double => {
+                    let b: f64 = bound.trim().parse().unwrap_or(f64::NAN);
+                    let x: f64 = v.trim().parse().unwrap_or(f64::NAN);
+                    b.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Greater)
+                }
+                _ => bound.cmp(v),
+            }
+        };
+        if let Some(min) = &self.min_inclusive {
+            if cmp(min, value) == std::cmp::Ordering::Greater {
+                return false;
+            }
+        }
+        if let Some(max) = &self.max_inclusive {
+            if cmp(max, value) == std::cmp::Ordering::Less {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Renders the facets in BonXai syntax (`{ min "0", enum "a" }`).
+    pub fn display(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(v) = &self.min_inclusive {
+            parts.push(format!("min {v:?}"));
+        }
+        if let Some(v) = &self.max_inclusive {
+            parts.push(format!("max {v:?}"));
+        }
+        if let Some(v) = self.min_length {
+            parts.push(format!("minLength \"{v}\""));
+        }
+        if let Some(v) = self.max_length {
+            parts.push(format!("maxLength \"{v}\""));
+        }
+        for e in &self.enumeration {
+            parts.push(format!("enum {e:?}"));
+        }
+        format!("{{ {} }}", parts.join(", "))
+    }
+}
+
+fn parse_integer(v: &str) -> Option<i128> {
+    let v = v.trim();
+    if v.is_empty() {
+        return None;
+    }
+    v.parse::<i128>().ok()
+}
+
+fn is_decimal(v: &str) -> bool {
+    let v = v.trim();
+    let v = v.strip_prefix(['+', '-']).unwrap_or(v);
+    if v.is_empty() || v == "." {
+        return false;
+    }
+    let mut dots = 0;
+    v.chars().all(|c| {
+        if c == '.' {
+            dots += 1;
+            dots <= 1
+        } else {
+            c.is_ascii_digit()
+        }
+    })
+}
+
+fn is_date(v: &str) -> bool {
+    let parts: Vec<&str> = v.splitn(3, '-').collect();
+    // (Negative years would start with '-', out of scope.)
+    parts.len() == 3
+        && parts[0].len() == 4
+        && parts.iter().all(|p| p.chars().all(|c| c.is_ascii_digit()))
+        && parts[1].parse::<u32>().is_ok_and(|m| (1..=12).contains(&m))
+        && parts[2].parse::<u32>().is_ok_and(|d| (1..=31).contains(&d))
+}
+
+fn is_time(v: &str) -> bool {
+    let (hms, frac) = v.split_once('.').map_or((v, None), |(a, b)| (a, Some(b)));
+    if let Some(f) = frac {
+        if f.is_empty() || !f.chars().all(|c| c.is_ascii_digit()) {
+            return false;
+        }
+    }
+    let parts: Vec<&str> = hms.split(':').collect();
+    parts.len() == 3
+        && parts[0].parse::<u32>().is_ok_and(|h| h <= 23)
+        && parts[1].parse::<u32>().is_ok_and(|m| m <= 59)
+        && parts[2].parse::<u32>().is_ok_and(|s| s <= 60)
+}
+
+fn is_nmtoken(v: &str) -> bool {
+    !v.is_empty()
+        && v.chars()
+            .all(|c| c.is_alphanumeric() || matches!(c, '.' | '-' | '_' | ':'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qname_resolution_roundtrip() {
+        for t in [
+            SimpleType::String,
+            SimpleType::Integer,
+            SimpleType::Date,
+            SimpleType::Boolean,
+            SimpleType::Decimal,
+        ] {
+            assert_eq!(SimpleType::from_qname(t.qname()), t);
+        }
+        assert_eq!(SimpleType::from_qname("xsd:string"), SimpleType::String);
+        assert_eq!(SimpleType::from_qname("string"), SimpleType::String);
+        assert_eq!(
+            SimpleType::from_qname("xs:gYearMonth"),
+            SimpleType::AnySimpleType
+        );
+    }
+
+    #[test]
+    fn integer_validation() {
+        assert!(SimpleType::Integer.validates("42"));
+        assert!(SimpleType::Integer.validates("-7"));
+        assert!(!SimpleType::Integer.validates("4.2"));
+        assert!(!SimpleType::Integer.validates("abc"));
+        assert!(!SimpleType::Integer.validates(""));
+        assert!(SimpleType::NonNegativeInteger.validates("0"));
+        assert!(!SimpleType::NonNegativeInteger.validates("-1"));
+        assert!(!SimpleType::PositiveInteger.validates("0"));
+    }
+
+    #[test]
+    fn boolean_validation() {
+        for v in ["true", "false", "1", "0"] {
+            assert!(SimpleType::Boolean.validates(v));
+        }
+        assert!(!SimpleType::Boolean.validates("TRUE"));
+        assert!(!SimpleType::Boolean.validates("yes"));
+    }
+
+    #[test]
+    fn decimal_validation() {
+        assert!(SimpleType::Decimal.validates("3.14"));
+        assert!(SimpleType::Decimal.validates("-0.5"));
+        assert!(SimpleType::Decimal.validates("42"));
+        assert!(!SimpleType::Decimal.validates("3.1.4"));
+        assert!(!SimpleType::Decimal.validates("."));
+        assert!(!SimpleType::Decimal.validates("1e5"));
+    }
+
+    #[test]
+    fn date_time_validation() {
+        assert!(SimpleType::Date.validates("2015-05-31"));
+        assert!(!SimpleType::Date.validates("2015-13-01"));
+        assert!(!SimpleType::Date.validates("15-05-31"));
+        assert!(SimpleType::Time.validates("09:30:00"));
+        assert!(SimpleType::Time.validates("09:30:00.125"));
+        assert!(!SimpleType::Time.validates("24:00:61"));
+        assert!(SimpleType::DateTime.validates("2015-05-31T09:30:00"));
+        assert!(!SimpleType::DateTime.validates("2015-05-31 09:30:00"));
+    }
+
+    #[test]
+    fn nmtoken_validation() {
+        assert!(SimpleType::NmToken.validates("some-token_1"));
+        assert!(!SimpleType::NmToken.validates("two words"));
+        assert!(!SimpleType::NmToken.validates(""));
+    }
+
+    #[test]
+    fn string_accepts_anything() {
+        assert!(SimpleType::String.validates(""));
+        assert!(SimpleType::String.validates("anything at all & more"));
+    }
+}
+
+#[cfg(test)]
+mod facet_tests {
+    use super::*;
+
+    #[test]
+    fn numeric_bounds() {
+        let f = Facets {
+            min_inclusive: Some("0".into()),
+            max_inclusive: Some("100".into()),
+            ..Facets::default()
+        };
+        assert!(f.validates(SimpleType::Integer, "0"));
+        assert!(f.validates(SimpleType::Integer, "100"));
+        assert!(f.validates(SimpleType::Integer, "42"));
+        assert!(!f.validates(SimpleType::Integer, "-1"));
+        assert!(!f.validates(SimpleType::Integer, "101"));
+        // numeric, not lexicographic: "9" < "10"
+        assert!(f.validates(SimpleType::Integer, "9"));
+    }
+
+    #[test]
+    fn string_bounds_are_lexicographic() {
+        let f = Facets {
+            min_inclusive: Some("b".into()),
+            max_inclusive: Some("d".into()),
+            ..Facets::default()
+        };
+        assert!(f.validates(SimpleType::String, "c"));
+        assert!(!f.validates(SimpleType::String, "a"));
+        assert!(!f.validates(SimpleType::String, "e"));
+    }
+
+    #[test]
+    fn lengths_and_enumeration() {
+        let f = Facets {
+            min_length: Some(2),
+            max_length: Some(4),
+            ..Facets::default()
+        };
+        assert!(!f.validates(SimpleType::String, "x"));
+        assert!(f.validates(SimpleType::String, "xy"));
+        assert!(!f.validates(SimpleType::String, "xyzzy"));
+
+        let e = Facets {
+            enumeration: vec!["alpha".into(), "beta".into()],
+            ..Facets::default()
+        };
+        assert!(e.validates(SimpleType::String, "alpha"));
+        assert!(!e.validates(SimpleType::String, "gamma"));
+    }
+
+    #[test]
+    fn empty_facets_accept_everything() {
+        let f = Facets::default();
+        assert!(f.is_empty());
+        assert!(f.validates(SimpleType::String, "anything"));
+        assert!(f.validates(SimpleType::Integer, "-999"));
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let f = Facets {
+            min_inclusive: Some("0".into()),
+            enumeration: vec!["a".into()],
+            ..Facets::default()
+        };
+        let s = f.display();
+        assert!(s.contains("min \"0\""));
+        assert!(s.contains("enum \"a\""));
+    }
+}

@@ -1,0 +1,123 @@
+//! Surface AST for the XSD XML syntax (the subset of `xs:` constructs the
+//! paper exercises: global elements, named and anonymous complex types,
+//! sequence/choice/all particles with occurrence bounds, groups, attributes
+//! and attribute groups, mixed content, and simple types).
+
+use relang::UpperBound;
+
+use crate::content::AttributeUse;
+use crate::simple_types::{Facets, SimpleType};
+
+/// A whole `<xs:schema>` document.
+#[derive(Clone, Debug, Default)]
+pub struct SchemaDoc {
+    /// `targetNamespace`, if declared.
+    pub target_namespace: Option<String>,
+    /// Global element declarations (the candidates for T0).
+    pub roots: Vec<ElementDecl>,
+    /// Named complex types, in document order.
+    pub named_types: Vec<(String, ComplexType)>,
+    /// Named model groups (`<xs:group name=…>`).
+    pub groups: Vec<(String, Particle)>,
+    /// Named attribute groups.
+    pub attribute_groups: Vec<(String, Vec<AttributeUse>)>,
+    /// Named simple types (`<xs:simpleType name=…>` restrictions).
+    pub simple_types: Vec<(String, (SimpleType, Facets))>,
+}
+
+/// An element declaration: a name plus how its type is given.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ElementDecl {
+    /// Element name.
+    pub name: String,
+    /// The element's type.
+    pub type_ref: TypeRef,
+}
+
+/// How an element's type is specified.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TypeRef {
+    /// `type="TName"` referencing a named complex type.
+    Named(String),
+    /// An inline anonymous `<xs:complexType>`.
+    Inline(Box<ComplexType>),
+    /// `type="xs:…"` or a named simple type: simple content.
+    Simple(SimpleType, Facets),
+    /// No type given: empty content (`xs:anyType` restricted to empty).
+    Empty,
+}
+
+/// A complex type: optional particle, attributes, mixedness.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ComplexType {
+    /// The content particle (None = empty content).
+    pub particle: Option<Particle>,
+    /// `mixed="true"`.
+    pub mixed: bool,
+    /// Directly declared attributes.
+    pub attributes: Vec<AttributeUse>,
+    /// Referenced attribute groups.
+    pub attr_group_refs: Vec<String>,
+    /// Simple content base type (`<xs:simpleContent><xs:extension base=…>`).
+    pub simple_base: Option<(SimpleType, Facets)>,
+}
+
+/// Occurrence bounds (`minOccurs` / `maxOccurs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Occurs {
+    /// `minOccurs` (default 1).
+    pub min: u32,
+    /// `maxOccurs` (default 1; `unbounded` = `Unbounded`).
+    pub max: UpperBound,
+}
+
+impl Occurs {
+    /// The default bounds `[1, 1]`.
+    pub const ONCE: Occurs = Occurs {
+        min: 1,
+        max: UpperBound::Finite(1),
+    };
+
+    /// Whether these are the default bounds.
+    pub fn is_once(&self) -> bool {
+        *self == Self::ONCE
+    }
+}
+
+/// A content particle.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Particle {
+    /// A (possibly repeated) element declaration.
+    Element {
+        /// The declared element.
+        decl: ElementDecl,
+        /// Occurrence bounds.
+        occurs: Occurs,
+    },
+    /// `<xs:sequence>`.
+    Sequence {
+        /// Item particles in order.
+        items: Vec<Particle>,
+        /// Occurrence bounds.
+        occurs: Occurs,
+    },
+    /// `<xs:choice>`.
+    Choice {
+        /// Alternative particles.
+        items: Vec<Particle>,
+        /// Occurrence bounds.
+        occurs: Occurs,
+    },
+    /// `<xs:all>` — restricted interleaving.
+    All {
+        /// Item particles (element declarations).
+        items: Vec<Particle>,
+    },
+    /// `<xs:group ref=…>`.
+    GroupRef {
+        /// Referenced group name.
+        name: String,
+        /// Occurrence bounds.
+        occurs: Occurs,
+    },
+}

@@ -1,0 +1,288 @@
+//! Emitting the formal core model back to XSD XML syntax.
+//!
+//! The emitter builds an [`xmltree::Document`] and pretty-prints it, so the
+//! output is well-formed by construction. Counting operators become
+//! `minOccurs`/`maxOccurs`, interleavings become `xs:all`, and pure
+//! simple-content types are inlined as `type="xs:…"` at their use sites.
+
+use relang::{Regex, UpperBound};
+use xmltree::{Document, NodeId};
+
+use crate::content::ContentModel;
+use crate::model::{TypeId, Xsd};
+use crate::syntax::parse::SyntaxError;
+
+/// Serializes `xsd` as an `<xs:schema>` document.
+///
+/// Fails only for content models whose language is empty (`∅`), which XSD
+/// syntax cannot express (and which no translation in this library
+/// produces).
+pub fn emit_xsd(xsd: &Xsd, target_namespace: Option<&str>) -> Result<String, SyntaxError> {
+    let mut doc = Document::new("xs:schema");
+    let root = doc.root();
+    doc.set_attribute(root, "xmlns:xs", "http://www.w3.org/2001/XMLSchema");
+    doc.set_attribute(root, "elementFormDefault", "qualified");
+    if let Some(tns) = target_namespace {
+        doc.set_attribute(root, "targetNamespace", tns);
+        doc.set_attribute(root, "xmlns", tns);
+    }
+
+    // Global elements.
+    for (&sym, &t) in xsd.start_elements() {
+        let e = doc.add_element(root, "xs:element");
+        doc.set_attribute(e, "name", xsd.ename.name(sym));
+        doc.set_attribute(e, "type", &type_ref_string(xsd, t));
+    }
+
+    // Named complex types (pure simple types are referenced inline).
+    for t in xsd.type_ids() {
+        if is_pure_simple(xsd.content(t)) {
+            continue;
+        }
+        let ct = doc.add_element(root, "xs:complexType");
+        doc.set_attribute(ct, "name", xsd.type_name(t));
+        emit_complex_body(xsd, &mut doc, ct, t)?;
+    }
+
+    Ok(xmltree::to_string_pretty(&doc))
+}
+
+/// Whether a type can be referenced as a bare `xs:` simple type.
+fn is_pure_simple(cm: &ContentModel) -> bool {
+    cm.simple_content.is_some() && cm.attributes.is_empty() && cm.simple_facets.is_empty()
+}
+
+fn type_ref_string(xsd: &Xsd, t: TypeId) -> String {
+    let cm = xsd.content(t);
+    if is_pure_simple(cm) {
+        cm.simple_content
+            .expect("checked by is_pure_simple")
+            .qname()
+            .to_owned()
+    } else {
+        xsd.type_name(t).to_owned()
+    }
+}
+
+fn emit_complex_body(
+    xsd: &Xsd,
+    doc: &mut Document,
+    ct_node: NodeId,
+    t: TypeId,
+) -> Result<(), SyntaxError> {
+    let cm = xsd.content(t);
+    if let Some(st) = cm.simple_content {
+        // <xs:simpleContent> with an extension (no facets) or a
+        // restriction carrying the facets.
+        let sc = doc.add_element(ct_node, "xs:simpleContent");
+        let inner = if cm.simple_facets.is_empty() {
+            doc.add_element(sc, "xs:extension")
+        } else {
+            let r = doc.add_element(sc, "xs:restriction");
+            emit_facets(doc, r, &cm.simple_facets);
+            r
+        };
+        doc.set_attribute(inner, "base", st.qname());
+        emit_attributes(doc, inner, cm);
+        return Ok(());
+    }
+    if cm.mixed {
+        doc.set_attribute(ct_node, "mixed", "true");
+    }
+    if cm.regex != Regex::Epsilon {
+        emit_model_group(xsd, doc, ct_node, t, &cm.regex)?;
+    }
+    emit_attributes(doc, ct_node, cm);
+    Ok(())
+}
+
+fn emit_attributes(doc: &mut Document, parent: NodeId, cm: &ContentModel) {
+    for a in &cm.attributes {
+        let node = doc.add_element(parent, "xs:attribute");
+        doc.set_attribute(node, "name", &a.name);
+        if a.required {
+            doc.set_attribute(node, "use", "required");
+        }
+        if a.facets.is_empty() {
+            doc.set_attribute(node, "type", a.simple_type.qname());
+        } else {
+            // inline <xs:simpleType><xs:restriction> with the facets
+            let st = doc.add_element(node, "xs:simpleType");
+            let r = doc.add_element(st, "xs:restriction");
+            doc.set_attribute(r, "base", a.simple_type.qname());
+            emit_facets(doc, r, &a.facets);
+        }
+    }
+}
+
+fn emit_facets(doc: &mut Document, parent: NodeId, facets: &xsd_facets::Facets) {
+    let mut add = |name: &str, value: &str| {
+        let f = doc.add_element(parent, name);
+        doc.set_attribute(f, "value", value);
+    };
+    if let Some(v) = &facets.min_inclusive {
+        add("xs:minInclusive", v);
+    }
+    if let Some(v) = &facets.max_inclusive {
+        add("xs:maxInclusive", v);
+    }
+    if let Some(v) = facets.min_length {
+        add("xs:minLength", &v.to_string());
+    }
+    if let Some(v) = facets.max_length {
+        add("xs:maxLength", &v.to_string());
+    }
+    for e in &facets.enumeration {
+        add("xs:enumeration", e);
+    }
+}
+
+use crate::simple_types as xsd_facets;
+
+/// Emits `regex` as a model group child of `parent` (wrapping a lone
+/// element in a sequence, since complexType children must be groups).
+fn emit_model_group(
+    xsd: &Xsd,
+    doc: &mut Document,
+    parent: NodeId,
+    t: TypeId,
+    regex: &Regex,
+) -> Result<(), SyntaxError> {
+    match regex {
+        Regex::Concat(_) | Regex::Alt(_) | Regex::Interleave(_) => {
+            emit_particle(xsd, doc, parent, t, regex, Bounds::ONCE)
+        }
+        _ => {
+            let seq = doc.add_element(parent, "xs:sequence");
+            emit_particle(xsd, doc, seq, t, regex, Bounds::ONCE)
+        }
+    }
+}
+
+/// Occurrence bounds accumulated while unwrapping repetition operators.
+#[derive(Clone, Copy)]
+struct Bounds {
+    min: u32,
+    max: UpperBound,
+}
+
+impl Bounds {
+    const ONCE: Bounds = Bounds {
+        min: 1,
+        max: UpperBound::Finite(1),
+    };
+
+    fn is_once(&self) -> bool {
+        self.min == 1 && self.max == UpperBound::Finite(1)
+    }
+
+    fn write(&self, doc: &mut Document, node: NodeId) {
+        if self.min != 1 {
+            doc.set_attribute(node, "minOccurs", &self.min.to_string());
+        }
+        match self.max {
+            UpperBound::Finite(1) => {}
+            UpperBound::Finite(m) => doc.set_attribute(node, "maxOccurs", &m.to_string()),
+            UpperBound::Unbounded => doc.set_attribute(node, "maxOccurs", "unbounded"),
+        }
+    }
+}
+
+fn emit_particle(
+    xsd: &Xsd,
+    doc: &mut Document,
+    parent: NodeId,
+    t: TypeId,
+    regex: &Regex,
+    bounds: Bounds,
+) -> Result<(), SyntaxError> {
+    match regex {
+        Regex::Empty => Err(SyntaxError::new(format!(
+            "content model of type {} has empty language; not expressible in XSD",
+            xsd.type_name(t)
+        ))),
+        Regex::Epsilon => {
+            // ε under repetition is still ε: an empty sequence.
+            let node = doc.add_element(parent, "xs:sequence");
+            let _ = node;
+            Ok(())
+        }
+        Regex::Sym(s) => {
+            let node = doc.add_element(parent, "xs:element");
+            doc.set_attribute(node, "name", xsd.ename.name(*s));
+            let child = xsd
+                .child_type(t, *s)
+                .expect("valid XSD has complete child typing");
+            doc.set_attribute(node, "type", &type_ref_string(xsd, child));
+            bounds.write(doc, node);
+            Ok(())
+        }
+        Regex::Concat(parts) => {
+            let node = doc.add_element(parent, "xs:sequence");
+            bounds.write(doc, node);
+            for p in parts {
+                emit_particle(xsd, doc, node, t, p, Bounds::ONCE)?;
+            }
+            Ok(())
+        }
+        Regex::Alt(parts) => {
+            let node = doc.add_element(parent, "xs:choice");
+            bounds.write(doc, node);
+            for p in parts {
+                emit_particle(xsd, doc, node, t, p, Bounds::ONCE)?;
+            }
+            Ok(())
+        }
+        Regex::Interleave(parts) => {
+            if !bounds.is_once() {
+                return Err(SyntaxError::new(
+                    "xs:all cannot carry occurrence bounds".to_owned(),
+                ));
+            }
+            let node = doc.add_element(parent, "xs:all");
+            for p in parts {
+                emit_particle(xsd, doc, node, t, p, Bounds::ONCE)?;
+            }
+            Ok(())
+        }
+        Regex::Star(inner) => emit_repeated(xsd, doc, parent, t, inner, bounds, 0, UpperBound::Unbounded),
+        Regex::Plus(inner) => emit_repeated(xsd, doc, parent, t, inner, bounds, 1, UpperBound::Unbounded),
+        Regex::Opt(inner) => emit_repeated(xsd, doc, parent, t, inner, bounds, 0, UpperBound::Finite(1)),
+        Regex::Repeat(inner, lo, hi) => emit_repeated(xsd, doc, parent, t, inner, bounds, *lo, *hi),
+    }
+}
+
+/// Emits `inner{lo,hi}`. If the outer context already carries non-default
+/// bounds (e.g. `(a?)* ` after constructor normalization cannot occur, but
+/// `(a{2,3})*` can), the repetition is wrapped in a sequence so that both
+/// bounds survive.
+#[allow(clippy::too_many_arguments)]
+fn emit_repeated(
+    xsd: &Xsd,
+    doc: &mut Document,
+    parent: NodeId,
+    t: TypeId,
+    inner: &Regex,
+    outer: Bounds,
+    lo: u32,
+    hi: UpperBound,
+) -> Result<(), SyntaxError> {
+    let bounds = Bounds { min: lo, max: hi };
+    if outer.is_once() {
+        match inner {
+            Regex::Sym(_) | Regex::Concat(_) | Regex::Alt(_) => {
+                emit_particle(xsd, doc, parent, t, inner, bounds)
+            }
+            _ => {
+                // nested repetition: wrap in a sequence carrying the bounds
+                let seq = doc.add_element(parent, "xs:sequence");
+                bounds.write(doc, seq);
+                emit_particle(xsd, doc, seq, t, inner, Bounds::ONCE)
+            }
+        }
+    } else {
+        let seq = doc.add_element(parent, "xs:sequence");
+        outer.write(doc, seq);
+        emit_particle(xsd, doc, seq, t, inner, bounds)
+    }
+}

@@ -1,0 +1,251 @@
+//! Lowering the surface AST to the formal core model (Definition 2).
+//!
+//! Groups and attribute groups are expanded, anonymous types get
+//! synthesized names, occurrence bounds become counting operators, and the
+//! EDC constraint is checked structurally while building each type's
+//! child-type map.
+
+use std::collections::BTreeMap;
+
+use relang::{Regex, Sym};
+
+use crate::content::{AttributeUse, ContentModel};
+use crate::model::{TypeDef, TypeId, Xsd, XsdBuilder};
+use crate::simple_types::{Facets, SimpleType};
+use crate::syntax::ast::{ComplexType, Occurs, Particle, SchemaDoc, TypeRef};
+use crate::syntax::parse::SyntaxError;
+
+/// Lowers a surface schema into the formal core model.
+pub fn lower(schema: &SchemaDoc) -> Result<Xsd, SyntaxError> {
+    let mut lw = Lowerer {
+        builder: XsdBuilder::new(),
+        named: BTreeMap::new(),
+        schema,
+        simple_cache: BTreeMap::new(),
+        empty_cache: None,
+        synth_counter: 0,
+    };
+    for (name, _) in &schema.named_types {
+        if lw.named.contains_key(name.as_str()) {
+            return Err(SyntaxError::new(format!("duplicate type name {name}")));
+        }
+        let id = lw.builder.declare_type(name);
+        lw.named.insert(name.clone(), id);
+    }
+    for (name, ct) in &schema.named_types {
+        let id = lw.named[name.as_str()];
+        let def = lw.lower_complex(ct, name)?;
+        lw.builder.define(id, def);
+    }
+    for decl in &schema.roots {
+        let t = lw.resolve(&decl.type_ref, &decl.name)?;
+        let sym = lw.builder.ename.intern(&decl.name);
+        lw.builder.add_start(sym, t);
+    }
+    lw.builder
+        .build()
+        .map_err(|e| SyntaxError::new(format!("schema is not a valid core XSD: {e}")))
+}
+
+struct Lowerer<'a> {
+    builder: XsdBuilder,
+    named: BTreeMap<String, TypeId>,
+    schema: &'a SchemaDoc,
+    simple_cache: BTreeMap<(SimpleType, Facets), TypeId>,
+    empty_cache: Option<TypeId>,
+    synth_counter: u32,
+}
+
+impl<'a> Lowerer<'a> {
+    fn resolve(&mut self, type_ref: &TypeRef, elem_name: &str) -> Result<TypeId, SyntaxError> {
+        match type_ref {
+            TypeRef::Named(n) => {
+                if let Some(&id) = self.named.get(n.as_str()) {
+                    return Ok(id);
+                }
+                // Fall back to named simple types.
+                if let Some((_, (base, facets))) =
+                    self.schema.simple_types.iter().find(|(name, _)| name == n)
+                {
+                    return self.resolve(
+                        &TypeRef::Simple(*base, facets.clone()),
+                        elem_name,
+                    );
+                }
+                Err(SyntaxError::new(format!(
+                    "element {elem_name} references unknown type {n}"
+                )))
+            }
+            TypeRef::Inline(ct) => {
+                self.synth_counter += 1;
+                let name = format!("T_{elem_name}_anon{}", self.synth_counter);
+                let id = self.builder.declare_type(&name);
+                let def = self.lower_complex(ct, &name)?;
+                self.builder.define(id, def);
+                Ok(id)
+            }
+            TypeRef::Simple(st, facets) => {
+                let key = (*st, facets.clone());
+                if let Some(&id) = self.simple_cache.get(&key) {
+                    return Ok(id);
+                }
+                let name = if facets.is_empty() {
+                    format!("T_{}", st.qname().replace(':', "_"))
+                } else {
+                    self.synth_counter += 1;
+                    format!(
+                        "T_{}_r{}",
+                        st.qname().replace(':', "_"),
+                        self.synth_counter
+                    )
+                };
+                let id = self.builder.declare_type(&name);
+                self.builder.define(
+                    id,
+                    TypeDef {
+                        content: ContentModel::simple(*st)
+                            .with_simple_facets(facets.clone()),
+                        child_type: BTreeMap::new(),
+                    },
+                );
+                self.simple_cache.insert(key, id);
+                Ok(id)
+            }
+            TypeRef::Empty => {
+                if let Some(id) = self.empty_cache {
+                    return Ok(id);
+                }
+                let id = self.builder.declare_type("T_empty");
+                self.builder.define(
+                    id,
+                    TypeDef {
+                        content: ContentModel::empty(),
+                        child_type: BTreeMap::new(),
+                    },
+                );
+                self.empty_cache = Some(id);
+                Ok(id)
+            }
+        }
+    }
+
+    fn lower_complex(
+        &mut self,
+        ct: &ComplexType,
+        type_name: &str,
+    ) -> Result<TypeDef, SyntaxError> {
+        let attributes = self.expand_attributes(ct)?;
+        if let Some((st, facets)) = &ct.simple_base {
+            return Ok(TypeDef {
+                content: ContentModel::simple(*st)
+                    .with_simple_facets(facets.clone())
+                    .with_attributes(attributes),
+                child_type: BTreeMap::new(),
+            });
+        }
+        let mut bindings: BTreeMap<Sym, TypeId> = BTreeMap::new();
+        let regex = match &ct.particle {
+            None => Regex::Epsilon,
+            Some(p) => {
+                let mut stack = Vec::new();
+                self.lower_particle(p, type_name, &mut bindings, &mut stack)?
+            }
+        };
+        Ok(TypeDef {
+            content: ContentModel::new(regex)
+                .with_mixed(ct.mixed)
+                .with_attributes(attributes),
+            child_type: bindings,
+        })
+    }
+
+    fn expand_attributes(&self, ct: &ComplexType) -> Result<Vec<AttributeUse>, SyntaxError> {
+        let mut attrs = ct.attributes.clone();
+        for gref in &ct.attr_group_refs {
+            let group = self
+                .schema
+                .attribute_groups
+                .iter()
+                .find(|(n, _)| n == gref)
+                .ok_or_else(|| {
+                    SyntaxError::new(format!("unknown attribute group {gref}"))
+                })?;
+            attrs.extend(group.1.iter().cloned());
+        }
+        Ok(attrs)
+    }
+
+    fn lower_particle(
+        &mut self,
+        p: &Particle,
+        type_name: &str,
+        bindings: &mut BTreeMap<Sym, TypeId>,
+        group_stack: &mut Vec<String>,
+    ) -> Result<Regex, SyntaxError> {
+        match p {
+            Particle::Element { decl, occurs } => {
+                let t = self.resolve(&decl.type_ref, &decl.name)?;
+                let sym = self.builder.ename.intern(&decl.name);
+                if let Some(&prev) = bindings.get(&sym) {
+                    if prev != t {
+                        return Err(SyntaxError::new(format!(
+                            "EDC violation in type {type_name}: element {} used with two different types",
+                            decl.name
+                        )));
+                    }
+                } else {
+                    bindings.insert(sym, t);
+                }
+                Ok(apply_occurs(Regex::sym(sym), *occurs))
+            }
+            Particle::Sequence { items, occurs } => {
+                let parts = items
+                    .iter()
+                    .map(|i| self.lower_particle(i, type_name, bindings, group_stack))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(apply_occurs(Regex::concat(parts), *occurs))
+            }
+            Particle::Choice { items, occurs } => {
+                let parts = items
+                    .iter()
+                    .map(|i| self.lower_particle(i, type_name, bindings, group_stack))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(apply_occurs(Regex::alt(parts), *occurs))
+            }
+            Particle::All { items } => {
+                let parts = items
+                    .iter()
+                    .map(|i| self.lower_particle(i, type_name, bindings, group_stack))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Regex::interleave(parts))
+            }
+            Particle::GroupRef { name, occurs } => {
+                if group_stack.contains(name) {
+                    return Err(SyntaxError::new(format!(
+                        "cyclic group reference through {name}"
+                    )));
+                }
+                let group = self
+                    .schema
+                    .groups
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .ok_or_else(|| SyntaxError::new(format!("unknown group {name}")))?
+                    .1
+                    .clone();
+                group_stack.push(name.clone());
+                let r = self.lower_particle(&group, type_name, bindings, group_stack)?;
+                group_stack.pop();
+                Ok(apply_occurs(r, *occurs))
+            }
+        }
+    }
+}
+
+fn apply_occurs(r: Regex, occurs: Occurs) -> Regex {
+    if occurs.is_once() {
+        r
+    } else {
+        Regex::repeat(r, occurs.min, occurs.max)
+    }
+}

@@ -1,0 +1,339 @@
+//! XSD validation via typing (Definition 2's conformance).
+//!
+//! A document conforms to an XSD iff it has a *correct typing*: the root's
+//! typed name is in T0, and each node's children string (with the types
+//! induced top-down) matches the node's content model. EDC makes the
+//! correct typing unique, so validation is a single deterministic
+//! top-down pass.
+
+use std::collections::BTreeMap;
+
+use relang::CompiledDre;
+use xmltree::{Document, NodeId};
+
+use crate::model::{TypeId, Xsd};
+use crate::violation::{check_attributes, check_text, Violation, ViolationKind};
+
+/// The result of validating a document against an XSD.
+#[derive(Clone, Debug)]
+pub struct TypingResult {
+    /// All violations (empty = the document conforms).
+    pub violations: Vec<Violation>,
+    /// The (unique) typing: for each element node that received a type.
+    /// Nodes under a failed region may be missing.
+    pub typing: BTreeMap<NodeId, TypeId>,
+}
+
+impl TypingResult {
+    /// Whether the document conforms.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// An XSD with content models compiled for repeated validation.
+pub struct CompiledXsd<'a> {
+    xsd: &'a Xsd,
+    matchers: Vec<CompiledDre>,
+}
+
+impl<'a> CompiledXsd<'a> {
+    /// Compiles all content models of `xsd`.
+    pub fn new(xsd: &'a Xsd) -> Self {
+        let matchers = xsd
+            .type_ids()
+            .map(|t| CompiledDre::compile(&xsd.content(t).regex, xsd.ename.len()))
+            .collect();
+        CompiledXsd { xsd, matchers }
+    }
+
+    /// The underlying schema.
+    pub fn xsd(&self) -> &Xsd {
+        self.xsd
+    }
+
+    /// Validates `doc`, producing violations and the induced typing.
+    pub fn validate(&self, doc: &Document) -> TypingResult {
+        let xsd = self.xsd;
+        let mut violations = Vec::new();
+        let mut typing = BTreeMap::new();
+
+        let root = doc.root();
+        let root_name = doc.name(root).expect("root is an element");
+        let root_type = xsd
+            .ename
+            .lookup(root_name)
+            .and_then(|sym| xsd.start_elements().get(&sym).copied());
+        let Some(root_type) = root_type else {
+            violations.push(Violation {
+                node: root,
+                kind: ViolationKind::RootNotAllowed(root_name.to_owned()),
+            });
+            return TypingResult { violations, typing };
+        };
+
+        let mut stack: Vec<(NodeId, TypeId)> = vec![(root, root_type)];
+        while let Some((node, t)) = stack.pop() {
+            typing.insert(node, t);
+            let model = xsd.content(t);
+            let name = doc.name(node).expect("element");
+
+            check_text(doc, node, model, &mut violations);
+            check_attributes(doc, node, model, &mut violations);
+
+            // Child string over the schema alphabet; names outside the
+            // alphabet fail immediately.
+            let mut word = Vec::new();
+            let mut failed_at = None;
+            for (i, child) in doc.element_children(node).enumerate() {
+                match xsd.ename.lookup(doc.name(child).expect("element")) {
+                    Some(sym) => word.push(sym),
+                    None => {
+                        failed_at = Some(i);
+                        break;
+                    }
+                }
+            }
+            let failed_at =
+                failed_at.or_else(|| self.matchers[t.index()].first_error(&word));
+            if let Some(at) = failed_at {
+                violations.push(Violation {
+                    node,
+                    kind: ViolationKind::ContentModel {
+                        element: name.to_owned(),
+                        at,
+                    },
+                });
+                // Children up to the failure point still get types so that
+                // reporting continues below the failure where possible.
+            }
+            for (i, child) in doc.element_children(node).enumerate() {
+                if let Some(at) = failed_at {
+                    if i >= at {
+                        break;
+                    }
+                }
+                let sym = xsd
+                    .ename
+                    .lookup(doc.name(child).expect("element"))
+                    .expect("checked above");
+                if let Some(ct) = xsd.child_type(t, sym) {
+                    stack.push((child, ct));
+                }
+            }
+        }
+
+        TypingResult { violations, typing }
+    }
+}
+
+/// One-shot validation (compiles then validates).
+pub fn validate(xsd: &Xsd, doc: &Document) -> TypingResult {
+    CompiledXsd::new(xsd).validate(doc)
+}
+
+/// Whether `doc` conforms to `xsd`.
+pub fn is_valid(xsd: &Xsd, doc: &Document) -> bool {
+    validate(xsd, doc).is_valid()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::builder::elem;
+
+    use crate::content::{AttributeUse, ContentModel};
+    use crate::model::{TypeDef, XsdBuilder};
+    use crate::simple_types::SimpleType;
+    use relang::Regex;
+
+    /// document(template(section?), content(section* with title)) — the
+    /// reduced running example; template sections have no title, content
+    /// sections require one.
+    fn example() -> Xsd {
+        let mut b = XsdBuilder::new();
+        let document = b.ename.intern("document");
+        let template = b.ename.intern("template");
+        let content = b.ename.intern("content");
+        let section = b.ename.intern("section");
+        let t_doc = b.declare_type("Tdoc");
+        let t_template = b.declare_type("Ttemplate");
+        let t_content = b.declare_type("Tcontent");
+        let t_tsec = b.declare_type("TtemplateSection");
+        let t_sec = b.declare_type("Tsection");
+        b.define(
+            t_doc,
+            TypeDef {
+                content: ContentModel::new(Regex::concat(vec![
+                    Regex::sym(template),
+                    Regex::sym(content),
+                ])),
+                child_type: [(template, t_template), (content, t_content)].into(),
+            },
+        );
+        b.define(
+            t_template,
+            TypeDef {
+                content: ContentModel::new(Regex::opt(Regex::sym(section))),
+                child_type: [(section, t_tsec)].into(),
+            },
+        );
+        b.define(
+            t_content,
+            TypeDef {
+                content: ContentModel::new(Regex::star(Regex::sym(section))),
+                child_type: [(section, t_sec)].into(),
+            },
+        );
+        b.define(
+            t_tsec,
+            TypeDef {
+                content: ContentModel::new(Regex::opt(Regex::sym(section))),
+                child_type: [(section, t_tsec)].into(),
+            },
+        );
+        b.define(
+            t_sec,
+            TypeDef {
+                content: ContentModel::new(Regex::star(Regex::sym(section)))
+                    .with_mixed(true)
+                    .with_attributes([
+                        AttributeUse::required("title"),
+                        AttributeUse::optional("level").with_type(SimpleType::Integer),
+                    ]),
+                child_type: [(section, t_sec)].into(),
+            },
+        );
+        b.add_start(document, t_doc);
+        b.build().unwrap()
+    }
+
+    fn valid_doc() -> Document {
+        elem("document")
+            .child(elem("template").child(elem("section")))
+            .child(
+                elem("content")
+                    .child(
+                        elem("section")
+                            .attr("title", "Intro")
+                            .text("hello ")
+                            .child(elem("section").attr("title", "Sub").attr("level", "2")),
+                    )
+                    .child(elem("section").attr("title", "Outro")),
+            )
+            .build()
+    }
+
+    #[test]
+    fn accepts_valid_document_with_unique_typing() {
+        let x = example();
+        let r = validate(&x, &valid_doc());
+        assert!(r.is_valid(), "{:?}", r.violations);
+        // context-dependent typing: the template section and the content
+        // sections got different types
+        let names: Vec<&str> = r
+            .typing
+            .values()
+            .map(|&t| x.type_name(t))
+            .collect();
+        assert!(names.contains(&"TtemplateSection"));
+        assert!(names.contains(&"Tsection"));
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        let x = example();
+        let doc = elem("template").build();
+        let r = validate(&x, &doc);
+        assert!(matches!(
+            r.violations[0].kind,
+            ViolationKind::RootNotAllowed(_)
+        ));
+    }
+
+    #[test]
+    fn context_sensitivity_is_enforced() {
+        // a title-less section under content: missing required attribute
+        let x = example();
+        let doc = elem("document")
+            .child(elem("template"))
+            .child(elem("content").child(elem("section")))
+            .build();
+        let r = validate(&x, &doc);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::MissingAttribute(a) if a == "title")));
+        // but a title-less section under template is fine
+        let doc2 = elem("document")
+            .child(elem("template").child(elem("section")))
+            .child(elem("content"))
+            .build();
+        assert!(validate(&x, &doc2).is_valid());
+    }
+
+    #[test]
+    fn text_only_allowed_in_mixed() {
+        let x = example();
+        // text in template (not mixed)
+        let doc = elem("document")
+            .child(elem("template").text("boom"))
+            .child(elem("content"))
+            .build();
+        let r = validate(&x, &doc);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::UnexpectedText(n) if n == "template")));
+    }
+
+    #[test]
+    fn content_model_failure_position() {
+        let x = example();
+        // template with two sections: fails at child index 1
+        let doc = elem("document")
+            .child(
+                elem("template")
+                    .child(elem("section"))
+                    .child(elem("section")),
+            )
+            .child(elem("content"))
+            .build();
+        let r = validate(&x, &doc);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::ContentModel { at: 1, .. })));
+    }
+
+    #[test]
+    fn simple_type_validation() {
+        let x = example();
+        let doc = elem("document")
+            .child(elem("template"))
+            .child(
+                elem("content")
+                    .child(elem("section").attr("title", "t").attr("level", "two")),
+            )
+            .build();
+        let r = validate(&x, &doc);
+        assert!(r.violations.iter().any(|v| matches!(
+            &v.kind,
+            ViolationKind::InvalidAttributeValue { attribute, .. } if attribute == "level"
+        )));
+    }
+
+    #[test]
+    fn unknown_element_fails_content_model() {
+        let x = example();
+        let doc = elem("document")
+            .child(elem("template"))
+            .child(elem("mystery"))
+            .build();
+        let r = validate(&x, &doc);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(&v.kind, ViolationKind::ContentModel { at: 1, .. })));
+    }
+}

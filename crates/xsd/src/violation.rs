@@ -1,0 +1,186 @@
+//! Validation violations shared by the XSD validators (and reused, with
+//! rule information added, by the BonXai validator in `bonxai-core`).
+
+use xmltree::NodeId;
+
+/// A schema violation at a document node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending node.
+    pub node: NodeId,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+/// Kinds of schema violations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The root element's name is not among the allowed start elements.
+    RootNotAllowed(String),
+    /// The child string fails the content model at the given child index
+    /// (index == number of children means content is incomplete).
+    ContentModel {
+        /// Name of the element whose content failed.
+        element: String,
+        /// Index of the first offending element child.
+        at: usize,
+    },
+    /// Significant text under a non-mixed content model.
+    UnexpectedText(String),
+    /// A required attribute is missing.
+    MissingAttribute(String),
+    /// An attribute not declared by the governing content model.
+    UndeclaredAttribute(String),
+    /// An attribute value fails its simple type.
+    InvalidAttributeValue {
+        /// Attribute name.
+        attribute: String,
+        /// Offending value.
+        value: String,
+        /// Expected simple type (canonical `xs:` name).
+        expected: String,
+    },
+    /// Element text fails its simple content type.
+    InvalidTextValue {
+        /// Element name.
+        element: String,
+        /// Offending text.
+        value: String,
+        /// Expected simple type (canonical `xs:` name).
+        expected: String,
+    },
+    /// No rule/type governs this node (BonXai: no rule matches the
+    /// ancestor string; DFA-based XSD: undefined transition).
+    NoGoverningDefinition(String),
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViolationKind::RootNotAllowed(n) => {
+                write!(f, "root element <{n}> is not a declared start element")
+            }
+            ViolationKind::ContentModel { element, at } => {
+                write!(f, "content of <{element}> fails its content model at child {at}")
+            }
+            ViolationKind::UnexpectedText(n) => {
+                write!(f, "<{n}> contains text but its content model is not mixed")
+            }
+            ViolationKind::MissingAttribute(a) => {
+                write!(f, "required attribute {a:?} is missing")
+            }
+            ViolationKind::UndeclaredAttribute(a) => {
+                write!(f, "attribute {a:?} is not declared")
+            }
+            ViolationKind::InvalidAttributeValue {
+                attribute,
+                value,
+                expected,
+            } => write!(
+                f,
+                "value {value:?} of attribute {attribute:?} is not a valid {expected}"
+            ),
+            ViolationKind::InvalidTextValue {
+                element,
+                value,
+                expected,
+            } => write!(
+                f,
+                "text {value:?} of <{element}> is not a valid {expected}"
+            ),
+            ViolationKind::NoGoverningDefinition(n) => {
+                write!(f, "no declaration governs element <{n}>")
+            }
+        }
+    }
+}
+
+/// Checks an element's text against a content model's mixedness / simple
+/// content declaration, appending violations.
+/// (Shared with `bonxai-core`.)
+pub fn check_text(
+    doc: &xmltree::Document,
+    node: NodeId,
+    model: &crate::content::ContentModel,
+    out: &mut Vec<Violation>,
+) {
+    let name = doc.name(node).expect("element");
+    match model.simple_content {
+        Some(st) => {
+            let text: String = doc
+                .children(node)
+                .iter()
+                .filter_map(|&c| doc.text(c))
+                .collect();
+            let value = text.trim();
+            if !st.validates(value) || !model.simple_facets.validates(st, value) {
+                let expected = if model.simple_facets.is_empty() {
+                    st.qname().to_owned()
+                } else {
+                    format!("{} {}", st.qname(), model.simple_facets.display())
+                };
+                out.push(Violation {
+                    node,
+                    kind: ViolationKind::InvalidTextValue {
+                        element: name.to_owned(),
+                        value: text,
+                        expected,
+                    },
+                });
+            }
+        }
+        None => {
+            if !model.mixed && !model.open && doc.has_significant_text(node) {
+                out.push(Violation {
+                    node,
+                    kind: ViolationKind::UnexpectedText(name.to_owned()),
+                });
+            }
+        }
+    }
+}
+
+/// Checks an element's attributes against a content model's declarations,
+/// appending violations. Namespace declarations (`xmlns…`) are exempt.
+/// (Shared with `bonxai-core`.)
+pub fn check_attributes(
+    doc: &xmltree::Document,
+    node: NodeId,
+    model: &crate::content::ContentModel,
+    out: &mut Vec<Violation>,
+) {
+    if model.open {
+        return;
+    }
+    for attr in doc.attributes(node) {
+        if attr.name.starts_with("xmlns") {
+            continue;
+        }
+        match model.attribute(&attr.name) {
+            None => out.push(Violation {
+                node,
+                kind: ViolationKind::UndeclaredAttribute(attr.name.clone()),
+            }),
+            Some(decl) => {
+                if !decl.validates(&attr.value) {
+                    out.push(Violation {
+                        node,
+                        kind: ViolationKind::InvalidAttributeValue {
+                            attribute: attr.name.clone(),
+                            value: attr.value.clone(),
+                            expected: decl.type_display(),
+                        },
+                    });
+                }
+            }
+        }
+    }
+    for decl in &model.attributes {
+        if decl.required && doc.attribute(node, &decl.name).is_none() {
+            out.push(Violation {
+                node,
+                kind: ViolationKind::MissingAttribute(decl.name.clone()),
+            });
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's running example, end to end: the fictional markup language
+//! of Section 2 with its document (Figure 1), DTD (Figure 2), XSD
+//! (Figure 3), and the two BonXai schemas (Figures 4 and 5).
+//!
+//! Run with: `cargo run --example markup_language`
+
+use bonxai::core::pipeline;
+use bonxai::core::translate::TranslateOptions;
+use bonxai::core::{dtd_import, BonxaiSchema};
+use bonxai::xmltree::{self, dtd};
+
+fn data(name: &str) -> String {
+    std::fs::read_to_string(format!("{}/data/{name}", env!("CARGO_MANIFEST_DIR")))
+        .unwrap_or_else(|e| panic!("missing data file {name}: {e}"))
+}
+
+fn main() {
+    let doc = xmltree::parse_document(&data("figure1_document.xml")).expect("figure 1");
+    let fig2 = dtd::parse_dtd(&data("figure2.dtd")).expect("figure 2");
+    let fig3 = bonxai::xsd::parse_xsd(&data("figure3.xsd")).expect("figure 3");
+    let fig4 = BonxaiSchema::parse(&data("figure4.bonxai")).expect("figure 4");
+    let fig5 = BonxaiSchema::parse(&data("figure5.bonxai")).expect("figure 5");
+
+    println!("=== the example document validates under all four schemas ===");
+    println!("  DTD  (Fig. 2): {}", dtd::is_valid(&fig2, &doc));
+    println!("  XSD  (Fig. 3): {}", bonxai::xsd::is_valid(&fig3, &doc));
+    println!("  BonXai (Fig. 4, DTD-equivalent): {}", fig4.is_valid(&doc));
+    println!("  BonXai (Fig. 5, XSD-equivalent): {}", fig5.is_valid(&doc));
+
+    // The expressiveness gap: a title-less section below content.
+    let mut bad = doc.clone();
+    let content = bad
+        .elements()
+        .into_iter()
+        .find(|&n| bad.name(n) == Some("content"))
+        .expect("content");
+    bad.add_element(content, "section");
+    println!("\n=== a title-less content section shows the DTD/XSD gap ===");
+    println!("  DTD accepts:    {}", dtd::is_valid(&fig2, &bad));
+    println!("  XSD accepts:    {}", bonxai::xsd::is_valid(&fig3, &bad));
+    println!("  Fig. 4 accepts: {}", fig4.is_valid(&bad));
+    println!("  Fig. 5 accepts: {}", fig5.is_valid(&bad));
+
+    // DTD → BonXai: Figure 2 converts into a Figure-4-like schema.
+    let converted = dtd_import::dtd_to_bonxai(&fig2, &["document"]).expect("converts");
+    println!("\n=== Figure 2's DTD converted to BonXai ===");
+    println!("{}", converted.to_source());
+
+    // XSD → BonXai: Figure 3 converts into a Figure-5-like schema.
+    let opts = TranslateOptions::default();
+    let (lifted, path) = pipeline::xsd_to_bonxai(&fig3, &opts);
+    println!("=== Figure 3's XSD translated to BonXai (path: {path:?}) ===");
+    println!("{}", lifted.to_source());
+
+    // BonXai → XSD: Figure 5 compiles to an XSD.
+    let (xsd, path) = pipeline::bonxai_to_xsd(&fig5, &opts);
+    println!(
+        "=== Figure 5 compiled to an XSD ({} types, path: {path:?}) ===",
+        xsd.n_types()
+    );
+    println!(
+        "{}",
+        bonxai::xsd::emit_xsd(&xsd, Some("http://mydomain.org/namespace")).expect("emits")
+    );
+}

@@ -1,0 +1,108 @@
+//! Schema evolution with priorities — the use case of Section 3.2.
+//!
+//! The running example lets sections nest arbitrarily deep. Suppose the
+//! schema must change so that the nesting depth below content is at most
+//! three. In BonXai this is **one appended rule** (special cases later,
+//! general rules first); in XML Schema the same change needs a chain of
+//! new complex types, one per allowed depth.
+//!
+//! Run with: `cargo run --example schema_evolution`
+
+use bonxai::core::pipeline;
+use bonxai::core::translate::TranslateOptions;
+use bonxai::core::BonxaiSchema;
+use bonxai::xmltree::{self, builder::elem};
+
+const BASE: &str = r#"
+global { document }
+grammar {
+  document = { element template, element content }
+  template = { (element section)? }
+  content  = { (element section)* }
+  content//section = mixed { attribute title, (element section)* }
+  template//section = { (element section)? }
+  @title = { type xs:string }
+}
+"#;
+
+/// The evolved schema: the paper's extra rule, appended verbatim —
+/// subsubsections have a title and text but no section children.
+const EVOLVED_EXTRA_RULE: &str =
+    "  content/section/section/section = mixed { attribute title }\n";
+
+fn main() {
+    let base = BonxaiSchema::parse(BASE).expect("base schema parses");
+    let evolved_src = {
+        // append the new rule as the last rule of the grammar block
+        let idx = BASE.rfind('}').expect("grammar block");
+        let (head, tail) = BASE.split_at(idx);
+        format!("{head}{EVOLVED_EXTRA_RULE}{tail}")
+    };
+    let evolved = BonxaiSchema::parse(&evolved_src).expect("evolved schema parses");
+
+    println!("=== the evolution: one appended BonXai rule ===");
+    println!("{}", EVOLVED_EXTRA_RULE.trim());
+
+    // Depth-4 nesting: accepted before, rejected after.
+    let deep = elem("document")
+        .child(elem("template"))
+        .child(
+            elem("content").child(
+                elem("section").attr("title", "1").child(
+                    elem("section").attr("title", "2").child(
+                        elem("section")
+                            .attr("title", "3")
+                            .child(elem("section").attr("title", "4")),
+                    ),
+                ),
+            ),
+        )
+        .build();
+    let depth3 = elem("document")
+        .child(elem("template"))
+        .child(
+            elem("content").child(
+                elem("section").attr("title", "1").child(
+                    elem("section")
+                        .attr("title", "2")
+                        .child(elem("section").attr("title", "3").text("leaf text")),
+                ),
+            ),
+        )
+        .build();
+
+    println!("\ndepth-3 document: base={} evolved={}", base.is_valid(&depth3), evolved.is_valid(&depth3));
+    println!("depth-4 document: base={} evolved={}", base.is_valid(&deep), evolved.is_valid(&deep));
+    assert!(base.is_valid(&deep) && !evolved.is_valid(&deep));
+    assert!(base.is_valid(&depth3) && evolved.is_valid(&depth3));
+
+    // Now compare the cost on the XSD side.
+    let opts = TranslateOptions::default();
+    let (xsd_base, _) = pipeline::bonxai_to_xsd(&base, &opts);
+    let (xsd_evolved, _) = pipeline::bonxai_to_xsd(&evolved, &opts);
+    println!("\n=== edit-size comparison ===");
+    println!(
+        "BonXai: {} rules → {} rules (one rule appended, {} chars)",
+        base.bxsd.n_rules(),
+        evolved.bxsd.n_rules(),
+        EVOLVED_EXTRA_RULE.trim().len()
+    );
+    println!(
+        "XSD:    {} types → {} types (the section chain is unrolled per depth)",
+        xsd_base.n_types(),
+        xsd_evolved.n_types()
+    );
+    println!("\nevolved XSD:");
+    println!("{}", bonxai::xsd::emit_xsd(&xsd_evolved, None).expect("emits"));
+
+    // Both sides still agree, of course.
+    for doc in [&deep, &depth3] {
+        assert_eq!(
+            evolved.is_valid(doc),
+            bonxai::xsd::is_valid(&xsd_evolved, doc),
+            "{}",
+            xmltree::to_string(doc)
+        );
+    }
+    println!("translated XSDs agree with the BonXai schemas on both documents ✓");
+}

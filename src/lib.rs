@@ -1,0 +1,49 @@
+//! # bonxai — a Rust implementation of the BonXai schema language
+//!
+//! This facade crate re-exports the whole workspace of the PODS 2015
+//! reproduction (*BonXai: Combining the simplicity of DTD with the
+//! expressiveness of XML Schema*, Martens, Neven, Niewerth, Schwentick):
+//!
+//! * [`relang`] — regular-language substrate (regexes, UPA, automata);
+//! * [`xmltree`] — XML documents, parser, serializer, DTDs;
+//! * [`xsd`] — core XML Schema (EDC/UPA), DFA-based XSDs, XML syntax;
+//! * [`core`] (`bonxai-core`) — the BonXai language: formal BXSD model,
+//!   practical compact syntax, validation, and the four translation
+//!   algorithms with their k-suffix fast paths;
+//! * [`gen`] (`bonxai-gen`) — workload generators and the Theorem 8/9
+//!   worst-case families.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bonxai::core::BonxaiSchema;
+//!
+//! let schema = BonxaiSchema::parse(r#"
+//!     global { note }
+//!     grammar {
+//!       note = { element to, element body }
+//!       to   = { type xs:string }
+//!       body = mixed { }
+//!     }
+//! "#).unwrap();
+//!
+//! let doc = bonxai::xmltree::parse_document(
+//!     "<note><to>Ada</to><body>See you at PODS!</body></note>").unwrap();
+//! assert!(schema.is_valid(&doc));
+//!
+//! // BonXai is a front-end for XML Schema: compile it.
+//! let opts = bonxai::core::translate::TranslateOptions::default();
+//! let (xsd, _path) = bonxai::core::pipeline::bonxai_to_xsd(&schema, &opts);
+//! assert!(bonxai::xsd::is_valid(&xsd, &doc));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use bonxai_core as core;
+pub use bonxai_gen as gen;
+pub use relang;
+pub use xmltree;
+pub use xsd;
+
+pub use bonxai_core::{BonxaiSchema, Bxsd};

@@ -1,0 +1,262 @@
+//! Experiment E1/E2: the paper's figures, machine-checked.
+//!
+//! Figure 1 (the example document) must validate against Figure 2 (the
+//! DTD), Figure 3 (the XSD), Figure 4 (the DTD-equivalent BonXai schema),
+//! and Figure 5 (the XSD-equivalent BonXai schema); translations between
+//! them must preserve the verdicts on positive and negative documents.
+
+use bonxai::core::pipeline;
+use bonxai::core::translate::TranslateOptions;
+use bonxai::core::{dtd_import, BonxaiSchema};
+use bonxai::xmltree::{self, dtd, Document};
+
+fn data(name: &str) -> String {
+    std::fs::read_to_string(format!("{}/data/{name}", env!("CARGO_MANIFEST_DIR")))
+        .unwrap_or_else(|e| panic!("missing data file {name}: {e}"))
+}
+
+fn figure1() -> Document {
+    xmltree::parse_document(&data("figure1_document.xml")).expect("figure 1 parses")
+}
+
+fn figure2_dtd() -> dtd::Dtd {
+    dtd::parse_dtd(&data("figure2.dtd")).expect("figure 2 parses")
+}
+
+fn figure3_xsd() -> bonxai::xsd::Xsd {
+    bonxai::xsd::parse_xsd(&data("figure3.xsd")).expect("figure 3 parses")
+}
+
+fn figure4() -> BonxaiSchema {
+    BonxaiSchema::parse(&data("figure4.bonxai")).expect("figure 4 parses")
+}
+
+fn figure5() -> BonxaiSchema {
+    BonxaiSchema::parse(&data("figure5.bonxai")).expect("figure 5 parses")
+}
+
+/// Negative variants of the example document, each exercising a
+/// context-sensitive distinction (valid under the DTD, invalid under the
+/// XSD/Figure-5 schema) or a plain structural error (invalid everywhere).
+fn title_less_content_section() -> Document {
+    // content sections require a title in Fig. 3/5 but not in the DTD
+    let mut doc = figure1();
+    let content = doc
+        .elements()
+        .into_iter()
+        .find(|&n| doc.name(n) == Some("content"))
+        .expect("content exists");
+    doc.add_element(content, "section");
+    doc
+}
+
+fn text_in_template_section() -> Document {
+    // template sections must not contain text per Fig. 3/5; the DTD's
+    // single section rule allows text everywhere
+    let mut doc = figure1();
+    let template = doc
+        .elements()
+        .into_iter()
+        .find(|&n| doc.name(n) == Some("template"))
+        .expect("template exists");
+    let section = doc.element_children(template).next().expect("section");
+    doc.add_text(section, "no text allowed here");
+    doc
+}
+
+fn wrong_top_level_order() -> Document {
+    // invalid everywhere: userstyles before template
+    xmltree::parse_document(
+        "<document><userstyles/><template><section/></template><content/></document>",
+    )
+    .expect("parses")
+}
+
+#[test]
+fn figure1_is_valid_under_all_four_schemas() {
+    let doc = figure1();
+    assert!(
+        dtd::is_valid(&figure2_dtd(), &doc),
+        "{:?}",
+        dtd::validate(&figure2_dtd(), &doc)
+    );
+    let f4 = figure4();
+    let r = f4.validate(&doc);
+    assert!(r.is_valid(), "{:?}", r.structure.violations);
+    let f5 = figure5();
+    let r = f5.validate(&doc);
+    assert!(r.is_valid(), "{:?}", r.structure.violations);
+    let x = figure3_xsd();
+    let r = bonxai::xsd::validate(&x, &doc);
+    assert!(r.is_valid(), "{:?}", r.violations);
+}
+
+#[test]
+fn dtd_and_figure4_agree() {
+    let dtd = figure2_dtd();
+    let f4 = figure4();
+    for doc in [
+        figure1(),
+        title_less_content_section(),
+        text_in_template_section(),
+        wrong_top_level_order(),
+    ] {
+        assert_eq!(
+            dtd::is_valid(&dtd, &doc),
+            f4.is_valid(&doc),
+            "disagreement on {}",
+            xmltree::to_string(&doc).chars().take(120).collect::<String>()
+        );
+    }
+}
+
+#[test]
+fn xsd_and_figure5_agree() {
+    let x = figure3_xsd();
+    let f5 = figure5();
+    for doc in [
+        figure1(),
+        title_less_content_section(),
+        text_in_template_section(),
+        wrong_top_level_order(),
+    ] {
+        assert_eq!(
+            bonxai::xsd::is_valid(&x, &doc),
+            f5.is_valid(&doc),
+            "disagreement on {}",
+            xmltree::to_string(&doc).chars().take(120).collect::<String>()
+        );
+    }
+}
+
+#[test]
+fn figure5_exceeds_dtd_expressiveness() {
+    // The context-sensitive cases: valid for the DTD (and Figure 4),
+    // invalid for the XSD (and Figure 5).
+    let dtd = figure2_dtd();
+    let f5 = figure5();
+    for doc in [title_less_content_section(), text_in_template_section()] {
+        assert!(dtd::is_valid(&dtd, &doc));
+        assert!(!f5.is_valid(&doc));
+    }
+}
+
+#[test]
+fn dtd_conversion_reproduces_figure4_semantics() {
+    let dtd = figure2_dtd();
+    let converted = dtd_import::dtd_to_bonxai(&dtd, &["document"]).expect("conversion works");
+    for doc in [
+        figure1(),
+        title_less_content_section(),
+        text_in_template_section(),
+        wrong_top_level_order(),
+    ] {
+        assert_eq!(dtd::is_valid(&dtd, &doc), converted.is_valid(&doc));
+    }
+}
+
+#[test]
+fn figure5_translates_to_xsd_and_back() {
+    let f5 = figure5();
+    let opts = TranslateOptions::default();
+    let (xsd, _) = pipeline::bonxai_to_xsd(&f5, &opts);
+    let (back, _) = pipeline::xsd_to_bonxai(&xsd, &opts);
+    for doc in [
+        figure1(),
+        title_less_content_section(),
+        text_in_template_section(),
+        wrong_top_level_order(),
+    ] {
+        let expected = f5.is_valid(&doc);
+        assert_eq!(bonxai::xsd::is_valid(&xsd, &doc), expected);
+        assert_eq!(back.is_valid(&doc), expected);
+    }
+}
+
+#[test]
+fn figure3_translates_to_bonxai() {
+    let x = figure3_xsd();
+    let opts = TranslateOptions::default();
+    let (bonxai_schema, _path) = pipeline::xsd_to_bonxai(&x, &opts);
+    // the produced schema prints and re-parses
+    let source = bonxai_schema.to_source();
+    let reparsed = BonxaiSchema::parse(&source).expect("lifted schema parses");
+    for doc in [
+        figure1(),
+        title_less_content_section(),
+        text_in_template_section(),
+        wrong_top_level_order(),
+    ] {
+        let expected = bonxai::xsd::is_valid(&x, &doc);
+        assert_eq!(bonxai_schema.is_valid(&doc), expected);
+        assert_eq!(reparsed.is_valid(&doc), expected);
+    }
+}
+
+#[test]
+fn figure3_roundtrips_through_xsd_syntax() {
+    let x = figure3_xsd();
+    let emitted = bonxai::xsd::emit_xsd(&x, Some("http://mydomain.org/namespace")).unwrap();
+    let back = bonxai::xsd::parse_xsd(&emitted).unwrap();
+    for doc in [figure1(), title_less_content_section(), wrong_top_level_order()] {
+        assert_eq!(bonxai::xsd::is_valid(&x, &doc), bonxai::xsd::is_valid(&back, &doc));
+    }
+}
+
+#[test]
+fn figure3_and_figure5_are_formally_equivalent() {
+    // The paper presents Figure 5 as "equivalent to the (full version of
+    // the) XSD of Figure 3" — decide it, don't just sample it.
+    let x = figure3_xsd();
+    let f5 = figure5();
+    let left = bonxai::core::translate::xsd_to_dfa_xsd(&x);
+    let right = bonxai::core::translate::bxsd_to_dfa_xsd(&f5.bxsd);
+    assert_eq!(
+        bonxai::xsd::check_schemas_equivalent(&left, &right),
+        Ok(()),
+        "Figure 3 and Figure 5 must accept the same documents"
+    );
+}
+
+#[test]
+fn figure4_and_figure5_are_formally_inequivalent() {
+    let f4 = figure4();
+    let f5 = figure5();
+    let left = bonxai::core::translate::bxsd_to_dfa_xsd(&f4.bxsd);
+    let right = bonxai::core::translate::bxsd_to_dfa_xsd(&f5.bxsd);
+    let divergence = bonxai::xsd::check_schemas_equivalent(&left, &right)
+        .expect_err("the DTD-level and XSD-level schemas differ");
+    // The divergence is somewhere below the root — a context-sensitive
+    // distinction (e.g. template sections vs content sections).
+    assert!(divergence.path.len() >= 2, "{divergence}");
+}
+
+#[test]
+fn figure2_dtd_conversion_equivalent_to_figure4() {
+    // The paper calls Figure 4 "equivalent to the DTD in Figure 2" at the
+    // structural level — Figure 4 additionally types @size as xs:integer,
+    // which the DTD's CDATA cannot express. So: structurally equivalent
+    // (datatypes erased), and any full-comparison divergence must be an
+    // attribute-type difference.
+    let dtd = figure2_dtd();
+    let converted = dtd_import::dtd_to_bonxai(&dtd, &["document"]).expect("converts");
+    let f4 = figure4();
+    let left = bonxai::core::translate::bxsd_to_dfa_xsd(&converted.bxsd);
+    let right = bonxai::core::translate::bxsd_to_dfa_xsd(&f4.bxsd);
+    assert_eq!(
+        bonxai::xsd::check_schemas_equivalent(
+            &bonxai::xsd::erase_datatypes(&left),
+            &bonxai::xsd::erase_datatypes(&right)
+        ),
+        Ok(()),
+        "Figure 2's conversion and Figure 4 must be structurally equivalent"
+    );
+    match bonxai::xsd::check_schemas_equivalent(&left, &right) {
+        Ok(()) => {}
+        Err(d) => assert_eq!(
+            d.reason,
+            bonxai::xsd::DivergenceReason::Attributes,
+            "only attribute datatypes may differ: {d}"
+        ),
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the practical BonXai language: schemas are
+//! generated as surface ASTs, printed, re-parsed, and re-lowered — the
+//! two lowered schemas must agree on validation verdicts.
+
+use proptest::prelude::*;
+
+use bonxai::core::lang::{
+    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody,
+    SchemaAst,
+};
+use bonxai::core::BonxaiSchema;
+use bonxai::xsd::SimpleType;
+
+const NAMES: &[&str] = &["alpha", "beta", "gamma", "delta"];
+
+fn name() -> impl Strategy<Value = String> {
+    proptest::sample::select(NAMES).prop_map(str::to_owned)
+}
+
+fn path_expr() -> impl Strategy<Value = PathExpr> {
+    let leaf = prop_oneof![
+        3 => name().prop_map(PathExpr::Name),
+        1 => Just(PathExpr::AnyChain),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(normalize_seq),
+            prop::collection::vec(name().prop_map(PathExpr::Name), 2..4)
+                .prop_map(PathExpr::Alt),
+            inner.prop_map(|p| PathExpr::Star(Box::new(p))),
+        ]
+    })
+}
+
+/// Seqs with adjacent AnyChains collapse on reparse (`////` is not
+/// writable), so the generator merges them.
+fn normalize_seq(items: Vec<PathExpr>) -> PathExpr {
+    let mut out: Vec<PathExpr> = Vec::new();
+    for item in items {
+        if matches!(item, PathExpr::AnyChain)
+            && matches!(out.last(), Some(PathExpr::AnyChain))
+        {
+            continue;
+        }
+        out.push(item);
+    }
+    if out.len() == 1 {
+        out.pop().expect("len checked")
+    } else {
+        PathExpr::Seq(out)
+    }
+}
+
+fn particle() -> impl Strategy<Value = Particle> {
+    let leaf = name().prop_map(Particle::Element);
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Particle::Seq),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Particle::Alt),
+            inner.clone().prop_map(|p| Particle::Star(Box::new(p))),
+            inner.prop_map(|p| Particle::Opt(Box::new(p))),
+        ]
+    })
+}
+
+fn rule() -> impl Strategy<Value = RuleAst> {
+    let body = prop_oneof![
+        4 => (
+            proptest::option::of(particle()),
+            prop::collection::vec(
+                (name(), any::<bool>()).prop_map(|(n, optional)| AttributeItem {
+                    name: n,
+                    optional,
+                }),
+                0..2
+            ),
+            any::<bool>(),
+        )
+            .prop_map(|(particle, mut attributes, mixed)| {
+                attributes.sort_by(|a, b| a.name.cmp(&b.name));
+                attributes.dedup_by(|a, b| a.name == b.name);
+                RuleBody::Complex(ChildPattern {
+                    open: false,
+                    mixed,
+                    attributes,
+                    attribute_group_refs: Vec::new(),
+                    particle,
+                })
+            }),
+        1 => Just(RuleBody::Complex(ChildPattern {
+            open: true,
+            ..ChildPattern::default()
+        })),
+        1 => proptest::sample::select(&[
+            SimpleType::String,
+            SimpleType::Integer,
+            SimpleType::Decimal,
+        ][..])
+        .prop_map(|st| RuleBody::Simple(st, Default::default())),
+    ];
+    (path_expr(), body).prop_map(|(path, body)| {
+        // ancestor paths must be able to match something: ensure the path
+        // can match nonempty strings by prefixing AnyChain
+        let path = normalize_seq(vec![PathExpr::AnyChain, path]);
+        RuleAst {
+            pattern: AncestorPattern {
+                path,
+                attributes: Vec::new(),
+                source: String::new(),
+            },
+            body,
+        }
+    })
+}
+
+fn schema_ast() -> impl Strategy<Value = SchemaAst> {
+    prop::collection::vec(rule(), 1..6).prop_map(|rules| SchemaAst {
+        globals: vec![NAMES[0].to_owned()],
+        rules,
+        ..SchemaAst::default()
+    })
+}
+
+/// A small fixed document pool over the same names.
+fn docs() -> Vec<bonxai::xmltree::Document> {
+    use bonxai::xmltree::builder::elem;
+    vec![
+        elem("alpha").build(),
+        elem("alpha").child(elem("beta")).build(),
+        elem("alpha")
+            .child(elem("beta").child(elem("gamma")))
+            .child(elem("delta").text("42"))
+            .build(),
+        elem("alpha")
+            .child(elem("alpha").child(elem("alpha")))
+            .build(),
+        elem("alpha")
+            .child(elem("gamma").attr("x", "1"))
+            .child(elem("gamma").text("7"))
+            .build(),
+        elem("beta").build(), // wrong root
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lowering_never_panics(ast in schema_ast()) {
+        // UPA violations are legitimate rejections; panics are not.
+        let _ = BonxaiSchema::from_ast(ast);
+    }
+
+    #[test]
+    fn print_parse_lower_agrees(ast in schema_ast()) {
+        let Ok(schema) = BonxaiSchema::from_ast(ast) else {
+            return Ok(()); // generated content model violated UPA
+        };
+        let printed = schema.to_source();
+        let reparsed = BonxaiSchema::parse(&printed)
+            .unwrap_or_else(|e| panic!("printed schema must parse: {e}\n{printed}"));
+        for doc in docs() {
+            prop_assert_eq!(
+                schema.is_valid(&doc),
+                reparsed.is_valid(&doc),
+                "doc {} under\n{}",
+                bonxai::xmltree::to_string(&doc),
+                printed
+            );
+        }
+    }
+
+    #[test]
+    fn lift_of_lowered_schema_agrees(ast in schema_ast()) {
+        let Ok(schema) = BonxaiSchema::from_ast(ast) else {
+            return Ok(());
+        };
+        let lifted = BonxaiSchema::from_bxsd(schema.bxsd.clone());
+        let printed = lifted.to_source();
+        let reparsed = BonxaiSchema::parse(&printed)
+            .unwrap_or_else(|e| panic!("lifted schema must parse: {e}\n{printed}"));
+        for doc in docs() {
+            prop_assert_eq!(
+                schema.is_valid(&doc),
+                reparsed.is_valid(&doc),
+                "doc {} under\n{}",
+                bonxai::xmltree::to_string(&doc),
+                printed
+            );
+        }
+    }
+}

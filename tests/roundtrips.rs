@@ -1,0 +1,208 @@
+//! Cross-formalism round-trip tests (Lemmas 4–7 and Theorems 12/13 as
+//! executable properties): random schemas are pushed through every
+//! translation path and the resulting schemas must agree with the
+//! original on sampled conforming documents and mutated near-misses.
+
+use bonxai::core::translate::{
+    bxsd_to_dfa_xsd, bxsd_to_dfa_xsd_strict, dfa_xsd_to_bxsd, dfa_xsd_to_xsd,
+    k_suffix_dfa_to_bxsd, suffix_bxsd_to_dfa_xsd, xsd_to_dfa_xsd,
+};
+use bonxai::core::validate::is_valid as bxsd_valid;
+use bonxai::core::Bxsd;
+use bonxai::gen::{
+    mutate_document, random_suffix_bxsd, sample_document, DocConfig, SchemaConfig,
+};
+use bonxai::xmltree::Document;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_cfg() -> SchemaConfig {
+    SchemaConfig {
+        n_names: 6,
+        n_rules: 7,
+        k: 2,
+        max_content_names: 4,
+        ..SchemaConfig::default()
+    }
+}
+
+/// Sampled documents (half mutated) for a schema.
+fn docs_for(bxsd: &Bxsd, rng: &mut StdRng, n: usize) -> Vec<Document> {
+    let schema = bxsd_to_dfa_xsd(bxsd);
+    let mut out = Vec::new();
+    for i in 0..n {
+        if let Some(doc) = sample_document(&schema, &DocConfig::default(), rng) {
+            if i % 2 == 0 {
+                out.push(doc);
+            } else {
+                out.push(mutate_document(&doc, rng));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn algorithm3_lazy_agrees_with_strict() {
+    for seed in 0..8 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = random_suffix_bxsd(&small_cfg(), &mut rng);
+        let lazy = bxsd_to_dfa_xsd(&b);
+        let strict = bxsd_to_dfa_xsd_strict(&b);
+        assert!(lazy.n_states() <= strict.n_states());
+        for doc in docs_for(&b, &mut rng, 6) {
+            assert_eq!(
+                lazy.is_valid(&doc),
+                strict.is_valid(&doc),
+                "seed {seed}: {}",
+                bonxai::xmltree::to_string(&doc)
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem12_fast_path_agrees_with_algorithm3() {
+    for seed in 0..12 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let b = random_suffix_bxsd(&small_cfg(), &mut rng);
+        let fast = suffix_bxsd_to_dfa_xsd(&b).expect("suffix-based");
+        let slow = bxsd_to_dfa_xsd(&b);
+        for doc in docs_for(&b, &mut rng, 8) {
+            let expected = bxsd_valid(&b, &doc);
+            assert_eq!(fast.is_valid(&doc), expected, "seed {seed} (fast)");
+            assert_eq!(slow.is_valid(&doc), expected, "seed {seed} (slow)");
+        }
+    }
+}
+
+#[test]
+fn full_bxsd_xsd_bxsd_cycle_preserves_language() {
+    for seed in 0..10 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let b = random_suffix_bxsd(&small_cfg(), &mut rng);
+        // BXSD -> DFA-based XSD -> XSD -> DFA-based XSD -> BXSD
+        let d1 = suffix_bxsd_to_dfa_xsd(&b).expect("suffix-based");
+        let x = dfa_xsd_to_xsd(&d1);
+        let d2 = xsd_to_dfa_xsd(&x);
+        let back = dfa_xsd_to_bxsd(&d2);
+        for doc in docs_for(&b, &mut rng, 8) {
+            let expected = bxsd_valid(&b, &doc);
+            assert_eq!(bonxai::xsd::is_valid(&x, &doc), expected, "seed {seed} (xsd)");
+            assert_eq!(d2.is_valid(&doc), expected, "seed {seed} (dfa)");
+            assert_eq!(bxsd_valid(&back, &doc), expected, "seed {seed} (back)");
+        }
+    }
+}
+
+#[test]
+fn theorem13_reverse_agrees_when_k_suffix() {
+    for seed in 0..10 {
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
+        let b = random_suffix_bxsd(&small_cfg(), &mut rng);
+        let d = suffix_bxsd_to_dfa_xsd(&b).expect("suffix-based");
+        // the AC construction yields a k-suffix schema for suffix-only
+        // rule sets; k = 2 here (plus depth effects from exact rules are
+        // absent because the generator only emits // rules)
+        let back = k_suffix_dfa_to_bxsd(&d, 2, 1_000_000).expect("2-suffix");
+        for doc in docs_for(&b, &mut rng, 8) {
+            assert_eq!(
+                bxsd_valid(&b, &doc),
+                bxsd_valid(&back, &doc),
+                "seed {seed}: {}",
+                bonxai::xmltree::to_string(&doc)
+            );
+        }
+    }
+}
+
+#[test]
+fn surface_syntax_roundtrip_on_random_schemas() {
+    for seed in 0..10 {
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let b = random_suffix_bxsd(&small_cfg(), &mut rng);
+        let back = bonxai::core::pipeline::bxsd_surface_roundtrip(&b)
+            .expect("printed schema reparses");
+        for doc in docs_for(&b, &mut rng, 6) {
+            assert_eq!(
+                bxsd_valid(&b, &doc),
+                bxsd_valid(&back, &doc),
+                "seed {seed}: schema\n{}",
+                b.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn minimization_preserves_language() {
+    for seed in 0..8 {
+        let mut rng = StdRng::seed_from_u64(5000 + seed);
+        let b = random_suffix_bxsd(&small_cfg(), &mut rng);
+        let x = dfa_xsd_to_xsd(&suffix_bxsd_to_dfa_xsd(&b).expect("suffix-based"));
+        let m = bonxai::xsd::minimize_types(&x);
+        assert!(m.n_types() <= x.n_types());
+        for doc in docs_for(&b, &mut rng, 6) {
+            assert_eq!(
+                bonxai::xsd::is_valid(&x, &doc),
+                bonxai::xsd::is_valid(&m, &doc),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn xsd_xml_syntax_roundtrip_on_random_schemas() {
+    for seed in 0..8 {
+        let mut rng = StdRng::seed_from_u64(6000 + seed);
+        let b = random_suffix_bxsd(&small_cfg(), &mut rng);
+        let x = dfa_xsd_to_xsd(&suffix_bxsd_to_dfa_xsd(&b).expect("suffix-based"));
+        let text = bonxai::xsd::emit_xsd(&x, None).expect("emits");
+        let back = bonxai::xsd::parse_xsd(&text).expect("reparses");
+        for doc in docs_for(&b, &mut rng, 6) {
+            assert_eq!(
+                bonxai::xsd::is_valid(&x, &doc),
+                bonxai::xsd::is_valid(&back, &doc),
+                "seed {seed}:\n{text}"
+            );
+        }
+    }
+}
+
+#[test]
+fn roundtrip_equivalence_is_decided_formally() {
+    // Beyond document sampling: *decide* that BonXai → XSD → BonXai
+    // preserves the conformance set, using the schema equivalence checker.
+    for seed in 0..10 {
+        let mut rng = StdRng::seed_from_u64(8000 + seed);
+        let b = random_suffix_bxsd(&small_cfg(), &mut rng);
+        let original = bxsd_to_dfa_xsd(&b);
+
+        let x = dfa_xsd_to_xsd(&suffix_bxsd_to_dfa_xsd(&b).expect("suffix-based"));
+        let minimized = bonxai::xsd::minimize_types(&x);
+        let back = bxsd_to_dfa_xsd(&dfa_xsd_to_bxsd(&xsd_to_dfa_xsd(&minimized)));
+
+        assert_eq!(
+            bonxai::xsd::check_schemas_equivalent(&original, &back),
+            Ok(()),
+            "seed {seed}: round trip changed the language of\n{}",
+            b.display()
+        );
+    }
+}
+
+#[test]
+fn minimization_equivalence_is_decided_formally() {
+    for seed in 0..10 {
+        let mut rng = StdRng::seed_from_u64(9000 + seed);
+        let b = random_suffix_bxsd(&small_cfg(), &mut rng);
+        let x = dfa_xsd_to_xsd(&suffix_bxsd_to_dfa_xsd(&b).expect("suffix-based"));
+        let m = bonxai::xsd::minimize_types(&x);
+        assert_eq!(
+            bonxai::xsd::check_schemas_equivalent(&xsd_to_dfa_xsd(&x), &xsd_to_dfa_xsd(&m)),
+            Ok(()),
+            "seed {seed}: minimization changed the language"
+        );
+    }
+}

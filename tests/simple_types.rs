@@ -1,0 +1,155 @@
+//! The native simple-type extension (the paper's Section 5 "most
+//! desirable extension"): restriction facets in BonXai syntax, enforced
+//! by validation and round-tripped through XML Schema.
+
+use bonxai::core::pipeline;
+use bonxai::core::translate::TranslateOptions;
+use bonxai::core::BonxaiSchema;
+use bonxai::xmltree::parse_document;
+
+const SCHEMA: &str = r#"
+    global { order }
+    grammar {
+      order  = { attribute id, element qty, element status }
+      qty    = { type xs:integer { min "1", max "100" } }
+      status = { type xs:string { enum "open", enum "shipped", enum "closed" } }
+      @id    = { type xs:NMTOKEN { minLength "3", maxLength "8" } }
+    }
+"#;
+
+fn doc(id: &str, qty: &str, status: &str) -> bonxai::xmltree::Document {
+    parse_document(&format!(
+        r#"<order id="{id}"><qty>{qty}</qty><status>{status}</status></order>"#
+    ))
+    .expect("parses")
+}
+
+#[test]
+fn facets_are_enforced_by_validation() {
+    let schema = BonxaiSchema::parse(SCHEMA).expect("schema parses");
+    assert!(schema.is_valid(&doc("ord-1", "42", "open")));
+    // qty out of range
+    assert!(!schema.is_valid(&doc("ord-1", "0", "open")));
+    assert!(!schema.is_valid(&doc("ord-1", "101", "open")));
+    // qty not an integer at all
+    assert!(!schema.is_valid(&doc("ord-1", "many", "open")));
+    // status outside the enumeration
+    assert!(!schema.is_valid(&doc("ord-1", "42", "lost")));
+    // id too short / too long
+    assert!(!schema.is_valid(&doc("o1", "42", "open")));
+    assert!(!schema.is_valid(&doc("order-00001", "42", "open")));
+}
+
+#[test]
+fn facets_survive_the_xsd_round_trip() {
+    let schema = BonxaiSchema::parse(SCHEMA).expect("schema parses");
+    let opts = TranslateOptions::default();
+    let (xsd, _) = pipeline::bonxai_to_xsd(&schema, &opts);
+    let emitted = bonxai::xsd::emit_xsd(&xsd, None).expect("emits");
+    assert!(emitted.contains("xs:restriction"), "{emitted}");
+    assert!(emitted.contains("xs:minInclusive"), "{emitted}");
+    assert!(emitted.contains("xs:enumeration"), "{emitted}");
+
+    let back_xsd = bonxai::xsd::parse_xsd(&emitted).expect("reparses");
+    let (back, _) = pipeline::xsd_to_bonxai(&back_xsd, &opts);
+    let back_src = back.to_source();
+    let back_schema = BonxaiSchema::parse(&back_src).expect("lifted schema parses");
+
+    for (d, expected) in [
+        (doc("ord-1", "42", "open"), true),
+        (doc("ord-1", "0", "open"), false),
+        (doc("ord-1", "42", "lost"), false),
+        (doc("x", "42", "open"), false),
+    ] {
+        assert_eq!(bonxai::xsd::is_valid(&xsd, &d), expected);
+        assert_eq!(bonxai::xsd::is_valid(&back_xsd, &d), expected);
+        assert_eq!(
+            back_schema.is_valid(&d),
+            expected,
+            "lifted schema:\n{back_src}"
+        );
+    }
+}
+
+#[test]
+fn facets_print_and_reparse() {
+    let schema = BonxaiSchema::parse(SCHEMA).expect("schema parses");
+    let printed = schema.to_source();
+    assert!(printed.contains("min \"1\""), "{printed}");
+    assert!(printed.contains("enum \"open\""), "{printed}");
+    let again = BonxaiSchema::parse(&printed).expect("printed schema parses");
+    assert!(again.is_valid(&doc("ord-1", "42", "open")));
+    assert!(!again.is_valid(&doc("ord-1", "0", "open")));
+}
+
+#[test]
+fn named_simple_types_in_xsd_input() {
+    let src = r#"
+      <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+        <xs:simpleType name="Percent">
+          <xs:restriction base="xs:integer">
+            <xs:minInclusive value="0"/>
+            <xs:maxInclusive value="100"/>
+          </xs:restriction>
+        </xs:simpleType>
+        <xs:element name="grade" type="Tgrade"/>
+        <xs:complexType name="Tgrade">
+          <xs:sequence>
+            <xs:element name="score" type="Percent"/>
+          </xs:sequence>
+          <xs:attribute name="weight">
+            <xs:simpleType>
+              <xs:restriction base="xs:decimal">
+                <xs:minInclusive value="0"/>
+                <xs:maxInclusive value="1"/>
+              </xs:restriction>
+            </xs:simpleType>
+          </xs:attribute>
+        </xs:complexType>
+      </xs:schema>"#;
+    let x = bonxai::xsd::parse_xsd(src).expect("parses");
+    let ok = parse_document(r#"<grade weight="0.5"><score>88</score></grade>"#).unwrap();
+    assert!(bonxai::xsd::is_valid(&x, &ok), "{:?}", bonxai::xsd::validate(&x, &ok).violations);
+    let bad_score = parse_document(r#"<grade><score>101</score></grade>"#).unwrap();
+    assert!(!bonxai::xsd::is_valid(&x, &bad_score));
+    let bad_weight = parse_document(r#"<grade weight="1.5"><score>50</score></grade>"#).unwrap();
+    assert!(!bonxai::xsd::is_valid(&x, &bad_weight));
+}
+
+#[test]
+fn dtd_enumerations_become_enumeration_facets() {
+    let dtd = bonxai::xmltree::dtd::parse_dtd(
+        r#"<!ELEMENT a EMPTY> <!ATTLIST a kind (alpha|beta) #REQUIRED>"#,
+    )
+    .expect("parses");
+    let schema = bonxai::core::dtd_import::dtd_to_bonxai(&dtd, &["a"]).expect("converts");
+    let ok = parse_document(r#"<a kind="alpha"/>"#).unwrap();
+    let bad = parse_document(r#"<a kind="gamma"/>"#).unwrap();
+    assert!(schema.is_valid(&ok));
+    assert!(!schema.is_valid(&bad));
+    // DTD validator agrees
+    assert!(bonxai::xmltree::dtd::is_valid(&dtd, &ok));
+    assert!(!bonxai::xmltree::dtd::is_valid(&dtd, &bad));
+}
+
+#[test]
+fn simple_content_with_facets_and_attributes() {
+    let schema = BonxaiSchema::parse(
+        r#"
+        global { price }
+        grammar {
+          price = { type xs:decimal { min "0" } }
+        }
+    "#,
+    )
+    .expect("parses");
+    assert!(schema.is_valid(&parse_document("<price>9.99</price>").unwrap()));
+    assert!(!schema.is_valid(&parse_document("<price>-1</price>").unwrap()));
+    // round trip through XSD (simpleContent restriction form)
+    let opts = TranslateOptions::default();
+    let (x, _) = pipeline::bonxai_to_xsd(&schema, &opts);
+    let text = bonxai::xsd::emit_xsd(&x, None).expect("emits");
+    let back = bonxai::xsd::parse_xsd(&text).expect("reparses");
+    assert!(bonxai::xsd::is_valid(&back, &parse_document("<price>1</price>").unwrap()));
+    assert!(!bonxai::xsd::is_valid(&back, &parse_document("<price>-1</price>").unwrap()));
+}

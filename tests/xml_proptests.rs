@@ -1,0 +1,180 @@
+//! Property-based tests for the XML substrate, at the workspace level:
+//! serialize∘parse identity on generated documents and parser robustness
+//! on arbitrary inputs.
+
+use proptest::prelude::*;
+
+use bonxai::xmltree::{self, Document, NodeKind};
+
+/// Strategy for XML names.
+fn name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+/// Strategy for text content (valid XML character data; any characters —
+/// escaping must handle them).
+fn text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~éü€]{0,20}").expect("valid regex")
+}
+
+#[derive(Debug, Clone)]
+struct Elem {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    E(Elem),
+    T(String),
+}
+
+fn arb_elem() -> impl Strategy<Value = Elem> {
+    let leaf = (name(), proptest::collection::vec((name(), text()), 0..3)).prop_map(
+        |(name, mut attrs)| {
+            attrs.sort();
+            attrs.dedup_by(|a, b| a.0 == b.0);
+            Elem {
+                name,
+                attrs,
+                children: Vec::new(),
+            }
+        },
+    );
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name(),
+            proptest::collection::vec((name(), text()), 0..3),
+            proptest::collection::vec(
+                prop_oneof![
+                    inner.prop_map(Node::E),
+                    // non-empty text (empty text nodes don't survive
+                    // serialization and aren't constructible by parsing)
+                    text().prop_filter("nonempty", |t| !t.is_empty())
+                        .prop_map(Node::T)
+                ],
+                0..4,
+            ),
+        )
+            .prop_map(|(name, mut attrs, children)| {
+                attrs.sort();
+                attrs.dedup_by(|a, b| a.0 == b.0);
+                Elem {
+                    name,
+                    attrs,
+                    children: merge_adjacent_text(children),
+                }
+            })
+    })
+}
+
+/// Adjacent text children merge on parse, so the generator avoids them.
+fn merge_adjacent_text(children: Vec<Node>) -> Vec<Node> {
+    let mut out: Vec<Node> = Vec::new();
+    for c in children {
+        match (&mut out.last_mut(), c) {
+            (Some(Node::T(prev)), Node::T(t)) => prev.push_str(&t),
+            (_, c) => out.push(c),
+        }
+    }
+    out
+}
+
+fn build(e: &Elem) -> Document {
+    let mut doc = Document::new(&e.name);
+    let root = doc.root();
+    for (k, v) in &e.attrs {
+        doc.set_attribute(root, k, v);
+    }
+    for c in &e.children {
+        attach(&mut doc, root, c);
+    }
+    doc
+}
+
+fn attach(doc: &mut Document, parent: xmltree::NodeId, node: &Node) {
+    match node {
+        Node::T(t) => {
+            doc.add_text(parent, t);
+        }
+        Node::E(e) => {
+            let id = doc.add_element(parent, &e.name);
+            for (k, v) in &e.attrs {
+                doc.set_attribute(id, k, v);
+            }
+            for c in &e.children {
+                attach(doc, id, c);
+            }
+        }
+    }
+}
+
+fn docs_equal(a: &Document, b: &Document) -> bool {
+    fn node_eq(a: &Document, na: xmltree::NodeId, b: &Document, nb: xmltree::NodeId) -> bool {
+        match (a.kind(na), b.kind(nb)) {
+            (NodeKind::Text(x), NodeKind::Text(y)) => x == y,
+            (
+                NodeKind::Element { name: n1, attributes: a1 },
+                NodeKind::Element { name: n2, attributes: a2 },
+            ) => {
+                n1 == n2
+                    && a1 == a2
+                    && a.children(na).len() == b.children(nb).len()
+                    && a.children(na)
+                        .iter()
+                        .zip(b.children(nb))
+                        .all(|(&ca, &cb)| node_eq(a, ca, b, cb))
+            }
+            _ => false,
+        }
+    }
+    node_eq(a, a.root(), b, b.root())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn serialize_parse_identity(e in arb_elem()) {
+        let doc = build(&e);
+        let text = xmltree::to_string(&doc);
+        let parsed = xmltree::parse_document(&text).expect("serializer output parses");
+        prop_assert!(docs_equal(&doc, &parsed), "text: {text}");
+    }
+
+    #[test]
+    fn pretty_print_parses(e in arb_elem()) {
+        let doc = build(&e);
+        let pretty = xmltree::to_string_pretty(&doc);
+        let parsed = xmltree::parse_document(&pretty).expect("pretty output parses");
+        // structure is preserved (text may gain surrounding whitespace)
+        prop_assert_eq!(doc.element_count(), parsed.element_count());
+    }
+
+    #[test]
+    fn parser_never_panics(input in "[<>a-z&;/\"= !\\[\\]?-]{0,80}") {
+        let _ = xmltree::parse_document(&input);
+    }
+
+    #[test]
+    fn mutated_wellformed_input_never_panics(e in arb_elem(), cut in 0usize..100) {
+        let doc = build(&e);
+        let mut text = xmltree::to_string(&doc);
+        let pos = cut.min(text.len());
+        // truncate at a char boundary
+        let pos = (0..=pos).rev().find(|&p| text.is_char_boundary(p)).expect("0 is a boundary");
+        text.truncate(pos);
+        let _ = xmltree::parse_document(&text);
+    }
+
+    #[test]
+    fn dtd_parser_never_panics(input in "[<>!A-Za-z%;()|,*+?\"# ]{0,80}") {
+        let _ = xmltree::dtd::parse_dtd(&input);
+    }
+
+    #[test]
+    fn bonxai_parser_never_panics(input in "[a-z{}()@/|&*+?,= \\n]{0,80}") {
+        let _ = bonxai::core::BonxaiSchema::parse(&input);
+    }
+}
