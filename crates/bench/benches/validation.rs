@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use bonxai_core::translate::xsd_to_dfa_xsd;
-use bonxai_core::{BonxaiSchema, CompiledBxsd};
+use bonxai_core::{BonxaiSchema, CompiledBxsd, ValidateOptions};
 use bonxai_gen::{sample_document, DocConfig};
 use xmltree::{dtd, Document};
 use xsd::CompiledXsd;
@@ -59,11 +59,54 @@ fn bench_validation(c: &mut Criterion) {
         })
     });
 
+    // BonXai, product fast path (the default): one transition per node.
     let compiled_bxsd = CompiledBxsd::new(&fig5.bxsd);
+    assert!(
+        compiled_bxsd.product_states().is_some(),
+        "figure 5 must fit the product budget"
+    );
     group.bench_function("bonxai_fig5", |b| {
         b.iter(|| {
             docs.iter()
                 .map(|d| compiled_bxsd.validate(d).violations.len())
+                .sum::<usize>()
+        })
+    });
+
+    // Ablation: the lock-step reference (one DFA step per rule per node).
+    let lockstep = ValidateOptions {
+        force_lockstep: true,
+        ..ValidateOptions::default()
+    };
+    group.bench_function("bonxai_fig5_lockstep", |b| {
+        b.iter(|| {
+            docs.iter()
+                .map(|d| compiled_bxsd.validate_with(d, lockstep).violations.len())
+                .sum::<usize>()
+        })
+    });
+
+    // Product path with per-node match recording switched on (the cost
+    // of rule highlighting).
+    let recording = ValidateOptions {
+        record_matches: true,
+        ..ValidateOptions::default()
+    };
+    group.bench_function("bonxai_fig5_matches", |b| {
+        b.iter(|| {
+            docs.iter()
+                .map(|d| compiled_bxsd.validate_with(d, recording).matches.len())
+                .sum::<usize>()
+        })
+    });
+
+    // Scoped-thread batch validation over the same documents.
+    group.bench_function("bonxai_fig5_batch", |b| {
+        b.iter(|| {
+            compiled_bxsd
+                .validate_batch(&docs, ValidateOptions::default())
+                .iter()
+                .map(|r| r.violations.len())
                 .sum::<usize>()
         })
     });

@@ -1,20 +1,43 @@
-//! Validation-throughput scaling: the same (Figure-3-shaped) language
-//! validated as DTD, XSD (typed), BonXai (per-rule), and DFA-based XSD
-//! (single automaton), over documents from ~100 to ~100k element nodes.
+//! Validation-throughput scaling and the product-vs-lock-step ablation.
 //!
-//! The per-node cost of each validator should be flat (all four are
-//! linear-time); the interesting column is the constant: the BonXai
-//! validator steps one DFA per rule per node (the price of matched-rule
-//! reporting), while the translated DFA-based XSD steps exactly one.
+//! Part 1 (scaling): the same (Figure-3-shaped) language validated as
+//! DTD, XSD (typed), BonXai (product and lock-step), and DFA-based XSD
+//! (single automaton), over documents from ~100 to ~100k element nodes.
+//! Every validator is linear-time, so each column should be flat; the
+//! interesting column is the constant.
+//!
+//! Part 2 (ablation): three evaluations of the same BXSD semantics on
+//! the Figure 4 and Figure 5 schemas:
+//!
+//! * **seed lock-step** — the pre-product evaluator, reproduced verbatim
+//!   below: one DFA step per rule per node, two passes over each node's
+//!   children, per-node allocations, unconditional match recording;
+//! * **fallback lock-step** — the current Theorem-9 fallback: still one
+//!   DFA step per rule per node, but with the fused single child pass,
+//!   pooled state vectors, interned-name resolution, and opt-in match
+//!   recording this change introduced;
+//! * **product** — the relevance product (Lemma 7): exactly one
+//!   transition lookup per node.
+//!
+//! `--json <path>` writes the numbers as `BENCH_validation.json`.
+
+use std::collections::BTreeMap;
 
 use bonxai_bench::{print_table, timed};
 use bonxai_core::translate::bxsd_to_dfa_xsd;
-use bonxai_core::{BonxaiSchema, CompiledBxsd};
+use bonxai_core::{BonxaiSchema, Bxsd, CompiledBxsd, ValidateOptions};
 use bonxai_gen::{sample_document, DocConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xmltree::Document;
+use relang::{CompiledDre, Dfa, StateId};
+use xmltree::{Document, NodeId};
+use xsd::violation::{Violation, ViolationKind};
 use xsd::CompiledXsd;
+
+const LOCKSTEP: ValidateOptions = ValidateOptions {
+    record_matches: false,
+    force_lockstep: true,
+};
 
 fn data(name: &str) -> String {
     for base in [".", "..", "../.."] {
@@ -26,6 +49,25 @@ fn data(name: &str) -> String {
 }
 
 fn main() {
+    let json_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--json")
+            .map(|i| args.get(i + 1).cloned().expect("--json <path>"))
+    };
+
+    // The ablation runs first: its corpora are timed on a fresh heap,
+    // before the scaling table's 100k-node documents fragment it.
+    let results = ablation();
+    scaling_table();
+    if let Some(path) = json_path {
+        let json = render_json(&results);
+        std::fs::write(&path, json).expect("write json");
+        println!("\nwrote {path}");
+    }
+}
+
+fn scaling_table() {
     let fig2 = xmltree::dtd::parse_dtd(&data("figure2.dtd")).expect("figure 2");
     let fig3 = xsd::parse_xsd(&data("figure3.xsd")).expect("figure 3");
     let fig5 = BonxaiSchema::parse(&data("figure5.bonxai")).expect("figure 5");
@@ -35,6 +77,10 @@ fn main() {
     let compiled_xsd = CompiledXsd::new(&fig3);
     let compiled_bxsd = CompiledBxsd::new(&fig5.bxsd);
     let compiled_dfa = dfa_schema.compile();
+    assert!(
+        compiled_bxsd.product_states().is_some(),
+        "figure 5 fits the product budget"
+    );
 
     let gen_schema = bonxai_core::translate::xsd_to_dfa_xsd(&fig3);
     let mut rng = StdRng::seed_from_u64(2015);
@@ -75,7 +121,9 @@ fn main() {
             assert!(xmltree::dtd::validator::validate_compiled(&compiled_dtd, &doc).is_empty())
         });
         let (_, xsd_ms) = timed(|| assert!(compiled_xsd.validate(&doc).is_valid()));
-        let (_, bxsd_ms) = timed(|| assert!(compiled_bxsd.validate(&doc).is_valid()));
+        let (_, product_ms) = timed(|| assert!(compiled_bxsd.validate(&doc).is_valid()));
+        let (_, lockstep_ms) =
+            timed(|| assert!(compiled_bxsd.validate_with(&doc, LOCKSTEP).is_valid()));
         let (_, dfa_ms) = timed(|| assert!(compiled_dfa.validate(&doc).is_empty()));
 
         let per = |ms: f64| format!("{:.0}", ms * 1e6 / nodes as f64);
@@ -83,19 +131,325 @@ fn main() {
             nodes.to_string(),
             per(dtd_ms),
             per(xsd_ms),
-            per(bxsd_ms),
+            per(product_ms),
+            per(lockstep_ms),
             per(dfa_ms),
         ]);
     }
     print_table(
         "Validation cost per element node (ns/node)",
-        &["nodes", "DTD", "XSD (typed)", "BonXai (rules)", "DFA-based XSD"],
+        &[
+            "nodes",
+            "DTD",
+            "XSD (typed)",
+            "BonXai (product)",
+            "BonXai (lock-step)",
+            "DFA-based XSD",
+        ],
         &rows,
     );
     println!(
         "\nExpected shape: every column flat (linear-time validators); the \
-         BonXai column's constant is ~#rules DFA steps per node, the others ~1."
+         lock-step constant is ~#rules DFA steps per node, product and \
+         DFA-based XSD ~1."
     );
+}
+
+/// The pre-product BXSD evaluator, reproduced from the growth seed as the
+/// ablation baseline. Lock-step over the per-rule ancestor DFAs; two
+/// passes over each node's children (child word, then child queueing); a
+/// fresh word vector and fresh state vectors per node; match recording
+/// always on. This is exactly what `CompiledBxsd::validate` did before
+/// the relevance product landed.
+struct SeedValidator<'a> {
+    bxsd: &'a Bxsd,
+    ancestor_dfas: Vec<Dfa>,
+    content_matchers: Vec<CompiledDre>,
+}
+
+// Built (and paid for) per node like the seed did, but never read here —
+// the ablation only measures the recording cost.
+#[allow(dead_code)]
+struct SeedMatch {
+    matching: Vec<usize>,
+    relevant: Option<usize>,
+}
+
+impl<'a> SeedValidator<'a> {
+    fn new(bxsd: &'a Bxsd) -> Self {
+        let n = bxsd.ename.len();
+        SeedValidator {
+            bxsd,
+            ancestor_dfas: bxsd
+                .rules
+                .iter()
+                .map(|r| relang::ops::regex_to_dfa(&r.ancestor, n))
+                .collect(),
+            content_matchers: bxsd
+                .rules
+                .iter()
+                .map(|r| CompiledDre::compile(&r.content.regex, n))
+                .collect(),
+        }
+    }
+
+    fn validate(&self, doc: &Document) -> (Vec<Violation>, BTreeMap<NodeId, SeedMatch>) {
+        let mut violations = Vec::new();
+        let mut matches = BTreeMap::new();
+        let root = doc.root();
+        let root_name = doc.name(root).expect("root is an element");
+        let root_sym = self.bxsd.ename.lookup(root_name);
+        if !root_sym.is_some_and(|s| self.bxsd.start.contains(&s)) {
+            violations.push(Violation {
+                node: root,
+                kind: ViolationKind::RootNotAllowed(root_name.to_owned()),
+            });
+            return (violations, matches);
+        }
+        let init: Vec<Option<StateId>> = self
+            .ancestor_dfas
+            .iter()
+            .map(|d| d.transition(d.initial(), root_sym.expect("checked")))
+            .collect();
+        let mut stack = vec![(root, init)];
+        while let Some((node, states)) = stack.pop() {
+            let matching: Vec<usize> = states
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| s.is_some_and(|q| self.ancestor_dfas[*i].is_final(q)))
+                .map(|(i, _)| i)
+                .collect();
+            let relevant = matching.last().copied();
+            matches.insert(
+                node,
+                SeedMatch {
+                    matching: matching.clone(),
+                    relevant,
+                },
+            );
+
+            // First pass: child word.
+            let mut word = Vec::new();
+            let mut unknown_at = None;
+            for (i, child) in doc.element_children(node).enumerate() {
+                match self.bxsd.ename.lookup(doc.name(child).expect("element")) {
+                    Some(sym) => word.push(sym),
+                    None => {
+                        violations.push(Violation {
+                            node: child,
+                            kind: ViolationKind::NoGoverningDefinition(
+                                doc.name(child).expect("element").to_owned(),
+                            ),
+                        });
+                        unknown_at = Some(i);
+                        break;
+                    }
+                }
+            }
+
+            if let Some(i) = relevant {
+                let model = &self.bxsd.rules[i].content;
+                let name = doc.name(node).expect("element");
+                xsd::violation::check_text(doc, node, model, &mut violations);
+                xsd::violation::check_attributes(doc, node, model, &mut violations);
+                let failed_at = unknown_at.or_else(|| {
+                    if model.simple_content.is_some() {
+                        (!word.is_empty()).then_some(0)
+                    } else {
+                        self.content_matchers[i].first_error(&word)
+                    }
+                });
+                if let Some(at) = failed_at {
+                    violations.push(Violation {
+                        node,
+                        kind: ViolationKind::ContentModel {
+                            element: name.to_owned(),
+                            at,
+                        },
+                    });
+                }
+            }
+
+            // Second pass: queue the children with advanced rule states.
+            for (i, child) in doc.element_children(node).enumerate() {
+                let next: Vec<Option<StateId>> = match word.get(i) {
+                    Some(&sym) => states
+                        .iter()
+                        .zip(&self.ancestor_dfas)
+                        .map(|(s, d)| s.and_then(|q| d.transition(q, sym)))
+                        .collect(),
+                    None => vec![None; states.len()],
+                };
+                stack.push((child, next));
+            }
+        }
+        (violations, matches)
+    }
+}
+
+/// One schema's ablation numbers.
+struct Ablation {
+    schema: &'static str,
+    rules: usize,
+    product_states: usize,
+    nodes: usize,
+    /// Seed lock-step evaluator (the pre-product hot path).
+    lockstep_ns_per_node: f64,
+    /// This change's lock-step fallback (Theorem 9 path).
+    fallback_ns_per_node: f64,
+    product_ns_per_node: f64,
+}
+
+impl Ablation {
+    fn lockstep_nodes_per_sec(&self) -> f64 {
+        1e9 / self.lockstep_ns_per_node
+    }
+    fn product_nodes_per_sec(&self) -> f64 {
+        1e9 / self.product_ns_per_node
+    }
+    /// Product vs the pre-product hot path.
+    fn speedup(&self) -> f64 {
+        self.lockstep_ns_per_node / self.product_ns_per_node
+    }
+    /// Product vs the equally-optimized lock-step fallback.
+    fn fallback_speedup(&self) -> f64 {
+        self.fallback_ns_per_node / self.product_ns_per_node
+    }
+}
+
+fn ablation() -> Vec<Ablation> {
+    let mut results = Vec::new();
+    for name in ["figure4.bonxai", "figure5.bonxai"] {
+        let schema = BonxaiSchema::parse(&data(name)).expect("schema parses");
+        let compiled = CompiledBxsd::new(&schema.bxsd);
+        let product_states = compiled
+            .product_states()
+            .expect("figure schemas fit the product budget");
+
+        // Sample a conforming corpus from the schema's own language.
+        let dfa_schema = bxsd_to_dfa_xsd(&schema.bxsd);
+        let mut rng = StdRng::seed_from_u64(42);
+        let cfg = DocConfig {
+            max_nodes: 500,
+            ..DocConfig::default()
+        };
+        let mut docs = Vec::new();
+        let mut nodes = 0usize;
+        while nodes < 40_000 {
+            let doc = sample_document(&dfa_schema, &cfg, &mut rng).expect("satisfiable");
+            nodes += doc.element_count();
+            docs.push(doc);
+        }
+
+        // Interleaved timed passes (seed, fallback, product, repeatedly),
+        // keeping each strategy's fastest pass: noise bursts hit all
+        // strategies instead of biasing one measurement block.
+        let seed = SeedValidator::new(&schema.bxsd);
+        let one = |opts: ValidateOptions| {
+            let (violations, ms) = timed(|| {
+                docs.iter()
+                    .map(|d| compiled.validate_with(d, opts).violations.len())
+                    .sum::<usize>()
+            });
+            assert_eq!(violations, 0, "{name}: sampled docs must conform");
+            ms * 1e6 / nodes as f64
+        };
+        let mut lockstep_ns = f64::INFINITY;
+        let mut fallback_ns = f64::INFINITY;
+        let mut product_ns = f64::INFINITY;
+        for _ in 0..15 {
+            let (violations, ms) = timed(|| {
+                docs.iter()
+                    .map(|d| seed.validate(d).0.len())
+                    .sum::<usize>()
+            });
+            assert_eq!(violations, 0, "{name}: sampled docs must conform");
+            lockstep_ns = lockstep_ns.min(ms * 1e6 / nodes as f64);
+            fallback_ns = fallback_ns.min(one(LOCKSTEP));
+            product_ns = product_ns.min(one(ValidateOptions::default()));
+        }
+
+        results.push(Ablation {
+            schema: name,
+            rules: schema.bxsd.n_rules(),
+            product_states,
+            nodes,
+            lockstep_ns_per_node: lockstep_ns,
+            fallback_ns_per_node: fallback_ns,
+            product_ns_per_node: product_ns,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.schema.to_owned(),
+                r.rules.to_string(),
+                r.product_states.to_string(),
+                r.nodes.to_string(),
+                format!("{:.0}", r.lockstep_ns_per_node),
+                format!("{:.0}", r.fallback_ns_per_node),
+                format!("{:.0}", r.product_ns_per_node),
+                format!("{:.2}x", r.speedup()),
+                format!("{:.2}x", r.fallback_speedup()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation: lock-step vs relevance product (conforming corpora)",
+        &[
+            "schema",
+            "rules",
+            "prod states",
+            "nodes",
+            "seed lock-step",
+            "fallback",
+            "product",
+            "vs seed",
+            "vs fallback",
+        ],
+        &rows,
+    );
+    println!(
+        "\nns/node; seed lock-step = the pre-product evaluator (two child \
+         passes, always records matches); fallback = this change's \
+         Theorem-9 lock-step path; product = one lookup per node."
+    );
+    results
+}
+
+fn render_json(results: &[Ablation]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"validation_product_vs_lockstep\",\n");
+    out.push_str(
+        "  \"lockstep_baseline\": \"pre-product evaluator (two child passes, \
+         per-node allocations, unconditional match recording)\",\n",
+    );
+    out.push_str("  \"schemas\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"schema\": \"{}\", \"rules\": {}, \"product_states\": {}, \
+             \"nodes\": {}, \"lockstep_ns_per_node\": {:.2}, \
+             \"fallback_ns_per_node\": {:.2}, \
+             \"product_ns_per_node\": {:.2}, \"lockstep_nodes_per_sec\": {:.0}, \
+             \"product_nodes_per_sec\": {:.0}, \"speedup\": {:.3}, \
+             \"fallback_speedup\": {:.3}}}{}\n",
+            r.schema,
+            r.rules,
+            r.product_states,
+            r.nodes,
+            r.lockstep_ns_per_node,
+            r.fallback_ns_per_node,
+            r.product_ns_per_node,
+            r.lockstep_nodes_per_sec(),
+            r.product_nodes_per_sec(),
+            r.speedup(),
+            r.fallback_speedup(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Copies the subtree rooted at `src_node` under `dst_parent`.

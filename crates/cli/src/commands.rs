@@ -4,7 +4,7 @@ use std::fs;
 use std::process::ExitCode;
 
 use bonxai_core::translate::{Path as TranslatePath, TranslateOptions};
-use bonxai_core::{dtd_import, pipeline, BonxaiSchema};
+use bonxai_core::{dtd_import, pipeline, BonxaiSchema, CompiledBxsd, ValidateOptions};
 use xmltree::Document;
 
 /// A loaded schema in any of the three formalisms.
@@ -100,21 +100,46 @@ fn positional(args: &[String]) -> Vec<&String> {
 pub fn validate(args: &[String]) -> Result<ExitCode, String> {
     let pos = positional(args);
     let [schema_path, doc_path] = pos.as_slice() else {
-        return Err("usage: bonxai validate <schema> <document.xml> [--rules]".into());
+        return Err(
+            "usage: bonxai validate <schema> <document.xml> \
+             [--rules] [--matches] [--fast] [--lockstep]"
+                .into(),
+        );
     };
     let schema = load_schema(schema_path)?;
     let doc = load_document(doc_path)?;
+    let show_rules = has_flag(args, "--rules");
+    let show_matches = has_flag(args, "--matches");
+    let opts = ValidateOptions {
+        record_matches: show_rules || show_matches,
+        force_lockstep: has_flag(args, "--lockstep"),
+    };
+    if has_flag(args, "--fast") && opts.force_lockstep {
+        return Err("--fast and --lockstep are mutually exclusive".into());
+    }
 
     let valid = match &schema {
         AnySchema::Bonxai(s) => {
-            let report = s.validate(&doc);
+            if has_flag(args, "--fast") {
+                // --fast demands the one-lookup-per-node product path;
+                // refuse to run if the product exceeded its state budget.
+                let compiled = CompiledBxsd::new(&s.bxsd);
+                if compiled.product_states().is_none() {
+                    return Err(
+                        "--fast: the relevance product exceeds the state budget \
+                         for this schema (Theorem 9); rerun without --fast"
+                            .into(),
+                    );
+                }
+            }
+            let report = s.validate_with(&doc, opts);
             for v in report.violations() {
                 println!("violation: {}", v.kind);
             }
             for v in &report.constraints {
                 println!("constraint violation: {v}");
             }
-            if has_flag(args, "--rules") {
+            if show_rules {
                 println!("--- relevant rules ---");
                 for node in doc.elements() {
                     let m = &report.structure.matches[&node];
@@ -126,6 +151,23 @@ pub fn validate(args: &[String]) -> Result<ExitCode, String> {
                         "  /{} ← {}",
                         doc.anc_str(node).join("/"),
                         rule
+                    );
+                }
+            }
+            if show_matches {
+                println!("--- matching rules ---");
+                for node in doc.elements() {
+                    let m = &report.structure.matches[&node];
+                    let list = m
+                        .matching
+                        .iter()
+                        .map(|&i| s.ast.rules[s.rule_source[i]].pattern.source.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    println!(
+                        "  /{} ← [{}]",
+                        doc.anc_str(node).join("/"),
+                        list
                     );
                 }
             }

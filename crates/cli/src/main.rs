@@ -18,6 +18,9 @@ COMMANDS:
         Validate an XML document. The schema may be .bonxai, .xsd, or
         .dtd (detected by extension or content). Prints violations, or
         with --rules the relevant BonXai rule for every element.
+        --fast requires the product-automaton path (fails on schemas
+        whose relevance product exceeds the state budget); --lockstep
+        forces the reference evaluator.
 
     to-xsd <schema.bonxai> [-o out.xsd]
         Compile a BonXai schema to XML Schema.
@@ -48,6 +51,9 @@ COMMANDS:
 OPTIONS:
     -o <file>    write output to a file instead of stdout
     --rules      (validate) print the relevant rule per element
+    --matches    (validate) print all matching rules per element
+    --fast       (validate) require the product-automaton fast path
+    --lockstep   (validate) force the lock-step reference evaluator
     --seed N     (sample) RNG seed (default 0)
     --count N    (sample) number of documents (default 1)
 ";

@@ -57,6 +57,49 @@ fn validate_rules_mode_prints_relevant_rules() {
 }
 
 #[test]
+fn validate_fast_and_lockstep_agree() {
+    for extra in [&["--fast"][..], &["--lockstep"][..]] {
+        let mut args = vec!["validate"];
+        let schema = data("figure5.bonxai");
+        let doc = data("figure1_document.xml");
+        args.push(&schema);
+        args.push(&doc);
+        args.extend_from_slice(extra);
+        let out = run(&args);
+        assert!(out.status.success(), "{extra:?}: {}", stdout(&out));
+        assert!(stdout(&out).contains("valid"), "{extra:?}");
+    }
+    // mutually exclusive
+    let out = run(&[
+        "validate",
+        &data("figure5.bonxai"),
+        &data("figure1_document.xml"),
+        "--fast",
+        "--lockstep",
+    ]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn validate_matches_mode_prints_all_matching_rules() {
+    let out = run(&[
+        "validate",
+        &data("figure5.bonxai"),
+        &data("figure1_document.xml"),
+        "--matches",
+    ]);
+    let text = stdout(&out);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("matching rules"), "{text}");
+    // every element line shows its matching-rule set
+    assert!(
+        text.lines()
+            .any(|l| l.contains("/document/template/section ") && l.contains("← [")),
+        "{text}"
+    );
+}
+
+#[test]
 fn to_xsd_from_xsd_roundtrip() {
     let tmp = std::env::temp_dir().join("bonxai_cli_out.xsd");
     let out = run(&[

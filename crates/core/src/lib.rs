@@ -36,4 +36,7 @@ pub use bxsd::{Bxsd, BxsdBuilder, BxsdError, Rule};
 pub use pipeline::{bonxai_to_xsd_text, xsd_to_bonxai_text, PipelineError, Translated};
 pub use schema::{BonxaiSchema, ValidationReport};
 pub use semantics::{conforms, Semantics};
-pub use validate::{is_valid, validate, BxsdReport, CompiledBxsd, NodeMatch};
+pub use validate::{
+    is_valid, validate, validate_with, BxsdReport, CompiledBxsd, NodeMatch, ValidateOptions,
+    DEFAULT_PRODUCT_BUDGET,
+};

@@ -7,7 +7,7 @@ use xsd::violation::Violation;
 use crate::bxsd::Bxsd;
 use crate::constraints::ConstraintViolation;
 use crate::lang::{self, LangError, SchemaAst};
-use crate::validate::{BxsdReport, CompiledBxsd};
+use crate::validate::{BxsdReport, CompiledBxsd, ValidateOptions};
 
 /// A complete BonXai schema: parsed surface form plus its lowered core.
 ///
@@ -87,7 +87,13 @@ impl BonxaiSchema {
 
     /// Validates a document: rule structure + integrity constraints.
     pub fn validate(&self, doc: &Document) -> ValidationReport {
-        let structure = CompiledBxsd::new(&self.bxsd).validate(doc);
+        self.validate_with(doc, ValidateOptions::default())
+    }
+
+    /// Validates a document with explicit [`ValidateOptions`] (e.g. to
+    /// record per-node rule matches for highlighting).
+    pub fn validate_with(&self, doc: &Document, opts: ValidateOptions) -> ValidationReport {
+        let structure = CompiledBxsd::new(&self.bxsd).validate_with(doc, opts);
         let constraints = crate::constraints::check_constraints(
             &self.ast.constraints,
             &self.bxsd.ename,

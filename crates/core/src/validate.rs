@@ -1,14 +1,43 @@
 //! Validation of documents against BXSDs under the priority semantics,
 //! with matched-rule reporting (the tool feature from \[19\]: "validate XML
 //! against them and highlights matching rules").
+//!
+//! ## The hot path
+//!
+//! Definition 1 needs, per node, the set of rules whose ancestor pattern
+//! matches `anc-str(v)` and the last ("relevant") one. Two evaluation
+//! strategies are implemented:
+//!
+//! * **Product** (the default): a [`RelevanceProduct`] — the reachable
+//!   synchronized product of all N ancestor DFAs, each state annotated
+//!   with its matching set and relevant rule. Per node this costs a
+//!   *single* transition lookup instead of N, and the tree is walked in
+//!   one pass (child word construction, content checks, and child
+//!   queueing fused). Lemma 7 is the paper-side justification: relevance
+//!   is readable off product states.
+//! * **Lock-step** (the fallback and the reference): all N DFAs advanced
+//!   side by side, `None` = dead. The product is worst-case exponential
+//!   (Theorem 9), so [`CompiledBxsd::with_budget`] bounds its size and
+//!   falls back to lock-step transparently when the bound is exceeded.
+//!
+//! Both paths produce byte-identical reports — the equivalence proptest
+//! in `tests/validate_equivalence.rs` pins that down. Per-node
+//! [`NodeMatch`] recording is opt-in via
+//! [`ValidateOptions::record_matches`]; validation itself never needs it.
 
 use std::collections::BTreeMap;
 
-use relang::{CompiledDre, Dfa};
+use relang::ops::RelevanceProduct;
+use relang::{CompiledDre, Dfa, StateId, Sym};
 use xmltree::{Document, NodeId};
 use xsd::violation::{Violation, ViolationKind};
 
 use crate::bxsd::Bxsd;
+
+/// Default cap on relevance-product states; beyond this the validator
+/// silently falls back to lock-step evaluation (Theorem 9 makes a cap
+/// mandatory — the product can be exponential in the rule count).
+pub const DEFAULT_PRODUCT_BUDGET: usize = 1 << 14;
 
 /// Per-node rule-match information.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -21,12 +50,24 @@ pub struct NodeMatch {
     pub relevant: Option<usize>,
 }
 
+/// Options controlling a validation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ValidateOptions {
+    /// Record a [`NodeMatch`] for every element (needed for rule
+    /// highlighting; costs an allocation per node, so off by default).
+    pub record_matches: bool,
+    /// Use the lock-step reference evaluator even when the relevance
+    /// product is available (ablations, differential testing).
+    pub force_lockstep: bool,
+}
+
 /// The result of validating a document against a BXSD.
 #[derive(Clone, Debug)]
 pub struct BxsdReport {
     /// All violations (empty = the document conforms).
     pub violations: Vec<Violation>,
-    /// Rule matches per element node.
+    /// Rule matches per element node (populated only when
+    /// [`ValidateOptions::record_matches`] is set).
     pub matches: BTreeMap<NodeId, NodeMatch>,
 }
 
@@ -38,19 +79,32 @@ impl BxsdReport {
 }
 
 /// A BXSD compiled for repeated validation: one DFA per ancestor
-/// expression (run in lock-step down the tree) and one matcher per
-/// content model.
+/// expression, one matcher per content model, and (budget permitting)
+/// the relevance product over the ancestor DFAs.
 pub struct CompiledBxsd<'a> {
     bxsd: &'a Bxsd,
     ancestor_dfas: Vec<Dfa>,
     content_matchers: Vec<CompiledDre>,
+    relevance: Option<RelevanceProduct>,
+    /// Per rule: whether its content model declares a required attribute.
+    /// When false and the element carries no attributes at all, the
+    /// attribute check is provably a no-op and is skipped on the hot path.
+    requires_attr: Vec<bool>,
 }
 
 impl<'a> CompiledBxsd<'a> {
-    /// Compiles all rule expressions of `bxsd`.
+    /// Compiles all rule expressions of `bxsd` with the default product
+    /// budget ([`DEFAULT_PRODUCT_BUDGET`]).
     pub fn new(bxsd: &'a Bxsd) -> Self {
+        Self::with_budget(bxsd, DEFAULT_PRODUCT_BUDGET)
+    }
+
+    /// Compiles `bxsd`, allowing at most `budget` relevance-product
+    /// states. A budget of 0 disables the product entirely; validation
+    /// then always runs lock-step.
+    pub fn with_budget(bxsd: &'a Bxsd, budget: usize) -> Self {
         let n = bxsd.ename.len();
-        let ancestor_dfas = bxsd
+        let ancestor_dfas: Vec<Dfa> = bxsd
             .rules
             .iter()
             .map(|r| relang::ops::regex_to_dfa(&r.ancestor, n))
@@ -60,10 +114,22 @@ impl<'a> CompiledBxsd<'a> {
             .iter()
             .map(|r| CompiledDre::compile(&r.content.regex, n))
             .collect();
+        let relevance = if budget == 0 {
+            None
+        } else {
+            RelevanceProduct::build(n, &ancestor_dfas, budget)
+        };
+        let requires_attr = bxsd
+            .rules
+            .iter()
+            .map(|r| r.content.attributes.iter().any(|a| a.required))
+            .collect();
         CompiledBxsd {
             bxsd,
             ancestor_dfas,
             content_matchers,
+            relevance,
+            requires_attr,
         }
     }
 
@@ -72,8 +138,20 @@ impl<'a> CompiledBxsd<'a> {
         self.bxsd
     }
 
-    /// Validates `doc` under the priority semantics.
+    /// Number of relevance-product states, or `None` when the product
+    /// exceeded its budget (validation falls back to lock-step).
+    pub fn product_states(&self) -> Option<usize> {
+        self.relevance.as_ref().map(RelevanceProduct::n_states)
+    }
+
+    /// Validates `doc` under the priority semantics (default options:
+    /// fastest available path, no per-node match recording).
     pub fn validate(&self, doc: &Document) -> BxsdReport {
+        self.validate_with(doc, ValidateOptions::default())
+    }
+
+    /// Validates `doc` with explicit [`ValidateOptions`].
+    pub fn validate_with(&self, doc: &Document, opts: ValidateOptions) -> BxsdReport {
         let mut report = BxsdReport {
             violations: Vec::new(),
             matches: BTreeMap::new(),
@@ -81,119 +159,344 @@ impl<'a> CompiledBxsd<'a> {
         let root = doc.root();
         let root_name = doc.name(root).expect("root is an element");
         let root_sym = self.bxsd.ename.lookup(root_name);
-        if !root_sym.is_some_and(|s| self.bxsd.start.contains(&s)) {
+        let Some(root_sym) = root_sym.filter(|s| self.bxsd.start.contains(s)) else {
             report.violations.push(Violation {
                 node: root,
                 kind: ViolationKind::RootNotAllowed(root_name.to_owned()),
             });
             return report;
-        }
-        // Per-rule ancestor-DFA states (None = dead).
-        let init: Vec<Option<usize>> = self
-            .ancestor_dfas
-            .iter()
-            .map(|d| {
-                let sym = root_sym.expect("checked");
-                d.transition(d.initial(), sym)
-            })
-            .collect();
-        // Explicit work stack: documents can be arbitrarily deep.
-        let mut stack = vec![(root, init)];
-        while let Some((node, states)) = stack.pop() {
-            self.visit(doc, node, states, &mut report, &mut stack);
+        };
+        // Monomorphize over match recording so the no-recording hot path
+        // carries no per-node recording branches.
+        match (&self.relevance, opts.force_lockstep, opts.record_matches) {
+            (Some(p), false, false) => self.run_product::<false>(p, doc, root, root_sym, &mut report),
+            (Some(p), false, true) => self.run_product::<true>(p, doc, root, root_sym, &mut report),
+            (_, _, false) => self.run_lockstep::<false>(doc, root, root_sym, &mut report),
+            (_, _, true) => self.run_lockstep::<true>(doc, root, root_sym, &mut report),
         }
         report
     }
 
-    fn visit(
+    /// Validates many documents in parallel with scoped threads,
+    /// preserving input order. The compiled schema is shared read-only
+    /// across workers.
+    pub fn validate_batch(&self, docs: &[Document], opts: ValidateOptions) -> Vec<BxsdReport> {
+        if docs.len() < 2 {
+            return docs.iter().map(|d| self.validate_with(d, opts)).collect();
+        }
+        let n_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(docs.len());
+        let chunk = docs.len().div_ceil(n_workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = docs
+                .chunks(chunk)
+                .map(|slab| {
+                    scope.spawn(move || {
+                        slab.iter()
+                            .map(|d| self.validate_with(d, opts))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("validation workers do not panic"))
+                .collect()
+        })
+    }
+
+    /// Product fast path: one relevance transition per node, one pass over
+    /// each node's children with the relevant rule's content DFA stepped
+    /// inline (no second pass over the child word).
+    fn run_product<const RECORD: bool>(
+        &self,
+        p: &RelevanceProduct,
+        doc: &Document,
+        root: NodeId,
+        root_sym: Sym,
+        report: &mut BxsdReport,
+    ) {
+        let syms = self.resolve_names(doc);
+        let mut stack = vec![(root, p.step(p.initial(), root_sym))];
+        let mut word: Vec<Sym> = Vec::new();
+        while let Some((node, q)) = stack.pop() {
+            let relevant = p.relevant(q).map(|i| i as usize);
+            if RECORD {
+                report.matches.insert(
+                    node,
+                    NodeMatch {
+                        matching: p.matching(q).iter().map(|&i| i as usize).collect(),
+                        relevant,
+                    },
+                );
+            }
+
+            // One pass over the children: content-model stepping,
+            // unknown-name detection, text detection, and child queueing.
+            let mut content = self.content_eval(relevant, &mut word);
+            let mut count = 0usize;
+            let mut unknown_at = None;
+            let mut has_text = false;
+            for &child in doc.children(node) {
+                let Some(nid) = doc.name_id(child) else {
+                    has_text = has_text
+                        || doc
+                            .text(child)
+                            .is_some_and(|t| !t.chars().all(char::is_whitespace));
+                    continue;
+                };
+                if unknown_at.is_some() {
+                    stack.push((child, p.dead()));
+                    continue;
+                }
+                match syms[nid as usize] {
+                    Some(sym) => {
+                        content.step(sym, count, &mut word);
+                        count += 1;
+                        stack.push((child, p.step(q, sym)));
+                    }
+                    None => {
+                        report.violations.push(Violation {
+                            node: child,
+                            kind: ViolationKind::NoGoverningDefinition(
+                                doc.name(child).expect("element").to_owned(),
+                            ),
+                        });
+                        unknown_at = Some(count);
+                        stack.push((child, p.dead()));
+                    }
+                }
+            }
+
+            let failed_at = unknown_at.or_else(|| content.finish(count, &word));
+            self.check_node(doc, node, relevant, failed_at, has_text, &mut report.violations);
+        }
+    }
+
+    /// Lock-step reference path: every ancestor DFA advanced side by
+    /// side (`None` = dead). Also a single pass over each node's
+    /// children; state vectors are pooled to avoid re-allocating one per
+    /// node.
+    fn run_lockstep<const RECORD: bool>(
+        &self,
+        doc: &Document,
+        root: NodeId,
+        root_sym: Sym,
+        report: &mut BxsdReport,
+    ) {
+        let n = self.ancestor_dfas.len();
+        let init: Vec<Option<StateId>> = self
+            .ancestor_dfas
+            .iter()
+            .map(|d| d.transition(d.initial(), root_sym))
+            .collect();
+        let syms = self.resolve_names(doc);
+        let mut stack = vec![(root, init)];
+        let mut pool: Vec<Vec<Option<StateId>>> = Vec::new();
+        let mut word: Vec<Sym> = Vec::new();
+        while let Some((node, states)) = stack.pop() {
+            let is_match = |(i, s): (usize, &Option<StateId>)| {
+                s.is_some_and(|q| self.ancestor_dfas[i].is_final(q)).then_some(i)
+            };
+            let relevant;
+            if RECORD {
+                let matching: Vec<usize> =
+                    states.iter().enumerate().filter_map(is_match).collect();
+                relevant = matching.last().copied();
+                report.matches.insert(node, NodeMatch { matching, relevant });
+            } else {
+                // No recording requested: find the last matching rule
+                // without materializing the full set.
+                relevant = states.iter().enumerate().rev().find_map(is_match);
+            }
+
+            let mut content = self.content_eval(relevant, &mut word);
+            let mut count = 0usize;
+            let mut unknown_at = None;
+            let mut has_text = false;
+            for &child in doc.children(node) {
+                let Some(nid) = doc.name_id(child) else {
+                    has_text = has_text
+                        || doc
+                            .text(child)
+                            .is_some_and(|t| !t.chars().all(char::is_whitespace));
+                    continue;
+                };
+                let mut next = pool.pop().unwrap_or_default();
+                next.clear();
+                if unknown_at.is_some() {
+                    next.resize(n, None);
+                    stack.push((child, next));
+                    continue;
+                }
+                match syms[nid as usize] {
+                    Some(sym) => {
+                        content.step(sym, count, &mut word);
+                        count += 1;
+                        next.extend(
+                            states
+                                .iter()
+                                .zip(&self.ancestor_dfas)
+                                .map(|(s, d)| s.and_then(|q| d.transition(q, sym))),
+                        );
+                        stack.push((child, next));
+                    }
+                    None => {
+                        report.violations.push(Violation {
+                            node: child,
+                            kind: ViolationKind::NoGoverningDefinition(
+                                doc.name(child).expect("element").to_owned(),
+                            ),
+                        });
+                        unknown_at = Some(count);
+                        next.resize(n, None);
+                        stack.push((child, next));
+                    }
+                }
+            }
+
+            let failed_at = unknown_at.or_else(|| content.finish(count, &word));
+            self.check_node(doc, node, relevant, failed_at, has_text, &mut report.violations);
+            pool.push(states);
+        }
+    }
+
+    /// Resolves the document's distinct element names against the schema
+    /// alphabet once, so the per-child hot loop maps a node to its symbol
+    /// with a single array load (`None` = name not in the schema).
+    fn resolve_names(&self, doc: &Document) -> Vec<Option<Sym>> {
+        doc.distinct_names()
+            .iter()
+            .map(|n| self.bxsd.ename.lookup(n))
+            .collect()
+    }
+
+    /// Sets up per-node content-model evaluation for the relevant rule.
+    /// `word` is the caller's scratch buffer, cleared here when the rare
+    /// buffered fallback is selected.
+    #[inline]
+    fn content_eval<'c>(&'c self, relevant: Option<usize>, word: &mut Vec<Sym>) -> ContentEval<'c> {
+        let Some(i) = relevant else {
+            return ContentEval::Skip;
+        };
+        let model = &self.bxsd.rules[i].content;
+        if model.simple_content.is_some() {
+            ContentEval::Simple
+        } else if let Some(dfa) = self.content_matchers[i].as_dfa() {
+            ContentEval::Dfa {
+                dfa,
+                q: dfa.initial(),
+                failed: None,
+            }
+        } else {
+            word.clear();
+            ContentEval::Buffered(&self.content_matchers[i])
+        }
+    }
+
+    /// Per-node text, attribute, and content-model checks, shared verbatim
+    /// by both evaluation paths so their reports cannot drift apart.
+    /// `has_text` (any non-whitespace text child) and `failed_at` (where
+    /// content matching failed) are computed during the fused child pass
+    /// so the children are only traversed once.
+    fn check_node(
         &self,
         doc: &Document,
         node: NodeId,
-        states: Vec<Option<usize>>,
-        report: &mut BxsdReport,
-        stack: &mut Vec<(NodeId, Vec<Option<usize>>)>,
+        relevant: Option<usize>,
+        failed_at: Option<usize>,
+        has_text: bool,
+        violations: &mut Vec<Violation>,
     ) {
-        let matching: Vec<usize> = states
-            .iter()
-            .enumerate()
-            .filter(|(i, s)| s.is_some_and(|q| self.ancestor_dfas[*i].is_final(q)))
-            .map(|(i, _)| i)
-            .collect();
-        let relevant = matching.last().copied();
-        report.matches.insert(
-            node,
-            NodeMatch {
-                matching: matching.clone(),
-                relevant,
-            },
-        );
-
-        // Child word over EName. Definition 1 considers trees labeled from
-        // EName; a name outside the alphabet is a violation at the child
-        // itself (and fails a constrained parent's content model) — this
-        // matches the behavior of the translated schemas, whose `(EName)*`
-        // filler states also reject foreign names.
-        let mut word = Vec::new();
-        let mut unknown_at = None;
-        for (i, child) in doc.element_children(node).enumerate() {
-            match self.bxsd.ename.lookup(doc.name(child).expect("element")) {
-                Some(sym) => word.push(sym),
-                None => {
-                    report.violations.push(Violation {
-                        node: child,
-                        kind: ViolationKind::NoGoverningDefinition(
-                            doc.name(child).expect("element").to_owned(),
-                        ),
-                    });
-                    unknown_at = Some(i);
-                    break;
-                }
-            }
-        }
-
-        if let Some(i) = relevant {
-            let model = &self.bxsd.rules[i].content;
-            let name = doc.name(node).expect("element");
-            xsd::violation::check_text(doc, node, model, &mut report.violations);
-            xsd::violation::check_attributes(doc, node, model, &mut report.violations);
-            let failed_at = unknown_at.or_else(|| {
-                if model.simple_content.is_some() {
-                    // simple content: no element children at all
-                    (!word.is_empty() || unknown_at.is_some()).then_some(0)
-                } else {
-                    self.content_matchers[i].first_error(&word)
-                }
+        let Some(i) = relevant else {
+            return;
+        };
+        let model = &self.bxsd.rules[i].content;
+        if model.simple_content.is_some() {
+            xsd::violation::check_text(doc, node, model, violations);
+        } else if !model.mixed && !model.open && has_text {
+            violations.push(Violation {
+                node,
+                kind: ViolationKind::UnexpectedText(doc.name(node).expect("element").to_owned()),
             });
-            if let Some(at) = failed_at {
-                report.violations.push(Violation {
-                    node,
-                    kind: ViolationKind::ContentModel {
-                        element: name.to_owned(),
-                        at,
-                    },
-                });
-            }
         }
-
-        // Queue the children with advanced rule states. Children with
-        // unknown names get no matches.
-        for (i, child) in doc.element_children(node).enumerate() {
-            let next: Vec<Option<usize>> = match word.get(i) {
-                Some(&sym) => states
-                    .iter()
-                    .zip(&self.ancestor_dfas)
-                    .map(|(s, d)| s.and_then(|q| d.transition(q, sym)))
-                    .collect(),
-                None => vec![None; states.len()],
-            };
-            stack.push((child, next));
+        if !doc.attributes(node).is_empty() || self.requires_attr[i] {
+            xsd::violation::check_attributes(doc, node, model, violations);
+        }
+        if let Some(at) = failed_at {
+            violations.push(Violation {
+                node,
+                kind: ViolationKind::ContentModel {
+                    element: doc.name(node).expect("element").to_owned(),
+                    at,
+                },
+            });
         }
     }
 }
 
-/// One-shot validation under the priority semantics.
+/// Incremental content-model evaluation for one node's children. The
+/// common case steps the relevant rule's content DFA child by child; the
+/// rare non-DFA matchers (`xs:all`, huge counters) buffer the child word
+/// and decide at [`ContentEval::finish`].
+enum ContentEval<'a> {
+    /// No relevant rule: the node is unconstrained (Definition 1).
+    Skip,
+    /// Simple content: any element child at all fails at position 0.
+    Simple,
+    /// Content DFA stepped inline; `failed` is the first dead position.
+    Dfa {
+        dfa: &'a Dfa,
+        q: StateId,
+        failed: Option<usize>,
+    },
+    /// Buffered fallback, resolved via [`CompiledDre::first_error`].
+    Buffered(&'a CompiledDre),
+}
+
+impl ContentEval<'_> {
+    /// Consumes the `pos`-th known element child.
+    #[inline]
+    fn step(&mut self, sym: Sym, pos: usize, word: &mut Vec<Sym>) {
+        match self {
+            ContentEval::Skip | ContentEval::Simple => {}
+            ContentEval::Dfa { dfa, q, failed } => {
+                if failed.is_none() {
+                    match dfa.transition(*q, sym) {
+                        Some(t) => *q = t,
+                        None => *failed = Some(pos),
+                    }
+                }
+            }
+            ContentEval::Buffered(_) => word.push(sym),
+        }
+    }
+
+    /// Where content matching failed, `None` if the child word matches.
+    /// Exactly [`CompiledDre::first_error`] over the known-child word.
+    #[inline]
+    fn finish(self, count: usize, word: &[Sym]) -> Option<usize> {
+        match self {
+            ContentEval::Skip => None,
+            ContentEval::Simple => (count > 0).then_some(0),
+            ContentEval::Dfa { dfa, q, failed } => {
+                failed.or_else(|| (!dfa.is_final(q)).then_some(count))
+            }
+            ContentEval::Buffered(m) => m.first_error(word),
+        }
+    }
+}
+
+/// One-shot validation under the priority semantics (default options).
 pub fn validate(bxsd: &Bxsd, doc: &Document) -> BxsdReport {
     CompiledBxsd::new(bxsd).validate(doc)
+}
+
+/// One-shot validation with explicit [`ValidateOptions`].
+pub fn validate_with(bxsd: &Bxsd, doc: &Document, opts: ValidateOptions) -> BxsdReport {
+    CompiledBxsd::new(bxsd).validate_with(doc, opts)
 }
 
 /// Whether `doc` conforms to `bxsd` (priority semantics).
@@ -208,6 +511,13 @@ mod tests {
     use relang::{Regex, Sym};
     use xmltree::builder::elem;
     use xsd::{AttributeUse, ContentModel};
+
+    fn recording() -> ValidateOptions {
+        ValidateOptions {
+            record_matches: true,
+            ..ValidateOptions::default()
+        }
+    }
 
     /// The Figure-5-style schema from the bxsd module tests, with a
     /// required title on content sections.
@@ -254,6 +564,28 @@ mod tests {
     }
 
     #[test]
+    fn example_schema_uses_the_product_path() {
+        let x = example();
+        let c = CompiledBxsd::new(&x);
+        assert!(
+            c.product_states().is_some(),
+            "Figure-5-style schema must fit the default budget"
+        );
+    }
+
+    #[test]
+    fn matches_recorded_only_on_request() {
+        let x = example();
+        let doc = elem("document")
+            .child(elem("template"))
+            .child(elem("content"))
+            .build();
+        let c = CompiledBxsd::new(&x);
+        assert!(c.validate(&doc).matches.is_empty());
+        assert_eq!(c.validate_with(&doc, recording()).matches.len(), 3);
+    }
+
+    #[test]
     fn priority_overrides_general_rule() {
         let x = example();
         // A template section must NOT need a title (rule 4 wins over 3).
@@ -261,7 +593,7 @@ mod tests {
             .child(elem("template").child(elem("section")))
             .child(elem("content"))
             .build();
-        let r = validate(&x, &doc);
+        let r = validate_with(&x, &doc, recording());
         assert!(r.is_valid(), "{:?}", r.violations);
         // the template section matched rules [3, 4], relevant = 4
         let tsec = doc
@@ -307,7 +639,7 @@ mod tests {
         let doc = elem("a")
             .child(elem("b").child(elem("b")).child(elem("b")).text("text"))
             .build();
-        let r = validate(&x, &doc);
+        let r = validate_with(&x, &doc, recording());
         assert!(r.is_valid(), "{:?}", r.violations);
         let bnode = doc.element_children(doc.root()).next().unwrap();
         assert_eq!(r.matches[&bnode].relevant, None);
@@ -351,7 +683,7 @@ mod tests {
                 ),
             )
             .build();
-        let r = validate(&x, &doc);
+        let r = validate_with(&x, &doc, recording());
         for (&node, m) in &r.matches {
             let path: Vec<Sym> = doc
                 .anc_str(node)
@@ -359,6 +691,79 @@ mod tests {
                 .map(|n| x.ename.lookup(n).unwrap())
                 .collect();
             assert_eq!(m.relevant, x.relevant_rule(&path), "node {node:?}");
+        }
+    }
+
+    /// Documents exercising every violation class against `example()`.
+    fn test_documents() -> Vec<xmltree::Document> {
+        vec![
+            elem("document")
+                .child(elem("template").child(elem("section")))
+                .child(
+                    elem("content")
+                        .child(elem("section").attr("title", "Intro").text("hi")),
+                )
+                .build(),
+            elem("document")
+                .child(elem("template"))
+                .child(elem("content").child(elem("section")))
+                .build(),
+            elem("document")
+                .child(elem("template"))
+                .child(elem("content").child(elem("zzz")).child(elem("section")))
+                .build(),
+            elem("section").build(),
+            elem("document")
+                .child(elem("content"))
+                .child(elem("template"))
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn product_and_lockstep_agree() {
+        let x = example();
+        let c = CompiledBxsd::new(&x);
+        assert!(c.product_states().is_some());
+        for doc in test_documents() {
+            let fast = c.validate_with(&doc, recording());
+            let slow = c.validate_with(
+                &doc,
+                ValidateOptions {
+                    record_matches: true,
+                    force_lockstep: true,
+                },
+            );
+            assert_eq!(fast.violations, slow.violations);
+            assert_eq!(fast.matches, slow.matches);
+        }
+    }
+
+    #[test]
+    fn budget_overflow_falls_back_to_lockstep() {
+        let x = example();
+        let tiny = CompiledBxsd::with_budget(&x, 1);
+        assert_eq!(tiny.product_states(), None);
+        let full = CompiledBxsd::new(&x);
+        for doc in test_documents() {
+            let a = tiny.validate_with(&doc, recording());
+            let b = full.validate_with(&doc, recording());
+            assert_eq!(a.violations, b.violations);
+            assert_eq!(a.matches, b.matches);
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let x = example();
+        let c = CompiledBxsd::new(&x);
+        let docs = test_documents();
+        let batch = c.validate_batch(&docs, recording());
+        assert_eq!(batch.len(), docs.len());
+        for (doc, got) in docs.iter().zip(&batch) {
+            let want = c.validate_with(doc, recording());
+            assert_eq!(got.violations, want.violations);
+            assert_eq!(got.matches, want.matches);
         }
     }
 }

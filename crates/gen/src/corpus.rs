@@ -136,7 +136,7 @@ pub fn web_corpus(seed: u64) -> Vec<CorpusEntry> {
     let mut out = Vec::with_capacity(225);
     let push = |out: &mut Vec<CorpusEntry>, k: Option<usize>, rng: &mut StdRng| {
         let id = out.len();
-        let size_class = rng.gen_range(0..3);
+        let size_class = rng.gen_range(0..3usize);
         let cfg = SchemaConfig {
             n_names: [8, 15, 25][size_class],
             n_rules: [8, 18, 32][size_class],

@@ -5,7 +5,6 @@
 //! [`Sym`] handles so that automata can use dense transition tables and
 //! comparisons are O(1). An [`Alphabet`] owns the bidirectional mapping.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// An interned symbol (element name) of an [`Alphabet`].
@@ -48,7 +47,21 @@ impl fmt::Debug for Sym {
 #[derive(Clone, Default)]
 pub struct Alphabet {
     names: Vec<String>,
-    index: BTreeMap<String, Sym>,
+    /// Open-addressing index over `names`: `slots[h] = sym + 1`, 0 = empty.
+    /// Name lookup is on the per-element validation hot path, so this is a
+    /// flat FNV-1a table (one hash, a short linear probe, one string
+    /// compare) rather than a tree or SipHash map.
+    slots: Vec<u32>,
+}
+
+#[inline]
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl Alphabet {
@@ -72,18 +85,58 @@ impl Alphabet {
 
     /// Interns `name`, returning its symbol. Idempotent.
     pub fn intern(&mut self, name: &str) -> Sym {
-        if let Some(&s) = self.index.get(name) {
+        if let Some(s) = self.lookup(name) {
             return s;
         }
         let s = Sym(u32::try_from(self.names.len()).expect("alphabet overflow"));
         self.names.push(name.to_owned());
-        self.index.insert(name.to_owned(), s);
+        if (self.names.len() + 1) * 2 > self.slots.len() {
+            self.rebuild_slots();
+        } else {
+            self.insert_slot(s);
+        }
         s
     }
 
     /// Looks up a previously interned name.
+    #[inline]
     pub fn lookup(&self, name: &str) -> Option<Sym> {
-        self.index.get(name).copied()
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = fnv1a(name) as usize & mask;
+        loop {
+            match self.slots[i] {
+                0 => return None,
+                s => {
+                    let sym = Sym(s - 1);
+                    if self.names[sym.index()] == name {
+                        return Some(sym);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Re-hashes every name into a table kept at most half full (so probe
+    /// chains stay short and `lookup` always terminates).
+    fn rebuild_slots(&mut self) {
+        let cap = (self.names.len() * 4).next_power_of_two().max(8);
+        self.slots = vec![0; cap];
+        for i in 0..self.names.len() {
+            self.insert_slot(Sym(i as u32));
+        }
+    }
+
+    fn insert_slot(&mut self, s: Sym) {
+        let mask = self.slots.len() - 1;
+        let mut i = fnv1a(&self.names[s.index()]) as usize & mask;
+        while self.slots[i] != 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = s.0 + 1;
     }
 
     /// The name of a symbol. Panics if `s` is not from this alphabet.

@@ -80,6 +80,21 @@ impl Dfa {
         self.table[q * self.n_syms + a.index()]
     }
 
+    /// `δ(q, a)` without a bounds check — for internal hot loops where
+    /// `q` and `a` are invariants of the automaton itself (states read
+    /// back out of `table`, symbols below `n_syms`). Debug builds still
+    /// assert the invariant.
+    #[inline]
+    #[allow(unsafe_code)]
+    pub(crate) fn transition_unchecked(&self, q: StateId, a: Sym) -> Option<StateId> {
+        let idx = q * self.n_syms + a.index();
+        debug_assert!(q < self.n_states() && a.index() < self.n_syms);
+        // SAFETY: every caller passes a state id previously produced by
+        // this automaton and a symbol below `n_syms`, so `idx` is within
+        // the `n_states * n_syms` table (asserted above in debug builds).
+        unsafe { *self.table.get_unchecked(idx) }
+    }
+
     /// Marks/unmarks `q` as accepting.
     pub fn set_final(&mut self, q: StateId, accepting: bool) {
         self.finals[q] = accepting;
@@ -102,14 +117,24 @@ impl Dfa {
     }
 
     /// Runs the automaton on `word` from `q`.
+    #[inline]
     pub fn run_from(&self, mut q: StateId, word: &[Sym]) -> Option<StateId> {
+        if q >= self.n_states() {
+            return None;
+        }
         for &a in word {
-            q = self.transition(q, a)?;
+            // Symbols are re-checked (they come from callers); states are
+            // table-produced, so only the symbol range needs validating.
+            if a.index() >= self.n_syms {
+                return None;
+            }
+            q = self.transition_unchecked(q, a)?;
         }
         Some(q)
     }
 
     /// Whether the automaton accepts `word`.
+    #[inline]
     pub fn accepts(&self, word: &[Sym]) -> bool {
         self.run(word).is_some_and(|q| self.finals[q])
     }

@@ -37,7 +37,9 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is denied by default; `dfa` carries a single targeted allow for
+// the debug-asserted unchecked table reads on the validation hot path.
+#![deny(unsafe_code)]
 
 pub mod alphabet;
 pub mod dfa;

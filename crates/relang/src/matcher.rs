@@ -72,7 +72,20 @@ impl CompiledDre {
         }
     }
 
+    /// The deterministic automaton this model compiled to, when it did
+    /// (the common case). `xs:all` and huge-counter models return `None`;
+    /// callers wanting incremental stepping must then fall back to
+    /// [`CompiledDre::first_error`] over a buffered word.
+    #[inline]
+    pub fn as_dfa(&self) -> Option<&Dfa> {
+        match &self.imp {
+            Impl::Auto(dfa) => Some(dfa),
+            _ => None,
+        }
+    }
+
     /// Whether `word` matches the compiled model.
+    #[inline]
     pub fn matches(&self, word: &[Sym]) -> bool {
         match &self.imp {
             Impl::Auto(dfa) => dfa.accepts(word),
@@ -96,6 +109,7 @@ impl CompiledDre {
     /// Where matching fails: the index of the first offending position
     /// (`word.len()` means the word is a proper prefix of a longer match).
     /// `None` means the word matches.
+    #[inline]
     pub fn first_error(&self, word: &[Sym]) -> Option<usize> {
         match &self.imp {
             Impl::Auto(dfa) => {

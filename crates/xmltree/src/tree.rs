@@ -43,16 +43,91 @@ struct NodeData {
     children: Vec<NodeId>,
 }
 
+/// `name_ids` marker for text nodes.
+const TEXT_ID: u32 = u32::MAX;
+
+/// Interns element names at construction time so consumers (validators in
+/// particular) can resolve a node's name with one dense-array load instead
+/// of hashing a string per node. Open addressing over FNV-1a, ≤ half full.
+#[derive(Clone, Debug, Default)]
+struct NameIndex {
+    names: Vec<String>,
+    slots: Vec<u32>,
+}
+
+impl NameIndex {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(id) = self.lookup(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("name-id overflow");
+        assert_ne!(id, TEXT_ID, "name-id overflow");
+        self.names.push(name.to_owned());
+        if (self.names.len() + 1) * 2 > self.slots.len() {
+            let cap = (self.names.len() * 4).next_power_of_two().max(8);
+            self.slots = vec![0; cap];
+            for i in 0..self.names.len() as u32 {
+                self.insert(i);
+            }
+        } else {
+            self.insert(id);
+        }
+        id
+    }
+
+    fn lookup(&self, name: &str) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = fnv1a(name) as usize & mask;
+        loop {
+            match self.slots[i] {
+                0 => return None,
+                s => {
+                    if self.names[(s - 1) as usize] == name {
+                        return Some(s - 1);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, id: u32) {
+        let mask = self.slots.len() - 1;
+        let mut i = fnv1a(&self.names[id as usize]) as usize & mask;
+        while self.slots[i] != 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = id + 1;
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// An XML document: an arena of nodes with a single element root.
 #[derive(Clone, Debug)]
 pub struct Document {
     nodes: Vec<NodeData>,
     root: NodeId,
+    /// Per node: interned name id (element) or [`TEXT_ID`] (text).
+    name_ids: Vec<u32>,
+    name_index: NameIndex,
 }
 
 impl Document {
     /// Creates a document whose root element has the given name.
     pub fn new(root_name: &str) -> Self {
+        let mut name_index = NameIndex::default();
+        let root_id = name_index.intern(root_name);
         Document {
             nodes: vec![NodeData {
                 kind: NodeKind::Element {
@@ -63,6 +138,8 @@ impl Document {
                 children: Vec::new(),
             }],
             root: NodeId(0),
+            name_ids: vec![root_id],
+            name_index,
         }
     }
 
@@ -92,6 +169,7 @@ impl Document {
             parent: Some(parent),
             children: Vec::new(),
         });
+        self.name_ids.push(self.name_index.intern(name));
         self.nodes[parent.0].children.push(id);
         id
     }
@@ -104,6 +182,7 @@ impl Document {
             parent: Some(parent),
             children: Vec::new(),
         });
+        self.name_ids.push(TEXT_ID);
         self.nodes[parent.0].children.push(id);
         id
     }
@@ -138,6 +217,25 @@ impl Document {
             NodeKind::Element { name, .. } => Some(name),
             NodeKind::Text(_) => None,
         }
+    }
+
+    /// The interned name id of an element node (`None` for text nodes).
+    ///
+    /// Ids are dense indices into [`Document::distinct_names`], assigned
+    /// in first-occurrence order. Equal names share an id, so validators
+    /// can resolve each distinct name against a schema alphabet once per
+    /// document and then map nodes to symbols with a single array load —
+    /// this is the per-child fast path of the BonXai validator.
+    #[inline]
+    pub fn name_id(&self, node: NodeId) -> Option<u32> {
+        let id = self.name_ids[node.0];
+        (id != TEXT_ID).then_some(id)
+    }
+
+    /// The distinct element names of this document, indexed by
+    /// [`Document::name_id`].
+    pub fn distinct_names(&self) -> &[String] {
+        &self.name_index.names
     }
 
     /// The local part of the element name (after any `prefix:`).
@@ -335,6 +433,25 @@ mod tests {
             .map(|n| d.name(n).unwrap().to_owned())
             .collect();
         assert_eq!(names, vec!["document", "template", "section", "content"]);
+    }
+
+    #[test]
+    fn name_ids_are_dense_and_shared() {
+        let (d, template, s1) = sample();
+        assert_eq!(d.name_id(d.root()), Some(0));
+        assert_eq!(d.name_id(template), Some(1));
+        assert_eq!(d.name_id(s1), Some(3)); // after "content"
+        let text = d.children(d.children(d.root())[1])[0];
+        assert_eq!(d.name_id(text), None);
+        assert_eq!(
+            d.distinct_names(),
+            &["document", "template", "content", "section"]
+        );
+        // same name ⇒ same id
+        let mut d2 = Document::new("a");
+        let x = d2.add_element(d2.root(), "b");
+        let y = d2.add_element(x, "b");
+        assert_eq!(d2.name_id(x), d2.name_id(y));
     }
 
     #[test]

@@ -177,6 +177,11 @@ impl Facets {
 
     /// Whether `value` (already valid for `base`) satisfies the facets.
     pub fn validates(&self, base: SimpleType, value: &str) -> bool {
+        if self.is_empty() {
+            // No facets (the overwhelmingly common case on the validation
+            // hot path): skip the length count below.
+            return true;
+        }
         if !self.enumeration.is_empty() && !self.enumeration.iter().any(|e| e == value) {
             return false;
         }

@@ -152,16 +152,29 @@ pub fn check_attributes(
     if model.open {
         return;
     }
+    // One pass over the written attributes, tracking which declarations
+    // were seen so the required check below needs no second scan of the
+    // attribute list (this runs for every element on the validation hot
+    // path). Falls back to the scan for >64 declarations.
+    let mut seen: u64 = 0;
     for attr in doc.attributes(node) {
         if attr.name.starts_with("xmlns") {
             continue;
         }
-        match model.attribute(&attr.name) {
+        match model
+            .attributes
+            .iter()
+            .position(|a| a.name == attr.name)
+        {
             None => out.push(Violation {
                 node,
                 kind: ViolationKind::UndeclaredAttribute(attr.name.clone()),
             }),
-            Some(decl) => {
+            Some(i) => {
+                if i < 64 {
+                    seen |= 1 << i;
+                }
+                let decl = &model.attributes[i];
                 if !decl.validates(&attr.value) {
                     out.push(Violation {
                         node,
@@ -175,8 +188,16 @@ pub fn check_attributes(
             }
         }
     }
-    for decl in &model.attributes {
-        if decl.required && doc.attribute(node, &decl.name).is_none() {
+    for (i, decl) in model.attributes.iter().enumerate() {
+        if !decl.required {
+            continue;
+        }
+        let present = if i < 64 {
+            seen & (1 << i) != 0
+        } else {
+            doc.attribute(node, &decl.name).is_some()
+        };
+        if !present {
             out.push(Violation {
                 node,
                 kind: ViolationKind::MissingAttribute(decl.name.clone()),

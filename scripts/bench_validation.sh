@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# Runs the validation scaling table and the product-vs-lock-step
+# ablation, writing the ablation numbers to BENCH_validation.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p bonxai-bench --bin exp_validation -- --json BENCH_validation.json "$@"

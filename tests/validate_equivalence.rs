@@ -1,0 +1,114 @@
+//! Differential test: the relevance-product validator and the lock-step
+//! reference evaluator must produce byte-identical reports — same
+//! violations in the same order, same per-node matching sets, same
+//! relevant-rule assignments — on random schemas and random (possibly
+//! mutated) documents, including schemas compiled with a budget too
+//! small for the product (the Theorem 9 fallback path).
+
+use bonxai_core::bxsd::Bxsd;
+use bonxai_core::{CompiledBxsd, ValidateOptions};
+use bonxai_gen::{
+    mutate_document, random_regular_bxsd, random_suffix_bxsd, sample_document, DocConfig,
+    SchemaConfig,
+};
+use proptest::prelude::*;
+use rand::prelude::*;
+use relang::Sym;
+use xmltree::Document;
+
+const RECORD: ValidateOptions = ValidateOptions {
+    record_matches: true,
+    force_lockstep: false,
+};
+const LOCKSTEP: ValidateOptions = ValidateOptions {
+    record_matches: true,
+    force_lockstep: true,
+};
+
+/// Compares all three evaluation configurations on one (schema, doc)
+/// pair and cross-checks relevance against the derivative-based
+/// reference `Bxsd::relevant_rule`.
+fn check_equivalence(bxsd: &Bxsd, doc: &Document) -> Result<(), TestCaseError> {
+    let compiled = CompiledBxsd::new(bxsd);
+    let fast = compiled.validate_with(doc, RECORD);
+    let slow = compiled.validate_with(doc, LOCKSTEP);
+    prop_assert_eq!(
+        &fast.violations,
+        &slow.violations,
+        "product vs lock-step violations (product states: {:?})",
+        compiled.product_states()
+    );
+    prop_assert_eq!(&fast.matches, &slow.matches, "product vs lock-step matches");
+
+    // A budget of 1 can never hold the product (initial + dead states
+    // alone exceed it), so this compiles to the fallback path.
+    let tiny = CompiledBxsd::with_budget(bxsd, 1);
+    prop_assert!(tiny.product_states().is_none(), "budget 1 must overflow");
+    let fallback = tiny.validate_with(doc, RECORD);
+    prop_assert_eq!(&fallback.violations, &slow.violations, "fallback violations");
+    prop_assert_eq!(&fallback.matches, &slow.matches, "fallback matches");
+
+    // Relevance agrees with the derivative-based reference semantics.
+    // (Only meaningful when every name is in the alphabet: an unknown
+    // name dead-ends its following siblings by design, which the pure
+    // ancestor-string reference cannot see.)
+    let all_known = doc
+        .elements()
+        .into_iter()
+        .all(|n| bxsd.ename.lookup(doc.name(n).expect("element")).is_some());
+    if all_known && !fast.matches.is_empty() {
+        for (&node, m) in &fast.matches {
+            let path: Vec<Sym> = doc
+                .anc_str(node)
+                .iter()
+                .map(|n| bxsd.ename.lookup(n).expect("known name"))
+                .collect();
+            prop_assert_eq!(m.relevant, bxsd.relevant_rule(&path), "node {:?}", node);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn product_and_lockstep_agree_on_random_schemas(
+        seed in any::<u64>(),
+        n_names in 3usize..10,
+        n_rules in 1usize..10,
+        k in 1usize..4,
+        suffix in any::<bool>(),
+        mutations in 0usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SchemaConfig {
+            n_names,
+            // General (non-suffix) schemas go through Algorithm 3's
+            // product in bxsd_to_dfa_xsd below — keep them small.
+            n_rules: if suffix { n_rules } else { n_rules.min(4) },
+            k,
+            ..SchemaConfig::default()
+        };
+        let bxsd = if suffix {
+            random_suffix_bxsd(&cfg, &mut rng)
+        } else {
+            random_regular_bxsd(&cfg, &mut rng)
+        };
+        let dfa_xsd = bonxai_core::translate::bxsd_to_dfa_xsd(&bxsd);
+        let doc_cfg = DocConfig {
+            max_nodes: 60,
+            ..DocConfig::default()
+        };
+        let Some(mut doc) = sample_document(&dfa_xsd, &doc_cfg, &mut rng) else {
+            // Schema admits no finite document — nothing to validate.
+            return Ok(());
+        };
+        // Positive case first, then increasingly mutated (negative) ones.
+        check_equivalence(&bxsd, &doc)?;
+        for _ in 0..mutations {
+            doc = mutate_document(&doc, &mut rng);
+            check_equivalence(&bxsd, &doc)?;
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides the macro/struct surface the workspace's benches use and a
+//! simple fixed-window timer: each benchmark warms up briefly, then runs
+//! for a fixed measurement window and prints the mean wall time per
+//! iteration (plus derived throughput when one was declared). There is
+//! no statistical analysis — this is enough for the coarse comparisons
+//! the experiment harnesses make.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1500);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(id, None);
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group, e.g. `name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into()), self.throughput);
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.full), self.throughput);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// How much setup output to batch per timing in `iter_batched`.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; batches many iterations per setup.
+    SmallInput,
+    /// Large per-iteration inputs; one setup per iteration.
+    LargeInput,
+}
+
+/// Times a closure; handed to each benchmark function.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { mean_ns: f64::NAN }
+    }
+
+    /// Times `routine`, including nothing but the calls themselves.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and estimate per-iteration cost.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt >= WARMUP / 10 {
+                break dt.as_secs_f64() / iters as f64;
+            }
+            iters = iters.saturating_mul(4);
+        };
+        // Measure for a fixed window.
+        let total_iters = ((MEASURE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let t = Instant::now();
+        for _ in 0..total_iters {
+            black_box(routine());
+        }
+        self.mean_ns = t.elapsed().as_secs_f64() * 1e9 / total_iters as f64;
+    }
+
+    /// Times `routine` on fresh values from `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warm up and estimate per-iteration cost (setup excluded).
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = t.elapsed();
+            if dt >= WARMUP / 10 {
+                break dt.as_secs_f64() / iters as f64;
+            }
+            iters = iters.saturating_mul(4);
+        };
+        let total_iters = ((MEASURE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        // Batch setups so peak memory stays bounded.
+        let mut remaining = total_iters;
+        let mut spent = Duration::ZERO;
+        while remaining > 0 {
+            let batch = remaining.min(1024);
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            spent += t.elapsed();
+            remaining -= batch;
+        }
+        self.mean_ns = spent.as_secs_f64() * 1e9 / total_iters as f64;
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        let mean = self.mean_ns;
+        if mean.is_nan() {
+            eprintln!("  {id:<48} (no measurement)");
+            return;
+        }
+        let rate = |per_iter: u64| per_iter as f64 / (mean / 1e9);
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                eprintln!("  {id:<48} {mean:>14.1} ns/iter {:>14.0} elem/s", rate(n));
+            }
+            Some(Throughput::Bytes(n)) => {
+                eprintln!("  {id:<48} {mean:>14.1} ns/iter {:>14.0} B/s", rate(n));
+            }
+            None => {
+                eprintln!("  {id:<48} {mean:>14.1} ns/iter");
+            }
+        }
+    }
+}
+
+/// Collects benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter_batched(
+                || (0..n).collect::<Vec<u64>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,774 @@
+//! Offline, generation-only stand-in for the `proptest` crate.
+//!
+//! Supports the strategy combinators and macros this workspace uses:
+//! `proptest!`, `prop_oneof!`, `prop_assert!`/`prop_assert_eq!`,
+//! [`Strategy::prop_map`] / [`Strategy::prop_filter`] /
+//! [`Strategy::prop_recursive`], [`collection::vec`], [`sample::select`],
+//! [`option::of`], [`string::string_regex`], and `&str` char-class regex
+//! strategies.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with the `Debug` rendering of its inputs and the deterministic
+//! per-test seed, which reproduces the failure exactly.
+
+use std::fmt;
+use std::rc::Rc;
+
+use rand::prelude::*;
+use rand::SampleRange;
+
+/// Deterministic RNG handed to strategies.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// A generator seeded from a test name (FNV-1a), so every test has a
+    /// stable, independent stream.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.rng.next_u64() % n as u64) as usize
+    }
+
+    fn in_range(&mut self, lo: usize, hi_incl: usize) -> usize {
+        lo + self.below(hi_incl - lo + 1)
+    }
+}
+
+/// Why a test case failed (carried by `prop_assert!`-style macros).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given explanation.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-`proptest!` configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. `Clone` so strategies can be reused and composed.
+pub trait Strategy: Clone + 'static {
+    /// The type of generated values.
+    type Value: fmt::Debug + 'static;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| s.generate(rng))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        U: fmt::Debug + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| f(s.generate(rng)))
+    }
+
+    /// Regenerates until `pred` holds (at most 1000 attempts).
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let s = self;
+        let whence = whence.into();
+        BoxedStrategy::new(move |rng| {
+            for _ in 0..1000 {
+                let v = s.generate(rng);
+                if pred(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {whence:?}: predicate rejected 1000 consecutive samples");
+        })
+    }
+
+    /// Recursive strategies: `recurse` receives the strategy built so far
+    /// and wraps it one level deeper; `depth` bounds the nesting. The
+    /// `_desired_size`/`_expected_branch` hints are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        S2: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut cur = self.clone().boxed();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            // Mix in leaves at every level so expected sizes stay finite.
+            cur = union_weighted(vec![(2, self.clone().boxed()), (3, deeper)]);
+        }
+        cur
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a sampling closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T: fmt::Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T> {
+        self
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + fmt::Debug + 'static>(pub T);
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_from(&mut rng.rng)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_from(&mut rng.rng)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A/a, B/b);
+impl_tuple_strategy!(A/a, B/b, C/c);
+impl_tuple_strategy!(A/a, B/b, C/c, D/d);
+
+/// String literals are char-class regex strategies (`"[a-z]{0,8}"`).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pat = string::Pattern::parse(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"));
+        pat.generate(rng)
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: fmt::Debug + Sized + 'static {
+    /// The canonical strategy for this type.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy::new(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                BoxedStrategy::new(|rng| rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Weighted union of strategies — the engine behind `prop_oneof!`.
+pub fn union_weighted<T: fmt::Debug + 'static>(
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! of zero strategies");
+    let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+    assert!(total > 0, "prop_oneof! with all-zero weights");
+    BoxedStrategy::new(move |rng| {
+        let mut pick = rng.next_u64() % total;
+        for (w, s) in &arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum checked")
+    })
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Sizes for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_incl: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi_incl: n }
+        }
+    }
+
+    /// A `Vec` of values from `element`, with a size drawn from `size`.
+    pub fn vec<S: Strategy>(
+        element: S,
+        size: impl Into<SizeRange>,
+    ) -> BoxedStrategy<Vec<S::Value>> {
+        let size = size.into();
+        BoxedStrategy::new(move |rng| {
+            let n = rng.in_range(size.lo, size.hi_incl);
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+/// Sampling from fixed sets.
+pub mod sample {
+    use super::*;
+
+    /// A uniformly random element of `items` (cloned).
+    pub fn select<T: Clone + fmt::Debug + 'static>(items: &[T]) -> BoxedStrategy<T> {
+        assert!(!items.is_empty(), "select from empty slice");
+        let items: Vec<T> = items.to_vec();
+        BoxedStrategy::new(move |rng| items[rng.below(items.len())].clone())
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::*;
+
+    /// `Some` of a value from `inner` (3/4 of the time) or `None`.
+    pub fn of<S: Strategy>(inner: S) -> BoxedStrategy<Option<S::Value>> {
+        BoxedStrategy::new(move |rng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.generate(rng))
+            }
+        })
+    }
+}
+
+/// Char-class regex string strategies.
+pub mod string {
+    use super::*;
+
+    /// A regex-strategy parse error.
+    #[derive(Clone, Debug)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// One pattern atom: a set of char ranges and a repetition count.
+    #[derive(Clone, Debug)]
+    struct Atom {
+        ranges: Vec<(u32, u32)>,
+        lo: u32,
+        hi: u32,
+    }
+
+    /// A parsed pattern: a sequence of atoms.
+    #[derive(Clone, Debug)]
+    pub(crate) struct Pattern {
+        atoms: Vec<Atom>,
+    }
+
+    impl Pattern {
+        /// Parses the supported subset: literal chars, `\`-escapes,
+        /// `[...]` classes with ranges, and `{n}` / `{lo,hi}` / `?` /
+        /// `*` / `+` quantifiers.
+        pub(crate) fn parse(pattern: &str) -> Result<Pattern, Error> {
+            let mut chars = pattern.chars().peekable();
+            let mut atoms = Vec::new();
+            while let Some(c) = chars.next() {
+                let ranges = match c {
+                    '[' => parse_class(&mut chars)?,
+                    '\\' => {
+                        let e = chars
+                            .next()
+                            .ok_or_else(|| Error("trailing backslash".into()))?;
+                        let e = unescape(e);
+                        vec![(e as u32, e as u32)]
+                    }
+                    '.' => vec![(' ' as u32, '~' as u32)],
+                    other => vec![(other as u32, other as u32)],
+                };
+                let (lo, hi) = parse_quantifier(&mut chars)?;
+                atoms.push(Atom { ranges, lo, hi });
+            }
+            Ok(Pattern { atoms })
+        }
+
+        pub(crate) fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = rng.in_range(atom.lo as usize, atom.hi as usize);
+                let total: u32 = atom.ranges.iter().map(|&(a, b)| b - a + 1).sum();
+                for _ in 0..n {
+                    let mut pick = (rng.next_u64() % total as u64) as u32;
+                    for &(a, b) in &atom.ranges {
+                        let span = b - a + 1;
+                        if pick < span {
+                            // Skip the surrogate gap, which the patterns
+                            // in use never span.
+                            out.push(char::from_u32(a + pick).unwrap_or('?'));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(
+        chars: &mut core::iter::Peekable<core::str::Chars<'_>>,
+    ) -> Result<Vec<(u32, u32)>, Error> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .ok_or_else(|| Error("unterminated char class".into()))?;
+            let c = match c {
+                ']' => break,
+                '\\' => unescape(
+                    chars
+                        .next()
+                        .ok_or_else(|| Error("trailing backslash in class".into()))?,
+                ),
+                other => other,
+            };
+            // Range `c-d` unless `-` is the last char before `]`.
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next();
+                if ahead.peek().is_some_and(|&d| d != ']') {
+                    chars.next(); // the '-'
+                    let d = match chars.next().expect("peeked") {
+                        '\\' => unescape(
+                            chars
+                                .next()
+                                .ok_or_else(|| Error("trailing backslash in class".into()))?,
+                        ),
+                        other => other,
+                    };
+                    if (d as u32) < (c as u32) {
+                        return Err(Error(format!("inverted range {c}-{d}")));
+                    }
+                    ranges.push((c as u32, d as u32));
+                    continue;
+                }
+            }
+            ranges.push((c as u32, c as u32));
+        }
+        if ranges.is_empty() {
+            return Err(Error("empty char class".into()));
+        }
+        Ok(ranges)
+    }
+
+    fn parse_quantifier(
+        chars: &mut core::iter::Peekable<core::str::Chars<'_>>,
+    ) -> Result<(u32, u32), Error> {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut lo = 0u32;
+                let mut hi = None;
+                let mut cur = &mut lo;
+                let mut saw_digit = false;
+                loop {
+                    match chars
+                        .next()
+                        .ok_or_else(|| Error("unterminated quantifier".into()))?
+                    {
+                        '}' => break,
+                        ',' => {
+                            hi = Some(0u32);
+                            cur = hi.as_mut().expect("just set");
+                            saw_digit = false;
+                        }
+                        d if d.is_ascii_digit() => {
+                            *cur = *cur * 10 + d.to_digit(10).expect("digit");
+                            saw_digit = true;
+                        }
+                        other => return Err(Error(format!("bad quantifier char {other:?}"))),
+                    }
+                }
+                let hi = match hi {
+                    Some(h) if saw_digit => h,
+                    Some(_) => lo + 8, // open-ended {n,}
+                    None => lo,        // exact {n}
+                };
+                if hi < lo {
+                    return Err(Error(format!("inverted quantifier {{{lo},{hi}}}")));
+                }
+                Ok((lo, hi))
+            }
+            Some('?') => {
+                chars.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                chars.next();
+                Ok((0, 8))
+            }
+            Some('+') => {
+                chars.next();
+                Ok((1, 8))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    /// A strategy generating strings matching the supported regex subset.
+    pub fn string_regex(pattern: &str) -> Result<BoxedStrategy<String>, Error> {
+        let pat = Pattern::parse(pattern)?;
+        Ok(BoxedStrategy::new(move |rng| pat.generate(rng)))
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Module-style access (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::{collection, option, sample, string};
+    }
+}
+
+/// Weighted/unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::union_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assert_eq failed: {:?} != {:?}", l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assert_eq failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assert_ne failed: both {:?}", l
+            )));
+        }
+    }};
+}
+
+/// Defines `#[test]` functions that run a body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); $(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let mut inputs = ::std::string::String::new();
+                $(inputs.push_str(&format!(
+                    "  {} = {:?}\n", stringify!($arg), &$arg
+                ));)+
+                let result: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest {} failed at case {case}: {e}\ninputs:\n{inputs}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_regex_samples_match_class() {
+        let s = crate::string::string_regex("[a-c]{2,5}").unwrap();
+        let mut rng = crate::TestRng::from_name("string_regex");
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..=5).contains(&v.len()), "{v:?}");
+            assert!(v.chars().all(|c| ('a'..='c').contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn literal_pattern_strategies() {
+        let mut rng = crate::TestRng::from_name("literal");
+        for _ in 0..100 {
+            let v = Strategy::generate(&"[a-z][a-z0-9]{0,6}", &mut rng);
+            assert!(!v.is_empty() && v.len() <= 7, "{v:?}");
+            assert!(v.chars().next().unwrap().is_ascii_lowercase());
+        }
+        // the workspace's hairiest classes parse
+        for p in [
+            "[ -~éü€]{0,20}",
+            "[<>a-z&;/\"= !\\[\\]?-]{0,80}",
+            "[a-z(){}|&*+?,%0-9 ]{0,40}",
+            "[<>!A-Za-z%;()|,*+?\"# ]{0,80}",
+            "[a-z{}()@/|&*+?,= \\n]{0,80}",
+        ] {
+            let s = crate::string::string_regex(p).unwrap();
+            let _ = Strategy::generate(&s, &mut rng);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let s = prop_oneof![
+            3 => Just(0u8),
+            1 => Just(1u8),
+        ];
+        let mut rng = crate::TestRng::from_name("weights");
+        let zeros = (0..4000)
+            .filter(|_| Strategy::generate(&s, &mut rng) == 0)
+            .count();
+        assert!((2700..3300).contains(&zeros), "{zeros}");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u32),
+            Node(Vec<Tree>),
+        }
+        fn size(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(size).sum::<usize>(),
+            }
+        }
+        let leaf = (0u32..10).prop_map(Tree::Leaf);
+        let tree = leaf.prop_recursive(4, 24, 4, |inner| {
+            crate::collection::vec(inner, 2..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::from_name("recursion");
+        for _ in 0..100 {
+            let t = Strategy::generate(&tree, &mut rng);
+            assert!(size(&t) < 10_000);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(x in 0u32..50, flip in any::<bool>()) {
+            prop_assert!(x < 50);
+            if flip {
+                prop_assert_eq!(x + 1, 1 + x);
+            }
+        }
+
+        #[test]
+        fn tuple_and_filter(pair in (0usize..10, "[ab]{1,3}")) {
+            let (n, s) = pair;
+            prop_assert!(n < 10 && !s.is_empty());
+        }
+    }
+}
