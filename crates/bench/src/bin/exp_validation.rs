@@ -19,9 +19,18 @@
 //! * **product** — the relevance product (Lemma 7): exactly one
 //!   transition lookup per node.
 //!
+//! Part 3 (streaming): end-to-end (parse + validate) throughput of the
+//! streaming validator vs the tree pipeline on the same serialized
+//! corpora, plus a peak-RSS measurement on a large generated document:
+//! each mode runs in a fresh subprocess (`--mem-probe`, a hidden flag)
+//! so `VmHWM` isolates that mode's high-water mark. The streamed RSS
+//! should be flat in document size (O(depth) frames), the tree RSS
+//! proportional to it. `--mem-mb N` sizes the document (default 100).
+//!
 //! `--json <path>` writes the numbers as `BENCH_validation.json`.
 
 use std::collections::BTreeMap;
+use std::io::Write;
 
 use bonxai_bench::{print_table, timed};
 use bonxai_core::translate::bxsd_to_dfa_xsd;
@@ -30,7 +39,7 @@ use bonxai_gen::{sample_document, DocConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use relang::{CompiledDre, Dfa, StateId};
-use xmltree::{Document, NodeId};
+use xmltree::{Document, NodeId, XmlReader};
 use xsd::violation::{Violation, ViolationKind};
 use xsd::CompiledXsd;
 
@@ -49,19 +58,32 @@ fn data(name: &str) -> String {
 }
 
 fn main() {
-    let json_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--json")
-            .map(|i| args.get(i + 1).cloned().expect("--json <path>"))
-    };
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--mem-probe") {
+        // Hidden subprocess mode for the peak-RSS measurement.
+        let [mode, schema, doc] = &args[i + 1..i + 4] else {
+            panic!("--mem-probe <tree|stream> <schema> <document>");
+        };
+        mem_probe(mode, schema, doc);
+        return;
+    }
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).cloned().expect("--json <path>"));
+    let mem_mb: usize = args
+        .iter()
+        .position(|a| a == "--mem-mb")
+        .map(|i| args.get(i + 1).expect("--mem-mb <N>").parse().expect("N"))
+        .unwrap_or(100);
 
     // The ablation runs first: its corpora are timed on a fresh heap,
     // before the scaling table's 100k-node documents fragment it.
     let results = ablation();
+    let mem = streaming_memory(mem_mb);
     scaling_table();
     if let Some(path) = json_path {
-        let json = render_json(&results);
+        let json = render_json(&results, &mem);
         std::fs::write(&path, json).expect("write json");
         println!("\nwrote {path}");
     }
@@ -298,6 +320,10 @@ struct Ablation {
     /// This change's lock-step fallback (Theorem 9 path).
     fallback_ns_per_node: f64,
     product_ns_per_node: f64,
+    /// End-to-end tree pipeline: parse to a tree, then validate.
+    tree_e2e_ns_per_node: f64,
+    /// End-to-end streaming validation of the same bytes (no tree).
+    stream_ns_per_node: f64,
 }
 
 impl Ablation {
@@ -369,6 +395,41 @@ fn ablation() -> Vec<Ablation> {
             product_ns = product_ns.min(one(ValidateOptions::default()));
         }
 
+        // Streamed vs tree, end to end over the same bytes: the tree
+        // pipeline parses and then validates; the streaming validator
+        // does both in one pass without materializing nodes.
+        let texts: Vec<String> = docs.iter().map(xmltree::to_string).collect();
+        let mut tree_e2e_ns = f64::INFINITY;
+        let mut stream_ns = f64::INFINITY;
+        for _ in 0..10 {
+            let (violations, ms) = timed(|| {
+                texts
+                    .iter()
+                    .map(|t| {
+                        let doc = xmltree::parse_document(t).expect("round-trip");
+                        compiled.validate(&doc).violations.len()
+                    })
+                    .sum::<usize>()
+            });
+            assert_eq!(violations, 0, "{name}: corpus must conform (tree)");
+            tree_e2e_ns = tree_e2e_ns.min(ms * 1e6 / nodes as f64);
+            let (violations, ms) = timed(|| {
+                texts
+                    .iter()
+                    .map(|t| {
+                        let mut reader = XmlReader::from_str(t);
+                        compiled
+                            .validate_stream(&mut reader)
+                            .expect("round-trip")
+                            .violations
+                            .len()
+                    })
+                    .sum::<usize>()
+            });
+            assert_eq!(violations, 0, "{name}: corpus must conform (stream)");
+            stream_ns = stream_ns.min(ms * 1e6 / nodes as f64);
+        }
+
         results.push(Ablation {
             schema: name,
             rules: schema.bxsd.n_rules(),
@@ -377,6 +438,8 @@ fn ablation() -> Vec<Ablation> {
             lockstep_ns_per_node: lockstep_ns,
             fallback_ns_per_node: fallback_ns,
             product_ns_per_node: product_ns,
+            tree_e2e_ns_per_node: tree_e2e_ns,
+            stream_ns_per_node: stream_ns,
         });
     }
 
@@ -393,6 +456,8 @@ fn ablation() -> Vec<Ablation> {
                 format!("{:.0}", r.product_ns_per_node),
                 format!("{:.2}x", r.speedup()),
                 format!("{:.2}x", r.fallback_speedup()),
+                format!("{:.0}", r.tree_e2e_ns_per_node),
+                format!("{:.0}", r.stream_ns_per_node),
             ]
         })
         .collect();
@@ -408,18 +473,179 @@ fn ablation() -> Vec<Ablation> {
             "product",
             "vs seed",
             "vs fallback",
+            "tree e2e",
+            "streamed",
         ],
         &rows,
     );
     println!(
         "\nns/node; seed lock-step = the pre-product evaluator (two child \
          passes, always records matches); fallback = this change's \
-         Theorem-9 lock-step path; product = one lookup per node."
+         Theorem-9 lock-step path; product = one lookup per node. The \
+         last two columns are end-to-end over serialized bytes: parse + \
+         validate a tree vs one streaming pass with no tree."
     );
     results
 }
 
-fn render_json(results: &[Ablation]) -> String {
+/// One mode's run of the `--mem-probe` subprocess.
+struct ProbeResult {
+    violations: usize,
+    ms: f64,
+    peak_rss_mb: f64,
+}
+
+/// The streaming-memory measurement: both pipelines over one large
+/// on-disk document, each in a fresh subprocess.
+struct StreamMemory {
+    doc_mb: f64,
+    depth: usize,
+    tree: ProbeResult,
+    stream: ProbeResult,
+}
+
+/// Process peak resident set (`VmHWM`) in KiB; 0 where /proc is absent.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Subprocess body for one (mode, schema, document) measurement. Prints
+/// a single machine-readable line; the process's `VmHWM` then reflects
+/// only this mode's allocations.
+fn mem_probe(mode: &str, schema_path: &str, doc_path: &str) {
+    let src = std::fs::read_to_string(schema_path).expect("schema file");
+    let schema = BonxaiSchema::parse(&src).expect("schema parses");
+    let compiled = CompiledBxsd::new(&schema.bxsd);
+    let baseline_kb = peak_rss_kb();
+    let start = std::time::Instant::now();
+    let violations = match mode {
+        "tree" => {
+            let text = std::fs::read_to_string(doc_path).expect("document file");
+            let doc = xmltree::parse_document(&text).expect("well-formed");
+            compiled.validate(&doc).violations.len()
+        }
+        "stream" => {
+            let file = std::fs::File::open(doc_path).expect("document file");
+            let mut reader = XmlReader::from_reader(file);
+            compiled.validate_stream(&mut reader).expect("well-formed").violations.len()
+        }
+        other => panic!("unknown probe mode {other:?}"),
+    };
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "RESULT violations={violations} ms={ms:.1} peak_rss_kb={} baseline_kb={baseline_kb}",
+        peak_rss_kb()
+    );
+}
+
+/// Generates a ~`mb` MiB figure5-conforming document on disk and runs
+/// the tree and streaming pipelines over it in fresh subprocesses,
+/// comparing wall time and peak RSS.
+fn streaming_memory(mb: usize) -> StreamMemory {
+    let dir = std::env::temp_dir();
+    let schema_path = dir.join("bonxai_bench_figure5.bonxai");
+    std::fs::write(&schema_path, data("figure5.bonxai")).expect("write schema");
+    let doc_path = dir.join("bonxai_bench_big.xml");
+
+    // Content sections nest three deep per chunk, so the document is
+    // wide (bytes scale with chunk count) but of constant depth 5 —
+    // the streaming frame stack never exceeds 5 entries.
+    const CHUNK: &str = "<section title=\"Chapter\">intro <bold>text</bold>\
+        <section title=\"Part\">body body body body body body body\
+        <section title=\"Detail\">deep deep deep deep deep deep</section>\
+        </section></section>\n";
+    let depth = 5;
+    let target = mb * (1 << 20);
+    {
+        let file = std::fs::File::create(&doc_path).expect("create big doc");
+        let mut w = std::io::BufWriter::new(file);
+        w.write_all(b"<document><template/><userstyles/><content>\n")
+            .expect("write");
+        let mut written = 0usize;
+        while written < target {
+            w.write_all(CHUNK.as_bytes()).expect("write");
+            written += CHUNK.len();
+        }
+        w.write_all(b"</content></document>\n").expect("write");
+    }
+    let doc_mb = std::fs::metadata(&doc_path).expect("big doc").len() as f64 / (1 << 20) as f64;
+
+    let probe = |mode: &str| -> ProbeResult {
+        let out = std::process::Command::new(std::env::current_exe().expect("self"))
+            .args(["--mem-probe", mode])
+            .arg(&schema_path)
+            .arg(&doc_path)
+            .output()
+            .expect("probe subprocess runs");
+        assert!(
+            out.status.success(),
+            "probe {mode}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("RESULT "))
+            .expect("probe output");
+        let field = |key: &str| -> f64 {
+            line.split_whitespace()
+                .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+                .expect("probe field")
+                .parse()
+                .expect("probe number")
+        };
+        ProbeResult {
+            violations: field("violations") as usize,
+            ms: field("ms"),
+            peak_rss_mb: field("peak_rss_kb") / 1024.0,
+        }
+    };
+    let tree = probe("tree");
+    let stream = probe("stream");
+    assert_eq!(
+        tree.violations, stream.violations,
+        "streamed and tree verdicts must agree on the big document"
+    );
+    let _ = std::fs::remove_file(&doc_path);
+
+    print_table(
+        &format!("Peak RSS: streaming vs tree on a {doc_mb:.0} MiB document (figure5, depth {depth})"),
+        &["mode", "wall ms", "peak RSS (MiB)"],
+        &[
+            vec![
+                "tree (parse+validate)".into(),
+                format!("{:.0}", tree.ms),
+                format!("{:.1}", tree.peak_rss_mb),
+            ],
+            vec![
+                "streamed".into(),
+                format!("{:.0}", stream.ms),
+                format!("{:.1}", stream.peak_rss_mb),
+            ],
+        ],
+    );
+    println!(
+        "\nExpected shape: the streamed peak is flat in document size \
+         (O(depth) frames + a 64 KiB read window), the tree peak grows \
+         with it (node arena + strings)."
+    );
+    StreamMemory {
+        doc_mb,
+        depth,
+        tree,
+        stream,
+    }
+}
+
+fn render_json(results: &[Ablation], mem: &StreamMemory) -> String {
     let mut out = String::from("{\n  \"experiment\": \"validation_product_vs_lockstep\",\n");
     out.push_str(
         "  \"lockstep_baseline\": \"pre-product evaluator (two child passes, \
@@ -433,7 +659,8 @@ fn render_json(results: &[Ablation]) -> String {
              \"fallback_ns_per_node\": {:.2}, \
              \"product_ns_per_node\": {:.2}, \"lockstep_nodes_per_sec\": {:.0}, \
              \"product_nodes_per_sec\": {:.0}, \"speedup\": {:.3}, \
-             \"fallback_speedup\": {:.3}}}{}\n",
+             \"fallback_speedup\": {:.3}, \"tree_e2e_ns_per_node\": {:.2}, \
+             \"stream_ns_per_node\": {:.2}}}{}\n",
             r.schema,
             r.rules,
             r.product_states,
@@ -445,10 +672,25 @@ fn render_json(results: &[Ablation]) -> String {
             r.product_nodes_per_sec(),
             r.speedup(),
             r.fallback_speedup(),
+            r.tree_e2e_ns_per_node,
+            r.stream_ns_per_node,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"streaming_memory\": {{\"schema\": \"figure5.bonxai\", \
+         \"doc_mb\": {:.1}, \"depth\": {}, \
+         \"tree_ms\": {:.1}, \"tree_peak_rss_mb\": {:.1}, \
+         \"stream_ms\": {:.1}, \"stream_peak_rss_mb\": {:.1}}}\n",
+        mem.doc_mb,
+        mem.depth,
+        mem.tree.ms,
+        mem.tree.peak_rss_mb,
+        mem.stream.ms,
+        mem.stream.peak_rss_mb,
+    ));
+    out.push_str("}\n");
     out
 }
 

@@ -88,7 +88,8 @@ fn positional(args: &[String]) -> Vec<&String> {
             skip = true;
             continue;
         }
-        if a.starts_with('-') {
+        // A lone "-" is a positional operand (stdin), not a flag.
+        if a.starts_with('-') && a != "-" {
             continue;
         }
         let _ = i;
@@ -107,7 +108,6 @@ pub fn validate(args: &[String]) -> Result<ExitCode, String> {
         );
     };
     let schema = load_schema(schema_path)?;
-    let doc = load_document(doc_path)?;
     let show_rules = has_flag(args, "--rules");
     let show_matches = has_flag(args, "--matches");
     let opts = ValidateOptions {
@@ -117,6 +117,10 @@ pub fn validate(args: &[String]) -> Result<ExitCode, String> {
     if has_flag(args, "--fast") && opts.force_lockstep {
         return Err("--fast and --lockstep are mutually exclusive".into());
     }
+    if has_flag(args, "--stream") {
+        return validate_stream(args, &schema, doc_path, opts);
+    }
+    let doc = load_document(doc_path)?;
 
     let valid = match &schema {
         AnySchema::Bonxai(s) => {
@@ -189,6 +193,64 @@ pub fn validate(args: &[String]) -> Result<ExitCode, String> {
         }
     };
     if valid {
+        println!("valid");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("INVALID");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// `validate --stream`: validates the document in O(depth) memory by
+/// driving the relevance product over XML events, never building a tree.
+/// The document operand may be `-` for stdin. Produces the exact report
+/// tree validation would (same node order, same violations).
+fn validate_stream(
+    args: &[String],
+    schema: &AnySchema,
+    doc_path: &str,
+    opts: ValidateOptions,
+) -> Result<ExitCode, String> {
+    let AnySchema::Bonxai(s) = schema else {
+        return Err("--stream supports BonXai schemas only".into());
+    };
+    if opts.record_matches {
+        return Err(
+            "--stream cannot print per-element rules (they need the document tree); \
+             drop --rules/--matches"
+                .into(),
+        );
+    }
+    if !s.ast.constraints.is_empty() {
+        return Err(
+            "--stream cannot check key/unique constraints (they need the document tree); \
+             validate without --stream"
+                .into(),
+        );
+    }
+    let compiled = CompiledBxsd::new(&s.bxsd);
+    if has_flag(args, "--fast") && compiled.product_states().is_none() {
+        return Err(
+            "--fast: the relevance product exceeds the state budget \
+             for this schema (Theorem 9); rerun without --fast"
+                .into(),
+        );
+    }
+    let report = if doc_path == "-" {
+        let stdin = std::io::stdin();
+        let mut reader = xmltree::XmlReader::from_reader(stdin.lock());
+        compiled.validate_stream_with(&mut reader, opts)
+    } else {
+        let file =
+            fs::File::open(doc_path).map_err(|e| format!("cannot read {doc_path}: {e}"))?;
+        let mut reader = xmltree::XmlReader::from_reader(file);
+        compiled.validate_stream_with(&mut reader, opts)
+    }
+    .map_err(|e| format!("{doc_path}: {e}"))?;
+    for v in &report.violations {
+        println!("violation: {}", v.kind);
+    }
+    if report.is_valid() {
         println!("valid");
         Ok(ExitCode::SUCCESS)
     } else {

@@ -20,7 +20,10 @@ COMMANDS:
         with --rules the relevant BonXai rule for every element.
         --fast requires the product-automaton path (fails on schemas
         whose relevance product exceeds the state budget); --lockstep
-        forces the reference evaluator.
+        forces the reference evaluator. With --stream (BonXai schemas)
+        the document — a file, or `-` for stdin — is validated in one
+        streaming pass using O(depth) memory, never building a tree;
+        the report is identical to tree validation.
 
     to-xsd <schema.bonxai> [-o out.xsd]
         Compile a BonXai schema to XML Schema.
@@ -54,6 +57,7 @@ OPTIONS:
     --matches    (validate) print all matching rules per element
     --fast       (validate) require the product-automaton fast path
     --lockstep   (validate) force the lock-step reference evaluator
+    --stream     (validate) stream the document in O(depth) memory
     --seed N     (sample) RNG seed (default 0)
     --count N    (sample) number of documents (default 1)
 ";

@@ -100,6 +100,74 @@ fn validate_matches_mode_prints_all_matching_rules() {
 }
 
 #[test]
+fn validate_stream_agrees_with_tree_validation() {
+    // valid document: same verdict from file and from stdin
+    let out = run(&[
+        "validate",
+        &data("figure5.bonxai"),
+        &data("figure1_document.xml"),
+        "--stream",
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("valid"));
+
+    let xml = std::fs::read(data("figure1_document.xml")).expect("reads");
+    let out = {
+        use std::io::Write;
+        use std::process::Stdio;
+        let mut child = Command::new(env!("CARGO_BIN_EXE_bonxai"))
+            .args(["validate", &data("figure5.bonxai"), "-", "--stream"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("binary runs");
+        child.stdin.take().expect("piped").write_all(&xml).expect("writes");
+        child.wait_with_output().expect("binary exits")
+    };
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("valid"));
+
+    // invalid document: identical violation lines, streamed and not
+    let tmp = std::env::temp_dir().join("bonxai_cli_stream_bad.xml");
+    std::fs::write(&tmp, "<document><content><zzz/>text</content></document>").expect("writes");
+    let tmp = tmp.to_str().expect("utf8");
+    let tree = run(&["validate", &data("figure5.bonxai"), tmp]);
+    let streamed = run(&["validate", &data("figure5.bonxai"), tmp, "--stream"]);
+    assert!(!streamed.status.success());
+    assert_eq!(stdout(&streamed), stdout(&tree));
+}
+
+#[test]
+fn validate_stream_flag_conflicts_are_errors() {
+    let args_base = [
+        "validate",
+        &data("figure5.bonxai"),
+        &data("figure1_document.xml"),
+        "--stream",
+    ];
+    for extra in ["--rules", "--matches"] {
+        let mut args: Vec<&str> = args_base.to_vec();
+        args.push(extra);
+        let out = run(&args);
+        assert!(!out.status.success(), "{extra}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--stream"),
+            "{extra}"
+        );
+    }
+    // non-BonXai schemas have no streaming path
+    let out = run(&[
+        "validate",
+        &data("figure3.xsd"),
+        &data("figure1_document.xml"),
+        "--stream",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("BonXai"));
+}
+
+#[test]
 fn to_xsd_from_xsd_roundtrip() {
     let tmp = std::env::temp_dir().join("bonxai_cli_out.xsd");
     let out = run(&[

@@ -263,7 +263,11 @@ impl<'a> Parser<'a> {
             if mixed {
                 return Err(LangError::at(&open, "'mixed' cannot combine with a type body"));
             }
-            return Ok(RuleBody::Simple(SimpleType::from_qname(&qname), facets));
+            let st = SimpleType::from_qname(&qname);
+            facets
+                .check(st)
+                .map_err(|e| LangError::at(&open, format!("invalid facets for {qname}: {e}")))?;
+            return Ok(RuleBody::Simple(st, facets));
         }
         let mut body = self.parse_body_items()?;
         body.mixed = mixed;
@@ -1047,6 +1051,24 @@ mod tests {
         assert!(parse_schema("bogus { }").is_err());
         // attribute under a repetition: rejected
         assert!(parse_schema("grammar { a = { (attribute x)* } }").is_err());
+    }
+
+    #[test]
+    fn invalid_facet_bounds_are_schema_errors() {
+        // Regression: a bound that does not parse as the base type used
+        // to become NaN at validation time and silently reject (min) or
+        // admit (max) every value; it must be rejected at schema parse.
+        let ok = r#"grammar { a = { type xs:integer { min "0", max "10" } } }"#;
+        assert!(parse_schema(ok).is_ok());
+        let bad = r#"grammar { a = { type xs:integer { max "ten" } } }"#;
+        let e = parse_schema(bad).unwrap_err();
+        assert!(e.to_string().contains("invalid facets"), "{e}");
+        let inverted = r#"grammar { a = { type xs:integer { min "10", max "9" } } }"#;
+        let e = parse_schema(inverted).unwrap_err();
+        assert!(e.to_string().contains("exceeds"), "{e}");
+        // the same bound is fine where it is lexicographically sensible
+        let string_bound = r#"grammar { a = { type xs:string { max "ten" } } }"#;
+        assert!(parse_schema(string_bound).is_ok());
     }
 
     #[test]

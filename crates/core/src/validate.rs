@@ -24,12 +24,26 @@
 //! in `tests/validate_equivalence.rs` pins that down. Per-node
 //! [`NodeMatch`] recording is opt-in via
 //! [`ValidateOptions::record_matches`]; validation itself never needs it.
+//!
+//! ## Streaming
+//!
+//! Validation is a single top-down pass over ancestor paths (the Section 5
+//! translation machinery evaluates `anc-str(v)` prefix by prefix), so it
+//! needs no tree at all: [`CompiledBxsd::validate_stream`] drives the same
+//! relevance product (or lock-step fallback) directly over the events of
+//! an [`XmlReader`], keeping one frame per *open* element — O(depth)
+//! memory regardless of document size. Reports are byte-identical to the
+//! tree paths because (a) the tree parser is itself a fold over the same
+//! event stream, so node ids coincide by construction, and (b) every path
+//! orders violations canonically (stable-sorted by node, i.e. document
+//! order). `tests/stream_equivalence.rs` pins the equivalence.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
-use relang::ops::RelevanceProduct;
+use relang::ops::{ProductState, RelevanceProduct};
 use relang::{CompiledDre, Dfa, StateId, Sym};
-use xmltree::{Document, NodeId};
+use xmltree::stream::{ByteSrc, XmlEvent, XmlReader};
+use xmltree::{Attribute, Document, NodeId};
 use xsd::violation::{Violation, ViolationKind};
 
 use crate::bxsd::Bxsd;
@@ -64,7 +78,11 @@ pub struct ValidateOptions {
 /// The result of validating a document against a BXSD.
 #[derive(Clone, Debug)]
 pub struct BxsdReport {
-    /// All violations (empty = the document conforms).
+    /// All violations (empty = the document conforms), canonically
+    /// ordered: stable-sorted by node id, i.e. document order. The
+    /// canonical order is what makes reports from the tree paths and the
+    /// streaming path (which discover violations in different traversal
+    /// orders) directly comparable with `==`.
     pub violations: Vec<Violation>,
     /// Rule matches per element node (populated only when
     /// [`ValidateOptions::record_matches`] is set).
@@ -174,7 +192,55 @@ impl<'a> CompiledBxsd<'a> {
             (_, _, false) => self.run_lockstep::<false>(doc, root, root_sym, &mut report),
             (_, _, true) => self.run_lockstep::<true>(doc, root, root_sym, &mut report),
         }
+        report.violations.sort_by_key(|v| v.node);
         report
+    }
+
+    /// Validates the document streamed by `reader` without building a
+    /// tree, holding one frame per *open* element (O(depth) memory).
+    /// Default options; see [`Self::validate_stream_with`].
+    pub fn validate_stream<S: ByteSrc>(
+        &self,
+        reader: &mut XmlReader<S>,
+    ) -> Result<BxsdReport, xmltree::ParseError> {
+        self.validate_stream_with(reader, ValidateOptions::default())
+    }
+
+    /// Streaming validation with explicit [`ValidateOptions`].
+    ///
+    /// The report is byte-identical to parsing the same bytes and calling
+    /// [`Self::validate_with`]: node ids are assigned by counting
+    /// `StartElement`/`Text` events, which is exactly the order in which
+    /// the tree parser (itself a fold over the same events) allocates
+    /// arena nodes. Uses the relevance product when available and not
+    /// overridden, with the same transparent lock-step fallback as the
+    /// tree path. Returns `Err` on malformed XML — the analogue of
+    /// failing to parse before tree validation — in which case no report
+    /// exists.
+    pub fn validate_stream_with<S: ByteSrc>(
+        &self,
+        reader: &mut XmlReader<S>,
+        opts: ValidateOptions,
+    ) -> Result<BxsdReport, xmltree::ParseError> {
+        let mut report = BxsdReport {
+            violations: Vec::new(),
+            matches: BTreeMap::new(),
+        };
+        match (&self.relevance, opts.force_lockstep) {
+            (Some(p), false) => {
+                self.run_stream(reader, &ProductEngine(p), opts.record_matches, &mut report)?
+            }
+            _ => self.run_stream(
+                reader,
+                &LockstepEngine {
+                    dfas: &self.ancestor_dfas,
+                },
+                opts.record_matches,
+                &mut report,
+            )?,
+        }
+        report.violations.sort_by_key(|v| v.node);
+        Ok(report)
     }
 
     /// Validates many documents in parallel with scoped threads,
@@ -435,6 +501,192 @@ impl<'a> CompiledBxsd<'a> {
             });
         }
     }
+
+    /// The streaming counterpart of `run_product`/`run_lockstep`, generic
+    /// over the ancestor-state engine. Per `StartElement` the parent
+    /// frame's content DFA is stepped and a child frame is pushed; per
+    /// `EndElement` the finished frame is checked and popped. Nothing
+    /// outside the frame stack (plus a per-distinct-name symbol cache)
+    /// is retained, so memory is O(depth), not O(document).
+    fn run_stream<S: ByteSrc, E: AncEngine>(
+        &self,
+        reader: &mut XmlReader<S>,
+        eng: &E,
+        record: bool,
+        report: &mut BxsdReport,
+    ) -> Result<(), xmltree::ParseError> {
+        // Frames reference `self` through their ContentEval.
+        let mut stack: Vec<StreamFrame<'_, E::State>> = Vec::new();
+        // Next node id, counting element and text nodes in event order —
+        // the arena allocation order of the tree parser.
+        let mut next_node = 0usize;
+        // A rejected root mirrors the tree path's early return: the rest
+        // of the document is drained (malformed XML must still error) but
+        // produces no further violations or matches.
+        let mut root_rejected = false;
+        // Streaming analogue of `resolve_names`: resolve each distinct
+        // element name against the schema alphabet once.
+        let mut syms: HashMap<String, Option<Sym>> = HashMap::new();
+        loop {
+            match reader.next_event()? {
+                XmlEvent::Doctype { .. } => {}
+                XmlEvent::StartElement {
+                    name, attributes, ..
+                } => {
+                    let node = NodeId(next_node);
+                    next_node += 1;
+                    if root_rejected {
+                        continue;
+                    }
+                    let sym = match syms.get(&name) {
+                        Some(&s) => s,
+                        None => {
+                            let s = self.bxsd.ename.lookup(&name);
+                            syms.insert(name.clone(), s);
+                            s
+                        }
+                    };
+                    let state = if let Some(parent) = stack.last_mut() {
+                        if parent.unknown_at.is_some() {
+                            eng.dead()
+                        } else {
+                            match sym {
+                                Some(sym) => {
+                                    parent.content.step(sym, parent.count, &mut parent.word);
+                                    parent.count += 1;
+                                    eng.child(&parent.state, sym)
+                                }
+                                None => {
+                                    report.violations.push(Violation {
+                                        node,
+                                        kind: ViolationKind::NoGoverningDefinition(name.clone()),
+                                    });
+                                    parent.unknown_at = Some(parent.count);
+                                    eng.dead()
+                                }
+                            }
+                        }
+                    } else {
+                        match sym.filter(|s| self.bxsd.start.contains(s)) {
+                            Some(sym) => eng.start(sym),
+                            None => {
+                                report.violations.push(Violation {
+                                    node,
+                                    kind: ViolationKind::RootNotAllowed(name),
+                                });
+                                root_rejected = true;
+                                continue;
+                            }
+                        }
+                    };
+                    let relevant = eng.relevant(&state);
+                    if record {
+                        report.matches.insert(
+                            node,
+                            NodeMatch {
+                                matching: eng.matching(&state),
+                                relevant,
+                            },
+                        );
+                    }
+                    let mut word = Vec::new();
+                    let content = self.content_eval(relevant, &mut word);
+                    // Text is only accumulated where it will be checked
+                    // (simple content), so arbitrary amounts of ignored
+                    // text cannot grow a frame.
+                    let text = relevant
+                        .filter(|&i| self.bxsd.rules[i].content.simple_content.is_some())
+                        .map(|_| String::new());
+                    stack.push(StreamFrame {
+                        node,
+                        name,
+                        attributes,
+                        state,
+                        relevant,
+                        content,
+                        word,
+                        count: 0,
+                        unknown_at: None,
+                        has_text: false,
+                        text,
+                    });
+                }
+                XmlEvent::Text { text, .. } => {
+                    // Text nodes occupy arena slots in the tree build.
+                    next_node += 1;
+                    if root_rejected {
+                        continue;
+                    }
+                    let frame = stack.last_mut().expect("text only occurs inside the root");
+                    if let Some(acc) = &mut frame.text {
+                        acc.push_str(&text);
+                    }
+                    frame.has_text =
+                        frame.has_text || text.chars().any(|c| !c.is_whitespace());
+                }
+                XmlEvent::EndElement { .. } => {
+                    if root_rejected {
+                        continue;
+                    }
+                    let frame = stack.pop().expect("events are well nested");
+                    let failed_at = frame
+                        .unknown_at
+                        .or_else(|| frame.content.finish(frame.count, &frame.word));
+                    self.check_stream_node(
+                        frame.node,
+                        &frame.name,
+                        &frame.attributes,
+                        frame.relevant,
+                        failed_at,
+                        frame.has_text,
+                        frame.text.as_deref(),
+                        &mut report.violations,
+                    );
+                }
+                XmlEvent::EndDocument => return Ok(()),
+            }
+        }
+    }
+
+    /// [`Self::check_node`] over a finished stream frame instead of a
+    /// tree node: same checks, same order, same violations.
+    #[allow(clippy::too_many_arguments)]
+    fn check_stream_node(
+        &self,
+        node: NodeId,
+        name: &str,
+        attributes: &[Attribute],
+        relevant: Option<usize>,
+        failed_at: Option<usize>,
+        has_text: bool,
+        text: Option<&str>,
+        violations: &mut Vec<Violation>,
+    ) {
+        let Some(i) = relevant else {
+            return;
+        };
+        let model = &self.bxsd.rules[i].content;
+        if model.simple_content.is_some() {
+            xsd::violation::check_simple_text(node, name, model, text.unwrap_or(""), violations);
+        } else if !model.mixed && !model.open && has_text {
+            violations.push(Violation {
+                node,
+                kind: ViolationKind::UnexpectedText(name.to_owned()),
+            });
+        }
+        if !attributes.is_empty() || self.requires_attr[i] {
+            xsd::violation::check_attribute_list(node, attributes, model, violations);
+        }
+        if let Some(at) = failed_at {
+            violations.push(Violation {
+                node,
+                kind: ViolationKind::ContentModel {
+                    element: name.to_owned(),
+                    at,
+                },
+            });
+        }
+    }
 }
 
 /// Incremental content-model evaluation for one node's children. The
@@ -487,6 +739,120 @@ impl ContentEval<'_> {
             ContentEval::Buffered(m) => m.first_error(word),
         }
     }
+}
+
+/// Ancestor-state evaluation strategy for the streaming validator —
+/// the same two strategies as the tree paths (`run_product` /
+/// `run_lockstep`), expressed per transition so one frame-stack driver
+/// serves both.
+trait AncEngine {
+    /// The per-element ancestor state (a single product state, or one
+    /// `Option<StateId>` per ancestor DFA in lock-step).
+    type State;
+    /// State of the root element (its ancestor string is `root_sym`).
+    fn start(&self, root_sym: Sym) -> Self::State;
+    /// State of a child reached by `sym` from `parent`.
+    fn child(&self, parent: &Self::State, sym: Sym) -> Self::State;
+    /// The absorbing dead state (below unknown-named elements).
+    fn dead(&self) -> Self::State;
+    /// The relevant (last matching) rule in `q`, per Definition 1.
+    fn relevant(&self, q: &Self::State) -> Option<usize>;
+    /// All matching rules in `q`, in schema order.
+    fn matching(&self, q: &Self::State) -> Vec<usize>;
+}
+
+/// Relevance-product engine: one table lookup per transition (Lemma 7).
+struct ProductEngine<'a>(&'a RelevanceProduct);
+
+impl AncEngine for ProductEngine<'_> {
+    type State = ProductState;
+
+    fn start(&self, root_sym: Sym) -> ProductState {
+        self.0.step(self.0.initial(), root_sym)
+    }
+
+    fn child(&self, parent: &ProductState, sym: Sym) -> ProductState {
+        self.0.step(*parent, sym)
+    }
+
+    fn dead(&self) -> ProductState {
+        self.0.dead()
+    }
+
+    fn relevant(&self, q: &ProductState) -> Option<usize> {
+        self.0.relevant(*q).map(|i| i as usize)
+    }
+
+    fn matching(&self, q: &ProductState) -> Vec<usize> {
+        self.0.matching(*q).iter().map(|&i| i as usize).collect()
+    }
+}
+
+/// Lock-step engine: all N ancestor DFAs advanced side by side
+/// (`None` = dead), used when the product exceeded its budget.
+struct LockstepEngine<'a> {
+    dfas: &'a [Dfa],
+}
+
+impl AncEngine for LockstepEngine<'_> {
+    type State = Vec<Option<StateId>>;
+
+    fn start(&self, root_sym: Sym) -> Self::State {
+        self.dfas
+            .iter()
+            .map(|d| d.transition(d.initial(), root_sym))
+            .collect()
+    }
+
+    fn child(&self, parent: &Self::State, sym: Sym) -> Self::State {
+        parent
+            .iter()
+            .zip(self.dfas)
+            .map(|(s, d)| s.and_then(|q| d.transition(q, sym)))
+            .collect()
+    }
+
+    fn dead(&self) -> Self::State {
+        vec![None; self.dfas.len()]
+    }
+
+    fn relevant(&self, q: &Self::State) -> Option<usize> {
+        q.iter()
+            .enumerate()
+            .rev()
+            .find_map(|(i, s)| s.is_some_and(|q| self.dfas[i].is_final(q)).then_some(i))
+    }
+
+    fn matching(&self, q: &Self::State) -> Vec<usize> {
+        q.iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_some_and(|q| self.dfas[i].is_final(q)).then_some(i))
+            .collect()
+    }
+}
+
+/// Everything the streaming validator retains about one *open* element.
+/// The stack of these frames is the validator's entire per-document
+/// state — its depth is the open-element depth of the input.
+struct StreamFrame<'c, St> {
+    node: NodeId,
+    name: String,
+    attributes: Vec<Attribute>,
+    /// Ancestor state; children derive theirs from it via the engine.
+    state: St,
+    relevant: Option<usize>,
+    content: ContentEval<'c>,
+    /// Child word, filled only by the buffered content fallback.
+    word: Vec<Sym>,
+    /// Known element children consumed so far.
+    count: usize,
+    /// Position of the first unknown-named child, if any.
+    unknown_at: Option<usize>,
+    /// Any non-whitespace text seen among the children.
+    has_text: bool,
+    /// Accumulated child text — `Some` only under simple content, where
+    /// the finished value is type-checked.
+    text: Option<String>,
 }
 
 /// One-shot validation under the priority semantics (default options).
@@ -751,6 +1117,92 @@ mod tests {
             assert_eq!(a.violations, b.violations);
             assert_eq!(a.matches, b.matches);
         }
+    }
+
+    /// Streams `input` and tree-validates the parse of the same bytes;
+    /// asserts byte-identical reports under all four strategy/recording
+    /// combinations. Returns the (sorted) violations for further checks.
+    fn assert_stream_equivalence(c: &CompiledBxsd<'_>, input: &str) -> Vec<Violation> {
+        let doc = xmltree::parse_document(input).expect("test inputs are well-formed");
+        let mut out = Vec::new();
+        for force_lockstep in [false, true] {
+            for record_matches in [false, true] {
+                let opts = ValidateOptions {
+                    record_matches,
+                    force_lockstep,
+                };
+                let tree = c.validate_with(&doc, opts);
+                let mut reader = XmlReader::from_str(input);
+                let streamed = c.validate_stream_with(&mut reader, opts).unwrap();
+                assert_eq!(streamed.violations, tree.violations, "{opts:?} on {input}");
+                assert_eq!(streamed.matches, tree.matches, "{opts:?} on {input}");
+                out = streamed.violations;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn stream_matches_tree_on_example_documents() {
+        let x = example();
+        let c = CompiledBxsd::new(&x);
+        for doc in test_documents() {
+            let input = xmltree::to_string(&doc);
+            assert_stream_equivalence(&c, &input);
+        }
+    }
+
+    #[test]
+    fn stream_matches_tree_without_product() {
+        let x = example();
+        let c = CompiledBxsd::with_budget(&x, 0);
+        assert_eq!(c.product_states(), None);
+        for doc in test_documents() {
+            let input = xmltree::to_string(&doc);
+            assert_stream_equivalence(&c, &input);
+        }
+    }
+
+    #[test]
+    fn stream_rejects_malformed_xml() {
+        let x = example();
+        let c = CompiledBxsd::new(&x);
+        let mut reader = XmlReader::from_str("<document><template></document>");
+        assert!(c.validate_stream(&mut reader).is_err());
+        // Root rejection still surfaces later parse errors (the tree
+        // path would fail at parse time, before validation).
+        let mut reader = XmlReader::from_str("<zzz><a></b></zzz>");
+        assert!(c.validate_stream(&mut reader).is_err());
+    }
+
+    #[test]
+    fn stream_works_from_io_reader() {
+        let x = example();
+        let c = CompiledBxsd::new(&x);
+        let input = "<document><template/><content><section title=\"t\">hi</section></content></document>";
+        let mut reader = XmlReader::from_reader(input.as_bytes());
+        let r = c.validate_stream(&mut reader).unwrap();
+        assert!(r.is_valid(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn whitespace_only_text_in_element_only_content_is_fine() {
+        // Pretty-printed documents put whitespace text between children
+        // of element-only models; that must not be UnexpectedText — in
+        // either validator.
+        let x = example();
+        let c = CompiledBxsd::new(&x);
+        let input = "<document>\n  <template/>\n  <content>\n    <section title=\"t\"/>\n  </content>\n</document>";
+        let violations = assert_stream_equivalence(&c, input);
+        assert!(violations.is_empty(), "{violations:?}");
+        // …while real text there still is a violation, at the right node.
+        let bad = "<document>\n  <template/>stray\n  <content/>\n</document>";
+        let violations = assert_stream_equivalence(&c, bad);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            matches!(&violations[0].kind, ViolationKind::UnexpectedText(e) if e == "document"),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! in and out of text form, all built from scratch:
 //!
 //! * [`tree::Document`] — arena tree with `anc-str`/`ch-str` accessors;
+//! * [`stream`] — a pull-based event reader (the single lexing front end;
+//!   works over in-memory buffers or any `io::Read` in O(window) memory);
 //! * [`parser`] — an XML 1.0 parser (prolog, DOCTYPE with internal subset,
-//!   CDATA, entities) with positioned errors;
+//!   CDATA, entities) with positioned errors, built as a fold over
+//!   [`stream`];
 //! * [`serializer`] — compact and pretty writers;
 //! * [`builder`] — programmatic document construction;
 //! * [`dtd`] — Document Type Definitions: model, parser, validator (the
@@ -28,9 +31,11 @@ pub mod dtd;
 pub mod error;
 pub mod parser;
 pub mod serializer;
+pub mod stream;
 pub mod tree;
 
 pub use error::{ParseError, Position};
 pub use parser::{parse, parse_document, ParsedXml};
+pub use stream::{XmlEvent, XmlReader};
 pub use serializer::{to_string, to_string_pretty};
 pub use tree::{Attribute, Document, NodeId, NodeKind};

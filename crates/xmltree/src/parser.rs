@@ -1,15 +1,22 @@
-//! A from-scratch XML 1.0 parser.
+//! The tree-building XML parser: a fold over the streaming reader.
+//!
+//! All lexing, entity expansion, and well-formedness checking lives in
+//! [`crate::stream`]; this module only materializes the event sequence as
+//! a [`Document`]. Streaming consumers (e.g. the BonXai streaming
+//! validator) that walk the same events therefore see *exactly* the trees
+//! this parser builds — node ids included, since nodes are allocated in
+//! event order — which is what makes streamed and tree-based validation
+//! reports byte-identical.
 //!
 //! Covers the language the paper's artifacts need — and then some: prolog,
 //! processing instructions, comments, `DOCTYPE` with an internal subset
 //! (handed to [`crate::dtd`] for declaration parsing; general entities
-//! declared there are resolved in content), CDATA sections, character and
-//! predefined entity references, attributes, and self-closing tags.
-//! Errors carry line/column positions.
+//! declared there are resolved in content, recursively), CDATA sections,
+//! character and predefined entity references, attributes, and
+//! self-closing tags. Errors carry line/column positions.
 
-use std::collections::BTreeMap;
-
-use crate::error::{ParseError, Position};
+use crate::error::ParseError;
+use crate::stream::{XmlEvent, XmlReader};
 use crate::tree::{Document, NodeId};
 
 /// The result of parsing an XML file.
@@ -25,457 +32,65 @@ pub struct ParsedXml {
 
 /// Parses an XML document from a string.
 pub fn parse(input: &str) -> Result<ParsedXml, ParseError> {
-    Parser::new(input).parse_document()
+    let mut reader = XmlReader::from_str(input);
+    let mut doctype_name = None;
+    let mut internal_subset = None;
+    let mut document: Option<Document> = None;
+    let mut stack: Vec<NodeId> = Vec::new();
+    loop {
+        match reader.next_event()? {
+            XmlEvent::Doctype {
+                name,
+                internal_subset: subset,
+            } => {
+                doctype_name = Some(name);
+                if subset.is_some() {
+                    internal_subset = subset;
+                }
+            }
+            XmlEvent::StartElement {
+                name, attributes, ..
+            } => match &mut document {
+                None => {
+                    let doc = Document::new(&name);
+                    let root = doc.root();
+                    let mut doc = doc;
+                    for a in &attributes {
+                        doc.set_attribute(root, &a.name, &a.value);
+                    }
+                    stack.push(root);
+                    document = Some(doc);
+                }
+                Some(doc) => {
+                    let parent = *stack.last().expect("start events are nested");
+                    let node = doc.add_element(parent, &name);
+                    for a in &attributes {
+                        doc.set_attribute(node, &a.name, &a.value);
+                    }
+                    stack.push(node);
+                }
+            },
+            XmlEvent::EndElement { .. } => {
+                stack.pop();
+            }
+            XmlEvent::Text { text, .. } => {
+                let doc = document.as_mut().expect("text only occurs inside the root");
+                let parent = *stack.last().expect("text only occurs inside the root");
+                doc.add_text(parent, &text);
+            }
+            XmlEvent::EndDocument => break,
+        }
+    }
+    Ok(ParsedXml {
+        document: document.expect("EndDocument implies a root element"),
+        doctype_name,
+        internal_subset,
+    })
 }
 
 /// Parses an XML document, returning only the tree.
 pub fn parse_document(input: &str) -> Result<Document, ParseError> {
     parse(input).map(|p| p.document)
-}
-
-struct Parser<'a> {
-    input: &'a [u8],
-    pos: usize,
-    line: u32,
-    line_start: usize,
-    /// General entities from the internal subset (beyond the predefined 5).
-    entities: BTreeMap<String, String>,
-}
-
-impl<'a> Parser<'a> {
-    fn new(input: &'a str) -> Self {
-        Parser {
-            input: input.as_bytes(),
-            pos: 0,
-            line: 1,
-            line_start: 0,
-            entities: BTreeMap::new(),
-        }
-    }
-
-    fn position(&self) -> Position {
-        Position {
-            line: self.line,
-            column: (self.pos - self.line_start) as u32 + 1,
-            offset: self.pos,
-        }
-    }
-
-    fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError::new(self.position(), msg)
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.input.get(self.pos).copied()
-    }
-
-    fn bump(&mut self) -> Option<u8> {
-        let c = self.peek()?;
-        self.pos += 1;
-        if c == b'\n' {
-            self.line += 1;
-            self.line_start = self.pos;
-        }
-        Some(c)
-    }
-
-    fn starts_with(&self, s: &str) -> bool {
-        self.input[self.pos..].starts_with(s.as_bytes())
-    }
-
-    fn expect_str(&mut self, s: &str) -> Result<(), ParseError> {
-        if self.starts_with(s) {
-            for _ in 0..s.len() {
-                self.bump();
-            }
-            Ok(())
-        } else {
-            Err(self.err(format!("expected {s:?}")))
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.bump();
-        }
-    }
-
-    fn parse_document(mut self) -> Result<ParsedXml, ParseError> {
-        let mut doctype_name = None;
-        let mut internal_subset = None;
-
-        // Prolog: XML declaration, comments, PIs, DOCTYPE.
-        loop {
-            self.skip_ws();
-            if self.starts_with("<?") {
-                self.skip_pi()?;
-            } else if self.starts_with("<!--") {
-                self.skip_comment()?;
-            } else if self.starts_with("<!DOCTYPE") {
-                let (name, subset) = self.parse_doctype()?;
-                doctype_name = Some(name);
-                if let Some(s) = subset {
-                    self.load_entities(&s)?;
-                    internal_subset = Some(s);
-                }
-            } else {
-                break;
-            }
-        }
-
-        self.skip_ws();
-        if self.peek() != Some(b'<') {
-            return Err(self.err("expected root element"));
-        }
-        let document = self.parse_root_element()?;
-
-        // Trailing misc.
-        loop {
-            self.skip_ws();
-            if self.starts_with("<?") {
-                self.skip_pi()?;
-            } else if self.starts_with("<!--") {
-                self.skip_comment()?;
-            } else if self.peek().is_some() {
-                return Err(self.err("unexpected content after root element"));
-            } else {
-                break;
-            }
-        }
-
-        Ok(ParsedXml {
-            document,
-            doctype_name,
-            internal_subset,
-        })
-    }
-
-    /// Extracts general-entity declarations from the internal subset so
-    /// that `&name;` references in content resolve.
-    fn load_entities(&mut self, subset: &str) -> Result<(), ParseError> {
-        if let Ok(dtd) = crate::dtd::parser::parse_dtd(subset) {
-            for (name, value) in dtd.general_entities {
-                self.entities.insert(name, value);
-            }
-        }
-        Ok(())
-    }
-
-    fn parse_root_element(&mut self) -> Result<Document, ParseError> {
-        // Parse the opening tag manually so we can create the Document.
-        self.expect_str("<")?;
-        let name = self.parse_name()?;
-        let mut doc = Document::new(&name);
-        let root = doc.root();
-        self.parse_attributes_into(&mut doc, root)?;
-        self.skip_ws();
-        if self.starts_with("/>") {
-            self.expect_str("/>")?;
-            return Ok(doc);
-        }
-        self.expect_str(">")?;
-
-        // Iterative content parsing (an explicit open-element stack keeps
-        // arbitrarily deep documents from overflowing the call stack).
-        let mut stack: Vec<(NodeId, String)> = vec![(root, name)];
-        let mut text = String::new();
-        while let Some((node, node_name)) = stack.last().cloned() {
-            match self.peek() {
-                None => {
-                    return Err(
-                        self.err(format!("unexpected end of input in <{node_name}>"))
-                    )
-                }
-                Some(b'<') => {
-                    if self.starts_with("</") {
-                        flush_text(&mut doc, node, &mut text);
-                        self.expect_str("</")?;
-                        let close = self.parse_name()?;
-                        if close != node_name {
-                            return Err(self.err(format!(
-                                "mismatched close tag: expected </{node_name}>, found </{close}>"
-                            )));
-                        }
-                        self.skip_ws();
-                        self.expect_str(">")?;
-                        stack.pop();
-                    } else if self.starts_with("<!--") {
-                        self.skip_comment()?;
-                    } else if self.starts_with("<![CDATA[") {
-                        self.parse_cdata(&mut text)?;
-                    } else if self.starts_with("<?") {
-                        self.skip_pi()?;
-                    } else {
-                        flush_text(&mut doc, node, &mut text);
-                        self.expect_str("<")?;
-                        let child_name = self.parse_name()?;
-                        let child = doc.add_element(node, &child_name);
-                        self.parse_attributes_into(&mut doc, child)?;
-                        self.skip_ws();
-                        if self.starts_with("/>") {
-                            self.expect_str("/>")?;
-                        } else {
-                            self.expect_str(">")?;
-                            stack.push((child, child_name));
-                        }
-                    }
-                }
-                Some(b'&') => {
-                    let resolved = self.parse_entity_ref()?;
-                    text.push_str(&resolved);
-                }
-                Some(_) => {
-                    let c = self.bump().expect("peeked");
-                    text.push(c as char);
-                    if c >= 0x80 {
-                        // Re-decode multibyte sequences properly.
-                        text.pop();
-                        let start = self.pos - 1;
-                        let mut end = self.pos;
-                        while end < self.input.len() && (self.input[end] & 0xC0) == 0x80 {
-                            end += 1;
-                        }
-                        let st = std::str::from_utf8(&self.input[start..end])
-                            .map_err(|_| self.err("invalid UTF-8 sequence"))?;
-                        text.push_str(st);
-                        while self.pos < end {
-                            self.bump();
-                        }
-                    }
-                }
-            }
-        }
-        Ok(doc)
-    }
-
-    fn parse_attributes_into(
-        &mut self,
-        doc: &mut Document,
-        node: NodeId,
-    ) -> Result<(), ParseError> {
-        loop {
-            self.skip_ws();
-            match self.peek() {
-                Some(b'>') | Some(b'/') | None => return Ok(()),
-                _ => {}
-            }
-            let name = self.parse_name()?;
-            self.skip_ws();
-            self.expect_str("=")?;
-            self.skip_ws();
-            let value = self.parse_attr_value()?;
-            if doc.attribute(node, &name).is_some() {
-                return Err(self.err(format!("duplicate attribute {name:?}")));
-            }
-            doc.set_attribute(node, &name, &value);
-        }
-    }
-
-    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
-        let quote = match self.peek() {
-            Some(q @ (b'"' | b'\'')) => {
-                self.bump();
-                q
-            }
-            _ => return Err(self.err("expected quoted attribute value")),
-        };
-        let mut value = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated attribute value")),
-                Some(c) if c == quote => {
-                    self.bump();
-                    return Ok(value);
-                }
-                Some(b'<') => return Err(self.err("'<' not allowed in attribute value")),
-                Some(b'&') => {
-                    let resolved = self.parse_entity_ref()?;
-                    value.push_str(&resolved);
-                }
-                Some(_) => {
-                    let start = self.pos;
-                    self.bump();
-                    let mut end = self.pos;
-                    while end < self.input.len() && (self.input[end] & 0xC0) == 0x80 {
-                        end += 1;
-                    }
-                    let s = std::str::from_utf8(&self.input[start..end])
-                        .map_err(|_| self.err("invalid UTF-8 sequence"))?;
-                    value.push_str(s);
-                    while self.pos < end {
-                        self.bump();
-                    }
-                }
-            }
-        }
-    }
-
-    fn parse_entity_ref(&mut self) -> Result<String, ParseError> {
-        self.expect_str("&")?;
-        if self.peek() == Some(b'#') {
-            self.bump();
-            let (radix, digits_ok): (u32, fn(u8) -> bool) = if self.peek() == Some(b'x') {
-                self.bump();
-                (16, |c: u8| c.is_ascii_hexdigit())
-            } else {
-                (10, |c: u8| c.is_ascii_digit())
-            };
-            let start = self.pos;
-            while matches!(self.peek(), Some(c) if digits_ok(c)) {
-                self.bump();
-            }
-            if self.pos == start {
-                return Err(self.err("empty character reference"));
-            }
-            let digits = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
-            self.expect_str(";")?;
-            let code = u32::from_str_radix(digits, radix)
-                .map_err(|_| self.err("character reference out of range"))?;
-            let ch =
-                char::from_u32(code).ok_or_else(|| self.err("invalid character reference"))?;
-            return Ok(ch.to_string());
-        }
-        let name = self.parse_name()?;
-        self.expect_str(";")?;
-        match name.as_str() {
-            "amp" => Ok("&".to_owned()),
-            "lt" => Ok("<".to_owned()),
-            "gt" => Ok(">".to_owned()),
-            "apos" => Ok("'".to_owned()),
-            "quot" => Ok("\"".to_owned()),
-            other => self
-                .entities
-                .get(other)
-                .cloned()
-                .ok_or_else(|| self.err(format!("undeclared entity &{other};"))),
-        }
-    }
-
-    fn parse_name(&mut self) -> Result<String, ParseError> {
-        let start = self.pos;
-        match self.peek() {
-            Some(c) if is_name_start(c) => {
-                self.bump();
-            }
-            _ => return Err(self.err("expected name")),
-        }
-        while matches!(self.peek(), Some(c) if is_name_char(c)) {
-            self.bump();
-        }
-        Ok(std::str::from_utf8(&self.input[start..self.pos])
-            .map_err(|_| self.err("invalid UTF-8 in name"))?
-            .to_owned())
-    }
-
-    fn skip_comment(&mut self) -> Result<(), ParseError> {
-        self.expect_str("<!--")?;
-        loop {
-            if self.starts_with("-->") {
-                return self.expect_str("-->");
-            }
-            if self.bump().is_none() {
-                return Err(self.err("unterminated comment"));
-            }
-        }
-    }
-
-    fn skip_pi(&mut self) -> Result<(), ParseError> {
-        self.expect_str("<?")?;
-        loop {
-            if self.starts_with("?>") {
-                return self.expect_str("?>");
-            }
-            if self.bump().is_none() {
-                return Err(self.err("unterminated processing instruction"));
-            }
-        }
-    }
-
-    fn parse_cdata(&mut self, text: &mut String) -> Result<(), ParseError> {
-        self.expect_str("<![CDATA[")?;
-        let start = self.pos;
-        loop {
-            if self.starts_with("]]>") {
-                let content = std::str::from_utf8(&self.input[start..self.pos])
-                    .map_err(|_| self.err("invalid UTF-8 in CDATA"))?;
-                text.push_str(content);
-                return self.expect_str("]]>");
-            }
-            if self.bump().is_none() {
-                return Err(self.err("unterminated CDATA section"));
-            }
-        }
-    }
-
-    fn parse_doctype(&mut self) -> Result<(String, Option<String>), ParseError> {
-        self.expect_str("<!DOCTYPE")?;
-        self.skip_ws();
-        let name = self.parse_name()?;
-        self.skip_ws();
-        // Optional external ID (SYSTEM/PUBLIC) — recorded but not fetched.
-        if self.starts_with("SYSTEM") {
-            self.expect_str("SYSTEM")?;
-            self.skip_ws();
-            self.parse_attr_value()?;
-            self.skip_ws();
-        } else if self.starts_with("PUBLIC") {
-            self.expect_str("PUBLIC")?;
-            self.skip_ws();
-            self.parse_attr_value()?;
-            self.skip_ws();
-            self.parse_attr_value()?;
-            self.skip_ws();
-        }
-        let mut subset = None;
-        if self.peek() == Some(b'[') {
-            self.bump();
-            let start = self.pos;
-            let mut depth = 0usize;
-            loop {
-                match self.peek() {
-                    None => return Err(self.err("unterminated DOCTYPE internal subset")),
-                    Some(b'<') => {
-                        depth += 1;
-                        self.bump();
-                    }
-                    Some(b'>') => {
-                        depth = depth.saturating_sub(1);
-                        self.bump();
-                    }
-                    Some(b']') if depth == 0 => {
-                        subset = Some(
-                            std::str::from_utf8(&self.input[start..self.pos])
-                                .map_err(|_| self.err("invalid UTF-8 in DTD"))?
-                                .to_owned(),
-                        );
-                        self.bump();
-                        break;
-                    }
-                    Some(_) => {
-                        self.bump();
-                    }
-                }
-            }
-            self.skip_ws();
-        }
-        self.expect_str(">")?;
-        Ok((name, subset))
-    }
-}
-
-fn flush_text(doc: &mut Document, node: NodeId, text: &mut String) {
-    if !text.is_empty() {
-        doc.add_text(node, text);
-        text.clear();
-    }
-}
-
-fn is_name_start(c: u8) -> bool {
-    c.is_ascii_alphabetic() || c == b'_' || c == b':' || c >= 0x80
-}
-
-fn is_name_char(c: u8) -> bool {
-    is_name_start(c) || c.is_ascii_digit() || matches!(c, b'-' | b'.')
 }
 
 #[cfg(test)]
@@ -537,6 +152,62 @@ mod tests {
         assert!(p.internal_subset.is_some());
         let d = &p.document;
         assert_eq!(d.text(d.children(d.root())[0]), Some("hello world!"));
+    }
+
+    #[test]
+    fn nested_entity_references_expand_recursively() {
+        // Regression: the seed parser returned replacement text verbatim,
+        // so &outer; kept the literal string "&inner;".
+        let input = r#"<!DOCTYPE a [
+            <!ENTITY inner "deep">
+            <!ENTITY outer "so &inner; here">
+            <!ENTITY outest "&outer;&outer;">
+        ]><a>&outest;</a>"#;
+        let d = parse_document(input).unwrap();
+        assert_eq!(
+            d.text(d.children(d.root())[0]),
+            Some("so deep hereso deep here")
+        );
+    }
+
+    #[test]
+    fn recursive_and_oversized_entities_are_parse_errors() {
+        let recursive = r#"<!DOCTYPE a [<!ENTITY x "&x;">]><a>&x;</a>"#;
+        let e = parse_document(recursive).unwrap_err();
+        assert!(e.message.contains("recursive"), "{e}");
+
+        let mut subset = String::from("<!ENTITY l0 \"aaaaaaaaaaaaaaaaaaaa\">");
+        for i in 1..10 {
+            let p = i - 1;
+            let tenfold = format!("&l{p};").repeat(10);
+            subset.push_str(&format!("<!ENTITY l{i} \"{tenfold}\">"));
+        }
+        let bomb = format!("<!DOCTYPE a [{subset}]><a>&l9;</a>");
+        let e = parse_document(&bomb).unwrap_err();
+        assert!(e.message.contains("expands to more than"), "{e}");
+    }
+
+    #[test]
+    fn malformed_internal_subset_surfaces_the_dtd_error() {
+        // Regression: the seed parser swallowed DTD errors, silently
+        // dropping all entity declarations and misreporting `&ok;` below
+        // as an undeclared entity.
+        let input = "<!DOCTYPE a [\n<!ENTITY ok \"fine\">\n<!ENTITY broken \"oops>\n]><a>&ok;</a>";
+        let e = parse_document(input).unwrap_err();
+        assert!(e.message.contains("in DTD internal subset"), "{e}");
+        assert!(e.position.line >= 2, "position {:?} must be inside the subset", e.position);
+    }
+
+    #[test]
+    fn forbidden_character_references_rejected() {
+        // Regression: the seed parser accepted any char::from_u32 value,
+        // including NUL and other XML-1.0-forbidden control characters.
+        for bad in ["<a>&#0;</a>", "<a>&#x1F;</a>", "<a t=\"&#xFFFF;\"/>"] {
+            let e = parse_document(bad).unwrap_err();
+            assert!(e.message.contains("XML character"), "{bad}: {e}");
+        }
+        let d = parse_document("<a>&#9;&#xD;&#x10FFFF;</a>").unwrap();
+        assert_eq!(d.text(d.children(d.root())[0]), Some("\t\r\u{10FFFF}"));
     }
 
     #[test]

@@ -1,0 +1,1046 @@
+//! Pull-based streaming XML reader.
+//!
+//! [`XmlReader`] lexes a document into a flat sequence of [`XmlEvent`]s —
+//! start/end tags, coalesced character data, the DOCTYPE — without ever
+//! building a tree. It is the single XML front end of the workspace: the
+//! tree parser in [`crate::parser`] is a thin fold over this reader, so
+//! streaming consumers (the BonXai streaming validator in particular) see
+//! exactly the same documents, entity expansions, and errors as tree
+//! consumers, by construction.
+//!
+//! The reader is generic over a [`ByteSrc`]:
+//!
+//! * [`SliceSrc`] — a borrowed in-memory buffer (zero copies, used by
+//!   [`crate::parse`]);
+//! * [`IoSrc`] — any [`std::io::Read`] behind a small rolling window, so
+//!   arbitrarily large documents arriving from a file or socket are
+//!   consumed in O(window + depth) memory.
+//!
+//! Character data is coalesced exactly as the tree parser merges text
+//! nodes: one [`XmlEvent::Text`] per maximal run of character data, CDATA
+//! sections, and entity expansions, with comments and processing
+//! instructions spliced out. Whitespace-only runs are preserved.
+//!
+//! General entities declared in the internal DTD subset are expanded
+//! recursively (nested `&ref;` inside an entity value is resolved), with a
+//! depth bound ([`MAX_ENTITY_DEPTH`]) and a total-output bound
+//! ([`MAX_ENTITY_EXPANSION`]) so recursive or billion-laughs-style inputs
+//! fail with a positioned [`ParseError`] instead of diverging.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+
+use crate::error::{ParseError, Position};
+use crate::tree::Attribute;
+
+/// Maximum nesting depth of entity references inside entity values.
+pub const MAX_ENTITY_DEPTH: usize = 16;
+
+/// Maximum total bytes one content-level entity reference may expand to
+/// (the billion-laughs guard).
+pub const MAX_ENTITY_EXPANSION: usize = 1 << 20;
+
+/// Size of the rolling window an [`IoSrc`] reads ahead.
+const IO_CHUNK: usize = 64 * 1024;
+
+/// A streaming XML event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<!DOCTYPE name …>`, with the raw internal subset if present.
+    /// Entity declarations from the subset take effect on later events.
+    Doctype {
+        /// The declared document-type name.
+        name: String,
+        /// The raw text between `[` and `]`, if a subset was present.
+        internal_subset: Option<String>,
+    },
+    /// An element start tag (or the opening half of a self-closing tag).
+    StartElement {
+        /// Element name as written.
+        name: String,
+        /// Attributes in document order, entity references resolved.
+        attributes: Vec<Attribute>,
+        /// Whether the tag was written `<name …/>`. A matching
+        /// [`XmlEvent::EndElement`] is synthesized either way.
+        self_closing: bool,
+        /// Position of the `<`.
+        position: Position,
+    },
+    /// An element end tag (synthesized for self-closing tags).
+    EndElement {
+        /// Element name.
+        name: String,
+        /// Position of the `</` (or of the end of a self-closing tag).
+        position: Position,
+    },
+    /// A maximal run of character data (text, CDATA, entity expansions).
+    /// Never empty; whitespace-only runs are emitted.
+    Text {
+        /// The decoded character data.
+        text: String,
+        /// Position where the run began.
+        position: Position,
+    },
+    /// End of the document (after the root element and trailing misc).
+    EndDocument,
+}
+
+/// A source of bytes for the reader: a cursor with bounded lookahead.
+pub trait ByteSrc {
+    /// The bytes visible at the cursor, refilled to at least `n` bytes
+    /// unless the input ends first. May return more than `n`.
+    fn window(&mut self, n: usize) -> &[u8];
+    /// Consumes `n` bytes (no more than the last window's length).
+    fn advance(&mut self, n: usize);
+}
+
+/// An in-memory byte source borrowing the whole input.
+pub struct SliceSrc<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceSrc<'a> {
+    /// Wraps a borrowed buffer.
+    pub fn new(data: &'a [u8]) -> Self {
+        SliceSrc { data, pos: 0 }
+    }
+}
+
+impl ByteSrc for SliceSrc<'_> {
+    #[inline]
+    fn window(&mut self, _n: usize) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    #[inline]
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+    }
+}
+
+/// A byte source over any [`Read`], keeping only a small rolling window
+/// in memory — this is what makes end-to-end streaming validation
+/// O(depth) in document size.
+pub struct IoSrc<R: Read> {
+    src: R,
+    buf: Vec<u8>,
+    pos: usize,
+    eof: bool,
+}
+
+impl<R: Read> IoSrc<R> {
+    /// Wraps a reader. No buffering layer is needed underneath; the
+    /// source reads in [`IO_CHUNK`]-sized chunks.
+    pub fn new(src: R) -> Self {
+        IoSrc {
+            src,
+            buf: Vec::with_capacity(IO_CHUNK),
+            pos: 0,
+            eof: false,
+        }
+    }
+}
+
+impl<R: Read> ByteSrc for IoSrc<R> {
+    fn window(&mut self, n: usize) -> &[u8] {
+        while self.buf.len() - self.pos < n && !self.eof {
+            // Drop the consumed prefix before growing the window.
+            if self.pos > 0 {
+                self.buf.copy_within(self.pos.., 0);
+                self.buf.truncate(self.buf.len() - self.pos);
+                self.pos = 0;
+            }
+            let old = self.buf.len();
+            self.buf.resize(old + IO_CHUNK, 0);
+            match self.src.read(&mut self.buf[old..]) {
+                Ok(0) => {
+                    self.buf.truncate(old);
+                    self.eof = true;
+                }
+                Ok(k) => self.buf.truncate(old + k),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.buf.truncate(old);
+                }
+                Err(_) => {
+                    // Surfaced as "unexpected end of input" by the lexer;
+                    // positioned errors beat a panic mid-stream.
+                    self.buf.truncate(old);
+                    self.eof = true;
+                }
+            }
+        }
+        &self.buf[self.pos..]
+    }
+
+    #[inline]
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+    }
+}
+
+/// Where the reader is in the document grammar.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Stage {
+    /// Before the root element: XML declaration, misc, DOCTYPE.
+    Prolog,
+    /// Inside the root element.
+    Content,
+    /// After the root element: trailing misc only.
+    Epilog,
+    /// [`XmlEvent::EndDocument`] has been emitted.
+    Done,
+}
+
+/// A pull-based streaming XML parser; see the module docs.
+pub struct XmlReader<S> {
+    src: S,
+    /// Absolute byte offset of the cursor.
+    offset: usize,
+    line: u32,
+    /// Absolute offset where the current line starts.
+    line_start: usize,
+    /// General entities from the internal subset (beyond the predefined 5),
+    /// raw (unexpanded) as declared.
+    entities: BTreeMap<String, String>,
+    /// Fully-expanded entity values, memoized on first reference.
+    expanded: BTreeMap<String, String>,
+    /// Open element names, innermost last.
+    open: Vec<String>,
+    stage: Stage,
+    /// End event owed for a just-emitted self-closing start tag.
+    pending_end: Option<(String, Position)>,
+}
+
+/// A reader over a borrowed in-memory document.
+pub type StrReader<'a> = XmlReader<SliceSrc<'a>>;
+
+impl<'a> XmlReader<SliceSrc<'a>> {
+    /// Streams over an in-memory document.
+    #[allow(clippy::should_implement_trait)] // infallible, unlike FromStr
+    pub fn from_str(input: &'a str) -> Self {
+        XmlReader::with_source(SliceSrc::new(input.as_bytes()))
+    }
+}
+
+impl<R: Read> XmlReader<IoSrc<R>> {
+    /// Streams over any [`Read`] (file, socket, stdin) with a rolling
+    /// window — the whole document is never resident.
+    pub fn from_reader(src: R) -> Self {
+        XmlReader::with_source(IoSrc::new(src))
+    }
+}
+
+impl<S: ByteSrc> XmlReader<S> {
+    /// Wraps an arbitrary byte source.
+    pub fn with_source(src: S) -> Self {
+        XmlReader {
+            src,
+            offset: 0,
+            line: 1,
+            line_start: 0,
+            entities: BTreeMap::new(),
+            expanded: BTreeMap::new(),
+            open: Vec::new(),
+            stage: Stage::Prolog,
+            pending_end: None,
+        }
+    }
+
+    /// The current cursor position (for error reporting by consumers).
+    pub fn position(&self) -> Position {
+        Position {
+            line: self.line,
+            column: (self.offset - self.line_start) as u32 + 1,
+            offset: self.offset,
+        }
+    }
+
+    /// Current element nesting depth (0 outside the root element). A
+    /// self-closing element counts until its synthesized end event.
+    pub fn depth(&self) -> usize {
+        self.open.len() + usize::from(self.pending_end.is_some())
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.position(), msg)
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<u8> {
+        self.src.window(1).first().copied()
+    }
+
+    #[inline]
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.src.advance(1);
+        self.offset += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.line_start = self.offset;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&mut self, s: &str) -> bool {
+        self.src.window(s.len()).starts_with(s.as_bytes())
+    }
+
+    fn expect_str(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    /// Pulls the next event. After [`XmlEvent::EndDocument`], returns
+    /// `EndDocument` forever.
+    pub fn next_event(&mut self) -> Result<XmlEvent, ParseError> {
+        match self.stage {
+            Stage::Prolog => self.next_prolog(),
+            Stage::Content => self.next_content(),
+            Stage::Epilog => self.next_epilog(),
+            Stage::Done => Ok(XmlEvent::EndDocument),
+        }
+    }
+
+    fn next_prolog(&mut self) -> Result<XmlEvent, ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<!DOCTYPE") {
+                let (name, internal_subset) = self.parse_doctype()?;
+                return Ok(XmlEvent::Doctype {
+                    name,
+                    internal_subset,
+                });
+            } else if self.peek() == Some(b'<') {
+                self.stage = Stage::Content;
+                return self.read_start_tag();
+            } else {
+                return Err(self.err("expected root element"));
+            }
+        }
+    }
+
+    fn next_content(&mut self) -> Result<XmlEvent, ParseError> {
+        if let Some((name, position)) = self.pending_end.take() {
+            if self.open.is_empty() {
+                self.stage = Stage::Epilog;
+            }
+            return Ok(XmlEvent::EndElement { name, position });
+        }
+        let mut text = String::new();
+        let mut text_pos = self.position();
+        loop {
+            match self.peek() {
+                None => {
+                    let name = self.open.last().cloned().unwrap_or_default();
+                    return Err(self.err(format!("unexpected end of input in <{name}>")));
+                }
+                Some(b'<') => {
+                    if self.starts_with("<!--") {
+                        self.skip_comment()?;
+                    } else if self.starts_with("<![CDATA[") {
+                        if text.is_empty() {
+                            text_pos = self.position();
+                        }
+                        self.read_cdata(&mut text)?;
+                    } else if self.starts_with("<?") {
+                        self.skip_pi()?;
+                    } else if !text.is_empty() {
+                        // A real tag follows: flush the coalesced run
+                        // first, leaving the cursor on the `<`.
+                        return Ok(XmlEvent::Text {
+                            text,
+                            position: text_pos,
+                        });
+                    } else if self.starts_with("</") {
+                        return self.read_end_tag();
+                    } else {
+                        return self.read_start_tag();
+                    }
+                }
+                Some(b'&') => {
+                    if text.is_empty() {
+                        text_pos = self.position();
+                    }
+                    let resolved = self.parse_entity_ref()?;
+                    text.push_str(&resolved);
+                }
+                Some(_) => {
+                    if text.is_empty() {
+                        text_pos = self.position();
+                    }
+                    self.read_char_into(&mut text)?;
+                }
+            }
+        }
+    }
+
+    fn next_epilog(&mut self) -> Result<XmlEvent, ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.peek().is_some() {
+                return Err(self.err("unexpected content after root element"));
+            } else {
+                self.stage = Stage::Done;
+                return Ok(XmlEvent::EndDocument);
+            }
+        }
+    }
+
+    /// Consumes one character of content (multi-byte sequences are
+    /// re-validated as UTF-8) into `out`.
+    fn read_char_into(&mut self, out: &mut String) -> Result<(), ParseError> {
+        let c = self.bump().expect("peeked");
+        if c < 0x80 {
+            out.push(c as char);
+            return Ok(());
+        }
+        // Collect the continuation bytes of this sequence (at most 3).
+        let mut seq = [c, 0, 0, 0];
+        let mut len = 1;
+        while len < 4 {
+            match self.peek() {
+                Some(b) if b & 0xC0 == 0x80 => {
+                    seq[len] = b;
+                    len += 1;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&seq[..len])
+            .map_err(|_| self.err("invalid UTF-8 sequence"))?;
+        out.push_str(s);
+        Ok(())
+    }
+
+    fn read_start_tag(&mut self) -> Result<XmlEvent, ParseError> {
+        let position = self.position();
+        self.expect_str("<")?;
+        let name = self.parse_name()?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') | None => break,
+                _ => {}
+            }
+            let attr_name = self.parse_name()?;
+            self.skip_ws();
+            self.expect_str("=")?;
+            self.skip_ws();
+            let value = self.parse_attr_value()?;
+            if attributes.iter().any(|a| a.name == attr_name) {
+                return Err(self.err(format!("duplicate attribute {attr_name:?}")));
+            }
+            attributes.push(Attribute {
+                name: attr_name,
+                value,
+            });
+        }
+        self.skip_ws();
+        let self_closing = if self.starts_with("/>") {
+            self.expect_str("/>")?;
+            true
+        } else {
+            self.expect_str(">")?;
+            false
+        };
+        if self_closing {
+            self.pending_end = Some((name.clone(), self.position()));
+        } else {
+            self.open.push(name.clone());
+        }
+        Ok(XmlEvent::StartElement {
+            name,
+            attributes,
+            self_closing,
+            position,
+        })
+    }
+
+    fn read_end_tag(&mut self) -> Result<XmlEvent, ParseError> {
+        let position = self.position();
+        self.expect_str("</")?;
+        let close = self.parse_name()?;
+        let expected = self.open.last().expect("content stage has an open element");
+        if close != *expected {
+            return Err(self.err(format!(
+                "mismatched close tag: expected </{expected}>, found </{close}>"
+            )));
+        }
+        self.skip_ws();
+        self.expect_str(">")?;
+        self.open.pop();
+        if self.open.is_empty() {
+            self.stage = Stage::Epilog;
+        }
+        Ok(XmlEvent::EndElement {
+            name: close,
+            position,
+        })
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.bump();
+                q
+            }
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(c) if c == quote => {
+                    self.bump();
+                    return Ok(value);
+                }
+                Some(b'<') => return Err(self.err("'<' not allowed in attribute value")),
+                Some(b'&') => {
+                    let resolved = self.parse_entity_ref()?;
+                    value.push_str(&resolved);
+                }
+                Some(_) => self.read_char_into(&mut value)?,
+            }
+        }
+    }
+
+    /// Resolves `&…;` at the cursor: a character reference (validated
+    /// against the XML `Char` production) or a general entity (expanded
+    /// recursively with depth/size guards).
+    fn parse_entity_ref(&mut self) -> Result<String, ParseError> {
+        let pos = self.position();
+        self.expect_str("&")?;
+        if self.peek() == Some(b'#') {
+            self.bump();
+            let (radix, digits_ok): (u32, fn(u8) -> bool) = if self.peek() == Some(b'x') {
+                self.bump();
+                (16, |c: u8| c.is_ascii_hexdigit())
+            } else {
+                (10, |c: u8| c.is_ascii_digit())
+            };
+            let mut digits = String::new();
+            while matches!(self.peek(), Some(c) if digits_ok(c)) {
+                digits.push(self.bump().expect("peeked") as char);
+            }
+            if digits.is_empty() {
+                return Err(self.err("empty character reference"));
+            }
+            self.expect_str(";")?;
+            let ch = decode_char_ref(&digits, radix)
+                .map_err(|msg| ParseError::new(pos, msg))?;
+            return Ok(ch.to_string());
+        }
+        let name = self.parse_name()?;
+        self.expect_str(";")?;
+        if let Some(predef) = predefined_entity(&name) {
+            return Ok(predef.to_owned());
+        }
+        self.expand_entity(&name, pos)
+    }
+
+    /// Fully expands general entity `name`, resolving nested references
+    /// in its replacement text. Memoized per entity.
+    fn expand_entity(&mut self, name: &str, pos: Position) -> Result<String, ParseError> {
+        if let Some(v) = self.expanded.get(name) {
+            return Ok(v.clone());
+        }
+        if !self.entities.contains_key(name) {
+            return Err(ParseError::new(pos, format!("undeclared entity &{name};")));
+        }
+        let mut active: Vec<&str> = Vec::new();
+        let mut produced = 0usize;
+        let out = expand_rec(&self.entities, name, &mut active, &mut produced, pos)?;
+        self.expanded.insert(name.to_owned(), out.clone());
+        Ok(out)
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let mut raw = Vec::new();
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                raw.push(c);
+                self.bump();
+            }
+            _ => return Err(self.err("expected name")),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            raw.push(self.bump().expect("peeked"));
+        }
+        String::from_utf8(raw).map_err(|_| self.err("invalid UTF-8 in name"))
+    }
+
+    fn skip_comment(&mut self) -> Result<(), ParseError> {
+        self.expect_str("<!--")?;
+        loop {
+            if self.starts_with("-->") {
+                return self.expect_str("-->");
+            }
+            if self.bump().is_none() {
+                return Err(self.err("unterminated comment"));
+            }
+        }
+    }
+
+    fn skip_pi(&mut self) -> Result<(), ParseError> {
+        self.expect_str("<?")?;
+        loop {
+            if self.starts_with("?>") {
+                return self.expect_str("?>");
+            }
+            if self.bump().is_none() {
+                return Err(self.err("unterminated processing instruction"));
+            }
+        }
+    }
+
+    fn read_cdata(&mut self, text: &mut String) -> Result<(), ParseError> {
+        self.expect_str("<![CDATA[")?;
+        let mut raw = Vec::new();
+        loop {
+            if self.starts_with("]]>") {
+                let content = std::str::from_utf8(&raw)
+                    .map_err(|_| self.err("invalid UTF-8 in CDATA"))?;
+                text.push_str(content);
+                return self.expect_str("]]>");
+            }
+            match self.bump() {
+                Some(b) => raw.push(b),
+                None => return Err(self.err("unterminated CDATA section")),
+            }
+        }
+    }
+
+    fn parse_doctype(&mut self) -> Result<(String, Option<String>), ParseError> {
+        self.expect_str("<!DOCTYPE")?;
+        self.skip_ws();
+        let name = self.parse_name()?;
+        self.skip_ws();
+        // Optional external ID (SYSTEM/PUBLIC) — recorded but not fetched.
+        if self.starts_with("SYSTEM") {
+            self.expect_str("SYSTEM")?;
+            self.skip_ws();
+            self.parse_attr_value()?;
+            self.skip_ws();
+        } else if self.starts_with("PUBLIC") {
+            self.expect_str("PUBLIC")?;
+            self.skip_ws();
+            self.parse_attr_value()?;
+            self.skip_ws();
+            self.parse_attr_value()?;
+            self.skip_ws();
+        }
+        let mut subset = None;
+        if self.peek() == Some(b'[') {
+            self.bump();
+            let subset_pos = self.position();
+            let mut raw = Vec::new();
+            let mut depth = 0usize;
+            loop {
+                match self.peek() {
+                    None => return Err(self.err("unterminated DOCTYPE internal subset")),
+                    Some(b'<') => {
+                        depth += 1;
+                        raw.push(b'<');
+                        self.bump();
+                    }
+                    Some(b'>') => {
+                        depth = depth.saturating_sub(1);
+                        raw.push(b'>');
+                        self.bump();
+                    }
+                    Some(b']') if depth == 0 => {
+                        self.bump();
+                        break;
+                    }
+                    Some(c) => {
+                        raw.push(c);
+                        self.bump();
+                    }
+                }
+            }
+            let text = String::from_utf8(raw).map_err(|_| self.err("invalid UTF-8 in DTD"))?;
+            self.load_entities(&text, subset_pos)?;
+            subset = Some(text);
+            self.skip_ws();
+        }
+        self.expect_str(">")?;
+        Ok((name, subset))
+    }
+
+    /// Extracts general-entity declarations from the internal subset. A
+    /// malformed subset is a parse error of the document — reported with
+    /// its position inside the subset — not a silent loss of all
+    /// declarations.
+    fn load_entities(&mut self, subset: &str, subset_pos: Position) -> Result<(), ParseError> {
+        match crate::dtd::parser::parse_dtd(subset) {
+            Ok(dtd) => {
+                for (name, value) in dtd.general_entities {
+                    self.entities.insert(name, value);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // Translate the subset-relative position to the document.
+                let position = Position {
+                    line: subset_pos.line + e.position.line - 1,
+                    column: if e.position.line == 1 {
+                        subset_pos.column + e.position.column - 1
+                    } else {
+                        e.position.column
+                    },
+                    offset: subset_pos.offset + e.position.offset,
+                };
+                Err(ParseError::new(
+                    position,
+                    format!("in DTD internal subset: {}", e.message),
+                ))
+            }
+        }
+    }
+}
+
+/// Expands entity `name` from `entities`, resolving nested general-entity
+/// and character references in replacement text. `active` detects cycles,
+/// `produced` bounds total output across the whole expansion.
+fn expand_rec<'e>(
+    entities: &'e BTreeMap<String, String>,
+    name: &'e str,
+    active: &mut Vec<&'e str>,
+    produced: &mut usize,
+    pos: Position,
+) -> Result<String, ParseError> {
+    if active.contains(&name) {
+        return Err(ParseError::new(
+            pos,
+            format!("recursive reference to entity &{name};"),
+        ));
+    }
+    if active.len() >= MAX_ENTITY_DEPTH {
+        return Err(ParseError::new(
+            pos,
+            format!("entity references nested more than {MAX_ENTITY_DEPTH} levels deep"),
+        ));
+    }
+    let Some(raw) = entities.get(name) else {
+        return Err(ParseError::new(pos, format!("undeclared entity &{name};")));
+    };
+    active.push(name);
+    let mut out = String::new();
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy the run up to the next reference verbatim.
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'&' {
+                i += 1;
+            }
+            out.push_str(&raw[start..i]);
+            *produced += i - start;
+        } else {
+            let Some(semi) = raw[i..].find(';').map(|k| i + k) else {
+                return Err(ParseError::new(
+                    pos,
+                    format!("malformed reference in entity &{name}; value"),
+                ));
+            };
+            let inner = &raw[i + 1..semi];
+            if let Some(digits) = inner.strip_prefix('#') {
+                let (digits, radix) = match digits.strip_prefix('x') {
+                    Some(hex) => (hex, 16),
+                    None => (digits, 10),
+                };
+                let ch = decode_char_ref(digits, radix)
+                    .map_err(|msg| ParseError::new(pos, msg))?;
+                out.push(ch);
+                *produced += ch.len_utf8();
+            } else if let Some(predef) = predefined_entity(inner) {
+                out.push_str(predef);
+                *produced += predef.len();
+            } else {
+                // Nested expansions account for their own bytes.
+                let nested = expand_rec(entities, inner, active, produced, pos)?;
+                out.push_str(&nested);
+            }
+            i = semi + 1;
+        }
+        if *produced > MAX_ENTITY_EXPANSION {
+            return Err(ParseError::new(
+                pos,
+                format!(
+                    "entity &{name}; expands to more than {MAX_ENTITY_EXPANSION} bytes"
+                ),
+            ));
+        }
+    }
+    active.pop();
+    Ok(out)
+}
+
+/// The five predefined entities.
+fn predefined_entity(name: &str) -> Option<&'static str> {
+    match name {
+        "amp" => Some("&"),
+        "lt" => Some("<"),
+        "gt" => Some(">"),
+        "apos" => Some("'"),
+        "quot" => Some("\""),
+        _ => None,
+    }
+}
+
+/// Decodes a character reference, enforcing the XML 1.0 `Char`
+/// production: `&#0;`, other forbidden control characters, surrogates,
+/// and `#xFFFE`/`#xFFFF` are rejected.
+fn decode_char_ref(digits: &str, radix: u32) -> Result<char, String> {
+    if digits.is_empty() {
+        return Err("empty character reference".to_owned());
+    }
+    let code = u32::from_str_radix(digits, radix)
+        .map_err(|_| "character reference out of range".to_owned())?;
+    let ch = char::from_u32(code)
+        .ok_or_else(|| format!("invalid character reference &#{code};"))?;
+    if !is_xml_char(ch) {
+        return Err(format!(
+            "character reference &#x{code:X}; is not a legal XML character"
+        ));
+    }
+    Ok(ch)
+}
+
+/// The XML 1.0 `Char` production.
+fn is_xml_char(c: char) -> bool {
+    matches!(c,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+fn is_name_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c == b':' || c >= 0x80
+}
+
+fn is_name_char(c: u8) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || matches!(c, b'-' | b'.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<XmlEvent> {
+        let mut r = XmlReader::from_str(input);
+        let mut out = Vec::new();
+        loop {
+            let e = r.next_event().expect("valid input");
+            let done = e == XmlEvent::EndDocument;
+            out.push(e);
+            if done {
+                return out;
+            }
+        }
+    }
+
+    fn names(input: &str) -> Vec<String> {
+        events(input)
+            .into_iter()
+            .map(|e| match e {
+                XmlEvent::Doctype { name, .. } => format!("doctype:{name}"),
+                XmlEvent::StartElement { name, .. } => format!("+{name}"),
+                XmlEvent::EndElement { name, .. } => format!("-{name}"),
+                XmlEvent::Text { text, .. } => format!("t:{text}"),
+                XmlEvent::EndDocument => "$".to_owned(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn event_sequence_for_nested_document() {
+        assert_eq!(
+            names("<a><b>hi</b><c/></a>"),
+            vec!["+a", "+b", "t:hi", "-b", "+c", "-c", "-a", "$"]
+        );
+    }
+
+    #[test]
+    fn text_coalesced_across_comments_and_cdata() {
+        assert_eq!(
+            names("<a>one<!--x-->two<![CDATA[<3>]]>three</a>"),
+            vec!["+a", "t:onetwo<3>three", "-a", "$"]
+        );
+    }
+
+    #[test]
+    fn whitespace_only_text_is_emitted() {
+        assert_eq!(
+            names("<a>\n  <b/>\n</a>"),
+            vec!["+a", "t:\n  ", "+b", "-b", "t:\n", "-a", "$"]
+        );
+    }
+
+    #[test]
+    fn self_closing_synthesizes_end() {
+        let evs = events("<a/>");
+        assert!(matches!(
+            &evs[0],
+            XmlEvent::StartElement { self_closing: true, .. }
+        ));
+        assert!(matches!(&evs[1], XmlEvent::EndElement { name, .. } if name == "a"));
+        assert_eq!(evs[2], XmlEvent::EndDocument);
+    }
+
+    #[test]
+    fn io_source_matches_slice_source() {
+        let input = "<a x=\"1\"><b>h&amp;llo</b><!--c--><c/>tail</a>";
+        let from_slice = events(input);
+        let mut r = XmlReader::from_reader(input.as_bytes());
+        let mut from_io = Vec::new();
+        loop {
+            let e = r.next_event().unwrap();
+            let done = e == XmlEvent::EndDocument;
+            from_io.push(e);
+            if done {
+                break;
+            }
+        }
+        assert_eq!(from_slice, from_io);
+    }
+
+    #[test]
+    fn positions_reported_on_events() {
+        let evs = events("<a>\n<b/></a>");
+        let XmlEvent::StartElement { position, .. } = &evs[2] else {
+            panic!("expected <b> start, got {:?}", evs[2]);
+        };
+        assert_eq!(position.line, 2);
+        assert_eq!(position.column, 1);
+    }
+
+    #[test]
+    fn nested_entity_references_expand() {
+        let input = r#"<!DOCTYPE a [
+            <!ENTITY inner "world">
+            <!ENTITY outer "hello &inner;!">
+        ]><a>&outer;</a>"#;
+        let evs = events(input);
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, XmlEvent::Text { text, .. } if text == "hello world!")));
+    }
+
+    #[test]
+    fn recursive_entities_rejected() {
+        let input = r#"<!DOCTYPE a [
+            <!ENTITY x "&y;">
+            <!ENTITY y "&x;">
+        ]><a>&x;</a>"#;
+        let mut r = XmlReader::from_str(input);
+        let err = loop {
+            match r.next_event() {
+                Ok(XmlEvent::EndDocument) => panic!("must not parse"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(err.message.contains("recursive"), "{err}");
+    }
+
+    #[test]
+    fn billion_laughs_fails_cleanly() {
+        let mut subset = String::from("<!ENTITY lol0 \"lolololololololololol\">");
+        for i in 1..10 {
+            let p = i - 1;
+            subset.push_str(&format!(
+                "<!ENTITY lol{i} \"&lol{p};&lol{p};&lol{p};&lol{p};&lol{p};&lol{p};&lol{p};&lol{p};&lol{p};&lol{p};\">"
+            ));
+        }
+        let input = format!("<!DOCTYPE a [{subset}]><a>&lol9;</a>");
+        let mut r = XmlReader::from_str(&input);
+        let err = loop {
+            match r.next_event() {
+                Ok(XmlEvent::EndDocument) => panic!("must not parse"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(err.message.contains("expands to more than"), "{err}");
+    }
+
+    #[test]
+    fn forbidden_character_references_rejected() {
+        for bad in ["<a>&#0;</a>", "<a>&#x8;</a>", "<a>&#xFFFE;</a>", "<a>&#31;</a>"] {
+            let mut r = XmlReader::from_str(bad);
+            let err = loop {
+                match r.next_event() {
+                    Ok(XmlEvent::EndDocument) => panic!("{bad} must not parse"),
+                    Ok(_) => continue,
+                    Err(e) => break e,
+                }
+            };
+            assert!(err.message.contains("XML character"), "{bad}: {err}");
+        }
+        // Tab, LF, CR, and plane-1 chars stay legal.
+        for good in ["<a>&#9;</a>", "<a>&#xA;</a>", "<a>&#x1F600;</a>"] {
+            assert!(events(good).len() >= 3, "{good} must parse");
+        }
+    }
+
+    #[test]
+    fn malformed_internal_subset_is_an_error() {
+        let input = "<!DOCTYPE a [<!ENTITY e \"oops>]><a>&e;</a>";
+        let mut r = XmlReader::from_str(input);
+        let err = r.next_event().unwrap_err();
+        assert!(err.message.contains("in DTD internal subset"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_close_tag_positioned() {
+        let mut r = XmlReader::from_str("<a>\n  <b></c>\n</a>");
+        let err = loop {
+            match r.next_event() {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.position.line, 2);
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn depth_tracks_open_elements() {
+        let mut r = XmlReader::from_str("<a><b><c/></b></a>");
+        let mut max = 0;
+        loop {
+            match r.next_event().unwrap() {
+                XmlEvent::EndDocument => break,
+                _ => max = max.max(r.depth()),
+            }
+        }
+        assert_eq!(max, 3);
+    }
+}

@@ -192,31 +192,53 @@ impl Facets {
         if self.max_length.is_some_and(|m| len > m) {
             return false;
         }
-        let cmp = |bound: &str, v: &str| -> std::cmp::Ordering {
-            match base {
-                SimpleType::Integer
-                | SimpleType::NonNegativeInteger
-                | SimpleType::PositiveInteger
-                | SimpleType::Decimal
-                | SimpleType::Double => {
-                    let b: f64 = bound.trim().parse().unwrap_or(f64::NAN);
-                    let x: f64 = v.trim().parse().unwrap_or(f64::NAN);
-                    b.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Greater)
-                }
-                _ => bound.cmp(v),
-            }
-        };
+        // Incomparable pairs (unparseable bound or value, NaN) fail
+        // closed: a bound that cannot be compared admits nothing.
+        // [`Facets::check`] rejects such bounds at schema-parse time.
         if let Some(min) = &self.min_inclusive {
-            if cmp(min, value) == std::cmp::Ordering::Greater {
-                return false;
+            match compare_values(base, min, value) {
+                Some(std::cmp::Ordering::Greater) | None => return false,
+                _ => {}
             }
         }
         if let Some(max) = &self.max_inclusive {
-            if cmp(max, value) == std::cmp::Ordering::Less {
-                return false;
+            match compare_values(base, max, value) {
+                Some(std::cmp::Ordering::Less) | None => return false,
+                _ => {}
             }
         }
         true
+    }
+
+    /// Checks the facet bounds *themselves* against the base type, so a
+    /// bad bound is a schema error at parse time rather than a facet
+    /// that silently rejects every value at validation time. Returns a
+    /// human-readable reason on failure.
+    pub fn check(&self, base: SimpleType) -> Result<(), String> {
+        for (facet, bound) in [("min", &self.min_inclusive), ("max", &self.max_inclusive)] {
+            if let Some(b) = bound {
+                if !base.validates(b.trim()) {
+                    return Err(format!(
+                        "{facet} bound {b:?} is not a valid {}",
+                        base.qname()
+                    ));
+                }
+                if base == SimpleType::Double && b.trim() == "NaN" {
+                    return Err(format!("{facet} bound NaN is incomparable"));
+                }
+            }
+        }
+        if let (Some(min), Some(max)) = (&self.min_inclusive, &self.max_inclusive) {
+            if compare_values(base, min, max) == Some(std::cmp::Ordering::Greater) {
+                return Err(format!("min bound {min:?} exceeds max bound {max:?}"));
+            }
+        }
+        if let (Some(lo), Some(hi)) = (self.min_length, self.max_length) {
+            if lo > hi {
+                return Err(format!("minLength {lo} exceeds maxLength {hi}"));
+            }
+        }
+        Ok(())
     }
 
     /// Renders the facets in BonXai syntax (`{ min "0", enum "a" }`).
@@ -239,6 +261,68 @@ impl Facets {
         }
         format!("{{ {} }}", parts.join(", "))
     }
+}
+
+/// Value comparison of two lexical forms under `base`'s value space:
+/// exact `i128` for the integer types, exact normalized comparison for
+/// `xs:decimal` (no float round-trip — `0.10` equals `0.1000`, and
+/// values beyond 2^53 keep their order), IEEE semantics for `xs:double`
+/// (`INF`/`-INF` compare as infinities). `None` means incomparable:
+/// a side fails to parse, or a NaN is involved.
+fn compare_values(base: SimpleType, a: &str, b: &str) -> Option<std::cmp::Ordering> {
+    match base {
+        SimpleType::Integer | SimpleType::NonNegativeInteger | SimpleType::PositiveInteger => {
+            Some(parse_integer(a)?.cmp(&parse_integer(b)?))
+        }
+        SimpleType::Decimal => decimal_cmp(a.trim(), b.trim()),
+        SimpleType::Double => parse_double(a)?.partial_cmp(&parse_double(b)?),
+        _ => Some(a.cmp(b)),
+    }
+}
+
+fn parse_double(v: &str) -> Option<f64> {
+    match v.trim() {
+        "INF" => Some(f64::INFINITY),
+        "-INF" => Some(f64::NEG_INFINITY),
+        t => t.parse().ok(),
+    }
+}
+
+/// Splits a decimal lexical form into (negative, integer digits, fraction
+/// digits) with leading/trailing zeros stripped, so equal values get
+/// equal parts.
+fn split_decimal(v: &str) -> Option<(bool, &str, &str)> {
+    if !is_decimal(v) {
+        return None;
+    }
+    let (neg, rest) = match v.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, v.strip_prefix('+').unwrap_or(v)),
+    };
+    let (int, frac) = rest.split_once('.').unwrap_or((rest, ""));
+    Some((neg, int.trim_start_matches('0'), frac.trim_end_matches('0')))
+}
+
+/// Exact comparison of two decimal lexical forms. With normalized parts,
+/// magnitude order is: more integer digits wins, then the integer digits
+/// lexicographically, then the fraction digits lexicographically (which
+/// is correct for digit strings after the point: "25" < "3").
+fn decimal_cmp(a: &str, b: &str) -> Option<std::cmp::Ordering> {
+    use std::cmp::Ordering;
+    let (na, ia, fa) = split_decimal(a)?;
+    let (nb, ib, fb) = split_decimal(b)?;
+    // Zeros compare equal regardless of written sign ("-0.0" == "0").
+    let na = na && !(ia.is_empty() && fa.is_empty());
+    let nb = nb && !(ib.is_empty() && fb.is_empty());
+    if na != nb {
+        return Some(if na { Ordering::Less } else { Ordering::Greater });
+    }
+    let magnitude = ia
+        .len()
+        .cmp(&ib.len())
+        .then_with(|| ia.cmp(ib))
+        .then_with(|| fa.cmp(fb));
+    Some(if na { magnitude.reverse() } else { magnitude })
 }
 
 fn parse_integer(v: &str) -> Option<i128> {
@@ -425,6 +509,97 @@ mod facet_tests {
         };
         assert!(e.validates(SimpleType::String, "alpha"));
         assert!(!e.validates(SimpleType::String, "gamma"));
+    }
+
+    #[test]
+    fn integer_bounds_compare_exactly_beyond_f64_precision() {
+        // Regression: bounds used to round-trip through f64, where
+        // 2^53 and 2^53 + 1 compare equal — a value below an exclusive
+        // region slipped through.
+        let f = Facets {
+            min_inclusive: Some("9007199254740993".into()), // 2^53 + 1
+            ..Facets::default()
+        };
+        assert!(!f.validates(SimpleType::Integer, "9007199254740992"));
+        assert!(f.validates(SimpleType::Integer, "9007199254740993"));
+        assert!(f.validates(SimpleType::Integer, "9007199254740994"));
+    }
+
+    #[test]
+    fn decimal_bounds_compare_normalized_not_as_floats() {
+        let f = Facets {
+            min_inclusive: Some("0.1000".into()),
+            max_inclusive: Some("10000000000000000.02".into()),
+            ..Facets::default()
+        };
+        // trailing zeros are cosmetic
+        assert!(f.validates(SimpleType::Decimal, "0.1"));
+        assert!(!f.validates(SimpleType::Decimal, "0.09999999999999999999"));
+        // f64 cannot tell these two apart; exact comparison must
+        assert!(!f.validates(SimpleType::Decimal, "10000000000000000.03"));
+        assert!(f.validates(SimpleType::Decimal, "10000000000000000.01"));
+        // sign handling, including negative zero
+        assert!(!f.validates(SimpleType::Decimal, "-0.2"));
+        let neg = Facets {
+            min_inclusive: Some("-3.5".into()),
+            max_inclusive: Some("-0.0".into()),
+            ..Facets::default()
+        };
+        assert!(neg.validates(SimpleType::Decimal, "-2.75"));
+        assert!(neg.validates(SimpleType::Decimal, "0"));
+        assert!(!neg.validates(SimpleType::Decimal, "0.001"));
+        assert!(!neg.validates(SimpleType::Decimal, "-3.51"));
+    }
+
+    #[test]
+    fn double_bounds_understand_xsd_infinities() {
+        // Regression: "INF" failed the f64 parse and became NaN, so an
+        // INF bound rejected (min) or admitted (max) arbitrarily.
+        let f = Facets {
+            min_inclusive: Some("-INF".into()),
+            max_inclusive: Some("INF".into()),
+            ..Facets::default()
+        };
+        assert!(f.validates(SimpleType::Double, "1e300"));
+        assert!(f.validates(SimpleType::Double, "-INF"));
+        assert!(f.validates(SimpleType::Double, "INF"));
+        // NaN is incomparable: it fails any bound (closed), and a NaN
+        // bound is a schema error.
+        assert!(!f.validates(SimpleType::Double, "NaN"));
+        let nan_bound = Facets {
+            max_inclusive: Some("NaN".into()),
+            ..Facets::default()
+        };
+        assert!(nan_bound.check(SimpleType::Double).is_err());
+    }
+
+    #[test]
+    fn unparseable_bounds_fail_closed_and_fail_check() {
+        // Regression: an unparseable bound compared as "greater than
+        // everything", so `max "oops"` silently admitted every value.
+        let f = Facets {
+            max_inclusive: Some("oops".into()),
+            ..Facets::default()
+        };
+        assert!(!f.validates(SimpleType::Integer, "1"));
+        assert!(f.check(SimpleType::Integer).is_err());
+        assert!(f.check(SimpleType::String).is_ok()); // fine lexicographically
+
+        let inverted = Facets {
+            min_inclusive: Some("10".into()),
+            max_inclusive: Some("9".into()),
+            ..Facets::default()
+        };
+        assert!(inverted.check(SimpleType::Integer).is_err());
+        assert!(inverted.check(SimpleType::String).is_ok()); // "10" < "9"
+
+        let lengths = Facets {
+            min_length: Some(5),
+            max_length: Some(2),
+            ..Facets::default()
+        };
+        assert!(lengths.check(SimpleType::String).is_err());
+        assert!(Facets::default().check(SimpleType::Integer).is_ok());
     }
 
     #[test]

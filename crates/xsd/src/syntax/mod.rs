@@ -279,6 +279,39 @@ mod tests {
     }
 
     #[test]
+    fn invalid_facet_bounds_rejected_at_parse() {
+        // Regression: an unparseable numeric bound used to survive
+        // schema parsing and then compare as NaN at validation time.
+        let src = r#"
+          <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+            <xs:element name="n">
+              <xs:simpleType>
+                <xs:restriction base="xs:integer">
+                  <xs:maxInclusive value="ten"/>
+                </xs:restriction>
+              </xs:simpleType>
+            </xs:element>
+          </xs:schema>"#;
+        let err = parse_xsd(src).unwrap_err();
+        assert!(err.message.contains("invalid restriction"), "{err}");
+        let inverted = r#"
+          <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+            <xs:element name="n">
+              <xs:simpleType>
+                <xs:restriction base="xs:decimal">
+                  <xs:minInclusive value="2.50"/>
+                  <xs:maxInclusive value="2.5"/>
+                </xs:restriction>
+              </xs:simpleType>
+            </xs:element>
+          </xs:schema>"#;
+        // equal after decimal normalization: not inverted, parses fine
+        assert!(parse_xsd(inverted).is_ok());
+        let truly_inverted = inverted.replace("2.50", "2.51");
+        assert!(parse_xsd(&truly_inverted).is_err());
+    }
+
+    #[test]
     fn simple_content_with_attributes() {
         let src = r#"
           <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">

@@ -206,7 +206,11 @@ fn read_complex_type(doc: &Document, node: NodeId) -> Result<ComplexType, Syntax
                         _ => {}
                     }
                 }
-                ct.simple_base = Some((SimpleType::from_qname(&base), facets));
+                let base = SimpleType::from_qname(&base);
+                facets.check(base).map_err(|e| {
+                    SyntaxError::new(format!("invalid restriction of {}: {e}", base.qname()))
+                })?;
+                ct.simple_base = Some((base, facets));
             }
             Some("annotation") => {}
             Some(other) => {
@@ -359,6 +363,9 @@ pub(crate) fn read_simple_type(
             None => {}
         }
     }
+    facets
+        .check(base)
+        .map_err(|e| SyntaxError::new(format!("invalid restriction of {}: {e}", base.qname())))?;
     Ok((base, facets))
 }
 

@@ -106,28 +106,13 @@ pub fn check_text(
 ) {
     let name = doc.name(node).expect("element");
     match model.simple_content {
-        Some(st) => {
+        Some(_) => {
             let text: String = doc
                 .children(node)
                 .iter()
                 .filter_map(|&c| doc.text(c))
                 .collect();
-            let value = text.trim();
-            if !st.validates(value) || !model.simple_facets.validates(st, value) {
-                let expected = if model.simple_facets.is_empty() {
-                    st.qname().to_owned()
-                } else {
-                    format!("{} {}", st.qname(), model.simple_facets.display())
-                };
-                out.push(Violation {
-                    node,
-                    kind: ViolationKind::InvalidTextValue {
-                        element: name.to_owned(),
-                        value: text,
-                        expected,
-                    },
-                });
-            }
+            check_simple_text(node, name, model, &text, out);
         }
         None => {
             if !model.mixed && !model.open && doc.has_significant_text(node) {
@@ -140,12 +125,56 @@ pub fn check_text(
     }
 }
 
+/// The document-free core of [`check_text`] for a simple-content model:
+/// validates the element's concatenated text (untrimmed, as the value
+/// reported; trimmed for type checking). Used by the streaming validator,
+/// which accumulates text per open element instead of walking a tree.
+pub fn check_simple_text(
+    node: NodeId,
+    name: &str,
+    model: &crate::content::ContentModel,
+    text: &str,
+    out: &mut Vec<Violation>,
+) {
+    let Some(st) = model.simple_content else {
+        return;
+    };
+    let value = text.trim();
+    if !st.validates(value) || !model.simple_facets.validates(st, value) {
+        let expected = if model.simple_facets.is_empty() {
+            st.qname().to_owned()
+        } else {
+            format!("{} {}", st.qname(), model.simple_facets.display())
+        };
+        out.push(Violation {
+            node,
+            kind: ViolationKind::InvalidTextValue {
+                element: name.to_owned(),
+                value: text.to_owned(),
+                expected,
+            },
+        });
+    }
+}
+
 /// Checks an element's attributes against a content model's declarations,
 /// appending violations. Namespace declarations (`xmlns…`) are exempt.
 /// (Shared with `bonxai-core`.)
 pub fn check_attributes(
     doc: &xmltree::Document,
     node: NodeId,
+    model: &crate::content::ContentModel,
+    out: &mut Vec<Violation>,
+) {
+    check_attribute_list(node, doc.attributes(node), model, out);
+}
+
+/// The document-free core of [`check_attributes`], over an attribute
+/// slice directly (the streaming validator holds each open element's
+/// attributes in its frame).
+pub fn check_attribute_list(
+    node: NodeId,
+    attrs: &[xmltree::Attribute],
     model: &crate::content::ContentModel,
     out: &mut Vec<Violation>,
 ) {
@@ -157,7 +186,7 @@ pub fn check_attributes(
     // attribute list (this runs for every element on the validation hot
     // path). Falls back to the scan for >64 declarations.
     let mut seen: u64 = 0;
-    for attr in doc.attributes(node) {
+    for attr in attrs {
         if attr.name.starts_with("xmlns") {
             continue;
         }
@@ -195,7 +224,7 @@ pub fn check_attributes(
         let present = if i < 64 {
             seen & (1 << i) != 0
         } else {
-            doc.attribute(node, &decl.name).is_some()
+            attrs.iter().any(|a| a.name == decl.name)
         };
         if !present {
             out.push(Violation {

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# The tier-1 gate: release build, full test suite, and a warning-free
+# clippy pass over every target in the workspace (vendor stand-ins
+# included). CI and pre-commit both run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,133 @@
+//! Differential test for the streaming validator: validating an XML
+//! byte stream with `validate_stream` must produce a report
+//! byte-identical to parsing the same bytes into a tree and validating
+//! that — same violations at the same node ids in the same order, same
+//! match records — across the product and lock-step engines, in-memory
+//! and `io::Read` sources, and compact and pretty serializations
+//! (whitespace-only text between children must not change verdicts).
+
+use bonxai_core::bxsd::Bxsd;
+use bonxai_core::{BonxaiSchema, CompiledBxsd, ValidateOptions};
+use bonxai_gen::{
+    mutate_document, random_regular_bxsd, random_suffix_bxsd, sample_document, DocConfig,
+    SchemaConfig,
+};
+use proptest::prelude::*;
+use rand::prelude::*;
+use xmltree::XmlReader;
+
+const RECORD: ValidateOptions = ValidateOptions {
+    record_matches: true,
+    force_lockstep: false,
+};
+const LOCKSTEP: ValidateOptions = ValidateOptions {
+    record_matches: true,
+    force_lockstep: true,
+};
+
+/// Streams `input` through every (engine, source) combination and
+/// demands byte-identical reports with tree validation of the same
+/// bytes.
+fn check_stream_equivalence(bxsd: &Bxsd, input: &str) -> Result<(), TestCaseError> {
+    let doc = xmltree::parse_document(input).expect("serialized documents re-parse");
+    let compiled = CompiledBxsd::new(bxsd);
+    let tiny = CompiledBxsd::with_budget(bxsd, 1);
+    prop_assert!(tiny.product_states().is_none(), "budget 1 must overflow");
+    for (c, opts) in [
+        (&compiled, RECORD),
+        (&compiled, LOCKSTEP),
+        (&tiny, RECORD),
+    ] {
+        let tree = c.validate_with(&doc, opts);
+        let mut reader = XmlReader::from_str(input);
+        let streamed = c
+            .validate_stream_with(&mut reader, opts)
+            .expect("well-formed input");
+        prop_assert_eq!(
+            &streamed.violations,
+            &tree.violations,
+            "stream vs tree violations ({:?}, product states {:?})",
+            opts,
+            c.product_states()
+        );
+        prop_assert_eq!(&streamed.matches, &tree.matches, "stream vs tree matches");
+
+        // The io::Read source must behave exactly like the in-memory one.
+        let mut reader = XmlReader::from_reader(input.as_bytes());
+        let io_streamed = c
+            .validate_stream_with(&mut reader, opts)
+            .expect("well-formed input");
+        prop_assert_eq!(&io_streamed.violations, &streamed.violations, "IoSrc");
+        prop_assert_eq!(&io_streamed.matches, &streamed.matches, "IoSrc matches");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn streamed_reports_match_tree_reports(
+        seed in any::<u64>(),
+        n_names in 3usize..10,
+        n_rules in 1usize..10,
+        k in 1usize..4,
+        suffix in any::<bool>(),
+        mutations in 0usize..3,
+        pretty in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SchemaConfig {
+            n_names,
+            n_rules: if suffix { n_rules } else { n_rules.min(4) },
+            k,
+            ..SchemaConfig::default()
+        };
+        let bxsd = if suffix {
+            random_suffix_bxsd(&cfg, &mut rng)
+        } else {
+            random_regular_bxsd(&cfg, &mut rng)
+        };
+        let dfa_xsd = bonxai_core::translate::bxsd_to_dfa_xsd(&bxsd);
+        let doc_cfg = DocConfig {
+            max_nodes: 60,
+            ..DocConfig::default()
+        };
+        let Some(mut doc) = sample_document(&dfa_xsd, &doc_cfg, &mut rng) else {
+            return Ok(());
+        };
+        // Pretty-printing inserts whitespace-only text nodes between
+        // children — reports over those bytes must still agree.
+        let render = |d: &xmltree::Document| {
+            if pretty { xmltree::to_string_pretty(d) } else { xmltree::to_string(d) }
+        };
+        check_stream_equivalence(&bxsd, &render(&doc))?;
+        for _ in 0..mutations {
+            doc = mutate_document(&doc, &mut rng);
+            check_stream_equivalence(&bxsd, &render(&doc))?;
+        }
+    }
+}
+
+/// The paper's Figure 4/5 schemas against the Figure 1 document and
+/// hand-mutated variants (the acceptance fixtures for streaming).
+#[test]
+fn figure_schemas_stream_equivalently() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let document =
+        std::fs::read_to_string(format!("{root}/data/figure1_document.xml")).expect("data");
+    let broken_cases = [
+        "<document><content/></document>",
+        "<document><template/><content><zzz/>stray</content></document>",
+        "<wrong-root><document/></wrong-root>",
+        "<document><template><section/><section/></template><content/></document>",
+    ];
+    for schema in ["figure4.bonxai", "figure5.bonxai"] {
+        let src = std::fs::read_to_string(format!("{root}/data/{schema}")).expect("data");
+        let schema = BonxaiSchema::parse(&src).expect("figure schemas parse");
+        check_stream_equivalence(&schema.bxsd, &document).unwrap();
+        for case in broken_cases {
+            check_stream_equivalence(&schema.bxsd, case).unwrap();
+        }
+    }
+}

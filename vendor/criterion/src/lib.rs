@@ -16,14 +16,9 @@ const WARMUP: Duration = Duration::from_millis(300);
 const MEASURE: Duration = Duration::from_millis(1500);
 
 /// Top-level benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {

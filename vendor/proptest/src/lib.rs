@@ -734,6 +734,7 @@ mod tests {
     fn recursive_strategies_terminate() {
         #[derive(Clone, Debug)]
         enum Tree {
+            #[allow(dead_code)] // payload exercises prop_map, never read
             Leaf(u32),
             Node(Vec<Tree>),
         }
