@@ -73,7 +73,14 @@ fn bench_relang(c: &mut Criterion) {
     for size in [8usize, 16, 32] {
         let mut rng = StdRng::seed_from_u64(size as u64);
         let syms: Vec<Sym> = (0..size as u32).map(Sym).collect();
-        let r = random_dre(&syms, &DreConfig { max_depth: 4, ..DreConfig::default() }, &mut rng);
+        let r = random_dre(
+            &syms,
+            &DreConfig {
+                max_depth: 4,
+                ..DreConfig::default()
+            },
+            &mut rng,
+        );
         group.bench_with_input(BenchmarkId::new("determinize", size), &r, |b, r| {
             b.iter(|| determinize(&Nfa::from_regex(r, size, 100_000).expect("fits")).n_states())
         });

@@ -11,9 +11,7 @@
 //!    inputs (state counts).
 
 use bonxai_bench::{print_table, timed};
-use bonxai_core::translate::{
-    bxsd_to_dfa_xsd, dfa_xsd_to_xsd, suffix_bxsd_to_dfa_xsd,
-};
+use bonxai_core::translate::{bxsd_to_dfa_xsd, dfa_xsd_to_xsd, suffix_bxsd_to_dfa_xsd};
 use bonxai_gen::{random_suffix_bxsd, theorem8_xn, theorem9_bn, SchemaConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,7 +59,13 @@ fn ablate_pruning() {
     }
     print_table(
         "Ablation 1: Algorithm 3 product size (family B_n)",
-        &["schema", "full bound", "reachable", "λ-pruned", "pruned/reachable"],
+        &[
+            "schema",
+            "full bound",
+            "reachable",
+            "λ-pruned",
+            "pruned/reachable",
+        ],
         &rows,
     );
     println!(
@@ -115,8 +119,7 @@ fn ablate_elimination_order() {
             states
                 .iter()
                 .map(|&q| {
-                    dfa_to_regex_with_order(&x.dfa, &[q], EliminationOrder::LowDegreeFirst)
-                        .size()
+                    dfa_to_regex_with_order(&x.dfa, &[q], EliminationOrder::LowDegreeFirst).size()
                 })
                 .sum::<usize>()
         });
@@ -139,7 +142,14 @@ fn ablate_elimination_order() {
     }
     print_table(
         "Ablation 3: Algorithm 2 elimination order (total LHS regex size)",
-        &["schema", "low-degree-first", "sequential", "ratio", "smart ms", "naive ms"],
+        &[
+            "schema",
+            "low-degree-first",
+            "sequential",
+            "ratio",
+            "smart ms",
+            "naive ms",
+        ],
         &rows,
     );
     println!(
@@ -175,7 +185,14 @@ fn ablate_fast_path() {
     }
     print_table(
         "Ablation 4: Theorem 12 Aho-Corasick vs. Algorithm 3 product",
-        &["rules", "AC states", "product states", "AC ms", "product ms", "speedup"],
+        &[
+            "rules",
+            "AC states",
+            "product states",
+            "AC ms",
+            "product ms",
+            "speedup",
+        ],
         &rows,
     );
 }

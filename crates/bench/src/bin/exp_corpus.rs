@@ -64,9 +64,7 @@ fn main() {
             continue;
         }
         let n = group.len();
-        let avg = |f: &dyn Fn(&&SweepRow) -> f64| {
-            group.iter().map(f).sum::<f64>() / n as f64
-        };
+        let avg = |f: &dyn Fn(&&SweepRow) -> f64| group.iter().map(f).sum::<f64>() / n as f64;
         rows.push(vec![
             class.map_or("none".to_owned(), |k| k.to_string()),
             n.to_string(),

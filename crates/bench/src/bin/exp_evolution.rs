@@ -59,7 +59,13 @@ fn main() {
     }
     print_table(
         "Schema evolution: capping section nesting depth",
-        &["variant", "BXSD rules", "rule delta", "XSD types", "type delta"],
+        &[
+            "variant",
+            "BXSD rules",
+            "rule delta",
+            "XSD types",
+            "type delta",
+        ],
         &rows,
     );
     println!(

@@ -32,8 +32,7 @@ fn main() {
 
         let schema_dfa = bxsd_to_dfa_xsd(&entry.bxsd);
         for i in 0..10 {
-            let Some(doc) = sample_document(&schema_dfa, &DocConfig::default(), &mut rng)
-            else {
+            let Some(doc) = sample_document(&schema_dfa, &DocConfig::default(), &mut rng) else {
                 continue;
             };
             let doc = if i % 2 == 0 {
@@ -60,7 +59,14 @@ fn main() {
     let pct = |p: f64| ratios[(p * (ratios.len() - 1) as f64) as usize];
     print_table(
         "Round-trip BonXai -> XSD -> BonXai over the corpus",
-        &["schemas", "docs", "disagreements", "size p50", "size p90", "size max"],
+        &[
+            "schemas",
+            "docs",
+            "disagreements",
+            "size p50",
+            "size p90",
+            "size max",
+        ],
         &[vec![
             ratios.len().to_string(),
             docs_checked.to_string(),

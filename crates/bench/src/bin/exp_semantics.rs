@@ -105,7 +105,10 @@ fn main() {
     print_table(
         "Priority vs. universal vs. existential semantics",
         &["schema", "docs", "agree", "P!=U", "P!=E", "disagree%"],
-        &[row("overlapping rules", c_overlap), row("disjoint rules", c_disjoint)],
+        &[
+            row("overlapping rules", c_overlap),
+            row("disjoint rules", c_disjoint),
+        ],
     );
     println!(
         "\nExpected shape: with overlapping rules the semantics disagree on \

@@ -22,12 +22,7 @@ fn main() {
         let x = theorem8_xn(n);
         let (b, ms) = timed(|| dfa_xsd_to_bxsd(&x));
         let bxsd_size = b.size();
-        let max_lhs = b
-            .rules
-            .iter()
-            .map(|r| r.ancestor.size())
-            .max()
-            .unwrap_or(0);
+        let max_lhs = b.rules.iter().map(|r| r.ancestor.size()).max().unwrap_or(0);
         let growth = prev_size
             .map(|p| format!("{:.2}x", bxsd_size as f64 / p as f64))
             .unwrap_or_else(|| "-".to_owned());

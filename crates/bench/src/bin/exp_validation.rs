@@ -19,6 +19,16 @@
 //! * **product** — the relevance product (Lemma 7): exactly one
 //!   transition lookup per node.
 //!
+//! Part 2b (front end): the same corpora lexed only (zero-copy token
+//! scan, no tree, no validation) and parsed to trees only, isolating
+//! what the event front end costs out of the end-to-end numbers.
+//! `--parse-only` runs just this part and exits (the `check.sh`
+//! microbench).
+//!
+//! Part 2c (batch): the work-stealing pool over the figure-5 corpus at
+//! 1/2/4/8 workers, reporting wall time and speedup vs one worker —
+//! honest about the host's core count, which bounds the speedup.
+//!
 //! Part 3 (streaming): end-to-end (parse + validate) throughput of the
 //! streaming validator vs the tree pipeline on the same serialized
 //! corpora, plus a peak-RSS measurement on a large generated document:
@@ -67,6 +77,10 @@ fn main() {
         mem_probe(mode, schema, doc);
         return;
     }
+    if args.iter().any(|a| a == "--parse-only") {
+        parse_only_bench();
+        return;
+    }
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -80,10 +94,11 @@ fn main() {
     // The ablation runs first: its corpora are timed on a fresh heap,
     // before the scaling table's 100k-node documents fragment it.
     let results = ablation();
+    let batch = batch_scaling();
     let mem = streaming_memory(mem_mb);
     scaling_table();
     if let Some(path) = json_path {
-        let json = render_json(&results, &mem);
+        let json = render_json(&results, &batch, &mem);
         std::fs::write(&path, json).expect("write json");
         println!("\nwrote {path}");
     }
@@ -324,6 +339,10 @@ struct Ablation {
     tree_e2e_ns_per_node: f64,
     /// End-to-end streaming validation of the same bytes (no tree).
     stream_ns_per_node: f64,
+    /// Zero-copy token scan of the same bytes: no tree, no validation.
+    lex_ns_per_node: f64,
+    /// Parse to a tree only (no validation).
+    parse_ns_per_node: f64,
 }
 
 impl Ablation {
@@ -384,11 +403,8 @@ fn ablation() -> Vec<Ablation> {
         let mut fallback_ns = f64::INFINITY;
         let mut product_ns = f64::INFINITY;
         for _ in 0..15 {
-            let (violations, ms) = timed(|| {
-                docs.iter()
-                    .map(|d| seed.validate(d).0.len())
-                    .sum::<usize>()
-            });
+            let (violations, ms) =
+                timed(|| docs.iter().map(|d| seed.validate(d).0.len()).sum::<usize>());
             assert_eq!(violations, 0, "{name}: sampled docs must conform");
             lockstep_ns = lockstep_ns.min(ms * 1e6 / nodes as f64);
             fallback_ns = fallback_ns.min(one(LOCKSTEP));
@@ -429,6 +445,7 @@ fn ablation() -> Vec<Ablation> {
             assert_eq!(violations, 0, "{name}: corpus must conform (stream)");
             stream_ns = stream_ns.min(ms * 1e6 / nodes as f64);
         }
+        let (lex_ns, parse_ns) = front_end_ns(&texts, nodes);
 
         results.push(Ablation {
             schema: name,
@@ -440,6 +457,8 @@ fn ablation() -> Vec<Ablation> {
             product_ns_per_node: product_ns,
             tree_e2e_ns_per_node: tree_e2e_ns,
             stream_ns_per_node: stream_ns,
+            lex_ns_per_node: lex_ns,
+            parse_ns_per_node: parse_ns,
         });
     }
 
@@ -458,6 +477,8 @@ fn ablation() -> Vec<Ablation> {
                 format!("{:.2}x", r.fallback_speedup()),
                 format!("{:.0}", r.tree_e2e_ns_per_node),
                 format!("{:.0}", r.stream_ns_per_node),
+                format!("{:.0}", r.lex_ns_per_node),
+                format!("{:.0}", r.parse_ns_per_node),
             ]
         })
         .collect();
@@ -475,17 +496,186 @@ fn ablation() -> Vec<Ablation> {
             "vs fallback",
             "tree e2e",
             "streamed",
+            "lex only",
+            "parse only",
         ],
         &rows,
     );
     println!(
         "\nns/node; seed lock-step = the pre-product evaluator (two child \
          passes, always records matches); fallback = this change's \
-         Theorem-9 lock-step path; product = one lookup per node. The \
-         last two columns are end-to-end over serialized bytes: parse + \
-         validate a tree vs one streaming pass with no tree."
+         Theorem-9 lock-step path; product = one lookup per node. \
+         tree e2e / streamed are end-to-end over serialized bytes: parse + \
+         validate a tree vs one streaming pass with no tree; lex only is \
+         the zero-copy token scan of the same bytes, parse only builds \
+         the tree without validating — streamed minus lex only is what \
+         validation itself costs on the streaming path."
     );
     results
+}
+
+/// Times the front end alone over serialized corpora: the zero-copy
+/// token scan (no tree, no validation) and the tree parse (no
+/// validation). Returns (lex, parse) ns per element node.
+fn front_end_ns(texts: &[String], nodes: usize) -> (f64, f64) {
+    let mut lex_ns = f64::INFINITY;
+    let mut parse_ns = f64::INFINITY;
+    for _ in 0..10 {
+        let (events, ms) = timed(|| {
+            texts
+                .iter()
+                .map(|t| {
+                    let mut reader = XmlReader::from_str(t);
+                    let mut n = 0usize;
+                    loop {
+                        let tok = reader.next_event().expect("well-formed");
+                        if tok.is_end_document() {
+                            break;
+                        }
+                        n += 1;
+                    }
+                    n
+                })
+                .sum::<usize>()
+        });
+        assert!(events >= nodes, "every element node yields an event");
+        lex_ns = lex_ns.min(ms * 1e6 / nodes as f64);
+        let (parsed, ms) = timed(|| {
+            texts
+                .iter()
+                .map(|t| {
+                    xmltree::parse_document(t)
+                        .expect("round-trip")
+                        .element_count()
+                })
+                .sum::<usize>()
+        });
+        assert_eq!(parsed, nodes, "tree parse sees the same corpus");
+        parse_ns = parse_ns.min(ms * 1e6 / nodes as f64);
+    }
+    (lex_ns, parse_ns)
+}
+
+/// `--parse-only`: the front-end microbench alone — fast enough for
+/// `scripts/check.sh` to run on every gate pass.
+fn parse_only_bench() {
+    let schema = BonxaiSchema::parse(&data("figure5.bonxai")).expect("schema parses");
+    let dfa_schema = bxsd_to_dfa_xsd(&schema.bxsd);
+    let mut rng = StdRng::seed_from_u64(42);
+    let cfg = DocConfig {
+        max_nodes: 500,
+        ..DocConfig::default()
+    };
+    let mut nodes = 0usize;
+    let mut texts = Vec::new();
+    while nodes < 40_000 {
+        let doc = sample_document(&dfa_schema, &cfg, &mut rng).expect("satisfiable");
+        nodes += doc.element_count();
+        texts.push(xmltree::to_string(&doc));
+    }
+    let (lex_ns, parse_ns) = front_end_ns(&texts, nodes);
+    print_table(
+        "Parse-only front end (figure5 corpus)",
+        &["nodes", "lex only (ns/node)", "tree parse (ns/node)"],
+        &[vec![
+            nodes.to_string(),
+            format!("{lex_ns:.0}"),
+            format!("{parse_ns:.0}"),
+        ]],
+    );
+}
+
+/// One run of the batch engine at a fixed worker count.
+struct BatchRun {
+    jobs: usize,
+    ms: f64,
+    speedup: f64,
+}
+
+/// Work-stealing pool scaling over the figure-5 corpus.
+struct BatchScaling {
+    cores: usize,
+    docs: usize,
+    nodes: usize,
+    runs: Vec<BatchRun>,
+}
+
+fn batch_scaling() -> BatchScaling {
+    let schema = BonxaiSchema::parse(&data("figure5.bonxai")).expect("schema parses");
+    let compiled = CompiledBxsd::new(&schema.bxsd);
+    let dfa_schema = bxsd_to_dfa_xsd(&schema.bxsd);
+    let mut rng = StdRng::seed_from_u64(7);
+    let cfg = DocConfig {
+        max_nodes: 500,
+        ..DocConfig::default()
+    };
+    let mut docs = Vec::new();
+    let mut nodes = 0usize;
+    while nodes < 120_000 {
+        let doc = sample_document(&dfa_schema, &cfg, &mut rng).expect("satisfiable");
+        nodes += doc.element_count();
+        docs.push(doc);
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut runs = Vec::new();
+    let mut base_ms = 0.0;
+    for jobs in [1usize, 2, 4, 8] {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let (violations, ms) = timed(|| {
+                compiled
+                    .validate_batch_with_jobs(&docs, ValidateOptions::default(), jobs)
+                    .iter()
+                    .map(|r| r.violations.len())
+                    .sum::<usize>()
+            });
+            assert_eq!(violations, 0, "sampled corpus conforms");
+            best = best.min(ms);
+        }
+        if jobs == 1 {
+            base_ms = best;
+        }
+        runs.push(BatchRun {
+            jobs,
+            ms: best,
+            speedup: base_ms / best,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.jobs.to_string(),
+                format!("{:.1}", r.ms),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Batch validation scaling ({} docs, {} nodes, {} core(s) available)",
+            docs.len(),
+            nodes,
+            cores
+        ),
+        &["workers", "wall ms", "speedup"],
+        &rows,
+    );
+    println!(
+        "\nSpeedup is bounded by the available cores: on a {cores}-core \
+         host the curve flattens at {cores} worker(s); extra workers only \
+         verify that oversubscription costs nothing."
+    );
+    BatchScaling {
+        cores,
+        docs: docs.len(),
+        nodes,
+        runs,
+    }
 }
 
 /// One mode's run of the `--mem-probe` subprocess.
@@ -535,7 +725,11 @@ fn mem_probe(mode: &str, schema_path: &str, doc_path: &str) {
         "stream" => {
             let file = std::fs::File::open(doc_path).expect("document file");
             let mut reader = XmlReader::from_reader(file);
-            compiled.validate_stream(&mut reader).expect("well-formed").violations.len()
+            compiled
+                .validate_stream(&mut reader)
+                .expect("well-formed")
+                .violations
+                .len()
         }
         other => panic!("unknown probe mode {other:?}"),
     };
@@ -617,7 +811,9 @@ fn streaming_memory(mb: usize) -> StreamMemory {
     let _ = std::fs::remove_file(&doc_path);
 
     print_table(
-        &format!("Peak RSS: streaming vs tree on a {doc_mb:.0} MiB document (figure5, depth {depth})"),
+        &format!(
+            "Peak RSS: streaming vs tree on a {doc_mb:.0} MiB document (figure5, depth {depth})"
+        ),
         &["mode", "wall ms", "peak RSS (MiB)"],
         &[
             vec![
@@ -645,7 +841,7 @@ fn streaming_memory(mb: usize) -> StreamMemory {
     }
 }
 
-fn render_json(results: &[Ablation], mem: &StreamMemory) -> String {
+fn render_json(results: &[Ablation], batch: &BatchScaling, mem: &StreamMemory) -> String {
     let mut out = String::from("{\n  \"experiment\": \"validation_product_vs_lockstep\",\n");
     out.push_str(
         "  \"lockstep_baseline\": \"pre-product evaluator (two child passes, \
@@ -660,7 +856,8 @@ fn render_json(results: &[Ablation], mem: &StreamMemory) -> String {
              \"product_ns_per_node\": {:.2}, \"lockstep_nodes_per_sec\": {:.0}, \
              \"product_nodes_per_sec\": {:.0}, \"speedup\": {:.3}, \
              \"fallback_speedup\": {:.3}, \"tree_e2e_ns_per_node\": {:.2}, \
-             \"stream_ns_per_node\": {:.2}}}{}\n",
+             \"stream_ns_per_node\": {:.2}, \"lex_ns_per_node\": {:.2}, \
+             \"parse_ns_per_node\": {:.2}}}{}\n",
             r.schema,
             r.rules,
             r.product_states,
@@ -674,10 +871,26 @@ fn render_json(results: &[Ablation], mem: &StreamMemory) -> String {
             r.fallback_speedup(),
             r.tree_e2e_ns_per_node,
             r.stream_ns_per_node,
+            r.lex_ns_per_node,
+            r.parse_ns_per_node,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"batch_scaling\": {{\"cores\": {}, \"docs\": {}, \"nodes\": {}, \"runs\": [",
+        batch.cores, batch.docs, batch.nodes
+    ));
+    for (i, r) in batch.runs.iter().enumerate() {
+        out.push_str(&format!(
+            "{}{{\"jobs\": {}, \"ms\": {:.1}, \"speedup\": {:.3}}}",
+            if i == 0 { "" } else { ", " },
+            r.jobs,
+            r.ms,
+            r.speedup,
+        ));
+    }
+    out.push_str("]},\n");
     out.push_str(&format!(
         "  \"streaming_memory\": {{\"schema\": \"figure5.bonxai\", \
          \"doc_mb\": {:.1}, \"depth\": {}, \

@@ -56,9 +56,7 @@ fn load_document(path: &str) -> Result<Document, String> {
 /// Writes to `-o <file>` if present in args, else stdout.
 fn emit_output(args: &[String], content: &str) -> Result<(), String> {
     match flag_value(args, "-o") {
-        Some(path) => {
-            fs::write(&path, content).map_err(|e| format!("cannot write {path}: {e}"))
-        }
+        Some(path) => fs::write(&path, content).map_err(|e| format!("cannot write {path}: {e}")),
         None => {
             print!("{content}");
             Ok(())
@@ -84,7 +82,7 @@ fn positional(args: &[String]) -> Vec<&String> {
             skip = false;
             continue;
         }
-        if a == "-o" || a == "--root" || a == "--seed" || a == "--count" {
+        if a == "-o" || a == "--root" || a == "--seed" || a == "--count" || a == "--jobs" {
             skip = true;
             continue;
         }
@@ -100,12 +98,13 @@ fn positional(args: &[String]) -> Vec<&String> {
 
 pub fn validate(args: &[String]) -> Result<ExitCode, String> {
     let pos = positional(args);
+    if pos.len() > 2 || has_flag(args, "--jobs") {
+        return validate_many(args, &pos);
+    }
     let [schema_path, doc_path] = pos.as_slice() else {
-        return Err(
-            "usage: bonxai validate <schema> <document.xml> \
-             [--rules] [--matches] [--fast] [--lockstep]"
-                .into(),
-        );
+        return Err("usage: bonxai validate <schema> <document.xml>... \
+             [--jobs N] [--rules] [--matches] [--fast] [--lockstep]"
+            .into());
     };
     let schema = load_schema(schema_path)?;
     let show_rules = has_flag(args, "--rules");
@@ -129,11 +128,9 @@ pub fn validate(args: &[String]) -> Result<ExitCode, String> {
                 // refuse to run if the product exceeded its state budget.
                 let compiled = CompiledBxsd::new(&s.bxsd);
                 if compiled.product_states().is_none() {
-                    return Err(
-                        "--fast: the relevance product exceeds the state budget \
+                    return Err("--fast: the relevance product exceeds the state budget \
                          for this schema (Theorem 9); rerun without --fast"
-                            .into(),
-                    );
+                        .into());
                 }
             }
             let report = s.validate_with(&doc, opts);
@@ -151,11 +148,7 @@ pub fn validate(args: &[String]) -> Result<ExitCode, String> {
                         .relevant
                         .map(|i| s.ast.rules[s.rule_source[i]].pattern.source.clone())
                         .unwrap_or_else(|| "(unconstrained)".to_owned());
-                    println!(
-                        "  /{} ← {}",
-                        doc.anc_str(node).join("/"),
-                        rule
-                    );
+                    println!("  /{} ← {}", doc.anc_str(node).join("/"), rule);
                 }
             }
             if show_matches {
@@ -168,11 +161,7 @@ pub fn validate(args: &[String]) -> Result<ExitCode, String> {
                         .map(|&i| s.ast.rules[s.rule_source[i]].pattern.source.clone())
                         .collect::<Vec<_>>()
                         .join(", ");
-                    println!(
-                        "  /{} ← [{}]",
-                        doc.anc_str(node).join("/"),
-                        list
-                    );
+                    println!("  /{} ← [{}]", doc.anc_str(node).join("/"), list);
                 }
             }
             report.is_valid()
@@ -230,19 +219,16 @@ fn validate_stream(
     }
     let compiled = CompiledBxsd::new(&s.bxsd);
     if has_flag(args, "--fast") && compiled.product_states().is_none() {
-        return Err(
-            "--fast: the relevance product exceeds the state budget \
+        return Err("--fast: the relevance product exceeds the state budget \
              for this schema (Theorem 9); rerun without --fast"
-                .into(),
-        );
+            .into());
     }
     let report = if doc_path == "-" {
         let stdin = std::io::stdin();
         let mut reader = xmltree::XmlReader::from_reader(stdin.lock());
         compiled.validate_stream_with(&mut reader, opts)
     } else {
-        let file =
-            fs::File::open(doc_path).map_err(|e| format!("cannot read {doc_path}: {e}"))?;
+        let file = fs::File::open(doc_path).map_err(|e| format!("cannot read {doc_path}: {e}"))?;
         let mut reader = xmltree::XmlReader::from_reader(file);
         compiled.validate_stream_with(&mut reader, opts)
     }
@@ -259,6 +245,97 @@ fn validate_stream(
     }
 }
 
+/// `validate <schema> <doc.xml>... [--jobs N]`: multi-file batch mode.
+/// Every file is validated in one streaming pass on the work-stealing
+/// worker pool; per-file results are printed in input order (identical
+/// output for every `--jobs` value) followed by a summary line. Exit
+/// status is FAILURE if any file is invalid, unreadable, or malformed.
+fn validate_many(args: &[String], pos: &[&String]) -> Result<ExitCode, String> {
+    let [schema_path, doc_paths @ ..] = pos else {
+        return Err(
+            "usage: bonxai validate <schema> <document.xml>... [--jobs N] [--lockstep]".into(),
+        );
+    };
+    if doc_paths.is_empty() {
+        return Err("batch validation needs at least one document".into());
+    }
+    let AnySchema::Bonxai(s) = load_schema(schema_path)? else {
+        return Err("batch validation supports BonXai schemas only".into());
+    };
+    if has_flag(args, "--rules") || has_flag(args, "--matches") {
+        return Err(
+            "batch validation cannot print per-element rules (they need the document \
+             tree); drop --rules/--matches"
+                .into(),
+        );
+    }
+    if has_flag(args, "--stream") {
+        return Err("batch validation always streams; drop --stream".into());
+    }
+    if !s.ast.constraints.is_empty() {
+        return Err(
+            "batch validation cannot check key/unique constraints (they need the \
+             document tree); validate files one at a time"
+                .into(),
+        );
+    }
+    let opts = ValidateOptions {
+        record_matches: false,
+        force_lockstep: has_flag(args, "--lockstep"),
+    };
+    let compiled = CompiledBxsd::new(&s.bxsd);
+    if has_flag(args, "--fast") {
+        if opts.force_lockstep {
+            return Err("--fast and --lockstep are mutually exclusive".into());
+        }
+        if compiled.product_states().is_none() {
+            return Err("--fast: the relevance product exceeds the state budget \
+                 for this schema (Theorem 9); rerun without --fast"
+                .into());
+        }
+    }
+    let jobs: usize = match flag_value(args, "--jobs") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--jobs expects a positive integer")?,
+        None => bonxai_core::batch::default_jobs(),
+    };
+    let paths: Vec<&str> = doc_paths.iter().map(|p| p.as_str()).collect();
+    let reports = compiled.validate_paths(&paths, opts, jobs);
+    let (mut n_valid, mut n_invalid, mut n_errors) = (0usize, 0usize, 0usize);
+    for fr in &reports {
+        match &fr.report {
+            Ok(report) => {
+                for v in &report.violations {
+                    println!("{}: violation: {}", fr.path, v.kind);
+                }
+                if report.is_valid() {
+                    n_valid += 1;
+                    println!("{}: valid", fr.path);
+                } else {
+                    n_invalid += 1;
+                    println!("{}: INVALID", fr.path);
+                }
+            }
+            Err(msg) => {
+                n_errors += 1;
+                println!("{}: error: {msg}", fr.path);
+            }
+        }
+    }
+    println!(
+        "{} files: {n_valid} valid, {n_invalid} invalid, {n_errors} errors",
+        reports.len()
+    );
+    if n_invalid == 0 && n_errors == 0 {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
 pub fn to_xsd(args: &[String]) -> Result<ExitCode, String> {
     let pos = positional(args);
     let [schema_path] = pos.as_slice() else {
@@ -269,13 +346,9 @@ pub fn to_xsd(args: &[String]) -> Result<ExitCode, String> {
     };
     let opts = TranslateOptions::default();
     let (x, path) = pipeline::bonxai_to_xsd(&schema, &opts);
-    let text = xsd::emit_xsd(&x, schema.ast.target_namespace.as_deref())
-        .map_err(|e| e.to_string())?;
-    eprintln!(
-        "translated via {} ({} types)",
-        path_name(path),
-        x.n_types()
-    );
+    let text =
+        xsd::emit_xsd(&x, schema.ast.target_namespace.as_deref()).map_err(|e| e.to_string())?;
+    eprintln!("translated via {} ({} types)", path_name(path), x.n_types());
     emit_output(args, &text)?;
     Ok(ExitCode::SUCCESS)
 }
@@ -309,8 +382,7 @@ pub fn from_dtd(args: &[String]) -> Result<ExitCode, String> {
     let AnySchema::Dtd(dtd) = load_schema(schema_path)? else {
         return Err("from-dtd expects a DTD".into());
     };
-    let schema =
-        dtd_import::dtd_to_bonxai(&dtd, &[root.as_str()]).map_err(|e| e.to_string())?;
+    let schema = dtd_import::dtd_to_bonxai(&dtd, &[root.as_str()]).map_err(|e| e.to_string())?;
     emit_output(args, &schema.to_source())?;
     Ok(ExitCode::SUCCESS)
 }
@@ -382,9 +454,7 @@ pub fn sample(args: &[String]) -> Result<ExitCode, String> {
         match bonxai_gen::sample_document(&dfa_schema, &bonxai_gen::DocConfig::default(), &mut rng)
         {
             Some(doc) => print!("{}", xmltree::to_string_pretty(&doc)),
-            None => {
-                return Err("the schema admits no finite conforming document".into())
-            }
+            None => return Err("the schema admits no finite conforming document".into()),
         }
     }
     Ok(ExitCode::SUCCESS)
@@ -412,9 +482,7 @@ fn to_dfa_schema(schema: AnySchema, dtd_root: Option<&str>) -> Result<xsd::DfaXs
 pub fn diff(args: &[String]) -> Result<ExitCode, String> {
     let pos = positional(args);
     let [left_path, right_path] = pos.as_slice() else {
-        return Err(
-            "usage: bonxai diff <schema1> <schema2> [--structural] [--root <name>]".into(),
-        );
+        return Err("usage: bonxai diff <schema1> <schema2> [--structural] [--root <name>]".into());
     };
     let dtd_root = flag_value(args, "--root");
     let mut left = to_dfa_schema(load_schema(left_path)?, dtd_root.as_deref())?;

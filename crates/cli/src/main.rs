@@ -14,8 +14,8 @@ USAGE:
     bonxai <COMMAND> [ARGS]
 
 COMMANDS:
-    validate <schema> <document.xml>
-        Validate an XML document. The schema may be .bonxai, .xsd, or
+    validate <schema> <document.xml>... [--jobs N]
+        Validate XML documents. The schema may be .bonxai, .xsd, or
         .dtd (detected by extension or content). Prints violations, or
         with --rules the relevant BonXai rule for every element.
         --fast requires the product-automaton path (fails on schemas
@@ -23,7 +23,12 @@ COMMANDS:
         forces the reference evaluator. With --stream (BonXai schemas)
         the document — a file, or `-` for stdin — is validated in one
         streaming pass using O(depth) memory, never building a tree;
-        the report is identical to tree validation.
+        the report is identical to tree validation. With several
+        documents (or --jobs), a BonXai schema validates all of them
+        on a work-stealing pool of N workers (default: one per core),
+        each file streamed; per-file reports print in input order with
+        a summary line, and the exit status is nonzero if any file is
+        invalid, unreadable, or malformed.
 
     to-xsd <schema.bonxai> [-o out.xsd]
         Compile a BonXai schema to XML Schema.
@@ -58,6 +63,7 @@ OPTIONS:
     --fast       (validate) require the product-automaton fast path
     --lockstep   (validate) force the lock-step reference evaluator
     --stream     (validate) stream the document in O(depth) memory
+    --jobs N     (validate) worker count for multi-document batches
     --seed N     (sample) RNG seed (default 0)
     --count N    (sample) number of documents (default 1)
 ";

@@ -21,7 +21,12 @@ fn stdout(o: &Output) -> String {
 
 #[test]
 fn validate_accepts_figure1_under_all_schemas() {
-    for schema in ["figure2.dtd", "figure3.xsd", "figure4.bonxai", "figure5.bonxai"] {
+    for schema in [
+        "figure2.dtd",
+        "figure3.xsd",
+        "figure4.bonxai",
+        "figure5.bonxai",
+    ] {
         let out = run(&["validate", &data(schema), &data("figure1_document.xml")]);
         assert!(out.status.success(), "{schema}: {}", stdout(&out));
         assert!(stdout(&out).contains("valid"));
@@ -122,7 +127,12 @@ fn validate_stream_agrees_with_tree_validation() {
             .stderr(Stdio::piped())
             .spawn()
             .expect("binary runs");
-        child.stdin.take().expect("piped").write_all(&xml).expect("writes");
+        child
+            .stdin
+            .take()
+            .expect("piped")
+            .write_all(&xml)
+            .expect("writes");
         child.wait_with_output().expect("binary exits")
     };
     assert!(out.status.success(), "{}", stdout(&out));
@@ -177,7 +187,11 @@ fn to_xsd_from_xsd_roundtrip() {
         tmp.to_str().expect("utf8"),
     ]);
     assert!(out.status.success());
-    let out = run(&["validate", tmp.to_str().expect("utf8"), &data("figure1_document.xml")]);
+    let out = run(&[
+        "validate",
+        tmp.to_str().expect("utf8"),
+        &data("figure1_document.xml"),
+    ]);
     assert!(out.status.success(), "{}", stdout(&out));
 
     let out = run(&["from-xsd", tmp.to_str().expect("utf8")]);
@@ -206,14 +220,29 @@ fn analyze_reports_fragment() {
 
 #[test]
 fn sample_produces_valid_documents() {
-    let out = run(&["sample", &data("figure5.bonxai"), "--seed", "1", "--count", "1"]);
+    let out = run(&[
+        "sample",
+        &data("figure5.bonxai"),
+        "--seed",
+        "1",
+        "--count",
+        "1",
+    ]);
     assert!(out.status.success());
     let doc_text = stdout(&out);
     // the sampled document validates
     let tmp = std::env::temp_dir().join("bonxai_cli_sample.xml");
     std::fs::write(&tmp, &doc_text).expect("writes");
-    let out = run(&["validate", &data("figure5.bonxai"), tmp.to_str().expect("utf8")]);
-    assert!(out.status.success(), "sample:\n{doc_text}\n{}", stdout(&out));
+    let out = run(&[
+        "validate",
+        &data("figure5.bonxai"),
+        tmp.to_str().expect("utf8"),
+    ]);
+    assert!(
+        out.status.success(),
+        "sample:\n{doc_text}\n{}",
+        stdout(&out)
+    );
 }
 
 #[test]

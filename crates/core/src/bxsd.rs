@@ -80,11 +80,7 @@ impl std::error::Error for BxsdError {}
 impl Bxsd {
     /// Assembles a BXSD, checking that every right-hand side is a
     /// deterministic expression (the UPA requirement of Definition 1).
-    pub fn new(
-        ename: Alphabet,
-        start: BTreeSet<Sym>,
-        rules: Vec<Rule>,
-    ) -> Result<Bxsd, BxsdError> {
+    pub fn new(ename: Alphabet, start: BTreeSet<Sym>, rules: Vec<Rule>) -> Result<Bxsd, BxsdError> {
         for (i, rule) in rules.iter().enumerate() {
             rule.content
                 .check_deterministic()
@@ -191,10 +187,7 @@ impl BxsdBuilder {
         for name in word {
             parts.push(Regex::sym(self.ename.intern(name)));
         }
-        self.rules.push(Rule::new(
-            Regex::concat(parts),
-            content,
-        ));
+        self.rules.push(Rule::new(Regex::concat(parts), content));
         self
     }
 
@@ -225,15 +218,13 @@ pub(crate) fn substitute_marker(r: &Regex, any: &Regex) -> Regex {
         return any.clone();
     }
     match r {
-        Regex::Concat(parts) => Regex::Concat(
-            parts.iter().map(|p| substitute_marker(p, any)).collect(),
-        ),
-        Regex::Alt(parts) => {
-            Regex::Alt(parts.iter().map(|p| substitute_marker(p, any)).collect())
+        Regex::Concat(parts) => {
+            Regex::Concat(parts.iter().map(|p| substitute_marker(p, any)).collect())
         }
-        Regex::Interleave(parts) => Regex::Interleave(
-            parts.iter().map(|p| substitute_marker(p, any)).collect(),
-        ),
+        Regex::Alt(parts) => Regex::Alt(parts.iter().map(|p| substitute_marker(p, any)).collect()),
+        Regex::Interleave(parts) => {
+            Regex::Interleave(parts.iter().map(|p| substitute_marker(p, any)).collect())
+        }
         Regex::Star(inner) => Regex::Star(Box::new(substitute_marker(inner, any))),
         Regex::Plus(inner) => Regex::Plus(Box::new(substitute_marker(inner, any))),
         Regex::Opt(inner) => Regex::Opt(Box::new(substitute_marker(inner, any))),
@@ -265,8 +256,14 @@ mod tests {
                 Regex::sym(content),
             ])),
         );
-        b.suffix_rule(&["template"], ContentModel::new(Regex::opt(Regex::sym(section))));
-        b.suffix_rule(&["content"], ContentModel::new(Regex::star(Regex::sym(section))));
+        b.suffix_rule(
+            &["template"],
+            ContentModel::new(Regex::opt(Regex::sym(section))),
+        );
+        b.suffix_rule(
+            &["content"],
+            ContentModel::new(Regex::star(Regex::sym(section))),
+        );
         // general rule first, special case later (higher priority)
         b.suffix_rule(
             &["section"],

@@ -108,13 +108,19 @@ pub enum ConstraintViolation {
 impl fmt::Display for ConstraintViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConstraintViolation::Duplicate { constraint, tuple, .. } => {
+            ConstraintViolation::Duplicate {
+                constraint, tuple, ..
+            } => {
                 write!(f, "{constraint}: duplicate tuple {tuple:?}")
             }
-            ConstraintViolation::MissingField { constraint, field, .. } => {
+            ConstraintViolation::MissingField {
+                constraint, field, ..
+            } => {
                 write!(f, "{constraint}: key field {field} missing")
             }
-            ConstraintViolation::DanglingRef { constraint, tuple, .. } => {
+            ConstraintViolation::DanglingRef {
+                constraint, tuple, ..
+            } => {
                 write!(f, "{constraint}: tuple {tuple:?} matches no key")
             }
             ConstraintViolation::UnknownKey { refer } => {

@@ -9,8 +9,7 @@ use xmltree::dtd::{AttType, ContentSpec, DefaultDecl, Dtd};
 use xsd::SimpleType;
 
 use crate::lang::ast::{
-    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody,
-    SchemaAst,
+    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody, SchemaAst,
 };
 use crate::lang::LangError;
 use crate::schema::BonxaiSchema;
@@ -57,10 +56,7 @@ pub fn dtd_to_bonxai(dtd: &Dtd, roots: &[&str]) -> Result<BonxaiSchema, LangErro
         }
         ast.rules.push(RuleAst {
             pattern: AncestorPattern {
-                path: PathExpr::Seq(vec![
-                    PathExpr::AnyChain,
-                    PathExpr::Name(name.clone()),
-                ]),
+                path: PathExpr::Seq(vec![PathExpr::AnyChain, PathExpr::Name(name.clone())]),
                 attributes: Vec::new(),
                 source: name.clone(),
             },
@@ -77,10 +73,7 @@ pub fn dtd_to_bonxai(dtd: &Dtd, roots: &[&str]) -> Result<BonxaiSchema, LangErro
             }
             ast.rules.push(RuleAst {
                 pattern: AncestorPattern {
-                    path: PathExpr::Seq(vec![
-                        PathExpr::AnyChain,
-                        PathExpr::Name(elem.clone()),
-                    ]),
+                    path: PathExpr::Seq(vec![PathExpr::AnyChain, PathExpr::Name(elem.clone())]),
                     attributes: vec![def.name.clone()],
                     source: format!("{elem}/@{}", def.name),
                 },
@@ -93,10 +86,7 @@ pub fn dtd_to_bonxai(dtd: &Dtd, roots: &[&str]) -> Result<BonxaiSchema, LangErro
 }
 
 fn star_of_names(names: &[String]) -> Particle {
-    let alts: Vec<Particle> = names
-        .iter()
-        .map(|n| Particle::Element(n.clone()))
-        .collect();
+    let alts: Vec<Particle> = names.iter().map(|n| Particle::Element(n.clone())).collect();
     Particle::Star(Box::new(if alts.len() == 1 {
         alts.into_iter().next().expect("len checked")
     } else {
@@ -207,9 +197,12 @@ mod tests {
     fn empty_and_any_content() {
         let dtd = parse_dtd("<!ELEMENT a EMPTY> <!ELEMENT b ANY> <!ELEMENT c (a, b)>").unwrap();
         let schema = dtd_to_bonxai(&dtd, &["c"]).unwrap();
-        let doc =
-            parse_document(r#"<c><a/><b>anything <a/> goes</b></c>"#).unwrap();
-        assert!(schema.is_valid(&doc), "{:?}", schema.validate(&doc).structure.violations);
+        let doc = parse_document(r#"<c><a/><b>anything <a/> goes</b></c>"#).unwrap();
+        assert!(
+            schema.is_valid(&doc),
+            "{:?}",
+            schema.validate(&doc).structure.violations
+        );
         let bad = parse_document(r#"<c><a>no children</a><b/></c>"#).unwrap();
         assert!(!schema.is_valid(&bad));
     }
@@ -257,7 +250,11 @@ mod any_tests {
             r#"<doc><head/><blob x="1">text <head/><blob>more <head/><head/></blob></blob></doc>"#,
         )
         .unwrap();
-        assert!(schema.is_valid(&ok), "{:?}", schema.validate(&ok).structure.violations);
+        assert!(
+            schema.is_valid(&ok),
+            "{:?}",
+            schema.validate(&ok).structure.violations
+        );
         // but head stays strict
         let bad = parse_document(r#"<doc><head>nope</head><blob/></doc>"#).unwrap();
         assert!(!schema.is_valid(&bad));
@@ -272,10 +269,8 @@ mod any_tests {
 
     #[test]
     fn any_cannot_mix_with_elements() {
-        let err = BonxaiSchema::parse(
-            "global { a } grammar { a = { any, element b } }",
-        )
-        .unwrap_err();
+        let err =
+            BonxaiSchema::parse("global { a } grammar { a = { any, element b } }").unwrap_err();
         assert!(err.message.contains("any"), "{err}");
     }
 }

@@ -198,7 +198,9 @@ impl<'a> Lexer<'a> {
     pub fn next_token(&mut self) -> Result<Option<Spanned>, LangError> {
         self.skip_trivia();
         let (line, col, offset) = (self.line, self.col(), self.pos);
-        let Some(c) = self.peek() else { return Ok(None) };
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
         let tok = match c {
             b'@' => {
                 self.bump();
@@ -446,16 +448,16 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let toks = lex_all("a # comment with { } = stuff\nb");
-        assert_eq!(
-            toks,
-            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
-        );
+        assert_eq!(toks, vec![Tok::Ident("a".into()), Tok::Ident("b".into())]);
     }
 
     #[test]
     fn rest_of_line_for_uris() {
         let mut l = Lexer::new("target namespace http://my.org/ns#frag\nglobal");
-        assert_eq!(l.next_token().unwrap().unwrap().tok, Tok::Ident("target".into()));
+        assert_eq!(
+            l.next_token().unwrap().unwrap().tok,
+            Tok::Ident("target".into())
+        );
         assert_eq!(
             l.next_token().unwrap().unwrap().tok,
             Tok::Ident("namespace".into())

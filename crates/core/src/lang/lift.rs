@@ -14,18 +14,13 @@ use xsd::{simple_types::Facets, ContentModel, SimpleType};
 
 use crate::bxsd::Bxsd;
 use crate::lang::ast::{
-    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody,
-    SchemaAst,
+    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody, SchemaAst,
 };
 
 /// Lifts a BXSD into a surface schema AST (printable with
 /// [`crate::lang::printer::print_schema`]).
 pub fn lift(bxsd: &Bxsd) -> SchemaAst {
-    let names: Vec<String> = bxsd
-        .ename
-        .entries()
-        .map(|(_, n)| n.to_owned())
-        .collect();
+    let names: Vec<String> = bxsd.ename.entries().map(|(_, n)| n.to_owned()).collect();
     let mut ast = SchemaAst {
         globals: bxsd
             .start
@@ -67,11 +62,8 @@ pub fn lift(bxsd: &Bxsd) -> SchemaAst {
             }
             let uniform = attr_types[a.name.as_str()].len() == 1;
             if !uniform {
-                let source = crate::lang::printer::pattern_str(
-                    &path,
-                    std::slice::from_ref(&a.name),
-                    &names,
-                );
+                let source =
+                    crate::lang::printer::pattern_str(&path, std::slice::from_ref(&a.name), &names);
                 ast.rules.push(RuleAst {
                     pattern: AncestorPattern {
                         path: path.clone(),
@@ -117,9 +109,7 @@ pub fn regex_to_path(r: &Regex, bxsd: &Bxsd) -> PathExpr {
         Regex::Concat(parts) => {
             PathExpr::Seq(parts.iter().map(|p| regex_to_path(p, bxsd)).collect())
         }
-        Regex::Alt(parts) => {
-            PathExpr::Alt(parts.iter().map(|p| regex_to_path(p, bxsd)).collect())
-        }
+        Regex::Alt(parts) => PathExpr::Alt(parts.iter().map(|p| regex_to_path(p, bxsd)).collect()),
         Regex::Star(inner) => PathExpr::Star(Box::new(regex_to_path(inner, bxsd))),
         Regex::Plus(inner) => PathExpr::Plus(Box::new(regex_to_path(inner, bxsd))),
         Regex::Opt(inner) => PathExpr::Opt(Box::new(regex_to_path(inner, bxsd))),
@@ -243,8 +233,14 @@ mod tests {
                 Regex::sym(content),
             ])),
         );
-        b.suffix_rule(&["template"], ContentModel::new(Regex::opt(Regex::sym(section))));
-        b.suffix_rule(&["content"], ContentModel::new(Regex::star(Regex::sym(section))));
+        b.suffix_rule(
+            &["template"],
+            ContentModel::new(Regex::opt(Regex::sym(section))),
+        );
+        b.suffix_rule(
+            &["content"],
+            ContentModel::new(Regex::star(Regex::sym(section))),
+        );
         b.suffix_rule(
             &["section"],
             ContentModel::new(Regex::star(Regex::sym(section)))
@@ -285,8 +281,7 @@ mod tests {
             elem("document")
                 .child(elem("template"))
                 .child(
-                    elem("content")
-                        .child(elem("section").attr("title", "t").attr("level", "two")),
+                    elem("content").child(elem("section").attr("title", "t").attr("level", "two")),
                 )
                 .build(),
             elem("content").build(),

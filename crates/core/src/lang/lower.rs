@@ -19,9 +19,7 @@ use relang::{Alphabet, Regex};
 use xsd::{simple_types::Facets, AttributeUse, ContentModel, SimpleType};
 
 use crate::bxsd::{Bxsd, Rule};
-use crate::lang::ast::{
-    AttributeItem, ChildPattern, Particle, PathExpr, RuleBody, SchemaAst,
-};
+use crate::lang::ast::{AttributeItem, ChildPattern, Particle, PathExpr, RuleBody, SchemaAst};
 use crate::lang::lexer::LangError;
 
 /// The result of lowering: the formal schema plus provenance.
@@ -37,6 +35,7 @@ pub struct Lowered {
 pub fn lower(ast: &SchemaAst) -> Result<Lowered, LangError> {
     // 1. The element alphabet: everything mentioned anywhere.
     let mut alphabet = Alphabet::new();
+    alphabet.reserve(count_schema_names(ast));
     for g in &ast.globals {
         alphabet.intern(g);
     }
@@ -55,11 +54,8 @@ pub fn lower(ast: &SchemaAst) -> Result<Lowered, LangError> {
         collect_path_names(&c.selector, &mut alphabet);
     }
 
-    let groups: BTreeMap<&str, &Particle> = ast
-        .groups
-        .iter()
-        .map(|(n, p)| (n.as_str(), p))
-        .collect();
+    let groups: BTreeMap<&str, &Particle> =
+        ast.groups.iter().map(|(n, p)| (n.as_str(), p)).collect();
     let attribute_groups: BTreeMap<&str, &Vec<AttributeItem>> = ast
         .attribute_groups
         .iter()
@@ -103,12 +99,8 @@ pub fn lower(ast: &SchemaAst) -> Result<Lowered, LangError> {
     let resolve_attr_type = |name: &str, elem_path: &Regex| -> (SimpleType, Facets) {
         for ar in attr_rules.iter().rev() {
             if ar.names.iter().any(|n| n == name)
-                && relang::ops::language::intersection_witness(
-                    &ar.path,
-                    elem_path,
-                    alphabet.len(),
-                )
-                .is_some()
+                && relang::ops::language::intersection_witness(&ar.path, elem_path, alphabet.len())
+                    .is_some()
             {
                 return (ar.simple_type, ar.facets.clone());
             }
@@ -127,12 +119,17 @@ pub fn lower(ast: &SchemaAst) -> Result<Lowered, LangError> {
             RuleBody::Simple(st, facets) => {
                 ContentModel::simple(*st).with_simple_facets(facets.clone())
             }
-            RuleBody::Complex(cp) => {
-                lower_child_pattern(cp, &groups, &attribute_groups, &alphabet, &ancestor, &resolve_attr_type)
-                    .map_err(|msg| {
-                        LangError::new(0, 0, format!("in rule {:?}: {msg}", rule.pattern.source))
-                    })?
-            }
+            RuleBody::Complex(cp) => lower_child_pattern(
+                cp,
+                &groups,
+                &attribute_groups,
+                &alphabet,
+                &ancestor,
+                &resolve_attr_type,
+            )
+            .map_err(|msg| {
+                LangError::new(0, 0, format!("in rule {:?}: {msg}", rule.pattern.source))
+            })?,
         };
         rules.push(Rule::new(ancestor, content));
         rule_source.push(idx);
@@ -257,9 +254,7 @@ fn particle_to_regex(
 pub fn path_to_regex_resolved(path: &PathExpr, alphabet: &Alphabet) -> Regex {
     match path {
         PathExpr::Empty => Regex::Epsilon,
-        PathExpr::Name(n) => alphabet
-            .lookup(n)
-            .map_or(Regex::Empty, Regex::sym),
+        PathExpr::Name(n) => alphabet.lookup(n).map_or(Regex::Empty, Regex::sym),
         PathExpr::AnyChain => Regex::star(Regex::sym_set(alphabet.symbols())),
         PathExpr::Seq(items) => Regex::concat(
             items
@@ -281,6 +276,52 @@ pub fn path_to_regex_resolved(path: &PathExpr, alphabet: &Alphabet) -> Regex {
             *lo,
             hi.map_or(relang::UpperBound::Unbounded, relang::UpperBound::Finite),
         ),
+    }
+}
+
+/// Upper bound on the number of name mentions in the schema, so the
+/// alphabet's slot table can be pre-sized once instead of rebuilt while
+/// lowering interns the symbol set.
+fn count_schema_names(ast: &SchemaAst) -> usize {
+    let mut n = ast.globals.len();
+    for rule in &ast.rules {
+        n += count_path_names(&rule.pattern.path);
+        if let RuleBody::Complex(cp) = &rule.body {
+            if let Some(p) = &cp.particle {
+                n += count_particle_names(p);
+            }
+        }
+    }
+    for (_, p) in &ast.groups {
+        n += count_particle_names(p);
+    }
+    for c in &ast.constraints {
+        n += count_path_names(&c.selector);
+    }
+    n
+}
+
+fn count_path_names(path: &PathExpr) -> usize {
+    match path {
+        PathExpr::Empty | PathExpr::AnyChain => 0,
+        PathExpr::Name(_) => 1,
+        PathExpr::Seq(items) | PathExpr::Alt(items) => items.iter().map(count_path_names).sum(),
+        PathExpr::Star(i) | PathExpr::Plus(i) | PathExpr::Opt(i) | PathExpr::Repeat(i, _, _) => {
+            count_path_names(i)
+        }
+    }
+}
+
+fn count_particle_names(p: &Particle) -> usize {
+    match p {
+        Particle::Element(_) => 1,
+        Particle::GroupRef(_) => 0,
+        Particle::Seq(items) | Particle::Alt(items) | Particle::Interleave(items) => {
+            items.iter().map(count_particle_names).sum()
+        }
+        Particle::Star(i) | Particle::Plus(i) | Particle::Opt(i) | Particle::Repeat(i, _, _) => {
+            count_particle_names(i)
+        }
     }
 }
 

@@ -9,8 +9,7 @@ pub mod parser;
 pub mod printer;
 
 pub use ast::{
-    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody,
-    SchemaAst,
+    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody, SchemaAst,
 };
 pub use lexer::LangError;
 pub use lift::lift;

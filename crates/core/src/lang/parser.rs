@@ -17,8 +17,7 @@ use xsd::{simple_types::Facets, SimpleType};
 
 use crate::constraints::{Constraint, ConstraintKind, Field};
 use crate::lang::ast::{
-    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody,
-    SchemaAst,
+    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody, SchemaAst,
 };
 use crate::lang::lexer::{LangError, Lexer, Spanned, Tok};
 
@@ -69,8 +68,15 @@ impl<'a> Parser<'a> {
     fn expect_tok(&mut self, tok: &Tok) -> Result<Spanned, LangError> {
         match self.next()? {
             Some(t) if t.tok == *tok => Ok(t),
-            Some(t) => Err(LangError::at(&t, format!("expected {tok}, found {}", t.tok))),
-            None => Err(LangError::new(0, 0, format!("expected {tok}, found end of input"))),
+            Some(t) => Err(LangError::at(
+                &t,
+                format!("expected {tok}, found {}", t.tok),
+            )),
+            None => Err(LangError::new(
+                0,
+                0,
+                format!("expected {tok}, found end of input"),
+            )),
         }
     }
 
@@ -89,7 +95,10 @@ impl<'a> Parser<'a> {
         if name == kw {
             Ok(())
         } else {
-            Err(LangError::at(&t, format!("expected {kw:?}, found {name:?}")))
+            Err(LangError::at(
+                &t,
+                format!("expected {kw:?}, found {name:?}"),
+            ))
         }
     }
 
@@ -101,7 +110,10 @@ impl<'a> Parser<'a> {
             let keyword = match &t.tok {
                 Tok::Ident(s) => s.clone(),
                 other => {
-                    return Err(LangError::at(t, format!("expected a block keyword, found {other}")))
+                    return Err(LangError::at(
+                        t,
+                        format!("expected a block keyword, found {other}"),
+                    ))
                 }
             };
             let t = self.next()?.expect("peeked");
@@ -121,7 +133,8 @@ impl<'a> Parser<'a> {
                     let (prefix, _) = self.expect_ident()?;
                     self.expect_tok(&Tok::Eq)?;
                     debug_assert!(self.peeked.is_none());
-                    ast.namespaces.push((prefix, self.lexer.take_rest_of_line()));
+                    ast.namespaces
+                        .push((prefix, self.lexer.take_rest_of_line()));
                 }
                 "global" => {
                     self.expect_tok(&Tok::LBrace)?;
@@ -129,14 +142,19 @@ impl<'a> Parser<'a> {
                         let (name, _) = self.expect_ident()?;
                         ast.globals.push(name);
                         match self.next()? {
-                            Some(Spanned { tok: Tok::Comma, .. }) => continue,
-                            Some(Spanned { tok: Tok::RBrace, .. }) => break,
+                            Some(Spanned {
+                                tok: Tok::Comma, ..
+                            }) => continue,
+                            Some(Spanned {
+                                tok: Tok::RBrace, ..
+                            }) => break,
                             Some(t) => {
-                                return Err(LangError::at(&t, "expected ',' or '}' in global block"))
+                                return Err(LangError::at(
+                                    &t,
+                                    "expected ',' or '}' in global block",
+                                ))
                             }
-                            None => {
-                                return Err(LangError::new(0, 0, "unterminated global block"))
-                            }
+                            None => return Err(LangError::new(0, 0, "unterminated global block")),
                         }
                     }
                 }
@@ -158,7 +176,9 @@ impl<'a> Parser<'a> {
         self.expect_tok(&Tok::LBrace)?;
         loop {
             match self.next()? {
-                Some(Spanned { tok: Tok::RBrace, .. }) => return Ok(()),
+                Some(Spanned {
+                    tok: Tok::RBrace, ..
+                }) => return Ok(()),
                 Some(t) => match &t.tok {
                     Tok::Ident(kw) if kw == "group" => {
                         let (name, _) = self.expect_ident()?;
@@ -171,16 +191,18 @@ impl<'a> Parser<'a> {
                             attribute_group_refs,
                             particle,
                         } = body;
-                        if open || mixed || !attributes.is_empty() || !attribute_group_refs.is_empty()
+                        if open
+                            || mixed
+                            || !attributes.is_empty()
+                            || !attribute_group_refs.is_empty()
                         {
                             return Err(LangError::at(
                                 &t,
                                 "element groups may not contain attributes, 'mixed', or 'any'",
                             ));
                         }
-                        let particle = particle.ok_or_else(|| {
-                            LangError::at(&t, "element group must not be empty")
-                        })?;
+                        let particle = particle
+                            .ok_or_else(|| LangError::at(&t, "element group must not be empty"))?;
                         ast.groups.push((name, particle));
                     }
                     Tok::Ident(kw) if kw == "attribute-group" => {
@@ -218,7 +240,13 @@ impl<'a> Parser<'a> {
     fn parse_grammar_block(&mut self, ast: &mut SchemaAst) -> Result<(), LangError> {
         self.expect_tok(&Tok::LBrace)?;
         loop {
-            if matches!(self.peek()?, Some(Spanned { tok: Tok::RBrace, .. })) {
+            if matches!(
+                self.peek()?,
+                Some(Spanned {
+                    tok: Tok::RBrace,
+                    ..
+                })
+            ) {
                 self.next()?;
                 return Ok(());
             }
@@ -253,7 +281,13 @@ impl<'a> Parser<'a> {
             self.next()?;
             let (qname, _) = self.expect_ident()?;
             // optional facet block: { min "0", enum "a", … }
-            let facets = if matches!(self.peek()?, Some(Spanned { tok: Tok::LBrace, .. })) {
+            let facets = if matches!(
+                self.peek()?,
+                Some(Spanned {
+                    tok: Tok::LBrace,
+                    ..
+                })
+            ) {
                 self.next()?;
                 self.parse_facets()?
             } else {
@@ -261,7 +295,10 @@ impl<'a> Parser<'a> {
             };
             self.expect_tok(&Tok::RBrace)?;
             if mixed {
-                return Err(LangError::at(&open, "'mixed' cannot combine with a type body"));
+                return Err(LangError::at(
+                    &open,
+                    "'mixed' cannot combine with a type body",
+                ));
             }
             let st = SimpleType::from_qname(&qname);
             facets
@@ -282,33 +319,39 @@ impl<'a> Parser<'a> {
         loop {
             let (kind, t) = self.expect_ident()?;
             let value = match self.next()? {
-                Some(Spanned { tok: Tok::Str(v), .. }) => v,
-                Some(t) => {
-                    return Err(LangError::at(&t, "facet values must be quoted strings"))
-                }
+                Some(Spanned {
+                    tok: Tok::Str(v), ..
+                }) => v,
+                Some(t) => return Err(LangError::at(&t, "facet values must be quoted strings")),
                 None => return Err(LangError::new(0, 0, "unterminated facet list")),
             };
             match kind.as_str() {
                 "min" => facets.min_inclusive = Some(value),
                 "max" => facets.max_inclusive = Some(value),
                 "minLength" => {
-                    facets.min_length = Some(value.parse().map_err(|_| {
-                        LangError::at(&t, format!("bad minLength {value:?}"))
-                    })?)
+                    facets.min_length = Some(
+                        value
+                            .parse()
+                            .map_err(|_| LangError::at(&t, format!("bad minLength {value:?}")))?,
+                    )
                 }
                 "maxLength" => {
-                    facets.max_length = Some(value.parse().map_err(|_| {
-                        LangError::at(&t, format!("bad maxLength {value:?}"))
-                    })?)
+                    facets.max_length = Some(
+                        value
+                            .parse()
+                            .map_err(|_| LangError::at(&t, format!("bad maxLength {value:?}")))?,
+                    )
                 }
                 "enum" => facets.enumeration.push(value),
-                other => {
-                    return Err(LangError::at(&t, format!("unknown facet {other:?}")))
-                }
+                other => return Err(LangError::at(&t, format!("unknown facet {other:?}"))),
             }
             match self.next()? {
-                Some(Spanned { tok: Tok::Comma, .. }) => continue,
-                Some(Spanned { tok: Tok::RBrace, .. }) => return Ok(facets),
+                Some(Spanned {
+                    tok: Tok::Comma, ..
+                }) => continue,
+                Some(Spanned {
+                    tok: Tok::RBrace, ..
+                }) => return Ok(facets),
                 Some(t) => return Err(LangError::at(&t, "expected ',' or '}' in facets")),
                 None => return Err(LangError::new(0, 0, "unterminated facet list")),
             }
@@ -326,19 +369,27 @@ impl<'a> Parser<'a> {
         let mut toks = Vec::new();
         loop {
             match self.next()? {
-                Some(Spanned { tok: Tok::RBrace, .. }) => break,
+                Some(Spanned {
+                    tok: Tok::RBrace, ..
+                }) => break,
                 Some(t) => toks.push(t),
                 None => return Err(LangError::new(0, 0, "unterminated rule body")),
             }
         }
-        BodyParser { toks: &toks, pos: 0 }.parse()
+        BodyParser {
+            toks: &toks,
+            pos: 0,
+        }
+        .parse()
     }
 
     fn parse_constraints_block(&mut self, ast: &mut SchemaAst) -> Result<(), LangError> {
         self.expect_tok(&Tok::LBrace)?;
         loop {
             match self.next()? {
-                Some(Spanned { tok: Tok::RBrace, .. }) => return Ok(()),
+                Some(Spanned {
+                    tok: Tok::RBrace, ..
+                }) => return Ok(()),
                 Some(t) => {
                     let kw = match &t.tok {
                         Tok::Ident(s) => s.clone(),
@@ -403,7 +454,9 @@ impl<'a> Parser<'a> {
         let mut toks = Vec::new();
         loop {
             match self.peek()? {
-                Some(Spanned { tok: Tok::LBrace, .. }) => break,
+                Some(Spanned {
+                    tok: Tok::LBrace, ..
+                }) => break,
                 Some(_) => toks.push(self.next()?.expect("peeked")),
                 None => return Err(LangError::new(0, 0, "constraint selector without fields")),
             }
@@ -429,14 +482,21 @@ impl<'a> Parser<'a> {
                     let (name, _) = self.expect_ident()?;
                     Field::Attribute(name)
                 }
-                Some(Spanned { tok: Tok::Ident(name), .. }) => Field::ChildText(name),
+                Some(Spanned {
+                    tok: Tok::Ident(name),
+                    ..
+                }) => Field::ChildText(name),
                 Some(t) => return Err(LangError::at(&t, "expected a field")),
                 None => return Err(LangError::new(0, 0, "unterminated field list")),
             };
             fields.push(field);
             match self.next()? {
-                Some(Spanned { tok: Tok::Comma, .. }) => continue,
-                Some(Spanned { tok: Tok::RBrace, .. }) => return Ok(fields),
+                Some(Spanned {
+                    tok: Tok::Comma, ..
+                }) => continue,
+                Some(Spanned {
+                    tok: Tok::RBrace, ..
+                }) => return Ok(fields),
                 Some(t) => return Err(LangError::at(&t, "expected ',' or '}' in fields")),
                 None => return Err(LangError::new(0, 0, "unterminated field list")),
             }
@@ -490,11 +550,7 @@ impl<'a> PatternParser<'a> {
         match (self.toks.first(), self.toks.last()) {
             (Some(a), Some(b)) => {
                 let end = b.offset + b.tok.to_string().len();
-                self.src
-                    .get(a.offset..end)
-                    .unwrap_or("")
-                    .trim()
-                    .to_owned()
+                self.src.get(a.offset..end).unwrap_or("").trim().to_owned()
             }
             _ => String::new(),
         }
@@ -574,9 +630,7 @@ impl<'a> PatternParser<'a> {
             .collect();
         match paths {
             Some(ps) => Ok(Pat::Path(PathExpr::Alt(ps))),
-            None => Err(self.err_here(
-                "alternation may not mix element paths and attribute names",
-            )),
+            None => Err(self.err_here("alternation may not mix element paths and attribute names")),
         }
     }
 
@@ -598,9 +652,9 @@ impl<'a> PatternParser<'a> {
                 _ => break,
             };
             if attrs.is_some() {
-                return Err(self.err_here(
-                    "attribute names may only occur at the end of ancestor patterns",
-                ));
+                return Err(
+                    self.err_here("attribute names may only occur at the end of ancestor patterns")
+                );
             }
             if gap {
                 parts.push(PathExpr::AnyChain);
@@ -642,9 +696,9 @@ impl<'a> PatternParser<'a> {
                     _ => unreachable!("matched above"),
                 }),
                 _ => {
-                    return Err(self.err_here(
-                        "repetition operators cannot apply to attribute names",
-                    ))
+                    return Err(
+                        self.err_here("repetition operators cannot apply to attribute names")
+                    )
                 }
             };
         }
@@ -665,9 +719,7 @@ impl<'a> PatternParser<'a> {
                     _ => Err(self.err_here("expected ')'")),
                 }
             }
-            Some(other) => Err(self.err_here(format!(
-                "unexpected {other} in ancestor pattern"
-            ))),
+            Some(other) => Err(self.err_here(format!("unexpected {other} in ancestor pattern"))),
             None => Err(self.err_here("unexpected end of ancestor pattern")),
         }
     }
@@ -729,9 +781,7 @@ impl<'a> BodyParser<'a> {
                 }
                 None => break,
                 Some(other) => {
-                    return Err(self.err_here(format!(
-                        "expected ',' between items, found {other}"
-                    )))
+                    return Err(self.err_here(format!("expected ',' between items, found {other}")))
                 }
             }
         }
@@ -741,9 +791,7 @@ impl<'a> BodyParser<'a> {
             _ => Some(Particle::Seq(particles)),
         };
         if out.open && out.particle.is_some() {
-            return Err(self.err_here(
-                "'any' cannot be combined with element content",
-            ));
+            return Err(self.err_here("'any' cannot be combined with element content"));
         }
         Ok(out)
     }
@@ -852,10 +900,10 @@ impl<'a> BodyParser<'a> {
         match self.bump().cloned() {
             Some(Tok::Ident(kw)) if kw == "element" => Ok(Particle::Element(self.expect_name()?)),
             Some(Tok::Ident(kw)) if kw == "group" => Ok(Particle::GroupRef(self.expect_name()?)),
-            Some(Tok::Ident(kw)) if kw == "attribute" || kw == "attribute-group" => Err(self
-                .err_here(
-                    "attributes may only appear as top-level comma items of a rule body",
-                )),
+            Some(Tok::Ident(kw)) if kw == "attribute" || kw == "attribute-group" => {
+                Err(self
+                    .err_here("attributes may only appear as top-level comma items of a rule body"))
+            }
             Some(Tok::LParen) => {
                 let inner = self.parse_seq_in_parens()?;
                 match self.bump() {
@@ -863,9 +911,9 @@ impl<'a> BodyParser<'a> {
                     _ => Err(self.err_here("expected ')'")),
                 }
             }
-            Some(other) => Err(self.err_here(format!(
-                "expected element, group, or '(' — found {other}"
-            ))),
+            Some(other) => {
+                Err(self.err_here(format!("expected element, group, or '(' — found {other}")))
+            }
             None => Err(self.err_here("unexpected end of rule body")),
         }
     }
@@ -934,12 +982,18 @@ mod tests {
         let r = &ast.rules[14];
         assert_eq!(r.pattern.attributes, vec!["name", "color", "title"]);
         assert_eq!(r.pattern.path, PathExpr::AnyChain);
-        assert_eq!(r.body, RuleBody::Simple(SimpleType::String, Facets::default()));
+        assert_eq!(
+            r.body,
+            RuleBody::Simple(SimpleType::String, Facets::default())
+        );
 
         // @size: integer
         let r = &ast.rules[15];
         assert_eq!(r.pattern.attributes, vec!["size"]);
-        assert_eq!(r.body, RuleBody::Simple(SimpleType::Integer, Facets::default()));
+        assert_eq!(
+            r.body,
+            RuleBody::Simple(SimpleType::Integer, Facets::default())
+        );
     }
 
     #[test]
@@ -947,10 +1001,7 @@ mod tests {
         let p = parse_ancestor_pattern("section").unwrap();
         assert_eq!(
             p.path,
-            PathExpr::Seq(vec![
-                PathExpr::AnyChain,
-                PathExpr::Name("section".into())
-            ])
+            PathExpr::Seq(vec![PathExpr::AnyChain, PathExpr::Name("section".into())])
         );
         // anchored patterns stay anchored
         let p = parse_ancestor_pattern("/a/b").unwrap();

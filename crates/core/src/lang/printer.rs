@@ -35,13 +35,7 @@ pub fn print_schema(ast: &SchemaAst, all_names: &[String]) -> String {
         for (name, items) in &ast.attribute_groups {
             let rendered: Vec<String> = items
                 .iter()
-                .map(|a| {
-                    format!(
-                        "attribute {}{}",
-                        a.name,
-                        if a.optional { "?" } else { "" }
-                    )
-                })
+                .map(|a| format!("attribute {}{}", a.name, if a.optional { "?" } else { "" }))
                 .collect();
             let _ = writeln!(
                 out,

@@ -8,6 +8,8 @@
 //!   `ancestor-regex → deterministic content model` with priority
 //!   semantics;
 //! * [`validate`] — document validation with matched-rule reporting;
+//! * [`batch`] — work-stealing multi-document validation (in-memory
+//!   trees or streamed files), deterministic in input order;
 //! * [`semantics`] — the universal/existential alternatives (Section 3.2)
 //!   for comparison;
 //! * [`translate`] — Algorithms 1–4 and the k-suffix fast paths
@@ -22,6 +24,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod bxsd;
 pub mod constraints;
 pub mod dtd_import;
@@ -32,6 +35,7 @@ pub mod semantics;
 pub mod translate;
 pub mod validate;
 
+pub use batch::FileReport;
 pub use bxsd::{Bxsd, BxsdBuilder, BxsdError, Rule};
 pub use pipeline::{bonxai_to_xsd_text, xsd_to_bonxai_text, PipelineError, Translated};
 pub use schema::{BonxaiSchema, ValidationReport};

@@ -135,7 +135,9 @@ mod tests {
         let schema = BonxaiSchema::parse(BONXAI).unwrap();
         let xsd_text = bonxai_to_xsd_text(BONXAI, &opts).unwrap();
         assert!(xsd_text.output.contains("xs:schema"));
-        assert!(xsd_text.output.contains("targetNamespace=\"http://example.org/doc\""));
+        assert!(xsd_text
+            .output
+            .contains("targetNamespace=\"http://example.org/doc\""));
 
         let xsd = xsd::parse_xsd(&xsd_text.output).unwrap();
         let back = xsd_to_bonxai_text(&xsd_text.output, &opts).unwrap();
@@ -143,8 +145,18 @@ mod tests {
 
         for doc in &docs() {
             let expected = schema.is_valid(doc);
-            assert_eq!(xsd::is_valid(&xsd, doc), expected, "{}", xmltree::to_string(doc));
-            assert_eq!(back_schema.is_valid(doc), expected, "{}", xmltree::to_string(doc));
+            assert_eq!(
+                xsd::is_valid(&xsd, doc),
+                expected,
+                "{}",
+                xmltree::to_string(doc)
+            );
+            assert_eq!(
+                back_schema.is_valid(doc),
+                expected,
+                "{}",
+                xmltree::to_string(doc)
+            );
         }
     }
 

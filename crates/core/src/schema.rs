@@ -94,11 +94,8 @@ impl BonxaiSchema {
     /// record per-node rule matches for highlighting).
     pub fn validate_with(&self, doc: &Document, opts: ValidateOptions) -> ValidationReport {
         let structure = CompiledBxsd::new(&self.bxsd).validate_with(doc, opts);
-        let constraints = crate::constraints::check_constraints(
-            &self.ast.constraints,
-            &self.bxsd.ename,
-            doc,
-        );
+        let constraints =
+            crate::constraints::check_constraints(&self.ast.constraints, &self.bxsd.ename, doc);
         ValidationReport {
             structure,
             constraints,
@@ -152,7 +149,12 @@ mod tests {
         )
         .unwrap();
         let r = schema.validate(&good);
-        assert!(r.is_valid(), "{:?} {:?}", r.structure.violations, r.constraints);
+        assert!(
+            r.is_valid(),
+            "{:?} {:?}",
+            r.structure.violations,
+            r.constraints
+        );
     }
 
     #[test]

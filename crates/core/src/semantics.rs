@@ -41,10 +41,10 @@ pub fn conforms(bxsd: &Bxsd, doc: &Document, semantics: Semantics) -> bool {
         Semantics::Priority => crate::validate::is_valid(bxsd, doc),
         Semantics::Universal | Semantics::Existential => {
             let root = doc.root();
-            let root_sym = doc
-                .name(root)
-                .and_then(|n| bxsd.ename.lookup(n));
-            let Some(root_sym) = root_sym else { return false };
+            let root_sym = doc.name(root).and_then(|n| bxsd.ename.lookup(n));
+            let Some(root_sym) = root_sym else {
+                return false;
+            };
             if !bxsd.start.contains(&root_sym) {
                 return false;
             }
@@ -215,7 +215,11 @@ mod tests {
         let x = b.build().unwrap();
         let good = elem("r").child(elem("x")).child(elem("y")).build();
         let bad = elem("r").child(elem("y")).child(elem("x")).build();
-        for sem in [Semantics::Priority, Semantics::Universal, Semantics::Existential] {
+        for sem in [
+            Semantics::Priority,
+            Semantics::Universal,
+            Semantics::Existential,
+        ] {
             assert!(conforms(&x, &good, sem), "{sem:?}");
             assert!(!conforms(&x, &bad, sem), "{sem:?}");
         }
@@ -225,7 +229,11 @@ mod tests {
     fn wrong_root_rejected_everywhere() {
         let x = overlapping();
         let doc = elem("zzz").build();
-        for sem in [Semantics::Priority, Semantics::Universal, Semantics::Existential] {
+        for sem in [
+            Semantics::Priority,
+            Semantics::Universal,
+            Semantics::Existential,
+        ] {
             assert!(!conforms(&x, &doc, sem));
         }
     }

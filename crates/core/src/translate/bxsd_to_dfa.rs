@@ -140,8 +140,14 @@ mod tests {
                 Regex::sym(content),
             ])),
         );
-        b.suffix_rule(&["template"], ContentModel::new(Regex::opt(Regex::sym(section))));
-        b.suffix_rule(&["content"], ContentModel::new(Regex::star(Regex::sym(section))));
+        b.suffix_rule(
+            &["template"],
+            ContentModel::new(Regex::opt(Regex::sym(section))),
+        );
+        b.suffix_rule(
+            &["content"],
+            ContentModel::new(Regex::star(Regex::sym(section))),
+        );
         b.suffix_rule(
             &["section"],
             ContentModel::new(Regex::star(Regex::sym(section))).with_mixed(true),

@@ -77,8 +77,14 @@ mod tests {
                 Regex::sym(content),
             ])),
         );
-        b.lambda(q_template, ContentModel::new(Regex::opt(Regex::sym(section))));
-        b.lambda(q_content, ContentModel::new(Regex::star(Regex::sym(section))));
+        b.lambda(
+            q_template,
+            ContentModel::new(Regex::opt(Regex::sym(section))),
+        );
+        b.lambda(
+            q_content,
+            ContentModel::new(Regex::star(Regex::sym(section))),
+        );
         b.lambda(q_tsec, ContentModel::new(Regex::opt(Regex::sym(section))));
         b.lambda(
             q_sec,

@@ -62,16 +62,10 @@ pub fn dfa_xsd_to_xsd(schema: &DfaXsd) -> Xsd {
     let t0: BTreeMap<Sym, TypeId> = schema
         .roots
         .iter()
-        .filter_map(|&a| {
-            schema
-                .dfa
-                .transition(q0, a)
-                .map(|t| (a, type_of_state[&t]))
-        })
+        .filter_map(|&a| schema.dfa.transition(q0, a).map(|t| (a, type_of_state[&t])))
         .collect();
 
-    Xsd::new(schema.ename.clone(), defs, t0)
-        .expect("a valid DFA-based XSD yields a valid XSD")
+    Xsd::new(schema.ename.clone(), defs, t0).expect("a valid DFA-based XSD yields a valid XSD")
 }
 
 #[cfg(test)]
@@ -107,8 +101,14 @@ mod tests {
                 Regex::sym(content),
             ])),
         );
-        b.lambda(q_template, ContentModel::new(Regex::opt(Regex::sym(section))));
-        b.lambda(q_content, ContentModel::new(Regex::star(Regex::sym(section))));
+        b.lambda(
+            q_template,
+            ContentModel::new(Regex::opt(Regex::sym(section))),
+        );
+        b.lambda(
+            q_content,
+            ContentModel::new(Regex::star(Regex::sym(section))),
+        );
         b.lambda(q_tsec, ContentModel::new(Regex::opt(Regex::sym(section))));
         b.lambda(
             q_sec,

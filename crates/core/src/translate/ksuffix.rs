@@ -46,9 +46,7 @@ pub fn classify_suffix(r: &Regex, n_syms: usize) -> Option<SuffixLang> {
         return Some(SuffixLang::Exact(w));
     }
     match r {
-        Regex::Star(inner) if is_full_symset(inner, n_syms) => {
-            Some(SuffixLang::Suffix(Vec::new()))
-        }
+        Regex::Star(inner) if is_full_symset(inner, n_syms) => Some(SuffixLang::Suffix(Vec::new())),
         Regex::Concat(parts) if !parts.is_empty() => {
             let (head, tail) = parts.split_first().expect("nonempty");
             let prefix_ok = matches!(head, Regex::Star(inner) if is_full_symset(inner, n_syms));
@@ -388,7 +386,9 @@ pub fn k_suffix_dfa_to_bxsd(
             }
         }
         for &a in &allowed[q] {
-            let Some(t) = dfa.transition(q, a) else { continue };
+            let Some(t) = dfa.transition(q, a) else {
+                continue;
+            };
             let mut next = suffix.clone();
             next.push(a);
             let mut next_exact = is_exact;
@@ -477,7 +477,10 @@ mod tests {
             &["sec"],
             ContentModel::new(Regex::star(Regex::sym(sec))).with_mixed(true),
         );
-        b.suffix_rule(&["tpl", "sec"], ContentModel::new(Regex::opt(Regex::sym(sec))));
+        b.suffix_rule(
+            &["tpl", "sec"],
+            ContentModel::new(Regex::opt(Regex::sym(sec))),
+        );
         b.build().unwrap()
     }
 
@@ -587,7 +590,9 @@ mod tests {
                 .child(elem("tpl").child(elem("sec").child(elem("sec").text("x"))))
                 .child(elem("sec"))
                 .build(),
-            elem("doc").child(elem("sec").child(elem("sec")).text("mix")).build(),
+            elem("doc")
+                .child(elem("sec").child(elem("sec")).text("mix"))
+                .build(),
             elem("doc").child(elem("sec")).child(elem("tpl")).build(),
             elem("doc")
                 .child(elem("tpl").child(elem("sec").text("text not allowed")))

@@ -145,8 +145,18 @@ mod tests {
         ];
         for doc in &docs {
             let expected = bxsd_valid(&bxsd, doc);
-            assert_eq!(xsd::is_valid(&x, doc), expected, "{}", xmltree::to_string(doc));
-            assert_eq!(bxsd_valid(&back, doc), expected, "{}", xmltree::to_string(doc));
+            assert_eq!(
+                xsd::is_valid(&x, doc),
+                expected,
+                "{}",
+                xmltree::to_string(doc)
+            );
+            assert_eq!(
+                bxsd_valid(&back, doc),
+                expected,
+                "{}",
+                xmltree::to_string(doc)
+            );
         }
     }
 

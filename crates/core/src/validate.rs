@@ -38,12 +38,12 @@
 //! orders violations canonically (stable-sorted by node, i.e. document
 //! order). `tests/stream_equivalence.rs` pins the equivalence.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use relang::ops::{ProductState, RelevanceProduct};
 use relang::{CompiledDre, Dfa, StateId, Sym};
-use xmltree::stream::{ByteSrc, XmlEvent, XmlReader};
-use xmltree::{Attribute, Document, NodeId};
+use xmltree::stream::{ByteSrc, XmlReader, XmlToken};
+use xmltree::{Document, NodeId};
 use xsd::violation::{Violation, ViolationKind};
 
 use crate::bxsd::Bxsd;
@@ -108,6 +108,10 @@ pub struct CompiledBxsd<'a> {
     /// When false and the element carries no attributes at all, the
     /// attribute check is provably a no-op and is skipped on the hot path.
     requires_attr: Vec<bool>,
+    /// Per rule: whether significant text under the element is a
+    /// violation (element-only content: not mixed, not open, no simple
+    /// content). Only such frames scan text nodes for non-whitespace.
+    text_sensitive: Vec<bool>,
 }
 
 impl<'a> CompiledBxsd<'a> {
@@ -142,12 +146,18 @@ impl<'a> CompiledBxsd<'a> {
             .iter()
             .map(|r| r.content.attributes.iter().any(|a| a.required))
             .collect();
+        let text_sensitive = bxsd
+            .rules
+            .iter()
+            .map(|r| !r.content.mixed && !r.content.open && r.content.simple_content.is_none())
+            .collect();
         CompiledBxsd {
             bxsd,
             ancestor_dfas,
             content_matchers,
             relevance,
             requires_attr,
+            text_sensitive,
         }
     }
 
@@ -187,7 +197,9 @@ impl<'a> CompiledBxsd<'a> {
         // Monomorphize over match recording so the no-recording hot path
         // carries no per-node recording branches.
         match (&self.relevance, opts.force_lockstep, opts.record_matches) {
-            (Some(p), false, false) => self.run_product::<false>(p, doc, root, root_sym, &mut report),
+            (Some(p), false, false) => {
+                self.run_product::<false>(p, doc, root, root_sym, &mut report)
+            }
             (Some(p), false, true) => self.run_product::<true>(p, doc, root, root_sym, &mut report),
             (_, _, false) => self.run_lockstep::<false>(doc, root, root_sym, &mut report),
             (_, _, true) => self.run_lockstep::<true>(doc, root, root_sym, &mut report),
@@ -241,36 +253,6 @@ impl<'a> CompiledBxsd<'a> {
         }
         report.violations.sort_by_key(|v| v.node);
         Ok(report)
-    }
-
-    /// Validates many documents in parallel with scoped threads,
-    /// preserving input order. The compiled schema is shared read-only
-    /// across workers.
-    pub fn validate_batch(&self, docs: &[Document], opts: ValidateOptions) -> Vec<BxsdReport> {
-        if docs.len() < 2 {
-            return docs.iter().map(|d| self.validate_with(d, opts)).collect();
-        }
-        let n_workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(docs.len());
-        let chunk = docs.len().div_ceil(n_workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = docs
-                .chunks(chunk)
-                .map(|slab| {
-                    scope.spawn(move || {
-                        slab.iter()
-                            .map(|d| self.validate_with(d, opts))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("validation workers do not panic"))
-                .collect()
-        })
     }
 
     /// Product fast path: one relevance transition per node, one pass over
@@ -337,7 +319,14 @@ impl<'a> CompiledBxsd<'a> {
             }
 
             let failed_at = unknown_at.or_else(|| content.finish(count, &word));
-            self.check_node(doc, node, relevant, failed_at, has_text, &mut report.violations);
+            self.check_node(
+                doc,
+                node,
+                relevant,
+                failed_at,
+                has_text,
+                &mut report.violations,
+            );
         }
     }
 
@@ -364,14 +353,16 @@ impl<'a> CompiledBxsd<'a> {
         let mut word: Vec<Sym> = Vec::new();
         while let Some((node, states)) = stack.pop() {
             let is_match = |(i, s): (usize, &Option<StateId>)| {
-                s.is_some_and(|q| self.ancestor_dfas[i].is_final(q)).then_some(i)
+                s.is_some_and(|q| self.ancestor_dfas[i].is_final(q))
+                    .then_some(i)
             };
             let relevant;
             if RECORD {
-                let matching: Vec<usize> =
-                    states.iter().enumerate().filter_map(is_match).collect();
+                let matching: Vec<usize> = states.iter().enumerate().filter_map(is_match).collect();
                 relevant = matching.last().copied();
-                report.matches.insert(node, NodeMatch { matching, relevant });
+                report
+                    .matches
+                    .insert(node, NodeMatch { matching, relevant });
             } else {
                 // No recording requested: find the last matching rule
                 // without materializing the full set.
@@ -424,7 +415,14 @@ impl<'a> CompiledBxsd<'a> {
             }
 
             let failed_at = unknown_at.or_else(|| content.finish(count, &word));
-            self.check_node(doc, node, relevant, failed_at, has_text, &mut report.violations);
+            self.check_node(
+                doc,
+                node,
+                relevant,
+                failed_at,
+                has_text,
+                &mut report.violations,
+            );
             pool.push(states);
         }
     }
@@ -524,28 +522,35 @@ impl<'a> CompiledBxsd<'a> {
         // of the document is drained (malformed XML must still error) but
         // produces no further violations or matches.
         let mut root_rejected = false;
-        // Streaming analogue of `resolve_names`: resolve each distinct
-        // element name against the schema alphabet once.
-        let mut syms: HashMap<String, Option<Sym>> = HashMap::new();
+        // Streaming analogue of `resolve_names`: the reader's dense
+        // first-occurrence `NameId`s index straight into these side
+        // tables, so after an element name's first occurrence the match
+        // path is one array load — no hashing, no string compare.
+        let mut syms: Vec<Option<Sym>> = Vec::new();
+        let mut names: Vec<Box<str>> = Vec::new();
         loop {
             match reader.next_event()? {
-                XmlEvent::Doctype { .. } => {}
-                XmlEvent::StartElement {
-                    name, attributes, ..
+                XmlToken::Doctype { .. } => {}
+                XmlToken::StartElement {
+                    name,
+                    name_id,
+                    attributes,
+                    ..
                 } => {
                     let node = NodeId(next_node);
                     next_node += 1;
                     if root_rejected {
                         continue;
                     }
-                    let sym = match syms.get(&name) {
-                        Some(&s) => s,
-                        None => {
-                            let s = self.bxsd.ename.lookup(&name);
-                            syms.insert(name.clone(), s);
-                            s
-                        }
-                    };
+                    let idx = name_id.index();
+                    if idx >= syms.len() {
+                        // New ids are handed out densely, one per first
+                        // occurrence — which is always a start tag.
+                        debug_assert_eq!(idx, syms.len());
+                        syms.push(self.bxsd.ename.lookup(name));
+                        names.push(name.into());
+                    }
+                    let sym = syms[idx];
                     let state = if let Some(parent) = stack.last_mut() {
                         if parent.unknown_at.is_some() {
                             eng.dead()
@@ -559,7 +564,7 @@ impl<'a> CompiledBxsd<'a> {
                                 None => {
                                     report.violations.push(Violation {
                                         node,
-                                        kind: ViolationKind::NoGoverningDefinition(name.clone()),
+                                        kind: ViolationKind::NoGoverningDefinition(name.to_owned()),
                                     });
                                     parent.unknown_at = Some(parent.count);
                                     eng.dead()
@@ -572,7 +577,7 @@ impl<'a> CompiledBxsd<'a> {
                             None => {
                                 report.violations.push(Violation {
                                     node,
-                                    kind: ViolationKind::RootNotAllowed(name),
+                                    kind: ViolationKind::RootNotAllowed(name.to_owned()),
                                 });
                                 root_rejected = true;
                                 continue;
@@ -597,21 +602,39 @@ impl<'a> CompiledBxsd<'a> {
                     let text = relevant
                         .filter(|&i| self.bxsd.rules[i].content.simple_content.is_some())
                         .map(|_| String::new());
+                    // Attributes are checked right here, against the
+                    // token's borrowed list — nothing is copied out of
+                    // the reader's buffer. The (almost always empty)
+                    // verdict is parked in the frame and emitted at the
+                    // end tag, where the tree path reports it, so the
+                    // within-node violation order stays identical.
+                    let mut attr_violations = Vec::new();
+                    if let Some(i) =
+                        relevant.filter(|&i| self.requires_attr[i] || !attributes.is_empty())
+                    {
+                        xsd::violation::check_attribute_pairs(
+                            node,
+                            attributes.iter().map(|a| (a.name, a.value)),
+                            &self.bxsd.rules[i].content,
+                            &mut attr_violations,
+                        );
+                    }
                     stack.push(StreamFrame {
                         node,
-                        name,
-                        attributes,
+                        name: idx,
+                        attr_violations,
                         state,
                         relevant,
                         content,
                         word,
                         count: 0,
                         unknown_at: None,
+                        track_text: relevant.is_some_and(|i| self.text_sensitive[i]),
                         has_text: false,
                         text,
                     });
                 }
-                XmlEvent::Text { text, .. } => {
+                XmlToken::Text { text, .. } => {
                     // Text nodes occupy arena slots in the tree build.
                     next_node += 1;
                     if root_rejected {
@@ -619,12 +642,15 @@ impl<'a> CompiledBxsd<'a> {
                     }
                     let frame = stack.last_mut().expect("text only occurs inside the root");
                     if let Some(acc) = &mut frame.text {
-                        acc.push_str(&text);
+                        acc.push_str(text);
                     }
-                    frame.has_text =
-                        frame.has_text || text.chars().any(|c| !c.is_whitespace());
+                    // `has_text` is only read where text is a violation
+                    // (element-only content) — don't scan anywhere else.
+                    if frame.track_text && !frame.has_text {
+                        frame.has_text = text.chars().any(|c| !c.is_whitespace());
+                    }
                 }
-                XmlEvent::EndElement { .. } => {
+                XmlToken::EndElement { .. } => {
                     if root_rejected {
                         continue;
                     }
@@ -634,8 +660,8 @@ impl<'a> CompiledBxsd<'a> {
                         .or_else(|| frame.content.finish(frame.count, &frame.word));
                     self.check_stream_node(
                         frame.node,
-                        &frame.name,
-                        &frame.attributes,
+                        &names[frame.name],
+                        frame.attr_violations,
                         frame.relevant,
                         failed_at,
                         frame.has_text,
@@ -643,19 +669,22 @@ impl<'a> CompiledBxsd<'a> {
                         &mut report.violations,
                     );
                 }
-                XmlEvent::EndDocument => return Ok(()),
+                XmlToken::EndDocument => return Ok(()),
             }
         }
     }
 
     /// [`Self::check_node`] over a finished stream frame instead of a
-    /// tree node: same checks, same order, same violations.
+    /// tree node: same checks, same order, same violations. Attribute
+    /// violations arrive pre-computed (the start tag checked them off
+    /// the borrowed token) and are spliced in at the position the tree
+    /// path reports them: after the text check, before content.
     #[allow(clippy::too_many_arguments)]
     fn check_stream_node(
         &self,
         node: NodeId,
         name: &str,
-        attributes: &[Attribute],
+        mut attr_violations: Vec<Violation>,
         relevant: Option<usize>,
         failed_at: Option<usize>,
         has_text: bool,
@@ -674,9 +703,7 @@ impl<'a> CompiledBxsd<'a> {
                 kind: ViolationKind::UnexpectedText(name.to_owned()),
             });
         }
-        if !attributes.is_empty() || self.requires_attr[i] {
-            xsd::violation::check_attribute_list(node, attributes, model, violations);
-        }
+        violations.append(&mut attr_violations);
         if let Some(at) = failed_at {
             violations.push(Violation {
                 node,
@@ -836,8 +863,13 @@ impl AncEngine for LockstepEngine<'_> {
 /// state — its depth is the open-element depth of the input.
 struct StreamFrame<'c, St> {
     node: NodeId,
-    name: String,
-    attributes: Vec<Attribute>,
+    /// Index into the driver's dense name table (== the reader's
+    /// `NameId`), resolved back to a string only if a violation needs it.
+    name: usize,
+    /// Attribute violations found at the start tag (checked against the
+    /// reader's borrowed token; empty — and unallocated — for valid
+    /// attribute lists), reported at the end tag in tree order.
+    attr_violations: Vec<Violation>,
     /// Ancestor state; children derive theirs from it via the engine.
     state: St,
     relevant: Option<usize>,
@@ -848,6 +880,9 @@ struct StreamFrame<'c, St> {
     count: usize,
     /// Position of the first unknown-named child, if any.
     unknown_at: Option<usize>,
+    /// Whether text nodes need scanning at all: the relevant rule has
+    /// element-only content, so significant text would be a violation.
+    track_text: bool,
     /// Any non-whitespace text seen among the children.
     has_text: bool,
     /// Accumulated child text — `Some` only under simple content, where
@@ -900,8 +935,14 @@ mod tests {
                 Regex::sym(content),
             ])),
         );
-        b.suffix_rule(&["template"], ContentModel::new(Regex::opt(Regex::sym(section))));
-        b.suffix_rule(&["content"], ContentModel::new(Regex::star(Regex::sym(section))));
+        b.suffix_rule(
+            &["template"],
+            ContentModel::new(Regex::opt(Regex::sym(section))),
+        );
+        b.suffix_rule(
+            &["content"],
+            ContentModel::new(Regex::star(Regex::sym(section))),
+        );
         b.suffix_rule(
             &["section"],
             ContentModel::new(Regex::star(Regex::sym(section)))
@@ -920,10 +961,7 @@ mod tests {
         let x = example();
         let doc = elem("document")
             .child(elem("template").child(elem("section")))
-            .child(
-                elem("content")
-                    .child(elem("section").attr("title", "Intro").text("hi")),
-            )
+            .child(elem("content").child(elem("section").attr("title", "Intro").text("hi")))
             .build();
         let r = validate(&x, &doc);
         assert!(r.is_valid(), "{:?}", r.violations);
@@ -965,9 +1003,7 @@ mod tests {
         let tsec = doc
             .elements()
             .into_iter()
-            .find(|&n| {
-                doc.name(n) == Some("section")
-            })
+            .find(|&n| doc.name(n) == Some("section"))
             .unwrap();
         let m = &r.matches[&tsec];
         assert_eq!(m.matching, vec![3, 4]);
@@ -996,10 +1032,7 @@ mod tests {
         let a = b.ename.intern("a");
         let bb = b.ename.intern("b");
         // only rule: a's children must be b
-        b.rule(
-            Regex::word(&[a]),
-            ContentModel::new(Regex::sym(bb)),
-        );
+        b.rule(Regex::word(&[a]), ContentModel::new(Regex::sym(bb)));
         let x = b.build().unwrap();
         // b itself has no rule: anything under it is fine (Definition 1)
         let doc = elem("a")
@@ -1065,10 +1098,7 @@ mod tests {
         vec![
             elem("document")
                 .child(elem("template").child(elem("section")))
-                .child(
-                    elem("content")
-                        .child(elem("section").attr("title", "Intro").text("hi")),
-                )
+                .child(elem("content").child(elem("section").attr("title", "Intro").text("hi")))
                 .build(),
             elem("document")
                 .child(elem("template"))
@@ -1179,7 +1209,8 @@ mod tests {
     fn stream_works_from_io_reader() {
         let x = example();
         let c = CompiledBxsd::new(&x);
-        let input = "<document><template/><content><section title=\"t\">hi</section></content></document>";
+        let input =
+            "<document><template/><content><section title=\"t\">hi</section></content></document>";
         let mut reader = XmlReader::from_reader(input.as_bytes());
         let r = c.validate_stream(&mut reader).unwrap();
         assert!(r.is_valid(), "{:?}", r.violations);

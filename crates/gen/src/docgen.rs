@@ -41,11 +41,7 @@ impl Default for DocConfig {
 /// conforming subtree exist below it?) is computed as a least fixpoint
 /// first, and word sampling is restricted to finishable successor states,
 /// so generation always terminates and samples are always valid.
-pub fn sample_document(
-    schema: &DfaXsd,
-    cfg: &DocConfig,
-    rng: &mut impl Rng,
-) -> Option<Document> {
+pub fn sample_document(schema: &DfaXsd, cfg: &DocConfig, rng: &mut impl Rng) -> Option<Document> {
     let n_states = schema.dfa.n_states();
     let n_syms = schema.ename.len();
     let q0 = schema.dfa.initial();
@@ -54,7 +50,10 @@ pub fn sample_document(
     let dfas: Vec<Option<Dfa>> = schema
         .lambda
         .iter()
-        .map(|m| m.as_ref().map(|cm| relang::ops::regex_to_dfa(&cm.regex, n_syms)))
+        .map(|m| {
+            m.as_ref()
+                .map(|cm| relang::ops::regex_to_dfa(&cm.regex, n_syms))
+        })
         .collect();
 
     // Least fixpoint: a state is finishable iff its content model accepts
@@ -96,12 +95,7 @@ pub fn sample_document(
         .roots
         .iter()
         .copied()
-        .filter(|&r| {
-            schema
-                .dfa
-                .transition(q0, r)
-                .is_some_and(|t| finishable[t])
-        })
+        .filter(|&r| schema.dfa.transition(q0, r).is_some_and(|t| finishable[t]))
         .collect();
     roots.sort_unstable();
     let root = *roots.choose(rng)?;
@@ -134,8 +128,7 @@ pub fn sample_document(
                         .is_some_and(|t| fin_round[t].is_some_and(|r| r < my_round))
                 })
                 .collect();
-            let dist_strict =
-                distance_to_accept(&dfa, &|a: Sym| strict_allowed[a.index()]);
+            let dist_strict = distance_to_accept(&dfa, &|a: Sym| strict_allowed[a.index()]);
             Some(WordSampler {
                 dfa,
                 dist,
@@ -186,8 +179,7 @@ impl<'a> Generator<'a> {
             return;
         }
         // Children.
-        let shortest_only =
-            depth >= self.cfg.max_depth || self.nodes >= self.cfg.max_nodes;
+        let shortest_only = depth >= self.cfg.max_depth || self.nodes >= self.cfg.max_nodes;
         // Far past the depth budget, switch to the strictly height-
         // decreasing word choice so recursion provably terminates.
         let strict = depth >= self.cfg.max_depth + 16;
@@ -400,8 +392,7 @@ mod tests {
                 Regex::sym(name),
                 Regex::star(Regex::sym(item)),
             ]))
-            .with_attributes([xsd::AttributeUse::required("id")
-                .with_type(SimpleType::NmToken)]),
+            .with_attributes([xsd::AttributeUse::required("id").with_type(SimpleType::NmToken)]),
         );
         b.lambda(q_name, ContentModel::empty().with_mixed(true));
         b.build().unwrap()

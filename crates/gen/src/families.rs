@@ -115,10 +115,7 @@ pub fn theorem9_bn(n: usize) -> Bxsd {
     b.suffix_rule(&["a"], ContentModel::empty());
     // //(b1 + … + bn) → ε
     b.rule(
-        Regex::concat(vec![
-            b.any_chain(),
-            Regex::sym_set(b_i.iter().copied()),
-        ]),
+        Regex::concat(vec![b.any_chain(), Regex::sym_set(b_i.iter().copied())]),
         ContentModel::empty(),
     );
     // //(a1 + … + an) → (a + a1 + … + an)
@@ -129,10 +126,7 @@ pub fn theorem9_bn(n: usize) -> Bxsd {
             .collect(),
     ));
     b.rule(
-        Regex::concat(vec![
-            b.any_chain(),
-            Regex::sym_set(a_i.iter().copied()),
-        ]),
+        Regex::concat(vec![b.any_chain(), Regex::sym_set(a_i.iter().copied())]),
         ContentModel::new(content),
     );
     // //ai//ai//a → bi
@@ -191,20 +185,12 @@ mod tests {
         // a_12 then a_31 is an error with index 2 (previous target 2 ≠
         // source 3). Below it, a_22 a_22 branching is allowed.
         let doc = elem("a_1_2")
-            .child(
-                elem("a_3_1")
-                    .child(elem("a_2_2"))
-                    .child(elem("a_2_2")),
-            )
+            .child(elem("a_3_1").child(elem("a_2_2")).child(elem("a_2_2")))
             .build();
         assert!(x.is_valid(&doc), "{:?}", x.validate(&doc));
         // but a_33 a_33 branching is not (wrong error index)
         let doc = elem("a_1_2")
-            .child(
-                elem("a_3_1")
-                    .child(elem("a_3_3"))
-                    .child(elem("a_3_3")),
-            )
+            .child(elem("a_3_1").child(elem("a_3_3")).child(elem("a_3_3")))
             .build();
         assert!(!x.is_valid(&doc));
     }
@@ -221,7 +207,12 @@ mod tests {
                 .build(),
         ];
         for doc in &docs {
-            assert_eq!(x.is_valid(doc), bxsd_valid(&b, doc), "{}", xmltree::to_string(doc));
+            assert_eq!(
+                x.is_valid(doc),
+                bxsd_valid(&b, doc),
+                "{}",
+                xmltree::to_string(doc)
+            );
         }
     }
 

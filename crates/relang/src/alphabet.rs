@@ -84,18 +84,52 @@ impl Alphabet {
     }
 
     /// Interns `name`, returning its symbol. Idempotent.
+    ///
+    /// One hash and one probe chain per call: a miss remembers the empty
+    /// slot the probe stopped at and inserts there directly, instead of
+    /// re-hashing and re-probing as the old lookup-then-insert pair did
+    /// on every new name during schema lowering.
+    #[inline]
     pub fn intern(&mut self, name: &str) -> Sym {
-        if let Some(s) = self.lookup(name) {
-            return s;
+        let mut slot = 0usize;
+        if !self.slots.is_empty() {
+            let mask = self.slots.len() - 1;
+            slot = fnv1a(name) as usize & mask;
+            loop {
+                match self.slots[slot] {
+                    0 => break,
+                    s => {
+                        if self.names[(s - 1) as usize] == name {
+                            return Sym(s - 1);
+                        }
+                    }
+                }
+                slot = (slot + 1) & mask;
+            }
         }
         let s = Sym(u32::try_from(self.names.len()).expect("alphabet overflow"));
         self.names.push(name.to_owned());
         if (self.names.len() + 1) * 2 > self.slots.len() {
             self.rebuild_slots();
         } else {
-            self.insert_slot(s);
+            self.slots[slot] = s.0 + 1;
         }
         s
+    }
+
+    /// Pre-sizes the slot table for `additional` more distinct names, so
+    /// a known-size intern burst (e.g. a schema's symbol set) triggers no
+    /// incremental rebuilds.
+    pub fn reserve(&mut self, additional: usize) {
+        let want = self.names.len() + additional;
+        let cap = ((want + 1) * 4).next_power_of_two().max(8);
+        if cap > self.slots.len() {
+            self.names.reserve(additional);
+            self.slots = vec![0; cap];
+            for i in 0..self.names.len() {
+                self.insert_slot(Sym(i as u32));
+            }
+        }
     }
 
     /// Looks up a previously interned name.

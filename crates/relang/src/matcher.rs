@@ -140,9 +140,9 @@ impl CompiledDre {
                         }
                     }
                 }
-                let complete = bounds.iter().all(|(&sym, &(lo, _))| {
-                    counts.get(&sym).copied().unwrap_or(0) >= lo
-                });
+                let complete = bounds
+                    .iter()
+                    .all(|(&sym, &(lo, _))| counts.get(&sym).copied().unwrap_or(0) >= lo);
                 if complete {
                     None
                 } else {

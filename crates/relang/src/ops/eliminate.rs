@@ -35,11 +35,7 @@ pub fn dfa_to_regex(dfa: &Dfa, finals: &[usize]) -> Regex {
 }
 
 /// Like [`dfa_to_regex`], with an explicit elimination-order strategy.
-pub fn dfa_to_regex_with_order(
-    dfa: &Dfa,
-    finals: &[usize],
-    order: EliminationOrder,
-) -> Regex {
+pub fn dfa_to_regex_with_order(dfa: &Dfa, finals: &[usize], order: EliminationOrder) -> Regex {
     let n = dfa.n_states();
     if n == 0 || finals.is_empty() {
         return Regex::Empty;
@@ -141,8 +137,7 @@ pub fn dfa_to_regex_with_order(
                 .copied()
                 .min_by_key(|&q| {
                     let indeg = edges.keys().filter(|&&(i, j)| j == q && i != q).count();
-                    let outdeg =
-                        edges.keys().filter(|&&(i, j)| i == q && j != q).count();
+                    let outdeg = edges.keys().filter(|&&(i, j)| i == q && j != q).count();
                     (indeg * outdeg, q)
                 })
                 .expect("remaining is nonempty"),

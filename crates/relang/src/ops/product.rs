@@ -210,10 +210,7 @@ mod tests {
     fn intersection_via_product2() {
         // L1 = a* b, L2 = (a a)* b  =>  L1 ∩ L2 = (aa)* b
         let l1 = Regex::concat(vec![Regex::star(s(0)), s(1)]);
-        let l2 = Regex::concat(vec![
-            Regex::star(Regex::concat(vec![s(0), s(0)])),
-            s(1),
-        ]);
+        let l2 = Regex::concat(vec![Regex::star(Regex::concat(vec![s(0), s(0)])), s(1)]);
         let d = product2(
             &complete_dfa_of(&l1, 2),
             &complete_dfa_of(&l2, 2),

@@ -80,9 +80,7 @@ impl RelevanceProduct {
 
         let mut memo: HashMap<Box<[u32]>, ProductState> = HashMap::new();
         let mut tuples: Vec<Box<[u32]>> = Vec::new();
-        let mut intern = |tuple: Box<[u32]>,
-                          tuples: &mut Vec<Box<[u32]>>|
-         -> ProductState {
+        let mut intern = |tuple: Box<[u32]>, tuples: &mut Vec<Box<[u32]>>| -> ProductState {
             *memo.entry(tuple).or_insert_with_key(|t| {
                 tuples.push(t.clone());
                 (tuples.len() - 1) as ProductState

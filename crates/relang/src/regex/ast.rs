@@ -262,9 +262,7 @@ impl Regex {
             Regex::Empty => Regex::Empty,
             Regex::Epsilon => Regex::Epsilon,
             Regex::Sym(s) => Regex::Sym(f(*s)),
-            Regex::Concat(parts) => {
-                Regex::Concat(parts.iter().map(|p| p.map_symbols(f)).collect())
-            }
+            Regex::Concat(parts) => Regex::Concat(parts.iter().map(|p| p.map_symbols(f)).collect()),
             Regex::Alt(parts) => Regex::Alt(parts.iter().map(|p| p.map_symbols(f)).collect()),
             Regex::Interleave(parts) => {
                 Regex::Interleave(parts.iter().map(|p| p.map_symbols(f)).collect())

@@ -39,8 +39,12 @@ pub fn derivative(r: &Regex, a: Sym) -> Regex {
             norm_alt(alts)
         }
         Regex::Alt(parts) => norm_alt(parts.iter().map(|p| derivative(p, a)).collect()),
-        Regex::Star(inner) => Regex::concat(vec![derivative(inner, a), Regex::star((**inner).clone())]),
-        Regex::Plus(inner) => Regex::concat(vec![derivative(inner, a), Regex::star((**inner).clone())]),
+        Regex::Star(inner) => {
+            Regex::concat(vec![derivative(inner, a), Regex::star((**inner).clone())])
+        }
+        Regex::Plus(inner) => {
+            Regex::concat(vec![derivative(inner, a), Regex::star((**inner).clone())])
+        }
         Regex::Opt(inner) => derivative(inner, a),
         Regex::Repeat(inner, lo, hi) => {
             let hi2 = match hi {
@@ -71,7 +75,6 @@ pub fn derivative(r: &Regex, a: Sym) -> Regex {
 /// (ACI). Keeping derivatives ACI-normal bounds the number of distinct
 /// derivatives, which guarantees termination of [`derivative_dfa`].
 fn norm_alt(parts: Vec<Regex>) -> Regex {
-    
     match Regex::alt(parts) {
         Regex::Alt(mut inner) => {
             inner.sort();

@@ -168,7 +168,9 @@ pub fn is_deterministic(r: &Regex) -> bool {
 fn interleave_operand_symbol(r: &Regex) -> Option<Sym> {
     match r {
         Regex::Sym(s) => Some(*s),
-        Regex::Opt(inner) | Regex::Plus(inner) | Regex::Star(inner)
+        Regex::Opt(inner)
+        | Regex::Plus(inner)
+        | Regex::Star(inner)
         | Regex::Repeat(inner, _, _) => match **inner {
             Regex::Sym(s) => Some(s),
             _ => None,

@@ -31,7 +31,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -299,7 +303,10 @@ mod tests {
             assert!(matches!(parts[0], Regex::Star(_)));
             assert!(matches!(parts[1], Regex::Plus(_)));
             assert!(matches!(parts[2], Regex::Opt(_)));
-            assert!(matches!(parts[3], Regex::Repeat(_, 2, UpperBound::Finite(4))));
+            assert!(matches!(
+                parts[3],
+                Regex::Repeat(_, 2, UpperBound::Finite(4))
+            ));
             assert!(matches!(parts[4], Regex::Plus(_))); // {1,*} normalizes to +
         } else {
             panic!("expected concat, got {r:?}");

@@ -51,11 +51,8 @@ fn extended_regex() -> impl Strategy<Value = Regex> {
             (inner.clone(), 0u32..3, 0u32..3).prop_map(|(r, lo, extra)| {
                 Regex::repeat(r, lo, relang::UpperBound::Finite(lo + extra))
             }),
-            prop::collection::vec(
-                (0u32..N_SYMS as u32).prop_map(|i| Regex::Sym(Sym(i))),
-                2..4
-            )
-            .prop_map(Regex::interleave),
+            prop::collection::vec((0u32..N_SYMS as u32).prop_map(|i| Regex::Sym(Sym(i))), 2..4)
+                .prop_map(Regex::interleave),
         ]
     })
 }

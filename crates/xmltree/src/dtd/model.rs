@@ -107,7 +107,10 @@ impl Dtd {
                 _ => None,
             })
             .collect();
-        CompiledDtd { dtd: self, matchers }
+        CompiledDtd {
+            dtd: self,
+            matchers,
+        }
     }
 
     /// The total size of the DTD: sum of content-model sizes.

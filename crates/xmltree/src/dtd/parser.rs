@@ -139,11 +139,10 @@ impl<'a> DtdParser<'a> {
                     // does not occur in declaration bodies we read here.
                     let name = self.parse_name()?;
                     self.expect_str(";")?;
-                    let val = self
-                        .param_entities
-                        .get(&name)
-                        .cloned()
-                        .ok_or_else(|| self.err(format!("undeclared parameter entity %{name};")))?;
+                    let val =
+                        self.param_entities.get(&name).cloned().ok_or_else(|| {
+                            self.err(format!("undeclared parameter entity %{name};"))
+                        })?;
                     out.push_str(&val);
                 }
                 Some(b'"') | Some(b'\'') => {
@@ -359,11 +358,7 @@ fn split_name(body: &str) -> Option<(&str, &str)> {
 }
 
 /// Parses a content specification: `EMPTY`, `ANY`, mixed, or children.
-fn parse_content_spec(
-    text: &str,
-    dtd: &mut Dtd,
-    pos: Position,
-) -> Result<ContentSpec, ParseError> {
+fn parse_content_spec(text: &str, dtd: &mut Dtd, pos: Position) -> Result<ContentSpec, ParseError> {
     match text {
         "EMPTY" => return Ok(ContentSpec::Empty),
         "ANY" => return Ok(ContentSpec::Any),
@@ -749,7 +744,10 @@ mod tests {
     #[test]
     fn general_entities_collected() {
         let dtd = parse_dtd(r#"<!ENTITY greet "hi there">"#).unwrap();
-        assert_eq!(dtd.general_entities.get("greet").map(String::as_str), Some("hi there"));
+        assert_eq!(
+            dtd.general_entities.get("greet").map(String::as_str),
+            Some("hi there")
+        );
     }
 
     #[test]

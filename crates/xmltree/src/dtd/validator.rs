@@ -82,8 +82,14 @@ impl std::fmt::Display for ViolationKind {
             }
             ViolationKind::MissingAttribute(a) => write!(f, "required attribute {a:?} missing"),
             ViolationKind::UndeclaredAttribute(a) => write!(f, "undeclared attribute {a:?}"),
-            ViolationKind::FixedMismatch { attribute, expected } => {
-                write!(f, "attribute {attribute:?} must have fixed value {expected:?}")
+            ViolationKind::FixedMismatch {
+                attribute,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "attribute {attribute:?} must have fixed value {expected:?}"
+                )
             }
             ViolationKind::NotInEnumeration { attribute, value } => {
                 write!(f, "value {value:?} of {attribute:?} not in enumeration")
@@ -170,9 +176,7 @@ pub fn validate_compiled(compiled: &CompiledDtd<'_>, doc: &Document) -> Vec<DtdV
                         let at = doc
                             .element_children(node)
                             .position(|c| {
-                                dtd.alphabet
-                                    .lookup(doc.name(c).expect("element"))
-                                    .is_none()
+                                dtd.alphabet.lookup(doc.name(c).expect("element")).is_none()
                             })
                             .expect("some child missing from alphabet");
                         violations.push(DtdViolation {
@@ -235,23 +239,21 @@ pub fn validate_compiled(compiled: &CompiledDtd<'_>, doc: &Document) -> Vec<DtdV
             }
             let Some(v) = value else { continue };
             match &def.att_type {
-                AttType::Enumerated(options)
-                    if !options.iter().any(|o| o == v) => {
-                        violations.push(DtdViolation {
-                            node,
-                            kind: ViolationKind::NotInEnumeration {
-                                attribute: def.name.clone(),
-                                value: v.to_owned(),
-                            },
-                        });
-                    }
-                AttType::Id
-                    if ids.insert(v.to_owned(), node).is_some() => {
-                        violations.push(DtdViolation {
-                            node,
-                            kind: ViolationKind::DuplicateId(v.to_owned()),
-                        });
-                    }
+                AttType::Enumerated(options) if !options.iter().any(|o| o == v) => {
+                    violations.push(DtdViolation {
+                        node,
+                        kind: ViolationKind::NotInEnumeration {
+                            attribute: def.name.clone(),
+                            value: v.to_owned(),
+                        },
+                    });
+                }
+                AttType::Id if ids.insert(v.to_owned(), node).is_some() => {
+                    violations.push(DtdViolation {
+                        node,
+                        kind: ViolationKind::DuplicateId(v.to_owned()),
+                    });
+                }
                 AttType::IdRef => idrefs.push((node, v.to_owned())),
                 AttType::IdRefs => {
                     for tok in v.split_whitespace() {
@@ -306,10 +308,9 @@ mod tests {
 
     #[test]
     fn valid_document() {
-        let doc = parse_document(
-            r#"<doc><head/><body><p lang="en">hi <em>there</em></p></body></doc>"#,
-        )
-        .unwrap();
+        let doc =
+            parse_document(r#"<doc><head/><body><p lang="en">hi <em>there</em></p></body></doc>"#)
+                .unwrap();
         assert!(is_valid(&dtd(), &doc));
     }
 
@@ -334,8 +335,7 @@ mod tests {
 
     #[test]
     fn empty_element_violations() {
-        let doc =
-            parse_document(r#"<doc><head>text</head><body/></doc>"#).unwrap();
+        let doc = parse_document(r#"<doc><head>text</head><body/></doc>"#).unwrap();
         let v = validate(&dtd(), &doc);
         assert!(v
             .iter()
@@ -358,10 +358,8 @@ mod tests {
 
     #[test]
     fn mixed_content_checks() {
-        let doc = parse_document(
-            r#"<doc><head/><body><p lang="en">ok <head/></p></body></doc>"#,
-        )
-        .unwrap();
+        let doc = parse_document(r#"<doc><head/><body><p lang="en">ok <head/></p></body></doc>"#)
+            .unwrap();
         let v = validate(&dtd(), &doc);
         assert!(v.iter().any(|v| matches!(
             &v.kind,

@@ -30,12 +30,14 @@ pub mod builder;
 pub mod dtd;
 pub mod error;
 pub mod parser;
+#[doc(hidden)]
+pub mod reference;
 pub mod serializer;
 pub mod stream;
 pub mod tree;
 
 pub use error::{ParseError, Position};
 pub use parser::{parse, parse_document, ParsedXml};
-pub use stream::{XmlEvent, XmlReader};
 pub use serializer::{to_string, to_string_pretty};
+pub use stream::{Attr, AttrList, NameId, XmlEvent, XmlReader, XmlToken};
 pub use tree::{Attribute, Document, NodeId, NodeKind};

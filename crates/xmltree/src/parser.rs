@@ -16,7 +16,7 @@
 //! self-closing tags. Errors carry line/column positions.
 
 use crate::error::ParseError;
-use crate::stream::{XmlEvent, XmlReader};
+use crate::stream::{XmlReader, XmlToken};
 use crate::tree::{Document, NodeId};
 
 /// The result of parsing an XML file.
@@ -39,46 +39,51 @@ pub fn parse(input: &str) -> Result<ParsedXml, ParseError> {
     let mut stack: Vec<NodeId> = Vec::new();
     loop {
         match reader.next_event()? {
-            XmlEvent::Doctype {
+            XmlToken::Doctype {
                 name,
                 internal_subset: subset,
             } => {
-                doctype_name = Some(name);
-                if subset.is_some() {
-                    internal_subset = subset;
+                doctype_name = Some(name.to_owned());
+                if let Some(s) = subset {
+                    internal_subset = Some(s.to_owned());
                 }
             }
-            XmlEvent::StartElement {
-                name, attributes, ..
+            XmlToken::StartElement {
+                name,
+                name_id,
+                attributes,
+                ..
             } => match &mut document {
                 None => {
-                    let doc = Document::new(&name);
+                    let mut doc = Document::new(name);
                     let root = doc.root();
-                    let mut doc = doc;
-                    for a in &attributes {
-                        doc.set_attribute(root, &a.name, &a.value);
+                    for a in attributes.iter() {
+                        doc.set_attribute(root, a.name, a.value);
                     }
                     stack.push(root);
                     document = Some(doc);
                 }
                 Some(doc) => {
                     let parent = *stack.last().expect("start events are nested");
-                    let node = doc.add_element(parent, &name);
-                    for a in &attributes {
-                        doc.set_attribute(node, &a.name, &a.value);
+                    // The reader's dense first-occurrence ids coincide
+                    // with the document's name interner by construction,
+                    // so the hinted path skips hashing entirely.
+                    let node = doc.add_element_hinted(parent, name, name_id.index());
+                    for a in attributes.iter() {
+                        doc.set_attribute(node, a.name, a.value);
                     }
                     stack.push(node);
                 }
             },
-            XmlEvent::EndElement { .. } => {
+            XmlToken::EndElement { .. } => {
                 stack.pop();
             }
-            XmlEvent::Text { text, .. } => {
+            XmlToken::Text { text, .. } => {
                 let doc = document.as_mut().expect("text only occurs inside the root");
                 let parent = *stack.last().expect("text only occurs inside the root");
-                doc.add_text(parent, &text);
+                doc.add_text(parent, text);
             }
-            XmlEvent::EndDocument => break,
+            XmlToken::EndDocument => break,
         }
     }
     Ok(ParsedXml {
@@ -195,7 +200,11 @@ mod tests {
         let input = "<!DOCTYPE a [\n<!ENTITY ok \"fine\">\n<!ENTITY broken \"oops>\n]><a>&ok;</a>";
         let e = parse_document(input).unwrap_err();
         assert!(e.message.contains("in DTD internal subset"), "{e}");
-        assert!(e.position.line >= 2, "position {:?} must be inside the subset", e.position);
+        assert!(
+            e.position.line >= 2,
+            "position {:?} must be inside the subset",
+            e.position
+        );
     }
 
     #[test]

@@ -12,7 +12,6 @@ pub fn to_string(doc: &Document) -> String {
     out
 }
 
-
 /// Serializes a document with an XML declaration and 2-space indentation.
 ///
 /// Text-bearing elements are kept on one line so that significant text is

@@ -1,12 +1,26 @@
-//! Pull-based streaming XML reader.
+//! Pull-based streaming XML reader with zero-copy tokens.
 //!
-//! [`XmlReader`] lexes a document into a flat sequence of [`XmlEvent`]s —
+//! [`XmlReader`] lexes a document into a flat sequence of [`XmlToken`]s —
 //! start/end tags, coalesced character data, the DOCTYPE — without ever
-//! building a tree. It is the single XML front end of the workspace: the
-//! tree parser in [`crate::parser`] is a thin fold over this reader, so
-//! streaming consumers (the BonXai streaming validator in particular) see
-//! exactly the same documents, entity expansions, and errors as tree
-//! consumers, by construction.
+//! building a tree, and (new in this revision) without materializing
+//! owned `String`s on the hot path:
+//!
+//! * token payloads are `&str` slices **borrowed from the reader** — from
+//!   the source window when the bytes appear verbatim in the input (the
+//!   overwhelmingly common case), or from an internal scratch buffer when
+//!   decoding was required (entity references, CDATA splicing). Either
+//!   way the consumer sees fully decoded text with no per-event
+//!   allocation; slices stay valid until the next [`XmlReader::next_event`]
+//!   call (consumption of the underlying bytes is deferred until then);
+//! * delimiter searches (`<`, `&`, quotes, `]`, `-`, `?`) use SWAR
+//!   word-at-a-time scanning ([`mod@self`]-internal `memchr`-style
+//!   helpers) instead of byte-at-a-time `peek`/`bump`;
+//! * UTF-8 is validated once per slice at token boundaries, not per
+//!   character;
+//! * element names are interned into a dense per-reader pool on first
+//!   occurrence: every start/end token carries a [`NameId`], so a
+//!   streaming validator can map names to schema symbols with one array
+//!   load per element and never touch string data on the match path.
 //!
 //! The reader is generic over a [`ByteSrc`]:
 //!
@@ -14,10 +28,13 @@
 //!   [`crate::parse`]);
 //! * [`IoSrc`] — any [`std::io::Read`] behind a small rolling window, so
 //!   arbitrarily large documents arriving from a file or socket are
-//!   consumed in O(window + depth) memory.
+//!   consumed in O(window + depth) memory. The window compacts its
+//!   consumed prefix only past a threshold (not on every refill), and the
+//!   reader bounds any single token to [`XmlReader::max_token`] bytes so
+//!   the window cannot grow without limit on adversarial input.
 //!
 //! Character data is coalesced exactly as the tree parser merges text
-//! nodes: one [`XmlEvent::Text`] per maximal run of character data, CDATA
+//! nodes: one [`XmlToken::Text`] per maximal run of character data, CDATA
 //! sections, and entity expansions, with comments and processing
 //! instructions spliced out. Whitespace-only runs are preserved.
 //!
@@ -26,6 +43,10 @@
 //! depth bound ([`MAX_ENTITY_DEPTH`]) and a total-output bound
 //! ([`MAX_ENTITY_EXPANSION`]) so recursive or billion-laughs-style inputs
 //! fail with a positioned [`ParseError`] instead of diverging.
+//!
+//! The previous owned-event reader is preserved verbatim as
+//! [`crate::reference`] and pinned event-identical to this one by a
+//! differential proptest (`tests/reader_differential.rs`).
 
 use std::collections::BTreeMap;
 use std::io::Read;
@@ -40,10 +61,22 @@ pub const MAX_ENTITY_DEPTH: usize = 16;
 /// (the billion-laughs guard).
 pub const MAX_ENTITY_EXPANSION: usize = 1 << 20;
 
+/// Default cap on the byte length of a single token (tag, text run,
+/// comment, CDATA section); see [`XmlReader::set_max_token`].
+pub const DEFAULT_MAX_TOKEN: usize = 16 * 1024 * 1024;
+
 /// Size of the rolling window an [`IoSrc`] reads ahead.
 const IO_CHUNK: usize = 64 * 1024;
 
-/// A streaming XML event.
+/// Consumed-prefix length below which an [`IoSrc`] refill grows the
+/// buffer in place instead of sliding the live tail down. Compacting on
+/// every refill (the previous behavior) copies the whole unconsumed tail
+/// each time the window is extended mid-token.
+const COMPACT_THRESHOLD: usize = 4 * 1024;
+
+/// An owned streaming XML event — [`XmlToken`] with the borrows
+/// materialized (see [`XmlToken::to_event`]). Kept for consumers that
+/// outlive the reader's buffer and for test fixtures.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum XmlEvent {
     /// `<!DOCTYPE name …>`, with the raw internal subset if present.
@@ -85,10 +118,231 @@ pub enum XmlEvent {
     EndDocument,
 }
 
+/// Dense id of a distinct element name within one [`XmlReader`].
+///
+/// Ids are assigned in first-occurrence order of element names in
+/// document order — exactly the order [`crate::tree::Document`] interns
+/// names when the tree parser folds over the same events — so a
+/// streaming consumer can maintain a per-id side table (e.g. resolved
+/// schema symbols) as a plain dense vector.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// The dense index of this name (0-based, first occurrence order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A borrowed streaming XML token. Payload slices live until the next
+/// [`XmlReader::next_event`] call.
+#[derive(Debug)]
+pub enum XmlToken<'a> {
+    /// `<!DOCTYPE name …>`, with the raw internal subset if present.
+    Doctype {
+        /// The declared document-type name.
+        name: &'a str,
+        /// The raw text between `[` and `]`, if a subset was present.
+        internal_subset: Option<&'a str>,
+    },
+    /// An element start tag (or the opening half of a self-closing tag).
+    StartElement {
+        /// Element name as written.
+        name: &'a str,
+        /// Dense id of the name within this reader.
+        name_id: NameId,
+        /// Attributes in document order, decoded on demand.
+        attributes: AttrList<'a>,
+        /// Whether the tag was written `<name …/>`. A matching
+        /// [`XmlToken::EndElement`] is synthesized either way.
+        self_closing: bool,
+        /// Position of the `<`.
+        position: Position,
+    },
+    /// An element end tag (synthesized for self-closing tags).
+    EndElement {
+        /// Element name.
+        name: &'a str,
+        /// Dense id of the name within this reader.
+        name_id: NameId,
+        /// Position of the `</` (or of the end of a self-closing tag).
+        position: Position,
+    },
+    /// A maximal run of character data (text, CDATA, entity expansions).
+    /// Never empty; whitespace-only runs are emitted.
+    Text {
+        /// The decoded character data.
+        text: &'a str,
+        /// Position where the run began.
+        position: Position,
+    },
+    /// End of the document (after the root element and trailing misc).
+    EndDocument,
+}
+
+impl XmlToken<'_> {
+    /// Whether this is [`XmlToken::EndDocument`].
+    #[inline]
+    pub fn is_end_document(&self) -> bool {
+        matches!(self, XmlToken::EndDocument)
+    }
+
+    /// Materializes the borrows into an owned [`XmlEvent`].
+    pub fn to_event(&self) -> XmlEvent {
+        match self {
+            XmlToken::Doctype {
+                name,
+                internal_subset,
+            } => XmlEvent::Doctype {
+                name: (*name).to_owned(),
+                internal_subset: internal_subset.map(str::to_owned),
+            },
+            XmlToken::StartElement {
+                name,
+                attributes,
+                self_closing,
+                position,
+                ..
+            } => XmlEvent::StartElement {
+                name: (*name).to_owned(),
+                attributes: attributes
+                    .iter()
+                    .map(|a| Attribute {
+                        name: a.name.to_owned(),
+                        value: a.value.to_owned(),
+                    })
+                    .collect(),
+                self_closing: *self_closing,
+                position: *position,
+            },
+            XmlToken::EndElement { name, position, .. } => XmlEvent::EndElement {
+                name: (*name).to_owned(),
+                position: *position,
+            },
+            XmlToken::Text { text, position } => XmlEvent::Text {
+                text: (*text).to_owned(),
+                position: *position,
+            },
+            XmlToken::EndDocument => XmlEvent::EndDocument,
+        }
+    }
+}
+
+/// One decoded attribute of a start tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Attr<'a> {
+    /// Attribute name as written.
+    pub name: &'a str,
+    /// Attribute value, entity references resolved.
+    pub value: &'a str,
+}
+
+/// Byte spans of one attribute within the current tag / scratch buffer.
+#[derive(Clone, Copy, Debug)]
+struct AttrSpan {
+    name_start: u32,
+    name_end: u32,
+    val_start: u32,
+    val_end: u32,
+    /// Whether the value spans the entity scratch (decoded) instead of
+    /// the raw tag bytes.
+    val_in_scratch: bool,
+}
+
+/// The attributes of a start tag, decoded lazily from byte spans — no
+/// per-event allocation happens for attributes the consumer never reads.
+#[derive(Clone, Copy)]
+pub struct AttrList<'a> {
+    spans: &'a [AttrSpan],
+    /// The raw bytes of the whole tag (`<` through `>`).
+    tag: &'a [u8],
+    /// Decoded attribute values that contained entity references.
+    scratch: &'a str,
+}
+
+impl<'a> AttrList<'a> {
+    /// Number of attributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the tag had no attributes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The `i`-th attribute in document order.
+    pub fn get(&self, i: usize) -> Attr<'a> {
+        let sp = &self.spans[i];
+        let name = std::str::from_utf8(&self.tag[sp.name_start as usize..sp.name_end as usize])
+            .expect("attribute names are UTF-8 validated at scan time");
+        let value = if sp.val_in_scratch {
+            &self.scratch[sp.val_start as usize..sp.val_end as usize]
+        } else {
+            std::str::from_utf8(&self.tag[sp.val_start as usize..sp.val_end as usize])
+                .expect("attribute values are UTF-8 validated at scan time")
+        };
+        Attr { name, value }
+    }
+
+    /// Iterates over the attributes in document order.
+    pub fn iter(&self) -> AttrIter<'a> {
+        AttrIter { list: *self, i: 0 }
+    }
+}
+
+impl std::fmt::Debug for AttrList<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over an [`AttrList`].
+#[derive(Clone)]
+pub struct AttrIter<'a> {
+    list: AttrList<'a>,
+    i: usize,
+}
+
+impl<'a> Iterator for AttrIter<'a> {
+    type Item = Attr<'a>;
+
+    fn next(&mut self) -> Option<Attr<'a>> {
+        if self.i < self.list.len() {
+            let a = self.list.get(self.i);
+            self.i += 1;
+            Some(a)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.list.len() - self.i;
+        (n, Some(n))
+    }
+}
+
+impl<'a> IntoIterator for AttrList<'a> {
+    type Item = Attr<'a>;
+    type IntoIter = AttrIter<'a>;
+
+    fn into_iter(self) -> AttrIter<'a> {
+        self.iter()
+    }
+}
+
 /// A source of bytes for the reader: a cursor with bounded lookahead.
 pub trait ByteSrc {
     /// The bytes visible at the cursor, refilled to at least `n` bytes
-    /// unless the input ends first. May return more than `n`.
+    /// unless the input ends first. May return more than `n`. When no
+    /// refill is needed (`n` bytes are already visible), the returned
+    /// slice must be the same bytes at the same location as the last
+    /// call — the reader materializes borrowed tokens from it.
     fn window(&mut self, n: usize) -> &[u8];
     /// Consumes `n` bytes (no more than the last window's length).
     fn advance(&mut self, n: usize);
@@ -145,8 +399,11 @@ impl<R: Read> IoSrc<R> {
 impl<R: Read> ByteSrc for IoSrc<R> {
     fn window(&mut self, n: usize) -> &[u8] {
         while self.buf.len() - self.pos < n && !self.eof {
-            // Drop the consumed prefix before growing the window.
-            if self.pos > 0 {
+            // Drop the consumed prefix before growing the window — but
+            // only once it dominates the buffer. Compacting on every
+            // refill would copy the live tail each time a long token
+            // forces the window to extend.
+            if self.pos >= COMPACT_THRESHOLD && self.pos >= self.buf.len() / 2 {
                 self.buf.copy_within(self.pos.., 0);
                 self.buf.truncate(self.buf.len() - self.pos);
                 self.pos = 0;
@@ -188,8 +445,164 @@ enum Stage {
     Content,
     /// After the root element: trailing misc only.
     Epilog,
-    /// [`XmlEvent::EndDocument`] has been emitted.
+    /// [`XmlToken::EndDocument`] has been emitted.
     Done,
+}
+
+/// Result of a forward scan from the cursor: the relative offset of the
+/// first matching byte, or the relative offset of end-of-input.
+enum Scan {
+    Hit(usize),
+    Eof(usize),
+}
+
+/// Dense interner of element names: open addressing over FNV-1a,
+/// `slots[h] = id + 1`, 0 = empty, kept at most half full. One hash +
+/// one probe chain per intern; misses insert into the slot the probe
+/// already found.
+#[derive(Default)]
+struct NamePool {
+    names: Vec<String>,
+    slots: Vec<u32>,
+}
+
+impl NamePool {
+    /// Interns raw name bytes, validating UTF-8 only on first
+    /// occurrence. `None` means the bytes are not valid UTF-8.
+    fn intern(&mut self, bytes: &[u8]) -> Option<NameId> {
+        let mut idx = 0usize;
+        if !self.slots.is_empty() {
+            let mask = self.slots.len() - 1;
+            idx = fnv1a(bytes) as usize & mask;
+            loop {
+                match self.slots[idx] {
+                    0 => break,
+                    s => {
+                        if self.names[(s - 1) as usize].as_bytes() == bytes {
+                            return Some(NameId(s - 1));
+                        }
+                    }
+                }
+                idx = (idx + 1) & mask;
+            }
+        }
+        let name = std::str::from_utf8(bytes).ok()?;
+        let id = u32::try_from(self.names.len()).expect("name-pool overflow");
+        self.names.push(name.to_owned());
+        if (self.names.len() + 1) * 2 > self.slots.len() {
+            self.rebuild();
+        } else {
+            self.slots[idx] = id + 1;
+        }
+        Some(NameId(id))
+    }
+
+    fn rebuild(&mut self) {
+        let cap = (self.names.len() * 4).next_power_of_two().max(8);
+        self.slots = vec![0; cap];
+        let mask = cap - 1;
+        for (i, n) in self.names.iter().enumerate() {
+            let mut idx = fnv1a(n.as_bytes()) as usize & mask;
+            while self.slots[idx] != 0 {
+                idx = (idx + 1) & mask;
+            }
+            self.slots[idx] = i as u32 + 1;
+        }
+    }
+
+    #[inline]
+    fn get(&self, id: NameId) -> &str {
+        &self.names[id.0 as usize]
+    }
+}
+
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// SWAR delimiter scanning (no external memchr: the workspace is
+// dependency-free). The has-zero-byte trick: a byte of x is zero iff
+// `(x - 0x01…01) & !x & 0x80…80` has that byte's high bit set.
+// ---------------------------------------------------------------------
+
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+#[inline]
+fn swar_word(chunk: &[u8]) -> u64 {
+    u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
+}
+
+#[inline]
+fn swar_has_zero(x: u64) -> bool {
+    (x.wrapping_sub(SWAR_LO) & !x & SWAR_HI) != 0
+}
+
+/// First occurrence of `a` in `hay`.
+#[inline]
+pub(crate) fn memchr(a: u8, hay: &[u8]) -> Option<usize> {
+    let pa = SWAR_LO.wrapping_mul(u64::from(a));
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        if swar_has_zero(swar_word(&hay[i..i + 8]) ^ pa) {
+            break;
+        }
+        i += 8;
+    }
+    hay[i..].iter().position(|&b| b == a).map(|k| i + k)
+}
+
+/// First occurrence of `a` or `b` in `hay`.
+#[inline]
+pub(crate) fn memchr2(a: u8, b: u8, hay: &[u8]) -> Option<usize> {
+    let pa = SWAR_LO.wrapping_mul(u64::from(a));
+    let pb = SWAR_LO.wrapping_mul(u64::from(b));
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let x = swar_word(&hay[i..i + 8]);
+        if swar_has_zero(x ^ pa) || swar_has_zero(x ^ pb) {
+            break;
+        }
+        i += 8;
+    }
+    hay[i..]
+        .iter()
+        .position(|&c| c == a || c == b)
+        .map(|k| i + k)
+}
+
+/// First occurrence of `a`, `b`, or `c` in `hay`.
+#[inline]
+pub(crate) fn memchr3(a: u8, b: u8, c: u8, hay: &[u8]) -> Option<usize> {
+    let pa = SWAR_LO.wrapping_mul(u64::from(a));
+    let pb = SWAR_LO.wrapping_mul(u64::from(b));
+    let pc = SWAR_LO.wrapping_mul(u64::from(c));
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let x = swar_word(&hay[i..i + 8]);
+        if swar_has_zero(x ^ pa) || swar_has_zero(x ^ pb) || swar_has_zero(x ^ pc) {
+            break;
+        }
+        i += 8;
+    }
+    hay[i..]
+        .iter()
+        .position(|&d| d == a || d == b || d == c)
+        .map(|k| i + k)
+}
+
+/// Decoded output of one entity reference (cold path).
+enum Expanded {
+    Ch(char),
+    Pre(&'static str),
+    Owned(String),
 }
 
 /// A pull-based streaming XML parser; see the module docs.
@@ -200,16 +613,35 @@ pub struct XmlReader<S> {
     line: u32,
     /// Absolute offset where the current line starts.
     line_start: usize,
+    /// Bytes of the last-returned borrowed token, consumed from `src` on
+    /// the next pull. Deferring consumption is what keeps the returned
+    /// slices valid while the caller holds the token.
+    pending: usize,
+    /// Cap on the byte length of a single token; bounds rolling-window
+    /// growth on adversarial input.
+    max_token: usize,
     /// General entities from the internal subset (beyond the predefined 5),
     /// raw (unexpanded) as declared.
     entities: BTreeMap<String, String>,
     /// Fully-expanded entity values, memoized on first reference.
     expanded: BTreeMap<String, String>,
+    /// Distinct element names in first-occurrence order.
+    names: NamePool,
     /// Open element names, innermost last.
-    open: Vec<String>,
+    open: Vec<NameId>,
     stage: Stage,
     /// End event owed for a just-emitted self-closing start tag.
-    pending_end: Option<(String, Position)>,
+    pending_end: Option<(NameId, Position)>,
+    /// Attribute spans of the tag being returned.
+    attr_spans: Vec<AttrSpan>,
+    /// Decoded attribute values that contained entity references.
+    attr_scratch: String,
+    /// Decoded character data when a text run needed splicing (entities,
+    /// CDATA, embedded comments/PIs).
+    text_scratch: String,
+    /// DOCTYPE payload backing the borrowed [`XmlToken::Doctype`].
+    doctype_name: String,
+    doctype_subset: Option<String>,
 }
 
 /// A reader over a borrowed in-memory document.
@@ -239,12 +671,28 @@ impl<S: ByteSrc> XmlReader<S> {
             offset: 0,
             line: 1,
             line_start: 0,
+            pending: 0,
+            max_token: DEFAULT_MAX_TOKEN,
             entities: BTreeMap::new(),
             expanded: BTreeMap::new(),
+            names: NamePool::default(),
             open: Vec::new(),
             stage: Stage::Prolog,
             pending_end: None,
+            attr_spans: Vec::new(),
+            attr_scratch: String::new(),
+            text_scratch: String::new(),
+            doctype_name: String::new(),
+            doctype_subset: None,
         }
+    }
+
+    /// Sets the cap on the byte length of a single token (tag, text
+    /// run, comment, CDATA section). Exceeding it yields a positioned
+    /// "token too large" [`ParseError`] instead of unbounded buffer
+    /// growth. Defaults to [`DEFAULT_MAX_TOKEN`].
+    pub fn set_max_token(&mut self, max: usize) {
+        self.max_token = max.max(16);
     }
 
     /// The current cursor position (for error reporting by consumers).
@@ -262,73 +710,226 @@ impl<S: ByteSrc> XmlReader<S> {
         self.open.len() + usize::from(self.pending_end.is_some())
     }
 
+    /// Number of distinct element names seen so far. [`NameId`]s are
+    /// dense: `name_id.index() < name_count()` on every returned token.
+    pub fn name_count(&self) -> usize {
+        self.names.names.len()
+    }
+
+    // -- consumption & positions ------------------------------------
+
+    /// Consumes the bytes of the previously returned borrowed token.
+    #[inline]
+    fn commit(&mut self) {
+        if self.pending > 0 {
+            self.src.advance(self.pending);
+            self.pending = 0;
+        }
+    }
+
+    /// Advances line/offset accounting over the next `n` visible bytes
+    /// (which must already be buffered).
+    fn register(&mut self, n: usize) {
+        let w = self.src.window(n);
+        let w = &w[..n.min(w.len())];
+        let mut from = 0;
+        while let Some(k) = memchr(b'\n', &w[from..]) {
+            self.line += 1;
+            self.line_start = self.offset + from + k + 1;
+            from += k + 1;
+        }
+        self.offset += n;
+    }
+
+    /// Consumes `n` bytes immediately (for data not borrowed by the
+    /// returned token: comments, PIs, scratch-decoded runs, DOCTYPE).
+    fn consume_now(&mut self, n: usize) {
+        self.register(n);
+        self.src.advance(n);
+    }
+
+    /// Accounts for `n` bytes but defers the source advance until the
+    /// next pull, keeping the token's slices valid meanwhile.
+    fn defer_consume(&mut self, n: usize) {
+        debug_assert_eq!(self.pending, 0, "one borrowed token at a time");
+        self.register(n);
+        self.pending = n;
+    }
+
     fn err(&self, msg: impl Into<String>) -> ParseError {
         ParseError::new(self.position(), msg)
     }
 
-    #[inline]
-    fn peek(&mut self) -> Option<u8> {
-        self.src.window(1).first().copied()
-    }
-
-    #[inline]
-    fn bump(&mut self) -> Option<u8> {
-        let c = self.peek()?;
-        self.src.advance(1);
-        self.offset += 1;
-        if c == b'\n' {
-            self.line += 1;
-            self.line_start = self.offset;
+    /// Position of the byte at relative offset `i` from the cursor
+    /// (clamped to end of input).
+    fn position_at(&mut self, i: usize) -> Position {
+        let w = self.src.window(i);
+        let upto = i.min(w.len());
+        let mut line = self.line;
+        let mut line_start = self.line_start;
+        let mut from = 0;
+        while let Some(k) = memchr(b'\n', &w[from..upto]) {
+            line += 1;
+            line_start = self.offset + from + k + 1;
+            from += k + 1;
         }
-        Some(c)
+        Position {
+            line,
+            column: (self.offset + upto - line_start) as u32 + 1,
+            offset: self.offset + upto,
+        }
     }
 
-    fn starts_with(&mut self, s: &str) -> bool {
-        self.src.window(s.len()).starts_with(s.as_bytes())
+    fn err_at(&mut self, i: usize, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.position_at(i), msg)
     }
 
-    fn expect_str(&mut self, s: &str) -> Result<(), ParseError> {
-        if self.starts_with(s) {
-            for _ in 0..s.len() {
-                self.bump();
+    fn err_too_large(&mut self) -> ParseError {
+        let max = self.max_token;
+        self.err(format!("token too large: exceeds {max} bytes"))
+    }
+
+    // -- non-consuming scanning -------------------------------------
+
+    /// Byte at relative offset `i`, if the input is long enough.
+    #[inline]
+    fn at(&mut self, i: usize) -> Option<u8> {
+        self.src.window(i + 1).get(i).copied()
+    }
+
+    /// Whether the bytes at relative offset `i` start with `s`.
+    fn starts_with_at(&mut self, i: usize, s: &str) -> bool {
+        let end = i + s.len();
+        let w = self.src.window(end);
+        w.len() >= end && &w[i..end] == s.as_bytes()
+    }
+
+    /// Scans forward from relative offset `from` for the first byte
+    /// `find` locates, growing the window as needed up to `max_token`.
+    fn scan_for(
+        &mut self,
+        from: usize,
+        find: impl Fn(&[u8]) -> Option<usize>,
+    ) -> Result<Scan, ParseError> {
+        let mut i = from;
+        loop {
+            let w = self.src.window(i + 1);
+            if w.len() <= i {
+                return Ok(Scan::Eof(w.len()));
             }
-            Ok(())
-        } else {
-            Err(self.err(format!("expected {s:?}")))
+            if let Some(k) = find(&w[i..]) {
+                if i + k > self.max_token {
+                    return Err(self.err_too_large());
+                }
+                return Ok(Scan::Hit(i + k));
+            }
+            i = w.len();
+            if i > self.max_token {
+                return Err(self.err_too_large());
+            }
         }
     }
 
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.bump();
+    fn find_byte(&mut self, from: usize, a: u8) -> Result<Scan, ParseError> {
+        self.scan_for(from, |h| memchr(a, h))
+    }
+
+    fn find2(&mut self, from: usize, a: u8, b: u8) -> Result<Scan, ParseError> {
+        self.scan_for(from, |h| memchr2(a, b, h))
+    }
+
+    fn find3(&mut self, from: usize, a: u8, b: u8, c: u8) -> Result<Scan, ParseError> {
+        self.scan_for(from, |h| memchr3(a, b, c, h))
+    }
+
+    /// Relative offset of the first byte not satisfying `pred` (or end
+    /// of input), growing the window as needed up to `max_token`.
+    fn scan_while(&mut self, from: usize, pred: impl Fn(u8) -> bool) -> Result<usize, ParseError> {
+        let mut i = from;
+        loop {
+            let w = self.src.window(i + 1);
+            if w.len() <= i {
+                return Ok(i);
+            }
+            if let Some(k) = w[i..].iter().position(|&b| !pred(b)) {
+                if i + k > self.max_token {
+                    return Err(self.err_too_large());
+                }
+                return Ok(i + k);
+            }
+            i = w.len();
+            if i > self.max_token {
+                return Err(self.err_too_large());
+            }
         }
     }
 
-    /// Pulls the next event. After [`XmlEvent::EndDocument`], returns
-    /// `EndDocument` forever.
-    pub fn next_event(&mut self) -> Result<XmlEvent, ParseError> {
+    /// Validates that the visible bytes `[a, b)` are UTF-8.
+    fn check_utf8(&mut self, a: usize, b: usize, what: &str) -> Result<(), ParseError> {
+        let bad = {
+            let w = self.src.window(b);
+            match std::str::from_utf8(&w[a..b]) {
+                Ok(_) => None,
+                Err(e) => Some(a + e.valid_up_to()),
+            }
+        };
+        match bad {
+            None => Ok(()),
+            Some(at) => Err(self.err_at(at, what.to_owned())),
+        }
+    }
+
+    /// Validates and appends the visible bytes `[a, b)` to the text
+    /// scratch.
+    fn push_text_scratch(&mut self, a: usize, b: usize, what: &str) -> Result<(), ParseError> {
+        self.check_utf8(a, b, what)?;
+        let w = self.src.window(b);
+        let s = std::str::from_utf8(&w[a..b]).expect("just validated");
+        self.text_scratch.push_str(s);
+        Ok(())
+    }
+
+    /// Validates and appends the visible bytes `[a, b)` to the
+    /// attribute scratch.
+    fn push_attr_scratch(&mut self, a: usize, b: usize) -> Result<(), ParseError> {
+        self.check_utf8(a, b, "invalid UTF-8 sequence")?;
+        let w = self.src.window(b);
+        let s = std::str::from_utf8(&w[a..b]).expect("just validated");
+        self.attr_scratch.push_str(s);
+        Ok(())
+    }
+
+    // -- the pull loop ----------------------------------------------
+
+    /// Pulls the next token. After [`XmlToken::EndDocument`], returns
+    /// `EndDocument` forever. Pulling invalidates the previous token's
+    /// borrows (enforced by the borrow checker).
+    pub fn next_event(&mut self) -> Result<XmlToken<'_>, ParseError> {
+        self.commit();
         match self.stage {
             Stage::Prolog => self.next_prolog(),
             Stage::Content => self.next_content(),
             Stage::Epilog => self.next_epilog(),
-            Stage::Done => Ok(XmlEvent::EndDocument),
+            Stage::Done => Ok(XmlToken::EndDocument),
         }
     }
 
-    fn next_prolog(&mut self) -> Result<XmlEvent, ParseError> {
+    fn next_prolog(&mut self) -> Result<XmlToken<'_>, ParseError> {
         loop {
-            self.skip_ws();
-            if self.starts_with("<?") {
+            self.skip_ws()?;
+            if self.starts_with_at(0, "<?") {
                 self.skip_pi()?;
-            } else if self.starts_with("<!--") {
+            } else if self.starts_with_at(0, "<!--") {
                 self.skip_comment()?;
-            } else if self.starts_with("<!DOCTYPE") {
-                let (name, internal_subset) = self.parse_doctype()?;
-                return Ok(XmlEvent::Doctype {
-                    name,
-                    internal_subset,
+            } else if self.starts_with_at(0, "<!DOCTYPE") {
+                let (name, subset) = self.parse_doctype()?;
+                self.doctype_name = name;
+                self.doctype_subset = subset;
+                return Ok(XmlToken::Doctype {
+                    name: &self.doctype_name,
+                    internal_subset: self.doctype_subset.as_deref(),
                 });
-            } else if self.peek() == Some(b'<') {
+            } else if self.at(0) == Some(b'<') {
                 self.stage = Stage::Content;
                 return self.read_start_tag();
             } else {
@@ -337,229 +938,467 @@ impl<S: ByteSrc> XmlReader<S> {
         }
     }
 
-    fn next_content(&mut self) -> Result<XmlEvent, ParseError> {
-        if let Some((name, position)) = self.pending_end.take() {
+    fn next_content(&mut self) -> Result<XmlToken<'_>, ParseError> {
+        if let Some((id, position)) = self.pending_end.take() {
             if self.open.is_empty() {
                 self.stage = Stage::Epilog;
             }
-            return Ok(XmlEvent::EndElement { name, position });
+            return Ok(XmlToken::EndElement {
+                name: self.names.get(id),
+                name_id: id,
+                position,
+            });
         }
-        let mut text = String::new();
-        let mut text_pos = self.position();
         loop {
-            match self.peek() {
-                None => {
-                    let name = self.open.last().cloned().unwrap_or_default();
-                    return Err(self.err(format!("unexpected end of input in <{name}>")));
-                }
-                Some(b'<') => {
-                    if self.starts_with("<!--") {
-                        self.skip_comment()?;
-                    } else if self.starts_with("<![CDATA[") {
-                        if text.is_empty() {
-                            text_pos = self.position();
+            match self.at(0) {
+                None => return Err(self.err_eof_in_content(0)),
+                Some(b'<') => match self.at(1) {
+                    Some(b'/') => return self.read_end_tag(),
+                    Some(b'!') => {
+                        if self.starts_with_at(0, "<!--") {
+                            self.skip_comment()?;
+                        } else if self.starts_with_at(0, "<![CDATA[") {
+                            let position = self.position();
+                            return self.read_text_slow(0, position);
+                        } else {
+                            // e.g. `<!DOCTYPE` in content: read_start_tag
+                            // reports "expected name", as before.
+                            return self.read_start_tag();
                         }
-                        self.read_cdata(&mut text)?;
-                    } else if self.starts_with("<?") {
+                    }
+                    Some(b'?') => self.skip_pi()?,
+                    _ => return self.read_start_tag(),
+                },
+                Some(b'&') => {
+                    let position = self.position();
+                    return self.read_text_slow(0, position);
+                }
+                Some(_) => return self.read_text(),
+            }
+        }
+    }
+
+    fn next_epilog(&mut self) -> Result<XmlToken<'_>, ParseError> {
+        loop {
+            self.skip_ws()?;
+            if self.starts_with_at(0, "<?") {
+                self.skip_pi()?;
+            } else if self.starts_with_at(0, "<!--") {
+                self.skip_comment()?;
+            } else if self.at(0).is_some() {
+                return Err(self.err("unexpected content after root element"));
+            } else {
+                self.stage = Stage::Done;
+                return Ok(XmlToken::EndDocument);
+            }
+        }
+    }
+
+    /// "unexpected end of input in <…>" positioned at relative offset
+    /// `i` (the old byte-at-a-time reader erred at the cursor, which by
+    /// then sat at end of input).
+    fn err_eof_in_content(&mut self, i: usize) -> ParseError {
+        let name = self
+            .open
+            .last()
+            .map(|&id| self.names.get(id).to_owned())
+            .unwrap_or_default();
+        self.err_at(i, format!("unexpected end of input in <{name}>"))
+    }
+
+    fn skip_ws(&mut self) -> Result<(), ParseError> {
+        let k = self.scan_while(0, |c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))?;
+        if k > 0 {
+            self.consume_now(k);
+        }
+        Ok(())
+    }
+
+    // -- text --------------------------------------------------------
+
+    /// Fast path for a character-data run: one SWAR scan to the next
+    /// `<`/`&`; if the run ends at a real tag, the token borrows the
+    /// source window directly — zero copies, one UTF-8 validation.
+    fn read_text(&mut self) -> Result<XmlToken<'_>, ParseError> {
+        let position = self.position();
+        match self.find2(0, b'<', b'&')? {
+            Scan::Eof(e) => Err(self.err_eof_in_content(e)),
+            Scan::Hit(k) => {
+                debug_assert!(k > 0, "caller dispatches '<'/'&' elsewhere");
+                if self.at(k) == Some(b'&')
+                    || self.starts_with_at(k, "<!--")
+                    || self.starts_with_at(k, "<![CDATA[")
+                    || self.starts_with_at(k, "<?")
+                {
+                    // Splicing or decoding needed: fall back to the
+                    // scratch accumulator, seeded with this prefix.
+                    return self.read_text_slow(k, position);
+                }
+                self.check_utf8(0, k, "invalid UTF-8 sequence")?;
+                self.defer_consume(k);
+                let w = self.src.window(k);
+                let text = std::str::from_utf8(&w[..k]).expect("just validated");
+                Ok(XmlToken::Text { text, position })
+            }
+        }
+    }
+
+    /// Slow path: accumulates a coalesced run (entity expansions, CDATA
+    /// sections, comment/PI splicing) into the scratch buffer. `prefix`
+    /// bytes of plain text at the cursor are consumed into the run
+    /// first; `position` is where that prefix began. While the run is
+    /// still empty, the position re-anchors at each contributing
+    /// construct — exactly how the old reader tracked `text_pos` (an
+    /// empty CDATA section or empty entity expansion does not pin the
+    /// run's position).
+    fn read_text_slow(
+        &mut self,
+        prefix: usize,
+        mut position: Position,
+    ) -> Result<XmlToken<'_>, ParseError> {
+        self.text_scratch.clear();
+        if prefix > 0 {
+            self.push_text_scratch(0, prefix, "invalid UTF-8 sequence")?;
+            self.consume_now(prefix);
+        }
+        loop {
+            match self.at(0) {
+                None => return Err(self.err_eof_in_content(0)),
+                Some(b'<') => {
+                    if self.starts_with_at(0, "<!--") {
+                        self.skip_comment()?;
+                    } else if self.starts_with_at(0, "<![CDATA[") {
+                        if self.text_scratch.is_empty() {
+                            position = self.position();
+                        }
+                        self.read_cdata()?;
+                    } else if self.starts_with_at(0, "<?") {
                         self.skip_pi()?;
-                    } else if !text.is_empty() {
-                        // A real tag follows: flush the coalesced run
-                        // first, leaving the cursor on the `<`.
-                        return Ok(XmlEvent::Text {
-                            text,
-                            position: text_pos,
-                        });
-                    } else if self.starts_with("</") {
+                    } else if !self.text_scratch.is_empty() {
+                        // A real tag follows: flush the coalesced run,
+                        // leaving the cursor on the `<`.
+                        break;
+                    } else if self.starts_with_at(0, "</") {
+                        // Empty run (e.g. only an empty CDATA section):
+                        // no text token, read the tag directly.
                         return self.read_end_tag();
                     } else {
                         return self.read_start_tag();
                     }
                 }
                 Some(b'&') => {
-                    if text.is_empty() {
-                        text_pos = self.position();
+                    if self.text_scratch.is_empty() {
+                        position = self.position();
                     }
-                    let resolved = self.parse_entity_ref()?;
-                    text.push_str(&resolved);
+                    let (next, exp) = self.scan_entity(0)?;
+                    self.consume_now(next);
+                    match exp {
+                        Expanded::Ch(c) => self.text_scratch.push(c),
+                        Expanded::Pre(s) => self.text_scratch.push_str(s),
+                        Expanded::Owned(s) => self.text_scratch.push_str(&s),
+                    }
                 }
                 Some(_) => {
-                    if text.is_empty() {
-                        text_pos = self.position();
+                    if self.text_scratch.is_empty() {
+                        position = self.position();
                     }
-                    self.read_char_into(&mut text)?;
+                    let end = match self.find2(0, b'<', b'&')? {
+                        Scan::Hit(k) => k,
+                        Scan::Eof(e) => e,
+                    };
+                    self.push_text_scratch(0, end, "invalid UTF-8 sequence")?;
+                    self.consume_now(end);
                 }
             }
         }
+        Ok(XmlToken::Text {
+            text: &self.text_scratch,
+            position,
+        })
     }
 
-    fn next_epilog(&mut self) -> Result<XmlEvent, ParseError> {
+    /// Consumes a `<![CDATA[…]]>` section into the text scratch.
+    fn read_cdata(&mut self) -> Result<(), ParseError> {
+        let mut i = 9; // past "<![CDATA["
         loop {
-            self.skip_ws();
-            if self.starts_with("<?") {
-                self.skip_pi()?;
-            } else if self.starts_with("<!--") {
-                self.skip_comment()?;
-            } else if self.peek().is_some() {
-                return Err(self.err("unexpected content after root element"));
-            } else {
-                self.stage = Stage::Done;
-                return Ok(XmlEvent::EndDocument);
-            }
-        }
-    }
-
-    /// Consumes one character of content (multi-byte sequences are
-    /// re-validated as UTF-8) into `out`.
-    fn read_char_into(&mut self, out: &mut String) -> Result<(), ParseError> {
-        let c = self.bump().expect("peeked");
-        if c < 0x80 {
-            out.push(c as char);
-            return Ok(());
-        }
-        // Collect the continuation bytes of this sequence (at most 3).
-        let mut seq = [c, 0, 0, 0];
-        let mut len = 1;
-        while len < 4 {
-            match self.peek() {
-                Some(b) if b & 0xC0 == 0x80 => {
-                    seq[len] = b;
-                    len += 1;
-                    self.bump();
+            match self.find_byte(i, b']')? {
+                Scan::Eof(e) => return Err(self.err_at(e, "unterminated CDATA section")),
+                Scan::Hit(k) => {
+                    if self.starts_with_at(k, "]]>") {
+                        self.push_text_scratch(9, k, "invalid UTF-8 in CDATA")?;
+                        self.consume_now(k + 3);
+                        return Ok(());
+                    }
+                    i = k + 1;
                 }
-                _ => break,
             }
         }
-        let s = std::str::from_utf8(&seq[..len])
-            .map_err(|_| self.err("invalid UTF-8 sequence"))?;
-        out.push_str(s);
-        Ok(())
     }
 
-    fn read_start_tag(&mut self) -> Result<XmlEvent, ParseError> {
+    fn skip_comment(&mut self) -> Result<(), ParseError> {
+        let mut i = 4; // past "<!--"
+        loop {
+            match self.find_byte(i, b'-')? {
+                Scan::Eof(e) => return Err(self.err_at(e, "unterminated comment")),
+                Scan::Hit(k) => {
+                    if self.starts_with_at(k, "-->") {
+                        self.consume_now(k + 3);
+                        return Ok(());
+                    }
+                    i = k + 1;
+                }
+            }
+        }
+    }
+
+    fn skip_pi(&mut self) -> Result<(), ParseError> {
+        let mut i = 2; // past "<?"
+        loop {
+            match self.find_byte(i, b'?')? {
+                Scan::Eof(e) => return Err(self.err_at(e, "unterminated processing instruction")),
+                Scan::Hit(k) => {
+                    if self.starts_with_at(k, "?>") {
+                        self.consume_now(k + 2);
+                        return Ok(());
+                    }
+                    i = k + 1;
+                }
+            }
+        }
+    }
+
+    // -- tags --------------------------------------------------------
+
+    /// Lexes `<name attr="v" …>` / `<name …/>` at the cursor into a
+    /// borrowed token. The whole tag is scanned without consuming, the
+    /// attribute name/value spans recorded, and only then is the tag
+    /// length deferred-consumed so the returned slices stay put.
+    fn read_start_tag(&mut self) -> Result<XmlToken<'_>, ParseError> {
         let position = self.position();
-        self.expect_str("<")?;
-        let name = self.parse_name()?;
-        let mut attributes: Vec<Attribute> = Vec::new();
-        loop {
-            self.skip_ws();
-            match self.peek() {
-                Some(b'>') | Some(b'/') | None => break,
-                _ => {}
-            }
-            let attr_name = self.parse_name()?;
-            self.skip_ws();
-            self.expect_str("=")?;
-            self.skip_ws();
-            let value = self.parse_attr_value()?;
-            if attributes.iter().any(|a| a.name == attr_name) {
-                return Err(self.err(format!("duplicate attribute {attr_name:?}")));
-            }
-            attributes.push(Attribute {
-                name: attr_name,
-                value,
-            });
+        debug_assert_eq!(self.at(0), Some(b'<'));
+        match self.at(1) {
+            Some(c) if is_name_start(c) => {}
+            _ => return Err(self.err_at(1, "expected name")),
         }
-        self.skip_ws();
-        let self_closing = if self.starts_with("/>") {
-            self.expect_str("/>")?;
-            true
-        } else {
-            self.expect_str(">")?;
-            false
+        let name_end = self.scan_while(2, is_name_char)?;
+        let name_id = {
+            let w = self.src.window(name_end);
+            self.names.intern(&w[1..name_end])
         };
+        let Some(name_id) = name_id else {
+            return Err(self.err_at(1, "invalid UTF-8 in name"));
+        };
+        self.attr_spans.clear();
+        self.attr_scratch.clear();
+        let mut i = name_end;
+        let (tag_len, self_closing) = loop {
+            i = self.scan_while(i, |c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))?;
+            match self.at(i) {
+                Some(b'>') => break (i + 1, false),
+                Some(b'/') if self.at(i + 1) == Some(b'>') => break (i + 2, true),
+                Some(b'/') | None => return Err(self.err_at(i, "expected \">\"")),
+                Some(c) if is_name_start(c) => i = self.scan_attribute(i)?,
+                Some(_) => return Err(self.err_at(i, "expected name")),
+            }
+        };
+        self.defer_consume(tag_len);
         if self_closing {
-            self.pending_end = Some((name.clone(), self.position()));
+            self.pending_end = Some((name_id, self.position()));
         } else {
-            self.open.push(name.clone());
+            self.open.push(name_id);
         }
-        Ok(XmlEvent::StartElement {
-            name,
-            attributes,
+        let w = self.src.window(tag_len);
+        Ok(XmlToken::StartElement {
+            name: self.names.get(name_id),
+            name_id,
+            attributes: AttrList {
+                spans: &self.attr_spans,
+                tag: &w[..tag_len],
+                scratch: &self.attr_scratch,
+            },
             self_closing,
             position,
         })
     }
 
-    fn read_end_tag(&mut self) -> Result<XmlEvent, ParseError> {
-        let position = self.position();
-        self.expect_str("</")?;
-        let close = self.parse_name()?;
-        let expected = self.open.last().expect("content stage has an open element");
-        if close != *expected {
-            return Err(self.err(format!(
-                "mismatched close tag: expected </{expected}>, found </{close}>"
-            )));
+    /// Scans one `name = "value"` at relative offset `start`, recording
+    /// its spans; returns the offset just past the closing quote.
+    fn scan_attribute(&mut self, start: usize) -> Result<usize, ParseError> {
+        let name_end = self.scan_while(start + 1, is_name_char)?;
+        self.check_utf8(start, name_end, "invalid UTF-8 in name")?;
+        let mut i = self.scan_while(name_end, |c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))?;
+        if self.at(i) != Some(b'=') {
+            return Err(self.err_at(i, "expected \"=\""));
         }
-        self.skip_ws();
-        self.expect_str(">")?;
+        i = self.scan_while(i + 1, |c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))?;
+        let quote = match self.at(i) {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err_at(i, "expected quoted attribute value")),
+        };
+        i += 1;
+        let val_start = i;
+        // Fast case: the value contains no entity reference and is used
+        // as a raw tag span; `&` switches to decoding into the scratch.
+        let mut scratch_from: Option<u32> = None;
+        let mut seg_start = i;
+        let (val, end) = loop {
+            match self.find3(i, quote, b'&', b'<')? {
+                Scan::Eof(e) => return Err(self.err_at(e, "unterminated attribute value")),
+                Scan::Hit(k) => {
+                    let found = self.at(k).expect("hit is in bounds");
+                    if found == b'<' {
+                        return Err(self.err_at(k, "'<' not allowed in attribute value"));
+                    }
+                    if found == quote {
+                        match scratch_from {
+                            None => {
+                                self.check_utf8(val_start, k, "invalid UTF-8 sequence")?;
+                                break ((val_start as u32, k as u32, false), k + 1);
+                            }
+                            Some(from) => {
+                                self.push_attr_scratch(seg_start, k)?;
+                                break ((from, self.attr_scratch.len() as u32, true), k + 1);
+                            }
+                        }
+                    }
+                    // `&`: flush the raw segment, splice the expansion.
+                    if scratch_from.is_none() {
+                        scratch_from = Some(self.attr_scratch.len() as u32);
+                    }
+                    self.push_attr_scratch(seg_start, k)?;
+                    let (next, exp) = self.scan_entity(k)?;
+                    match exp {
+                        Expanded::Ch(c) => self.attr_scratch.push(c),
+                        Expanded::Pre(s) => self.attr_scratch.push_str(s),
+                        Expanded::Owned(s) => self.attr_scratch.push_str(&s),
+                    }
+                    seg_start = next;
+                    i = next;
+                }
+            }
+        };
+        // Duplicate check against earlier attribute names (byte-wise;
+        // names live in the raw tag span).
+        let duplicate = {
+            let w = self.src.window(name_end);
+            let name = &w[start..name_end];
+            self.attr_spans
+                .iter()
+                .any(|sp| &w[sp.name_start as usize..sp.name_end as usize] == name)
+        };
+        if duplicate {
+            let name = {
+                let w = self.src.window(name_end);
+                String::from_utf8_lossy(&w[start..name_end]).into_owned()
+            };
+            return Err(self.err_at(end, format!("duplicate attribute {name:?}")));
+        }
+        let (val_start, val_end, val_in_scratch) = val;
+        self.attr_spans.push(AttrSpan {
+            name_start: start as u32,
+            name_end: name_end as u32,
+            val_start,
+            val_end,
+            val_in_scratch,
+        });
+        Ok(end)
+    }
+
+    fn read_end_tag(&mut self) -> Result<XmlToken<'_>, ParseError> {
+        let position = self.position();
+        debug_assert!(self.starts_with_at(0, "</"));
+        match self.at(2) {
+            Some(c) if is_name_start(c) => {}
+            _ => return Err(self.err_at(2, "expected name")),
+        }
+        let name_end = self.scan_while(3, is_name_char)?;
+        let id = {
+            let w = self.src.window(name_end);
+            self.names.intern(&w[2..name_end])
+        };
+        let Some(id) = id else {
+            return Err(self.err_at(2, "invalid UTF-8 in name"));
+        };
+        let expected = *self.open.last().expect("content stage has an open element");
+        if id != expected {
+            let close = self.names.get(id).to_owned();
+            let exp = self.names.get(expected).to_owned();
+            return Err(self.err_at(
+                name_end,
+                format!("mismatched close tag: expected </{exp}>, found </{close}>"),
+            ));
+        }
+        let i = self.scan_while(name_end, |c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))?;
+        if self.at(i) != Some(b'>') {
+            return Err(self.err_at(i, "expected \">\""));
+        }
+        self.defer_consume(i + 1);
         self.open.pop();
         if self.open.is_empty() {
             self.stage = Stage::Epilog;
         }
-        Ok(XmlEvent::EndElement {
-            name: close,
+        Ok(XmlToken::EndElement {
+            name: self.names.get(id),
+            name_id: id,
             position,
         })
     }
 
-    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
-        let quote = match self.peek() {
-            Some(q @ (b'"' | b'\'')) => {
-                self.bump();
-                q
-            }
-            _ => return Err(self.err("expected quoted attribute value")),
-        };
-        let mut value = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated attribute value")),
-                Some(c) if c == quote => {
-                    self.bump();
-                    return Ok(value);
-                }
-                Some(b'<') => return Err(self.err("'<' not allowed in attribute value")),
-                Some(b'&') => {
-                    let resolved = self.parse_entity_ref()?;
-                    value.push_str(&resolved);
-                }
-                Some(_) => self.read_char_into(&mut value)?,
-            }
-        }
-    }
+    // -- entities (cold path) ---------------------------------------
 
-    /// Resolves `&…;` at the cursor: a character reference (validated
-    /// against the XML `Char` production) or a general entity (expanded
-    /// recursively with depth/size guards).
-    fn parse_entity_ref(&mut self) -> Result<String, ParseError> {
-        let pos = self.position();
-        self.expect_str("&")?;
-        if self.peek() == Some(b'#') {
-            self.bump();
-            let (radix, digits_ok): (u32, fn(u8) -> bool) = if self.peek() == Some(b'x') {
-                self.bump();
+    /// Resolves `&…;` at relative offset `i0` without consuming: returns
+    /// the offset just past the `;` and the decoded expansion. Character
+    /// references are validated against the XML `Char` production;
+    /// general entities are expanded recursively with depth/size guards.
+    fn scan_entity(&mut self, i0: usize) -> Result<(usize, Expanded), ParseError> {
+        debug_assert_eq!(self.at(i0), Some(b'&'));
+        let mut i = i0 + 1;
+        if self.at(i) == Some(b'#') {
+            i += 1;
+            let (radix, digit): (u32, fn(u8) -> bool) = if self.at(i) == Some(b'x') {
+                i += 1;
                 (16, |c: u8| c.is_ascii_hexdigit())
             } else {
                 (10, |c: u8| c.is_ascii_digit())
             };
-            let mut digits = String::new();
-            while matches!(self.peek(), Some(c) if digits_ok(c)) {
-                digits.push(self.bump().expect("peeked") as char);
+            let digits_start = i;
+            i = self.scan_while(i, digit)?;
+            if i == digits_start {
+                return Err(self.err_at(i, "empty character reference"));
             }
-            if digits.is_empty() {
-                return Err(self.err("empty character reference"));
+            if self.at(i) != Some(b';') {
+                return Err(self.err_at(i, "expected \";\""));
             }
-            self.expect_str(";")?;
-            let ch = decode_char_ref(&digits, radix)
-                .map_err(|msg| ParseError::new(pos, msg))?;
-            return Ok(ch.to_string());
+            let pos = self.position_at(i0);
+            let decoded = {
+                let w = self.src.window(i);
+                let digits = std::str::from_utf8(&w[digits_start..i]).expect("ASCII digits");
+                decode_char_ref(digits, radix)
+            };
+            let ch = decoded.map_err(|msg| ParseError::new(pos, msg))?;
+            return Ok((i + 1, Expanded::Ch(ch)));
         }
-        let name = self.parse_name()?;
-        self.expect_str(";")?;
+        match self.at(i) {
+            Some(c) if is_name_start(c) => {}
+            _ => return Err(self.err_at(i, "expected name")),
+        }
+        let name_end = self.scan_while(i + 1, is_name_char)?;
+        if self.at(name_end) != Some(b';') {
+            return Err(self.err_at(name_end, "expected \";\""));
+        }
+        let name = {
+            let w = self.src.window(name_end);
+            match std::str::from_utf8(&w[i..name_end]) {
+                Ok(s) => s.to_owned(),
+                Err(_) => return Err(self.err_at(i, "invalid UTF-8 in name")),
+            }
+        };
         if let Some(predef) = predefined_entity(&name) {
-            return Ok(predef.to_owned());
+            return Ok((name_end + 1, Expanded::Pre(predef)));
         }
-        self.expand_entity(&name, pos)
+        let pos = self.position_at(i0);
+        let out = self.expand_entity(&name, pos)?;
+        Ok((name_end + 1, Expanded::Owned(out)))
     }
 
     /// Fully expands general entity `name`, resolving nested references
@@ -578,80 +1417,123 @@ impl<S: ByteSrc> XmlReader<S> {
         Ok(out)
     }
 
-    fn parse_name(&mut self) -> Result<String, ParseError> {
-        let mut raw = Vec::new();
-        match self.peek() {
-            Some(c) if is_name_start(c) => {
-                raw.push(c);
-                self.bump();
-            }
+    // -- DOCTYPE (cold path, byte-at-a-time like the old reader) -----
+
+    #[inline]
+    fn peek(&mut self) -> Option<u8> {
+        self.at(0)
+    }
+
+    #[inline]
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.src.advance(1);
+        self.offset += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.line_start = self.offset;
+        }
+        Some(c)
+    }
+
+    fn expect_str(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with_at(0, s) {
+            self.consume_now(s.len());
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn parse_name_owned(&mut self) -> Result<String, ParseError> {
+        match self.at(0) {
+            Some(c) if is_name_start(c) => {}
             _ => return Err(self.err("expected name")),
         }
-        while matches!(self.peek(), Some(c) if is_name_char(c)) {
-            raw.push(self.bump().expect("peeked"));
-        }
-        String::from_utf8(raw).map_err(|_| self.err("invalid UTF-8 in name"))
-    }
-
-    fn skip_comment(&mut self) -> Result<(), ParseError> {
-        self.expect_str("<!--")?;
-        loop {
-            if self.starts_with("-->") {
-                return self.expect_str("-->");
+        let end = self.scan_while(1, is_name_char)?;
+        let name = {
+            let w = self.src.window(end);
+            match std::str::from_utf8(&w[..end]) {
+                Ok(s) => Ok(s.to_owned()),
+                Err(_) => Err(()),
             }
-            if self.bump().is_none() {
-                return Err(self.err("unterminated comment"));
+        };
+        match name {
+            Ok(s) => {
+                self.consume_now(end);
+                Ok(s)
             }
-        }
-    }
-
-    fn skip_pi(&mut self) -> Result<(), ParseError> {
-        self.expect_str("<?")?;
-        loop {
-            if self.starts_with("?>") {
-                return self.expect_str("?>");
-            }
-            if self.bump().is_none() {
-                return Err(self.err("unterminated processing instruction"));
-            }
+            Err(()) => Err(self.err("invalid UTF-8 in name")),
         }
     }
 
-    fn read_cdata(&mut self, text: &mut String) -> Result<(), ParseError> {
-        self.expect_str("<![CDATA[")?;
-        let mut raw = Vec::new();
+    /// Parses a quoted literal (DOCTYPE external ids), consuming it.
+    fn parse_quoted_owned(&mut self) -> Result<String, ParseError> {
+        let quote = match self.at(0) {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.consume_now(1);
+        let mut out = String::new();
         loop {
-            if self.starts_with("]]>") {
-                let content = std::str::from_utf8(&raw)
-                    .map_err(|_| self.err("invalid UTF-8 in CDATA"))?;
-                text.push_str(content);
-                return self.expect_str("]]>");
-            }
-            match self.bump() {
-                Some(b) => raw.push(b),
-                None => return Err(self.err("unterminated CDATA section")),
+            match self.at(0) {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(c) if c == quote => {
+                    self.consume_now(1);
+                    return Ok(out);
+                }
+                Some(b'<') => return Err(self.err("'<' not allowed in attribute value")),
+                Some(b'&') => {
+                    let (next, exp) = self.scan_entity(0)?;
+                    self.consume_now(next);
+                    match exp {
+                        Expanded::Ch(c) => out.push(c),
+                        Expanded::Pre(s) => out.push_str(s),
+                        Expanded::Owned(s) => out.push_str(&s),
+                    }
+                }
+                Some(_) => {
+                    let end = match self.find3(0, quote, b'&', b'<')? {
+                        Scan::Hit(k) => k,
+                        Scan::Eof(e) => e,
+                    };
+                    let seg = {
+                        let w = self.src.window(end);
+                        match std::str::from_utf8(&w[..end]) {
+                            Ok(s) => Ok(s.to_owned()),
+                            Err(_) => Err(()),
+                        }
+                    };
+                    match seg {
+                        Ok(s) => {
+                            out.push_str(&s);
+                            self.consume_now(end);
+                        }
+                        Err(()) => return Err(self.err("invalid UTF-8 sequence")),
+                    }
+                }
             }
         }
     }
 
     fn parse_doctype(&mut self) -> Result<(String, Option<String>), ParseError> {
         self.expect_str("<!DOCTYPE")?;
-        self.skip_ws();
-        let name = self.parse_name()?;
-        self.skip_ws();
+        self.skip_ws()?;
+        let name = self.parse_name_owned()?;
+        self.skip_ws()?;
         // Optional external ID (SYSTEM/PUBLIC) — recorded but not fetched.
-        if self.starts_with("SYSTEM") {
+        if self.starts_with_at(0, "SYSTEM") {
             self.expect_str("SYSTEM")?;
-            self.skip_ws();
-            self.parse_attr_value()?;
-            self.skip_ws();
-        } else if self.starts_with("PUBLIC") {
+            self.skip_ws()?;
+            self.parse_quoted_owned()?;
+            self.skip_ws()?;
+        } else if self.starts_with_at(0, "PUBLIC") {
             self.expect_str("PUBLIC")?;
-            self.skip_ws();
-            self.parse_attr_value()?;
-            self.skip_ws();
-            self.parse_attr_value()?;
-            self.skip_ws();
+            self.skip_ws()?;
+            self.parse_quoted_owned()?;
+            self.skip_ws()?;
+            self.parse_quoted_owned()?;
+            self.skip_ws()?;
         }
         let mut subset = None;
         if self.peek() == Some(b'[') {
@@ -685,7 +1567,7 @@ impl<S: ByteSrc> XmlReader<S> {
             let text = String::from_utf8(raw).map_err(|_| self.err("invalid UTF-8 in DTD"))?;
             self.load_entities(&text, subset_pos)?;
             subset = Some(text);
-            self.skip_ws();
+            self.skip_ws()?;
         }
         self.expect_str(">")?;
         Ok((name, subset))
@@ -726,7 +1608,7 @@ impl<S: ByteSrc> XmlReader<S> {
 /// Expands entity `name` from `entities`, resolving nested general-entity
 /// and character references in replacement text. `active` detects cycles,
 /// `produced` bounds total output across the whole expansion.
-fn expand_rec<'e>(
+pub(crate) fn expand_rec<'e>(
     entities: &'e BTreeMap<String, String>,
     name: &'e str,
     active: &mut Vec<&'e str>,
@@ -774,8 +1656,7 @@ fn expand_rec<'e>(
                     Some(hex) => (hex, 16),
                     None => (digits, 10),
                 };
-                let ch = decode_char_ref(digits, radix)
-                    .map_err(|msg| ParseError::new(pos, msg))?;
+                let ch = decode_char_ref(digits, radix).map_err(|msg| ParseError::new(pos, msg))?;
                 out.push(ch);
                 *produced += ch.len_utf8();
             } else if let Some(predef) = predefined_entity(inner) {
@@ -791,9 +1672,7 @@ fn expand_rec<'e>(
         if *produced > MAX_ENTITY_EXPANSION {
             return Err(ParseError::new(
                 pos,
-                format!(
-                    "entity &{name}; expands to more than {MAX_ENTITY_EXPANSION} bytes"
-                ),
+                format!("entity &{name}; expands to more than {MAX_ENTITY_EXPANSION} bytes"),
             ));
         }
     }
@@ -802,7 +1681,7 @@ fn expand_rec<'e>(
 }
 
 /// The five predefined entities.
-fn predefined_entity(name: &str) -> Option<&'static str> {
+pub(crate) fn predefined_entity(name: &str) -> Option<&'static str> {
     match name {
         "amp" => Some("&"),
         "lt" => Some("<"),
@@ -816,14 +1695,14 @@ fn predefined_entity(name: &str) -> Option<&'static str> {
 /// Decodes a character reference, enforcing the XML 1.0 `Char`
 /// production: `&#0;`, other forbidden control characters, surrogates,
 /// and `#xFFFE`/`#xFFFF` are rejected.
-fn decode_char_ref(digits: &str, radix: u32) -> Result<char, String> {
+pub(crate) fn decode_char_ref(digits: &str, radix: u32) -> Result<char, String> {
     if digits.is_empty() {
         return Err("empty character reference".to_owned());
     }
     let code = u32::from_str_radix(digits, radix)
         .map_err(|_| "character reference out of range".to_owned())?;
-    let ch = char::from_u32(code)
-        .ok_or_else(|| format!("invalid character reference &#{code};"))?;
+    let ch =
+        char::from_u32(code).ok_or_else(|| format!("invalid character reference &#{code};"))?;
     if !is_xml_char(ch) {
         return Err(format!(
             "character reference &#x{code:X}; is not a legal XML character"
@@ -833,7 +1712,7 @@ fn decode_char_ref(digits: &str, radix: u32) -> Result<char, String> {
 }
 
 /// The XML 1.0 `Char` production.
-fn is_xml_char(c: char) -> bool {
+pub(crate) fn is_xml_char(c: char) -> bool {
     matches!(c,
         '\u{9}' | '\u{A}' | '\u{D}'
         | '\u{20}'..='\u{D7FF}'
@@ -841,11 +1720,11 @@ fn is_xml_char(c: char) -> bool {
         | '\u{10000}'..='\u{10FFFF}')
 }
 
-fn is_name_start(c: u8) -> bool {
+pub(crate) fn is_name_start(c: u8) -> bool {
     c.is_ascii_alphabetic() || c == b'_' || c == b':' || c >= 0x80
 }
 
-fn is_name_char(c: u8) -> bool {
+pub(crate) fn is_name_char(c: u8) -> bool {
     is_name_start(c) || c.is_ascii_digit() || matches!(c, b'-' | b'.')
 }
 
@@ -857,7 +1736,7 @@ mod tests {
         let mut r = XmlReader::from_str(input);
         let mut out = Vec::new();
         loop {
-            let e = r.next_event().expect("valid input");
+            let e = r.next_event().expect("valid input").to_event();
             let done = e == XmlEvent::EndDocument;
             out.push(e);
             if done {
@@ -877,6 +1756,17 @@ mod tests {
                 XmlEvent::EndDocument => "$".to_owned(),
             })
             .collect()
+    }
+
+    fn first_error(input: &str) -> ParseError {
+        let mut r = XmlReader::from_str(input);
+        loop {
+            match r.next_event() {
+                Ok(XmlToken::EndDocument) => panic!("{input:?} must not parse"),
+                Ok(_) => continue,
+                Err(e) => return e,
+            }
+        }
     }
 
     #[test]
@@ -908,7 +1798,10 @@ mod tests {
         let evs = events("<a/>");
         assert!(matches!(
             &evs[0],
-            XmlEvent::StartElement { self_closing: true, .. }
+            XmlEvent::StartElement {
+                self_closing: true,
+                ..
+            }
         ));
         assert!(matches!(&evs[1], XmlEvent::EndElement { name, .. } if name == "a"));
         assert_eq!(evs[2], XmlEvent::EndDocument);
@@ -921,7 +1814,7 @@ mod tests {
         let mut r = XmlReader::from_reader(input.as_bytes());
         let mut from_io = Vec::new();
         loop {
-            let e = r.next_event().unwrap();
+            let e = r.next_event().unwrap().to_event();
             let done = e == XmlEvent::EndDocument;
             from_io.push(e);
             if done {
@@ -942,6 +1835,51 @@ mod tests {
     }
 
     #[test]
+    fn name_ids_dense_in_first_occurrence_order() {
+        let mut r = XmlReader::from_str("<a><b x=\"1\"/><a><b/></a></a>");
+        let mut ids = Vec::new();
+        loop {
+            match r.next_event().unwrap() {
+                XmlToken::StartElement { name, name_id, .. } => {
+                    ids.push((name.to_owned(), name_id.index()));
+                }
+                XmlToken::EndDocument => break,
+                _ => {}
+            }
+        }
+        assert_eq!(
+            ids,
+            vec![
+                ("a".to_owned(), 0),
+                ("b".to_owned(), 1),
+                ("a".to_owned(), 0),
+                ("b".to_owned(), 1)
+            ]
+        );
+        assert_eq!(r.name_count(), 2);
+    }
+
+    #[test]
+    fn attributes_decoded_lazily() {
+        let mut r = XmlReader::from_str("<a one=\"1\" two='2&amp;2' three=\"&#65;\"/>");
+        let XmlToken::StartElement { attributes, .. } = r.next_event().unwrap() else {
+            panic!("expected start tag");
+        };
+        let attrs: Vec<(String, String)> = attributes
+            .iter()
+            .map(|a| (a.name.to_owned(), a.value.to_owned()))
+            .collect();
+        assert_eq!(
+            attrs,
+            vec![
+                ("one".to_owned(), "1".to_owned()),
+                ("two".to_owned(), "2&2".to_owned()),
+                ("three".to_owned(), "A".to_owned())
+            ]
+        );
+    }
+
+    #[test]
     fn nested_entity_references_expand() {
         let input = r#"<!DOCTYPE a [
             <!ENTITY inner "world">
@@ -959,14 +1897,7 @@ mod tests {
             <!ENTITY x "&y;">
             <!ENTITY y "&x;">
         ]><a>&x;</a>"#;
-        let mut r = XmlReader::from_str(input);
-        let err = loop {
-            match r.next_event() {
-                Ok(XmlEvent::EndDocument) => panic!("must not parse"),
-                Ok(_) => continue,
-                Err(e) => break e,
-            }
-        };
+        let err = first_error(input);
         assert!(err.message.contains("recursive"), "{err}");
     }
 
@@ -980,28 +1911,19 @@ mod tests {
             ));
         }
         let input = format!("<!DOCTYPE a [{subset}]><a>&lol9;</a>");
-        let mut r = XmlReader::from_str(&input);
-        let err = loop {
-            match r.next_event() {
-                Ok(XmlEvent::EndDocument) => panic!("must not parse"),
-                Ok(_) => continue,
-                Err(e) => break e,
-            }
-        };
+        let err = first_error(&input);
         assert!(err.message.contains("expands to more than"), "{err}");
     }
 
     #[test]
     fn forbidden_character_references_rejected() {
-        for bad in ["<a>&#0;</a>", "<a>&#x8;</a>", "<a>&#xFFFE;</a>", "<a>&#31;</a>"] {
-            let mut r = XmlReader::from_str(bad);
-            let err = loop {
-                match r.next_event() {
-                    Ok(XmlEvent::EndDocument) => panic!("{bad} must not parse"),
-                    Ok(_) => continue,
-                    Err(e) => break e,
-                }
-            };
+        for bad in [
+            "<a>&#0;</a>",
+            "<a>&#x8;</a>",
+            "<a>&#xFFFE;</a>",
+            "<a>&#31;</a>",
+        ] {
+            let err = first_error(bad);
             assert!(err.message.contains("XML character"), "{bad}: {err}");
         }
         // Tab, LF, CR, and plane-1 chars stay legal.
@@ -1020,13 +1942,7 @@ mod tests {
 
     #[test]
     fn mismatched_close_tag_positioned() {
-        let mut r = XmlReader::from_str("<a>\n  <b></c>\n</a>");
-        let err = loop {
-            match r.next_event() {
-                Ok(_) => continue,
-                Err(e) => break e,
-            }
-        };
+        let err = first_error("<a>\n  <b></c>\n</a>");
         assert_eq!(err.position.line, 2);
         assert!(err.message.contains("mismatched"));
     }
@@ -1036,11 +1952,88 @@ mod tests {
         let mut r = XmlReader::from_str("<a><b><c/></b></a>");
         let mut max = 0;
         loop {
-            match r.next_event().unwrap() {
-                XmlEvent::EndDocument => break,
-                _ => max = max.max(r.depth()),
+            if let XmlToken::EndDocument = r.next_event().unwrap() {
+                break;
             }
+            max = max.max(r.depth());
         }
         assert_eq!(max, 3);
+    }
+
+    #[test]
+    fn oversized_token_rejected_with_position() {
+        // A text run larger than the cap, behind an io source (so the
+        // rolling window would otherwise grow without bound).
+        let big = format!("<a>{}</a>", "x".repeat(4096));
+        let mut r = XmlReader::from_reader(big.as_bytes());
+        r.set_max_token(1024);
+        let err = loop {
+            match r.next_event() {
+                Ok(XmlToken::EndDocument) => panic!("must not parse"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(err.message.contains("token too large"), "{err}");
+        // The cap applies per token, not per document: many small
+        // tokens under the same cap stream through fine.
+        let many = format!("<a>{}</a>", "<b>xy</b>".repeat(2000));
+        let mut r = XmlReader::from_reader(many.as_bytes());
+        r.set_max_token(1024);
+        let mut n = 0usize;
+        loop {
+            match r.next_event().expect("small tokens pass") {
+                XmlToken::EndDocument => break,
+                _ => n += 1,
+            }
+        }
+        assert!(n > 4000);
+    }
+
+    #[test]
+    fn swar_memchr_matches_naive() {
+        let hay = b"abcdefghijklmnop<qrstuvwx&yz-0123]456789?";
+        for &needle in b"<&-]?za\n" {
+            assert_eq!(
+                memchr(needle, hay),
+                hay.iter().position(|&b| b == needle),
+                "memchr({})",
+                needle as char
+            );
+        }
+        assert_eq!(
+            memchr2(b'&', b'<', hay),
+            hay.iter().position(|&b| b == b'&' || b == b'<')
+        );
+        assert_eq!(
+            memchr3(b'"', b'&', b'<', hay),
+            hay.iter()
+                .position(|&b| b == b'"' || b == b'&' || b == b'<')
+        );
+        assert_eq!(memchr(b'!', hay), None);
+        assert_eq!(memchr2(b'!', b'@', hay), None);
+        assert_eq!(memchr3(b'!', b'@', b'#', hay), None);
+        // All offsets within the SWAR word and in the tail.
+        for i in 0..24 {
+            let mut v = vec![b'.'; 24];
+            v[i] = b'<';
+            assert_eq!(memchr(b'<', &v), Some(i), "offset {i}");
+            assert_eq!(memchr2(b'<', b'&', &v), Some(i));
+            assert_eq!(memchr3(b'<', b'&', b'"', &v), Some(i));
+        }
+    }
+
+    #[test]
+    fn text_token_borrows_source_when_plain() {
+        // Plain text comes back as a slice of the input itself.
+        let input = "<a>plain text run</a>";
+        let mut r = XmlReader::from_str(input);
+        r.next_event().unwrap(); // <a>
+        let XmlToken::Text { text, .. } = r.next_event().unwrap() else {
+            panic!("expected text");
+        };
+        let inner = &input[3..3 + text.len()];
+        assert_eq!(text, inner);
+        assert!(std::ptr::eq(text.as_ptr(), inner.as_ptr()), "zero-copy");
     }
 }

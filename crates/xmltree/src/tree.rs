@@ -56,9 +56,25 @@ struct NameIndex {
 }
 
 impl NameIndex {
+    /// One hash + one probe chain per call: a miss remembers the empty
+    /// slot the probe stopped at and inserts there directly (the probe
+    /// is not repeated, unlike the old lookup-then-insert scheme).
     fn intern(&mut self, name: &str) -> u32 {
-        if let Some(id) = self.lookup(name) {
-            return id;
+        let mut slot = 0usize;
+        if !self.slots.is_empty() {
+            let mask = self.slots.len() - 1;
+            slot = fnv1a(name) as usize & mask;
+            loop {
+                match self.slots[slot] {
+                    0 => break,
+                    s => {
+                        if self.names[(s - 1) as usize] == name {
+                            return s - 1;
+                        }
+                    }
+                }
+                slot = (slot + 1) & mask;
+            }
         }
         let id = u32::try_from(self.names.len()).expect("name-id overflow");
         assert_ne!(id, TEXT_ID, "name-id overflow");
@@ -70,28 +86,9 @@ impl NameIndex {
                 self.insert(i);
             }
         } else {
-            self.insert(id);
+            self.slots[slot] = id + 1;
         }
         id
-    }
-
-    fn lookup(&self, name: &str) -> Option<u32> {
-        if self.slots.is_empty() {
-            return None;
-        }
-        let mask = self.slots.len() - 1;
-        let mut i = fnv1a(name) as usize & mask;
-        loop {
-            match self.slots[i] {
-                0 => return None,
-                s => {
-                    if self.names[(s - 1) as usize] == name {
-                        return Some(s - 1);
-                    }
-                }
-            }
-            i = (i + 1) & mask;
-        }
     }
 
     fn insert(&mut self, id: u32) {
@@ -160,6 +157,25 @@ impl Document {
 
     /// Appends a child element to `parent`, returning the new node.
     pub fn add_element(&mut self, parent: NodeId, name: &str) -> NodeId {
+        let name_id = self.name_index.intern(name);
+        self.push_element(parent, name, name_id)
+    }
+
+    /// [`Document::add_element`] with a caller-supplied dense name id
+    /// hint. When `hint` is the id this document's interner has already
+    /// assigned to `name` — e.g. a [`crate::stream::NameId`] from the
+    /// streaming reader, whose first-occurrence order matches this
+    /// interner's by construction — the hash lookup is skipped entirely.
+    /// A hint that does not match falls back to a normal intern.
+    pub fn add_element_hinted(&mut self, parent: NodeId, name: &str, hint: usize) -> NodeId {
+        let name_id = match self.name_index.names.get(hint) {
+            Some(known) if known == name => hint as u32,
+            _ => self.name_index.intern(name),
+        };
+        self.push_element(parent, name, name_id)
+    }
+
+    fn push_element(&mut self, parent: NodeId, name: &str, name_id: u32) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(NodeData {
             kind: NodeKind::Element {
@@ -169,7 +185,7 @@ impl Document {
             parent: Some(parent),
             children: Vec::new(),
         });
-        self.name_ids.push(self.name_index.intern(name));
+        self.name_ids.push(name_id);
         self.nodes[parent.0].children.push(id);
         id
     }
@@ -357,11 +373,7 @@ impl Document {
     /// Maximum depth of the tree (root = 1).
     pub fn depth(&self) -> usize {
         fn go(d: &Document, n: NodeId) -> usize {
-            1 + d
-                .element_children(n)
-                .map(|c| go(d, c))
-                .max()
-                .unwrap_or(0)
+            1 + d.element_children(n).map(|c| go(d, c)).max().unwrap_or(0)
         }
         go(self, self.root)
     }

@@ -61,7 +61,10 @@ impl std::fmt::Display for Divergence {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "at /{}: ", self.path.join("/"))?;
         match &self.reason {
-            DivergenceReason::Roots { only_left, only_right } => write!(
+            DivergenceReason::Roots {
+                only_left,
+                only_right,
+            } => write!(
                 f,
                 "root sets differ (only left: {only_left:?}, only right: {only_right:?})"
             ),
@@ -124,10 +127,7 @@ pub fn check_schemas_equivalent(left: &DfaXsd, right: &DfaXsd) -> Result<(), Div
             .expect("roots are wired");
         let qr = right
             .dfa
-            .transition(
-                right.dfa.initial(),
-                right.ename.lookup(root).expect("root"),
-            )
+            .transition(right.dfa.initial(), right.ename.lookup(root).expect("root"))
             .expect("roots are wired");
         if seen.insert((ql, qr)) {
             queue.push_back((ql, qr, vec![root.clone()]));
@@ -334,8 +334,7 @@ mod tests {
 
     #[test]
     fn content_divergence_reports_witness() {
-        let e = check_schemas_equivalent(&simple_schema(true), &simple_schema(false))
-            .unwrap_err();
+        let e = check_schemas_equivalent(&simple_schema(true), &simple_schema(false)).unwrap_err();
         assert_eq!(e.path, vec!["doc"]);
         match e.reason {
             DivergenceReason::ContentLanguage { witness } => {

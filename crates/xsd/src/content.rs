@@ -197,10 +197,8 @@ mod tests {
 
     #[test]
     fn builder_sorts_attributes() {
-        let cm = ContentModel::empty().with_attributes([
-            AttributeUse::optional("z"),
-            AttributeUse::required("a"),
-        ]);
+        let cm = ContentModel::empty()
+            .with_attributes([AttributeUse::optional("z"), AttributeUse::required("a")]);
         assert_eq!(cm.attributes[0].name, "a");
         assert_eq!(cm.attributes[1].name, "z");
         assert!(cm.attribute("z").is_some());

@@ -71,7 +71,10 @@ impl fmt::Display for DfaXsdError {
                 write!(f, "content model of state {q} violates UPA")
             }
             DfaXsdError::RootNotWired(a) => {
-                write!(f, "root element {a} has no transition from the initial state")
+                write!(
+                    f,
+                    "root element {a} has no transition from the initial state"
+                )
             }
             DfaXsdError::LambdaOnInitial => {
                 write!(f, "the initial state must not have a content model")
@@ -398,8 +401,14 @@ mod tests {
                 Regex::sym(content),
             ])),
         );
-        b.lambda(q_template, ContentModel::new(Regex::opt(Regex::sym(section))));
-        b.lambda(q_content, ContentModel::new(Regex::star(Regex::sym(section))));
+        b.lambda(
+            q_template,
+            ContentModel::new(Regex::opt(Regex::sym(section))),
+        );
+        b.lambda(
+            q_content,
+            ContentModel::new(Regex::star(Regex::sym(section))),
+        );
         b.lambda(q_tsec, ContentModel::new(Regex::opt(Regex::sym(section))));
         b.lambda(
             q_sec,
@@ -440,12 +449,16 @@ mod tests {
     #[test]
     fn state_of_path() {
         let x = example();
-        let q1 = x.state_of_path(&["document", "template", "section"]).unwrap();
+        let q1 = x
+            .state_of_path(&["document", "template", "section"])
+            .unwrap();
         let q2 = x
             .state_of_path(&["document", "template", "section", "section"])
             .unwrap();
         assert_eq!(q1, q2); // template sections loop
-        let q3 = x.state_of_path(&["document", "content", "section"]).unwrap();
+        let q3 = x
+            .state_of_path(&["document", "content", "section"])
+            .unwrap();
         assert_ne!(q1, q3);
         assert_eq!(x.state_of_path(&["document", "bogus"]), None);
     }

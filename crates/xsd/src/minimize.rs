@@ -177,10 +177,7 @@ mod tests {
         b.define(
             t_doc,
             TypeDef {
-                content: ContentModel::new(Regex::concat(vec![
-                    Regex::sym(a),
-                    Regex::sym(bsym),
-                ])),
+                content: ContentModel::new(Regex::concat(vec![Regex::sym(a), Regex::sym(bsym)])),
                 child_type: [(a, t_a1), (bsym, t_b)].into(),
             },
         );

@@ -85,7 +85,10 @@ impl fmt::Display for XsdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             XsdError::NotDeterministic { type_name, witness } => {
-                write!(f, "content model of type {type_name} violates UPA: {witness}")
+                write!(
+                    f,
+                    "content model of type {type_name} violates UPA: {witness}"
+                )
             }
             XsdError::MissingChildType { type_name, element } => write!(
                 f,
@@ -219,12 +222,7 @@ impl Xsd {
     /// all content models, plus the number of types (so that "trivial"
     /// types still count).
     pub fn size(&self) -> usize {
-        self.types.len()
-            + self
-                .types
-                .iter()
-                .map(|d| d.content.size())
-                .sum::<usize>()
+        self.types.len() + self.types.iter().map(|d| d.content.size()).sum::<usize>()
     }
 }
 
@@ -370,10 +368,7 @@ mod tests {
             },
         );
         b.add_start(a, t);
-        assert!(matches!(
-            b.build(),
-            Err(XsdError::NotDeterministic { .. })
-        ));
+        assert!(matches!(b.build(), Err(XsdError::NotDeterministic { .. })));
     }
 
     #[test]
@@ -388,10 +383,7 @@ mod tests {
                 child_type: BTreeMap::new(),
             },
         );
-        assert!(matches!(
-            b.build(),
-            Err(XsdError::MissingChildType { .. })
-        ));
+        assert!(matches!(b.build(), Err(XsdError::MissingChildType { .. })));
     }
 
     #[test]
@@ -414,9 +406,6 @@ mod tests {
         let mut b = XsdBuilder::new();
         b.declare_type("T");
         b.declare_type("T");
-        assert!(matches!(
-            b.build(),
-            Err(XsdError::DuplicateTypeName(_))
-        ));
+        assert!(matches!(b.build(), Err(XsdError::DuplicateTypeName(_))));
     }
 }

@@ -131,9 +131,9 @@ impl SimpleType {
             }
             SimpleType::Date => is_date(value),
             SimpleType::Time => is_time(value),
-            SimpleType::DateTime => {
-                value.split_once('T').is_some_and(|(d, t)| is_date(d) && is_time(t))
-            }
+            SimpleType::DateTime => value
+                .split_once('T')
+                .is_some_and(|(d, t)| is_date(d) && is_time(t)),
             SimpleType::Id | SimpleType::IdRef | SimpleType::NmToken => is_nmtoken(value),
         }
     }
@@ -315,7 +315,11 @@ fn decimal_cmp(a: &str, b: &str) -> Option<std::cmp::Ordering> {
     let na = na && !(ia.is_empty() && fa.is_empty());
     let nb = nb && !(ib.is_empty() && fb.is_empty());
     if na != nb {
-        return Some(if na { Ordering::Less } else { Ordering::Greater });
+        return Some(if na {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        });
     }
     let magnitude = ia
         .len()

@@ -245,9 +245,15 @@ fn emit_particle(
             }
             Ok(())
         }
-        Regex::Star(inner) => emit_repeated(xsd, doc, parent, t, inner, bounds, 0, UpperBound::Unbounded),
-        Regex::Plus(inner) => emit_repeated(xsd, doc, parent, t, inner, bounds, 1, UpperBound::Unbounded),
-        Regex::Opt(inner) => emit_repeated(xsd, doc, parent, t, inner, bounds, 0, UpperBound::Finite(1)),
+        Regex::Star(inner) => {
+            emit_repeated(xsd, doc, parent, t, inner, bounds, 0, UpperBound::Unbounded)
+        }
+        Regex::Plus(inner) => {
+            emit_repeated(xsd, doc, parent, t, inner, bounds, 1, UpperBound::Unbounded)
+        }
+        Regex::Opt(inner) => {
+            emit_repeated(xsd, doc, parent, t, inner, bounds, 0, UpperBound::Finite(1))
+        }
         Regex::Repeat(inner, lo, hi) => emit_repeated(xsd, doc, parent, t, inner, bounds, *lo, *hi),
     }
 }

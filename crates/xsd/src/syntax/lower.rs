@@ -67,10 +67,7 @@ impl<'a> Lowerer<'a> {
                 if let Some((_, (base, facets))) =
                     self.schema.simple_types.iter().find(|(name, _)| name == n)
                 {
-                    return self.resolve(
-                        &TypeRef::Simple(*base, facets.clone()),
-                        elem_name,
-                    );
+                    return self.resolve(&TypeRef::Simple(*base, facets.clone()), elem_name);
                 }
                 Err(SyntaxError::new(format!(
                     "element {elem_name} references unknown type {n}"
@@ -93,18 +90,13 @@ impl<'a> Lowerer<'a> {
                     format!("T_{}", st.qname().replace(':', "_"))
                 } else {
                     self.synth_counter += 1;
-                    format!(
-                        "T_{}_r{}",
-                        st.qname().replace(':', "_"),
-                        self.synth_counter
-                    )
+                    format!("T_{}_r{}", st.qname().replace(':', "_"), self.synth_counter)
                 };
                 let id = self.builder.declare_type(&name);
                 self.builder.define(
                     id,
                     TypeDef {
-                        content: ContentModel::simple(*st)
-                            .with_simple_facets(facets.clone()),
+                        content: ContentModel::simple(*st).with_simple_facets(facets.clone()),
                         child_type: BTreeMap::new(),
                     },
                 );
@@ -129,11 +121,7 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn lower_complex(
-        &mut self,
-        ct: &ComplexType,
-        type_name: &str,
-    ) -> Result<TypeDef, SyntaxError> {
+    fn lower_complex(&mut self, ct: &ComplexType, type_name: &str) -> Result<TypeDef, SyntaxError> {
         let attributes = self.expand_attributes(ct)?;
         if let Some((st, facets)) = &ct.simple_base {
             return Ok(TypeDef {
@@ -167,9 +155,7 @@ impl<'a> Lowerer<'a> {
                 .attribute_groups
                 .iter()
                 .find(|(n, _)| n == gref)
-                .ok_or_else(|| {
-                    SyntaxError::new(format!("unknown attribute group {gref}"))
-                })?;
+                .ok_or_else(|| SyntaxError::new(format!("unknown attribute group {gref}")))?;
             attrs.extend(group.1.iter().cloned());
         }
         Ok(attrs)

@@ -54,12 +54,8 @@ pub fn read_schema_doc(doc: &Document) -> Result<SchemaDoc, SyntaxError> {
                 let name = required_attr(doc, child, "name")?;
                 let inner = doc
                     .element_children(child)
-                    .find(|&c| {
-                        matches!(doc.local_name(c), Some("sequence" | "choice" | "all"))
-                    })
-                    .ok_or_else(|| {
-                        SyntaxError::new(format!("group {name} has no model group"))
-                    })?;
+                    .find(|&c| matches!(doc.local_name(c), Some("sequence" | "choice" | "all")))
+                    .ok_or_else(|| SyntaxError::new(format!("group {name} has no model group")))?;
                 out.groups.push((name, read_particle(doc, inner)?));
             }
             Some("simpleType") => {
@@ -89,14 +85,12 @@ pub fn read_schema_doc(doc: &Document) -> Result<SchemaDoc, SyntaxError> {
 }
 
 fn required_attr(doc: &Document, node: NodeId, name: &str) -> Result<String, SyntaxError> {
-    doc.attribute(node, name)
-        .map(str::to_owned)
-        .ok_or_else(|| {
-            SyntaxError::new(format!(
-                "<{}> is missing required attribute {name:?}",
-                doc.name(node).unwrap_or("?")
-            ))
-        })
+    doc.attribute(node, name).map(str::to_owned).ok_or_else(|| {
+        SyntaxError::new(format!(
+            "<{}> is missing required attribute {name:?}",
+            doc.name(node).unwrap_or("?")
+        ))
+    })
 }
 
 fn read_element(doc: &Document, node: NodeId) -> Result<ElementDecl, SyntaxError> {
@@ -190,15 +184,17 @@ fn read_complex_type(doc: &Document, node: NodeId) -> Result<ComplexType, Syntax
                         }
                         Some("minLength") => {
                             let v = required_attr(doc, a, "value")?;
-                            facets.min_length = Some(v.parse().map_err(|_| {
-                                SyntaxError::new(format!("bad minLength {v:?}"))
-                            })?);
+                            facets.min_length =
+                                Some(v.parse().map_err(|_| {
+                                    SyntaxError::new(format!("bad minLength {v:?}"))
+                                })?);
                         }
                         Some("maxLength") => {
                             let v = required_attr(doc, a, "value")?;
-                            facets.max_length = Some(v.parse().map_err(|_| {
-                                SyntaxError::new(format!("bad maxLength {v:?}"))
-                            })?);
+                            facets.max_length =
+                                Some(v.parse().map_err(|_| {
+                                    SyntaxError::new(format!("bad maxLength {v:?}"))
+                                })?);
                         }
                         Some("enumeration") => {
                             facets.enumeration.push(required_attr(doc, a, "value")?)
@@ -270,9 +266,7 @@ fn read_particle(doc: &Document, node: NodeId) -> Result<Particle, SyntaxError> 
             }
             Ok(Particle::All { items })
         }
-        Some(other) => Err(SyntaxError::new(format!(
-            "unsupported particle <{other}>"
-        ))),
+        Some(other) => Err(SyntaxError::new(format!("unsupported particle <{other}>"))),
         None => Err(SyntaxError::new("text where a particle was expected")),
     }
 }
@@ -345,21 +339,21 @@ pub(crate) fn read_simple_type(
             Some("minInclusive") => facets.min_inclusive = Some(value),
             Some("maxInclusive") => facets.max_inclusive = Some(value),
             Some("minLength") => {
-                facets.min_length =
-                    Some(value.parse().map_err(|_| {
-                        SyntaxError::new(format!("bad minLength {value:?}"))
-                    })?)
+                facets.min_length = Some(
+                    value
+                        .parse()
+                        .map_err(|_| SyntaxError::new(format!("bad minLength {value:?}")))?,
+                )
             }
             Some("maxLength") => {
-                facets.max_length =
-                    Some(value.parse().map_err(|_| {
-                        SyntaxError::new(format!("bad maxLength {value:?}"))
-                    })?)
+                facets.max_length = Some(
+                    value
+                        .parse()
+                        .map_err(|_| SyntaxError::new(format!("bad maxLength {value:?}")))?,
+                )
             }
             Some("enumeration") => facets.enumeration.push(value),
-            Some(other) => {
-                return Err(SyntaxError::new(format!("unsupported facet xs:{other}")))
-            }
+            Some(other) => return Err(SyntaxError::new(format!("unsupported facet xs:{other}"))),
             None => {}
         }
     }

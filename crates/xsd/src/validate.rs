@@ -94,8 +94,7 @@ impl<'a> CompiledXsd<'a> {
                     }
                 }
             }
-            let failed_at =
-                failed_at.or_else(|| self.matchers[t.index()].first_error(&word));
+            let failed_at = failed_at.or_else(|| self.matchers[t.index()].first_error(&word));
             if let Some(at) = failed_at {
                 violations.push(Violation {
                     node,
@@ -231,11 +230,7 @@ mod tests {
         assert!(r.is_valid(), "{:?}", r.violations);
         // context-dependent typing: the template section and the content
         // sections got different types
-        let names: Vec<&str> = r
-            .typing
-            .values()
-            .map(|&t| x.type_name(t))
-            .collect();
+        let names: Vec<&str> = r.typing.values().map(|&t| x.type_name(t)).collect();
         assert!(names.contains(&"TtemplateSection"));
         assert!(names.contains(&"Tsection"));
     }
@@ -311,10 +306,7 @@ mod tests {
         let x = example();
         let doc = elem("document")
             .child(elem("template"))
-            .child(
-                elem("content")
-                    .child(elem("section").attr("title", "t").attr("level", "two")),
-            )
+            .child(elem("content").child(elem("section").attr("title", "t").attr("level", "two")))
             .build();
         let r = validate(&x, &doc);
         assert!(r.violations.iter().any(|v| matches!(

@@ -61,7 +61,10 @@ impl std::fmt::Display for ViolationKind {
                 write!(f, "root element <{n}> is not a declared start element")
             }
             ViolationKind::ContentModel { element, at } => {
-                write!(f, "content of <{element}> fails its content model at child {at}")
+                write!(
+                    f,
+                    "content of <{element}> fails its content model at child {at}"
+                )
             }
             ViolationKind::UnexpectedText(n) => {
                 write!(f, "<{n}> contains text but its content model is not mixed")
@@ -84,10 +87,7 @@ impl std::fmt::Display for ViolationKind {
                 element,
                 value,
                 expected,
-            } => write!(
-                f,
-                "text {value:?} of <{element}> is not a valid {expected}"
-            ),
+            } => write!(f, "text {value:?} of <{element}> is not a valid {expected}"),
             ViolationKind::NoGoverningDefinition(n) => {
                 write!(f, "no declaration governs element <{n}>")
             }
@@ -170,14 +170,33 @@ pub fn check_attributes(
 }
 
 /// The document-free core of [`check_attributes`], over an attribute
-/// slice directly (the streaming validator holds each open element's
-/// attributes in its frame).
+/// slice directly.
 pub fn check_attribute_list(
     node: NodeId,
     attrs: &[xmltree::Attribute],
     model: &crate::content::ContentModel,
     out: &mut Vec<Violation>,
 ) {
+    check_attribute_pairs(
+        node,
+        attrs.iter().map(|a| (a.name.as_str(), a.value.as_str())),
+        model,
+        out,
+    );
+}
+
+/// [`check_attribute_list`] over borrowed `(name, value)` pairs, so the
+/// streaming validator can check a start tag's attributes straight off
+/// the reader's zero-copy token — nothing is materialized unless a
+/// violation is actually reported.
+pub fn check_attribute_pairs<'a, I>(
+    node: NodeId,
+    attrs: I,
+    model: &crate::content::ContentModel,
+    out: &mut Vec<Violation>,
+) where
+    I: Iterator<Item = (&'a str, &'a str)> + Clone,
+{
     if model.open {
         return;
     }
@@ -186,30 +205,26 @@ pub fn check_attribute_list(
     // attribute list (this runs for every element on the validation hot
     // path). Falls back to the scan for >64 declarations.
     let mut seen: u64 = 0;
-    for attr in attrs {
-        if attr.name.starts_with("xmlns") {
+    for (name, value) in attrs.clone() {
+        if name.starts_with("xmlns") {
             continue;
         }
-        match model
-            .attributes
-            .iter()
-            .position(|a| a.name == attr.name)
-        {
+        match model.attributes.iter().position(|a| a.name == name) {
             None => out.push(Violation {
                 node,
-                kind: ViolationKind::UndeclaredAttribute(attr.name.clone()),
+                kind: ViolationKind::UndeclaredAttribute(name.to_owned()),
             }),
             Some(i) => {
                 if i < 64 {
                     seen |= 1 << i;
                 }
                 let decl = &model.attributes[i];
-                if !decl.validates(&attr.value) {
+                if !decl.validates(value) {
                     out.push(Violation {
                         node,
                         kind: ViolationKind::InvalidAttributeValue {
-                            attribute: attr.name.clone(),
-                            value: attr.value.clone(),
+                            attribute: name.to_owned(),
+                            value: value.to_owned(),
                             expected: decl.type_display(),
                         },
                     });
@@ -224,7 +239,7 @@ pub fn check_attribute_list(
         let present = if i < 64 {
             seen & (1 << i) != 0
         } else {
-            attrs.iter().any(|a| a.name == decl.name)
+            attrs.clone().any(|(name, _)| name == decl.name)
         };
         if !present {
             out.push(Violation {

@@ -57,7 +57,12 @@ fn main() {
         let m = &report.structure.matches[&node];
         let rule = m
             .relevant
-            .map(|i| schema.ast.rules[schema.rule_source[i]].pattern.source.clone())
+            .map(|i| {
+                schema.ast.rules[schema.rule_source[i]]
+                    .pattern
+                    .source
+                    .clone()
+            })
             .unwrap_or_else(|| "(unconstrained)".to_owned());
         println!(
             "  <{}>{} ← {}",
@@ -90,8 +95,5 @@ fn main() {
         xsd.n_types(),
         path
     );
-    println!(
-        "{}",
-        bonxai::xsd::emit_xsd(&xsd, None).expect("emits")
-    );
+    println!("{}", bonxai::xsd::emit_xsd(&xsd, None).expect("emits"));
 }

@@ -27,8 +27,7 @@ grammar {
 
 /// The evolved schema: the paper's extra rule, appended verbatim —
 /// subsubsections have a title and text but no section children.
-const EVOLVED_EXTRA_RULE: &str =
-    "  content/section/section/section = mixed { attribute title }\n";
+const EVOLVED_EXTRA_RULE: &str = "  content/section/section/section = mixed { attribute title }\n";
 
 fn main() {
     let base = BonxaiSchema::parse(BASE).expect("base schema parses");
@@ -71,8 +70,16 @@ fn main() {
         )
         .build();
 
-    println!("\ndepth-3 document: base={} evolved={}", base.is_valid(&depth3), evolved.is_valid(&depth3));
-    println!("depth-4 document: base={} evolved={}", base.is_valid(&deep), evolved.is_valid(&deep));
+    println!(
+        "\ndepth-3 document: base={} evolved={}",
+        base.is_valid(&depth3),
+        evolved.is_valid(&depth3)
+    );
+    println!(
+        "depth-4 document: base={} evolved={}",
+        base.is_valid(&deep),
+        evolved.is_valid(&deep)
+    );
     assert!(base.is_valid(&deep) && !evolved.is_valid(&deep));
     assert!(base.is_valid(&depth3) && evolved.is_valid(&depth3));
 
@@ -93,7 +100,10 @@ fn main() {
         xsd_evolved.n_types()
     );
     println!("\nevolved XSD:");
-    println!("{}", bonxai::xsd::emit_xsd(&xsd_evolved, None).expect("emits"));
+    println!(
+        "{}",
+        bonxai::xsd::emit_xsd(&xsd_evolved, None).expect("emits")
+    );
 
     // Both sides still agree, of course.
     for doc in [&deep, &depth3] {

@@ -16,13 +16,11 @@ use rand::SeedableRng;
 fn main() {
     let arg = std::env::args().nth(1);
     let source = match &arg {
-        Some(path) => std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
-        None => std::fs::read_to_string(format!(
-            "{}/data/figure3.xsd",
-            env!("CARGO_MANIFEST_DIR")
-        ))
-        .expect("bundled figure3.xsd"),
+        Some(path) => {
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
+        None => std::fs::read_to_string(format!("{}/data/figure3.xsd", env!("CARGO_MANIFEST_DIR")))
+            .expect("bundled figure3.xsd"),
     };
 
     let xsd = bonxai::xsd::parse_xsd(&source).expect("XSD parses");

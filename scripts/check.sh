@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# The tier-1 gate: release build, full test suite, and a warning-free
+# The tier-1 gate: release build, full test suite, a warning-free
 # clippy pass over every target in the workspace (vendor stand-ins
-# included). CI and pre-commit both run exactly this.
+# included), canonical formatting, and a parse-only front-end
+# microbench as a smoke check that the zero-copy reader still runs.
+# CI and pre-commit both run exactly this.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all --check
+cargo run --release -p bonxai-bench --bin exp_validation -- --parse-only

@@ -64,7 +64,11 @@ fn repeat_operator_in_ancestor_pattern() {
     let d2 = elem("s").child(elem("s").attr("even", "y")).build();
     let d2_missing = elem("s").child(elem("s")).build();
     assert!(schema.is_valid(&d1));
-    assert!(schema.is_valid(&d2), "{:?}", schema.validate(&d2).structure.violations);
+    assert!(
+        schema.is_valid(&d2),
+        "{:?}",
+        schema.validate(&d2).structure.violations
+    );
     assert!(!schema.is_valid(&d2_missing)); // depth-2 requires @even
 }
 
@@ -89,10 +93,8 @@ fn xsd_emission_rejects_empty_language_models() {
 
 #[test]
 fn deep_documents_validate_without_overflow() {
-    let schema = BonxaiSchema::parse(
-        "global { a } grammar { a = { (element a)? } }",
-    )
-    .expect("parses");
+    let schema =
+        BonxaiSchema::parse("global { a } grammar { a = { (element a)? } }").expect("parses");
     let mut doc = bonxai::xmltree::Document::new("a");
     let mut cur = doc.root();
     for _ in 0..5_000 {

@@ -105,7 +105,10 @@ fn dtd_and_figure4_agree() {
             dtd::is_valid(&dtd, &doc),
             f4.is_valid(&doc),
             "disagreement on {}",
-            xmltree::to_string(&doc).chars().take(120).collect::<String>()
+            xmltree::to_string(&doc)
+                .chars()
+                .take(120)
+                .collect::<String>()
         );
     }
 }
@@ -124,7 +127,10 @@ fn xsd_and_figure5_agree() {
             bonxai::xsd::is_valid(&x, &doc),
             f5.is_valid(&doc),
             "disagreement on {}",
-            xmltree::to_string(&doc).chars().take(120).collect::<String>()
+            xmltree::to_string(&doc)
+                .chars()
+                .take(120)
+                .collect::<String>()
         );
     }
 }
@@ -198,8 +204,15 @@ fn figure3_roundtrips_through_xsd_syntax() {
     let x = figure3_xsd();
     let emitted = bonxai::xsd::emit_xsd(&x, Some("http://mydomain.org/namespace")).unwrap();
     let back = bonxai::xsd::parse_xsd(&emitted).unwrap();
-    for doc in [figure1(), title_less_content_section(), wrong_top_level_order()] {
-        assert_eq!(bonxai::xsd::is_valid(&x, &doc), bonxai::xsd::is_valid(&back, &doc));
+    for doc in [
+        figure1(),
+        title_less_content_section(),
+        wrong_top_level_order(),
+    ] {
+        assert_eq!(
+            bonxai::xsd::is_valid(&x, &doc),
+            bonxai::xsd::is_valid(&back, &doc)
+        );
     }
 }
 

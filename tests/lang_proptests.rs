@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 
 use bonxai::core::lang::{
-    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody,
-    SchemaAst,
+    AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody, SchemaAst,
 };
 use bonxai::core::BonxaiSchema;
 use bonxai::xsd::SimpleType;
@@ -25,8 +24,7 @@ fn path_expr() -> impl Strategy<Value = PathExpr> {
     leaf.prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 2..4).prop_map(normalize_seq),
-            prop::collection::vec(name().prop_map(PathExpr::Name), 2..4)
-                .prop_map(PathExpr::Alt),
+            prop::collection::vec(name().prop_map(PathExpr::Name), 2..4).prop_map(PathExpr::Alt),
             inner.prop_map(|p| PathExpr::Star(Box::new(p))),
         ]
     })
@@ -37,9 +35,7 @@ fn path_expr() -> impl Strategy<Value = PathExpr> {
 fn normalize_seq(items: Vec<PathExpr>) -> PathExpr {
     let mut out: Vec<PathExpr> = Vec::new();
     for item in items {
-        if matches!(item, PathExpr::AnyChain)
-            && matches!(out.last(), Some(PathExpr::AnyChain))
-        {
+        if matches!(item, PathExpr::AnyChain) && matches!(out.last(), Some(PathExpr::AnyChain)) {
             continue;
         }
         out.push(item);

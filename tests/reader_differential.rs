@@ -1,0 +1,355 @@
+//! Differential test for the zero-copy XML reader: the borrowed-token
+//! lexer (`xmltree::stream::XmlReader`) must produce *exactly* the event
+//! stream of the byte-at-a-time reference reader it replaced
+//! (`xmltree::reference::XmlReader`) — same events, same decoded text,
+//! same positions — over randomly generated documents exercising entity
+//! declarations and references, character references, CDATA sections,
+//! comments, processing instructions, and both quote styles; and the
+//! same *errors* on randomly damaged inputs. Both byte sources are
+//! checked: the in-memory slice source and the rolling-buffer I/O source
+//! fed through a reader that dribbles 1–7 bytes per `read` call, so
+//! every token shape gets split across refill boundaries somewhere in
+//! the run.
+
+use std::fmt::Write as _;
+use std::io::Read;
+
+use proptest::prelude::*;
+
+use bonxai::xmltree::reference;
+use bonxai::xmltree::stream::{ByteSrc, IoSrc, XmlEvent, XmlReader};
+
+// ---------------------------------------------------------------- generator
+
+/// A content fragment of the generated source text.
+#[derive(Debug, Clone)]
+enum Frag {
+    Plain(String),
+    /// A character reference; the bool selects `&#xH;` vs `&#D;`.
+    CharRef(u32, bool),
+    /// One of the five predefined entities, by name.
+    Predef(&'static str),
+    /// `&eN;` — declared iff the document declares more than N entities.
+    Entity(usize),
+    Cdata(String),
+    Comment(String),
+    Pi(String),
+}
+
+fn plain() -> impl Strategy<Value = String> {
+    "[a-z0-9 .,;:()!*+-]{1,12}"
+}
+
+/// Fragments legal in attribute values and entity replacement text
+/// (no CDATA/comments/PIs). `n_refs` bounds which entities may be
+/// referenced, so generated entity declarations never recurse.
+fn value_frag(n_refs: usize) -> BoxedStrategy<Frag> {
+    let refs = if n_refs == 0 {
+        plain().prop_map(Frag::Plain).boxed()
+    } else {
+        (0..n_refs).prop_map(Frag::Entity).boxed()
+    };
+    prop_oneof![
+        4 => plain().prop_map(Frag::Plain),
+        1 => (char_ref_code(), any::<bool>()).prop_map(|(c, hex)| Frag::CharRef(c, hex)),
+        1 => prop::sample::select(&["lt", "gt", "amp", "quot", "apos"]).prop_map(Frag::Predef),
+        1 => refs,
+    ]
+    .boxed()
+}
+
+fn char_ref_code() -> BoxedStrategy<u32> {
+    prop::sample::select(&[0x41u32, 0x7A, 0x3B, 0xE9, 0x20AC, 0x10348, 0x9, 0xA])
+}
+
+fn content_frag() -> BoxedStrategy<Frag> {
+    prop_oneof![
+        5 => value_frag(3),
+        1 => "[a-z <>&;!?-]{0,10}".prop_map(Frag::Cdata),
+        1 => "[a-z 0-9<>&]{0,8}".prop_map(Frag::Comment),
+        1 => "[a-z 0-9]{0,8}".prop_map(Frag::Pi),
+    ]
+    .boxed()
+}
+
+#[derive(Debug, Clone)]
+struct Elem {
+    name: String,
+    /// (name, double-quoted?, value fragments)
+    attrs: Vec<(String, bool, Vec<Frag>)>,
+    children: Vec<Item>,
+    /// Written `<name/>` when childless.
+    self_close: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    F(Frag),
+    E(Elem),
+}
+
+fn name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}"
+}
+
+fn attrs() -> BoxedStrategy<Vec<(String, bool, Vec<Frag>)>> {
+    prop::collection::vec(
+        (
+            name(),
+            any::<bool>(),
+            prop::collection::vec(value_frag(3), 0..3),
+        ),
+        0..3,
+    )
+    .prop_map(|mut attrs| {
+        attrs.sort_by(|a, b| a.0.cmp(&b.0));
+        attrs.dedup_by(|a, b| a.0 == b.0);
+        attrs
+    })
+    .boxed()
+}
+
+fn arb_elem() -> BoxedStrategy<Elem> {
+    let leaf = (name(), attrs(), any::<bool>()).prop_map(|(name, attrs, self_close)| Elem {
+        name,
+        attrs,
+        children: Vec::new(),
+        self_close,
+    });
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        (
+            (name(), attrs(), any::<bool>()),
+            prop::collection::vec(
+                prop_oneof![content_frag().prop_map(Item::F), inner.prop_map(Item::E),],
+                0..4,
+            ),
+        )
+            .prop_map(|((name, attrs, self_close), children)| Elem {
+                name,
+                attrs,
+                children,
+                self_close,
+            })
+    })
+    .boxed()
+}
+
+/// The whole document: misc before/after the root, an optional DOCTYPE
+/// declaring the first `n_entities` of three generated entity values,
+/// and the root element tree.
+#[derive(Debug, Clone)]
+struct Doc {
+    xml_decl: bool,
+    n_entities: usize,
+    entity_values: [Vec<Frag>; 3],
+    root: Elem,
+    trailing_comment: bool,
+}
+
+fn arb_doc() -> BoxedStrategy<Doc> {
+    (
+        (any::<bool>(), 0usize..4, any::<bool>()),
+        (
+            prop::collection::vec(value_frag(0), 0..3),
+            prop::collection::vec(value_frag(1), 0..3),
+            prop::collection::vec(value_frag(2), 0..3),
+        ),
+        arb_elem(),
+    )
+        .prop_map(
+            |((xml_decl, n_entities, trailing_comment), (e0, e1, e2), root)| Doc {
+                xml_decl,
+                n_entities,
+                entity_values: [e0, e1, e2],
+                root,
+                trailing_comment,
+            },
+        )
+        .boxed()
+}
+
+// ------------------------------------------------------------------ render
+
+fn render_frag(f: &Frag, out: &mut String) {
+    match f {
+        Frag::Plain(s) => out.push_str(s),
+        Frag::CharRef(c, true) => write!(out, "&#x{c:X};").expect("write to String"),
+        Frag::CharRef(c, false) => write!(out, "&#{c};").expect("write to String"),
+        Frag::Predef(n) => write!(out, "&{n};").expect("write to String"),
+        Frag::Entity(i) => write!(out, "&e{i};").expect("write to String"),
+        Frag::Cdata(s) => write!(out, "<![CDATA[{s}]]>").expect("write to String"),
+        Frag::Comment(s) => write!(out, "<!--{s}-->").expect("write to String"),
+        Frag::Pi(s) => write!(out, "<?pi {s}?>").expect("write to String"),
+    }
+}
+
+fn render_elem(e: &Elem, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (n, dq, v) in &e.attrs {
+        let q = if *dq { '"' } else { '\'' };
+        out.push(' ');
+        out.push_str(n);
+        out.push('=');
+        out.push(q);
+        for f in v {
+            render_frag(f, out);
+        }
+        out.push(q);
+    }
+    if e.children.is_empty() && e.self_close {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for c in &e.children {
+        match c {
+            Item::F(f) => render_frag(f, out),
+            Item::E(child) => render_elem(child, out),
+        }
+    }
+    write!(out, "</{}>", e.name).expect("write to String");
+}
+
+fn render_doc(d: &Doc) -> String {
+    let mut out = String::new();
+    if d.xml_decl {
+        out.push_str("<?xml version=\"1.0\"?>\n");
+    }
+    if d.n_entities > 0 {
+        out.push_str("<!DOCTYPE ");
+        out.push_str(&d.root.name);
+        out.push_str(" [\n");
+        for (i, v) in d.entity_values.iter().take(d.n_entities).enumerate() {
+            write!(out, "  <!ENTITY e{i} \"").expect("write to String");
+            for f in v {
+                render_frag(f, &mut out);
+            }
+            out.push_str("\">\n");
+        }
+        out.push_str("]>\n");
+    }
+    render_elem(&d.root, &mut out);
+    if d.trailing_comment {
+        out.push_str("<!-- end -->");
+    }
+    out
+}
+
+// ----------------------------------------------------------------- drivers
+
+const EVENT_CAP: usize = 100_000;
+
+fn collect_new<S: ByteSrc>(mut r: XmlReader<S>) -> Result<Vec<XmlEvent>, String> {
+    let mut out = Vec::new();
+    loop {
+        match r.next_event() {
+            Ok(tok) => {
+                let ev = tok.to_event();
+                let end = matches!(ev, XmlEvent::EndDocument);
+                out.push(ev);
+                if end {
+                    return Ok(out);
+                }
+                assert!(out.len() < EVENT_CAP, "runaway event stream");
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+fn collect_reference(input: &str) -> Result<Vec<XmlEvent>, String> {
+    let mut r = reference::XmlReader::from_str(input);
+    let mut out = Vec::new();
+    loop {
+        match r.next_event() {
+            Ok(ev) => {
+                let end = matches!(ev, XmlEvent::EndDocument);
+                out.push(ev);
+                if end {
+                    return Ok(out);
+                }
+                assert!(out.len() < EVENT_CAP, "runaway event stream");
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// An `io::Read` that returns 1–7 bytes per call, cycling the chunk
+/// size, so the rolling buffer refills mid-token in every shape.
+struct Dribble<'a> {
+    data: &'a [u8],
+    pos: usize,
+    step: usize,
+}
+
+impl Read for Dribble<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.step.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        self.step = self.step % 7 + 1;
+        Ok(n)
+    }
+}
+
+fn dribble(input: &str) -> XmlReader<IoSrc<Dribble<'_>>> {
+    XmlReader::from_reader(Dribble {
+        data: input.as_bytes(),
+        pos: 0,
+        step: 1,
+    })
+}
+
+/// Both readers over the same text: identical events (positions
+/// included) when both succeed, identical rendered errors when both
+/// fail, and never one succeeding where the other fails.
+fn assert_agreement(input: &str) {
+    let new_slice = collect_new(XmlReader::from_str(input));
+    let new_io = collect_new(dribble(input));
+    assert_eq!(
+        new_slice, new_io,
+        "slice and io sources disagree on {input:?}"
+    );
+    let reference = collect_reference(input);
+    assert_eq!(new_slice, reference, "readers disagree on {input:?}");
+}
+
+// ------------------------------------------------------------------- tests
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generated_documents_agree(d in arb_doc()) {
+        assert_agreement(&render_doc(&d));
+    }
+
+    #[test]
+    fn truncated_documents_agree(d in arb_doc(), cut in 0usize..400) {
+        let mut text = render_doc(&d);
+        let pos = cut.min(text.len());
+        let pos = (0..=pos).rev().find(|&p| text.is_char_boundary(p)).expect("0 is a boundary");
+        text.truncate(pos);
+        assert_agreement(&text);
+    }
+
+    #[test]
+    fn spliced_documents_agree(
+        d in arb_doc(),
+        at in 0usize..400,
+        junk in prop::sample::select(&["<", ">", "&", ";", "]]>", "--", "/", "=", "\"", "x"]),
+    ) {
+        let mut text = render_doc(&d);
+        let pos = at.min(text.len());
+        let pos = (0..=pos).rev().find(|&p| text.is_char_boundary(p)).expect("0 is a boundary");
+        text.insert_str(pos, junk);
+        assert_agreement(&text);
+    }
+
+    #[test]
+    fn arbitrary_ascii_agrees(input in "[<>a-z&;/\"'= !\\[\\]?#x0-9-]{0,60}") {
+        assert_agreement(&input);
+    }
+}

@@ -4,14 +4,12 @@
 //! original on sampled conforming documents and mutated near-misses.
 
 use bonxai::core::translate::{
-    bxsd_to_dfa_xsd, bxsd_to_dfa_xsd_strict, dfa_xsd_to_bxsd, dfa_xsd_to_xsd,
-    k_suffix_dfa_to_bxsd, suffix_bxsd_to_dfa_xsd, xsd_to_dfa_xsd,
+    bxsd_to_dfa_xsd, bxsd_to_dfa_xsd_strict, dfa_xsd_to_bxsd, dfa_xsd_to_xsd, k_suffix_dfa_to_bxsd,
+    suffix_bxsd_to_dfa_xsd, xsd_to_dfa_xsd,
 };
 use bonxai::core::validate::is_valid as bxsd_valid;
 use bonxai::core::Bxsd;
-use bonxai::gen::{
-    mutate_document, random_suffix_bxsd, sample_document, DocConfig, SchemaConfig,
-};
+use bonxai::gen::{mutate_document, random_suffix_bxsd, sample_document, DocConfig, SchemaConfig};
 use bonxai::xmltree::Document;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -88,7 +86,11 @@ fn full_bxsd_xsd_bxsd_cycle_preserves_language() {
         let back = dfa_xsd_to_bxsd(&d2);
         for doc in docs_for(&b, &mut rng, 8) {
             let expected = bxsd_valid(&b, &doc);
-            assert_eq!(bonxai::xsd::is_valid(&x, &doc), expected, "seed {seed} (xsd)");
+            assert_eq!(
+                bonxai::xsd::is_valid(&x, &doc),
+                expected,
+                "seed {seed} (xsd)"
+            );
             assert_eq!(d2.is_valid(&doc), expected, "seed {seed} (dfa)");
             assert_eq!(bxsd_valid(&back, &doc), expected, "seed {seed} (back)");
         }
@@ -121,8 +123,8 @@ fn surface_syntax_roundtrip_on_random_schemas() {
     for seed in 0..10 {
         let mut rng = StdRng::seed_from_u64(4000 + seed);
         let b = random_suffix_bxsd(&small_cfg(), &mut rng);
-        let back = bonxai::core::pipeline::bxsd_surface_roundtrip(&b)
-            .expect("printed schema reparses");
+        let back =
+            bonxai::core::pipeline::bxsd_surface_roundtrip(&b).expect("printed schema reparses");
         for doc in docs_for(&b, &mut rng, 6) {
             assert_eq!(
                 bxsd_valid(&b, &doc),

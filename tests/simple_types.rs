@@ -109,7 +109,11 @@ fn named_simple_types_in_xsd_input() {
       </xs:schema>"#;
     let x = bonxai::xsd::parse_xsd(src).expect("parses");
     let ok = parse_document(r#"<grade weight="0.5"><score>88</score></grade>"#).unwrap();
-    assert!(bonxai::xsd::is_valid(&x, &ok), "{:?}", bonxai::xsd::validate(&x, &ok).violations);
+    assert!(
+        bonxai::xsd::is_valid(&x, &ok),
+        "{:?}",
+        bonxai::xsd::validate(&x, &ok).violations
+    );
     let bad_score = parse_document(r#"<grade><score>101</score></grade>"#).unwrap();
     assert!(!bonxai::xsd::is_valid(&x, &bad_score));
     let bad_weight = parse_document(r#"<grade weight="1.5"><score>50</score></grade>"#).unwrap();
@@ -150,6 +154,12 @@ fn simple_content_with_facets_and_attributes() {
     let (x, _) = pipeline::bonxai_to_xsd(&schema, &opts);
     let text = bonxai::xsd::emit_xsd(&x, None).expect("emits");
     let back = bonxai::xsd::parse_xsd(&text).expect("reparses");
-    assert!(bonxai::xsd::is_valid(&back, &parse_document("<price>1</price>").unwrap()));
-    assert!(!bonxai::xsd::is_valid(&back, &parse_document("<price>-1</price>").unwrap()));
+    assert!(bonxai::xsd::is_valid(
+        &back,
+        &parse_document("<price>1</price>").unwrap()
+    ));
+    assert!(!bonxai::xsd::is_valid(
+        &back,
+        &parse_document("<price>-1</price>").unwrap()
+    ));
 }

@@ -33,11 +33,7 @@ fn check_stream_equivalence(bxsd: &Bxsd, input: &str) -> Result<(), TestCaseErro
     let compiled = CompiledBxsd::new(bxsd);
     let tiny = CompiledBxsd::with_budget(bxsd, 1);
     prop_assert!(tiny.product_states().is_none(), "budget 1 must overflow");
-    for (c, opts) in [
-        (&compiled, RECORD),
-        (&compiled, LOCKSTEP),
-        (&tiny, RECORD),
-    ] {
+    for (c, opts) in [(&compiled, RECORD), (&compiled, LOCKSTEP), (&tiny, RECORD)] {
         let tree = c.validate_with(&doc, opts);
         let mut reader = XmlReader::from_str(input);
         let streamed = c

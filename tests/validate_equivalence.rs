@@ -45,7 +45,11 @@ fn check_equivalence(bxsd: &Bxsd, doc: &Document) -> Result<(), TestCaseError> {
     let tiny = CompiledBxsd::with_budget(bxsd, 1);
     prop_assert!(tiny.product_states().is_none(), "budget 1 must overflow");
     let fallback = tiny.validate_with(doc, RECORD);
-    prop_assert_eq!(&fallback.violations, &slow.violations, "fallback violations");
+    prop_assert_eq!(
+        &fallback.violations,
+        &slow.violations,
+        "fallback violations"
+    );
     prop_assert_eq!(&fallback.matches, &slow.matches, "fallback matches");
 
     // Relevance agrees with the derivative-based reference semantics.

@@ -51,7 +51,8 @@ fn arb_elem() -> impl Strategy<Value = Elem> {
                     inner.prop_map(Node::E),
                     // non-empty text (empty text nodes don't survive
                     // serialization and aren't constructible by parsing)
-                    text().prop_filter("nonempty", |t| !t.is_empty())
+                    text()
+                        .prop_filter("nonempty", |t| !t.is_empty())
                         .prop_map(Node::T)
                 ],
                 0..4,
@@ -115,8 +116,14 @@ fn docs_equal(a: &Document, b: &Document) -> bool {
         match (a.kind(na), b.kind(nb)) {
             (NodeKind::Text(x), NodeKind::Text(y)) => x == y,
             (
-                NodeKind::Element { name: n1, attributes: a1 },
-                NodeKind::Element { name: n2, attributes: a2 },
+                NodeKind::Element {
+                    name: n1,
+                    attributes: a1,
+                },
+                NodeKind::Element {
+                    name: n2,
+                    attributes: a2,
+                },
             ) => {
                 n1 == n2
                     && a1 == a2

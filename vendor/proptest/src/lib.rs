@@ -235,9 +235,9 @@ macro_rules! impl_tuple_strategy {
         }
     };
 }
-impl_tuple_strategy!(A/a, B/b);
-impl_tuple_strategy!(A/a, B/b, C/c);
-impl_tuple_strategy!(A/a, B/b, C/c, D/d);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
 
 /// String literals are char-class regex strategies (`"[a-z]{0,8}"`).
 impl Strategy for &'static str {
@@ -633,7 +633,8 @@ macro_rules! prop_assert_ne {
         let (l, r) = (&$left, &$right);
         if *l == *r {
             return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
-                "assert_ne failed: both {:?}", l
+                "assert_ne failed: both {:?}",
+                l
             )));
         }
     }};
