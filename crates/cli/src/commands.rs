@@ -14,12 +14,11 @@ enum AnySchema {
     Dtd(xmltree::dtd::Dtd),
 }
 
-/// Loads a schema file, detecting the formalism from the extension or,
-/// failing that, the content.
-fn load_schema(path: &str) -> Result<AnySchema, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+/// Detects the schema formalism from the file extension or, failing
+/// that, the content.
+fn detect_kind(path: &str, text: &str) -> &'static str {
     let lower = path.to_ascii_lowercase();
-    let kind = if lower.ends_with(".bonxai") {
+    if lower.ends_with(".bonxai") {
         "bonxai"
     } else if lower.ends_with(".xsd") {
         "xsd"
@@ -34,8 +33,14 @@ fn load_schema(path: &str) -> Result<AnySchema, String> {
         } else {
             "bonxai"
         }
-    };
-    match kind {
+    }
+}
+
+/// Loads a schema file, detecting the formalism from the extension or,
+/// failing that, the content.
+fn load_schema(path: &str) -> Result<AnySchema, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    match detect_kind(path, &text) {
         "bonxai" => BonxaiSchema::parse(&text)
             .map(AnySchema::Bonxai)
             .map_err(|e| format!("{path}: {e}")),
@@ -82,7 +87,14 @@ fn positional(args: &[String]) -> Vec<&String> {
             skip = false;
             continue;
         }
-        if a == "-o" || a == "--root" || a == "--seed" || a == "--count" || a == "--jobs" {
+        if a == "-o"
+            || a == "--root"
+            || a == "--seed"
+            || a == "--count"
+            || a == "--jobs"
+            || a == "--format"
+            || a == "--deny"
+        {
             skip = true;
             continue;
         }
@@ -413,6 +425,10 @@ pub fn analyze(args: &[String]) -> Result<ExitCode, String> {
             println!("element names:   {}", x.ename.len());
             let minimized = xsd::minimize_types(&x);
             println!("minimal types:   {}", minimized.n_types());
+            match bonxai_core::lint::xsd_fragment(&x) {
+                Some(k) => println!("fragment:        suffix-based (k = {k})"),
+                None => println!("fragment:        general (not suffix-based)"),
+            }
             bonxai_core::translate::xsd_to_dfa_xsd(&x)
         }
         AnySchema::Dtd(d) => {
@@ -503,17 +519,110 @@ pub fn diff(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// `check <schema>`: parse, then run the cheap structural lints
+/// (undefined references, UPA, vacuous content models) and report every
+/// problem with its source span. Exit status is nonzero on any
+/// error-level finding — not just the first, as a plain parse would be.
 pub fn check(args: &[String]) -> Result<ExitCode, String> {
+    use bonxai_core::lint::{self, LintOptions, Severity};
     let pos = positional(args);
     let [schema_path] = pos.as_slice() else {
         return Err("usage: bonxai check <schema>".into());
     };
-    match load_schema(schema_path)? {
-        AnySchema::Bonxai(s) => println!("OK: BonXai schema, {} rules", s.bxsd.n_rules()),
-        AnySchema::Xsd(x) => println!("OK: XML Schema, {} types", x.n_types()),
-        AnySchema::Dtd(d) => println!("OK: DTD, {} elements", d.elements.len()),
+    let text =
+        fs::read_to_string(schema_path).map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+    let opts = LintOptions {
+        structural_only: true,
+        ..LintOptions::default()
+    };
+    let (report, ok_line) = match detect_kind(schema_path, &text) {
+        "bonxai" => {
+            let report =
+                lint::lint_source(&text, &opts).map_err(|e| format!("{schema_path}: {e}"))?;
+            let ast = bonxai_core::lang::parse_schema(&text).expect("parsed above");
+            (
+                report,
+                format!("OK: BonXai schema, {} rules", ast.rules.len()),
+            )
+        }
+        "xsd" => {
+            let x = xsd::parse_xsd_unchecked(&text).map_err(|e| format!("{schema_path}: {e}"))?;
+            let report = lint::lint_xsd(&x, &opts);
+            (report, format!("OK: XML Schema, {} types", x.n_types()))
+        }
+        _ => {
+            let d = xmltree::dtd::parse_dtd(&text).map_err(|e| format!("{schema_path}: {e}"))?;
+            (
+                bonxai_core::lint::LintReport::default(),
+                format!("OK: DTD, {} elements", d.elements.len()),
+            )
+        }
+    };
+    if report.diagnostics.is_empty() {
+        println!("{ok_line}");
+        return Ok(ExitCode::SUCCESS);
     }
-    Ok(ExitCode::SUCCESS)
+    print!("{}", lint::render_text(&report, schema_path));
+    if report.max_severity() >= Some(Severity::Error) {
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!("{ok_line}");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// `lint <schema>`: the full static-analysis pass — dead and unreachable
+/// rules, UPA violations with witnesses, vacuous content, unconstrained
+/// elements, and (with --notes) fragment/blow-up advisories. Exit status
+/// is nonzero when a finding reaches the --deny level (default: error).
+pub fn lint(args: &[String]) -> Result<ExitCode, String> {
+    use bonxai_core::lint::{self, LintOptions, Severity};
+    let pos = positional(args);
+    let [schema_path] = pos.as_slice() else {
+        return Err(
+            "usage: bonxai lint <schema> [--format text|json] [--deny note|warning|error] \
+             [--notes]"
+                .into(),
+        );
+    };
+    let format = flag_value(args, "--format").unwrap_or_else(|| "text".to_string());
+    if format != "text" && format != "json" {
+        return Err(format!("--format expects text or json, got {format:?}"));
+    }
+    let deny: Severity = match flag_value(args, "--deny") {
+        Some(s) => s.parse()?,
+        None => Severity::Error,
+    };
+    let opts = LintOptions {
+        include_notes: has_flag(args, "--notes") || deny == Severity::Note,
+        ..LintOptions::default()
+    };
+    let text =
+        fs::read_to_string(schema_path).map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+    let report = match detect_kind(schema_path, &text) {
+        "bonxai" => lint::lint_source(&text, &opts).map_err(|e| format!("{schema_path}: {e}"))?,
+        "xsd" => {
+            let x = xsd::parse_xsd_unchecked(&text).map_err(|e| format!("{schema_path}: {e}"))?;
+            lint::lint_xsd(&x, &opts)
+        }
+        _ => {
+            // DTDs have no ancestor patterns of their own: convert with
+            // every declared element as a root, then lint the result.
+            let d = xmltree::dtd::parse_dtd(&text).map_err(|e| format!("{schema_path}: {e}"))?;
+            let roots: Vec<&str> = d.elements.keys().map(String::as_str).collect();
+            let s = dtd_import::dtd_to_bonxai(&d, &roots).map_err(|e| e.to_string())?;
+            lint::lint_ast(&s.ast, &opts)
+        }
+    };
+    match format.as_str() {
+        "json" => print!("{}", lint::render_json(&report, schema_path)),
+        _ => print!("{}", lint::render_text(&report, schema_path)),
+    }
+    if report.max_severity() >= Some(deny) {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }
 
 fn path_name(p: TranslatePath) -> String {

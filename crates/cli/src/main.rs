@@ -54,7 +54,18 @@ COMMANDS:
         Generate random documents conforming to the schema.
 
     check <schema>
-        Parse and type-check a schema, reporting the first error.
+        Parse a schema and run the cheap structural lints (undefined
+        references, UPA, vacuous content models), reporting every
+        problem with its source span. Nonzero exit on any error.
+
+    lint <schema> [--format text|json] [--deny <level>] [--notes]
+        Full static analysis: dead rules (shadowed by later rules, with
+        a witness path), unreachable rules, UPA violations with a
+        shortest ambiguous word, vacuous content models, unconstrained
+        element names, and — with --notes — fragment / blow-up
+        advisories (BX007/BX008). Stable diagnostic codes BX001…BX009.
+        Exit status is nonzero when a finding reaches the --deny level
+        (note|warning|error; default error).
 
 OPTIONS:
     -o <file>    write output to a file instead of stdout
@@ -66,6 +77,9 @@ OPTIONS:
     --jobs N     (validate) worker count for multi-document batches
     --seed N     (sample) RNG seed (default 0)
     --count N    (sample) number of documents (default 1)
+    --format F   (lint) output format: text (default) or json
+    --deny L     (lint) fail at this severity: note, warning, error
+    --notes      (lint) include note-level advisories
 ";
 
 fn main() -> ExitCode {
@@ -84,6 +98,7 @@ fn main() -> ExitCode {
         "diff" => commands::diff(rest),
         "sample" => commands::sample(rest),
         "check" => commands::check(rest),
+        "lint" => commands::lint(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

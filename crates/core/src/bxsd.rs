@@ -93,6 +93,19 @@ impl Bxsd {
         })
     }
 
+    /// Assembles a BXSD **without** the UPA check — for analysis tooling
+    /// (the lint pass) that reports determinism violations itself rather
+    /// than refusing to build. Validators accept such schemas but their
+    /// verdicts on ambiguous content models are unspecified; check with
+    /// [`xsd::ContentModel::check_deterministic`] before trusting them.
+    pub fn new_unchecked(ename: Alphabet, start: BTreeSet<Sym>, rules: Vec<Rule>) -> Bxsd {
+        Bxsd {
+            ename,
+            start,
+            rules,
+        }
+    }
+
     /// Number of rules.
     pub fn n_rules(&self) -> usize {
         self.rules.len()

@@ -10,6 +10,7 @@ use xsd::SimpleType;
 
 use crate::lang::ast::{
     AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody, SchemaAst,
+    Span,
 };
 use crate::lang::LangError;
 use crate::schema::BonxaiSchema;
@@ -61,6 +62,7 @@ pub fn dtd_to_bonxai(dtd: &Dtd, roots: &[&str]) -> Result<BonxaiSchema, LangErro
                 source: name.clone(),
             },
             body: RuleBody::Complex(cp),
+            span: Span::default(),
         });
     }
 
@@ -78,6 +80,7 @@ pub fn dtd_to_bonxai(dtd: &Dtd, roots: &[&str]) -> Result<BonxaiSchema, LangErro
                     source: format!("{elem}/@{}", def.name),
                 },
                 body: RuleBody::Simple(st, facets),
+                span: Span::default(),
             });
         }
     }

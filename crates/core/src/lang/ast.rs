@@ -38,6 +38,28 @@ pub struct SchemaAst {
     pub constraints: Vec<crate::constraints::Constraint>,
 }
 
+/// A region of schema source text: the 1-based line/column of its start
+/// plus the byte range it covers. The all-zero [`Span::default`] means
+/// "no source position" (e.g. rules synthesized by lifting or import).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line of the first byte (0 = unknown).
+    pub line: u32,
+    /// 1-based column of the first byte.
+    pub col: u32,
+    /// Byte offset of the first byte in the source.
+    pub offset: usize,
+    /// Length of the region in bytes.
+    pub len: usize,
+}
+
+impl Span {
+    /// Whether this span carries a real source position.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
 /// One grammar rule.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RuleAst {
@@ -45,6 +67,9 @@ pub struct RuleAst {
     pub pattern: AncestorPattern,
     /// The right-hand side.
     pub body: RuleBody,
+    /// Source span of the rule's left-hand side ([`Span::default`] when
+    /// the rule has no surface source, e.g. lifted from a formal BXSD).
+    pub span: Span,
 }
 
 /// An ancestor pattern, already split into its element part and the

@@ -15,6 +15,7 @@ use xsd::{simple_types::Facets, ContentModel, SimpleType};
 use crate::bxsd::Bxsd;
 use crate::lang::ast::{
     AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody, SchemaAst,
+    Span,
 };
 
 /// Lifts a BXSD into a surface schema AST (printable with
@@ -54,6 +55,7 @@ pub fn lift(bxsd: &Bxsd) -> SchemaAst {
                 source,
             },
             body,
+            span: Span::default(),
         });
         // Scoped attribute-type rules for non-uniform attribute names.
         for a in &rule.content.attributes {
@@ -71,6 +73,7 @@ pub fn lift(bxsd: &Bxsd) -> SchemaAst {
                         source,
                     },
                     body: RuleBody::Simple(a.simple_type, a.facets.clone()),
+                    span: Span::default(),
                 });
             }
         }
@@ -88,6 +91,7 @@ pub fn lift(bxsd: &Bxsd) -> SchemaAst {
                     source: format!("@{name}"),
                 },
                 body: RuleBody::Simple(only.0, only.1.clone()),
+                span: Span::default(),
             });
         }
     }

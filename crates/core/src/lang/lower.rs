@@ -31,8 +31,85 @@ pub struct Lowered {
     pub rule_source: Vec<usize>,
 }
 
+/// A structural problem collected during [`lower_lenient`].
+#[derive(Clone, Debug)]
+pub struct LowerIssue {
+    /// Index of the offending rule in `ast.rules`.
+    pub rule: usize,
+    /// Description, e.g. `unknown group "markup"`.
+    pub message: String,
+    /// Whether the offender is an attribute rule with a non-type body
+    /// (such rules are skipped entirely by the lenient lowering).
+    pub attribute_rule: bool,
+}
+
+/// The result of lenient lowering: never fails on semantic problems.
+///
+/// Unknown/cyclic group references and malformed attribute rules are
+/// collected as [`LowerIssue`]s — the offending content model falls back
+/// to empty content — and the UPA gate is skipped (the schema is built
+/// with [`Bxsd::new_unchecked`]). This is the entry point for analysis
+/// tooling that must report *all* problems instead of refusing at the
+/// first; [`lower`] is the strict wrapper used everywhere else.
+#[derive(Clone, Debug)]
+pub struct LoweredLenient {
+    /// The formal core schema (UPA **not** enforced).
+    pub bxsd: Bxsd,
+    /// For each BXSD rule, the index of the source rule in the AST.
+    pub rule_source: Vec<usize>,
+    /// Structural problems found along the way.
+    pub issues: Vec<LowerIssue>,
+}
+
 /// Lowers a parsed schema to its BXSD core.
 pub fn lower(ast: &SchemaAst) -> Result<Lowered, LangError> {
+    let parts = lower_parts(ast);
+    if let Some(issue) = parts.issues.into_iter().next() {
+        let source = &ast.rules[issue.rule].pattern.source;
+        let msg = if issue.attribute_rule {
+            format!("attribute rule {:?} {}", source, issue.message)
+        } else {
+            format!("in rule {:?}: {}", source, issue.message)
+        };
+        return Err(LangError::new(0, 0, msg));
+    }
+    let rule_source = parts.rule_source;
+    let bxsd = Bxsd::new(parts.alphabet, parts.start, parts.rules).map_err(|e| match e {
+        crate::bxsd::BxsdError::NotDeterministic { rule, witness } => LangError::new(
+            0,
+            0,
+            format!(
+                "content model of rule {:?} violates UPA: {witness}",
+                ast.rules[rule_source[rule]].pattern.source
+            ),
+        ),
+    })?;
+    Ok(Lowered { bxsd, rule_source })
+}
+
+/// Lowers a parsed schema without refusing on semantic problems.
+///
+/// See [`LoweredLenient`]: issues are collected, offending content models
+/// fall back to empty content, and UPA is not enforced.
+pub fn lower_lenient(ast: &SchemaAst) -> LoweredLenient {
+    let parts = lower_parts(ast);
+    LoweredLenient {
+        bxsd: Bxsd::new_unchecked(parts.alphabet, parts.start, parts.rules),
+        rule_source: parts.rule_source,
+        issues: parts.issues,
+    }
+}
+
+/// Everything both lowering modes need, before the UPA gate.
+struct LowerParts {
+    alphabet: Alphabet,
+    start: std::collections::BTreeSet<relang::Sym>,
+    rules: Vec<Rule>,
+    rule_source: Vec<usize>,
+    issues: Vec<LowerIssue>,
+}
+
+fn lower_parts(ast: &SchemaAst) -> LowerParts {
     // 1. The element alphabet: everything mentioned anywhere.
     let mut alphabet = Alphabet::new();
     alphabet.reserve(count_schema_names(ast));
@@ -69,22 +146,21 @@ pub fn lower(ast: &SchemaAst) -> Result<Lowered, LangError> {
         simple_type: SimpleType,
         facets: Facets,
     }
+    let mut issues: Vec<LowerIssue> = Vec::new();
     let mut attr_rules: Vec<AttrRule> = Vec::new();
-    for rule in &ast.rules {
+    for (idx, rule) in ast.rules.iter().enumerate() {
         if rule.pattern.attributes.is_empty() {
             continue;
         }
         let (simple_type, facets) = match &rule.body {
             RuleBody::Simple(st, facets) => (*st, facets.clone()),
             RuleBody::Complex(_) => {
-                return Err(LangError::new(
-                    0,
-                    0,
-                    format!(
-                        "attribute rule {:?} must have a '{{ type … }}' body",
-                        rule.pattern.source
-                    ),
-                ))
+                issues.push(LowerIssue {
+                    rule: idx,
+                    message: "must have a '{ type … }' body".to_string(),
+                    attribute_rule: true,
+                });
+                continue;
             }
         };
         attr_rules.push(AttrRule {
@@ -127,9 +203,14 @@ pub fn lower(ast: &SchemaAst) -> Result<Lowered, LangError> {
                 &ancestor,
                 &resolve_attr_type,
             )
-            .map_err(|msg| {
-                LangError::new(0, 0, format!("in rule {:?}: {msg}", rule.pattern.source))
-            })?,
+            .unwrap_or_else(|msg| {
+                issues.push(LowerIssue {
+                    rule: idx,
+                    message: msg,
+                    attribute_rule: false,
+                });
+                ContentModel::new(Regex::Epsilon)
+            }),
         };
         rules.push(Rule::new(ancestor, content));
         rule_source.push(idx);
@@ -139,17 +220,13 @@ pub fn lower(ast: &SchemaAst) -> Result<Lowered, LangError> {
     for g in &ast.globals {
         start.insert(alphabet.lookup(g).expect("interned above"));
     }
-    let bxsd = Bxsd::new(alphabet, start, rules).map_err(|e| match e {
-        crate::bxsd::BxsdError::NotDeterministic { rule, witness } => LangError::new(
-            0,
-            0,
-            format!(
-                "content model of rule {:?} violates UPA: {witness}",
-                ast.rules[rule_source[rule]].pattern.source
-            ),
-        ),
-    })?;
-    Ok(Lowered { bxsd, rule_source })
+    LowerParts {
+        alphabet,
+        start,
+        rules,
+        rule_source,
+        issues,
+    }
 }
 
 fn lower_child_pattern(

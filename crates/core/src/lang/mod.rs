@@ -10,9 +10,10 @@ pub mod printer;
 
 pub use ast::{
     AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody, SchemaAst,
+    Span,
 };
 pub use lexer::LangError;
 pub use lift::lift;
-pub use lower::{lower, Lowered};
+pub use lower::{lower, lower_lenient, LowerIssue, Lowered, LoweredLenient};
 pub use parser::{parse_ancestor_pattern, parse_schema};
 pub use printer::print_schema;

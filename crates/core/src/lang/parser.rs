@@ -18,8 +18,22 @@ use xsd::{simple_types::Facets, SimpleType};
 use crate::constraints::{Constraint, ConstraintKind, Field};
 use crate::lang::ast::{
     AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody, SchemaAst,
+    Span,
 };
 use crate::lang::lexer::{LangError, Lexer, Spanned, Tok};
+
+/// The source span covered by a rule's left-hand-side token run.
+fn lhs_span(lhs: &[Spanned]) -> Span {
+    match (lhs.first(), lhs.last()) {
+        (Some(a), Some(b)) => Span {
+            line: a.line,
+            col: a.col,
+            offset: a.offset,
+            len: b.offset + b.tok.to_string().len() - a.offset,
+        },
+        _ => Span::default(),
+    }
+}
 
 /// Parses a BonXai schema source file.
 pub fn parse_schema(src: &str) -> Result<SchemaAst, LangError> {
@@ -262,9 +276,14 @@ impl<'a> Parser<'a> {
                     None => return Err(LangError::new(0, 0, "rule without '='")),
                 }
             }
+            let span = lhs_span(&lhs);
             let pattern = PatternParser::new(&lhs, self.src).parse_full()?;
             let body = self.parse_rule_body()?;
-            ast.rules.push(RuleAst { pattern, body });
+            ast.rules.push(RuleAst {
+                pattern,
+                body,
+                span,
+            });
         }
     }
 

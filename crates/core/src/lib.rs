@@ -19,7 +19,9 @@
 //! * [`schema`] — [`BonxaiSchema`], the user-facing schema object;
 //! * [`constraints`] — `unique`/`key`/`keyref` integrity constraints;
 //! * [`dtd_import`] — DTD → BonXai conversion (Figure 2 → Figure 4);
-//! * [`pipeline`] — BonXai text ⇄ XSD text, end to end.
+//! * [`pipeline`] — BonXai text ⇄ XSD text, end to end;
+//! * [`lint`] — static analysis: dead/unreachable rules, UPA witnesses,
+//!   vacuous content, fragment/blow-up advisories (`bonxai lint`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,6 +31,7 @@ pub mod bxsd;
 pub mod constraints;
 pub mod dtd_import;
 pub mod lang;
+pub mod lint;
 pub mod pipeline;
 pub mod schema;
 pub mod semantics;

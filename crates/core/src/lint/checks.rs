@@ -1,0 +1,576 @@
+//! The individual lint checks, driven by [`lint_ast`] (BonXai) and
+//! [`lint_xsd`] (loaded XSDs).
+//!
+//! Every check is a decision procedure on regular languages, so each
+//! diagnostic is *proved*, not guessed: dead rules come with the shortest
+//! shadowed path, UPA violations with the shortest ambiguous child
+//! sequence, and the reachability analysis explores only ancestor paths
+//! that some document can actually realize under the priority semantics.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use relang::ops::language::{difference_witness, intersection_witness};
+use relang::ops::{minimize, regex_to_dfa, RelevanceProduct};
+use relang::regex::determinism::{check_deterministic_witness, NonDeterminism, UpaWitness};
+use relang::regex::props::is_empty_language;
+use relang::{Alphabet, Dfa, Regex, StateId, Sym};
+use xsd::{ContentModel, Xsd};
+
+use crate::bxsd::Bxsd;
+use crate::lang::ast::{SchemaAst, Span};
+use crate::lang::lower::lower_lenient;
+use crate::lint::{Code, Diagnostic, LintOptions, LintReport};
+use crate::translate::classify_bxsd;
+
+/// Lints a parsed BonXai schema: lowers it leniently and runs every
+/// check, attaching the source span of each offending rule.
+pub fn lint_ast(ast: &SchemaAst, opts: &LintOptions) -> LintReport {
+    let mut report = LintReport::default();
+    let lowered = lower_lenient(ast);
+    let bxsd = &lowered.bxsd;
+    let n = bxsd.ename.len();
+
+    // BX005: structural problems collected by the lenient lowering.
+    for issue in &lowered.issues {
+        let rule = &ast.rules[issue.rule];
+        let message = if issue.attribute_rule {
+            format!("attribute rule {}", issue.message)
+        } else {
+            issue.message.clone()
+        };
+        report.diagnostics.push(Diagnostic {
+            code: Code::UndefinedReference,
+            span: rule.span,
+            subject: rule.pattern.source.clone(),
+            message,
+            witness: None,
+        });
+    }
+
+    // Per-rule provenance: BXSD rule index → source span / LHS text.
+    let src = |i: usize| &ast.rules[lowered.rule_source[i]];
+
+    // BX003: UPA with a shortest ambiguous child sequence.
+    for (i, rule) in bxsd.rules.iter().enumerate() {
+        if let Err(w) = check_deterministic_witness(&rule.content.regex) {
+            report.diagnostics.push(upa_diagnostic(
+                &w,
+                &bxsd.ename,
+                src(i).span,
+                src(i).pattern.source.clone(),
+            ));
+        }
+    }
+
+    // BX004: content models that admit nothing.
+    for (i, rule) in bxsd.rules.iter().enumerate() {
+        if let Some(reason) = vacuous_reason(&rule.content) {
+            report.diagnostics.push(Diagnostic {
+                code: Code::VacuousContent,
+                span: src(i).span,
+                subject: src(i).pattern.source.clone(),
+                message: format!("rule can never be satisfied: {reason}"),
+                witness: None,
+            });
+        }
+    }
+
+    if opts.structural_only {
+        return report.finish(opts);
+    }
+
+    // BX002: reachability under the priority semantics (budgeted), then
+    // BX001 (dead rules) for the rules that *are* reachable — a rule
+    // gets one of the two diagnoses, with unreachability the stronger.
+    let reach = reachable_rules(bxsd, opts.reach_budget);
+    let mut unreachable = vec![false; bxsd.rules.len()];
+    match reach {
+        Some(reached) => {
+            for (i, rule) in bxsd.rules.iter().enumerate() {
+                if reached[i] {
+                    continue;
+                }
+                unreachable[i] = true;
+                let message = if is_empty_language(&rule.ancestor) {
+                    "rule is unreachable: its pattern matches no ancestor path at all".to_string()
+                } else {
+                    "rule is unreachable: no document can realize an ancestor path \
+                     matching its pattern"
+                        .to_string()
+                };
+                report.diagnostics.push(Diagnostic {
+                    code: Code::UnreachableRule,
+                    span: src(i).span,
+                    subject: src(i).pattern.source.clone(),
+                    message,
+                    witness: None,
+                });
+            }
+        }
+        None => {
+            // Budget blown: still report the trivial cases (empty
+            // pattern language needs no reachability analysis).
+            for (i, rule) in bxsd.rules.iter().enumerate() {
+                if is_empty_language(&rule.ancestor) {
+                    unreachable[i] = true;
+                    report.diagnostics.push(Diagnostic {
+                        code: Code::UnreachableRule,
+                        span: src(i).span,
+                        subject: src(i).pattern.source.clone(),
+                        message: "rule is unreachable: its pattern matches no ancestor \
+                                  path at all"
+                            .to_string(),
+                        witness: None,
+                    });
+                }
+            }
+            report.diagnostics.push(Diagnostic {
+                code: Code::BudgetExceeded,
+                span: Span::default(),
+                subject: "reachability".to_string(),
+                message: format!(
+                    "reachability analysis exceeded its budget of {} states; \
+                     the unreachable-rule check was skipped",
+                    opts.reach_budget
+                ),
+                witness: None,
+            });
+        }
+    }
+
+    // BX001: dead rules (language-level shadowing by later rules).
+    for (i, rule) in bxsd.rules.iter().enumerate() {
+        if unreachable[i] || is_empty_language(&rule.ancestor) {
+            continue;
+        }
+        let later = Regex::alt(
+            bxsd.rules[i + 1..]
+                .iter()
+                .map(|r| r.ancestor.clone())
+                .collect(),
+        );
+        if difference_witness(&rule.ancestor, &later, n).is_some() {
+            continue;
+        }
+        let word = regex_to_dfa(&rule.ancestor, n)
+            .shortest_accepted_word()
+            .unwrap_or_default();
+        let winner = bxsd.relevant_rule(&word);
+        let witness = winner.map(|j| {
+            format!(
+                "{} is claimed by rule {} `{}`",
+                render_path(&word, &bxsd.ename),
+                j + 1,
+                src(j).pattern.source
+            )
+        });
+        report.diagnostics.push(Diagnostic {
+            code: Code::DeadRule,
+            span: src(i).span,
+            subject: src(i).pattern.source.clone(),
+            message: "rule is dead: every ancestor path it matches is also matched \
+                      by a later rule, which takes priority"
+                .to_string(),
+            witness,
+        });
+    }
+
+    // BX006: element names that occur in content models (or as roots)
+    // but are never the last step of any rule pattern — nodes with such
+    // names are always unconstrained (no relevant rule).
+    let mut used: BTreeSet<Sym> = bxsd.start.iter().copied().collect();
+    let mut anything_open = false;
+    for rule in &bxsd.rules {
+        if rule.content.open {
+            anything_open = true;
+        }
+        used.extend(rule.content.regex.symbols());
+    }
+    if anything_open {
+        used.extend(bxsd.ename.symbols());
+    }
+    let any_path = Regex::star(Regex::sym_set(bxsd.ename.symbols()));
+    for &sym in &used {
+        let ends_with = Regex::concat(vec![any_path.clone(), Regex::sym(sym)]);
+        let constrained = bxsd
+            .rules
+            .iter()
+            .any(|r| intersection_witness(&r.ancestor, &ends_with, n).is_some());
+        if !constrained {
+            report.diagnostics.push(Diagnostic {
+                code: Code::UnconstrainedElement,
+                span: Span::default(),
+                subject: bxsd.ename.name(sym).to_string(),
+                message: format!(
+                    "no rule ever applies to element \"{}\": its nodes are \
+                     unconstrained (any children, attributes, and text allowed)",
+                    bxsd.ename.name(sym)
+                ),
+                witness: None,
+            });
+        }
+    }
+
+    // BX007: k-suffix fragment advisory (Theorems 9/12/13).
+    let fragment = match classify_bxsd(bxsd) {
+        Some((_, k)) => Diagnostic {
+            code: Code::FragmentAdvisory,
+            span: Span::default(),
+            subject: "fragment".to_string(),
+            message: format!(
+                "schema lies in the k-suffix fragment (k = {k}): the linear-size \
+                 DTD-style translation to XSD applies (Theorem 13)"
+            ),
+            witness: None,
+        },
+        None => Diagnostic {
+            code: Code::FragmentAdvisory,
+            span: Span::default(),
+            subject: "fragment".to_string(),
+            message: "schema is outside the k-suffix fragment: translation to XSD \
+                      goes through an automaton construction and may grow \
+                      exponentially (Theorem 9)"
+                .to_string(),
+            witness: None,
+        },
+    };
+    report.diagnostics.push(fragment);
+
+    // BX008: relevance-product blow-up probe (same budget as the
+    // validator's default).
+    let ancestor_dfas: Vec<Dfa> = bxsd
+        .rules
+        .iter()
+        .map(|r| regex_to_dfa(&r.ancestor, n))
+        .collect();
+    if RelevanceProduct::build(n, &ancestor_dfas, opts.product_budget).is_none() {
+        report.diagnostics.push(Diagnostic {
+            code: Code::ProductBlowup,
+            span: Span::default(),
+            subject: "relevance-product".to_string(),
+            message: format!(
+                "relevance product over the rule patterns exceeds {} states: \
+                 validation falls back to per-node rule matching and the XSD \
+                 translation may be very large",
+                opts.product_budget
+            ),
+            witness: None,
+        });
+    }
+
+    report.finish(opts)
+}
+
+/// Lints a loaded XSD: mirrors the UPA (BX003), vacuous-content (BX004),
+/// and referential-integrity (BX005) checks on each complex type. The
+/// schema is expected to come from
+/// [`xsd::syntax::parse_xsd_unchecked`]; a fully checked [`Xsd`] lints
+/// clean by construction.
+pub fn lint_xsd(xsd: &Xsd, opts: &LintOptions) -> LintReport {
+    let mut report = LintReport::default();
+    let n = xsd.n_types();
+
+    // BX005: duplicate type names survive only in unchecked schemas.
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for t in xsd.type_ids() {
+        let name = xsd.type_name(t);
+        if !seen.insert(name) {
+            report.diagnostics.push(Diagnostic {
+                code: Code::UndefinedReference,
+                span: Span::default(),
+                subject: name.to_string(),
+                message: format!("duplicate type name {name:?}"),
+                witness: None,
+            });
+        }
+    }
+
+    for t in xsd.type_ids() {
+        let name = xsd.type_name(t).to_string();
+        let content = xsd.content(t);
+
+        // BX003: UPA per content model, with witness.
+        if let Err(w) = check_deterministic_witness(&content.regex) {
+            report.diagnostics.push(upa_diagnostic(
+                &w,
+                &xsd.ename,
+                Span::default(),
+                name.clone(),
+            ));
+        }
+
+        // BX004: vacuous content models.
+        if let Some(reason) = vacuous_reason(content) {
+            report.diagnostics.push(Diagnostic {
+                code: Code::VacuousContent,
+                span: Span::default(),
+                subject: name.clone(),
+                message: format!("type can never be satisfied: {reason}"),
+                witness: None,
+            });
+        }
+
+        // BX005: every child element must have a typing (EDC gives
+        // uniqueness by construction; existence can still fail).
+        let syms: BTreeSet<Sym> = content.regex.symbols().into_iter().collect();
+        for sym in syms {
+            match xsd.child_type(t, sym) {
+                None => report.diagnostics.push(Diagnostic {
+                    code: Code::UndefinedReference,
+                    span: Span::default(),
+                    subject: name.clone(),
+                    message: format!(
+                        "type {name:?} gives no type to its child element \"{}\"",
+                        &xsd.ename.name(sym)
+                    ),
+                    witness: None,
+                }),
+                Some(id) if id.index() >= n => report.diagnostics.push(Diagnostic {
+                    code: Code::UndefinedReference,
+                    span: Span::default(),
+                    subject: name.clone(),
+                    message: format!(
+                        "type {name:?} types its child element \"{}\" with a \
+                         dangling type id",
+                        &xsd.ename.name(sym)
+                    ),
+                    witness: None,
+                }),
+                Some(_) => {}
+            }
+        }
+    }
+
+    for (sym, t) in xsd.start_elements() {
+        if t.index() >= n {
+            report.diagnostics.push(Diagnostic {
+                code: Code::UndefinedReference,
+                span: Span::default(),
+                subject: xsd.ename.name(*sym).to_string(),
+                message: format!(
+                    "root element \"{}\" references a dangling type id",
+                    &xsd.ename.name(*sym)
+                ),
+                witness: None,
+            });
+        }
+    }
+
+    // BX007: k-suffix fragment advisory, mirroring the BonXai arm. The
+    // classifier needs a well-formed schema (its automaton construction
+    // assumes UPA and resolved references), so skip it when any
+    // error-level finding was already reported.
+    let structurally_sound = !report
+        .diagnostics
+        .iter()
+        .any(|d| d.severity() == crate::lint::Severity::Error);
+    if !opts.structural_only && structurally_sound {
+        let advisory = match xsd_fragment(xsd) {
+            Some(k) => format!(
+                "schema lies in the k-suffix fragment (k = {k}): the polynomial \
+                 XSD → BonXai translation applies (Theorem 12)"
+            ),
+            None => format!(
+                "schema is outside the k-suffix fragment (k ≤ {MAX_FRAGMENT_K}): \
+                 the BonXai translation goes through the general algorithm and \
+                 may produce large ancestor patterns (Theorem 8)"
+            ),
+        };
+        report.diagnostics.push(Diagnostic {
+            code: Code::FragmentAdvisory,
+            span: Span::default(),
+            subject: "fragment".to_string(),
+            message: advisory,
+            witness: None,
+        });
+    }
+
+    report.finish(opts)
+}
+
+/// The largest k the fragment classifier tries before giving up.
+pub const MAX_FRAGMENT_K: usize = 5;
+
+/// State budget for the k-suffix decision procedure on XSDs.
+const FRAGMENT_BUDGET: usize = 2_000_000;
+
+/// The minimal k for which a loaded XSD lies in the k-suffix fragment
+/// (checked up to [`MAX_FRAGMENT_K`]), or `None` when it does not.
+/// Shared by the BX007 advisory and `bonxai analyze`.
+pub fn xsd_fragment(xsd: &Xsd) -> Option<usize> {
+    xsd::minimal_k(
+        &crate::translate::xsd_to_dfa_xsd(xsd),
+        MAX_FRAGMENT_K,
+        FRAGMENT_BUDGET,
+    )
+}
+
+/// Builds the BX003 diagnostic from a UPA witness, rendering positions
+/// and words with real element names.
+fn upa_diagnostic(w: &UpaWitness, names: &Alphabet, span: Span, subject: String) -> Diagnostic {
+    let (message, witness) = match (&w.violation, w.sym) {
+        (NonDeterminism::AmbiguousFirst { .. }, Some(sym)) => (
+            format!(
+                "content model violates UPA: at the start of the content, element \
+                 \"{}\" matches two competing occurrences",
+                names.name(sym)
+            ),
+            Some(render_children(&w.word(), names)),
+        ),
+        (NonDeterminism::AmbiguousFollow { .. }, Some(sym)) => (
+            format!(
+                "content model violates UPA: after reading \"{}\", element \"{}\" \
+                 matches two competing occurrences",
+                render_children(&w.prefix, names),
+                names.name(sym)
+            ),
+            Some(render_children(&w.word(), names)),
+        ),
+        (NonDeterminism::DuplicateAllOperand { sym }, _) => (
+            format!(
+                "content model violates UPA: interleaving declares element \"{}\" twice",
+                names.name(*sym)
+            ),
+            None,
+        ),
+        (violation, _) => (format!("content model violates UPA: {violation}"), None),
+    };
+    Diagnostic {
+        code: Code::UpaViolation,
+        span,
+        subject,
+        message,
+        witness,
+    }
+}
+
+/// Why a content model admits no node at all, if it doesn't.
+fn vacuous_reason(content: &ContentModel) -> Option<String> {
+    if content.open {
+        return None;
+    }
+    if let Some(st) = content.simple_content {
+        let f = &content.simple_facets;
+        if !f.enumeration.is_empty()
+            && !f
+                .enumeration
+                .iter()
+                .any(|v| st.validates(v) && f.validates(st, v))
+        {
+            return Some(format!(
+                "no enumeration value is a valid {st:?}, so no text content is accepted"
+            ));
+        }
+        return None;
+    }
+    if is_empty_language(&content.regex) {
+        return Some("the content model matches no child sequence, not even the empty one".into());
+    }
+    None
+}
+
+/// Which rules are matched by at least one *realizable* ancestor path:
+/// a breadth-first search over tuples of per-rule ancestor-DFA states,
+/// extending each path only by element names the relevant rule's content
+/// model actually allows (all names when a node is unconstrained or its
+/// content is open). Returns `None` when more than `budget` tuples were
+/// generated.
+fn reachable_rules(bxsd: &Bxsd, budget: usize) -> Option<Vec<bool>> {
+    let n = bxsd.ename.len();
+    let n_rules = bxsd.rules.len();
+    let all_syms: Vec<Sym> = bxsd.ename.symbols().collect();
+
+    // Completed + minimized ancestor DFAs keep the tuple space small and
+    // make every transition total.
+    let dfas: Vec<Dfa> = bxsd
+        .rules
+        .iter()
+        .map(|r| {
+            let mut d = regex_to_dfa(&r.ancestor, n);
+            d.complete();
+            minimize(&d)
+        })
+        .collect();
+
+    // Element names each rule's content allows as children.
+    let child_syms: Vec<Vec<Sym>> = bxsd
+        .rules
+        .iter()
+        .map(|r| {
+            if r.content.open {
+                all_syms.clone()
+            } else if r.content.simple_content.is_some() {
+                Vec::new()
+            } else {
+                let set: BTreeSet<Sym> = r.content.regex.symbols().into_iter().collect();
+                set.into_iter().collect()
+            }
+        })
+        .collect();
+
+    let step = |tuple: &[StateId], sym: Sym| -> Vec<StateId> {
+        tuple
+            .iter()
+            .zip(&dfas)
+            .map(|(&q, d)| d.transition(q, sym).expect("completed DFA is total"))
+            .collect()
+    };
+    // Largest matching rule index = the relevant rule (Definition 1).
+    let relevant = |tuple: &[StateId]| -> Option<usize> {
+        (0..n_rules).rev().find(|&i| dfas[i].is_final(tuple[i]))
+    };
+
+    let mut reached = vec![false; n_rules];
+    let mut visited: HashSet<Vec<StateId>> = HashSet::new();
+    let mut queue: VecDeque<Vec<StateId>> = VecDeque::new();
+    let root: Vec<StateId> = dfas.iter().map(|d| d.initial()).collect();
+    for &s in &bxsd.start {
+        let t = step(&root, s);
+        if visited.insert(t.clone()) {
+            queue.push_back(t);
+        }
+    }
+    while let Some(tuple) = queue.pop_front() {
+        if visited.len() > budget {
+            return None;
+        }
+        for i in 0..n_rules {
+            if dfas[i].is_final(tuple[i]) {
+                reached[i] = true;
+            }
+        }
+        let next_syms = match relevant(&tuple) {
+            Some(i) => &child_syms[i],
+            None => &all_syms, // unconstrained node: any children
+        };
+        for &s in next_syms {
+            let t = step(&tuple, s);
+            if visited.insert(t.clone()) {
+                queue.push_back(t);
+            }
+        }
+    }
+    Some(reached)
+}
+
+/// Renders an ancestor path with element names, `/`-separated.
+fn render_path(word: &[Sym], names: &Alphabet) -> String {
+    if word.is_empty() {
+        return "ε".to_string();
+    }
+    word.iter()
+        .map(|&s| names.name(s))
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Renders a child sequence with element names, space-separated.
+fn render_children(word: &[Sym], names: &Alphabet) -> String {
+    if word.is_empty() {
+        return "ε".to_string();
+    }
+    word.iter()
+        .map(|&s| names.name(s))
+        .collect::<Vec<_>>()
+        .join(" ")
+}

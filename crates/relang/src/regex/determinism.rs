@@ -164,6 +164,109 @@ pub fn is_deterministic(r: &Regex) -> bool {
     check_deterministic(r).is_ok()
 }
 
+/// A UPA violation together with a shortest witness word leading to it.
+///
+/// The `prefix` is a shortest word such that, after reading it, the very
+/// next occurrence of `sym` is matched by two distinct positions of the
+/// Glushkov automaton — the ambiguity the one-unambiguity condition
+/// forbids. `prefix` is empty for ambiguities at the start of a match
+/// (and for the structural interleave/counting violations, where no word
+/// exhibits the problem).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpaWitness {
+    /// The underlying violation (position pair included).
+    pub violation: NonDeterminism,
+    /// Shortest word read before the ambiguity arises.
+    pub prefix: Vec<Sym>,
+    /// The contested next symbol, when the violation is an ambiguity.
+    pub sym: Option<Sym>,
+}
+
+impl UpaWitness {
+    /// The witness word including the contested symbol: reading this word
+    /// forces the ambiguous choice at its last symbol.
+    pub fn word(&self) -> Vec<Sym> {
+        let mut w = self.prefix.clone();
+        w.extend(self.sym);
+        w
+    }
+}
+
+/// Like [`check_deterministic`], but on failure also computes a shortest
+/// witness word exhibiting the ambiguity (via BFS over the Glushkov
+/// `follow` relation from the `first` positions).
+pub fn check_deterministic_witness(r: &Regex) -> Result<(), UpaWitness> {
+    let violation = match check_deterministic(r) {
+        Ok(()) => return Ok(()),
+        Err(v) => v,
+    };
+    Err(match &violation {
+        NonDeterminism::AmbiguousFirst { sym, .. } => UpaWitness {
+            prefix: Vec::new(),
+            sym: Some(*sym),
+            violation,
+        },
+        NonDeterminism::AmbiguousFollow { after, sym, .. } => {
+            let core = if r.is_core() {
+                r.clone()
+            } else {
+                r.desugar(DESUGAR_BUDGET)
+                    .expect("desugared successfully during check")
+            };
+            let p = positions(&core).expect("desugared expression is core");
+            UpaWitness {
+                prefix: shortest_word_to(&p, *after),
+                sym: Some(*sym),
+                violation,
+            }
+        }
+        _ => UpaWitness {
+            prefix: Vec::new(),
+            sym: None,
+            violation,
+        },
+    })
+}
+
+/// A shortest word of position symbols along a `first → follow* → target`
+/// path ending at (and including) `target`. The Glushkov construction
+/// guarantees every position is reachable this way.
+fn shortest_word_to(p: &crate::regex::props::Positions, target: Pos) -> Vec<Sym> {
+    let mut pred: Vec<Option<Pos>> = vec![None; p.syms.len()];
+    let mut seen = vec![false; p.syms.len()];
+    let mut queue = std::collections::VecDeque::new();
+    for &f in &p.first {
+        if f == target {
+            return vec![p.syms[target]];
+        }
+        seen[f] = true;
+        queue.push_back(f);
+    }
+    while let Some(q) = queue.pop_front() {
+        for &next in &p.follow[q] {
+            if seen[next] {
+                continue;
+            }
+            seen[next] = true;
+            pred[next] = Some(q);
+            if next == target {
+                let mut path = vec![target];
+                let mut cur = target;
+                while let Some(prev) = pred[cur] {
+                    path.push(prev);
+                    cur = prev;
+                }
+                path.reverse();
+                return path.into_iter().map(|pos| p.syms[pos]).collect();
+            }
+            queue.push_back(next);
+        }
+    }
+    // Unreachable positions cannot occur in a Glushkov automaton built
+    // from a trim expression; fall back to the empty prefix.
+    Vec::new()
+}
+
 /// The symbol of an interleaving operand of the restricted form.
 fn interleave_operand_symbol(r: &Regex) -> Option<Sym> {
     match r {
@@ -276,5 +379,70 @@ mod tests {
     fn epsilon_and_empty_are_deterministic() {
         assert!(is_deterministic(&Regex::Epsilon));
         assert!(is_deterministic(&Regex::Empty));
+    }
+
+    #[test]
+    fn witness_for_ambiguous_first_is_one_symbol() {
+        // a b + a c — the ambiguity is at the very first symbol.
+        let r = Regex::alt(vec![
+            Regex::concat(vec![s(0), s(1)]),
+            Regex::concat(vec![s(0), s(2)]),
+        ]);
+        let w = check_deterministic_witness(&r).unwrap_err();
+        assert!(w.prefix.is_empty());
+        assert_eq!(w.sym, Some(Sym(0)));
+        assert_eq!(w.word(), vec![Sym(0)]);
+    }
+
+    #[test]
+    fn witness_for_ambiguous_follow_is_shortest() {
+        // x (b c + b d): after reading x, the next b is ambiguous.
+        let r = Regex::concat(vec![
+            s(9),
+            Regex::alt(vec![
+                Regex::concat(vec![s(1), s(2)]),
+                Regex::concat(vec![s(1), s(3)]),
+            ]),
+        ]);
+        let w = check_deterministic_witness(&r).unwrap_err();
+        assert_eq!(w.prefix, vec![Sym(9)]);
+        assert_eq!(w.sym, Some(Sym(1)));
+        assert_eq!(w.word(), vec![Sym(9), Sym(1)]);
+    }
+
+    #[test]
+    fn witness_threads_through_star_loops() {
+        // (a b)* a? — the ambiguity arises after b (loop back to a vs. tail a).
+        let r = Regex::concat(vec![
+            Regex::star(Regex::concat(vec![s(0), s(1)])),
+            Regex::opt(s(0)),
+        ]);
+        let w = check_deterministic_witness(&r).unwrap_err();
+        // first is already ambiguous here (loop a vs. tail a), so prefix ε
+        // — or the checker reports a follow ambiguity after b. Accept both
+        // but demand a well-formed witness ending on the contested symbol.
+        assert_eq!(w.sym, Some(Sym(0)));
+        assert_eq!(w.word().last(), Some(&Sym(0)));
+    }
+
+    #[test]
+    fn witness_for_counted_desugaring_has_real_symbols() {
+        // (a?){2,2} a — ambiguity appears in the desugared expression, but
+        // the witness word must be over the original alphabet.
+        let r = Regex::concat(vec![
+            Regex::Repeat(Box::new(Regex::opt(s(0))), 2, UpperBound::Finite(2)),
+            s(0),
+        ]);
+        let w = check_deterministic_witness(&r).unwrap_err();
+        assert_eq!(w.sym, Some(Sym(0)));
+        assert!(w.word().iter().all(|&sy| sy == Sym(0)));
+    }
+
+    #[test]
+    fn structural_violations_have_no_word() {
+        let r = Regex::Interleave(vec![s(0), Regex::opt(s(0))]);
+        let w = check_deterministic_witness(&r).unwrap_err();
+        assert_eq!(w.sym, None);
+        assert!(w.word().is_empty());
     }
 }

@@ -36,6 +36,6 @@ pub use ksuffix::{is_k_suffix, minimal_k, KSuffixOutcome};
 pub use minimize::minimize_types;
 pub use model::{TypeDef, TypeId, Xsd, XsdBuilder, XsdError};
 pub use simple_types::SimpleType;
-pub use syntax::{emit_xsd, parse_xsd, parse_xsd_doc};
+pub use syntax::{emit_xsd, parse_xsd, parse_xsd_doc, parse_xsd_unchecked};
 pub use validate::{is_valid, validate, CompiledXsd, TypingResult};
 pub use violation::{Violation, ViolationKind};

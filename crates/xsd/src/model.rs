@@ -134,6 +134,26 @@ impl Xsd {
         Ok(xsd)
     }
 
+    /// Assembles an XSD without running [`Xsd::new`]'s checks.
+    ///
+    /// UPA, child-typing completeness, referential integrity, and name
+    /// uniqueness are all skipped (duplicate names are kept; lookups find
+    /// the first). For analysis tooling that diagnoses those problems
+    /// itself — validation against such a schema is not meaningful.
+    pub fn new_unchecked(
+        ename: Alphabet,
+        types: Vec<(String, TypeDef)>,
+        t0: BTreeMap<Sym, TypeId>,
+    ) -> Xsd {
+        let (type_names, defs) = types.into_iter().unzip();
+        Xsd {
+            ename,
+            type_names,
+            types: defs,
+            t0,
+        }
+    }
+
     fn check(&self) -> Result<(), XsdError> {
         let n = self.types.len();
         for (name, def) in self.type_names.iter().zip(&self.types) {
@@ -269,6 +289,11 @@ impl XsdBuilder {
     /// Finalizes, running all checks.
     pub fn build(self) -> Result<Xsd, XsdError> {
         Xsd::new(self.ename, self.types, self.t0)
+    }
+
+    /// Finalizes without checks; see [`Xsd::new_unchecked`].
+    pub fn build_unchecked(self) -> Xsd {
+        Xsd::new_unchecked(self.ename, self.types, self.t0)
     }
 }
 

@@ -17,6 +17,18 @@ use crate::syntax::parse::SyntaxError;
 
 /// Lowers a surface schema into the formal core model.
 pub fn lower(schema: &SchemaDoc) -> Result<Xsd, SyntaxError> {
+    lower_impl(schema, true)
+}
+
+/// Lowers a surface schema without the final core checks (UPA, child
+/// typing completeness). Structural errors — unknown types, cyclic
+/// groups, EDC violations, bad facets — are still hard errors. Used by
+/// analysis tooling that reports UPA violations itself.
+pub fn lower_unchecked(schema: &SchemaDoc) -> Result<Xsd, SyntaxError> {
+    lower_impl(schema, false)
+}
+
+fn lower_impl(schema: &SchemaDoc, checked: bool) -> Result<Xsd, SyntaxError> {
     let mut lw = Lowerer {
         builder: XsdBuilder::new(),
         named: BTreeMap::new(),
@@ -25,15 +37,23 @@ pub fn lower(schema: &SchemaDoc) -> Result<Xsd, SyntaxError> {
         empty_cache: None,
         synth_counter: 0,
     };
+    let mut ids = Vec::with_capacity(schema.named_types.len());
     for (name, _) in &schema.named_types {
         if lw.named.contains_key(name.as_str()) {
-            return Err(SyntaxError::new(format!("duplicate type name {name}")));
+            if checked {
+                return Err(SyntaxError::new(format!("duplicate type name {name}")));
+            }
+            // Unchecked mode keeps the duplicate as its own entry so
+            // analysis tooling can report it; references resolve to the
+            // first declaration.
+            ids.push(lw.builder.declare_type(name));
+            continue;
         }
         let id = lw.builder.declare_type(name);
         lw.named.insert(name.clone(), id);
+        ids.push(id);
     }
-    for (name, ct) in &schema.named_types {
-        let id = lw.named[name.as_str()];
+    for ((name, ct), &id) in schema.named_types.iter().zip(&ids) {
         let def = lw.lower_complex(ct, name)?;
         lw.builder.define(id, def);
     }
@@ -42,9 +62,13 @@ pub fn lower(schema: &SchemaDoc) -> Result<Xsd, SyntaxError> {
         let sym = lw.builder.ename.intern(&decl.name);
         lw.builder.add_start(sym, t);
     }
-    lw.builder
-        .build()
-        .map_err(|e| SyntaxError::new(format!("schema is not a valid core XSD: {e}")))
+    if checked {
+        lw.builder
+            .build()
+            .map_err(|e| SyntaxError::new(format!("schema is not a valid core XSD: {e}")))
+    } else {
+        Ok(lw.builder.build_unchecked())
+    }
 }
 
 struct Lowerer<'a> {

@@ -46,6 +46,16 @@ pub fn parse_xsd_doc(doc: &xmltree::Document) -> Result<Xsd, SyntaxError> {
     lower::lower(&surface)
 }
 
+/// Parses XSD XML text without the final core checks (UPA, child-typing
+/// completeness); see [`crate::model::Xsd::new_unchecked`]. Well-formedness
+/// and structural errors are still hard errors.
+pub fn parse_xsd_unchecked(source: &str) -> Result<Xsd, SyntaxError> {
+    let doc = xmltree::parse_document(source)
+        .map_err(|e| SyntaxError::new(format!("not well-formed XML: {e}")))?;
+    let surface = read_schema_doc(&doc)?;
+    lower::lower_unchecked(&surface)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

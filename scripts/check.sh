@@ -1,14 +1,35 @@
 #!/usr/bin/env bash
 # The tier-1 gate: release build, full test suite, a warning-free
 # clippy pass over every target in the workspace (vendor stand-ins
-# included), canonical formatting, and a parse-only front-end
-# microbench as a smoke check that the zero-copy reader still runs.
+# included), canonical formatting, a parse-only front-end microbench
+# as a smoke check that the zero-copy reader still runs, and the
+# lint-corpus golden check (every seeded-defect fixture must produce
+# exactly its checked-in JSON report — codes, spans, witnesses).
 # CI and pre-commit both run exactly this.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+cargo build --release --workspace
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 cargo run --release -p bonxai-bench --bin exp_validation -- --parse-only
+
+# Lint corpus: `bonxai lint --format json` over examples/lint/ diffed
+# against the golden reports. Exit 1 from the linter just means the
+# fixture has error-level findings (it should); anything worse is a bug.
+BONXAI=target/release/bonxai
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+for f in examples/lint/*.bonxai examples/lint/*.xsd; do
+  base=$(basename "$f")
+  status=0
+  "$BONXAI" lint "$f" --format json --notes > "$tmp" || status=$?
+  if [ "$status" -gt 1 ]; then
+    echo "lint crashed on $f (exit $status)" >&2
+    exit 1
+  fi
+  diff -u "examples/lint/golden/$base.json" "$tmp" \
+    || { echo "lint golden mismatch: $f" >&2; exit 1; }
+done
+echo "lint corpus: $(ls examples/lint/golden | wc -l) golden reports match"

@@ -6,6 +6,7 @@ use proptest::prelude::*;
 
 use bonxai::core::lang::{
     AncestorPattern, AttributeItem, ChildPattern, Particle, PathExpr, RuleAst, RuleBody, SchemaAst,
+    Span,
 };
 use bonxai::core::BonxaiSchema;
 use bonxai::xsd::SimpleType;
@@ -105,6 +106,7 @@ fn rule() -> impl Strategy<Value = RuleAst> {
                 source: String::new(),
             },
             body,
+            span: Span::default(),
         }
     })
 }

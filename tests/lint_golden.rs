@@ -1,0 +1,185 @@
+//! Golden-file tests for the lint pass: every seeded-defect fixture in
+//! `examples/lint/` must produce exactly the checked-in JSON report
+//! (stable code, span, witness), the clean paper schemas must lint
+//! clean, and the JSON renderer must be byte-deterministic.
+
+use std::fs;
+use std::path::Path;
+
+use bonxai::core::lang::parse_schema;
+use bonxai::core::lint::{
+    lint_ast, lint_source, lint_xsd, render_json, Code, LintOptions, LintReport,
+};
+
+/// Lints one fixture the way `bonxai lint --format json --notes` does.
+fn lint_fixture(path: &Path) -> LintReport {
+    let text = fs::read_to_string(path).unwrap();
+    let opts = LintOptions {
+        include_notes: true,
+        ..LintOptions::default()
+    };
+    if path.extension().is_some_and(|e| e == "xsd") {
+        let xsd = bonxai::xsd::parse_xsd_unchecked(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        lint_xsd(&xsd, &opts)
+    } else {
+        lint_source(&text, &opts).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+    }
+}
+
+/// The fixture set: file name → codes the seeded defects must trigger.
+const EXPECTED: &[(&str, &[Code])] = &[
+    ("dead_rule.bonxai", &[Code::DeadRule]),
+    ("unreachable.bonxai", &[Code::UnreachableRule]),
+    ("upa.bonxai", &[Code::UpaViolation]),
+    ("vacuous.bonxai", &[Code::VacuousContent]),
+    (
+        "undefined_group.bonxai",
+        &[Code::UndefinedReference, Code::UndefinedReference],
+    ),
+    ("unconstrained.bonxai", &[Code::UnconstrainedElement]),
+    ("fragment_general.bonxai", &[]),
+    ("upa.xsd", &[Code::UpaViolation]),
+    ("duplicate_type.xsd", &[Code::UndefinedReference]),
+];
+
+#[test]
+fn fixtures_trigger_their_seeded_codes() {
+    for (name, codes) in EXPECTED {
+        let path = Path::new("examples/lint").join(name);
+        let report = lint_fixture(&path);
+        let found: Vec<Code> = report
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .filter(|c| *c != Code::FragmentAdvisory)
+            .collect();
+        assert_eq!(&found, codes, "{name}: wrong diagnostic set");
+        // Every BonXai rule-level diagnostic must carry a real span.
+        if name.ends_with(".bonxai") {
+            for d in &report.diagnostics {
+                if d.code != Code::FragmentAdvisory && d.code != Code::UnconstrainedElement {
+                    assert!(d.span.is_known(), "{name}: {} has no span", d.code.as_str());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fixtures_match_golden_json() {
+    let mut checked = 0;
+    for (name, _) in EXPECTED {
+        let path = Path::new("examples/lint").join(name);
+        let report = lint_fixture(&path);
+        let rendered = render_json(&report, &format!("examples/lint/{name}"));
+        let golden_path = Path::new("examples/lint/golden").join(format!("{name}.json"));
+        let golden = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+        assert_eq!(rendered, golden, "{name}: JSON deviates from golden file");
+        checked += 1;
+    }
+    // Every golden file must belong to a live fixture.
+    let n_goldens = fs::read_dir("examples/lint/golden").unwrap().count();
+    assert_eq!(checked, n_goldens, "stale golden files present");
+}
+
+#[test]
+fn witnesses_are_concrete() {
+    let dead = lint_fixture(Path::new("examples/lint/dead_rule.bonxai"));
+    let d = dead
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::DeadRule)
+        .unwrap();
+    assert_eq!(
+        d.witness.as_deref(),
+        Some("doc/a is claimed by rule 3 `a`"),
+        "dead rule must name the shadowing rule with a witness path"
+    );
+
+    let upa = lint_fixture(Path::new("examples/lint/upa.bonxai"));
+    let d = upa
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::UpaViolation)
+        .unwrap();
+    assert_eq!(
+        d.witness.as_deref(),
+        Some("a"),
+        "UPA witness is the shortest word"
+    );
+}
+
+#[test]
+fn clean_schemas_lint_clean() {
+    for path in ["data/figure4.bonxai", "data/figure5.bonxai"] {
+        let text = fs::read_to_string(path).unwrap();
+        let report = lint_source(&text, &LintOptions::default()).unwrap();
+        assert!(
+            report.diagnostics.is_empty(),
+            "{path}: unexpected diagnostics {:?}",
+            report.diagnostics
+        );
+    }
+    let text = fs::read_to_string("data/figure3.xsd").unwrap();
+    let xsd = bonxai::xsd::parse_xsd_unchecked(&text).unwrap();
+    let report = lint_xsd(&xsd, &LintOptions::default());
+    assert!(
+        report.diagnostics.is_empty(),
+        "figure3.xsd: unexpected diagnostics {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn json_output_is_byte_deterministic() {
+    for (name, _) in EXPECTED {
+        let path = Path::new("examples/lint").join(name);
+        let a = render_json(&lint_fixture(&path), name);
+        let b = render_json(&lint_fixture(&path), name);
+        assert_eq!(a, b, "{name}: nondeterministic JSON output");
+    }
+}
+
+#[test]
+fn tiny_budgets_surface_bx008_and_bx009() {
+    let text = fs::read_to_string("data/figure5.bonxai").unwrap();
+    let ast = parse_schema(&text).unwrap();
+    let opts = LintOptions {
+        include_notes: true,
+        reach_budget: 1,
+        product_budget: 1,
+        ..LintOptions::default()
+    };
+    let report = lint_ast(&ast, &opts);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::ProductBlowup),
+        "product budget of 1 must trigger BX008"
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::BudgetExceeded),
+        "reach budget of 1 must trigger BX009"
+    );
+}
+
+#[test]
+fn structural_only_skips_language_analyses() {
+    let text = fs::read_to_string("examples/lint/dead_rule.bonxai").unwrap();
+    let opts = LintOptions {
+        structural_only: true,
+        include_notes: true,
+        ..LintOptions::default()
+    };
+    let report = lint_source(&text, &opts).unwrap();
+    assert!(
+        report.diagnostics.is_empty(),
+        "structural pass must not run the dead-rule analysis"
+    );
+}

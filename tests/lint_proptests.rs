@@ -1,0 +1,51 @@
+//! Property-based tests for the lint pass, driven by the `bonxai-gen`
+//! schema generators: over random schemas (suffix-based and general),
+//! lint must never panic and must be fully deterministic — the same
+//! schema yields byte-identical reports on every run.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use bonxai::core::lang::lift;
+use bonxai::core::lint::{lint_ast, render_json, render_text, LintOptions};
+use bonxai::gen::{random_regular_bxsd, random_suffix_bxsd, SchemaConfig};
+
+/// Lints the lifted surface form of a generated BXSD with notes on.
+fn lint_generated(bxsd: &bonxai::core::Bxsd) -> (String, String) {
+    let ast = lift(bxsd);
+    let opts = LintOptions {
+        include_notes: true,
+        ..LintOptions::default()
+    };
+    let report = lint_ast(&ast, &opts);
+    (render_text(&report, "gen"), render_json(&report, "gen"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lint_never_panics_and_is_deterministic_on_suffix_schemas(seed in any::<u64>()) {
+        let cfg = SchemaConfig::default();
+        let bxsd = random_suffix_bxsd(&cfg, &mut StdRng::seed_from_u64(seed));
+        let (text_a, json_a) = lint_generated(&bxsd);
+        let (text_b, json_b) = lint_generated(&bxsd);
+        prop_assert_eq!(text_a, text_b);
+        prop_assert_eq!(json_a, json_b);
+    }
+
+    #[test]
+    fn lint_never_panics_and_is_deterministic_on_regular_schemas(seed in any::<u64>()) {
+        let cfg = SchemaConfig {
+            n_names: 6,
+            n_rules: 6,
+            ..SchemaConfig::default()
+        };
+        let bxsd = random_regular_bxsd(&cfg, &mut StdRng::seed_from_u64(seed));
+        let (text_a, json_a) = lint_generated(&bxsd);
+        let (text_b, json_b) = lint_generated(&bxsd);
+        prop_assert_eq!(text_a, text_b);
+        prop_assert_eq!(json_a, json_b);
+    }
+}
