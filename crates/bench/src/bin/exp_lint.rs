@@ -9,27 +9,52 @@
 //! exponential tail. This harness lints the 225-schema `web_corpus` and
 //! reports per-class timing plus the diagnostic mix.
 //!
-//! Run with `--json` for machine-readable output.
+//! Run with `--json` for machine-readable output, `--jobs N` to set the
+//! worker count (default: one per core, clamped to the core count).
+//!
+//! Schemas are linted in parallel on the `core::batch` work-stealing
+//! pool; every job carries its input index and the aggregation below
+//! walks results in corpus order, so the report — timings aside — is
+//! byte-identical for any `--jobs` value. Each job owns a private
+//! [`AutomataCache`] (per-rule DFAs are shared across the checks of one
+//! schema; the cache is deliberately not `Sync`).
 
 use bonxai_bench::{print_table, timed};
 use bonxai_core::lang::lift;
-use bonxai_core::lint::{lint_ast, Code, LintOptions};
+use bonxai_core::lint::{lint_ast_with, Code, LintOptions, LintReport};
+use bonxai_core::{clamp_jobs, map_indexed};
 use bonxai_gen::web_corpus;
+use relang::AutomataCache;
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let jobs = clamp_jobs(
+        args.iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0),
+    );
     let corpus = web_corpus(2015);
     let opts = LintOptions {
         include_notes: true,
         ..LintOptions::default()
     };
 
+    // (k-class, schema size, lint ms, report), in corpus order.
+    let linted: Vec<(Option<usize>, usize, f64, LintReport)> =
+        map_indexed(corpus.iter().collect(), jobs, |entry| {
+            let ast = lift(&entry.bxsd);
+            let mut cache = AutomataCache::new();
+            let (report, ms) = timed(|| lint_ast_with(&ast, &opts, Some(&mut cache)));
+            (entry.k, entry.bxsd.size(), ms, report)
+        });
+
     // (k-class, schema size, lint ms, diagnostics excluding notes)
     let mut rows: Vec<(Option<usize>, usize, f64, usize)> = Vec::new();
     let mut code_counts: Vec<(Code, usize)> = Vec::new();
-    for entry in &corpus {
-        let ast = lift(&entry.bxsd);
-        let (report, ms) = timed(|| lint_ast(&ast, &opts));
+    for (k, size, ms, report) in &linted {
         let findings = report
             .diagnostics
             .iter()
@@ -41,7 +66,7 @@ fn main() {
                 None => code_counts.push((d.code, 1)),
             }
         }
-        rows.push((entry.k, entry.bxsd.size(), ms, findings));
+        rows.push((*k, *size, *ms, findings));
     }
     code_counts.sort_by_key(|(c, _)| *c);
 

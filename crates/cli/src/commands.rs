@@ -571,17 +571,49 @@ pub fn check(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// Lints one schema file, sharing `cache` across the semantic checks.
+fn lint_one(
+    schema_path: &str,
+    opts: &bonxai_core::lint::LintOptions,
+    cache: &mut relang::AutomataCache,
+) -> Result<bonxai_core::lint::LintReport, String> {
+    use bonxai_core::lint;
+    let text =
+        fs::read_to_string(schema_path).map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+    match detect_kind(schema_path, &text) {
+        "bonxai" => lint::lint_source_with(&text, opts, Some(cache))
+            .map_err(|e| format!("{schema_path}: {e}")),
+        "xsd" => {
+            let x = xsd::parse_xsd_unchecked(&text).map_err(|e| format!("{schema_path}: {e}"))?;
+            Ok(lint::lint_xsd(&x, opts))
+        }
+        _ => {
+            // DTDs have no ancestor patterns of their own: convert with
+            // every declared element as a root, then lint the result.
+            let d = xmltree::dtd::parse_dtd(&text).map_err(|e| format!("{schema_path}: {e}"))?;
+            let roots: Vec<&str> = d.elements.keys().map(String::as_str).collect();
+            let s = dtd_import::dtd_to_bonxai(&d, &roots).map_err(|e| e.to_string())?;
+            Ok(lint::lint_ast_with(&s.ast, opts, Some(cache)))
+        }
+    }
+}
+
 /// `lint <schema>`: the full static-analysis pass — dead and unreachable
 /// rules, UPA violations with witnesses, vacuous content, unconstrained
 /// elements, and (with --notes) fragment/blow-up advisories. Exit status
 /// is nonzero when a finding reaches the --deny level (default: error).
+///
+/// `lint <dir>` lints every `.bonxai` / `.xsd` / `.dtd` file under the
+/// directory (sorted, non-recursive) on the work-stealing pool; output
+/// is concatenated in path order and byte-identical for every `--jobs`
+/// value.
 pub fn lint(args: &[String]) -> Result<ExitCode, String> {
     use bonxai_core::lint::{self, LintOptions, Severity};
     let pos = positional(args);
     let [schema_path] = pos.as_slice() else {
         return Err(
-            "usage: bonxai lint <schema> [--format text|json] [--deny note|warning|error] \
-             [--notes]"
+            "usage: bonxai lint <schema|dir> [--format text|json] [--deny note|warning|error] \
+             [--notes] [--jobs N]"
                 .into(),
         );
     };
@@ -597,28 +629,110 @@ pub fn lint(args: &[String]) -> Result<ExitCode, String> {
         include_notes: has_flag(args, "--notes") || deny == Severity::Note,
         ..LintOptions::default()
     };
-    let text =
-        fs::read_to_string(schema_path).map_err(|e| format!("cannot read {schema_path}: {e}"))?;
-    let report = match detect_kind(schema_path, &text) {
-        "bonxai" => lint::lint_source(&text, &opts).map_err(|e| format!("{schema_path}: {e}"))?,
-        "xsd" => {
-            let x = xsd::parse_xsd_unchecked(&text).map_err(|e| format!("{schema_path}: {e}"))?;
-            lint::lint_xsd(&x, &opts)
-        }
-        _ => {
-            // DTDs have no ancestor patterns of their own: convert with
-            // every declared element as a root, then lint the result.
-            let d = xmltree::dtd::parse_dtd(&text).map_err(|e| format!("{schema_path}: {e}"))?;
-            let roots: Vec<&str> = d.elements.keys().map(String::as_str).collect();
-            let s = dtd_import::dtd_to_bonxai(&d, &roots).map_err(|e| e.to_string())?;
-            lint::lint_ast(&s.ast, &opts)
-        }
-    };
+    if fs::metadata(schema_path)
+        .map(|m| m.is_dir())
+        .unwrap_or(false)
+    {
+        return lint_dir(schema_path, &format, deny, &opts, args);
+    }
+    let mut cache = relang::AutomataCache::new();
+    let report = lint_one(schema_path, &opts, &mut cache)?;
     match format.as_str() {
         "json" => print!("{}", lint::render_json(&report, schema_path)),
         _ => print!("{}", lint::render_text(&report, schema_path)),
     }
     if report.max_severity() >= Some(deny) {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Multi-schema lint: every schema in `dir`, analyzed in parallel on the
+/// batch pool. Each worker job owns its own [`relang::AutomataCache`]
+/// (shared DFAs within a schema; the cache is not `Sync` by design), and
+/// rendering happens on the calling thread in path order, so the bytes
+/// printed are independent of worker count and scheduling.
+fn lint_dir(
+    dir: &str,
+    format: &str,
+    deny: bonxai_core::lint::Severity,
+    opts: &bonxai_core::lint::LintOptions,
+    args: &[String],
+) -> Result<ExitCode, String> {
+    use bonxai_core::lint;
+    let jobs = bonxai_core::clamp_jobs(match flag_value(args, "--jobs") {
+        Some(s) => s
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("--jobs expects a positive integer")?,
+        None => 0,
+    });
+    let mut files: Vec<String> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let ext = path.extension()?.to_str()?.to_ascii_lowercase();
+            if path.is_file() && matches!(ext.as_str(), "bonxai" | "xsd" | "dtd") {
+                Some(path.display().to_string())
+            } else {
+                None
+            }
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .bonxai/.xsd/.dtd schemas in {dir}"));
+    }
+    let results: Vec<(String, Result<lint::LintReport, String>)> =
+        bonxai_core::map_indexed(files, jobs, |path| {
+            let mut cache = relang::AutomataCache::new();
+            let report = lint_one(&path, opts, &mut cache);
+            (path, report)
+        });
+    let mut failed = false;
+    let mut rendered = Vec::with_capacity(results.len());
+    for (path, result) in &results {
+        match result {
+            Err(e) => {
+                failed = true;
+                eprintln!("{e}");
+            }
+            Ok(report) => {
+                if report.max_severity() >= Some(deny) {
+                    failed = true;
+                }
+                rendered.push(match format {
+                    "json" => lint::render_json(report, path),
+                    _ => lint::render_text(report, path),
+                });
+            }
+        }
+    }
+    if format == "json" {
+        // A JSON array of the per-file report objects, each reindented
+        // two spaces so the stream stays one valid document.
+        let mut out = String::from("[\n");
+        for (i, r) in rendered.iter().enumerate() {
+            for line in r.trim_end().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            if i + 1 < rendered.len() {
+                out.truncate(out.trim_end().len());
+                out.push_str(",\n");
+            }
+        }
+        out.push_str("]\n");
+        print!("{out}");
+    } else {
+        for r in &rendered {
+            print!("{r}");
+        }
+    }
+    if failed {
         Ok(ExitCode::FAILURE)
     } else {
         Ok(ExitCode::SUCCESS)

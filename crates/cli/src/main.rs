@@ -58,12 +58,16 @@ COMMANDS:
         references, UPA, vacuous content models), reporting every
         problem with its source span. Nonzero exit on any error.
 
-    lint <schema> [--format text|json] [--deny <level>] [--notes]
+    lint <schema|dir> [--format text|json] [--deny <level>] [--notes]
+         [--jobs N]
         Full static analysis: dead rules (shadowed by later rules, with
         a witness path), unreachable rules, UPA violations with a
         shortest ambiguous word, vacuous content models, unconstrained
         element names, and — with --notes — fragment / blow-up
         advisories (BX007/BX008). Stable diagnostic codes BX001…BX009.
+        Given a directory, lints every .bonxai/.xsd/.dtd file in it in
+        parallel (--jobs workers, clamped to the core count) with
+        byte-identical, path-ordered output for any worker count.
         Exit status is nonzero when a finding reaches the --deny level
         (note|warning|error; default error).
 
@@ -74,7 +78,7 @@ OPTIONS:
     --fast       (validate) require the product-automaton fast path
     --lockstep   (validate) force the lock-step reference evaluator
     --stream     (validate) stream the document in O(depth) memory
-    --jobs N     (validate) worker count for multi-document batches
+    --jobs N     (validate, lint) worker count, clamped to core count
     --seed N     (sample) RNG seed (default 0)
     --count N    (sample) number of documents (default 1)
     --format F   (lint) output format: text (default) or json

@@ -55,6 +55,43 @@ pub fn default_jobs() -> usize {
         .unwrap_or(4)
 }
 
+/// Clamps a requested worker count to the cores actually available.
+///
+/// Every pool entry point funnels through this: the workers are
+/// CPU-bound (parsing + automaton runs, no blocking I/O overlap worth
+/// speaking of), so asking for more threads than cores just adds
+/// context-switch and steal-scan overhead — `--jobs 64` on a 4-core box
+/// used to spawn 64 threads that fought over 4 cores. Zero means "pick
+/// for me" and resolves to [`default_jobs`].
+pub fn clamp_jobs(jobs: usize) -> usize {
+    let cores = default_jobs();
+    if jobs == 0 {
+        cores
+    } else {
+        jobs.min(cores)
+    }
+}
+
+/// Runs `f` over `items` on the work-stealing pool, returning results in
+/// input order — the generic primitive under batch validation, shared by
+/// the parallel lint paths. `jobs` is clamped to the item count; `jobs
+/// <= 1` maps inline on the calling thread (the deterministic baseline).
+/// Output is identical for every `jobs` value because each job carries
+/// its input index and results are sorted by it.
+///
+/// Unlike the `validate_*` wrappers this does **not** apply
+/// [`clamp_jobs`] — callers that take a user-facing `--jobs` flag clamp
+/// first; tests that deliberately oversubscribe pass raw counts.
+pub fn map_indexed<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = jobs.min(items.len()).max(1);
+    run_pool(seed_queues(items.into_iter(), n), std::iter::empty(), f)
+}
+
 /// Jobs not yet claimed by a worker. `closed` flips once the feeder is
 /// done; workers then drain and exit.
 struct Injector<T> {
@@ -201,7 +238,7 @@ impl CompiledBxsd<'_> {
         opts: ValidateOptions,
         jobs: usize,
     ) -> Vec<BxsdReport> {
-        let n = jobs.min(docs.len()).max(1);
+        let n = clamp_jobs(jobs).min(docs.len()).max(1);
         run_pool(
             seed_queues(docs.iter(), n),
             std::iter::empty(),
@@ -221,7 +258,7 @@ impl CompiledBxsd<'_> {
         opts: ValidateOptions,
         jobs: usize,
     ) -> Vec<FileReport> {
-        let n = jobs.min(paths.len()).max(1);
+        let n = clamp_jobs(jobs).min(paths.len()).max(1);
         let queues: Vec<VecDeque<(usize, &Path)>> = (0..n).map(|_| VecDeque::new()).collect();
         run_pool(
             queues,

@@ -38,7 +38,7 @@ pub mod semantics;
 pub mod translate;
 pub mod validate;
 
-pub use batch::FileReport;
+pub use batch::{clamp_jobs, default_jobs, map_indexed, FileReport};
 pub use bxsd::{Bxsd, BxsdBuilder, BxsdError, Rule};
 pub use pipeline::{bonxai_to_xsd_text, xsd_to_bonxai_text, PipelineError, Translated};
 pub use schema::{BonxaiSchema, ValidationReport};

@@ -7,13 +7,17 @@
 //! sequence, and the reachability analysis explores only ancestor paths
 //! that some document can actually realize under the priority semantics.
 
-use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
 
-use relang::ops::language::{difference_witness, intersection_witness};
-use relang::ops::{minimize, regex_to_dfa, RelevanceProduct};
+use relang::cache::AutomataCache;
+use relang::ops::language::{difference_witness_dfa, regex_to_dfa};
+use relang::ops::product::product2;
+use relang::ops::subset::SubsetInterner;
+use relang::ops::{minimize, RelevanceProduct};
 use relang::regex::determinism::{check_deterministic_witness, NonDeterminism, UpaWitness};
 use relang::regex::props::is_empty_language;
-use relang::{Alphabet, Dfa, Regex, StateId, Sym};
+use relang::{Alphabet, Dfa, Regex, Sym};
 use xsd::{ContentModel, Xsd};
 
 use crate::bxsd::Bxsd;
@@ -22,9 +26,61 @@ use crate::lang::lower::lower_lenient;
 use crate::lint::{Code, Diagnostic, LintOptions, LintReport};
 use crate::translate::classify_bxsd;
 
+/// The checks' view of the automata layer: an optional shared
+/// [`AutomataCache`]. With a cache every `raw_dfa`/`min_dfa` result is
+/// memoized (within this lint run and across the caller's other
+/// compile stages); without one each request computes fresh — the
+/// honest ablation path for `exp_compile --no-cache`.
+struct Ctx<'a> {
+    cache: Option<&'a mut AutomataCache>,
+}
+
+impl Ctx<'_> {
+    fn raw_dfa(&mut self, r: &Regex, n_syms: usize) -> Arc<Dfa> {
+        match self.cache.as_deref_mut() {
+            Some(c) => c.raw_dfa(r, n_syms),
+            None => Arc::new(regex_to_dfa(r, n_syms)),
+        }
+    }
+
+    fn min_dfa(&mut self, r: &Regex, n_syms: usize) -> Arc<Dfa> {
+        match self.cache.as_deref_mut() {
+            Some(c) => c.min_dfa(r, n_syms),
+            None => Arc::new(minimize(&regex_to_dfa(r, n_syms))),
+        }
+    }
+
+    fn relevance_product(
+        &mut self,
+        n_syms: usize,
+        ancestors: &[Regex],
+        budget: usize,
+    ) -> Option<Arc<RelevanceProduct>> {
+        match self.cache.as_deref_mut() {
+            Some(c) => c.relevance_product(n_syms, ancestors, budget),
+            None => {
+                let dfas: Vec<Dfa> = ancestors.iter().map(|r| regex_to_dfa(r, n_syms)).collect();
+                RelevanceProduct::build(n_syms, &dfas, budget).map(Arc::new)
+            }
+        }
+    }
+}
+
 /// Lints a parsed BonXai schema: lowers it leniently and runs every
 /// check, attaching the source span of each offending rule.
 pub fn lint_ast(ast: &SchemaAst, opts: &LintOptions) -> LintReport {
+    lint_ast_with(ast, opts, None)
+}
+
+/// [`lint_ast`] with an optional [`AutomataCache`] shared with other
+/// compile stages (and other schemas). The report is byte-identical
+/// with and without a cache: every memoized construction is
+/// deterministic and keyed by its full input.
+pub fn lint_ast_with(
+    ast: &SchemaAst,
+    opts: &LintOptions,
+    cache: Option<&mut AutomataCache>,
+) -> LintReport {
     let mut report = LintReport::default();
     let lowered = lower_lenient(ast);
     let bxsd = &lowered.bxsd;
@@ -79,10 +135,12 @@ pub fn lint_ast(ast: &SchemaAst, opts: &LintOptions) -> LintReport {
         return report.finish(opts);
     }
 
+    let mut ctx = Ctx { cache };
+
     // BX002: reachability under the priority semantics (budgeted), then
     // BX001 (dead rules) for the rules that *are* reachable — a rule
     // gets one of the two diagnoses, with unreachability the stronger.
-    let reach = reachable_rules(bxsd, opts.reach_budget);
+    let reach = reachable_rules(bxsd, opts.reach_budget, &mut ctx);
     let mut unreachable = vec![false; bxsd.rules.len()];
     match reach {
         Some(reached) => {
@@ -138,21 +196,36 @@ pub fn lint_ast(ast: &SchemaAst, opts: &LintOptions) -> LintReport {
         }
     }
 
-    // BX001: dead rules (language-level shadowing by later rules).
+    // BX001: dead rules (language-level shadowing by later rules). A
+    // rule is dead iff L(ancestor_i) ⊆ L(ancestor_{i+1}) ∪ … — instead
+    // of determinizing the (growing) alternation of later patterns per
+    // rule, fold one minimal suffix-union DFA right to left: U_i is the
+    // minimal DFA of the union of all patterns after rule i, built by
+    // one binary product + minimization per rule.
+    let n_rules = bxsd.rules.len();
+    let suffix_unions: Vec<Dfa> = {
+        // The minimal complete DFA of ∅: one non-accepting sink.
+        let mut empty = Dfa::new(n, 1, 0);
+        for a in 0..n {
+            empty.set_transition(0, Sym(a as u32), Some(0));
+        }
+        let mut unions = vec![empty; n_rules];
+        for i in (0..n_rules.saturating_sub(1)).rev() {
+            let next_min = ctx.min_dfa(&bxsd.rules[i + 1].ancestor, n);
+            unions[i] = minimize(&product2(&next_min, &unions[i + 1], |x, y| x || y));
+        }
+        unions
+    };
     for (i, rule) in bxsd.rules.iter().enumerate() {
         if unreachable[i] || is_empty_language(&rule.ancestor) {
             continue;
         }
-        let later = Regex::alt(
-            bxsd.rules[i + 1..]
-                .iter()
-                .map(|r| r.ancestor.clone())
-                .collect(),
-        );
-        if difference_witness(&rule.ancestor, &later, n).is_some() {
+        let anc = ctx.min_dfa(&rule.ancestor, n);
+        if difference_witness_dfa(&anc, &suffix_unions[i]).is_some() {
             continue;
         }
-        let word = regex_to_dfa(&rule.ancestor, n)
+        let word = ctx
+            .raw_dfa(&rule.ancestor, n)
             .shortest_accepted_word()
             .unwrap_or_default();
         let winner = bxsd.relevant_rule(&word);
@@ -189,14 +262,27 @@ pub fn lint_ast(ast: &SchemaAst, opts: &LintOptions) -> LintReport {
     if anything_open {
         used.extend(bxsd.ename.symbols());
     }
-    let any_path = Regex::star(Regex::sym_set(bxsd.ename.symbols()));
+    // A name is constrained iff some word of some L(ancestor) ends with
+    // it. In a minimal DFA every state is reachable, so "some accepted
+    // word ends with a" ⟺ "some state has an a-transition into a final
+    // state" — one scan of each rule's minimal ancestor DFA replaces a
+    // DFA product per (name, rule) pair.
+    let mut ends_with_sym = vec![false; n];
+    for rule in &bxsd.rules {
+        let d = ctx.min_dfa(&rule.ancestor, n);
+        for q in 0..d.n_states() {
+            for (a, seen) in ends_with_sym.iter_mut().enumerate() {
+                if !*seen
+                    && d.transition(q, Sym(a as u32))
+                        .is_some_and(|t| d.is_final(t))
+                {
+                    *seen = true;
+                }
+            }
+        }
+    }
     for &sym in &used {
-        let ends_with = Regex::concat(vec![any_path.clone(), Regex::sym(sym)]);
-        let constrained = bxsd
-            .rules
-            .iter()
-            .any(|r| intersection_witness(&r.ancestor, &ends_with, n).is_some());
-        if !constrained {
+        if !ends_with_sym[sym.index()] {
             report.diagnostics.push(Diagnostic {
                 code: Code::UnconstrainedElement,
                 span: Span::default(),
@@ -237,13 +323,13 @@ pub fn lint_ast(ast: &SchemaAst, opts: &LintOptions) -> LintReport {
     report.diagnostics.push(fragment);
 
     // BX008: relevance-product blow-up probe (same budget as the
-    // validator's default).
-    let ancestor_dfas: Vec<Dfa> = bxsd
-        .rules
-        .iter()
-        .map(|r| regex_to_dfa(&r.ancestor, n))
-        .collect();
-    if RelevanceProduct::build(n, &ancestor_dfas, opts.product_budget).is_none() {
+    // validator's default — with a shared cache, a later
+    // `CompiledBxsd` build of this schema reuses the probe's product).
+    let ancestors: Vec<Regex> = bxsd.rules.iter().map(|r| r.ancestor.clone()).collect();
+    if ctx
+        .relevance_product(n, &ancestors, opts.product_budget)
+        .is_none()
+    {
         report.diagnostics.push(Diagnostic {
             code: Code::ProductBlowup,
             span: Span::default(),
@@ -475,21 +561,17 @@ fn vacuous_reason(content: &ContentModel) -> Option<String> {
 /// model actually allows (all names when a node is unconstrained or its
 /// content is open). Returns `None` when more than `budget` tuples were
 /// generated.
-fn reachable_rules(bxsd: &Bxsd, budget: usize) -> Option<Vec<bool>> {
+fn reachable_rules(bxsd: &Bxsd, budget: usize, ctx: &mut Ctx) -> Option<Vec<bool>> {
     let n = bxsd.ename.len();
     let n_rules = bxsd.rules.len();
     let all_syms: Vec<Sym> = bxsd.ename.symbols().collect();
 
     // Completed + minimized ancestor DFAs keep the tuple space small and
     // make every transition total.
-    let dfas: Vec<Dfa> = bxsd
+    let dfas: Vec<Arc<Dfa>> = bxsd
         .rules
         .iter()
-        .map(|r| {
-            let mut d = regex_to_dfa(&r.ancestor, n);
-            d.complete();
-            minimize(&d)
-        })
+        .map(|r| ctx.min_dfa(&r.ancestor, n))
         .collect();
 
     // Element names each rule's content allows as children.
@@ -508,45 +590,55 @@ fn reachable_rules(bxsd: &Bxsd, budget: usize) -> Option<Vec<bool>> {
         })
         .collect();
 
-    let step = |tuple: &[StateId], sym: Sym| -> Vec<StateId> {
-        tuple
-            .iter()
-            .zip(&dfas)
-            .map(|(&q, d)| d.transition(q, sym).expect("completed DFA is total"))
-            .collect()
-    };
-    // Largest matching rule index = the relevant rule (Definition 1).
-    let relevant = |tuple: &[StateId]| -> Option<usize> {
-        (0..n_rules).rev().find(|&i| dfas[i].is_final(tuple[i]))
-    };
-
+    // The tuple space lives in an interner (arena slices + Fx index);
+    // the visited count is the interner's length.
+    let mut interner = SubsetInterner::with_capacity(64);
+    let mut queue: VecDeque<u32> = VecDeque::new();
     let mut reached = vec![false; n_rules];
-    let mut visited: HashSet<Vec<StateId>> = HashSet::new();
-    let mut queue: VecDeque<Vec<StateId>> = VecDeque::new();
-    let root: Vec<StateId> = dfas.iter().map(|d| d.initial()).collect();
+    let mut cur: Vec<u32> = Vec::with_capacity(n_rules);
+    let mut succ: Vec<u32> = Vec::with_capacity(n_rules);
+    let root: Vec<u32> = dfas.iter().map(|d| d.initial() as u32).collect();
+    let step = |from: &[u32], sym: Sym, into: &mut Vec<u32>, dfas: &[Arc<Dfa>]| {
+        into.clear();
+        for (&q, d) in from.iter().zip(dfas) {
+            let t = d
+                .transition(q as usize, sym)
+                .expect("completed DFA is total");
+            into.push(t as u32);
+        }
+    };
     for &s in &bxsd.start {
-        let t = step(&root, s);
-        if visited.insert(t.clone()) {
-            queue.push_back(t);
+        step(&root, s, &mut succ, &dfas);
+        let before = interner.len();
+        let id = interner.intern(&succ);
+        if id as usize == before {
+            queue.push_back(id);
         }
     }
-    while let Some(tuple) = queue.pop_front() {
-        if visited.len() > budget {
+    while let Some(id) = queue.pop_front() {
+        if interner.len() > budget {
             return None;
         }
-        for i in 0..n_rules {
-            if dfas[i].is_final(tuple[i]) {
+        cur.clear();
+        cur.extend_from_slice(interner.get(id as usize));
+        // Largest matching rule index = the relevant rule (Definition 1).
+        let mut relevant = None;
+        for i in (0..n_rules).rev() {
+            if dfas[i].is_final(cur[i] as usize) {
                 reached[i] = true;
+                relevant.get_or_insert(i);
             }
         }
-        let next_syms = match relevant(&tuple) {
+        let next_syms = match relevant {
             Some(i) => &child_syms[i],
             None => &all_syms, // unconstrained node: any children
         };
         for &s in next_syms {
-            let t = step(&tuple, s);
-            if visited.insert(t.clone()) {
-                queue.push_back(t);
+            step(&cur, s, &mut succ, &dfas);
+            let before = interner.len();
+            let id = interner.intern(&succ);
+            if id as usize == before {
+                queue.push_back(id);
             }
         }
     }

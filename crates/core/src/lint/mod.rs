@@ -34,7 +34,7 @@
 pub mod checks;
 pub mod render;
 
-pub use checks::{lint_ast, lint_xsd, xsd_fragment, MAX_FRAGMENT_K};
+pub use checks::{lint_ast, lint_ast_with, lint_xsd, xsd_fragment, MAX_FRAGMENT_K};
 pub use render::{render_json, render_text};
 
 use crate::lang::ast::Span;
@@ -238,4 +238,16 @@ impl LintReport {
 pub fn lint_source(source: &str, opts: &LintOptions) -> Result<LintReport, LangError> {
     let ast = parse_schema(source)?;
     Ok(lint_ast(&ast, opts))
+}
+
+/// [`lint_source`] with a caller-owned [`AutomataCache`], so the
+/// semantic checks share per-rule DFAs (and a corpus driver can reuse
+/// the cache across schemas that repeat ancestor patterns).
+pub fn lint_source_with(
+    source: &str,
+    opts: &LintOptions,
+    cache: Option<&mut relang::AutomataCache>,
+) -> Result<LintReport, LangError> {
+    let ast = parse_schema(source)?;
+    Ok(lint_ast_with(&ast, opts, cache))
 }

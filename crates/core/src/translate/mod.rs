@@ -20,7 +20,7 @@ pub mod dfa_to_xsd;
 pub mod ksuffix;
 pub mod xsd_to_dfa;
 
-pub use bxsd_to_dfa::{bxsd_to_dfa_xsd, bxsd_to_dfa_xsd_strict};
+pub use bxsd_to_dfa::{bxsd_to_dfa_xsd, bxsd_to_dfa_xsd_strict, bxsd_to_dfa_xsd_with_cache};
 pub use dfa_to_bxsd::dfa_xsd_to_bxsd;
 pub use dfa_to_xsd::dfa_xsd_to_xsd;
 pub use ksuffix::{
@@ -30,6 +30,7 @@ pub use ksuffix::{
 pub use xsd_to_dfa::xsd_to_dfa_xsd;
 
 use crate::bxsd::Bxsd;
+use relang::cache::AutomataCache;
 use xsd::{DfaXsd, Xsd};
 
 /// Options for the end-to-end translations.
@@ -84,12 +85,36 @@ pub fn dfa_xsd_to_bxsd_auto(d: &DfaXsd, opts: &TranslateOptions) -> (Bxsd, Path)
 /// BXSD → XSD: Theorem 12 when the schema is suffix-based, otherwise
 /// Algorithm 3; then Algorithm 4 (and optional minimization).
 pub fn bxsd_to_xsd(bxsd: &Bxsd, opts: &TranslateOptions) -> (Xsd, Path) {
+    bxsd_to_xsd_impl(bxsd, opts, None)
+}
+
+/// [`bxsd_to_xsd`] with a shared [`AutomataCache`]. The Theorem 12 fast
+/// path is purely syntactic (an Aho–Corasick construction — no DFAs to
+/// memoize); the cache pays off when the schema falls back to
+/// Algorithm 3, whose per-rule minimal DFAs the lint pass has typically
+/// already built.
+pub fn bxsd_to_xsd_with_cache(
+    bxsd: &Bxsd,
+    opts: &TranslateOptions,
+    cache: &mut AutomataCache,
+) -> (Xsd, Path) {
+    bxsd_to_xsd_impl(bxsd, opts, Some(cache))
+}
+
+fn bxsd_to_xsd_impl(
+    bxsd: &Bxsd,
+    opts: &TranslateOptions,
+    cache: Option<&mut AutomataCache>,
+) -> (Xsd, Path) {
     let (d, path) = match suffix_bxsd_to_dfa_xsd(bxsd) {
         Ok(d) => {
             let k = classify_bxsd(bxsd).map(|(_, k)| k).unwrap_or(0);
             (d, Path::Fast(k))
         }
-        Err(_) => (bxsd_to_dfa_xsd(bxsd), Path::General),
+        Err(_) => match cache {
+            Some(c) => (bxsd_to_dfa_xsd_with_cache(bxsd, c), Path::General),
+            None => (bxsd_to_dfa_xsd(bxsd), Path::General),
+        },
     };
     let x = dfa_xsd_to_xsd(&d);
     let x = if opts.minimize {

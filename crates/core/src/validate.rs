@@ -39,9 +39,11 @@
 //! order). `tests/stream_equivalence.rs` pins the equivalence.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use relang::cache::AutomataCache;
 use relang::ops::{ProductState, RelevanceProduct};
-use relang::{CompiledDre, Dfa, StateId, Sym};
+use relang::{CompiledDre, Dfa, Regex, StateId, Sym};
 use xmltree::stream::{ByteSrc, XmlReader, XmlToken};
 use xmltree::{Document, NodeId};
 use xsd::violation::{Violation, ViolationKind};
@@ -101,9 +103,9 @@ impl BxsdReport {
 /// the relevance product over the ancestor DFAs.
 pub struct CompiledBxsd<'a> {
     bxsd: &'a Bxsd,
-    ancestor_dfas: Vec<Dfa>,
+    ancestor_dfas: Vec<Arc<Dfa>>,
     content_matchers: Vec<CompiledDre>,
-    relevance: Option<RelevanceProduct>,
+    relevance: Option<Arc<RelevanceProduct>>,
     /// Per rule: whether its content model declares a required attribute.
     /// When false and the element carries no attributes at all, the
     /// attribute check is provably a no-op and is skipped on the hot path.
@@ -125,11 +127,27 @@ impl<'a> CompiledBxsd<'a> {
     /// states. A budget of 0 disables the product entirely; validation
     /// then always runs lock-step.
     pub fn with_budget(bxsd: &'a Bxsd, budget: usize) -> Self {
+        Self::build(bxsd, budget, None)
+    }
+
+    /// [`Self::with_budget`] with a shared [`AutomataCache`]: ancestor
+    /// DFAs and the relevance product are memoized by regex structure,
+    /// so recompiling a schema (or compiling one the lint pass already
+    /// probed) reuses the constructions. The compiled validator is
+    /// identical to an uncached build.
+    pub fn with_cache(bxsd: &'a Bxsd, budget: usize, cache: &mut AutomataCache) -> Self {
+        Self::build(bxsd, budget, Some(cache))
+    }
+
+    fn build(bxsd: &'a Bxsd, budget: usize, mut cache: Option<&mut AutomataCache>) -> Self {
         let n = bxsd.ename.len();
-        let ancestor_dfas: Vec<Dfa> = bxsd
+        let ancestor_dfas: Vec<Arc<Dfa>> = bxsd
             .rules
             .iter()
-            .map(|r| relang::ops::regex_to_dfa(&r.ancestor, n))
+            .map(|r| match cache.as_deref_mut() {
+                Some(c) => c.raw_dfa(&r.ancestor, n),
+                None => Arc::new(relang::ops::regex_to_dfa(&r.ancestor, n)),
+            })
             .collect();
         let content_matchers = bxsd
             .rules
@@ -139,7 +157,17 @@ impl<'a> CompiledBxsd<'a> {
         let relevance = if budget == 0 {
             None
         } else {
-            RelevanceProduct::build(n, &ancestor_dfas, budget)
+            match cache {
+                Some(c) => {
+                    let ancestors: Vec<Regex> =
+                        bxsd.rules.iter().map(|r| r.ancestor.clone()).collect();
+                    c.relevance_product(n, &ancestors, budget)
+                }
+                None => {
+                    let refs: Vec<&Dfa> = ancestor_dfas.iter().map(Arc::as_ref).collect();
+                    RelevanceProduct::build_refs(n, &refs, budget).map(Arc::new)
+                }
+            }
         };
         let requires_attr = bxsd
             .rules
@@ -169,7 +197,7 @@ impl<'a> CompiledBxsd<'a> {
     /// Number of relevance-product states, or `None` when the product
     /// exceeded its budget (validation falls back to lock-step).
     pub fn product_states(&self) -> Option<usize> {
-        self.relevance.as_ref().map(RelevanceProduct::n_states)
+        self.relevance.as_ref().map(|p| p.n_states())
     }
 
     /// Validates `doc` under the priority semantics (default options:
@@ -818,7 +846,7 @@ impl AncEngine for ProductEngine<'_> {
 /// Lock-step engine: all N ancestor DFAs advanced side by side
 /// (`None` = dead), used when the product exceeded its budget.
 struct LockstepEngine<'a> {
-    dfas: &'a [Dfa],
+    dfas: &'a [Arc<Dfa>],
 }
 
 impl AncEngine for LockstepEngine<'_> {

@@ -1,0 +1,230 @@
+//! Memoized automata construction keyed by regex structure.
+//!
+//! Every compile-time consumer — `CompiledBxsd` assembly, the lint
+//! checks, Algorithm 3 translation — starts from the same primitive:
+//! "the (minimal) DFA of this regex over this alphabet". Before this
+//! module each caller rebuilt those DFAs from scratch, per rule *per
+//! check*. [`AutomataCache`] memoizes three levels:
+//!
+//! * **raw DFAs** — the untouched subset-construction output of
+//!   [`regex_to_dfa`] (partial, unminimized). Budget-sensitive callers
+//!   (the relevance-product probe) need exactly this automaton, state
+//!   numbering included;
+//! * **minimal DFAs** — [`minimize`] applied to the raw DFA. Since
+//!   minimization is canonical (BFS-numbered output), the memoized
+//!   automaton is byte-identical to a fresh computation;
+//! * **relevance products** — [`RelevanceProduct::build`] over a rule
+//!   list, keyed by the component regexes + budget, so the lint
+//!   blow-up probe and a subsequent validation compile of the same
+//!   schema share one construction (including a memoized `None` for
+//!   budget overflow).
+//!
+//! ## Why structural hashing is sound
+//!
+//! Keys are regex ASTs compared by **full structural equality**
+//! (`Regex: Eq`); the Fx hash is only a bucket index, so a collision
+//! costs a comparison, never a wrong answer. Structurally equal
+//! regexes over the same alphabet size denote the same language and
+//! drive `regex_to_dfa` through the identical deterministic code path,
+//! so the memoized automaton is exactly what recomputation would
+//! return. The alphabet enters the key as its size: symbols are dense
+//! indices, so `n_syms` plus the symbol ids embedded in the AST *is*
+//! the alphabet fingerprint.
+//!
+//! Values are shared via [`Arc`], so a hit costs one reference-count
+//! bump. Entries are never invalidated: a `Regex` is immutable and the
+//! key captures every input of the construction, so an entry can go
+//! stale only if the construction algorithms themselves change — within
+//! one process lifetime the cache is append-only.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::dfa::Dfa;
+use crate::fxhash::{FxHashMap, FxHasher};
+use crate::ops::language::regex_to_dfa;
+use crate::ops::minimize::minimize;
+use crate::ops::relevance::RelevanceProduct;
+use crate::regex::ast::Regex;
+
+/// Bucket of DFA entries sharing a structural hash (almost always one).
+type DfaBucket = Vec<(Regex, usize, Arc<Dfa>)>;
+
+/// Bucket of product entries: (components, n_syms, budget, result).
+type ProductBucket = Vec<(Vec<Regex>, usize, usize, Option<Arc<RelevanceProduct>>)>;
+
+/// Hit/miss counters for one [`AutomataCache`] (every `*_dfa` /
+/// `relevance_product` lookup counts once; a miss that internally
+/// consults another level also counts that inner lookup).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that ran the underlying construction.
+    pub misses: u64,
+}
+
+/// A structural-hash-keyed memo for automata construction.
+///
+/// Not thread-safe by design: compile pipelines are per-schema, and the
+/// parallel analysis paths give each worker its own cache (values are
+/// `Arc`, so results can still be shared outward cheaply).
+#[derive(Debug, Default)]
+pub struct AutomataCache {
+    raw: FxHashMap<u64, DfaBucket>,
+    min: FxHashMap<u64, DfaBucket>,
+    product: FxHashMap<u64, ProductBucket>,
+    stats: CacheStats,
+}
+
+/// Structural hash of a (regex, alphabet-size) key.
+fn dfa_key_hash(r: &Regex, n_syms: usize) -> u64 {
+    let mut h = FxHasher::default();
+    r.hash(&mut h);
+    h.write_usize(n_syms);
+    h.finish()
+}
+
+impl AutomataCache {
+    /// An empty cache.
+    pub fn new() -> AutomataCache {
+        AutomataCache::default()
+    }
+
+    /// The raw (partial, unminimized) DFA of `r` over `n_syms` symbols —
+    /// memoized [`regex_to_dfa`], state numbering and all.
+    pub fn raw_dfa(&mut self, r: &Regex, n_syms: usize) -> Arc<Dfa> {
+        let key = dfa_key_hash(r, n_syms);
+        if let Some(bucket) = self.raw.get(&key) {
+            for (k, n, d) in bucket {
+                if *n == n_syms && k == r {
+                    self.stats.hits += 1;
+                    return Arc::clone(d);
+                }
+            }
+        }
+        self.stats.misses += 1;
+        let d = Arc::new(regex_to_dfa(r, n_syms));
+        self.raw
+            .entry(key)
+            .or_default()
+            .push((r.clone(), n_syms, Arc::clone(&d)));
+        d
+    }
+
+    /// The minimal complete DFA of `r` over `n_syms` symbols — memoized
+    /// [`minimize`] over [`Self::raw_dfa`]. Canonical minimization makes
+    /// this byte-identical to an uncached computation.
+    pub fn min_dfa(&mut self, r: &Regex, n_syms: usize) -> Arc<Dfa> {
+        let key = dfa_key_hash(r, n_syms);
+        if let Some(bucket) = self.min.get(&key) {
+            for (k, n, d) in bucket {
+                if *n == n_syms && k == r {
+                    self.stats.hits += 1;
+                    return Arc::clone(d);
+                }
+            }
+        }
+        self.stats.misses += 1;
+        let raw = self.raw_dfa(r, n_syms);
+        let d = Arc::new(minimize(&raw));
+        self.min
+            .entry(key)
+            .or_default()
+            .push((r.clone(), n_syms, Arc::clone(&d)));
+        d
+    }
+
+    /// The relevance product over the raw DFAs of `ancestors`, memoized
+    /// by (component list, alphabet size, budget). Budget overflow
+    /// (`None`) is memoized too — reprobing a blown-up rule set is as
+    /// cheap as a hit.
+    pub fn relevance_product(
+        &mut self,
+        n_syms: usize,
+        ancestors: &[Regex],
+        budget: usize,
+    ) -> Option<Arc<RelevanceProduct>> {
+        let key = {
+            let mut h = FxHasher::default();
+            ancestors.hash(&mut h);
+            h.write_usize(n_syms);
+            h.write_usize(budget);
+            h.finish()
+        };
+        if let Some(bucket) = self.product.get(&key) {
+            for (ks, n, b, p) in bucket {
+                if *n == n_syms && *b == budget && ks.as_slice() == ancestors {
+                    self.stats.hits += 1;
+                    return p.clone();
+                }
+            }
+        }
+        self.stats.misses += 1;
+        let dfas: Vec<Arc<Dfa>> = ancestors.iter().map(|r| self.raw_dfa(r, n_syms)).collect();
+        let refs: Vec<&Dfa> = dfas.iter().map(Arc::as_ref).collect();
+        let p = RelevanceProduct::build_refs(n_syms, &refs, budget).map(Arc::new);
+        self.product
+            .entry(key)
+            .or_default()
+            .push((ancestors.to_vec(), n_syms, budget, p.clone()));
+        p
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Sym;
+
+    fn s(i: u32) -> Regex {
+        Regex::Sym(Sym(i))
+    }
+
+    #[test]
+    fn raw_hits_return_the_same_automaton() {
+        let mut c = AutomataCache::new();
+        let r = Regex::concat(vec![Regex::star(Regex::alt(vec![s(0), s(1)])), s(0)]);
+        let d1 = c.raw_dfa(&r, 2);
+        let d2 = c.raw_dfa(&r, 2);
+        assert!(Arc::ptr_eq(&d1, &d2));
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        // Same regex over a different alphabet size is a distinct key.
+        let d3 = c.raw_dfa(&r, 3);
+        assert!(!Arc::ptr_eq(&d1, &d3));
+        assert_eq!(d3.n_syms(), 3);
+    }
+
+    #[test]
+    fn min_dfa_matches_uncached_minimize() {
+        let mut c = AutomataCache::new();
+        let r = Regex::star(Regex::alt(vec![
+            Regex::concat(vec![s(0), s(1)]),
+            Regex::concat(vec![s(0), s(1), s(0)]),
+        ]));
+        let cached = c.min_dfa(&r, 2);
+        let fresh = minimize(&regex_to_dfa(&r, 2));
+        assert_eq!(*cached, fresh);
+        assert!(Arc::ptr_eq(&cached, &c.min_dfa(&r, 2)));
+    }
+
+    #[test]
+    fn product_memoizes_including_overflow() {
+        let mut c = AutomataCache::new();
+        let rules = vec![Regex::plus(s(0)), Regex::concat(vec![s(0), s(0)])];
+        let p1 = c.relevance_product(1, &rules, 1 << 10).expect("fits");
+        let p2 = c.relevance_product(1, &rules, 1 << 10).expect("fits");
+        assert!(Arc::ptr_eq(&p1, &p2));
+        // Overflow (budget 0 is never enough for the 2-state seed) is
+        // remembered under its own budget key.
+        assert!(c.relevance_product(1, &rules, 1).is_none());
+        let before = c.stats();
+        assert!(c.relevance_product(1, &rules, 1).is_none());
+        assert_eq!(c.stats().hits, before.hits + 1);
+    }
+}

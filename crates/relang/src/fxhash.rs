@@ -1,0 +1,154 @@
+//! A hand-rolled Fx hash (the rustc hasher): multiply–rotate–xor over
+//! machine words.
+//!
+//! The automata kernels intern millions of small `&[u32]` keys (subset
+//! slices, product tuples, structural regex hashes); `SipHash`'s
+//! per-call setup dominates at that size. Fx folds each word with one
+//! rotate, one xor, and one multiply — no setup, no finalization — and
+//! its quality is more than adequate for open addressing over interned
+//! keys that are compared for full equality anyway. The workspace is
+//! fully offline (no external crates), so the hasher lives here,
+//! mirroring the hand-rolled FNV-1a used by [`crate::alphabet`].
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiplier (the rustc constant, a 64-bit odd number derived
+/// from pi with good avalanche behavior under multiplication).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Rotation applied to the accumulator before folding each word.
+const ROTATE: u32 = 5;
+
+/// The Fx streaming hasher: `h = (rotl(h, 5) ^ w) * SEED` per word.
+#[derive(Clone, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// Folds one machine word into the accumulator.
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            // Pad the tail and fold the length in so "ab" and "ab\0"
+            // hash differently.
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+            self.add(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`-constructed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with Fx instead of SipHash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed with Fx instead of SipHash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes a `u32` slice directly, one fold per element plus the length —
+/// the hot path for interned subset and product-tuple keys, skipping the
+/// byte-chunking of the `Hasher` interface.
+#[inline]
+pub fn hash_u32_slice(key: &[u32]) -> u64 {
+    let mut h = FxHasher::default();
+    for &x in key {
+        h.add(x as u64);
+    }
+    h.add(key.len() as u64);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn slice_hash_discriminates_length_and_content() {
+        assert_ne!(hash_u32_slice(&[1, 2]), hash_u32_slice(&[2, 1]));
+        assert_ne!(hash_u32_slice(&[1]), hash_u32_slice(&[1, 0]));
+        assert_ne!(hash_u32_slice(&[]), hash_u32_slice(&[0]));
+        assert_eq!(hash_u32_slice(&[7, 9]), hash_u32_slice(&[7, 9]));
+    }
+
+    #[test]
+    fn hasher_is_deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        "determinize".hash(&mut a);
+        "determinize".hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn byte_tail_padding_is_length_sensitive() {
+        let mut a = FxHasher::default();
+        a.write(b"ab");
+        let mut b = FxHasher::default();
+        b.write(&[b'a', b'b', 0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fx_map_and_set_work() {
+        let mut m: FxHashMap<Vec<u32>, usize> = FxHashMap::default();
+        m.insert(vec![1, 2, 3], 7);
+        assert_eq!(m.get([1, 2, 3].as_slice()), Some(&7));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(42);
+        assert!(s.contains(&42));
+    }
+}

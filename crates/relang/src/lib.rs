@@ -42,13 +42,16 @@
 #![deny(unsafe_code)]
 
 pub mod alphabet;
+pub mod cache;
 pub mod dfa;
+pub mod fxhash;
 pub mod matcher;
 pub mod nfa;
 pub mod ops;
 pub mod regex;
 
 pub use alphabet::{Alphabet, Sym};
+pub use cache::AutomataCache;
 pub use dfa::{Dfa, StateId};
 pub use matcher::CompiledDre;
 pub use nfa::Nfa;

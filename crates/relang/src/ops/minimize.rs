@@ -3,136 +3,268 @@
 //! Algorithm 3 of the paper needs the *minimal complete* DFA for each rule
 //! language `L(ri)`; minimality keeps the product automaton as small as the
 //! theory allows.
-
-use std::collections::{BTreeMap, BTreeSet};
+//!
+//! The kernel works in four flat-array phases with no intermediate
+//! clone of the input:
+//!
+//! 1. a BFS from the initial state that simultaneously trims
+//!    unreachable states and completes the automaton (missing
+//!    transitions are routed to an implicit sink appended only if
+//!    needed), producing a dense row-major `δ` table;
+//! 2. inverse edges laid out in CSR form (`rev_off`/`rev_dat`, one
+//!    contiguous span per `(symbol, target)` pair) — no nested
+//!    per-state vectors;
+//! 3. Hopcroft partition refinement over a permutation array
+//!    (`elems`/`loc`/`block_of` plus per-block start/size), splitting by
+//!    swapping marked states to the front of their block and keeping
+//!    the larger half in place, with an explicit worklist stack and an
+//!    in-worklist bitset;
+//! 4. a quotient pass that relabels blocks in BFS discovery order
+//!    (symbols ascending) from the initial block.
+//!
+//! Phase 4 makes the output **canonical**: any two inputs with the same
+//! language — regardless of their state numbering — minimize to the
+//! byte-identical `Dfa`, and `minimize(minimize(d)) == minimize(d)`
+//! exactly. The cache layer and the proptests both lean on this.
 
 use crate::alphabet::Sym;
 use crate::dfa::Dfa;
 
+/// "Not yet assigned" sentinel for state renumbering arrays.
+const UNSET: u32 = u32::MAX;
+
 /// Minimizes `dfa` with Hopcroft's partition-refinement algorithm.
 ///
-/// The input is first completed and trimmed to its reachable part; the
-/// output is the unique (up to isomorphism) minimal complete DFA for the
-/// same language. State 0 is the initial state of the result.
-#[allow(clippy::needless_range_loop)] // dense-table row indexing
+/// The input is completed and trimmed to its reachable part on the fly;
+/// the output is the unique minimal complete DFA for the same language,
+/// with states numbered in BFS order from the initial state (state 0).
 pub fn minimize(dfa: &Dfa) -> Dfa {
-    let mut dfa = dfa.clone();
-    dfa.complete();
-    dfa.trim_unreachable();
-    let n = dfa.n_states();
     let n_syms = dfa.n_syms();
-    if n == 0 {
-        return dfa;
+    if dfa.n_states() == 0 {
+        return dfa.clone();
     }
 
-    // Inverse transition lists: rev[a][q] = states p with δ(p,a)=q.
-    let mut rev: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n]; n_syms];
-    for p in 0..n {
+    // Phase 1: BFS from the initial state, building a dense complete
+    // transition table over reachable states only. `order` doubles as
+    // the BFS queue; `renum` maps old ids to BFS ids.
+    let mut renum: Vec<u32> = vec![UNSET; dfa.n_states()];
+    let mut order: Vec<u32> = Vec::new();
+    renum[dfa.initial()] = 0;
+    order.push(dfa.initial() as u32);
+    let mut head = 0usize;
+    while head < order.len() {
+        let p = order[head] as usize;
+        head += 1;
         for a in 0..n_syms {
-            let q = dfa
-                .transition(p, Sym(a as u32))
-                .expect("completed automaton");
-            rev[a][q].push(p);
-        }
-    }
-
-    // Partition as block id per state; blocks as sorted vectors.
-    let finals: BTreeSet<usize> = dfa.final_states().into_iter().collect();
-    let nonfinals: BTreeSet<usize> = (0..n).filter(|q| !finals.contains(q)).collect();
-    let mut blocks: Vec<BTreeSet<usize>> = Vec::new();
-    let mut block_of: Vec<usize> = vec![0; n];
-    for set in [finals, nonfinals] {
-        if set.is_empty() {
-            continue;
-        }
-        let id = blocks.len();
-        for &q in &set {
-            block_of[q] = id;
-        }
-        blocks.push(set);
-    }
-
-    // Worklist of (block id, symbol) splitters.
-    let mut work: BTreeSet<(usize, usize)> = BTreeSet::new();
-    // Hopcroft: start with the smaller of the two initial blocks (all
-    // symbols); adding both is also correct and simpler.
-    for b in 0..blocks.len() {
-        for a in 0..n_syms {
-            work.insert((b, a));
-        }
-    }
-
-    while let Some(&(b, a)) = work.iter().next() {
-        work.remove(&(b, a));
-        // X = states with a-transition into block b
-        let mut x: BTreeSet<usize> = BTreeSet::new();
-        for &q in &blocks[b] {
-            for &p in &rev[a][q] {
-                x.insert(p);
-            }
-        }
-        if x.is_empty() {
-            continue;
-        }
-        // Group X members by their current block and split.
-        let mut touched: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for &p in &x {
-            touched.entry(block_of[p]).or_default().push(p);
-        }
-        for (blk, members) in touched {
-            if members.len() == blocks[blk].len() {
-                continue; // block entirely inside X: no split
-            }
-            // Split blk into (members) and (rest).
-            let new_id = blocks.len();
-            let member_set: BTreeSet<usize> = members.into_iter().collect();
-            let rest: BTreeSet<usize> = blocks[blk].difference(&member_set).copied().collect();
-            // Keep the larger part in place, move the smaller out (Hopcroft).
-            let (stay, moved) = if member_set.len() <= rest.len() {
-                (rest, member_set)
-            } else {
-                (member_set, rest)
-            };
-            blocks[blk] = stay;
-            for &q in &moved {
-                block_of[q] = new_id;
-            }
-            blocks.push(moved);
-            // Update the worklist.
-            for s in 0..n_syms {
-                if work.contains(&(blk, s)) {
-                    work.insert((new_id, s));
-                } else {
-                    // add the smaller of the two; we moved the smaller out
-                    work.insert((new_id, s));
+            if let Some(t) = dfa.transition(p, Sym(a as u32)) {
+                if renum[t] == UNSET {
+                    renum[t] = order.len() as u32;
+                    order.push(t as u32);
                 }
             }
         }
     }
-
-    // Build the quotient automaton with block of the initial state first.
-    let init_block = block_of[dfa.initial()];
-    let mut order: Vec<usize> = Vec::with_capacity(blocks.len());
-    order.push(init_block);
-    for b in 0..blocks.len() {
-        if b != init_block {
-            order.push(b);
+    let reach = order.len();
+    let mut needs_sink = false;
+    // Row-major δ over BFS ids; missing transitions go to a sink that
+    // gets id `reach` if any exist.
+    let mut delta: Vec<u32> = Vec::with_capacity((reach + 1) * n_syms);
+    for &old in &order {
+        for a in 0..n_syms {
+            match dfa.transition(old as usize, Sym(a as u32)) {
+                Some(t) => delta.push(renum[t]),
+                None => {
+                    needs_sink = true;
+                    delta.push(reach as u32);
+                }
+            }
         }
     }
-    let mut newid: Vec<usize> = vec![0; blocks.len()];
-    for (i, &b) in order.iter().enumerate() {
-        newid[b] = i;
+    let m = if needs_sink {
+        delta.extend(std::iter::repeat_n(reach as u32, n_syms));
+        reach + 1
+    } else {
+        reach
+    };
+    let mut is_final: Vec<bool> = order
+        .iter()
+        .map(|&old| dfa.is_final(old as usize))
+        .collect();
+    if needs_sink {
+        is_final.push(false);
     }
-    let mut out = Dfa::new(n_syms, blocks.len(), 0);
-    for b in 0..blocks.len() {
-        let repr = *blocks[b].iter().next().expect("blocks are nonempty");
-        let q = newid[b];
-        out.set_final(q, dfa.is_final(repr));
+
+    // Phase 2: inverse edges in CSR layout. Span for (symbol a, target
+    // q) is rev_dat[rev_off[a*m+q] .. rev_off[a*m+q+1]]; every state has
+    // exactly one a-successor, so |rev_dat| = m * n_syms.
+    let mut rev_off: Vec<u32> = vec![0; m * n_syms + 1];
+    for p in 0..m {
         for a in 0..n_syms {
-            let t = dfa
-                .transition(repr, Sym(a as u32))
-                .expect("completed automaton");
-            out.set_transition(q, Sym(a as u32), Some(newid[block_of[t]]));
+            let q = delta[p * n_syms + a] as usize;
+            rev_off[a * m + q + 1] += 1;
+        }
+    }
+    for i in 1..rev_off.len() {
+        rev_off[i] += rev_off[i - 1];
+    }
+    let mut cursor: Vec<u32> = rev_off[..m * n_syms].to_vec();
+    let mut rev_dat: Vec<u32> = vec![0; m * n_syms];
+    for p in 0..m {
+        for a in 0..n_syms {
+            let q = delta[p * n_syms + a] as usize;
+            rev_dat[cursor[a * m + q] as usize] = p as u32;
+            cursor[a * m + q] += 1;
+        }
+    }
+
+    // Phase 3: Hopcroft over a partition array. Block b owns the slice
+    // elems[bstart[b] .. bstart[b] + bsize[b]]; loc[q] is q's position
+    // in elems; marked states are swapped to the front of their block.
+    let mut elems: Vec<u32> = Vec::with_capacity(m);
+    let mut block_of: Vec<u32> = vec![0; m];
+    let mut bstart: Vec<u32> = Vec::new();
+    let mut bsize: Vec<u32> = Vec::new();
+    for (pass, want) in [(0usize, true), (1, false)] {
+        let start = elems.len() as u32;
+        for q in 0..m {
+            if is_final[q] == want {
+                block_of[q] = bstart.len() as u32;
+                elems.push(q as u32);
+            }
+        }
+        let size = elems.len() as u32 - start;
+        if size > 0 {
+            bstart.push(start);
+            bsize.push(size);
+        } else if pass == 0 {
+            // No final states: the single block must keep id 0.
+            continue;
+        }
+    }
+    let mut loc: Vec<u32> = vec![0; m];
+    for (i, &q) in elems.iter().enumerate() {
+        loc[q as usize] = i as u32;
+    }
+
+    // Worklist of (block, symbol) splitters with a membership bitset
+    // (indexed block * n_syms + symbol; blocks never exceed m).
+    let mut work: Vec<(u32, u32)> = Vec::new();
+    let mut in_work: Vec<bool> = vec![false; m * n_syms];
+    for b in 0..bstart.len() as u32 {
+        for a in 0..n_syms as u32 {
+            work.push((b, a));
+            in_work[b as usize * n_syms + a as usize] = true;
+        }
+    }
+
+    // Per-block mark counters + scratch lists, reused across splitters.
+    let mut marks: Vec<u32> = vec![0; m];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut splitter: Vec<u32> = Vec::new();
+    while let Some((b, a)) = work.pop() {
+        in_work[b as usize * n_syms + a as usize] = false;
+        // Snapshot the splitter block: marking swaps elements around,
+        // and b itself may be among the touched blocks.
+        let (s, z) = (bstart[b as usize] as usize, bsize[b as usize] as usize);
+        splitter.clear();
+        splitter.extend_from_slice(&elems[s..s + z]);
+        // Mark every state with an a-edge into b, swapping it into the
+        // front region of its block.
+        for &q in &splitter {
+            let span = &rev_dat[rev_off[a as usize * m + q as usize] as usize
+                ..rev_off[a as usize * m + q as usize + 1] as usize];
+            for &p in span {
+                let blk = block_of[p as usize] as usize;
+                let mark_pos = bstart[blk] + marks[blk];
+                let p_pos = loc[p as usize];
+                if p_pos < mark_pos {
+                    continue; // already marked
+                }
+                let other = elems[mark_pos as usize];
+                elems.swap(mark_pos as usize, p_pos as usize);
+                loc[p as usize] = mark_pos;
+                loc[other as usize] = p_pos;
+                if marks[blk] == 0 {
+                    touched.push(blk as u32);
+                }
+                marks[blk] += 1;
+            }
+        }
+        // Split every partially-marked block.
+        for &blk in &touched {
+            let blk = blk as usize;
+            let mc = marks[blk];
+            marks[blk] = 0;
+            if mc == bsize[blk] {
+                continue; // fully inside the preimage: no split
+            }
+            let new_id = bstart.len() as u32;
+            // Keep the larger half in place under id `blk`; the smaller
+            // half becomes the new block (both halves are contiguous:
+            // marked states occupy the front of the block's region).
+            let (new_start, new_size) = if mc * 2 <= bsize[blk] {
+                let r = (bstart[blk], mc);
+                bstart[blk] += mc;
+                bsize[blk] -= mc;
+                r
+            } else {
+                let r = (bstart[blk] + mc, bsize[blk] - mc);
+                bsize[blk] = mc;
+                r
+            };
+            bstart.push(new_start);
+            bsize.push(new_size);
+            for i in new_start..new_start + new_size {
+                block_of[elems[i as usize] as usize] = new_id;
+            }
+            // Worklist update: pending splitters of blk stay valid for
+            // its kept half and gain the new half; otherwise the new
+            // (smaller-or-equal) half suffices.
+            for s in 0..n_syms {
+                let add = if in_work[blk * n_syms + s] || bsize[blk] > bsize[new_id as usize] {
+                    new_id
+                } else {
+                    blk as u32
+                };
+                if !in_work[add as usize * n_syms + s] {
+                    work.push((add, s as u32));
+                    in_work[add as usize * n_syms + s] = true;
+                }
+            }
+        }
+        touched.clear();
+    }
+
+    // Phase 4: quotient with canonical BFS numbering of blocks.
+    let n_blocks = bstart.len();
+    let mut block_new: Vec<u32> = vec![UNSET; n_blocks];
+    let mut bfs: Vec<u32> = Vec::with_capacity(n_blocks);
+    block_new[block_of[0] as usize] = 0;
+    bfs.push(block_of[0]);
+    let mut head = 0usize;
+    while head < bfs.len() {
+        let b = bfs[head] as usize;
+        head += 1;
+        let repr = elems[bstart[b] as usize] as usize;
+        for a in 0..n_syms {
+            let tb = block_of[delta[repr * n_syms + a] as usize];
+            if block_new[tb as usize] == UNSET {
+                block_new[tb as usize] = bfs.len() as u32;
+                bfs.push(tb);
+            }
+        }
+    }
+    // Every block is reachable (phase 1 trimmed the input), so the BFS
+    // numbering is total.
+    debug_assert_eq!(bfs.len(), n_blocks);
+
+    let mut out = Dfa::new(n_syms, n_blocks, 0);
+    for (new_b, &b) in bfs.iter().enumerate() {
+        let repr = elems[bstart[b as usize] as usize] as usize;
+        out.set_final(new_b, is_final[repr]);
+        for a in 0..n_syms {
+            let tb = block_of[delta[repr * n_syms + a] as usize] as usize;
+            out.set_transition(new_b, Sym(a as u32), Some(block_new[tb] as usize));
         }
     }
     out
@@ -230,5 +362,35 @@ mod tests {
         let m = minimize(&d);
         // states: start, {after a / after c merged}, accept, sink
         assert_eq!(m.n_states(), 4);
+    }
+
+    #[test]
+    fn minimize_is_idempotent_exactly() {
+        let r = Regex::star(Regex::alt(vec![
+            Regex::concat(vec![s(0), s(1)]),
+            Regex::concat(vec![s(0), s(1), s(0)]),
+        ]));
+        let m1 = minimize(&dfa_of(&r, 2));
+        let m2 = minimize(&m1);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn minimize_is_canonical_under_relabeling() {
+        // Build the same language with permuted state numbers: minimize
+        // must return the byte-identical automaton.
+        let r = Regex::concat(vec![Regex::star(Regex::alt(vec![s(0), s(1)])), s(0), s(1)]);
+        let d = dfa_of(&r, 2);
+        let n = d.n_states();
+        // Reverse the state numbering by hand.
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let mut relabeled = Dfa::new(2, n, perm[d.initial()]);
+        for q in 0..n {
+            relabeled.set_final(perm[q], d.is_final(q));
+            for a in 0..2u32 {
+                relabeled.set_transition(perm[q], Sym(a), d.transition(q, Sym(a)).map(|t| perm[t]));
+            }
+        }
+        assert_eq!(minimize(&d), minimize(&relabeled));
     }
 }

@@ -69,7 +69,19 @@ impl RelevanceProduct {
     ///
     /// Every component must be over the same `n_syms`-symbol alphabet.
     pub fn build(n_syms: usize, components: &[Dfa], budget: usize) -> Option<RelevanceProduct> {
-        for d in components {
+        let refs: Vec<&Dfa> = components.iter().collect();
+        RelevanceProduct::build_refs(n_syms, &refs, budget)
+    }
+
+    /// [`RelevanceProduct::build`] over borrowed components — lets
+    /// callers holding shared (`Arc`ed) DFAs build the product without
+    /// cloning every component table.
+    pub fn build_refs(
+        n_syms: usize,
+        components: &[&Dfa],
+        budget: usize,
+    ) -> Option<RelevanceProduct> {
+        for &d in components {
             assert_eq!(d.n_syms(), n_syms, "component alphabet mismatch");
             assert!(
                 (d.n_states() as u64) < DEAD_COMPONENT as u64,

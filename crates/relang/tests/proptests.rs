@@ -164,3 +164,66 @@ proptest! {
         let _ = parse_regex(&input, &mut a);
     }
 }
+
+/// Applies a state permutation to `d` (`perm[old] = new`), preserving
+/// the language while scrambling every state id.
+fn relabel(d: &relang::Dfa, perm: &[usize]) -> relang::Dfa {
+    let mut out = relang::Dfa::new(d.n_syms(), d.n_states(), perm[d.initial()]);
+    for q in 0..d.n_states() {
+        out.set_final(perm[q], d.is_final(q));
+        for a in 0..d.n_syms() {
+            let t = d.transition(q, Sym(a as u32)).map(|t| perm[t]);
+            out.set_transition(perm[q], Sym(a as u32), t);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cached_compilation_is_identical_to_uncached(r in core_regex()) {
+        // The memo must be invisible: same raw DFA (numbering included),
+        // same minimal DFA, and — trivially then — the same language.
+        let mut cache = relang::AutomataCache::new();
+        let raw_cached = cache.raw_dfa(&r, N_SYMS);
+        let raw_fresh = relang::ops::language::regex_to_dfa(&r, N_SYMS);
+        prop_assert_eq!(&*raw_cached, &raw_fresh);
+
+        let min_cached = cache.min_dfa(&r, N_SYMS);
+        let min_fresh = minimize(&raw_fresh);
+        prop_assert_eq!(&*min_cached, &min_fresh);
+        prop_assert_eq!(min_cached.n_states(), min_fresh.n_states());
+        for w in words_up_to(4) {
+            prop_assert_eq!(min_cached.accepts(&w), dmatches(&r, &w), "word {:?}", &w);
+        }
+
+        // A second lookup must hit and return the same shared automaton.
+        let again = cache.min_dfa(&r, N_SYMS);
+        prop_assert!(std::sync::Arc::ptr_eq(&min_cached, &again));
+    }
+
+    #[test]
+    fn minimize_is_idempotent(r in core_regex()) {
+        let min = minimize(&determinize(&Nfa::glushkov(&r, N_SYMS).unwrap()));
+        prop_assert_eq!(minimize(&min), min);
+    }
+
+    #[test]
+    fn minimize_is_canonical_under_relabeling(r in core_regex(), seed in 0u64..1024) {
+        // Scramble the state ids of the input DFA with a seeded Fisher–
+        // Yates permutation: the canonical minimizer must erase the
+        // numbering entirely and return the exact same automaton.
+        let dfa = determinize(&Nfa::glushkov(&r, N_SYMS).unwrap());
+        let n = dfa.n_states();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let scrambled = relabel(&dfa, &perm);
+        prop_assert_eq!(minimize(&scrambled), minimize(&dfa));
+    }
+}

@@ -28,6 +28,25 @@ pub fn lower_unchecked(schema: &SchemaDoc) -> Result<Xsd, SyntaxError> {
     lower_impl(schema, false)
 }
 
+/// Upper bound on the element names `p` can intern — sizes the alphabet
+/// hash table once instead of growing it rehash by rehash.
+fn count_particle_names(p: &Particle) -> usize {
+    match p {
+        Particle::Element { decl, .. } => {
+            1 + match &decl.type_ref {
+                TypeRef::Inline(ct) => ct.particle.as_ref().map_or(0, count_particle_names),
+                _ => 0,
+            }
+        }
+        Particle::Sequence { items, .. } | Particle::Choice { items, .. } => {
+            items.iter().map(count_particle_names).sum()
+        }
+        Particle::All { items } => items.iter().map(count_particle_names).sum(),
+        // Group bodies are counted at their declaration site.
+        Particle::GroupRef { .. } => 0,
+    }
+}
+
 fn lower_impl(schema: &SchemaDoc, checked: bool) -> Result<Xsd, SyntaxError> {
     let mut lw = Lowerer {
         builder: XsdBuilder::new(),
@@ -37,6 +56,19 @@ fn lower_impl(schema: &SchemaDoc, checked: bool) -> Result<Xsd, SyntaxError> {
         empty_cache: None,
         synth_counter: 0,
     };
+    let names: usize = schema.roots.len()
+        + schema
+            .named_types
+            .iter()
+            .filter_map(|(_, ct)| ct.particle.as_ref())
+            .map(count_particle_names)
+            .sum::<usize>()
+        + schema
+            .groups
+            .iter()
+            .map(|(_, p)| count_particle_names(p))
+            .sum::<usize>();
+    lw.builder.ename.reserve(names);
     let mut ids = Vec::with_capacity(schema.named_types.len());
     for (name, _) in &schema.named_types {
         if lw.named.contains_key(name.as_str()) {

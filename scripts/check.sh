@@ -14,6 +14,10 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 cargo run --release -p bonxai-bench --bin exp_validation -- --parse-only
+# Compile-path smoke: 20-schema subset through every stage, cached and
+# ablated, so the automata kernels + AutomataCache stay runnable.
+cargo run --release -p bonxai-bench --bin exp_compile -- --smoke > /dev/null
+cargo run --release -p bonxai-bench --bin exp_compile -- --smoke --no-cache > /dev/null
 
 # Lint corpus: `bonxai lint --format json` over examples/lint/ diffed
 # against the golden reports. Exit 1 from the linter just means the
