@@ -21,7 +21,12 @@
 //!
 //! Part 2b (front end): the same corpora lexed only (zero-copy token
 //! scan, no tree, no validation) and parsed to trees only, isolating
-//! what the event front end costs out of the end-to-end numbers.
+//! what the event front end costs out of the end-to-end numbers. Every
+//! front-end and streamed number is measured under **both** lexer
+//! engines — the detected SIMD structural-index engine and the forced
+//! scalar fallback ([`XmlReader::set_engine`]) — interleaved within the
+//! same timing loop, so the SIMD-vs-scalar delta is immune to the
+//! cross-process noise that plagues absolute numbers on shared hosts.
 //! `--parse-only` runs just this part and exits (the `check.sh`
 //! microbench).
 //!
@@ -49,7 +54,7 @@ use bonxai_gen::{sample_document, DocConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use relang::{CompiledDre, Dfa, StateId};
-use xmltree::{Document, NodeId, XmlReader};
+use xmltree::{Document, Engine, NodeId, XmlReader};
 use xsd::violation::{Violation, ViolationKind};
 use xsd::CompiledXsd;
 
@@ -343,6 +348,14 @@ struct Ablation {
     lex_ns_per_node: f64,
     /// Parse to a tree only (no validation).
     parse_ns_per_node: f64,
+    /// Lexer engine behind the three numbers above (`sse2`/`neon`, or
+    /// `scalar` when forced via `BONXAI_NO_SIMD`).
+    simd: &'static str,
+    /// The same three, re-measured with the engine forced to scalar —
+    /// interleaved with the rows above so the ratio is noise-immune.
+    stream_scalar_ns_per_node: f64,
+    lex_scalar_ns_per_node: f64,
+    parse_scalar_ns_per_node: f64,
 }
 
 impl Ablation {
@@ -413,10 +426,31 @@ fn ablation() -> Vec<Ablation> {
 
         // Streamed vs tree, end to end over the same bytes: the tree
         // pipeline parses and then validates; the streaming validator
-        // does both in one pass without materializing nodes.
+        // does both in one pass without materializing nodes. The
+        // streamed number is taken under both lexer engines (detected
+        // SIMD and forced scalar), interleaved in the same loop.
         let texts: Vec<String> = docs.iter().map(xmltree::to_string).collect();
+        let stream_one = |engine: Engine| {
+            let (violations, ms) = timed(|| {
+                texts
+                    .iter()
+                    .map(|t| {
+                        let mut reader = XmlReader::from_str(t);
+                        reader.set_engine(engine);
+                        compiled
+                            .validate_stream(&mut reader)
+                            .expect("round-trip")
+                            .violations
+                            .len()
+                    })
+                    .sum::<usize>()
+            });
+            assert_eq!(violations, 0, "{name}: corpus must conform (stream)");
+            ms * 1e6 / nodes as f64
+        };
         let mut tree_e2e_ns = f64::INFINITY;
         let mut stream_ns = f64::INFINITY;
+        let mut stream_scalar_ns = f64::INFINITY;
         for _ in 0..10 {
             let (violations, ms) = timed(|| {
                 texts
@@ -429,23 +463,10 @@ fn ablation() -> Vec<Ablation> {
             });
             assert_eq!(violations, 0, "{name}: corpus must conform (tree)");
             tree_e2e_ns = tree_e2e_ns.min(ms * 1e6 / nodes as f64);
-            let (violations, ms) = timed(|| {
-                texts
-                    .iter()
-                    .map(|t| {
-                        let mut reader = XmlReader::from_str(t);
-                        compiled
-                            .validate_stream(&mut reader)
-                            .expect("round-trip")
-                            .violations
-                            .len()
-                    })
-                    .sum::<usize>()
-            });
-            assert_eq!(violations, 0, "{name}: corpus must conform (stream)");
-            stream_ns = stream_ns.min(ms * 1e6 / nodes as f64);
+            stream_ns = stream_ns.min(stream_one(Engine::detect()));
+            stream_scalar_ns = stream_scalar_ns.min(stream_one(Engine::Scalar));
         }
-        let (lex_ns, parse_ns) = front_end_ns(&texts, nodes);
+        let fe = front_end_ns(&texts, nodes);
 
         results.push(Ablation {
             schema: name,
@@ -457,8 +478,12 @@ fn ablation() -> Vec<Ablation> {
             product_ns_per_node: product_ns,
             tree_e2e_ns_per_node: tree_e2e_ns,
             stream_ns_per_node: stream_ns,
-            lex_ns_per_node: lex_ns,
-            parse_ns_per_node: parse_ns,
+            lex_ns_per_node: fe.lex,
+            parse_ns_per_node: fe.parse,
+            simd: Engine::detect().name(),
+            stream_scalar_ns_per_node: stream_scalar_ns,
+            lex_scalar_ns_per_node: fe.lex_scalar,
+            parse_scalar_ns_per_node: fe.parse_scalar,
         });
     }
 
@@ -479,6 +504,7 @@ fn ablation() -> Vec<Ablation> {
                 format!("{:.0}", r.stream_ns_per_node),
                 format!("{:.0}", r.lex_ns_per_node),
                 format!("{:.0}", r.parse_ns_per_node),
+                r.simd.to_owned(),
             ]
         })
         .collect();
@@ -498,6 +524,7 @@ fn ablation() -> Vec<Ablation> {
             "streamed",
             "lex only",
             "parse only",
+            "simd",
         ],
         &rows,
     );
@@ -509,23 +536,68 @@ fn ablation() -> Vec<Ablation> {
          validate a tree vs one streaming pass with no tree; lex only is \
          the zero-copy token scan of the same bytes, parse only builds \
          the tree without validating — streamed minus lex only is what \
-         validation itself costs on the streaming path."
+         validation itself costs on the streaming path. `simd` is the \
+         lexer engine behind those columns."
+    );
+
+    let scalar_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.schema.to_owned(),
+                format!("{:.0}", r.stream_scalar_ns_per_node),
+                format!("{:.0}", r.lex_scalar_ns_per_node),
+                format!("{:.0}", r.parse_scalar_ns_per_node),
+                format!("{:.2}x", r.stream_scalar_ns_per_node / r.stream_ns_per_node),
+                format!("{:.2}x", r.lex_scalar_ns_per_node / r.lex_ns_per_node),
+                format!("{:.2}x", r.parse_scalar_ns_per_node / r.parse_ns_per_node),
+            ]
+        })
+        .collect();
+    print_table(
+        "Forced-scalar lexer (same corpora, interleaved measurement)",
+        &[
+            "schema",
+            "streamed",
+            "lex only",
+            "parse only",
+            "stream gain",
+            "lex gain",
+            "parse gain",
+        ],
+        &scalar_rows,
+    );
+    println!(
+        "\nns/node with the lexer engine forced to the portable scalar \
+         path; `gain` columns are scalar/simd ratios. Scalar and SIMD \
+         passes alternate inside one timing loop, so the ratios survive \
+         host noise that distorts the absolute numbers."
     );
     results
 }
 
+/// Front-end timings for one corpus under both lexer engines.
+struct FrontEnd {
+    lex: f64,
+    parse: f64,
+    lex_scalar: f64,
+    parse_scalar: f64,
+}
+
 /// Times the front end alone over serialized corpora: the zero-copy
 /// token scan (no tree, no validation) and the tree parse (no
-/// validation). Returns (lex, parse) ns per element node.
-fn front_end_ns(texts: &[String], nodes: usize) -> (f64, f64) {
-    let mut lex_ns = f64::INFINITY;
-    let mut parse_ns = f64::INFINITY;
-    for _ in 0..10 {
+/// validation), each under the detected engine and the forced scalar
+/// fallback. All four measurements alternate within one loop so a
+/// noise burst on a shared host hits them equally; the scalar/SIMD
+/// ratio is therefore trustworthy even when absolutes wobble.
+fn front_end_ns(texts: &[String], nodes: usize) -> FrontEnd {
+    let lex_one = |engine: Engine| {
         let (events, ms) = timed(|| {
             texts
                 .iter()
                 .map(|t| {
                     let mut reader = XmlReader::from_str(t);
+                    reader.set_engine(engine);
                     let mut n = 0usize;
                     loop {
                         let tok = reader.next_event().expect("well-formed");
@@ -539,21 +611,38 @@ fn front_end_ns(texts: &[String], nodes: usize) -> (f64, f64) {
                 .sum::<usize>()
         });
         assert!(events >= nodes, "every element node yields an event");
-        lex_ns = lex_ns.min(ms * 1e6 / nodes as f64);
+        ms * 1e6 / nodes as f64
+    };
+    let parse_one = |engine: Engine| {
         let (parsed, ms) = timed(|| {
             texts
                 .iter()
                 .map(|t| {
-                    xmltree::parse_document(t)
+                    let mut reader = XmlReader::from_str(t);
+                    reader.set_engine(engine);
+                    xmltree::parse_from_reader(reader)
                         .expect("round-trip")
+                        .document
                         .element_count()
                 })
                 .sum::<usize>()
         });
         assert_eq!(parsed, nodes, "tree parse sees the same corpus");
-        parse_ns = parse_ns.min(ms * 1e6 / nodes as f64);
+        ms * 1e6 / nodes as f64
+    };
+    let mut fe = FrontEnd {
+        lex: f64::INFINITY,
+        parse: f64::INFINITY,
+        lex_scalar: f64::INFINITY,
+        parse_scalar: f64::INFINITY,
+    };
+    for _ in 0..10 {
+        fe.lex = fe.lex.min(lex_one(Engine::detect()));
+        fe.lex_scalar = fe.lex_scalar.min(lex_one(Engine::Scalar));
+        fe.parse = fe.parse.min(parse_one(Engine::detect()));
+        fe.parse_scalar = fe.parse_scalar.min(parse_one(Engine::Scalar));
     }
-    (lex_ns, parse_ns)
+    fe
 }
 
 /// `--parse-only`: the front-end microbench alone — fast enough for
@@ -573,15 +662,34 @@ fn parse_only_bench() {
         nodes += doc.element_count();
         texts.push(xmltree::to_string(&doc));
     }
-    let (lex_ns, parse_ns) = front_end_ns(&texts, nodes);
+    let fe = front_end_ns(&texts, nodes);
     print_table(
         "Parse-only front end (figure5 corpus)",
-        &["nodes", "lex only (ns/node)", "tree parse (ns/node)"],
-        &[vec![
-            nodes.to_string(),
-            format!("{lex_ns:.0}"),
-            format!("{parse_ns:.0}"),
-        ]],
+        &[
+            "engine",
+            "nodes",
+            "lex only (ns/node)",
+            "tree parse (ns/node)",
+        ],
+        &[
+            vec![
+                Engine::detect().name().to_owned(),
+                nodes.to_string(),
+                format!("{:.0}", fe.lex),
+                format!("{:.0}", fe.parse),
+            ],
+            vec![
+                "scalar (forced)".into(),
+                nodes.to_string(),
+                format!("{:.0}", fe.lex_scalar),
+                format!("{:.0}", fe.parse_scalar),
+            ],
+        ],
+    );
+    println!(
+        "\nlex gain {:.2}x, parse gain {:.2}x (scalar/simd, interleaved)",
+        fe.lex_scalar / fe.lex,
+        fe.parse_scalar / fe.parse
     );
 }
 
@@ -857,7 +965,10 @@ fn render_json(results: &[Ablation], batch: &BatchScaling, mem: &StreamMemory) -
              \"product_nodes_per_sec\": {:.0}, \"speedup\": {:.3}, \
              \"fallback_speedup\": {:.3}, \"tree_e2e_ns_per_node\": {:.2}, \
              \"stream_ns_per_node\": {:.2}, \"lex_ns_per_node\": {:.2}, \
-             \"parse_ns_per_node\": {:.2}}}{}\n",
+             \"parse_ns_per_node\": {:.2}, \"simd\": \"{}\", \
+             \"stream_scalar_ns_per_node\": {:.2}, \
+             \"lex_scalar_ns_per_node\": {:.2}, \
+             \"parse_scalar_ns_per_node\": {:.2}}}{}\n",
             r.schema,
             r.rules,
             r.product_states,
@@ -873,6 +984,10 @@ fn render_json(results: &[Ablation], batch: &BatchScaling, mem: &StreamMemory) -
             r.stream_ns_per_node,
             r.lex_ns_per_node,
             r.parse_ns_per_node,
+            r.simd,
+            r.stream_scalar_ns_per_node,
+            r.lex_scalar_ns_per_node,
+            r.parse_scalar_ns_per_node,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }

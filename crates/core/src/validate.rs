@@ -542,7 +542,15 @@ impl<'a> CompiledBxsd<'a> {
         report: &mut BxsdReport,
     ) -> Result<(), xmltree::ParseError> {
         // Frames reference `self` through their ContentEval.
-        let mut stack: Vec<StreamFrame<'_, E::State>> = Vec::new();
+        let mut stack: Vec<StreamFrame<'_, E::State>> = Vec::with_capacity(16);
+        // Recycled frame buffers: the child-word vectors of the buffered
+        // content fallback and the text accumulators of simple-content
+        // elements. Without these, every simple-content node would pay a
+        // malloc/free pair for its (usually tiny) text — measurable at
+        // streaming speeds. The pools are bounded by the maximum open
+        // depth, so they keep memory O(depth) like the stack itself.
+        let mut spare_words: Vec<Vec<Sym>> = Vec::new();
+        let mut spare_texts: Vec<String> = Vec::new();
         // Next node id, counting element and text nodes in event order —
         // the arena allocation order of the tree parser.
         let mut next_node = 0usize;
@@ -622,14 +630,14 @@ impl<'a> CompiledBxsd<'a> {
                             },
                         );
                     }
-                    let mut word = Vec::new();
+                    let mut word = spare_words.pop().unwrap_or_default();
                     let content = self.content_eval(relevant, &mut word);
                     // Text is only accumulated where it will be checked
                     // (simple content), so arbitrary amounts of ignored
                     // text cannot grow a frame.
                     let text = relevant
                         .filter(|&i| self.bxsd.rules[i].content.simple_content.is_some())
-                        .map(|_| String::new());
+                        .map(|_| spare_texts.pop().unwrap_or_default());
                     // Attributes are checked right here, against the
                     // token's borrowed list — nothing is copied out of
                     // the reader's buffer. The (almost always empty)
@@ -696,6 +704,13 @@ impl<'a> CompiledBxsd<'a> {
                         frame.text.as_deref(),
                         &mut report.violations,
                     );
+                    let mut word = frame.word;
+                    word.clear();
+                    spare_words.push(word);
+                    if let Some(mut text) = frame.text {
+                        text.clear();
+                        spare_texts.push(text);
+                    }
                 }
                 XmlToken::EndDocument => return Ok(()),
             }

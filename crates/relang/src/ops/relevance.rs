@@ -23,10 +23,9 @@
 //! state (sentinel [`DEAD_COMPONENT`]) and the all-dead tuple is interned
 //! unconditionally so callers can park unmatchable subtrees on it.
 
-use std::collections::HashMap;
-
 use crate::alphabet::Sym;
 use crate::dfa::Dfa;
+use crate::ops::subset::SubsetInterner;
 
 /// Per-component sentinel for "this rule automaton has rejected".
 const DEAD_COMPONENT: u32 = u32::MAX;
@@ -90,52 +89,53 @@ impl RelevanceProduct {
         }
         let n = components.len();
 
-        let mut memo: HashMap<Box<[u32]>, ProductState> = HashMap::new();
-        let mut tuples: Vec<Box<[u32]>> = Vec::new();
-        let mut intern = |tuple: Box<[u32]>, tuples: &mut Vec<Box<[u32]>>| -> ProductState {
-            *memo.entry(tuple).or_insert_with_key(|t| {
-                tuples.push(t.clone());
-                (tuples.len() - 1) as ProductState
-            })
-        };
+        // Tuples are interned as `u32` slices in a shared arena with
+        // Fx-hashed open addressing — the same kernel the subset
+        // construction uses. Ids come out in first-insertion order, so
+        // the state numbering is identical to the previous
+        // `HashMap<Box<[u32]>, _>` memo, without a heap allocation and
+        // a SipHash pass per successor tuple (the product stage spends
+        // almost all its time interning already-seen tuples).
+        let mut tuples = SubsetInterner::with_capacity(budget.clamp(16, 1 << 12));
 
         // Seed with the initial tuple and the all-dead tuple. A component
         // with no states at all is dead from the start.
-        let initial_tuple: Box<[u32]> = components
-            .iter()
-            .map(|d| {
-                if d.n_states() == 0 {
-                    DEAD_COMPONENT
-                } else {
-                    d.initial() as u32
-                }
-            })
-            .collect();
-        let dead_tuple: Box<[u32]> = vec![DEAD_COMPONENT; n].into();
-        let initial = intern(initial_tuple, &mut tuples);
-        let dead = intern(dead_tuple, &mut tuples);
+        let mut scratch: Vec<u32> = Vec::with_capacity(n);
+        scratch.extend(components.iter().map(|d| {
+            if d.n_states() == 0 {
+                DEAD_COMPONENT
+            } else {
+                d.initial() as u32
+            }
+        }));
+        let initial = tuples.intern(&scratch);
+        scratch.clear();
+        scratch.resize(n, DEAD_COMPONENT);
+        let dead = tuples.intern(&scratch);
 
         // BFS over the reachable product, building total rows as we go.
+        // `cur` snapshots the tuple being expanded (the arena cannot be
+        // borrowed across `intern`).
         let mut table: Vec<ProductState> = Vec::new();
+        let mut cur: Vec<u32> = Vec::new();
         let mut next = 0usize;
         while next < tuples.len() {
             if tuples.len() > budget {
                 return None;
             }
+            cur.clear();
+            cur.extend_from_slice(tuples.get(next));
             for a in 0..n_syms {
-                let succ: Box<[u32]> = tuples[next]
-                    .iter()
-                    .zip(components)
-                    .map(|(&q, d)| {
-                        if q == DEAD_COMPONENT {
-                            DEAD_COMPONENT
-                        } else {
-                            d.transition(q as usize, Sym(a as u32))
-                                .map_or(DEAD_COMPONENT, |t| t as u32)
-                        }
-                    })
-                    .collect();
-                table.push(intern(succ, &mut tuples));
+                scratch.clear();
+                scratch.extend(cur.iter().zip(components).map(|(&q, d)| {
+                    if q == DEAD_COMPONENT {
+                        DEAD_COMPONENT
+                    } else {
+                        d.transition(q as usize, Sym(a as u32))
+                            .map_or(DEAD_COMPONENT, |t| t as u32)
+                    }
+                }));
+                table.push(tuples.intern(&scratch));
             }
             next += 1;
         }
@@ -148,7 +148,8 @@ impl RelevanceProduct {
         let mut match_off = Vec::with_capacity(tuples.len() + 1);
         let mut match_data = Vec::new();
         match_off.push(0u32);
-        for tuple in &tuples {
+        for s in 0..tuples.len() {
+            let tuple = tuples.get(s);
             for (i, (&q, d)) in tuple.iter().zip(components).enumerate() {
                 if q != DEAD_COMPONENT && d.is_final(q as usize) {
                     match_data.push(i as u32);

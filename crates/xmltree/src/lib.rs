@@ -24,7 +24,10 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the SIMD structural-index kernels ([`simd`]) and
+// the proven-UTF-8 slice materialization in [`stream`] carry the only
+// `#[allow(unsafe_code)]` exemptions, each with a SAFETY argument.
+#![deny(unsafe_code)]
 
 pub mod builder;
 pub mod dtd;
@@ -33,11 +36,13 @@ pub mod parser;
 #[doc(hidden)]
 pub mod reference;
 pub mod serializer;
+pub mod simd;
 pub mod stream;
 pub mod tree;
 
 pub use error::{ParseError, Position};
-pub use parser::{parse, parse_document, ParsedXml};
+pub use parser::{parse, parse_document, parse_from_reader, ParsedXml};
 pub use serializer::{to_string, to_string_pretty};
+pub use simd::Engine;
 pub use stream::{Attr, AttrList, NameId, XmlEvent, XmlReader, XmlToken};
 pub use tree::{Attribute, Document, NodeId, NodeKind};

@@ -16,7 +16,7 @@
 //! self-closing tags. Errors carry line/column positions.
 
 use crate::error::ParseError;
-use crate::stream::{XmlReader, XmlToken};
+use crate::stream::{ByteSrc, XmlReader, XmlToken};
 use crate::tree::{Document, NodeId};
 
 /// The result of parsing an XML file.
@@ -32,11 +32,22 @@ pub struct ParsedXml {
 
 /// Parses an XML document from a string.
 pub fn parse(input: &str) -> Result<ParsedXml, ParseError> {
-    let mut reader = XmlReader::from_str(input);
+    parse_from_reader(XmlReader::from_str(input))
+}
+
+/// Folds an already-constructed reader into a parsed document.
+///
+/// This is the tree-building fold itself; [`parse`] is just this applied
+/// to [`XmlReader::from_str`]. Exposed so callers that need a non-default
+/// reader — a forced lexer engine ([`XmlReader::set_engine`]), an
+/// incremental [`io::Read`](std::io::Read) source — can still reuse the
+/// exact same materialization. The stack is pre-sized to a typical
+/// document depth so steady-state parsing never reallocates it.
+pub fn parse_from_reader<S: ByteSrc>(mut reader: XmlReader<S>) -> Result<ParsedXml, ParseError> {
     let mut doctype_name = None;
     let mut internal_subset = None;
     let mut document: Option<Document> = None;
-    let mut stack: Vec<NodeId> = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::with_capacity(16);
     loop {
         match reader.next_event()? {
             XmlToken::Doctype {

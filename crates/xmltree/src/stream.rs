@@ -12,11 +12,30 @@
 //!   way the consumer sees fully decoded text with no per-event
 //!   allocation; slices stay valid until the next [`XmlReader::next_event`]
 //!   call (consumption of the underlying bytes is deferred until then);
-//! * delimiter searches (`<`, `&`, quotes, `]`, `-`, `?`) use SWAR
+//! * lexing is **two-stage** (simdjson-style): stage 1
+//!   ([`crate::simd`]) scans each buffer chunk once with SIMD compare
+//!   lanes (SSE2/NEON, runtime-dispatched) and records a compact
+//!   [`StructIdx`] of structural positions (`<`, `>`, `"`, `'`, `&`,
+//!   `]`), newline offsets, and a batched UTF-8 validity watermark;
+//!   stage 2 (this module's token layer) walks the index — a text run
+//!   ends at the next `<`/`&` mark, a tag extent is the next unquoted
+//!   `>` mark with quote marks hopped pairwise, and a complete tag is
+//!   parsed out of the materialized slice in one pass. Positions in the
+//!   index are **absolute**, so they survive [`IoSrc`] window
+//!   compaction unchanged. On anything unusual (entity references in
+//!   attribute values, malformed tags, spans reaching past the UTF-8
+//!   watermark, oversized tokens, end of input) the token layer falls
+//!   back to the scalar scan of the same bytes, which keeps errors and
+//!   positions byte-identical by construction;
+//! * the scalar fallback — also selected by [`Engine::Scalar`] via
+//!   [`XmlReader::set_engine`] or the `BONXAI_NO_SIMD` environment
+//!   variable — skips the index entirely: delimiter searches use SWAR
 //!   word-at-a-time scanning ([`mod@self`]-internal `memchr`-style
-//!   helpers) instead of byte-at-a-time `peek`/`bump`;
-//! * UTF-8 is validated once per slice at token boundaries, not per
-//!   character;
+//!   helpers), exactly the pre-index code path;
+//! * UTF-8 is validated in bulk per indexed chunk (SIMD engines) or
+//!   once per slice at token boundaries (scalar engine), never per
+//!   character; spans proven valid are materialized without a second
+//!   validation pass;
 //! * element names are interned into a dense per-reader pool on first
 //!   occurrence: every start/end token carries a [`NameId`], so a
 //!   streaming validator can map names to schema symbols with one array
@@ -52,6 +71,7 @@ use std::collections::BTreeMap;
 use std::io::Read;
 
 use crate::error::{ParseError, Position};
+use crate::simd::{self, Engine};
 use crate::tree::Attribute;
 
 /// Maximum nesting depth of entity references inside entity values.
@@ -73,6 +93,12 @@ const IO_CHUNK: usize = 64 * 1024;
 /// every refill (the previous behavior) copies the whole unconsumed tail
 /// each time the window is extended mid-token.
 const COMPACT_THRESHOLD: usize = 4 * 1024;
+
+/// Granularity of the stage-1 structural-index pass: each extension of
+/// the index classifies at least this many bytes (when available), so
+/// the SIMD kernel amortizes its setup over whole chunks instead of
+/// being re-entered per token.
+const IDX_CHUNK: usize = 4 * 1024;
 
 /// An owned streaming XML event — [`XmlToken`] with the borrows
 /// materialized (see [`XmlToken::to_event`]). Kept for consumers that
@@ -278,13 +304,11 @@ impl<'a> AttrList<'a> {
     /// The `i`-th attribute in document order.
     pub fn get(&self, i: usize) -> Attr<'a> {
         let sp = &self.spans[i];
-        let name = std::str::from_utf8(&self.tag[sp.name_start as usize..sp.name_end as usize])
-            .expect("attribute names are UTF-8 validated at scan time");
+        let name = str_from_checked(&self.tag[sp.name_start as usize..sp.name_end as usize]);
         let value = if sp.val_in_scratch {
             &self.scratch[sp.val_start as usize..sp.val_end as usize]
         } else {
-            std::str::from_utf8(&self.tag[sp.val_start as usize..sp.val_end as usize])
-                .expect("attribute values are UTF-8 validated at scan time")
+            str_from_checked(&self.tag[sp.val_start as usize..sp.val_end as usize])
         };
         Attr { name, value }
     }
@@ -456,20 +480,143 @@ enum Scan {
     Eof(usize),
 }
 
+/// Stage-1 output: the structural index built ahead of the cursor by the
+/// SIMD classification pass ([`crate::simd`]).
+///
+/// All positions are **absolute** document offsets — [`IoSrc`] window
+/// compaction shifts buffer contents but never the reader's coordinate
+/// system, so index entries survive refills untouched. Invariants:
+///
+/// * `marks` is sorted; every entry is `(abs_pos << 3) | class` for a
+///   structural byte in `[0, indexed_to)`; entries before `head` are
+///   behind the cursor (kept until a batched drain);
+/// * `nls` is the sorted newline positions of the same range, consumed
+///   destructively (`nl_head`) as the cursor passes them;
+/// * bytes in `[0, utf8_valid_to)` are proven valid UTF-8, except that
+///   when `utf8_bad = Some(b)`, validation is frozen: `b` starts an
+///   invalid sequence and `utf8_valid_to == b`. The watermark resumes
+///   only after the cursor passes `b` through a construct that is never
+///   UTF-8-checked (comments, PIs, DOCTYPE) — token paths that *do*
+///   check report `b` first.
+struct StructIdx {
+    engine: Engine,
+    /// Packed structural marks: `(abs_pos << 3) | class`, sorted.
+    marks: Vec<u64>,
+    /// First mark not yet known to be behind the cursor.
+    head: usize,
+    /// Absolute newline positions, sorted.
+    nls: Vec<u64>,
+    /// First newline the cursor has not passed.
+    nl_head: usize,
+    /// Absolute offset up to which the input has been classified.
+    indexed_to: usize,
+    /// Absolute offset up to which the input is proven valid UTF-8.
+    utf8_valid_to: usize,
+    /// First byte of an invalid UTF-8 sequence, if one froze the
+    /// watermark.
+    utf8_bad: Option<usize>,
+}
+
+impl StructIdx {
+    fn new(engine: Engine) -> Self {
+        StructIdx {
+            engine,
+            // Pre-sized so steady-state indexing (prune keeps both lists
+            // near one window's worth of entries) never reallocates.
+            marks: Vec::with_capacity(2048),
+            head: 0,
+            nls: Vec::with_capacity(256),
+            nl_head: 0,
+            indexed_to: 0,
+            utf8_valid_to: 0,
+            utf8_bad: None,
+        }
+    }
+
+    /// First mark at `pos >= from_abs` with `pos < end_abs` whose class
+    /// bit is set in `mask`.
+    #[inline]
+    fn find_in(&self, from_abs: usize, end_abs: usize, mask: u8) -> Option<(usize, u8)> {
+        // `prune` keeps `head` at the cursor, so the first in-range mark
+        // is almost always within a few entries: probe linearly, and
+        // binary-search only on a long skip.
+        let mut lo = self.head;
+        let mut steps = 0;
+        while let Some(&m) = self.marks.get(lo) {
+            if (m >> 3) >= from_abs as u64 {
+                break;
+            }
+            lo += 1;
+            steps += 1;
+            if steps == 8 {
+                lo = self.head
+                    + self.marks[self.head..].partition_point(|&m| (m >> 3) < from_abs as u64);
+                break;
+            }
+        }
+        for &m in &self.marks[lo..] {
+            let pos = (m >> 3) as usize;
+            if pos >= end_abs {
+                return None;
+            }
+            let class = (m & 7) as u8;
+            if mask & (1 << class) != 0 {
+                return Some((pos, class));
+            }
+        }
+        None
+    }
+
+    /// Retires index state behind the cursor: advances `head`, drains
+    /// the retired prefixes once they dominate their vectors (keeping
+    /// memory O(window)), and unfreezes the UTF-8 watermark when the
+    /// cursor has passed a frozen bad byte (only unchecked constructs —
+    /// comments, PIs, DOCTYPE — can step over one).
+    fn prune(&mut self, cursor: usize) {
+        while self
+            .marks
+            .get(self.head)
+            .is_some_and(|&m| (m >> 3) < cursor as u64)
+        {
+            self.head += 1;
+        }
+        if self.head > 1024 && self.head * 2 >= self.marks.len() {
+            self.marks.drain(..self.head);
+            self.head = 0;
+        }
+        if self.nl_head > 1024 && self.nl_head * 2 >= self.nls.len() {
+            self.nls.drain(..self.nl_head);
+            self.nl_head = 0;
+        }
+        if self.utf8_bad.is_some_and(|b| b < cursor) {
+            self.utf8_bad = None;
+            self.utf8_valid_to = self.utf8_valid_to.max(cursor);
+        }
+    }
+}
+
 /// Dense interner of element names: open addressing over FNV-1a,
 /// `slots[h] = id + 1`, 0 = empty, kept at most half full. One hash +
 /// one probe chain per intern; misses insert into the slot the probe
-/// already found.
+/// already found. A most-recently-interned memo short-circuits the
+/// hash entirely for runs of same-named siblings — the dominant shape
+/// of real documents.
 #[derive(Default)]
 struct NamePool {
     names: Vec<String>,
     slots: Vec<u32>,
+    last: u32,
 }
 
 impl NamePool {
     /// Interns raw name bytes, validating UTF-8 only on first
     /// occurrence. `None` means the bytes are not valid UTF-8.
     fn intern(&mut self, bytes: &[u8]) -> Option<NameId> {
+        if let Some(n) = self.names.get(self.last as usize) {
+            if n.as_bytes() == bytes {
+                return Some(NameId(self.last));
+            }
+        }
         let mut idx = 0usize;
         if !self.slots.is_empty() {
             let mask = self.slots.len() - 1;
@@ -479,6 +626,7 @@ impl NamePool {
                     0 => break,
                     s => {
                         if self.names[(s - 1) as usize].as_bytes() == bytes {
+                            self.last = s - 1;
                             return Some(NameId(s - 1));
                         }
                     }
@@ -488,6 +636,7 @@ impl NamePool {
         }
         let name = std::str::from_utf8(bytes).ok()?;
         let id = u32::try_from(self.names.len()).expect("name-pool overflow");
+        self.last = id;
         self.names.push(name.to_owned());
         if (self.names.len() + 1) * 2 > self.slots.len() {
             self.rebuild();
@@ -514,6 +663,35 @@ impl NamePool {
     fn get(&self, id: NameId) -> &str {
         &self.names[id.0 as usize]
     }
+}
+
+/// Materializes a byte span that an earlier UTF-8 check has already
+/// proven valid — `check_utf8` (scalar engine), the chunked window
+/// watermark (`StructIdx::utf8_valid_to`, SIMD engines), or name-pool
+/// interning — without paying a second validation pass.
+#[allow(unsafe_code)]
+#[inline]
+fn str_from_checked(bytes: &[u8]) -> &str {
+    debug_assert!(std::str::from_utf8(bytes).is_ok(), "span was checked");
+    // SAFETY: every call site runs strictly after a successful UTF-8
+    // validation of this exact span (see the doc comment); the span is
+    // immutable in between.
+    unsafe { std::str::from_utf8_unchecked(bytes) }
+}
+
+/// Whether an extent-resolved end tag (`tag` starts `</`, ends with its
+/// own `>`) closes exactly `expected`: `</expected␣*>` with the name
+/// ending at a non-name byte. Anything else goes back through the
+/// scalar scan for its exact error.
+fn parse_end_tag_slice(tag: &[u8], expected: &[u8]) -> bool {
+    let n = tag.len();
+    let ne = 2 + expected.len();
+    if n < ne + 1 || &tag[2..ne] != expected || is_name_char(tag[ne]) {
+        return false;
+    }
+    tag[ne..n - 1]
+        .iter()
+        .all(|&c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))
 }
 
 #[inline]
@@ -642,6 +820,9 @@ pub struct XmlReader<S> {
     /// DOCTYPE payload backing the borrowed [`XmlToken::Doctype`].
     doctype_name: String,
     doctype_subset: Option<String>,
+    /// The stage-1 structural index; `None` ⇔ [`Engine::Scalar`] (the
+    /// SWAR fallback paths run instead).
+    idx: Option<StructIdx>,
 }
 
 /// A reader over a borrowed in-memory document.
@@ -666,6 +847,7 @@ impl<R: Read> XmlReader<IoSrc<R>> {
 impl<S: ByteSrc> XmlReader<S> {
     /// Wraps an arbitrary byte source.
     pub fn with_source(src: S) -> Self {
+        let engine = Engine::detect();
         XmlReader {
             src,
             offset: 0,
@@ -684,7 +866,28 @@ impl<S: ByteSrc> XmlReader<S> {
             text_scratch: String::new(),
             doctype_name: String::new(),
             doctype_subset: None,
+            idx: (engine != Engine::Scalar).then(|| StructIdx::new(engine)),
         }
+    }
+
+    /// Selects the lexing engine. [`Engine::Scalar`] disables the
+    /// structural index entirely (the forced-scalar escape hatch, also
+    /// reachable via the `BONXAI_NO_SIMD` environment variable);
+    /// requesting an engine this machine lacks falls back to scalar.
+    /// May be called mid-stream: index state is rebuilt from the cursor
+    /// and results never change — only throughput does.
+    pub fn set_engine(&mut self, engine: Engine) {
+        let engine = if engine.is_available() {
+            engine
+        } else {
+            Engine::Scalar
+        };
+        self.idx = (engine != Engine::Scalar).then(|| StructIdx::new(engine));
+    }
+
+    /// The lexing engine in use (see [`Engine::detect`]).
+    pub fn engine(&self) -> Engine {
+        self.idx.as_ref().map_or(Engine::Scalar, |i| i.engine)
     }
 
     /// Sets the cap on the byte length of a single token (tag, text
@@ -730,6 +933,10 @@ impl<S: ByteSrc> XmlReader<S> {
     /// Advances line/offset accounting over the next `n` visible bytes
     /// (which must already be buffered).
     fn register(&mut self, n: usize) {
+        if self.idx.is_some() {
+            self.register_indexed(n);
+            return;
+        }
         let w = self.src.window(n);
         let w = &w[..n.min(w.len())];
         let mut from = 0;
@@ -739,6 +946,112 @@ impl<S: ByteSrc> XmlReader<S> {
             from += k + 1;
         }
         self.offset += n;
+    }
+
+    /// Indexed [`Self::register`]: instead of re-scanning the consumed
+    /// bytes for newlines, walks the newline positions stage 1 already
+    /// recorded (amortized O(#newlines), not O(bytes)).
+    fn register_indexed(&mut self, n: usize) {
+        let end = self.offset + n;
+        self.index_to_abs(end);
+        let idx = self.idx.as_mut().expect("register_indexed needs the index");
+        while let Some(&p) = idx.nls.get(idx.nl_head) {
+            let p = p as usize;
+            if p >= end {
+                break;
+            }
+            idx.nl_head += 1;
+            // Entries behind the cursor were already counted by the
+            // byte-at-a-time DOCTYPE path; skip them silently.
+            if p >= self.offset {
+                self.line += 1;
+                self.line_start = p + 1;
+            }
+        }
+        self.offset = end;
+        idx.prune(end);
+    }
+
+    /// Extends the structural index (and the batched UTF-8 watermark) to
+    /// cover the input up to absolute offset `target`, or to end of
+    /// input, whichever comes first. The hot case — already covered —
+    /// is a single comparison; [`Self::index_fill`] does the work.
+    #[inline]
+    fn index_to_abs(&mut self, target: usize) {
+        match &self.idx {
+            Some(i) if i.indexed_to >= target => {}
+            Some(_) => self.index_fill(target),
+            None => {}
+        }
+    }
+
+    /// Classifies chunks until the index covers `target` or end of
+    /// input. Each step takes at least [`IDX_CHUNK`] bytes when
+    /// available.
+    #[cold]
+    fn index_fill(&mut self, target: usize) {
+        let offset = self.offset;
+        let XmlReader { src, idx, .. } = self;
+        let Some(idx) = idx.as_mut() else { return };
+        if idx.indexed_to < offset {
+            // A cold path (DOCTYPE subset) advanced the cursor byte-wise
+            // past the indexed region; restart cleanly at the cursor.
+            idx.indexed_to = offset;
+            idx.utf8_valid_to = idx.utf8_valid_to.max(offset);
+            if idx.utf8_bad.is_some_and(|b| b < offset) {
+                idx.utf8_bad = None;
+            }
+        }
+        while idx.indexed_to < target {
+            let base_rel = idx.indexed_to - offset;
+            let want_rel = (target - offset).max(base_rel + IDX_CHUNK);
+            let w = src.window(want_rel);
+            if w.len() <= base_rel {
+                return; // end of input
+            }
+            let take = (w.len() - base_rel).min((target - idx.indexed_to).max(IDX_CHUNK));
+            let all_ascii = simd::classify(
+                idx.engine,
+                &w[base_rel..base_rel + take],
+                idx.indexed_to,
+                &mut idx.marks,
+                &mut idx.nls,
+            );
+            let new_end = idx.indexed_to + take;
+            if idx.utf8_bad.is_none() {
+                if all_ascii && idx.utf8_valid_to == idx.indexed_to {
+                    idx.utf8_valid_to = new_end;
+                } else {
+                    // Resume from the watermark, clamped to the cursor:
+                    // after a frozen bad byte is pruned away (it sat in
+                    // a construct that is never UTF-8-checked) the
+                    // watermark trails the cursor, and the cursor —
+                    // always just past an ASCII delimiter — is a safe
+                    // char boundary to restart validation from.
+                    let v_rel = idx.utf8_valid_to.saturating_sub(offset);
+                    match std::str::from_utf8(&w[v_rel..base_rel + take]) {
+                        Ok(_) => idx.utf8_valid_to = new_end,
+                        Err(e) => {
+                            idx.utf8_valid_to = offset + v_rel + e.valid_up_to();
+                            if e.error_len().is_some() {
+                                idx.utf8_bad = Some(idx.utf8_valid_to);
+                            }
+                            // else: a truncated char at end of input —
+                            // the watermark just stops short of it.
+                        }
+                    }
+                }
+            }
+            idx.indexed_to = new_end;
+        }
+    }
+
+    /// Ensures the index covers at least `min_rel` bytes past the cursor
+    /// (or end of input) and returns how many bytes it does cover.
+    fn index_cover(&mut self, min_rel: usize) -> usize {
+        self.index_to_abs(self.offset + min_rel);
+        let offset = self.offset;
+        self.idx.as_ref().map_or(0, |i| i.indexed_to - offset)
     }
 
     /// Consumes `n` bytes immediately (for data not borrowed by the
@@ -763,6 +1076,30 @@ impl<S: ByteSrc> XmlReader<S> {
     /// Position of the byte at relative offset `i` from the cursor
     /// (clamped to end of input).
     fn position_at(&mut self, i: usize) -> Position {
+        if self.idx.is_some() {
+            // Non-consuming walk of the recorded newline positions.
+            let covered = self.index_cover(i);
+            let upto = i.min(covered);
+            let end = self.offset + upto;
+            let idx = self.idx.as_ref().expect("position_at needs the index");
+            let mut line = self.line;
+            let mut line_start = self.line_start;
+            for &p in &idx.nls[idx.nl_head..] {
+                let p = p as usize;
+                if p >= end {
+                    break;
+                }
+                if p >= self.offset {
+                    line += 1;
+                    line_start = p + 1;
+                }
+            }
+            return Position {
+                line,
+                column: (end - line_start) as u32 + 1,
+                offset: end,
+            };
+        }
         let w = self.src.window(i);
         let upto = i.min(w.len());
         let mut line = self.line;
@@ -831,15 +1168,105 @@ impl<S: ByteSrc> XmlReader<S> {
     }
 
     fn find_byte(&mut self, from: usize, a: u8) -> Result<Scan, ParseError> {
+        if self.idx.is_some() {
+            if let Some(m) = simd::struct_mask(a) {
+                return self.idx_find(from, m);
+            }
+        }
         self.scan_for(from, |h| memchr(a, h))
     }
 
     fn find2(&mut self, from: usize, a: u8, b: u8) -> Result<Scan, ParseError> {
+        if self.idx.is_some() {
+            if let (Some(ma), Some(mb)) = (simd::struct_mask(a), simd::struct_mask(b)) {
+                return self.idx_find(from, ma | mb);
+            }
+        }
         self.scan_for(from, |h| memchr2(a, b, h))
     }
 
     fn find3(&mut self, from: usize, a: u8, b: u8, c: u8) -> Result<Scan, ParseError> {
+        if self.idx.is_some() {
+            if let (Some(ma), Some(mb), Some(mc)) = (
+                simd::struct_mask(a),
+                simd::struct_mask(b),
+                simd::struct_mask(c),
+            ) {
+                return self.idx_find(from, ma | mb | mc);
+            }
+        }
         self.scan_for(from, |h| memchr3(a, b, c, h))
+    }
+
+    /// Index-walking twin of [`Self::scan_for`] for structural-byte
+    /// searches, with identical end-of-input and `max_token` semantics
+    /// (and therefore identical errors).
+    fn idx_find(&mut self, from: usize, mask: u8) -> Result<Scan, ParseError> {
+        let mut probe = from;
+        loop {
+            let covered = self.index_cover(probe + 1);
+            if covered <= probe {
+                return Ok(Scan::Eof(covered));
+            }
+            let offset = self.offset;
+            let idx = self.idx.as_ref().expect("idx_find needs the index");
+            if let Some((pos, _)) = idx.find_in(offset + probe, offset + covered, mask) {
+                let k = pos - offset;
+                if k > self.max_token {
+                    return Err(self.err_too_large());
+                }
+                return Ok(Scan::Hit(k));
+            }
+            if covered > self.max_token {
+                return Err(self.err_too_large());
+            }
+            probe = covered;
+        }
+    }
+
+    /// Next structural mark at relative offset ≥ `from` whose class bit
+    /// is set in `mask`, extending the index as needed. `None` on end of
+    /// input or once the walk leaves `max_token` — callers fall back to
+    /// the scalar scan, which reproduces the corresponding error.
+    fn next_mark(&mut self, from: usize, mask: u8) -> Option<(usize, u8)> {
+        let mut probe = from;
+        loop {
+            let covered = self.index_cover(probe + 1);
+            if covered <= probe {
+                return None;
+            }
+            let offset = self.offset;
+            let idx = self.idx.as_ref().expect("next_mark needs the index");
+            if let Some((pos, class)) = idx.find_in(offset + probe, offset + covered, mask) {
+                let rel = pos - offset;
+                return (rel <= self.max_token).then_some((rel, class));
+            }
+            if covered > self.max_token {
+                return None;
+            }
+            probe = covered;
+        }
+    }
+
+    /// Relative offset of the unquoted `>` closing the tag at the
+    /// cursor, hopping quoted spans mark-to-mark. `None` sends the tag
+    /// to the scalar scan (end of input, an `&` or stray `<` before the
+    /// close, an unterminated quote, or an oversized tag).
+    fn tag_extent(&mut self, from: usize) -> Option<usize> {
+        const WALK: u8 =
+            simd::MASK_LT | simd::MASK_GT | simd::MASK_DQ | simd::MASK_SQ | simd::MASK_AMP;
+        let mut i = from;
+        loop {
+            let (rel, class) = self.next_mark(i, WALK)?;
+            match class {
+                simd::CLASS_GT => return Some(rel),
+                simd::CLASS_DQ | simd::CLASS_SQ => {
+                    let (close, _) = self.next_mark(rel + 1, 1 << class)?;
+                    i = close + 1;
+                }
+                _ => return None,
+            }
+        }
     }
 
     /// Relative offset of the first byte not satisfying `pred` (or end
@@ -864,8 +1291,28 @@ impl<S: ByteSrc> XmlReader<S> {
         }
     }
 
-    /// Validates that the visible bytes `[a, b)` are UTF-8.
+    /// Validates that the visible bytes `[a, b)` are UTF-8. In indexed
+    /// mode the common case is a watermark comparison — the bytes were
+    /// validated in bulk when their chunk was classified.
     fn check_utf8(&mut self, a: usize, b: usize, what: &str) -> Result<(), ParseError> {
+        if self.idx.is_some() {
+            self.index_to_abs(self.offset + b);
+            let idx = self.idx.as_ref().expect("check_utf8 needs the index");
+            if self.offset + b <= idx.utf8_valid_to {
+                return Ok(());
+            }
+            let frozen = idx
+                .utf8_bad
+                .filter(|bad| (self.offset + a..self.offset + b).contains(bad));
+            if let Some(bad) = frozen {
+                // Same byte the scalar scan would blame: valid_up_to of
+                // a scan starting at `a` is exactly `bad - offset - a`.
+                let at = bad - self.offset;
+                return Err(self.err_at(at, what.to_owned()));
+            }
+            // Rare: the span reaches past the watermark (truncated char
+            // at end of input) — fall through to the direct check.
+        }
         let bad = {
             let w = self.src.window(b);
             match std::str::from_utf8(&w[a..b]) {
@@ -884,7 +1331,7 @@ impl<S: ByteSrc> XmlReader<S> {
     fn push_text_scratch(&mut self, a: usize, b: usize, what: &str) -> Result<(), ParseError> {
         self.check_utf8(a, b, what)?;
         let w = self.src.window(b);
-        let s = std::str::from_utf8(&w[a..b]).expect("just validated");
+        let s = str_from_checked(&w[a..b]);
         self.text_scratch.push_str(s);
         Ok(())
     }
@@ -894,7 +1341,7 @@ impl<S: ByteSrc> XmlReader<S> {
     fn push_attr_scratch(&mut self, a: usize, b: usize) -> Result<(), ParseError> {
         self.check_utf8(a, b, "invalid UTF-8 sequence")?;
         let w = self.src.window(b);
-        let s = std::str::from_utf8(&w[a..b]).expect("just validated");
+        let s = str_from_checked(&w[a..b]);
         self.attr_scratch.push_str(s);
         Ok(())
     }
@@ -1037,7 +1484,7 @@ impl<S: ByteSrc> XmlReader<S> {
                 self.check_utf8(0, k, "invalid UTF-8 sequence")?;
                 self.defer_consume(k);
                 let w = self.src.window(k);
-                let text = std::str::from_utf8(&w[..k]).expect("just validated");
+                let text = str_from_checked(&w[..k]);
                 Ok(XmlToken::Text { text, position })
             }
         }
@@ -1173,33 +1620,23 @@ impl<S: ByteSrc> XmlReader<S> {
     /// borrowed token. The whole tag is scanned without consuming, the
     /// attribute name/value spans recorded, and only then is the tag
     /// length deferred-consumed so the returned slices stay put.
+    ///
+    /// Indexed mode first tries [`Self::scan_start_tag_indexed`]: resolve
+    /// the tag extent from the structural marks, then parse the complete
+    /// materialized slice in one tight pass. Any irregularity bails to
+    /// the scalar scan of the same bytes, which reproduces the exact
+    /// scalar error.
     fn read_start_tag(&mut self) -> Result<XmlToken<'_>, ParseError> {
         let position = self.position();
         debug_assert_eq!(self.at(0), Some(b'<'));
-        match self.at(1) {
-            Some(c) if is_name_start(c) => {}
-            _ => return Err(self.err_at(1, "expected name")),
-        }
-        let name_end = self.scan_while(2, is_name_char)?;
-        let name_id = {
-            let w = self.src.window(name_end);
-            self.names.intern(&w[1..name_end])
+        let fast = if self.idx.is_some() {
+            self.scan_start_tag_indexed()
+        } else {
+            None
         };
-        let Some(name_id) = name_id else {
-            return Err(self.err_at(1, "invalid UTF-8 in name"));
-        };
-        self.attr_spans.clear();
-        self.attr_scratch.clear();
-        let mut i = name_end;
-        let (tag_len, self_closing) = loop {
-            i = self.scan_while(i, |c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))?;
-            match self.at(i) {
-                Some(b'>') => break (i + 1, false),
-                Some(b'/') if self.at(i + 1) == Some(b'>') => break (i + 2, true),
-                Some(b'/') | None => return Err(self.err_at(i, "expected \">\"")),
-                Some(c) if is_name_start(c) => i = self.scan_attribute(i)?,
-                Some(_) => return Err(self.err_at(i, "expected name")),
-            }
+        let (tag_len, name_id, self_closing) = match fast {
+            Some(t) => t,
+            None => self.scan_start_tag_scalar()?,
         };
         self.defer_consume(tag_len);
         if self_closing {
@@ -1219,6 +1656,167 @@ impl<S: ByteSrc> XmlReader<S> {
             self_closing,
             position,
         })
+    }
+
+    /// The scalar start-tag scan: cursor-relative probing with window
+    /// refills, entity expansion in attribute values, and positioned
+    /// errors. Returns `(tag_len, name_id, self_closing)`.
+    fn scan_start_tag_scalar(&mut self) -> Result<(usize, NameId, bool), ParseError> {
+        match self.at(1) {
+            Some(c) if is_name_start(c) => {}
+            _ => return Err(self.err_at(1, "expected name")),
+        }
+        let name_end = self.scan_while(2, is_name_char)?;
+        let name_id = {
+            let w = self.src.window(name_end);
+            self.names.intern(&w[1..name_end])
+        };
+        let Some(name_id) = name_id else {
+            return Err(self.err_at(1, "invalid UTF-8 in name"));
+        };
+        self.attr_spans.clear();
+        self.attr_scratch.clear();
+        let mut i = name_end;
+        loop {
+            i = self.scan_while(i, |c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))?;
+            match self.at(i) {
+                Some(b'>') => return Ok((i + 1, name_id, false)),
+                Some(b'/') if self.at(i + 1) == Some(b'>') => return Ok((i + 2, name_id, true)),
+                Some(b'/') | None => return Err(self.err_at(i, "expected \">\"")),
+                Some(c) if is_name_start(c) => i = self.scan_attribute(i)?,
+                Some(_) => return Err(self.err_at(i, "expected name")),
+            }
+        }
+    }
+
+    /// The indexed start-tag scan: one walk over the structural marks,
+    /// parsing the byte runs between them (names, whitespace, `=`) in
+    /// place and recording attribute spans as each closing quote mark is
+    /// reached — the attribute values themselves are never re-scanned.
+    /// `None` = use the scalar scan instead: end of input or oversized
+    /// tag (no unquoted `>` mark in range), an entity reference or stray
+    /// `<` in a value, any malformation, a duplicate attribute, or a tag
+    /// reaching past the UTF-8 watermark. Indexed scans construct no
+    /// errors — re-scanning the same bytes scalar-side is deterministic,
+    /// so the error behavior of the two engines is identical by
+    /// construction.
+    fn scan_start_tag_indexed(&mut self) -> Option<(usize, NameId, bool)> {
+        const WALK: u8 =
+            simd::MASK_LT | simd::MASK_GT | simd::MASK_DQ | simd::MASK_SQ | simd::MASK_AMP;
+        const WS: [u8; 4] = [b' ', b'\t', b'\r', b'\n'];
+        let (mut rel, mut class) = self.next_mark(1, WALK)?;
+        self.attr_spans.clear();
+        self.attr_scratch.clear();
+        // Element name: no structural mark can sit inside a name, so the
+        // bytes up to the first mark cover it. The window reaches the
+        // mark because the index only records visible bytes.
+        let name_end = {
+            let w = self.src.window(rel + 1);
+            if !is_name_start(w[1]) {
+                return None;
+            }
+            let mut i = 2;
+            while i < rel && is_name_char(w[i]) {
+                i += 1;
+            }
+            i
+        };
+        let mut cursor = name_end;
+        loop {
+            match class {
+                simd::CLASS_GT => {
+                    // `[ws] >` or `[ws] />` closes the tag.
+                    let tag_len = rel + 1;
+                    let self_closing = {
+                        let w = self.src.window(tag_len);
+                        let mut i = cursor;
+                        while i < rel && WS.contains(&w[i]) {
+                            i += 1;
+                        }
+                        match rel - i {
+                            0 => false,
+                            1 if w[i] == b'/' => true,
+                            _ => return None,
+                        }
+                    };
+                    if self.offset + tag_len > self.idx.as_ref()?.utf8_valid_to {
+                        return None;
+                    }
+                    let XmlReader { src, names, .. } = self;
+                    let w = src.window(tag_len);
+                    let name_id = names
+                        .intern(&w[1..name_end])
+                        .expect("tag bytes are inside the validated UTF-8 watermark");
+                    return Some((tag_len, name_id, self_closing));
+                }
+                simd::CLASS_DQ | simd::CLASS_SQ => {
+                    // `[ws] name [ws] = [ws]` must fill the gap up to
+                    // this opening quote.
+                    let (a_start, a_end) = {
+                        let w = self.src.window(rel + 1);
+                        let mut i = cursor;
+                        while i < rel && WS.contains(&w[i]) {
+                            i += 1;
+                        }
+                        if i >= rel || !is_name_start(w[i]) {
+                            return None;
+                        }
+                        let a_start = i;
+                        i += 1;
+                        while i < rel && is_name_char(w[i]) {
+                            i += 1;
+                        }
+                        let a_end = i;
+                        while i < rel && WS.contains(&w[i]) {
+                            i += 1;
+                        }
+                        if i >= rel || w[i] != b'=' {
+                            return None;
+                        }
+                        i += 1;
+                        while i < rel && WS.contains(&w[i]) {
+                            i += 1;
+                        }
+                        if i != rel {
+                            return None;
+                        }
+                        (a_start, a_end)
+                    };
+                    // The value runs to the next same-class quote mark.
+                    // An `&` (entity to splice) or `<` (error) mark
+                    // first routes to the scalar scan; `>` and the other
+                    // quote are legal value bytes and excluded from the
+                    // stop mask, so they are hopped for free.
+                    let stop = (1 << class) | simd::MASK_LT | simd::MASK_AMP;
+                    let (close, cclass) = self.next_mark(rel + 1, stop)?;
+                    if cclass != class {
+                        return None;
+                    }
+                    let XmlReader {
+                        src, attr_spans, ..
+                    } = self;
+                    let w = src.window(close + 1);
+                    let name = &w[a_start..a_end];
+                    if attr_spans
+                        .iter()
+                        .any(|sp| &w[sp.name_start as usize..sp.name_end as usize] == name)
+                    {
+                        return None;
+                    }
+                    attr_spans.push(AttrSpan {
+                        name_start: a_start as u32,
+                        name_end: a_end as u32,
+                        val_start: (rel + 1) as u32,
+                        val_end: close as u32,
+                        val_in_scratch: false,
+                    });
+                    cursor = close + 1;
+                    (rel, class) = self.next_mark(cursor, WALK)?;
+                }
+                // `&` or a stray `<` inside the tag: scalar errors.
+                _ => return None,
+            }
+        }
     }
 
     /// Scans one `name = "value"` at relative offset `start`, recording
@@ -1307,6 +1905,31 @@ impl<S: ByteSrc> XmlReader<S> {
     fn read_end_tag(&mut self) -> Result<XmlToken<'_>, ParseError> {
         let position = self.position();
         debug_assert!(self.starts_with_at(0, "</"));
+        let expected = *self.open.last().expect("content stage has an open element");
+        let fast = if self.idx.is_some() {
+            self.scan_end_tag_indexed(expected)
+        } else {
+            None
+        };
+        let tag_len = match fast {
+            Some(len) => len,
+            None => self.scan_end_tag_scalar(expected)?,
+        };
+        self.defer_consume(tag_len);
+        self.open.pop();
+        if self.open.is_empty() {
+            self.stage = Stage::Epilog;
+        }
+        Ok(XmlToken::EndElement {
+            name: self.names.get(expected),
+            name_id: expected,
+            position,
+        })
+    }
+
+    /// The scalar end-tag scan; returns the tag length on a match with
+    /// `expected` (anything else is a positioned error).
+    fn scan_end_tag_scalar(&mut self, expected: NameId) -> Result<usize, ParseError> {
         match self.at(2) {
             Some(c) if is_name_start(c) => {}
             _ => return Err(self.err_at(2, "expected name")),
@@ -1319,7 +1942,6 @@ impl<S: ByteSrc> XmlReader<S> {
         let Some(id) = id else {
             return Err(self.err_at(2, "invalid UTF-8 in name"));
         };
-        let expected = *self.open.last().expect("content stage has an open element");
         if id != expected {
             let close = self.names.get(id).to_owned();
             let exp = self.names.get(expected).to_owned();
@@ -1332,16 +1954,23 @@ impl<S: ByteSrc> XmlReader<S> {
         if self.at(i) != Some(b'>') {
             return Err(self.err_at(i, "expected \">\""));
         }
-        self.defer_consume(i + 1);
-        self.open.pop();
-        if self.open.is_empty() {
-            self.stage = Stage::Epilog;
+        Ok(i + 1)
+    }
+
+    /// The indexed end-tag scan: byte-compares the materialized tag
+    /// against `</expected␣*>` without interning. `None` (mismatch of
+    /// any kind, or the tag is out of index range) goes back through the
+    /// scalar scan for its exact error; a genuine mismatched close tag
+    /// always errors there, so skipping the intern is unobservable.
+    fn scan_end_tag_indexed(&mut self, expected: NameId) -> Option<usize> {
+        let extent = self.tag_extent(2)?;
+        let tag_len = extent + 1;
+        if self.offset + tag_len > self.idx.as_ref()?.utf8_valid_to {
+            return None;
         }
-        Ok(XmlToken::EndElement {
-            name: self.names.get(id),
-            name_id: id,
-            position,
-        })
+        let XmlReader { src, names, .. } = self;
+        let w = src.window(tag_len);
+        parse_end_tag_slice(&w[..tag_len], names.get(expected).as_bytes()).then_some(tag_len)
     }
 
     // -- entities (cold path) ---------------------------------------
@@ -2021,6 +2650,31 @@ mod tests {
             assert_eq!(memchr2(b'<', b'&', &v), Some(i));
             assert_eq!(memchr3(b'<', b'&', b'"', &v), Some(i));
         }
+    }
+
+    #[test]
+    fn engine_selection_and_forced_scalar_agree() {
+        let input = "<a x=\"1\" y='2'>text &amp; more<![CDATA[»]]><b/></a>";
+        let mut fast = XmlReader::from_str(input);
+        assert_eq!(fast.engine(), Engine::detect());
+        let mut slow = XmlReader::from_str(input);
+        slow.set_engine(Engine::Scalar);
+        assert_eq!(slow.engine(), Engine::Scalar);
+        loop {
+            let a = fast.next_event().unwrap().to_event();
+            let b = slow.next_event().unwrap().to_event();
+            assert_eq!(a, b);
+            if a == XmlEvent::EndDocument {
+                break;
+            }
+        }
+        // Switching mid-stream is allowed and changes nothing observable.
+        let mut mixed = XmlReader::from_str(input);
+        mixed.next_event().unwrap();
+        mixed.set_engine(Engine::Scalar);
+        mixed.next_event().unwrap();
+        mixed.set_engine(Engine::detect());
+        while !mixed.next_event().unwrap().is_end_document() {}
     }
 
     #[test]

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # The tier-1 gate: release build, full test suite, a warning-free
 # clippy pass over every target in the workspace (vendor stand-ins
-# included), canonical formatting, a parse-only front-end microbench
-# as a smoke check that the zero-copy reader still runs, and the
+# included), canonical formatting, the reader differential suite under
+# both lexer engines (detected SIMD and forced scalar), a parse-only
+# front-end microbench as a smoke check that the zero-copy reader
+# still runs under both engines, and the
 # lint-corpus golden check (every seeded-defect fixture must produce
 # exactly its checked-in JSON report — codes, spans, witnesses).
 # CI and pre-commit both run exactly this.
@@ -13,6 +15,11 @@ cargo build --release --workspace
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
+# Reader differential suite twice: once with the detected SIMD lexer
+# engine, once with the structural-index pass disabled, so the scalar
+# fallback path stays exercised on hardware where SIMD is available.
+cargo test -q -p bonxai --test reader_differential
+BONXAI_NO_SIMD=1 cargo test -q -p bonxai --test reader_differential
 cargo run --release -p bonxai-bench --bin exp_validation -- --parse-only
 # Compile-path smoke: 20-schema subset through every stage, cached and
 # ablated, so the automata kernels + AutomataCache stay runnable.

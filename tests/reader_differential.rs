@@ -10,6 +10,13 @@
 //! fed through a reader that dribbles 1–7 bytes per `read` call, so
 //! every token shape gets split across refill boundaries somewhere in
 //! the run.
+//!
+//! Every case additionally runs under **both lexing engines** — the
+//! detected SIMD engine (structural index) and the forced-scalar SWAR
+//! fallback — and must produce identical events and identical rendered
+//! errors; dedicated cases pin the window-boundary invariants (structural
+//! characters straddling compaction shifts, multi-byte UTF-8 split
+//! across refills, invalid UTF-8 blamed at the same byte).
 
 use std::fmt::Write as _;
 use std::io::Read;
@@ -18,6 +25,7 @@ use proptest::prelude::*;
 
 use bonxai::xmltree::reference;
 use bonxai::xmltree::stream::{ByteSrc, IoSrc, XmlEvent, XmlReader};
+use bonxai::xmltree::Engine;
 
 // ---------------------------------------------------------------- generator
 
@@ -302,18 +310,34 @@ fn dribble(input: &str) -> XmlReader<IoSrc<Dribble<'_>>> {
     })
 }
 
-/// Both readers over the same text: identical events (positions
-/// included) when both succeed, identical rendered errors when both
-/// fail, and never one succeeding where the other fails.
+fn with_engine<S: ByteSrc>(mut r: XmlReader<S>, engine: Engine) -> XmlReader<S> {
+    r.set_engine(engine);
+    r
+}
+
+/// All readers over the same text — slice and dribbled-io sources, under
+/// the detected SIMD engine and the forced-scalar fallback, against the
+/// byte-at-a-time reference: identical events (positions included) when
+/// all succeed, identical rendered errors when all fail, and never one
+/// succeeding where another fails.
 fn assert_agreement(input: &str) {
-    let new_slice = collect_new(XmlReader::from_str(input));
-    let new_io = collect_new(dribble(input));
-    assert_eq!(
-        new_slice, new_io,
-        "slice and io sources disagree on {input:?}"
-    );
     let reference = collect_reference(input);
-    assert_eq!(new_slice, reference, "readers disagree on {input:?}");
+    for engine in [Engine::detect(), Engine::Scalar] {
+        let new_slice = collect_new(with_engine(XmlReader::from_str(input), engine));
+        let new_io = collect_new(with_engine(dribble(input), engine));
+        assert_eq!(
+            new_slice,
+            new_io,
+            "slice and io sources disagree ({} engine) on {input:?}",
+            engine.name()
+        );
+        assert_eq!(
+            new_slice,
+            reference,
+            "readers disagree ({} engine) on {input:?}",
+            engine.name()
+        );
+    }
 }
 
 // ------------------------------------------------------------------- tests
@@ -351,5 +375,60 @@ proptest! {
     #[test]
     fn arbitrary_ascii_agrees(input in "[<>a-z&;/\"'= !\\[\\]?#x0-9-]{0,60}") {
         assert_agreement(&input);
+    }
+}
+
+/// Structural characters straddling [`IoSrc`] compaction shifts: the
+/// document spans several 64 KiB refill windows, and the varying text
+/// lengths keep tags sliding against the refill grid, so compaction
+/// lands mid-tag in many shapes. Index positions are absolute and must
+/// survive every shift.
+#[test]
+fn window_compaction_straddles_structural_chars() {
+    let mut input = String::from("<r>");
+    for i in 0..4000 {
+        write!(input, "<i a=\"v{i}\">{:x>width$}</i>", "", width = i % 37)
+            .expect("write to String");
+    }
+    input.push_str("</r>");
+    assert!(input.len() > 100_000, "must span multiple refill windows");
+    assert_agreement(&input);
+}
+
+/// Multi-byte UTF-8 split across window refills: dribbled 1–7 bytes per
+/// `read`, every 2-, 3-, and 4-byte character lands on a refill boundary
+/// somewhere in the run, in text, CDATA, and attribute values. The
+/// chunked watermark validation must treat a partial character at the
+/// index frontier as "not yet validated", never as an error.
+#[test]
+fn multibyte_utf8_split_across_windows() {
+    let run = "aé€𐍈".repeat(800);
+    let input = format!("<r t=\"{run}\">{run}<c><![CDATA[{run}]]></c></r>");
+    assert_agreement(&input);
+}
+
+/// Invalid UTF-8 arriving over io (a `&str` can't carry it): both
+/// engines must blame the same byte with the same message — in text, in
+/// an attribute value, in CDATA, in a tag name, and as a character
+/// truncated by end of input.
+#[test]
+fn invalid_utf8_error_parity_across_engines() {
+    let cases: &[&[u8]] = &[
+        b"<r>ab\xFFcd</r>",
+        b"<r a=\"x\xC3\x28y\">t</r>",
+        b"<r><![CDATA[ab\xE2\x82z]]></r>",
+        b"<r>caf\xC3",
+        b"<r t\xFF=\"v\"/>",
+        b"<r>one<!--\xFF-->two</r>",
+    ];
+    for case in cases {
+        let detected = collect_new(with_engine(XmlReader::from_reader(*case), Engine::detect()));
+        let scalar = collect_new(with_engine(XmlReader::from_reader(*case), Engine::Scalar));
+        assert_eq!(
+            detected,
+            scalar,
+            "engines disagree on {:?}",
+            String::from_utf8_lossy(case)
+        );
     }
 }
