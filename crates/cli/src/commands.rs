@@ -94,6 +94,7 @@ fn positional(args: &[String]) -> Vec<&String> {
             || a == "--jobs"
             || a == "--format"
             || a == "--deny"
+            || a == "--fuzz"
         {
             skip = true;
             continue;
@@ -744,4 +745,153 @@ fn path_name(p: TranslatePath) -> String {
         TranslatePath::Fast(k) => format!("the k-suffix fast path (k = {k})"),
         TranslatePath::General => "the general algorithm".to_owned(),
     }
+}
+
+/// `conform <dir>`: the differential conformance driver. Every
+/// `valid_*.xml` / `invalid_*.xml` under `dir` (one corpus directory
+/// with a `schema.bonxai`, or a directory of such directories) runs
+/// through the oracle and all four fast validation paths under every
+/// lexer engine and byte source; any disagreement, or a verdict that
+/// contradicts the filename, fails the run. With `--fuzz N` it then
+/// fuzzes the stack for `N` iterations (`--seed S`, default 0),
+/// treating any panic or divergence as a failure and printing the
+/// shrunk reproducer.
+pub fn conform(args: &[String]) -> Result<ExitCode, String> {
+    use bonxai_core::conformance;
+    let pos = positional(args);
+    let [dir] = pos.as_slice() else {
+        return Err("usage: bonxai conform <dir> [--fuzz N] [--seed S]".into());
+    };
+    let mut suites: Vec<std::path::PathBuf> = Vec::new();
+    let root = std::path::Path::new(dir.as_str());
+    if root.join("schema.bonxai").exists() {
+        suites.push(root.to_path_buf());
+    } else {
+        let mut subdirs: Vec<_> = fs::read_dir(root)
+            .map_err(|e| format!("cannot read {dir}: {e}"))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.join("schema.bonxai").exists())
+            .collect();
+        subdirs.sort();
+        suites.extend(subdirs);
+    }
+    if suites.is_empty() {
+        return Err(format!(
+            "{dir}: no schema.bonxai found (directly or in subdirectories)"
+        ));
+    }
+    let mut cases = 0usize;
+    let mut failures = 0usize;
+    for suite in &suites {
+        let schema_path = suite.join("schema.bonxai");
+        let text = fs::read_to_string(&schema_path)
+            .map_err(|e| format!("cannot read {}: {e}", schema_path.display()))?;
+        let schema = bonxai_core::BonxaiSchema::parse(&text)
+            .map_err(|e| format!("{}: {e}", schema_path.display()))?;
+        let mut docs: Vec<_> = fs::read_dir(suite)
+            .map_err(|e| format!("cannot read {}: {e}", suite.display()))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "xml"))
+            .collect();
+        docs.sort();
+        for doc in docs {
+            let name = doc
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
+            let expect = if name.starts_with("valid_") {
+                Some(true)
+            } else if name.starts_with("invalid_") {
+                Some(false)
+            } else {
+                None
+            };
+            let input = fs::read_to_string(&doc)
+                .map_err(|e| format!("cannot read {}: {e}", doc.display()))?;
+            let outcome = conformance::check(&schema.bxsd, &input, true);
+            cases += 1;
+            let verdict = outcome.verdict();
+            let mut bad = Vec::new();
+            for d in &outcome.divergences {
+                bad.push(format!("divergence {d}"));
+            }
+            match (expect, verdict) {
+                (Some(want), Some(got)) if want != got => bad.push(format!(
+                    "all paths agree on {} but the filename expects {}",
+                    if got { "valid" } else { "invalid" },
+                    if want { "valid" } else { "invalid" },
+                )),
+                (_, None) => bad.push("document is malformed, not a conformance verdict".into()),
+                _ => {}
+            }
+            if bad.is_empty() {
+                println!(
+                    "ok   {} [{}]",
+                    doc.display(),
+                    if verdict == Some(true) {
+                        "valid"
+                    } else {
+                        "invalid"
+                    },
+                );
+            } else {
+                failures += 1;
+                println!("FAIL {}", doc.display());
+                for b in &bad {
+                    println!("     {b}");
+                }
+            }
+        }
+    }
+    let fuzz_n: usize = match flag_value(args, "--fuzz") {
+        Some(s) => s.parse().map_err(|_| "--fuzz expects an iteration count")?,
+        None => 0,
+    };
+    if fuzz_n > 0 {
+        let seed: u64 = match flag_value(args, "--seed") {
+            Some(s) => s.parse().map_err(|_| "--seed expects an integer")?,
+            None => 0,
+        };
+        // Panics are a fuzz signal, caught and reported by the harness;
+        // silence the default hook's backtrace spam while it runs.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let vreport = bonxai_gen::fuzz_validation(seed, fuzz_n);
+        let dreport = bonxai_gen::fuzz_dtd(seed, fuzz_n);
+        std::panic::set_hook(hook);
+        for (target, report) in [("validation", &vreport), ("dtd", &dreport)] {
+            println!(
+                "fuzz {target}: {} iterations (seed {seed}): {} malformed, {} valid, {} invalid, {} finding(s)",
+                report.iterations, report.rejected, report.valid, report.invalid,
+                report.findings.len(),
+            );
+            for f in &report.findings {
+                failures += 1;
+                println!("FAIL fuzz {target} iteration {}", f.iteration);
+                if let Some(p) = &f.panic {
+                    println!("     panic: {p}");
+                }
+                for d in &f.divergences {
+                    println!("     divergence {d}");
+                }
+                println!("     reproducer: {:?}", f.shrunk);
+            }
+        }
+    }
+    println!(
+        "{cases} corpus case(s), {failures} failure(s){}",
+        if fuzz_n > 0 {
+            " (including fuzz findings)"
+        } else {
+            ""
+        },
+    );
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }

@@ -58,6 +58,20 @@ COMMANDS:
         references, UPA, vacuous content models), reporting every
         problem with its source span. Nonzero exit on any error.
 
+    conform <dir> [--fuzz N] [--seed S]
+        Differential conformance: every valid_*.xml / invalid_*.xml in
+        <dir> (a corpus directory holding a schema.bonxai, or a
+        directory of such directories, e.g. data/conformance) is
+        validated by the reference oracle and all four fast paths
+        (tree/stream × product/lock-step) under every lexer engine and
+        byte source. Any disagreement between paths — verdict,
+        violation list, error position, or rule matches — fails the
+        run, as does a verdict contradicting the filename. With
+        --fuzz N, additionally runs N iterations of structure-aware
+        byte fuzzing (deterministic in --seed, default 0) over the
+        validation stack and the DTD parser; panics and divergences
+        are reported with shrunk reproducers.
+
     lint <schema|dir> [--format text|json] [--deny <level>] [--notes]
          [--jobs N]
         Full static analysis: dead rules (shadowed by later rules, with
@@ -103,6 +117,7 @@ fn main() -> ExitCode {
         "sample" => commands::sample(rest),
         "check" => commands::check(rest),
         "lint" => commands::lint(rest),
+        "conform" => commands::conform(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -8,6 +8,11 @@
 //!   `ancestor-regex → deterministic content model` with priority
 //!   semantics;
 //! * [`validate`] — document validation with matched-rule reporting;
+//! * [`oracle`] — the deliberately-slow reference interpreter the fast
+//!   paths are differentially tested against;
+//! * [`conformance`] — the differential driver that runs one input
+//!   through every validation path × lexer engine and reports any
+//!   disagreement with the oracle as a bug;
 //! * [`batch`] — work-stealing multi-document validation (in-memory
 //!   trees or streamed files), deterministic in input order;
 //! * [`semantics`] — the universal/existential alternatives (Section 3.2)
@@ -28,10 +33,12 @@
 
 pub mod batch;
 pub mod bxsd;
+pub mod conformance;
 pub mod constraints;
 pub mod dtd_import;
 pub mod lang;
 pub mod lint;
+pub mod oracle;
 pub mod pipeline;
 pub mod schema;
 pub mod semantics;

@@ -6,7 +6,10 @@
 //! * [`docgen`] — sampling conforming documents from schemas (plus a
 //!   mutator for negative paths);
 //! * [`corpus`] — random k-suffix schemas and the synthetic stand-in for
-//!   the paper's 225-XSD Web corpus (98% 3-suffix, per Section 4.4).
+//!   the paper's 225-XSD Web corpus (98% 3-suffix, per Section 4.4);
+//! * [`fuzz`] — structure-aware byte fuzzing of the lexer/parser/
+//!   validator stack and the DTD parser, cross-checked by the
+//!   differential conformance harness (panic or divergence = bug).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -15,8 +18,10 @@ pub mod corpus;
 pub mod docgen;
 pub mod dre;
 pub mod families;
+pub mod fuzz;
 
 pub use corpus::{random_regular_bxsd, random_suffix_bxsd, web_corpus, CorpusEntry, SchemaConfig};
 pub use docgen::{mutate_document, sample_document, sample_value, DocConfig};
 pub use dre::{random_dre, DreConfig};
 pub use families::{theorem8_xn, theorem9_bn};
+pub use fuzz::{fuzz_dtd, fuzz_validation, Finding, FuzzReport};

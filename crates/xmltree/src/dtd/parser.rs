@@ -12,6 +12,16 @@ use relang::Regex;
 use crate::dtd::model::{AttDef, AttType, ContentSpec, DefaultDecl, Dtd};
 use crate::error::{ParseError, Position};
 
+/// Deepest chain of parameter entities expanding inside each other
+/// before the parser reports recursion. `%a;` referencing `%a;` (or a
+/// cycle through other entities) would otherwise recurse unboundedly —
+/// a stack overflow, which aborts rather than unwinds.
+const MAX_PE_DEPTH: usize = 32;
+
+/// Deepest parenthesis nesting accepted in a content model. The model
+/// parser recurses per `(`, so unbounded nesting is another abort.
+const MAX_MODEL_DEPTH: u32 = 512;
+
 /// Parses a DTD from the text of declarations (without `<!DOCTYPE … [` /
 /// `]>` wrappers).
 pub fn parse_dtd(input: &str) -> Result<Dtd, ParseError> {
@@ -22,6 +32,7 @@ pub fn parse_dtd(input: &str) -> Result<Dtd, ParseError> {
         line_start: 0,
         dtd: Dtd::default(),
         param_entities: BTreeMap::new(),
+        pe_stack: Vec::new(),
     };
     p.parse()?;
     Ok(p.dtd)
@@ -34,6 +45,9 @@ struct DtdParser<'a> {
     line_start: usize,
     dtd: Dtd,
     param_entities: BTreeMap<String, String>,
+    /// Names of the parameter entities whose replacement text is being
+    /// parsed right now, outermost first — the cycle detector.
+    pe_stack: Vec<String>,
 }
 
 impl<'a> DtdParser<'a> {
@@ -113,7 +127,20 @@ impl<'a> DtdParser<'a> {
                     .get(&name)
                     .cloned()
                     .ok_or_else(|| self.err(format!("undeclared parameter entity %{name};")))?;
-                let sub = parse_dtd_with_params(&text, &self.param_entities)?;
+                if self.pe_stack.contains(&name) {
+                    return Err(self.err(format!(
+                        "parameter entity %{name}; expands recursively (via %{};)",
+                        self.pe_stack.join("; → %")
+                    )));
+                }
+                if self.pe_stack.len() >= MAX_PE_DEPTH {
+                    return Err(self.err(format!(
+                        "parameter entities nested more than {MAX_PE_DEPTH} deep"
+                    )));
+                }
+                let mut stack = self.pe_stack.clone();
+                stack.push(name);
+                let sub = parse_dtd_with_params(&text, &self.param_entities, stack)?;
                 merge_dtd(&mut self.dtd, sub);
             } else {
                 return Err(self.err("expected a DTD declaration"));
@@ -301,6 +328,7 @@ impl<'a> DtdParser<'a> {
 fn parse_dtd_with_params(
     input: &str,
     params: &BTreeMap<String, String>,
+    pe_stack: Vec<String>,
 ) -> Result<Dtd, ParseError> {
     let mut p = DtdParser {
         input: input.as_bytes(),
@@ -309,6 +337,7 @@ fn parse_dtd_with_params(
         line_start: 0,
         dtd: Dtd::default(),
         param_entities: params.clone(),
+        pe_stack,
     };
     p.parse()?;
     Ok(p.dtd)
@@ -398,6 +427,7 @@ fn parse_children_model(text: &str, dtd: &mut Dtd, pos: Position) -> Result<Rege
         pos: 0,
         dtd,
         err_pos: pos,
+        depth: 0,
     };
     p.skip_ws();
     let r = p.parse_alt()?;
@@ -416,6 +446,9 @@ struct ModelParser<'a> {
     pos: usize,
     dtd: &'a mut Dtd,
     err_pos: Position,
+    /// Current parenthesis nesting; recursion guard (see
+    /// [`MAX_MODEL_DEPTH`]).
+    depth: u32,
 }
 
 impl<'a> ModelParser<'a> {
@@ -488,12 +521,19 @@ impl<'a> ModelParser<'a> {
         match self.peek() {
             Some(b'(') => {
                 self.pos += 1;
+                self.depth += 1;
+                if self.depth > MAX_MODEL_DEPTH {
+                    return Err(self.err(format!(
+                        "content model nested more than {MAX_MODEL_DEPTH} parentheses deep"
+                    )));
+                }
                 let r = self.parse_alt()?;
                 self.skip_ws();
                 if self.peek() != Some(b')') {
                     return Err(self.err("expected ')' in content model"));
                 }
                 self.pos += 1;
+                self.depth -= 1;
                 Ok(r)
             }
             Some(c) if is_name_start(c) => {

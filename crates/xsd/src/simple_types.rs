@@ -121,17 +121,18 @@ impl SimpleType {
         match self {
             SimpleType::String | SimpleType::AnyUri | SimpleType::AnySimpleType => true,
             SimpleType::Token => true, // any string normalizes
-            SimpleType::Boolean => matches!(value, "true" | "false" | "1" | "0"),
+            // All remaining built-ins have whiteSpace=collapse: leading
+            // and trailing whitespace never affects validity.
+            SimpleType::Boolean => matches!(value.trim(), "true" | "false" | "1" | "0"),
             SimpleType::Integer => parse_integer(value).is_some(),
             SimpleType::NonNegativeInteger => parse_integer(value).is_some_and(|v| v >= 0),
             SimpleType::PositiveInteger => parse_integer(value).is_some_and(|v| v > 0),
             SimpleType::Decimal => is_decimal(value),
-            SimpleType::Double => {
-                value.parse::<f64>().is_ok() || matches!(value, "INF" | "-INF" | "NaN")
-            }
-            SimpleType::Date => is_date(value),
-            SimpleType::Time => is_time(value),
+            SimpleType::Double => is_double(value),
+            SimpleType::Date => is_date(value.trim()),
+            SimpleType::Time => is_time(value.trim()),
             SimpleType::DateTime => value
+                .trim()
                 .split_once('T')
                 .is_some_and(|(d, t)| is_date(d) && is_time(t)),
             SimpleType::Id | SimpleType::IdRef | SimpleType::NmToken => is_nmtoken(value),
@@ -335,6 +336,19 @@ fn parse_integer(v: &str) -> Option<i128> {
         return None;
     }
     v.parse::<i128>().ok()
+}
+
+/// The `xs:double` lexical space: a decimal mantissa with optional
+/// exponent, or exactly `INF` / `-INF` / `NaN`. Deliberately narrower
+/// than `str::parse::<f64>`, which also accepts Rust spellings like
+/// `inf`, `Infinity`, `nan`, and `+NaN` that XSD excludes.
+fn is_double(v: &str) -> bool {
+    let v = v.trim();
+    matches!(v, "INF" | "-INF" | "NaN")
+        || (v
+            .bytes()
+            .all(|b| matches!(b, b'0'..=b'9' | b'+' | b'-' | b'.' | b'e' | b'E'))
+            && v.parse::<f64>().is_ok())
 }
 
 fn is_decimal(v: &str) -> bool {

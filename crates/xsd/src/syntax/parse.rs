@@ -199,7 +199,18 @@ fn read_complex_type(doc: &Document, node: NodeId) -> Result<ComplexType, Syntax
                         Some("enumeration") => {
                             facets.enumeration.push(required_attr(doc, a, "value")?)
                         }
-                        _ => {}
+                        Some("annotation") => {}
+                        // Mirror read_simple_type: an unrecognized facet
+                        // (xs:pattern, xs:whiteSpace, xs:fractionDigits, …)
+                        // must fail loudly. Silently dropping it would
+                        // accept the schema while enforcing strictly less
+                        // than it declares.
+                        Some(other) => {
+                            return Err(SyntaxError::new(format!(
+                                "unsupported facet xs:{other} in simpleContent"
+                            )))
+                        }
+                        None => {}
                     }
                 }
                 let base = SimpleType::from_qname(&base);

@@ -21,6 +21,13 @@ cargo fmt --all --check
 cargo test -q -p bonxai --test reader_differential
 BONXAI_NO_SIMD=1 cargo test -q -p bonxai --test reader_differential
 cargo run --release -p bonxai-bench --bin exp_validation -- --parse-only
+
+# Differential conformance: the checked-in corpus through the oracle
+# and all four fast paths under every lexer engine and byte source,
+# then a bounded fixed-seed fuzz smoke over the validation stack and
+# the DTD parser. Any divergence or panic fails the gate.
+target/release/bonxai conform data/conformance --fuzz 1000 --seed 0 > /dev/null \
+  || { echo "conformance/fuzz divergence — run: bonxai conform data/conformance --fuzz 1000 --seed 0" >&2; exit 1; }
 # Compile-path smoke: 20-schema subset through every stage, cached and
 # ablated, so the automata kernels + AutomataCache stay runnable.
 cargo run --release -p bonxai-bench --bin exp_compile -- --smoke > /dev/null

@@ -163,3 +163,92 @@ fn simple_content_with_facets_and_attributes() {
         &parse_document("<price>-1</price>").unwrap()
     ));
 }
+
+/// Table-driven audit of the built-in types' lexical spaces at their
+/// boundary values: signs, zero, whitespace (all these types have
+/// whiteSpace=collapse, so padding never affects validity), and the
+/// exact XSD spellings of the special float values. Each row was chosen
+/// because at least one implementation shortcut gets it wrong — e.g.
+/// `str::parse::<f64>` accepts `inf`/`Infinity`/`nan`, which are *not*
+/// in the `xs:double` lexical space, and an untrimmed `matches!` on
+/// booleans rejects `" true "`, which is.
+#[test]
+fn lexical_space_boundaries() {
+    use bonxai::xsd::SimpleType as T;
+    #[rustfmt::skip]
+    let table: &[(T, &str, bool)] = &[
+        // positiveInteger: zero is not positive; signs and padding are fine.
+        (T::PositiveInteger, "1", true),
+        (T::PositiveInteger, "+1", true),
+        (T::PositiveInteger, " 1 ", true),
+        (T::PositiveInteger, "0", false),
+        (T::PositiveInteger, "+0", false),
+        (T::PositiveInteger, "-1", false),
+        (T::PositiveInteger, "", false),
+        (T::PositiveInteger, "+", false),
+        // nonNegativeInteger: -0 is zero, which is non-negative.
+        (T::NonNegativeInteger, "0", true),
+        (T::NonNegativeInteger, "-0", true),
+        (T::NonNegativeInteger, "+0", true),
+        (T::NonNegativeInteger, "00", true),
+        (T::NonNegativeInteger, "-1", false),
+        // integer: leading '+', leading zeros, padding; no decimals.
+        (T::Integer, "+42", true),
+        (T::Integer, "-0", true),
+        (T::Integer, "007", true),
+        (T::Integer, "\t-3\n", true),
+        (T::Integer, "1.0", false),
+        (T::Integer, "1e2", false),
+        (T::Integer, "- 1", false),
+        // decimal: optional sign, one point, digits somewhere.
+        (T::Decimal, "1.", true),
+        (T::Decimal, ".5", true),
+        (T::Decimal, "+00123.4500", true),
+        (T::Decimal, " -0.0 ", true),
+        (T::Decimal, ".", false),
+        (T::Decimal, "1.0.0", false),
+        (T::Decimal, "1e2", false),
+        (T::Decimal, "NaN", false),
+        // double: decimal-with-exponent plus exactly INF / -INF / NaN.
+        (T::Double, "1e308", true),
+        (T::Double, "-1.5E-10", true),
+        (T::Double, "INF", true),
+        (T::Double, "-INF", true),
+        (T::Double, "NaN", true),
+        (T::Double, " NaN ", true),
+        (T::Double, "inf", false),
+        (T::Double, "Infinity", false),
+        (T::Double, "-Infinity", false),
+        (T::Double, "nan", false),
+        (T::Double, "+INF", false),
+        (T::Double, "0x10", false),
+        // boolean: the four lexical forms, padded or not; nothing else.
+        (T::Boolean, "true", true),
+        (T::Boolean, " true ", true),
+        (T::Boolean, "\n0\t", true),
+        (T::Boolean, "TRUE", false),
+        (T::Boolean, "tru", false),
+        (T::Boolean, "10", false),
+        // date / time / dateTime: field ranges, with padding allowed.
+        (T::Date, "2026-08-08", true),
+        (T::Date, " 2026-08-08 ", true),
+        (T::Date, "2026-13-01", false),
+        (T::Date, "2026-00-10", false),
+        (T::Date, "26-08-08", false),
+        (T::Time, "23:59:60", true),
+        (T::Time, " 00:00:00.5 ", true),
+        (T::Time, "24:00:00", false),
+        (T::Time, "12:60:00", false),
+        (T::DateTime, "2026-08-08T12:30:00", true),
+        (T::DateTime, "\t2026-08-08T12:30:00\n", true),
+        (T::DateTime, "2026-08-08 12:30:00", false),
+        (T::DateTime, "2026-08-08T99:00:00", false),
+    ];
+    for &(ty, value, expect) in table {
+        assert_eq!(
+            ty.validates(value),
+            expect,
+            "{ty}.validates({value:?}) should be {expect}"
+        );
+    }
+}
