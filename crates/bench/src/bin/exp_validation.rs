@@ -54,7 +54,9 @@ use bonxai_gen::{sample_document, DocConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use relang::{CompiledDre, Dfa, StateId};
-use xmltree::{Document, Engine, NodeId, XmlReader};
+use xmltree::{
+    AttrList, Document, Engine, EventSink, NameId, NodeId, TextChunk, TextInterest, XmlReader,
+};
 use xsd::violation::{Violation, ViolationKind};
 use xsd::CompiledXsd;
 
@@ -82,8 +84,21 @@ fn main() {
         mem_probe(mode, schema, doc);
         return;
     }
+    // Repetition floor: every interleaved timing loop runs its fixed
+    // iteration count AND at least this many seconds, so a noisy host
+    // can be answered with a longer measurement instead of a lucky one.
+    let min_secs: f64 = args
+        .iter()
+        .position(|a| a == "--min-secs")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--min-secs <seconds>")
+                .parse()
+                .expect("seconds")
+        })
+        .unwrap_or(0.0);
     if args.iter().any(|a| a == "--parse-only") {
-        parse_only_bench();
+        parse_only_bench(min_secs);
         return;
     }
     let json_path = args
@@ -98,7 +113,7 @@ fn main() {
 
     // The ablation runs first: its corpora are timed on a fresh heap,
     // before the scaling table's 100k-node documents fragment it.
-    let results = ablation();
+    let results = ablation(min_secs);
     let batch = batch_scaling();
     let mem = streaming_memory(mem_mb);
     scaling_table();
@@ -346,15 +361,21 @@ struct Ablation {
     stream_ns_per_node: f64,
     /// Zero-copy token scan of the same bytes: no tree, no validation.
     lex_ns_per_node: f64,
+    /// The fused drive loop into a counting sink: event delivery without
+    /// token materialization and without validation. `stream − dispatch`
+    /// is what the automaton stepping itself costs; `dispatch − lex` is
+    /// (negative) what skipping token construction saves.
+    dispatch_ns_per_node: f64,
     /// Parse to a tree only (no validation).
     parse_ns_per_node: f64,
     /// Lexer engine behind the three numbers above (`sse2`/`neon`, or
     /// `scalar` when forced via `BONXAI_NO_SIMD`).
     simd: &'static str,
-    /// The same three, re-measured with the engine forced to scalar —
+    /// The same, re-measured with the engine forced to scalar —
     /// interleaved with the rows above so the ratio is noise-immune.
     stream_scalar_ns_per_node: f64,
     lex_scalar_ns_per_node: f64,
+    dispatch_scalar_ns_per_node: f64,
     parse_scalar_ns_per_node: f64,
 }
 
@@ -375,7 +396,7 @@ impl Ablation {
     }
 }
 
-fn ablation() -> Vec<Ablation> {
+fn ablation(min_secs: f64) -> Vec<Ablation> {
     let mut results = Vec::new();
     for name in ["figure4.bonxai", "figure5.bonxai"] {
         let schema = BonxaiSchema::parse(&data(name)).expect("schema parses");
@@ -415,13 +436,16 @@ fn ablation() -> Vec<Ablation> {
         let mut lockstep_ns = f64::INFINITY;
         let mut fallback_ns = f64::INFINITY;
         let mut product_ns = f64::INFINITY;
-        for _ in 0..15 {
+        let started = std::time::Instant::now();
+        let mut iters = 0usize;
+        while iters < 15 || started.elapsed().as_secs_f64() < min_secs {
             let (violations, ms) =
                 timed(|| docs.iter().map(|d| seed.validate(d).0.len()).sum::<usize>());
             assert_eq!(violations, 0, "{name}: sampled docs must conform");
             lockstep_ns = lockstep_ns.min(ms * 1e6 / nodes as f64);
             fallback_ns = fallback_ns.min(one(LOCKSTEP));
             product_ns = product_ns.min(one(ValidateOptions::default()));
+            iters += 1;
         }
 
         // Streamed vs tree, end to end over the same bytes: the tree
@@ -451,7 +475,9 @@ fn ablation() -> Vec<Ablation> {
         let mut tree_e2e_ns = f64::INFINITY;
         let mut stream_ns = f64::INFINITY;
         let mut stream_scalar_ns = f64::INFINITY;
-        for _ in 0..10 {
+        let started = std::time::Instant::now();
+        let mut iters = 0usize;
+        while iters < 10 || started.elapsed().as_secs_f64() < min_secs {
             let (violations, ms) = timed(|| {
                 texts
                     .iter()
@@ -465,8 +491,9 @@ fn ablation() -> Vec<Ablation> {
             tree_e2e_ns = tree_e2e_ns.min(ms * 1e6 / nodes as f64);
             stream_ns = stream_ns.min(stream_one(Engine::detect()));
             stream_scalar_ns = stream_scalar_ns.min(stream_one(Engine::Scalar));
+            iters += 1;
         }
-        let fe = front_end_ns(&texts, nodes);
+        let fe = front_end_ns(&texts, nodes, min_secs);
 
         results.push(Ablation {
             schema: name,
@@ -479,10 +506,12 @@ fn ablation() -> Vec<Ablation> {
             tree_e2e_ns_per_node: tree_e2e_ns,
             stream_ns_per_node: stream_ns,
             lex_ns_per_node: fe.lex,
+            dispatch_ns_per_node: fe.dispatch,
             parse_ns_per_node: fe.parse,
             simd: Engine::detect().name(),
             stream_scalar_ns_per_node: stream_scalar_ns,
             lex_scalar_ns_per_node: fe.lex_scalar,
+            dispatch_scalar_ns_per_node: fe.dispatch_scalar,
             parse_scalar_ns_per_node: fe.parse_scalar,
         });
     }
@@ -573,24 +602,91 @@ fn ablation() -> Vec<Ablation> {
          passes alternate inside one timing loop, so the ratios survive \
          host noise that distorts the absolute numbers."
     );
+
+    let stage_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.schema.to_owned(),
+                format!("{:.0}", r.lex_ns_per_node),
+                format!("{:.0}", r.dispatch_ns_per_node),
+                format!("{:.0}", r.stream_ns_per_node - r.dispatch_ns_per_node),
+                format!("{:.0}", r.stream_ns_per_node),
+                format!("{:.0}", r.dispatch_scalar_ns_per_node),
+                format!("{:.0}", r.stream_scalar_ns_per_node),
+            ]
+        })
+        .collect();
+    print_table(
+        "Streamed stage breakdown (ns/node)",
+        &[
+            "schema",
+            "lex (tokens)",
+            "dispatch (drive)",
+            "validate (=streamed-dispatch)",
+            "streamed e2e",
+            "dispatch scalar",
+            "streamed scalar",
+        ],
+        &stage_rows,
+    );
+    println!(
+        "\n`lex` pulls tokens; `dispatch` pushes events through the fused \
+         drive loop into a counting sink (no tokens, no validation); the \
+         difference to `streamed e2e` is the automaton stepping itself. \
+         All stages come from the same interleaved loops as the tables \
+         above."
+    );
     results
 }
 
 /// Front-end timings for one corpus under both lexer engines.
 struct FrontEnd {
     lex: f64,
+    dispatch: f64,
     parse: f64,
     lex_scalar: f64,
+    dispatch_scalar: f64,
     parse_scalar: f64,
 }
 
+/// An [`EventSink`] that only counts events: what the fused drive loop
+/// costs with validation stubbed out. Asks for `NonWhitespace` text so
+/// the drive pays the same per-text-run whitespace answer it pays under
+/// element-only content rules.
+struct CountSink {
+    events: usize,
+}
+
+impl EventSink for CountSink {
+    fn start_element(
+        &mut self,
+        _name: &str,
+        _name_id: NameId,
+        _attributes: &AttrList<'_>,
+        _self_closing: bool,
+    ) -> TextInterest {
+        self.events += 1;
+        TextInterest::NonWhitespace
+    }
+
+    fn end_element(&mut self, _name: &str, _name_id: NameId) {
+        self.events += 1;
+    }
+
+    fn text(&mut self, _chunk: TextChunk<'_>) {
+        self.events += 1;
+    }
+}
+
 /// Times the front end alone over serialized corpora: the zero-copy
-/// token scan (no tree, no validation) and the tree parse (no
+/// token scan (no tree, no validation), the fused drive loop into a
+/// counting sink (no tokens either), and the tree parse (no
 /// validation), each under the detected engine and the forced scalar
-/// fallback. All four measurements alternate within one loop so a
+/// fallback. All measurements alternate within one loop so a
 /// noise burst on a shared host hits them equally; the scalar/SIMD
 /// ratio is therefore trustworthy even when absolutes wobble.
-fn front_end_ns(texts: &[String], nodes: usize) -> FrontEnd {
+fn front_end_ns(texts: &[String], nodes: usize, min_secs: f64) -> FrontEnd {
     let lex_one = |engine: Engine| {
         let (events, ms) = timed(|| {
             texts
@@ -613,6 +709,22 @@ fn front_end_ns(texts: &[String], nodes: usize) -> FrontEnd {
         assert!(events >= nodes, "every element node yields an event");
         ms * 1e6 / nodes as f64
     };
+    let dispatch_one = |engine: Engine| {
+        let (events, ms) = timed(|| {
+            texts
+                .iter()
+                .map(|t| {
+                    let mut reader = XmlReader::from_str(t);
+                    reader.set_engine(engine);
+                    let mut sink = CountSink { events: 0 };
+                    reader.drive(&mut sink).expect("well-formed");
+                    sink.events
+                })
+                .sum::<usize>()
+        });
+        assert!(events >= nodes, "every element node yields events");
+        ms * 1e6 / nodes as f64
+    };
     let parse_one = |engine: Engine| {
         let (parsed, ms) = timed(|| {
             texts
@@ -632,22 +744,29 @@ fn front_end_ns(texts: &[String], nodes: usize) -> FrontEnd {
     };
     let mut fe = FrontEnd {
         lex: f64::INFINITY,
+        dispatch: f64::INFINITY,
         parse: f64::INFINITY,
         lex_scalar: f64::INFINITY,
+        dispatch_scalar: f64::INFINITY,
         parse_scalar: f64::INFINITY,
     };
-    for _ in 0..10 {
+    let started = std::time::Instant::now();
+    let mut iters = 0usize;
+    while iters < 10 || started.elapsed().as_secs_f64() < min_secs {
         fe.lex = fe.lex.min(lex_one(Engine::detect()));
         fe.lex_scalar = fe.lex_scalar.min(lex_one(Engine::Scalar));
+        fe.dispatch = fe.dispatch.min(dispatch_one(Engine::detect()));
+        fe.dispatch_scalar = fe.dispatch_scalar.min(dispatch_one(Engine::Scalar));
         fe.parse = fe.parse.min(parse_one(Engine::detect()));
         fe.parse_scalar = fe.parse_scalar.min(parse_one(Engine::Scalar));
+        iters += 1;
     }
     fe
 }
 
 /// `--parse-only`: the front-end microbench alone — fast enough for
 /// `scripts/check.sh` to run on every gate pass.
-fn parse_only_bench() {
+fn parse_only_bench(min_secs: f64) {
     let schema = BonxaiSchema::parse(&data("figure5.bonxai")).expect("schema parses");
     let dfa_schema = bxsd_to_dfa_xsd(&schema.bxsd);
     let mut rng = StdRng::seed_from_u64(42);
@@ -662,13 +781,14 @@ fn parse_only_bench() {
         nodes += doc.element_count();
         texts.push(xmltree::to_string(&doc));
     }
-    let fe = front_end_ns(&texts, nodes);
+    let fe = front_end_ns(&texts, nodes, min_secs);
     print_table(
         "Parse-only front end (figure5 corpus)",
         &[
             "engine",
             "nodes",
             "lex only (ns/node)",
+            "dispatch (ns/node)",
             "tree parse (ns/node)",
         ],
         &[
@@ -676,19 +796,23 @@ fn parse_only_bench() {
                 Engine::detect().name().to_owned(),
                 nodes.to_string(),
                 format!("{:.0}", fe.lex),
+                format!("{:.0}", fe.dispatch),
                 format!("{:.0}", fe.parse),
             ],
             vec![
                 "scalar (forced)".into(),
                 nodes.to_string(),
                 format!("{:.0}", fe.lex_scalar),
+                format!("{:.0}", fe.dispatch_scalar),
                 format!("{:.0}", fe.parse_scalar),
             ],
         ],
     );
     println!(
-        "\nlex gain {:.2}x, parse gain {:.2}x (scalar/simd, interleaved)",
+        "\nlex gain {:.2}x, dispatch gain {:.2}x, parse gain {:.2}x \
+         (scalar/simd, interleaved)",
         fe.lex_scalar / fe.lex,
+        fe.dispatch_scalar / fe.dispatch,
         fe.parse_scalar / fe.parse
     );
 }
@@ -965,9 +1089,11 @@ fn render_json(results: &[Ablation], batch: &BatchScaling, mem: &StreamMemory) -
              \"product_nodes_per_sec\": {:.0}, \"speedup\": {:.3}, \
              \"fallback_speedup\": {:.3}, \"tree_e2e_ns_per_node\": {:.2}, \
              \"stream_ns_per_node\": {:.2}, \"lex_ns_per_node\": {:.2}, \
+             \"dispatch_ns_per_node\": {:.2}, \
              \"parse_ns_per_node\": {:.2}, \"simd\": \"{}\", \
              \"stream_scalar_ns_per_node\": {:.2}, \
              \"lex_scalar_ns_per_node\": {:.2}, \
+             \"dispatch_scalar_ns_per_node\": {:.2}, \
              \"parse_scalar_ns_per_node\": {:.2}}}{}\n",
             r.schema,
             r.rules,
@@ -983,15 +1109,24 @@ fn render_json(results: &[Ablation], batch: &BatchScaling, mem: &StreamMemory) -
             r.tree_e2e_ns_per_node,
             r.stream_ns_per_node,
             r.lex_ns_per_node,
+            r.dispatch_ns_per_node,
             r.parse_ns_per_node,
             r.simd,
             r.stream_scalar_ns_per_node,
             r.lex_scalar_ns_per_node,
+            r.dispatch_scalar_ns_per_node,
             r.parse_scalar_ns_per_node,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
     out.push_str("  ],\n");
+    // The hot-frame layout guard's runtime twin: the compile-time
+    // assertion caps these at 64, the JSON records the exact sizes so
+    // frame-diet regressions show up in the benchmark diff.
+    let (frame_product, frame_lockstep) = bonxai_core::stream_frame_sizes();
+    out.push_str(&format!(
+        "  \"frames_bytes\": {{\"product\": {frame_product}, \"lockstep\": {frame_lockstep}}},\n",
+    ));
     out.push_str(&format!(
         "  \"batch_scaling\": {{\"cores\": {}, \"docs\": {}, \"nodes\": {}, \"runs\": [",
         batch.cores, batch.docs, batch.nodes

@@ -51,6 +51,6 @@ pub use pipeline::{bonxai_to_xsd_text, xsd_to_bonxai_text, PipelineError, Transl
 pub use schema::{BonxaiSchema, ValidationReport};
 pub use semantics::{conforms, Semantics};
 pub use validate::{
-    is_valid, validate, validate_with, BxsdReport, CompiledBxsd, NodeMatch, ValidateOptions,
-    DEFAULT_PRODUCT_BUDGET,
+    is_valid, stream_frame_sizes, validate, validate_with, BxsdReport, CompiledBxsd, NodeMatch,
+    ValidateOptions, DEFAULT_PRODUCT_BUDGET,
 };

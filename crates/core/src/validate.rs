@@ -44,8 +44,8 @@ use std::sync::Arc;
 use relang::cache::AutomataCache;
 use relang::ops::{ProductState, RelevanceProduct};
 use relang::{CompiledDre, Dfa, Regex, StateId, Sym};
-use xmltree::stream::{ByteSrc, XmlReader, XmlToken};
-use xmltree::{Document, NodeId};
+use xmltree::stream::{AttrList, ByteSrc, EventSink, TextChunk, TextInterest, XmlReader};
+use xmltree::{Document, NameId, NodeId};
 use xsd::violation::{Violation, ViolationKind};
 
 use crate::bxsd::Bxsd;
@@ -529,11 +529,15 @@ impl<'a> CompiledBxsd<'a> {
     }
 
     /// The streaming counterpart of `run_product`/`run_lockstep`, generic
-    /// over the ancestor-state engine. Per `StartElement` the parent
-    /// frame's content DFA is stepped and a child frame is pushed; per
-    /// `EndElement` the finished frame is checked and popped. Nothing
-    /// outside the frame stack (plus a per-distinct-name symbol cache)
-    /// is retained, so memory is O(depth), not O(document).
+    /// over the ancestor-state engine. The reader *pushes* events into a
+    /// [`StreamSink`] via [`XmlReader::drive`] — the fused loop steps the
+    /// sink straight off the structural index for the common
+    /// start/end/text cycle, falling back to token construction for
+    /// anything irregular. Per start the parent frame's content DFA is
+    /// stepped and a child frame is pushed; per end the finished frame is
+    /// checked and popped. Nothing outside the frame stack (plus a
+    /// per-distinct-name symbol cache) is retained, so memory is
+    /// O(depth), not O(document).
     fn run_stream<S: ByteSrc, E: AncEngine>(
         &self,
         reader: &mut XmlReader<S>,
@@ -541,193 +545,70 @@ impl<'a> CompiledBxsd<'a> {
         record: bool,
         report: &mut BxsdReport,
     ) -> Result<(), xmltree::ParseError> {
-        // Frames reference `self` through their ContentEval.
-        let mut stack: Vec<StreamFrame<'_, E::State>> = Vec::with_capacity(16);
-        // Recycled frame buffers: the child-word vectors of the buffered
-        // content fallback and the text accumulators of simple-content
-        // elements. Without these, every simple-content node would pay a
-        // malloc/free pair for its (usually tiny) text — measurable at
-        // streaming speeds. The pools are bounded by the maximum open
-        // depth, so they keep memory O(depth) like the stack itself.
-        let mut spare_words: Vec<Vec<Sym>> = Vec::new();
-        let mut spare_texts: Vec<String> = Vec::new();
-        // Next node id, counting element and text nodes in event order —
-        // the arena allocation order of the tree parser.
-        let mut next_node = 0usize;
-        // A rejected root mirrors the tree path's early return: the rest
-        // of the document is drained (malformed XML must still error) but
-        // produces no further violations or matches.
-        let mut root_rejected = false;
-        // Streaming analogue of `resolve_names`: the reader's dense
-        // first-occurrence `NameId`s index straight into these side
-        // tables, so after an element name's first occurrence the match
-        // path is one array load — no hashing, no string compare.
-        let mut syms: Vec<Option<Sym>> = Vec::new();
-        let mut names: Vec<Box<str>> = Vec::new();
-        loop {
-            match reader.next_event()? {
-                XmlToken::Doctype { .. } => {}
-                XmlToken::StartElement {
-                    name,
-                    name_id,
-                    attributes,
-                    ..
-                } => {
-                    let node = NodeId(next_node);
-                    next_node += 1;
-                    if root_rejected {
-                        continue;
-                    }
-                    let idx = name_id.index();
-                    if idx >= syms.len() {
-                        // New ids are handed out densely, one per first
-                        // occurrence — which is always a start tag.
-                        debug_assert_eq!(idx, syms.len());
-                        syms.push(self.bxsd.ename.lookup(name));
-                        names.push(name.into());
-                    }
-                    let sym = syms[idx];
-                    let state = if let Some(parent) = stack.last_mut() {
-                        if parent.unknown_at.is_some() {
-                            eng.dead()
-                        } else {
-                            match sym {
-                                Some(sym) => {
-                                    parent.content.step(sym, parent.count, &mut parent.word);
-                                    parent.count += 1;
-                                    eng.child(&parent.state, sym)
-                                }
-                                None => {
-                                    report.violations.push(Violation {
-                                        node,
-                                        kind: ViolationKind::NoGoverningDefinition(name.to_owned()),
-                                    });
-                                    parent.unknown_at = Some(parent.count);
-                                    eng.dead()
-                                }
-                            }
-                        }
-                    } else {
-                        match sym.filter(|s| self.bxsd.start.contains(s)) {
-                            Some(sym) => eng.start(sym),
-                            None => {
-                                report.violations.push(Violation {
-                                    node,
-                                    kind: ViolationKind::RootNotAllowed(name.to_owned()),
-                                });
-                                root_rejected = true;
-                                continue;
-                            }
-                        }
+        let meta = self
+            .bxsd
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let check_attrs = self.requires_attr[i];
+                if r.content.simple_content.is_some() {
+                    return RuleMeta {
+                        dfa: None,
+                        q0: 0,
+                        flags: F_SIMPLE,
+                        interest: TextInterest::Collect,
+                        check_attrs,
                     };
-                    let relevant = eng.relevant(&state);
-                    if record {
-                        report.matches.insert(
-                            node,
-                            NodeMatch {
-                                matching: eng.matching(&state),
-                                relevant,
-                            },
-                        );
-                    }
-                    let mut word = spare_words.pop().unwrap_or_default();
-                    let content = self.content_eval(relevant, &mut word);
-                    // Text is only accumulated where it will be checked
-                    // (simple content), so arbitrary amounts of ignored
-                    // text cannot grow a frame.
-                    let text = relevant
-                        .filter(|&i| self.bxsd.rules[i].content.simple_content.is_some())
-                        .map(|_| spare_texts.pop().unwrap_or_default());
-                    // Attributes are checked right here, against the
-                    // token's borrowed list — nothing is copied out of
-                    // the reader's buffer. The (almost always empty)
-                    // verdict is parked in the frame and emitted at the
-                    // end tag, where the tree path reports it, so the
-                    // within-node violation order stays identical.
-                    let mut attr_violations = Vec::new();
-                    if let Some(i) =
-                        relevant.filter(|&i| self.requires_attr[i] || !attributes.is_empty())
-                    {
-                        xsd::violation::check_attribute_pairs(
-                            node,
-                            attributes.iter().map(|a| (a.name, a.value)),
-                            &self.bxsd.rules[i].content,
-                            &mut attr_violations,
-                        );
-                    }
-                    stack.push(StreamFrame {
-                        node,
-                        name: idx,
-                        attr_violations,
-                        state,
-                        relevant,
-                        content,
-                        word,
-                        count: 0,
-                        unknown_at: None,
-                        track_text: relevant.is_some_and(|i| self.text_sensitive[i]),
-                        has_text: false,
-                        text,
-                    });
                 }
-                XmlToken::Text { text, .. } => {
-                    // Text nodes occupy arena slots in the tree build.
-                    next_node += 1;
-                    if root_rejected {
-                        continue;
-                    }
-                    let frame = stack.last_mut().expect("text only occurs inside the root");
-                    if let Some(acc) = &mut frame.text {
-                        acc.push_str(text);
-                    }
-                    // `has_text` is only read where text is a violation
-                    // (element-only content) — don't scan anywhere else.
-                    if frame.track_text && !frame.has_text {
-                        frame.has_text = text.chars().any(|c| !c.is_whitespace());
-                    }
+                let dfa = self.content_matchers[i].as_dfa();
+                let mut flags = if dfa.is_none() { F_BUFFERED } else { 0 };
+                let mut interest = TextInterest::Ignore;
+                if self.text_sensitive[i] {
+                    flags |= F_TRACK_TEXT;
+                    interest = TextInterest::NonWhitespace;
                 }
-                XmlToken::EndElement { .. } => {
-                    if root_rejected {
-                        continue;
-                    }
-                    let frame = stack.pop().expect("events are well nested");
-                    let failed_at = frame
-                        .unknown_at
-                        .or_else(|| frame.content.finish(frame.count, &frame.word));
-                    self.check_stream_node(
-                        frame.node,
-                        &names[frame.name],
-                        frame.attr_violations,
-                        frame.relevant,
-                        failed_at,
-                        frame.has_text,
-                        frame.text.as_deref(),
-                        &mut report.violations,
-                    );
-                    let mut word = frame.word;
-                    word.clear();
-                    spare_words.push(word);
-                    if let Some(mut text) = frame.text {
-                        text.clear();
-                        spare_texts.push(text);
-                    }
+                RuleMeta {
+                    dfa,
+                    q0: dfa.map_or(0, |d| d.initial() as u32),
+                    flags,
+                    interest,
+                    check_attrs,
                 }
-                XmlToken::EndDocument => return Ok(()),
-            }
-        }
+            })
+            .collect();
+        let mut sink = StreamSink {
+            cx: self,
+            meta,
+            eng,
+            record,
+            report,
+            stack: Vec::with_capacity(16),
+            words: Vec::new(),
+            texts: Vec::new(),
+            attr_stack: Vec::new(),
+            viol_scratch: Vec::new(),
+            spare_viol: Vec::new(),
+            state_pool: Vec::new(),
+            next_node: 0,
+            root_rejected: false,
+            syms: Vec::new(),
+        };
+        reader.drive(&mut sink)
     }
 
     /// [`Self::check_node`] over a finished stream frame instead of a
     /// tree node: same checks, same order, same violations. Attribute
     /// violations arrive pre-computed (the start tag checked them off
     /// the borrowed token) and are spliced in at the position the tree
-    /// path reports them: after the text check, before content.
+    /// path reports them: after the text check, before content. The
+    /// vector is drained, not consumed, so the caller can recycle it.
     #[allow(clippy::too_many_arguments)]
     fn check_stream_node(
         &self,
         node: NodeId,
         name: &str,
-        mut attr_violations: Vec<Violation>,
+        attr_violations: &mut Vec<Violation>,
         relevant: Option<usize>,
         failed_at: Option<usize>,
         has_text: bool,
@@ -746,7 +627,7 @@ impl<'a> CompiledBxsd<'a> {
                 kind: ViolationKind::UnexpectedText(name.to_owned()),
             });
         }
-        violations.append(&mut attr_violations);
+        violations.append(attr_violations);
         if let Some(at) = failed_at {
             violations.push(Violation {
                 node,
@@ -829,6 +710,29 @@ trait AncEngine {
     fn relevant(&self, q: &Self::State) -> Option<usize>;
     /// All matching rules in `q`, in schema order.
     fn matching(&self, q: &Self::State) -> Vec<usize>;
+
+    /// [`Self::child`] drawing storage from `pool` where the state type
+    /// allocates. The default ignores the pool (POD states).
+    #[inline]
+    fn child_with(
+        &self,
+        parent: &Self::State,
+        sym: Sym,
+        _pool: &mut Vec<Self::State>,
+    ) -> Self::State {
+        self.child(parent, sym)
+    }
+
+    /// [`Self::dead`] drawing storage from `pool`.
+    #[inline]
+    fn dead_with(&self, _pool: &mut Vec<Self::State>) -> Self::State {
+        self.dead()
+    }
+
+    /// Returns a finished state's storage to `pool` for reuse. No-op for
+    /// POD states.
+    #[inline]
+    fn retire(&self, _state: Self::State, _pool: &mut Vec<Self::State>) {}
 }
 
 /// Relevance-product engine: one table lookup per transition (Lemma 7).
@@ -899,38 +803,365 @@ impl AncEngine for LockstepEngine<'_> {
             .filter_map(|(i, s)| s.is_some_and(|q| self.dfas[i].is_final(q)).then_some(i))
             .collect()
     }
+
+    fn child_with(
+        &self,
+        parent: &Self::State,
+        sym: Sym,
+        pool: &mut Vec<Self::State>,
+    ) -> Self::State {
+        let mut v = pool.pop().unwrap_or_default();
+        v.clear();
+        v.extend(
+            parent
+                .iter()
+                .zip(self.dfas)
+                .map(|(s, d)| s.and_then(|q| d.transition(q, sym))),
+        );
+        v
+    }
+
+    fn dead_with(&self, pool: &mut Vec<Self::State>) -> Self::State {
+        let mut v = pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize(self.dfas.len(), None);
+        v
+    }
+
+    fn retire(&self, state: Self::State, pool: &mut Vec<Self::State>) {
+        pool.push(state);
+    }
 }
 
-/// Everything the streaming validator retains about one *open* element.
-/// The stack of these frames is the validator's entire per-document
-/// state — its depth is the open-element depth of the input.
-struct StreamFrame<'c, St> {
+// Flag bits of [`HotFrame::flags`]. Together with `relevant`, `dfa`,
+// and `q` they encode what `ContentEval` + the old frame's Option/bool
+// fields encoded, in one byte.
+/// Element-only content: text nodes must be scanned for non-whitespace.
+const F_TRACK_TEXT: u8 = 1 << 0;
+/// Non-whitespace text was seen among the children.
+const F_HAS_TEXT: u8 = 1 << 1;
+/// Simple content: any element child fails at position 0; child text
+/// accumulates in the `texts` side table for the type check.
+const F_SIMPLE: u8 = 1 << 2;
+/// Buffered content fallback: the child word accumulates in the `words`
+/// side table, resolved via `CompiledDre::first_error` at the end tag.
+const F_BUFFERED: u8 = 1 << 3;
+/// The content DFA died; `fail_pos` holds the position.
+const F_FAILED_DFA: u8 = 1 << 4;
+/// An unknown-named child was seen; `fail_pos` holds its position
+/// (overwriting any earlier DFA failure — unknown children win, exactly
+/// as `unknown_at.or_else(...)` did).
+const F_FAILED_UNKNOWN: u8 = 1 << 5;
+/// This frame parked a non-empty attribute-violation vector on the
+/// sink's `attr_stack`.
+const F_ATTR_VIOL: u8 = 1 << 6;
+
+/// `relevant` value for "no matching rule" (Definition 1: unconstrained).
+const NO_RULE: u32 = u32::MAX;
+
+/// The hot per-open-element state of the streaming validator — the part
+/// that is pushed, mutated, and popped on every element. The old
+/// `StreamFrame` carried its cold storage (violation vectors, child
+/// words, accumulated text) inline, moving ~150 bytes per push/pop;
+/// those now live in depth-indexed side tables on [`StreamSink`], and
+/// what remains is small enough to stay in cache (a compile-time
+/// assertion below pins the size for both engines).
+struct HotFrame<'c, St> {
     node: NodeId,
-    /// Index into the driver's dense name table (== the reader's
-    /// `NameId`), resolved back to a string only if a violation needs it.
-    name: usize,
-    /// Attribute violations found at the start tag (checked against the
-    /// reader's borrowed token; empty — and unallocated — for valid
-    /// attribute lists), reported at the end tag in tree order.
-    attr_violations: Vec<Violation>,
+    /// Content DFA of the relevant rule, stepped inline via `q`
+    /// (`None`: no rule, simple content, or the buffered fallback).
+    dfa: Option<&'c Dfa>,
     /// Ancestor state; children derive theirs from it via the engine.
     state: St,
-    relevant: Option<usize>,
-    content: ContentEval<'c>,
-    /// Child word, filled only by the buffered content fallback.
-    word: Vec<Sym>,
-    /// Known element children consumed so far.
-    count: usize,
-    /// Position of the first unknown-named child, if any.
-    unknown_at: Option<usize>,
-    /// Whether text nodes need scanning at all: the relevant rule has
-    /// element-only content, so significant text would be a violation.
-    track_text: bool,
-    /// Any non-whitespace text seen among the children.
-    has_text: bool,
-    /// Accumulated child text — `Some` only under simple content, where
-    /// the finished value is type-checked.
-    text: Option<String>,
+    /// Relevant rule index, or [`NO_RULE`].
+    relevant: u32,
+    /// Known element children consumed so far (saturating; a document
+    /// would need > 4 billion children of one node to hit the cap).
+    count: u32,
+    /// Current content-DFA state (meaningful only when `dfa` is set).
+    q: u32,
+    /// Position of the first content failure; which kind won is in
+    /// `flags` ([`F_FAILED_UNKNOWN`] beats [`F_FAILED_DFA`]).
+    fail_pos: u32,
+    /// [`F_TRACK_TEXT`] … [`F_ATTR_VIOL`].
+    flags: u8,
+}
+
+// The layout guard the frame diet is accountable to: both engines' hot
+// frames fit a single cache line. `frames_bytes` in the validation
+// bench JSON reports the same numbers, so regressions show up in
+// BENCH_validation.json too.
+const _: () = assert!(std::mem::size_of::<HotFrame<'static, ProductState>>() <= 64);
+const _: () = assert!(std::mem::size_of::<HotFrame<'static, Vec<Option<StateId>>>>() <= 64);
+
+/// Hot-frame sizes in bytes, `(product engine, lock-step engine)` —
+/// exported so the bench harness records frame-layout regressions.
+pub fn stream_frame_sizes() -> (usize, usize) {
+    (
+        std::mem::size_of::<HotFrame<'static, ProductState>>(),
+        std::mem::size_of::<HotFrame<'static, Vec<Option<StateId>>>>(),
+    )
+}
+
+/// Per-rule frame-setup decisions, precomputed once per stream so the
+/// start-tag hot path reads one row instead of chasing four separate
+/// tables (`rules[i].content`, `content_matchers[i]`,
+/// `text_sensitive[i]`, `requires_attr[i]`).
+struct RuleMeta<'c> {
+    /// Content DFA to step inline, from `initial()` = `q0`.
+    dfa: Option<&'c Dfa>,
+    q0: u32,
+    /// Initial frame flags: [`F_SIMPLE`] / [`F_BUFFERED`] /
+    /// [`F_TRACK_TEXT`] as the rule's content model dictates.
+    flags: u8,
+    interest: TextInterest,
+    /// The rule has a required attribute, so the (possibly empty)
+    /// attribute list must be checked.
+    check_attrs: bool,
+}
+
+/// The streaming validator as an [`EventSink`]: [`XmlReader::drive`]
+/// pushes start/end/text events into it, fused straight off the
+/// structural index where possible. Holds the hot frame stack plus the
+/// cold side tables the frames index by depth.
+struct StreamSink<'v, 'c, E: AncEngine> {
+    cx: &'c CompiledBxsd<'c>,
+    /// One row per rule; see [`RuleMeta`].
+    meta: Vec<RuleMeta<'c>>,
+    eng: &'c E,
+    record: bool,
+    report: &'v mut BxsdReport,
+    stack: Vec<HotFrame<'c, E::State>>,
+    /// Child word per depth, used only by [`F_BUFFERED`] frames.
+    words: Vec<Vec<Sym>>,
+    /// Accumulated child text per depth, used only by [`F_SIMPLE`] frames.
+    texts: Vec<String>,
+    /// Parked attribute violations of [`F_ATTR_VIOL`] frames, LIFO.
+    /// Almost always empty: valid attribute lists park nothing.
+    attr_stack: Vec<Vec<Violation>>,
+    /// The attribute check's working vector — empty between events, so
+    /// the clean (no-violation) path touches no pool at all; a verdict
+    /// is moved onto `attr_stack` only when non-empty.
+    viol_scratch: Vec<Violation>,
+    /// Recycled violation vectors backing `viol_scratch` refills.
+    spare_viol: Vec<Vec<Violation>>,
+    /// Recycled ancestor-state storage (lock-step `Vec`s; unused by the
+    /// POD product states).
+    state_pool: Vec<E::State>,
+    /// Next node id, counting element and text nodes in event order —
+    /// the arena allocation order of the tree parser.
+    next_node: usize,
+    /// A rejected root mirrors the tree path's early return: the rest
+    /// of the document is drained (malformed XML must still error) but
+    /// produces no further violations or matches.
+    root_rejected: bool,
+    /// Streaming analogue of `resolve_names`: the reader's dense
+    /// first-occurrence `NameId`s index straight into this side table,
+    /// so after an element name's first occurrence the match path is
+    /// one array load — no hashing, no string compare.
+    syms: Vec<Option<Sym>>,
+}
+
+impl<E: AncEngine> EventSink for StreamSink<'_, '_, E> {
+    fn start_element(
+        &mut self,
+        name: &str,
+        name_id: NameId,
+        attributes: &AttrList<'_>,
+        _self_closing: bool,
+    ) -> TextInterest {
+        let node = NodeId(self.next_node);
+        self.next_node += 1;
+        if self.root_rejected {
+            return TextInterest::Ignore;
+        }
+        let idx = name_id.index();
+        if idx >= self.syms.len() {
+            // New ids are handed out densely, one per first
+            // occurrence — which is always a start tag.
+            debug_assert_eq!(idx, self.syms.len());
+            self.syms.push(self.cx.bxsd.ename.lookup(name));
+        }
+        let sym = self.syms[idx];
+        let depth = self.stack.len();
+        let state = if let Some(parent) = self.stack.last_mut() {
+            if parent.flags & F_FAILED_UNKNOWN != 0 {
+                self.eng.dead_with(&mut self.state_pool)
+            } else {
+                match sym {
+                    Some(sym) => {
+                        // The parent's content step, inlined off the
+                        // frame fields (what `ContentEval::step` did).
+                        if let Some(dfa) = parent.dfa {
+                            if parent.flags & F_FAILED_DFA == 0 {
+                                match dfa.transition(parent.q as StateId, sym) {
+                                    Some(t) => parent.q = t as u32,
+                                    None => {
+                                        parent.flags |= F_FAILED_DFA;
+                                        parent.fail_pos = parent.count;
+                                    }
+                                }
+                            }
+                        } else if parent.flags & F_BUFFERED != 0 {
+                            self.words[depth - 1].push(sym);
+                        }
+                        parent.count = parent.count.saturating_add(1);
+                        self.eng
+                            .child_with(&parent.state, sym, &mut self.state_pool)
+                    }
+                    None => {
+                        self.report.violations.push(Violation {
+                            node,
+                            kind: ViolationKind::NoGoverningDefinition(name.to_owned()),
+                        });
+                        parent.flags |= F_FAILED_UNKNOWN;
+                        parent.fail_pos = parent.count;
+                        self.eng.dead_with(&mut self.state_pool)
+                    }
+                }
+            }
+        } else {
+            match sym.filter(|s| self.cx.bxsd.start.contains(s)) {
+                Some(sym) => self.eng.start(sym),
+                None => {
+                    self.report.violations.push(Violation {
+                        node,
+                        kind: ViolationKind::RootNotAllowed(name.to_owned()),
+                    });
+                    self.root_rejected = true;
+                    return TextInterest::Ignore;
+                }
+            }
+        };
+        let relevant = self.eng.relevant(&state);
+        if self.record {
+            self.report.matches.insert(
+                node,
+                NodeMatch {
+                    matching: self.eng.matching(&state),
+                    relevant,
+                },
+            );
+        }
+        if self.words.len() <= depth {
+            self.words.push(Vec::new());
+            self.texts.push(String::new());
+        }
+        let mut flags = 0u8;
+        let mut dfa = None;
+        let mut q = 0u32;
+        let mut interest = TextInterest::Ignore;
+        if let Some(i) = relevant {
+            let m = &self.meta[i];
+            flags = m.flags;
+            dfa = m.dfa;
+            q = m.q0;
+            interest = m.interest;
+            if flags & F_SIMPLE != 0 {
+                // Text is only accumulated where it will be checked
+                // (simple content), so arbitrary amounts of ignored
+                // text cannot grow the side tables.
+                self.texts[depth].clear();
+            } else if flags & F_BUFFERED != 0 {
+                self.words[depth].clear();
+            }
+            // Attributes are checked right here, against the reader's
+            // borrowed list — nothing is copied out of its buffer. The
+            // (almost always empty) verdict is parked on the side stack
+            // and emitted at the end tag, where the tree path reports
+            // it, so the within-node violation order stays identical.
+            if m.check_attrs || !attributes.is_empty() {
+                xsd::violation::check_attribute_pairs(
+                    node,
+                    attributes.iter().map(|a| (a.name, a.value)),
+                    &self.cx.bxsd.rules[i].content,
+                    &mut self.viol_scratch,
+                );
+                if !self.viol_scratch.is_empty() {
+                    flags |= F_ATTR_VIOL;
+                    let refill = self.spare_viol.pop().unwrap_or_default();
+                    self.attr_stack
+                        .push(std::mem::replace(&mut self.viol_scratch, refill));
+                }
+            }
+        }
+        self.stack.push(HotFrame {
+            node,
+            dfa,
+            state,
+            relevant: relevant.map_or(NO_RULE, |i| i as u32),
+            count: 0,
+            q,
+            fail_pos: 0,
+            flags,
+        });
+        interest
+    }
+
+    fn end_element(&mut self, name: &str, _name_id: NameId) {
+        if self.root_rejected {
+            return;
+        }
+        let frame = self.stack.pop().expect("events are well nested");
+        let depth = self.stack.len(); // the popped frame's own depth
+        let relevant = (frame.relevant != NO_RULE).then_some(frame.relevant as usize);
+        // What `unknown_at.or_else(|| content.finish(...))` computed,
+        // read off the frame fields.
+        let failed_at = if frame.flags & F_FAILED_UNKNOWN != 0 {
+            Some(frame.fail_pos as usize)
+        } else if frame.flags & F_SIMPLE != 0 {
+            (frame.count > 0).then_some(0)
+        } else if let Some(dfa) = frame.dfa {
+            if frame.flags & F_FAILED_DFA != 0 {
+                Some(frame.fail_pos as usize)
+            } else {
+                (!dfa.is_final(frame.q as StateId)).then_some(frame.count as usize)
+            }
+        } else if frame.flags & F_BUFFERED != 0 {
+            let i = frame.relevant as usize;
+            self.cx.content_matchers[i].first_error(&self.words[depth])
+        } else {
+            None
+        };
+        let mut av = if frame.flags & F_ATTR_VIOL != 0 {
+            self.attr_stack.pop().expect("flagged frame parked its vec")
+        } else {
+            Vec::new() // never allocates; stays empty
+        };
+        self.cx.check_stream_node(
+            frame.node,
+            name,
+            &mut av,
+            relevant,
+            failed_at,
+            frame.flags & F_HAS_TEXT != 0,
+            (frame.flags & F_SIMPLE != 0).then(|| self.texts[depth].as_str()),
+            &mut self.report.violations,
+        );
+        if av.capacity() > 0 {
+            av.clear();
+            self.spare_viol.push(av);
+        }
+        self.eng.retire(frame.state, &mut self.state_pool);
+    }
+
+    fn text(&mut self, chunk: TextChunk<'_>) {
+        // Text nodes occupy arena slots in the tree build.
+        self.next_node += 1;
+        if self.root_rejected {
+            return;
+        }
+        let depth = self.stack.len();
+        let frame = self
+            .stack
+            .last_mut()
+            .expect("text only occurs inside the root");
+        match chunk {
+            TextChunk::NonWs(true) => frame.flags |= F_HAS_TEXT,
+            TextChunk::NonWs(false) | TextChunk::Skipped => {}
+            TextChunk::Collect(t) => self.texts[depth - 1].push_str(t),
+        }
+    }
 }
 
 /// One-shot validation under the priority semantics (default options).

@@ -44,5 +44,8 @@ pub use error::{ParseError, Position};
 pub use parser::{parse, parse_document, parse_from_reader, ParsedXml};
 pub use serializer::{to_string, to_string_pretty};
 pub use simd::Engine;
-pub use stream::{Attr, AttrList, NameId, XmlEvent, XmlReader, XmlToken};
+pub use stream::{
+    Attr, AttrList, EventSink, LazyName, NameId, TextChunk, TextInterest, XmlEvent, XmlReader,
+    XmlToken,
+};
 pub use tree::{Attribute, Document, NodeId, NodeKind};

@@ -178,6 +178,37 @@ fn classify_scalar(chunk: &[u8], base: usize, marks: &mut Vec<u64>, nls: &mut Ve
     all_ascii
 }
 
+/// Length of the longest prefix of `bytes` consisting entirely of ASCII
+/// whitespace (`0x09`–`0x0D`, `0x20`) — equivalently, the offset of the
+/// first byte outside that set, or `bytes.len()`. The fused drive loop
+/// uses this to answer "any non-whitespace text?" for element-only
+/// content without a per-`char` scan; the byte at the returned offset
+/// (if any) still needs a `char`-level look when it's ≥ 0x80, since
+/// multi-byte sequences can decode to Unicode whitespace.
+#[inline]
+pub(crate) fn first_non_ascii_ws(bytes: &[u8]) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return sse2::first_non_ascii_ws(bytes);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return neon::first_non_ascii_ws(bytes);
+    }
+    #[allow(unreachable_code)]
+    first_non_ascii_ws_scalar(bytes)
+}
+
+/// Portable reference for [`first_non_ascii_ws`].
+fn first_non_ascii_ws_scalar(bytes: &[u8]) -> usize {
+    bytes
+        .iter()
+        .position(|&b| !matches!(b, 0x09..=0x0D | 0x20))
+        .unwrap_or(bytes.len())
+}
+
 #[cfg(target_arch = "x86_64")]
 mod sse2 {
     use std::arch::x86_64::{
@@ -238,6 +269,35 @@ mod sse2 {
             i += 16;
         }
         super::classify_scalar(&chunk[i..], base + i, marks, nls) && non_ascii == 0
+    }
+
+    #[allow(unsafe_code)]
+    pub(super) fn first_non_ascii_ws(bytes: &[u8]) -> usize {
+        // SAFETY: the caller checked `is_x86_feature_detected!("sse2")`
+        // (always true on x86-64, which has SSE2 in its baseline).
+        unsafe { first_non_ascii_ws_impl(bytes) }
+    }
+
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "sse2")]
+    unsafe fn first_non_ascii_ws_impl(bytes: &[u8]) -> usize {
+        use std::arch::x86_64::{_mm_min_epu8, _mm_sub_epi8};
+        let mut i = 0;
+        while i + 16 <= bytes.len() {
+            // SAFETY: `i + 16 <= bytes.len()`; unaligned load is fine.
+            let v = unsafe { _mm_loadu_si128(bytes.as_ptr().add(i) as *const __m128i) };
+            // Unsigned range test: b - 9 <= 4 ⇔ b ∈ 0x09..=0x0D (the
+            // subtraction wraps, so anything below 9 lands high).
+            let sub = _mm_sub_epi8(v, _mm_set1_epi8(9));
+            let in_range = _mm_cmpeq_epi8(_mm_min_epu8(sub, _mm_set1_epi8(4)), sub);
+            let ws = _mm_or_si128(in_range, _mm_cmpeq_epi8(v, _mm_set1_epi8(b' ' as i8)));
+            let non_ws = !(_mm_movemask_epi8(ws) as u32) & 0xFFFF;
+            if non_ws != 0 {
+                return i + non_ws.trailing_zeros() as usize;
+            }
+            i += 16;
+        }
+        i + super::first_non_ascii_ws_scalar(&bytes[i..])
     }
 }
 
@@ -306,6 +366,32 @@ mod neon {
             i += 16;
         }
         super::classify_scalar(&chunk[i..], base + i, marks, nls) && all_ascii
+    }
+
+    #[allow(unsafe_code)]
+    pub(super) fn first_non_ascii_ws(bytes: &[u8]) -> usize {
+        // SAFETY: NEON is baseline on aarch64.
+        unsafe { first_non_ascii_ws_impl(bytes) }
+    }
+
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "neon")]
+    unsafe fn first_non_ascii_ws_impl(bytes: &[u8]) -> usize {
+        use std::arch::aarch64::{vcleq_u8, vsubq_u8};
+        let mut i = 0;
+        while i + 16 <= bytes.len() {
+            // SAFETY: `i + 16 <= bytes.len()`.
+            let v = unsafe { vld1q_u8(bytes.as_ptr().add(i)) };
+            // Unsigned range test: b - 9 <= 4 ⇔ b ∈ 0x09..=0x0D.
+            let in_range = vcleq_u8(vsubq_u8(v, vdupq_n_u8(9)), vdupq_n_u8(4));
+            let ws = vorrq_u8(in_range, vceqq_u8(v, vdupq_n_u8(b' ')));
+            let mask = nibble_mask(ws);
+            if mask != u64::MAX {
+                return i + ((!mask).trailing_zeros() >> 2) as usize;
+            }
+            i += 16;
+        }
+        i + super::first_non_ascii_ws_scalar(&bytes[i..])
     }
 }
 
@@ -393,6 +479,54 @@ mod tests {
             chunk[pos] = 0xE2;
             assert!(!run(engine, &chunk, 0).2, "high byte at {pos} missed");
             chunk[pos] = b'a';
+        }
+    }
+
+    #[test]
+    fn first_non_ascii_ws_matches_naive_scan() {
+        // Byte soup heavy in whitespace, with the boundary values of
+        // the 0x09..=0x0D range, 0x20's neighbors, and high bytes that
+        // decode to Unicode whitespace (0x85, 0xA0) — which must NOT
+        // count as ASCII whitespace here.
+        let mut bytes = Vec::new();
+        let mut x: u64 = 0x243f6a8885a308d3;
+        for _ in 0..2048 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = (x >> 33) as u8;
+            bytes.push(match b % 13 {
+                0 => 0x08,
+                1 => 0x09,
+                2 => 0x0A,
+                3 => 0x0D,
+                4 => 0x0E,
+                5 => 0x1F,
+                6 => 0x20,
+                7 => 0x21,
+                8 => 0x85,
+                9 => 0xA0,
+                _ => b,
+            });
+        }
+        // Long all-whitespace runs so the SIMD loop iterates.
+        bytes.extend(std::iter::repeat_n(b' ', 100));
+        for start in [0usize, 1, 7, 15, 16, 17, 33] {
+            for len in [0usize, 1, 15, 16, 17, 31, 33, 100, 1000] {
+                let end = (start + len).min(bytes.len());
+                let chunk = &bytes[start..end];
+                let naive = chunk
+                    .iter()
+                    .position(|&b| !matches!(b, 0x09..=0x0D | 0x20))
+                    .unwrap_or(chunk.len());
+                assert_eq!(
+                    first_non_ascii_ws(chunk),
+                    naive,
+                    "diverges at start={start} len={len}"
+                );
+                let all_ws = &vec![b'\t'; len][..];
+                assert_eq!(first_non_ascii_ws(all_ws), len);
+            }
         }
     }
 

@@ -189,8 +189,10 @@ pub enum XmlToken<'a> {
     },
     /// An element end tag (synthesized for self-closing tags).
     EndElement {
-        /// Element name.
-        name: &'a str,
+        /// Element name, resolved lazily from the reader's name pool —
+        /// consumers that dispatch on `name_id` alone (the tree parser,
+        /// the streaming validator) never pay the pool load.
+        name: LazyName<'a>,
         /// Dense id of the name within this reader.
         name_id: NameId,
         /// Position of the `</` (or of the end of a self-closing tag).
@@ -206,6 +208,44 @@ pub enum XmlToken<'a> {
     },
     /// End of the document (after the root element and trailing misc).
     EndDocument,
+}
+
+/// A deferred element-name lookup: the [`NameId`] plus the pool it
+/// resolves in. End tags always close the innermost open element, whose
+/// name the reader already knows by id — materializing the `&str` on
+/// every end token was pure overhead for consumers that only match on
+/// the id, so the token carries this handle instead and [`Self::as_str`]
+/// does the (single array-load) resolution on demand.
+#[derive(Clone, Copy)]
+pub struct LazyName<'a> {
+    pool: &'a NamePool,
+    id: NameId,
+}
+
+impl<'a> LazyName<'a> {
+    /// The dense id of this name.
+    #[inline]
+    pub fn id(&self) -> NameId {
+        self.id
+    }
+
+    /// Resolves the name string (one array load).
+    #[inline]
+    pub fn as_str(&self) -> &'a str {
+        self.pool.get(self.id)
+    }
+}
+
+impl std::fmt::Debug for LazyName<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl PartialEq<&str> for LazyName<'_> {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
 }
 
 impl XmlToken<'_> {
@@ -244,7 +284,7 @@ impl XmlToken<'_> {
                 position: *position,
             },
             XmlToken::EndElement { name, position, .. } => XmlEvent::EndElement {
-                name: (*name).to_owned(),
+                name: name.as_str().to_owned(),
                 position: *position,
             },
             XmlToken::Text { text, position } => XmlEvent::Text {
@@ -358,6 +398,76 @@ impl<'a> IntoIterator for AttrList<'a> {
     fn into_iter(self) -> AttrIter<'a> {
         self.iter()
     }
+}
+
+/// What an [`EventSink`] wants from character data inside an element,
+/// declared once per element at its start tag. The fused drive loop
+/// ([`XmlReader::drive`]) uses the declaration to skip materializing
+/// text the sink would only throw away: under [`TextInterest::Ignore`]
+/// a text run costs one mark lookup, under
+/// [`TextInterest::NonWhitespace`] one vectorized whitespace scan, and
+/// only [`TextInterest::Collect`] delivers the decoded bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TextInterest {
+    /// Count the text node; its contents are irrelevant.
+    Ignore,
+    /// Report only whether the run contains a non-whitespace character
+    /// (the element-only-content check of a streaming validator).
+    NonWhitespace,
+    /// Deliver the decoded text (simple-content accumulation).
+    Collect,
+}
+
+/// One text node as delivered to [`EventSink::text`], shaped by the
+/// enclosing element's [`TextInterest`].
+#[derive(Debug)]
+pub enum TextChunk<'a> {
+    /// The enclosing interest was [`TextInterest::Ignore`].
+    Skipped,
+    /// Whether the run contains any non-whitespace character — exactly
+    /// `text.chars().any(|c| !c.is_whitespace())` over the decoded run.
+    NonWs(bool),
+    /// The decoded run (never empty).
+    Collect(&'a str),
+}
+
+/// A push-mode consumer for [`XmlReader::drive`]: the reader walks the
+/// whole document and calls these methods in event order. Compared to
+/// pulling [`XmlToken`]s, the sink seam lets the reader skip work the
+/// consumer declares it does not need — end-tag tokens, `Position`
+/// values, and text payloads are never materialized on the fused path —
+/// while the event *sequence* (including per-event node counting) is
+/// identical to the token stream by construction.
+///
+/// Sink methods are infallible; all errors during a drive are the
+/// reader's own [`ParseError`]s. For every start tag there is exactly
+/// one matching [`EventSink::end_element`] call (self-closing tags
+/// included), and [`EventSink::text`] is called once per coalesced text
+/// node, so sinks can count nodes exactly as a tree builder allocates
+/// them.
+pub trait EventSink {
+    /// `<!DOCTYPE name …>` with the raw internal subset, if present.
+    fn doctype(&mut self, _name: &str, _internal_subset: Option<&str>) {}
+
+    /// An element start tag. The return value declares the sink's
+    /// interest in character data directly inside this element.
+    fn start_element(
+        &mut self,
+        name: &str,
+        name_id: NameId,
+        attributes: &AttrList<'_>,
+        self_closing: bool,
+    ) -> TextInterest;
+
+    /// An element end tag (also synthesized for self-closing tags).
+    /// Well-nested by construction: `name` and `name_id` always
+    /// identify the innermost open element, so sinks need no name side
+    /// table of their own.
+    fn end_element(&mut self, name: &str, name_id: NameId);
+
+    /// One coalesced text node, shaped by the enclosing element's
+    /// [`TextInterest`].
+    fn text(&mut self, chunk: TextChunk<'_>);
 }
 
 /// A source of bytes for the reader: a cursor with bounded lookahead.
@@ -679,6 +789,23 @@ fn str_from_checked(bytes: &[u8]) -> &str {
     unsafe { std::str::from_utf8_unchecked(bytes) }
 }
 
+/// Whether `s` contains any non-whitespace character, by the same
+/// predicate the tree builder applies (`char::is_whitespace`). The SIMD
+/// sweep skips the ASCII whitespace prefix; the first non-ASCII-ws byte
+/// decides directly if it's ASCII (no ASCII byte outside the swept set
+/// is whitespace), and hands the remainder to the `char` predicate
+/// otherwise (bytes ≥ 0x80 can decode to Unicode whitespace like
+/// U+0085/U+00A0, which the tree path treats as whitespace).
+#[inline]
+fn has_non_ws(s: &str) -> bool {
+    let k = simd::first_non_ascii_ws(s.as_bytes());
+    match s.as_bytes().get(k) {
+        None => false,
+        Some(&b) if b < 0x80 => true,
+        Some(_) => s[k..].chars().any(|c| !c.is_whitespace()),
+    }
+}
+
 /// Whether an extent-resolved end tag (`tag` starts `</`, ends with its
 /// own `>`) closes exactly `expected`: `</expected␣*>` with the name
 /// ending at a non-name byte. Anything else goes back through the
@@ -783,6 +910,40 @@ enum Expanded {
     Owned(String),
 }
 
+/// Capacity of one [`CachedTag`]; longer tags bypass the cache.
+const TAG_CACHE_BYTES: usize = 24;
+
+/// One entry of the start-tag cache: the raw bytes of a recently
+/// scanned attribute-free start tag and the scan's result. Tag scanning
+/// is a pure function of the tag bytes (given the monotone name pool),
+/// so byte equality proves the cached result — documents repeat the
+/// same short tags thousands of times, and a hit replaces the per-byte
+/// name walk, whitespace walk, and intern with one compare.
+#[derive(Clone, Copy)]
+struct CachedTag {
+    /// Tag length in bytes including `<`/`>`; 0 = empty slot.
+    len: u8,
+    self_closing: bool,
+    name_id: NameId,
+    bytes: [u8; TAG_CACHE_BYTES],
+}
+
+impl CachedTag {
+    const EMPTY: CachedTag = CachedTag {
+        len: 0,
+        self_closing: false,
+        name_id: NameId(0),
+        bytes: [0; TAG_CACHE_BYTES],
+    };
+}
+
+/// Cache slot for a tag: mixes the first name byte with the length so
+/// sibling runs that alternate between a few short tags spread out.
+#[inline]
+fn tag_cache_slot(first: u8, len: usize) -> usize {
+    (first as usize ^ (len << 1)) & 7
+}
+
 /// A pull-based streaming XML parser; see the module docs.
 pub struct XmlReader<S> {
     src: S,
@@ -823,6 +984,9 @@ pub struct XmlReader<S> {
     /// The stage-1 structural index; `None` ⇔ [`Engine::Scalar`] (the
     /// SWAR fallback paths run instead).
     idx: Option<StructIdx>,
+    /// Direct-mapped cache of recently scanned attribute-free start
+    /// tags, probed by the indexed scan (see [`CachedTag`]).
+    tag_cache: [CachedTag; 8],
 }
 
 /// A reader over a borrowed in-memory document.
@@ -867,6 +1031,7 @@ impl<S: ByteSrc> XmlReader<S> {
             doctype_name: String::new(),
             doctype_subset: None,
             idx: (engine != Engine::Scalar).then(|| StructIdx::new(engine)),
+            tag_cache: [CachedTag::EMPTY; 8],
         }
     }
 
@@ -1361,6 +1526,251 @@ impl<S: ByteSrc> XmlReader<S> {
         }
     }
 
+    // -- the push loop (fused drive) ---------------------------------
+
+    /// Pushes the entire document into `sink` and returns at end of
+    /// document — the flattened counterpart of pulling [`Self::next_event`]
+    /// in a loop.
+    ///
+    /// With the structural index active, the common content-stage cycle
+    /// (start tag / end tag / plain text / comment / PI) is stepped
+    /// directly off the [`StructIdx`] marks: no [`XmlToken`] is built, no
+    /// `Position` is computed, end-tag names stay as [`NameId`]s, and
+    /// text is materialized only to the degree the sink's
+    /// [`TextInterest`] requires. Anything irregular — entities, CDATA
+    /// (which coalesces with neighboring text), prolog/epilog tokens,
+    /// oversized or malformed constructs, end of input — falls back to
+    /// the token pull for exactly one event, which reproduces the
+    /// scalar-visible behavior (and every error, at its exact position)
+    /// by construction. Under [`Engine::Scalar`] the fused path is
+    /// disabled and the drive is a plain token loop, so the differential
+    /// suites pin both shapes.
+    pub fn drive<K: EventSink>(&mut self, sink: &mut K) -> Result<(), ParseError> {
+        // The sink's declared text interest per open element. The fused
+        // and token paths push/pop it identically, so a mid-document
+        // fallback sees a consistent stack.
+        let mut interests: Vec<TextInterest> = Vec::with_capacity(16);
+        loop {
+            self.commit();
+            // Fused fast path; on `false` (irregular construct at the
+            // cursor) nothing was consumed and exactly one token is
+            // pulled below instead.
+            if self.stage == Stage::Content
+                && self.pending_end.is_none()
+                && self.idx.is_some()
+                && self.drive_content(sink, &mut interests)?
+            {
+                continue;
+            }
+            let tok = match self.stage {
+                Stage::Prolog => self.next_prolog()?,
+                Stage::Content => self.next_content()?,
+                Stage::Epilog => self.next_epilog()?,
+                Stage::Done => XmlToken::EndDocument,
+            };
+            match tok {
+                XmlToken::Doctype {
+                    name,
+                    internal_subset,
+                } => sink.doctype(name, internal_subset),
+                XmlToken::StartElement {
+                    name,
+                    name_id,
+                    attributes,
+                    self_closing,
+                    ..
+                } => {
+                    // A self-closing tag still pushes an interest: its
+                    // synthesized EndElement arrives as the very next
+                    // token and pops it.
+                    interests.push(sink.start_element(name, name_id, &attributes, self_closing));
+                }
+                XmlToken::EndElement { name, name_id, .. } => {
+                    interests.pop();
+                    sink.end_element(name.as_str(), name_id);
+                }
+                XmlToken::Text { text, .. } => {
+                    let chunk = match interests.last() {
+                        Some(TextInterest::NonWhitespace) => TextChunk::NonWs(has_non_ws(text)),
+                        Some(TextInterest::Collect) => TextChunk::Collect(text),
+                        _ => TextChunk::Skipped,
+                    };
+                    sink.text(chunk);
+                }
+                XmlToken::EndDocument => return Ok(()),
+            }
+        }
+    }
+
+    /// A run of fused steps at the content-stage cursor, dispatching on
+    /// the raw bytes exactly as [`Self::next_content`] does. Runs until
+    /// the cursor hits a construct the token path must handle, or the
+    /// root closes. `Ok(false)` = the very first step bailed with
+    /// nothing consumed, so the token path replays the same bytes;
+    /// `Ok(true)` = progress was made (the caller re-enters and any
+    /// leftover irregularity bails on its first step).
+    fn drive_content<K: EventSink>(
+        &mut self,
+        sink: &mut K,
+        interests: &mut Vec<TextInterest>,
+    ) -> Result<bool, ParseError> {
+        let mut any = false;
+        loop {
+            // One window grab covers both dispatch bytes.
+            let w = self.src.window(2);
+            let (b0, b1) = (w.first().copied(), w.get(1).copied());
+            let stepped = match b0 {
+                Some(b'<') => match b1 {
+                    Some(b'/') => self.drive_end_tag(sink, interests),
+                    Some(b'!') => {
+                        if self.starts_with_at(0, "<!--") {
+                            self.skip_comment()?;
+                            true
+                        } else {
+                            // CDATA (coalesces with adjacent text) or
+                            // junk like `<!DOCTYPE` here: token path.
+                            false
+                        }
+                    }
+                    Some(b'?') => {
+                        self.skip_pi()?;
+                        true
+                    }
+                    // A name start (fast case) or garbage/EOF — the
+                    // indexed scan returns None on the latter and the
+                    // token path reports the scalar error.
+                    _ => self.drive_start_tag(sink, interests),
+                },
+                // `&` starts a spliced run; EOF errors. Both via tokens.
+                Some(b'&') | None => false,
+                Some(_) => self.drive_text(sink, interests)?,
+            };
+            if !stepped {
+                return Ok(any);
+            }
+            any = true;
+            // The fused paths consume immediately (`pending` stays 0)
+            // and never set `pending_end`, so the only loop condition to
+            // re-check is the stage: a root-closing end tag moves it to
+            // Epilog.
+            if self.stage != Stage::Content {
+                return Ok(true);
+            }
+        }
+    }
+
+    /// Fused start tag: the indexed scan resolves the whole tag, the
+    /// sink is called on the borrowed attribute list, and only then are
+    /// the bytes consumed (no deferred-pending state, no `Position`).
+    fn drive_start_tag<K: EventSink>(
+        &mut self,
+        sink: &mut K,
+        interests: &mut Vec<TextInterest>,
+    ) -> bool {
+        let Some((tag_len, name_id, self_closing)) = self.scan_start_tag_indexed() else {
+            return false;
+        };
+        {
+            let XmlReader {
+                src,
+                names,
+                attr_spans,
+                attr_scratch,
+                ..
+            } = self;
+            let w = src.window(tag_len);
+            let attributes = AttrList {
+                spans: attr_spans.as_slice(),
+                tag: &w[..tag_len],
+                scratch: attr_scratch.as_str(),
+            };
+            interests.push(sink.start_element(
+                names.get(name_id),
+                name_id,
+                &attributes,
+                self_closing,
+            ));
+        }
+        // The sink holds no borrows past the call, so the bytes are
+        // consumed immediately (consuming first could compact an IoSrc
+        // window out from under the attribute slices).
+        self.consume_now(tag_len);
+        if self_closing {
+            // No pending_end bookkeeping: the matching end event is
+            // delivered right here.
+            interests.pop();
+            sink.end_element(self.names.get(name_id), name_id);
+        } else {
+            self.open.push(name_id);
+        }
+        true
+    }
+
+    /// Fused end tag: the indexed scan byte-compares the tag against the
+    /// innermost open name; on a match the event is one `NameId` — no
+    /// token, no position, no name-string resolution.
+    fn drive_end_tag<K: EventSink>(
+        &mut self,
+        sink: &mut K,
+        interests: &mut Vec<TextInterest>,
+    ) -> bool {
+        let expected = *self.open.last().expect("content stage has an open element");
+        let Some(tag_len) = self.scan_end_tag_indexed(expected) else {
+            return false;
+        };
+        self.consume_now(tag_len);
+        self.open.pop();
+        if self.open.is_empty() {
+            self.stage = Stage::Epilog;
+        }
+        interests.pop();
+        sink.end_element(self.names.get(expected), expected);
+        true
+    }
+
+    /// Fused text run: one mark lookup finds the run's end; the payload
+    /// is materialized only to the enclosing element's [`TextInterest`].
+    /// Runs that splice (an `&` inside, or a comment/PI/CDATA boundary
+    /// that coalesces with what follows) go through the token path —
+    /// same checks, in the same order, as [`Self::read_text`].
+    fn drive_text<K: EventSink>(
+        &mut self,
+        sink: &mut K,
+        interests: &mut [TextInterest],
+    ) -> Result<bool, ParseError> {
+        let Some((k, class)) = self.next_mark(0, simd::MASK_LT | simd::MASK_AMP) else {
+            return Ok(false); // EOF or oversized run: scalar error
+        };
+        if class != simd::CLASS_LT {
+            return Ok(false); // `&`: splice via the scratch path
+        }
+        debug_assert!(k > 0, "cursor byte dispatches elsewhere");
+        // The run coalesces across a following comment/CDATA/PI — the
+        // token path's scratch accumulator handles those. One byte
+        // distinguishes the common case (a tag) from the candidates.
+        match self.at(k + 1) {
+            Some(b'?') => return Ok(false),
+            Some(b'!') if self.starts_with_at(k, "<!--") || self.starts_with_at(k, "<![CDATA[") => {
+                return Ok(false);
+            }
+            _ => {}
+        }
+        self.check_utf8(0, k, "invalid UTF-8 sequence")?;
+        let chunk = {
+            let w = self.src.window(k);
+            match interests.last() {
+                Some(TextInterest::NonWhitespace) => {
+                    TextChunk::NonWs(has_non_ws(str_from_checked(&w[..k])))
+                }
+                Some(TextInterest::Collect) => TextChunk::Collect(str_from_checked(&w[..k])),
+                _ => TextChunk::Skipped,
+            }
+        };
+        sink.text(chunk);
+        self.consume_now(k);
+        Ok(true)
+    }
+
     fn next_prolog(&mut self) -> Result<XmlToken<'_>, ParseError> {
         loop {
             self.skip_ws()?;
@@ -1391,7 +1801,10 @@ impl<S: ByteSrc> XmlReader<S> {
                 self.stage = Stage::Epilog;
             }
             return Ok(XmlToken::EndElement {
-                name: self.names.get(id),
+                name: LazyName {
+                    pool: &self.names,
+                    id,
+                },
                 name_id: id,
                 position,
             });
@@ -1582,7 +1995,32 @@ impl<S: ByteSrc> XmlReader<S> {
         }
     }
 
+    /// Relative offset one past the `>` terminating a construct that
+    /// ends in `suffix` + `>` (comments: `--`, PIs: `?`), hopping the
+    /// index's `>` marks instead of scanning every body byte. The first
+    /// `>` mark preceded by the suffix is the first occurrence of the
+    /// terminator, so this finds exactly what the scalar loop finds.
+    /// `None` (no index, end of input, or an oversized construct) sends
+    /// the caller back to the scalar loop, which reproduces the exact
+    /// scalar error at its exact position.
+    fn find_gt_ending(&mut self, min_start: usize, suffix: &[u8]) -> Option<usize> {
+        self.idx.as_ref()?;
+        let mut i = min_start + suffix.len();
+        loop {
+            let (k, _) = self.next_mark(i, simd::MASK_GT)?;
+            let w = self.src.window(k + 1);
+            if &w[k - suffix.len()..k] == suffix {
+                return Some(k + 1);
+            }
+            i = k + 1;
+        }
+    }
+
     fn skip_comment(&mut self) -> Result<(), ParseError> {
+        if let Some(end) = self.find_gt_ending(4, b"--") {
+            self.consume_now(end);
+            return Ok(());
+        }
         let mut i = 4; // past "<!--"
         loop {
             match self.find_byte(i, b'-')? {
@@ -1599,6 +2037,10 @@ impl<S: ByteSrc> XmlReader<S> {
     }
 
     fn skip_pi(&mut self) -> Result<(), ParseError> {
+        if let Some(end) = self.find_gt_ending(2, b"?") {
+            self.consume_now(end);
+            return Ok(());
+        }
         let mut i = 2; // past "<?"
         loop {
             match self.find_byte(i, b'?')? {
@@ -1705,6 +2147,23 @@ impl<S: ByteSrc> XmlReader<S> {
             simd::MASK_LT | simd::MASK_GT | simd::MASK_DQ | simd::MASK_SQ | simd::MASK_AMP;
         const WS: [u8; 4] = [b' ', b'\t', b'\r', b'\n'];
         let (mut rel, mut class) = self.next_mark(1, WALK)?;
+        // Attribute-free tags (first mark = the closing `>`): probe the
+        // tag cache before scanning. A hit is exact — byte-identical
+        // tags scan to byte-identical results (the name pool only
+        // grows, so the interned id is stable), and a cached tag
+        // already proved its bytes scan cleanly, so the scalar path
+        // would accept them too.
+        if class == simd::CLASS_GT && rel < TAG_CACHE_BYTES {
+            let tag_len = rel + 1;
+            let w = self.src.window(tag_len);
+            let e = &self.tag_cache[tag_cache_slot(w[1], tag_len)];
+            if e.len as usize == tag_len && e.bytes[..tag_len] == w[..tag_len] {
+                let (name_id, self_closing) = (e.name_id, e.self_closing);
+                self.attr_spans.clear();
+                self.attr_scratch.clear();
+                return Some((tag_len, name_id, self_closing));
+            }
+        }
         self.attr_spans.clear();
         self.attr_scratch.clear();
         // Element name: no structural mark can sit inside a name, so the
@@ -1742,11 +2201,24 @@ impl<S: ByteSrc> XmlReader<S> {
                     if self.offset + tag_len > self.idx.as_ref()?.utf8_valid_to {
                         return None;
                     }
-                    let XmlReader { src, names, .. } = self;
+                    let XmlReader {
+                        src,
+                        names,
+                        tag_cache,
+                        attr_spans,
+                        ..
+                    } = self;
                     let w = src.window(tag_len);
                     let name_id = names
                         .intern(&w[1..name_end])
                         .expect("tag bytes are inside the validated UTF-8 watermark");
+                    if attr_spans.is_empty() && tag_len <= TAG_CACHE_BYTES {
+                        let e = &mut tag_cache[tag_cache_slot(w[1], tag_len)];
+                        e.len = tag_len as u8;
+                        e.self_closing = self_closing;
+                        e.name_id = name_id;
+                        e.bytes[..tag_len].copy_from_slice(&w[..tag_len]);
+                    }
                     return Some((tag_len, name_id, self_closing));
                 }
                 simd::CLASS_DQ | simd::CLASS_SQ => {
@@ -1921,7 +2393,10 @@ impl<S: ByteSrc> XmlReader<S> {
             self.stage = Stage::Epilog;
         }
         Ok(XmlToken::EndElement {
-            name: self.names.get(expected),
+            name: LazyName {
+                pool: &self.names,
+                id: expected,
+            },
             name_id: expected,
             position,
         })

@@ -25,9 +25,14 @@ cargo run --release -p bonxai-bench --bin exp_validation -- --parse-only
 # Differential conformance: the checked-in corpus through the oracle
 # and all four fast paths under every lexer engine and byte source,
 # then a bounded fixed-seed fuzz smoke over the validation stack and
-# the DTD parser. Any divergence or panic fails the gate.
+# the DTD parser. Any divergence or panic fails the gate. Run twice:
+# once with the detected engine and once with the structural index
+# force-disabled, so a fused-path bug cannot hide behind an engine the
+# CI host happens to lack (and vice versa).
 target/release/bonxai conform data/conformance --fuzz 1000 --seed 0 > /dev/null \
   || { echo "conformance/fuzz divergence — run: bonxai conform data/conformance --fuzz 1000 --seed 0" >&2; exit 1; }
+BONXAI_NO_SIMD=1 target/release/bonxai conform data/conformance > /dev/null \
+  || { echo "conformance divergence (scalar engine) — run: BONXAI_NO_SIMD=1 bonxai conform data/conformance" >&2; exit 1; }
 # Compile-path smoke: 20-schema subset through every stage, cached and
 # ablated, so the automata kernels + AutomataCache stay runnable.
 cargo run --release -p bonxai-bench --bin exp_compile -- --smoke > /dev/null

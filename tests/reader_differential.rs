@@ -407,6 +407,75 @@ fn multibyte_utf8_split_across_windows() {
     assert_agreement(&input);
 }
 
+/// Diagnostics raised long after the rolling window first compacted:
+/// the defect sits past 100 KiB of sliding-width elements (and
+/// thousands of newlines), so its position is computed from index
+/// bookkeeping that survived many compaction shifts — not from any
+/// per-event position threading. Every source × engine combination
+/// must render the identical line/column.
+#[test]
+fn diagnostics_after_window_compaction() {
+    let mut ok = String::from("<r>\n");
+    for i in 0..4000 {
+        writeln!(ok, "<i b=\"w{i}\">{:y>width$}</i>", "", width = i % 29).expect("write to String");
+    }
+    assert!(ok.len() > 100_000, "must span multiple refill windows");
+    let cases = [
+        format!("{ok}<i>&nope;</i></r>"),    // undeclared entity
+        format!("{ok}</x>"),                 // mismatched close tag
+        format!("{ok}<i a='v' a='w'/></r>"), // duplicate attribute
+        format!("{ok}<i>text"),              // end of input mid-content
+    ];
+    for input in &cases {
+        assert_agreement(input);
+    }
+}
+
+/// CDATA↔text adjacency in every coalescing shape: runs that join
+/// across CDATA open/close boundaries, comments, PIs, and references
+/// must come out as the same single text events — including the
+/// whitespace-only / non-whitespace distinction — and malformed
+/// boundaries must error identically.
+#[test]
+fn cdata_text_adjacency_coalesces_identically() {
+    let shapes: &[&str] = &[
+        "<r>ab<![CDATA[cd]]>ef</r>",
+        "<r><![CDATA[cd]]>tail</r>",
+        "<r>head<![CDATA[cd]]></r>",
+        "<r><![CDATA[a]]><![CDATA[b]]></r>",
+        "<r>  <![CDATA[  ]]>  </r>",
+        "<r> <![CDATA[x]]> </r>",
+        "<r>a<!-- c -->b<![CDATA[c]]>d<?p q?>e</r>",
+        "<r>&amp;<![CDATA[&amp;]]>&amp;</r>",
+        "<r><![CDATA[]]></r>",
+        "<r>x<![CDATA[]]y</r>",
+        "<r>x<![CDATA[a]b]]c]]>y</r>",
+    ];
+    for s in shapes {
+        assert_agreement(s);
+    }
+}
+
+/// Entity references sliding against the refill grid: padding of every
+/// length 0..64 pushes `&…;` across a dribbled refill boundary at each
+/// of its byte positions, in both text content and attribute values.
+/// Decoded output and positions must be unaffected by where the split
+/// lands.
+#[test]
+fn entities_straddle_chunk_edges() {
+    let mut input = String::from("<!DOCTYPE r [ <!ENTITY w \"wide value\"> ]>\n<r>");
+    for pad in 0..64 {
+        write!(
+            input,
+            "<i a=\"{:->pad$}&w;&#x20AC;\">{:->pad$}&amp;&w;tail</i>",
+            "", ""
+        )
+        .expect("write to String");
+    }
+    input.push_str("</r>");
+    assert_agreement(&input);
+}
+
 /// Invalid UTF-8 arriving over io (a `&str` can't carry it): both
 /// engines must blame the same byte with the same message — in text, in
 /// an attribute value, in CDATA, in a tag name, and as a character

@@ -117,6 +117,14 @@ fn figure_schemas_stream_equivalently() {
         "<document><template/><content><zzz/>stray</content></document>",
         "<wrong-root><document/></wrong-root>",
         "<document><template><section/><section/></template><content/></document>",
+        // Coalesce boundaries: text joining across CDATA/comment/PI
+        // constructs forces the fused drive loop's text fast path to
+        // bail mid-run and splice through the token path; the joined
+        // runs (and their whitespace-only verdicts) must match the
+        // tree build exactly.
+        "<document><template/><content>a<![CDATA[b]]>c</content></document>",
+        "<document><template/><content>  <![CDATA[  ]]> <!-- c --> </content></document>",
+        "<document><template/><content>&amp;<?pi x?><![CDATA[<&]]>tail</content></document>",
     ];
     for schema in ["figure4.bonxai", "figure5.bonxai"] {
         let src = std::fs::read_to_string(format!("{root}/data/{schema}")).expect("data");
