@@ -95,6 +95,7 @@ fn positional(args: &[String]) -> Vec<&String> {
             || a == "--format"
             || a == "--deny"
             || a == "--fuzz"
+            || a == "--limit"
         {
             skip = true;
             continue;
@@ -496,25 +497,242 @@ fn to_dfa_schema(schema: AnySchema, dtd_root: Option<&str>) -> Result<xsd::DfaXs
     })
 }
 
+/// Converts any loaded schema to its BXSD core for semantic analysis.
+/// XSDs go through the paper's XSD→BonXai translation; DTDs through the
+/// Figure 2 import (with `dtd_root`, or every declared element, as root).
+fn to_bxsd(schema: AnySchema, dtd_root: Option<&str>) -> Result<bonxai_core::Bxsd, String> {
+    Ok(match schema {
+        AnySchema::Bonxai(s) => s.bxsd,
+        AnySchema::Xsd(x) => {
+            pipeline::xsd_to_bonxai(&x, &TranslateOptions::default())
+                .0
+                .bxsd
+        }
+        AnySchema::Dtd(d) => {
+            let roots: Vec<String> = match dtd_root {
+                Some(r) => vec![r.to_owned()],
+                None => d.elements.keys().cloned().collect(),
+            };
+            let roots: Vec<&str> = roots.iter().map(String::as_str).collect();
+            dtd_import::dtd_to_bonxai(&d, &roots)
+                .map_err(|e| e.to_string())?
+                .bxsd
+        }
+    })
+}
+
+/// JSON string literal with the escapes RFC 8259 requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The deterministic (timing-free) part of a diff report as JSON —
+/// byte-identical for any `--jobs` value, diffable in CI.
+fn render_diff_json(a: &str, b: &str, report: &bonxai_core::DiffReport, limit: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"a\": {},\n", json_string(a)));
+    out.push_str(&format!("  \"b\": {},\n", json_string(b)));
+    out.push_str(&format!(
+        "  \"evolution\": {},\n",
+        json_string(report.evolution.as_str())
+    ));
+    out.push_str(&format!("  \"a_only\": {},\n", report.a_only));
+    out.push_str(&format!("  \"b_only\": {},\n", report.b_only));
+    out.push_str(&format!(
+        "  \"stats\": {{ \"contexts_a\": {}, \"contexts_b\": {}, \"pairs\": {}, \"dropped\": {} }},\n",
+        report.stats.contexts_a, report.stats.contexts_b, report.stats.pairs, report.stats.dropped
+    ));
+    let shown = &report.witnesses[..report.witnesses.len().min(limit)];
+    if shown.is_empty() {
+        out.push_str("  \"witnesses\": []\n");
+    } else {
+        out.push_str("  \"witnesses\": [\n");
+        for (i, w) in shown.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!(
+                "      \"direction\": {},\n",
+                json_string(w.direction.as_str())
+            ));
+            out.push_str(&format!(
+                "      \"path\": {},\n",
+                json_string(&w.path_display())
+            ));
+            out.push_str(&format!(
+                "      \"kind\": {},\n",
+                json_string(w.kind.as_str())
+            ));
+            out.push_str(&format!(
+                "      \"message\": {},\n",
+                json_string(&w.message)
+            ));
+            out.push_str(&format!(
+                "      \"document\": {}\n",
+                json_string(&w.document)
+            ));
+            out.push_str(if i + 1 < shown.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The human-readable diff report.
+fn render_diff_text(a: &str, b: &str, report: &bonxai_core::DiffReport, limit: usize) -> String {
+    let mut out = String::new();
+    match report.evolution {
+        bonxai_core::Evolution::Equivalent => {
+            out.push_str("equivalent: the schemas accept the same documents\n");
+        }
+        ev => {
+            out.push_str(&format!(
+                "NOT equivalent ({}): {} document(s) only in {a}, {} only in {b}\n",
+                ev.as_str(),
+                report.a_only,
+                report.b_only
+            ));
+        }
+    }
+    let shown = &report.witnesses[..report.witnesses.len().min(limit)];
+    for w in shown {
+        let schema = match w.direction {
+            bonxai_core::Direction::OnlyInA => a,
+            bonxai_core::Direction::OnlyInB => b,
+        };
+        out.push_str(&format!(
+            "\n[{}] at {} ({}): {}\n  valid only against {schema}:\n  {}\n",
+            w.direction.as_str(),
+            w.path_display(),
+            w.kind.as_str(),
+            w.message,
+            w.document
+        ));
+    }
+    if report.witnesses.len() > shown.len() {
+        out.push_str(&format!(
+            "\n({} further witness(es) suppressed; raise --limit to see them)\n",
+            report.witnesses.len() - shown.len()
+        ));
+    }
+    if report.stats.dropped > 0 {
+        out.push_str(&format!(
+            "note: {} unverified candidate(s) dropped\n",
+            report.stats.dropped
+        ));
+    }
+    out
+}
+
+/// `diff <schema1> <schema2>`: decide inclusion/equivalence of the two
+/// schemas' document sets via the joint ancestor-context construction,
+/// printing verified witness documents that validate against exactly one
+/// of them. Exit status: 0 = equivalent, 1 = the schemas differ,
+/// 2 = error.
 pub fn diff(args: &[String]) -> Result<ExitCode, String> {
     let pos = positional(args);
-    let [left_path, right_path] = pos.as_slice() else {
-        return Err("usage: bonxai diff <schema1> <schema2> [--structural] [--root <name>]".into());
+    let [a_path, b_path] = pos.as_slice() else {
+        return Err(
+            "usage: bonxai diff <schema1> <schema2> [--format text|json] [--limit N] \
+             [--jobs N] [--no-cache] [--root <name>]"
+                .into(),
+        );
     };
     let dtd_root = flag_value(args, "--root");
-    let mut left = to_dfa_schema(load_schema(left_path)?, dtd_root.as_deref())?;
-    let mut right = to_dfa_schema(load_schema(right_path)?, dtd_root.as_deref())?;
-    if has_flag(args, "--structural") {
-        left = xsd::erase_datatypes(&left);
-        right = xsd::erase_datatypes(&right);
+    let a = to_bxsd(load_schema(a_path)?, dtd_root.as_deref())?;
+    let b = to_bxsd(load_schema(b_path)?, dtd_root.as_deref())?;
+    let format = flag_value(args, "--format").unwrap_or_else(|| "text".to_string());
+    if format != "text" && format != "json" {
+        return Err(format!("unknown --format {format:?} (text|json)"));
     }
-    match xsd::check_schemas_equivalent(&left, &right) {
-        Ok(()) => {
-            println!("equivalent: the schemas accept the same documents");
+    let limit = match flag_value(args, "--limit") {
+        Some(s) => s
+            .parse::<usize>()
+            .map_err(|_| "--limit expects a non-negative integer")?,
+        None => 10,
+    };
+    let jobs = bonxai_core::clamp_jobs(match flag_value(args, "--jobs") {
+        Some(s) => s
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("--jobs expects a positive integer")?,
+        None => 0,
+    });
+    let opts = bonxai_core::AnalysisOptions {
+        jobs,
+        ..bonxai_core::AnalysisOptions::default()
+    };
+    let mut cache = relang::AutomataCache::new();
+    let cache = (!has_flag(args, "--no-cache")).then_some(&mut cache);
+    let report = bonxai_core::diff_bxsd(&a, &b, &opts, cache).map_err(|e| e.to_string())?;
+    let rendered = if format == "json" {
+        render_diff_json(a_path, b_path, &report, limit)
+    } else {
+        render_diff_text(a_path, b_path, &report, limit)
+    };
+    print!("{rendered}");
+    if report.equivalent() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// `sat <schema>`: whole-schema satisfiability — does any document
+/// conform? Prints a minimal conforming document when one exists and
+/// every reachable-but-unsatisfiable rule context. Exit status:
+/// 0 = satisfiable, 1 = unsatisfiable, 2 = error.
+pub fn sat(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [schema_path] = pos.as_slice() else {
+        return Err("usage: bonxai sat <schema> [--root <name>]".into());
+    };
+    let dtd_root = flag_value(args, "--root");
+    let bxsd = to_bxsd(load_schema(schema_path)?, dtd_root.as_deref())?;
+    let mut cache = relang::AutomataCache::new();
+    let report = bonxai_core::analyze_sat(
+        &bxsd,
+        &bonxai_core::AnalysisOptions::default(),
+        Some(&mut cache),
+    )
+    .map_err(|e| e.to_string())?;
+    for u in &report.unsat_rules {
+        println!(
+            "unsatisfiable in context: rule {} at /{}",
+            u.rule + 1,
+            u.path.join("/")
+        );
+    }
+    match &report.witness {
+        Some(doc) => {
+            println!("satisfiable; minimal conforming document:");
+            print!("{doc}");
+            if !doc.ends_with('\n') {
+                println!();
+            }
             Ok(ExitCode::SUCCESS)
         }
-        Err(divergence) => {
-            println!("NOT equivalent: {divergence}");
+        None => {
+            println!("UNSATISFIABLE: no document conforms to {schema_path}");
             Ok(ExitCode::FAILURE)
         }
     }

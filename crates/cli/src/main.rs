@@ -40,10 +40,24 @@ COMMANDS:
         Convert a DTD to BonXai (roots must be named; DTDs do not
         declare them).
 
-    diff <schema1> <schema2> [--structural] [--root <name>]
+    diff <schema1> <schema2> [--format text|json] [--limit N] [--jobs N]
+         [--no-cache] [--root <name>]
         Decide whether two schemas (any mix of .bonxai/.xsd/.dtd) accept
-        the same documents; prints a witness context if not. With
-        --structural, attribute/element datatypes are erased first.
+        the same documents. Differences are reported as complete witness
+        documents, each verified to validate against exactly one of the
+        two schemas, found by comparing the selected content models at
+        every realizable ancestor context (child sequences, text value
+        spaces, attributes). JSON output includes the evolution
+        classification (equivalent / backward_compatible /
+        forward_compatible / incomparable, schema1 playing the old
+        role). Exit status: 0 = equivalent, 1 = the schemas differ,
+        2 = error.
+
+    sat <schema> [--root <name>]
+        Whole-schema satisfiability: does any document conform? Prints a
+        minimal conforming document when one exists, and every rule that
+        is reachable but admits no finite conforming subtree in context.
+        Exit status: 0 = satisfiable, 1 = unsatisfiable, 2 = error.
 
     analyze <schema>
         Report schema statistics: rules/types, alphabet, whether the
@@ -78,7 +92,7 @@ COMMANDS:
         a witness path), unreachable rules, UPA violations with a
         shortest ambiguous word, vacuous content models, unconstrained
         element names, and — with --notes — fragment / blow-up
-        advisories (BX007/BX008). Stable diagnostic codes BX001…BX009.
+        advisories (BX007/BX008). Stable diagnostic codes BX001…BX010.
         Given a directory, lints every .bonxai/.xsd/.dtd file in it in
         parallel (--jobs workers, clamped to the core count) with
         byte-identical, path-ordered output for any worker count.
@@ -95,9 +109,11 @@ OPTIONS:
     --jobs N     (validate, lint) worker count, clamped to core count
     --seed N     (sample) RNG seed (default 0)
     --count N    (sample) number of documents (default 1)
-    --format F   (lint) output format: text (default) or json
+    --format F   (lint, diff) output format: text (default) or json
     --deny L     (lint) fail at this severity: note, warning, error
     --notes      (lint) include note-level advisories
+    --limit N    (diff) show at most N witnesses (default 10)
+    --no-cache   (diff) disable the shared automata cache
 ";
 
 fn main() -> ExitCode {
@@ -114,6 +130,7 @@ fn main() -> ExitCode {
         "from-dtd" => commands::from_dtd(rest),
         "analyze" => commands::analyze(rest),
         "diff" => commands::diff(rest),
+        "sat" => commands::sat(rest),
         "sample" => commands::sample(rest),
         "check" => commands::check(rest),
         "lint" => commands::lint(rest),

@@ -26,11 +26,15 @@
 //! * [`dtd_import`] — DTD → BonXai conversion (Figure 2 → Figure 4);
 //! * [`pipeline`] — BonXai text ⇄ XSD text, end to end;
 //! * [`lint`] — static analysis: dead/unreachable rules, UPA witnesses,
-//!   vacuous content, fragment/blow-up advisories (`bonxai lint`).
+//!   vacuous content, fragment/blow-up advisories (`bonxai lint`);
+//! * [`analysis`] — whole-schema decision procedures: satisfiability and
+//!   inclusion/equivalence with verified witness documents
+//!   (`bonxai diff`, `bonxai sat`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod batch;
 pub mod bxsd;
 pub mod conformance;
@@ -45,6 +49,10 @@ pub mod semantics;
 pub mod translate;
 pub mod validate;
 
+pub use analysis::{
+    analyze_sat, diff_bxsd, AnalysisError, AnalysisOptions, DiffReport, DiffStats, Direction,
+    Evolution, SatReport, UnsatRule, Witness, WitnessKind,
+};
 pub use batch::{clamp_jobs, default_jobs, map_indexed, FileReport};
 pub use bxsd::{Bxsd, BxsdBuilder, BxsdError, Rule};
 pub use pipeline::{bonxai_to_xsd_text, xsd_to_bonxai_text, PipelineError, Translated};

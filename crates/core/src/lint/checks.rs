@@ -248,6 +248,41 @@ pub fn lint_ast_with(
         });
     }
 
+    // BX010: rules that are relevant at some realizable context but
+    // admit no finite conforming subtree there — the whole-schema
+    // satisfiability engine, reporting the shortest witness context.
+    match crate::analysis::unsatisfiable_rule_contexts(
+        bxsd,
+        opts.reach_budget,
+        ctx.cache.as_deref_mut(),
+    ) {
+        Ok(unsat) => {
+            for u in unsat {
+                if unreachable[u.rule] || vacuous_reason(&bxsd.rules[u.rule].content).is_some() {
+                    continue; // already diagnosed as BX002 / BX004
+                }
+                report.diagnostics.push(Diagnostic {
+                    code: Code::UnsatisfiableRule,
+                    span: src(u.rule).span,
+                    subject: src(u.rule).pattern.source.clone(),
+                    message: "rule is unsatisfiable in context: no finite conforming \
+                              subtree exists where it applies"
+                        .to_string(),
+                    witness: Some(format!("at /{}", u.path.join("/"))),
+                });
+            }
+        }
+        Err(err) => {
+            report.diagnostics.push(Diagnostic {
+                code: Code::BudgetExceeded,
+                span: Span::default(),
+                subject: "satisfiability".to_string(),
+                message: format!("{err}; the unsatisfiable-rule check was skipped"),
+                witness: None,
+            });
+        }
+    }
+
     // BX006: element names that occur in content models (or as roots)
     // but are never the last step of any rule pattern — nodes with such
     // names are always unconstrained (no relevant rule).

@@ -23,6 +23,7 @@
 //! | BX007 | fragment-advisory     | note     | k-suffix fragment membership and translation cost outlook |
 //! | BX008 | product-blowup        | warning  | relevance product exceeds its state budget |
 //! | BX009 | analysis-budget       | note     | a lint analysis hit its budget and was skipped |
+//! | BX010 | unsatisfiable-rule    | warning  | rule applies at a realizable context but no finite conforming subtree exists there |
 //!
 //! Diagnostics carry the source [`Span`] of the offending rule when the
 //! schema came from BonXai surface text, and witness words (ancestor
@@ -76,7 +77,7 @@ impl std::str::FromStr for Severity {
 }
 
 /// Stable diagnostic codes. The numbering is part of the tool's public
-/// interface: scripts match on `BX001`…`BX009`, never on message text.
+/// interface: scripts match on `BX001`…`BX010`, never on message text.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Code {
     /// BX001: rule shadowed by later rules.
@@ -97,6 +98,9 @@ pub enum Code {
     ProductBlowup,
     /// BX009: an analysis hit its budget and was skipped.
     BudgetExceeded,
+    /// BX010: rule is relevant at a realizable context but admits no
+    /// finite conforming subtree there.
+    UnsatisfiableRule,
 }
 
 impl Code {
@@ -112,6 +116,7 @@ impl Code {
             Code::FragmentAdvisory => "BX007",
             Code::ProductBlowup => "BX008",
             Code::BudgetExceeded => "BX009",
+            Code::UnsatisfiableRule => "BX010",
         }
     }
 
@@ -127,6 +132,7 @@ impl Code {
             Code::FragmentAdvisory => "fragment-advisory",
             Code::ProductBlowup => "product-blowup",
             Code::BudgetExceeded => "analysis-budget",
+            Code::UnsatisfiableRule => "unsatisfiable-rule",
         }
     }
 
@@ -138,7 +144,8 @@ impl Code {
             | Code::UnreachableRule
             | Code::VacuousContent
             | Code::UnconstrainedElement
-            | Code::ProductBlowup => Severity::Warning,
+            | Code::ProductBlowup
+            | Code::UnsatisfiableRule => Severity::Warning,
             Code::FragmentAdvisory | Code::BudgetExceeded => Severity::Note,
         }
     }

@@ -111,6 +111,87 @@ pub fn random_regular_bxsd(cfg: &SchemaConfig, rng: &mut impl Rng) -> Bxsd {
     b.build().expect("single-occurrence DREs satisfy UPA")
 }
 
+/// Applies one random semantic mutation to a schema — the "schema
+/// evolution" step the diff experiments compare against the original:
+///
+/// * widen a content model (`r` → `r?`),
+/// * drop a rule (priority semantics change),
+/// * toggle `mixed` on a content model,
+/// * add a required attribute.
+///
+/// Mutations preserve UPA (optionality of a deterministic regex is
+/// deterministic) but are *not* guaranteed to change the language —
+/// `r?` of a nullable `r` is an equivalent schema — which is exactly
+/// what a diff engine has to decide.
+pub fn perturb_bxsd(src: &Bxsd, rng: &mut impl Rng) -> Bxsd {
+    let mut out = src.clone();
+    if out.rules.is_empty() {
+        return out;
+    }
+    let i = rng.gen_range(0..out.rules.len());
+    match rng.gen_range(0..4u8) {
+        0 => {
+            let regex = std::mem::replace(&mut out.rules[i].content.regex, Regex::Epsilon);
+            out.rules[i].content.regex = Regex::opt(regex);
+        }
+        1 if out.rules.len() > 1 => {
+            out.rules.remove(i);
+        }
+        2 => {
+            out.rules[i].content.mixed = !out.rules[i].content.mixed;
+        }
+        _ => {
+            out.rules[i]
+                .content
+                .attributes
+                .push(xsd::AttributeUse::required("added"));
+        }
+    }
+    out
+}
+
+/// One schema pair for the diff experiments.
+#[derive(Clone, Debug)]
+pub struct DiffPair {
+    /// Identifier (stable across runs).
+    pub id: usize,
+    /// The "old" schema.
+    pub a: Bxsd,
+    /// The "new" schema: a clone of `a`, or a [`perturb_bxsd`] mutant.
+    pub b: Bxsd,
+    /// Whether `b` was perturbed (unperturbed pairs must diff equivalent).
+    pub perturbed: bool,
+}
+
+/// A deterministic corpus of schema pairs for `exp_diff`: alternating
+/// identical pairs (the equivalence fast path) and perturbed ones.
+pub fn diff_pair_corpus(seed: u64, n: usize) -> Vec<DiffPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| {
+            let size_class = id % 3;
+            let cfg = SchemaConfig {
+                n_names: [6, 9, 12][size_class],
+                n_rules: [6, 10, 14][size_class],
+                ..SchemaConfig::default()
+            };
+            let a = random_suffix_bxsd(&cfg, &mut rng);
+            let perturbed = id % 2 == 1;
+            let b = if perturbed {
+                perturb_bxsd(&a, &mut rng)
+            } else {
+                a.clone()
+            };
+            DiffPair {
+                id,
+                a,
+                b,
+                perturbed,
+            }
+        })
+        .collect()
+}
+
 /// One entry of the synthetic Web corpus.
 #[derive(Clone, Debug)]
 pub struct CorpusEntry {

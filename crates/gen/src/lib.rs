@@ -20,7 +20,10 @@ pub mod dre;
 pub mod families;
 pub mod fuzz;
 
-pub use corpus::{random_regular_bxsd, random_suffix_bxsd, web_corpus, CorpusEntry, SchemaConfig};
+pub use corpus::{
+    diff_pair_corpus, perturb_bxsd, random_regular_bxsd, random_suffix_bxsd, web_corpus,
+    CorpusEntry, DiffPair, SchemaConfig,
+};
 pub use docgen::{mutate_document, sample_document, sample_value, DocConfig};
 pub use dre::{random_dre, DreConfig};
 pub use families::{theorem8_xn, theorem9_bn};

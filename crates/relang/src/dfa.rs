@@ -212,7 +212,20 @@ impl Dfa {
         self.reachable().iter().any(|&q| self.finals[q])
     }
 
-    /// A shortest accepted word, if any (BFS).
+    /// The **canonical** shortest accepted word, if any: among all
+    /// shortest accepted words, the lexicographically least by symbol id.
+    ///
+    /// Canonicality is a consequence of the search order and is relied
+    /// upon by every witness-producing decision procedure (schema diff,
+    /// lint BX001/BX003 golden fixtures): the BFS queue is FIFO, each
+    /// state expands its symbols in ascending id order, every state
+    /// records its predecessor at *discovery* (never updated), and the
+    /// first accepting state found wins. By induction over the BFS
+    /// frontier, each state is discovered along the length-lexicographic
+    /// minimum of its incoming words, so the returned word is the
+    /// length-lex minimum of the accepted language. This makes golden
+    /// outputs byte-stable across runs, platforms, and job counts —
+    /// treat any change to the expansion order here as a breaking change.
     pub fn shortest_accepted_word(&self) -> Option<Vec<Sym>> {
         if self.n_states() == 0 {
             return None;
@@ -254,8 +267,11 @@ impl Dfa {
         Some(word)
     }
 
-    /// Enumerates accepted words in length-lexicographic order, up to
-    /// `limit` words and length `max_len`. Useful for tests and examples.
+    /// Enumerates accepted words in length-lexicographic order (shorter
+    /// first; same length → lexicographic by symbol id), up to `limit`
+    /// words and length `max_len`. Useful for tests and examples; the
+    /// first enumerated word equals [`Dfa::shortest_accepted_word`],
+    /// which pins the canonicality of witness extraction.
     pub fn enumerate_words(&self, max_len: usize, limit: usize) -> Vec<Vec<Sym>> {
         let mut out = Vec::new();
         let mut layer: Vec<(StateId, Vec<Sym>)> = vec![(self.initial, Vec::new())];
@@ -379,6 +395,26 @@ mod tests {
                 vec![Sym(0), Sym(1)],
                 vec![Sym(0), Sym(1), Sym(0), Sym(1)]
             ]
+        );
+    }
+
+    #[test]
+    fn shortest_word_breaks_ties_lexicographically() {
+        // Both "b a" and "a b" (and "b b") reach acceptance in two
+        // steps; the canonical witness must be the lexicographically
+        // least, "a b".
+        let mut d = Dfa::new(2, 4, 0);
+        d.set_transition(0, Sym(1), Some(1)); // b first in the table…
+        d.set_transition(0, Sym(0), Some(2)); // …but a is expanded first
+        d.set_transition(1, Sym(0), Some(3));
+        d.set_transition(1, Sym(1), Some(3));
+        d.set_transition(2, Sym(1), Some(3));
+        d.set_final(3, true);
+        assert_eq!(d.shortest_accepted_word(), Some(vec![Sym(0), Sym(1)]));
+        // And it agrees with the head of the length-lex enumeration.
+        assert_eq!(
+            d.enumerate_words(4, 1).into_iter().next(),
+            d.shortest_accepted_word()
         );
     }
 

@@ -35,7 +35,7 @@ pub use dfa_xsd::{DfaXsd, DfaXsdBuilder, DfaXsdError};
 pub use ksuffix::{is_k_suffix, minimal_k, KSuffixOutcome};
 pub use minimize::minimize_types;
 pub use model::{TypeDef, TypeId, Xsd, XsdBuilder, XsdError};
-pub use simple_types::SimpleType;
+pub use simple_types::{admits, canonical_value, value_space_witness, Facets, SimpleType};
 pub use syntax::{emit_xsd, parse_xsd, parse_xsd_doc, parse_xsd_unchecked};
 pub use validate::{is_valid, validate, CompiledXsd, TypingResult};
 pub use violation::{Violation, ViolationKind};

@@ -264,6 +264,171 @@ impl Facets {
     }
 }
 
+/// Whether `value` lies in the value space of `base` restricted by
+/// `facets` — the exact predicate the validator applies to simple
+/// content and attribute values.
+pub fn admits(base: SimpleType, facets: &Facets, value: &str) -> bool {
+    base.validates(value) && facets.validates(base, value)
+}
+
+/// The **canonical value** of a restricted simple type: a deterministic
+/// lexical form in the value space of `base` + `facets`, or `None` when
+/// the candidate probes find none (e.g. an enumeration whose members are
+/// all invalid for the base type). Used by the schema-diff engine to
+/// materialize witness documents — required attributes and simple
+/// content need *some* concrete value, and it must be the same one on
+/// every run.
+///
+/// The value is chosen from a fixed candidate list (enumeration members
+/// first, then the facet bounds, then per-type defaults), so the result
+/// depends only on the inputs.
+pub fn canonical_value(base: SimpleType, facets: &Facets) -> Option<String> {
+    candidate_values(base, facets)
+        .into_iter()
+        .find(|v| admits(base, facets, v))
+}
+
+/// A value in the space of `a` but **not** in the space of `b`, if the
+/// candidate probes find one. `None` means no difference was found — for
+/// structurally equal specs that is exact; otherwise it is a
+/// probe-based under-approximation (the probe set covers enumeration
+/// membership, numeric and lexicographic bounds incl. off-by-one
+/// boundary values, length facets, and cross-type lexical differences).
+pub fn value_space_witness(a: (SimpleType, &Facets), b: (SimpleType, &Facets)) -> Option<String> {
+    // Types in one value class accept the same lexical forms, so equal
+    // facets mean provably identical value spaces.
+    if a.0.value_class() == b.0.value_class() && a.1 == b.1 {
+        return None;
+    }
+    let mut candidates = candidate_values(a.0, a.1);
+    candidates.extend(boundary_probes(b.0, b.1));
+    candidates
+        .into_iter()
+        .find(|v| admits(a.0, a.1, v) && !admits(b.0, b.1, v))
+}
+
+/// Deterministic candidate values for the space of `base` + `facets`:
+/// enumeration members, facet bounds, then fixed per-type probes (not
+/// yet filtered for validity).
+fn candidate_values(base: SimpleType, facets: &Facets) -> Vec<String> {
+    let mut out: Vec<String> = facets.enumeration.clone();
+    out.extend(facets.min_inclusive.iter().cloned());
+    out.extend(facets.max_inclusive.iter().cloned());
+    let min_len = facets.min_length.unwrap_or(0).max(1) as usize;
+    match base.value_class() {
+        0 => {
+            // string-like: respect minLength; include probes that other
+            // value classes reject (spaces, non-numeric, empty).
+            out.push("x".repeat(min_len));
+            out.push("x".to_string());
+            out.push("two words".to_string());
+            out.push(String::new());
+        }
+        1 => out.extend(["true", "false", "1", "0"].map(str::to_string)),
+        2 => out.extend(["0", "1", "-1", &"1".repeat(min_len)].map(str::to_string)),
+        3 => out.extend(["0", "1", &"1".repeat(min_len)].map(str::to_string)),
+        4 => out.extend(["1", &"1".repeat(min_len)].map(str::to_string)),
+        5 => out.extend(["0", "1", "0.5", "-1", "-0.5"].map(str::to_string)),
+        6 => out.extend(["0", "1", "0.5", "-1", "1e5", "INF"].map(str::to_string)),
+        7 => out.extend(["2024-01-01", "0001-01-01", "9999-12-31"].map(str::to_string)),
+        8 => out.extend(["12:00:00", "00:00:00", "23:59:59"].map(str::to_string)),
+        9 => out.extend(
+            [
+                "2024-01-01T12:00:00",
+                "0001-01-01T00:00:00",
+                "9999-12-31T23:59:59",
+            ]
+            .map(str::to_string),
+        ),
+        _ => {
+            // NMTOKEN-like: name characters only.
+            out.push("x".repeat(min_len));
+            out.push("x".to_string());
+            out.push("tok-1".to_string());
+        }
+    }
+    out
+}
+
+/// Probes derived from `b`'s facets that step just *outside* its
+/// restrictions (but may still be valid for another spec): one past each
+/// inclusive bound, one short of / past each length bound, and a
+/// suffix-mutated enumeration member.
+fn boundary_probes(base: SimpleType, facets: &Facets) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(min) = &facets.min_inclusive {
+        match base.value_class() {
+            2..=4 => {
+                if let Some(v) = parse_integer(min) {
+                    out.push((v - 1).to_string());
+                }
+            }
+            5 | 6 => {
+                if let Some(v) = parse_double(min) {
+                    if v.is_finite() {
+                        out.push(format!("{}", v - 1.0));
+                    }
+                }
+            }
+            _ => {
+                // Lexicographically smaller: a proper prefix, and the
+                // empty string as the global minimum.
+                let mut chars = min.chars();
+                chars.next_back();
+                out.push(chars.as_str().to_string());
+                out.push(String::new());
+            }
+        }
+    }
+    if let Some(max) = &facets.max_inclusive {
+        match base.value_class() {
+            2..=4 => {
+                if let Some(v) = parse_integer(max) {
+                    out.push((v + 1).to_string());
+                }
+            }
+            5 | 6 => {
+                if let Some(v) = parse_double(max) {
+                    if v.is_finite() {
+                        out.push(format!("{}", v + 1.0));
+                    }
+                }
+            }
+            _ => out.push(format!("{max}z")),
+        }
+    }
+    if let Some(lo) = facets.min_length {
+        if lo > 0 {
+            out.push("x".repeat(lo as usize - 1));
+            if matches!(base.value_class(), 2..=4) && lo > 1 {
+                out.push("1".repeat(lo as usize - 1));
+            }
+        }
+    }
+    if let Some(hi) = facets.max_length {
+        out.push("x".repeat(hi as usize + 1));
+        if matches!(base.value_class(), 2..=4) {
+            out.push("1".repeat(hi as usize + 1));
+        }
+    }
+    if !facets.enumeration.is_empty() {
+        // A value outside the enumeration: mutate members until one is
+        // no member (append a digit for numeric bases, a letter else).
+        for e in &facets.enumeration {
+            let probe = if matches!(base.value_class(), 2..=6) {
+                format!("{e}1")
+            } else {
+                format!("{e}z")
+            };
+            if !facets.enumeration.contains(&probe) {
+                out.push(probe);
+                break;
+            }
+        }
+    }
+    out
+}
+
 /// Value comparison of two lexical forms under `base`'s value space:
 /// exact `i128` for the integer types, exact normalized comparison for
 /// `xs:decimal` (no float round-trip — `0.10` equals `0.1000`, and
@@ -638,5 +803,120 @@ mod facet_tests {
         let s = f.display();
         assert!(s.contains("min \"0\""));
         assert!(s.contains("enum \"a\""));
+    }
+
+    #[test]
+    fn canonical_values_are_valid_and_deterministic() {
+        let none = Facets::default();
+        for t in [
+            SimpleType::String,
+            SimpleType::Boolean,
+            SimpleType::Integer,
+            SimpleType::NonNegativeInteger,
+            SimpleType::PositiveInteger,
+            SimpleType::Decimal,
+            SimpleType::Double,
+            SimpleType::Date,
+            SimpleType::Time,
+            SimpleType::DateTime,
+            SimpleType::NmToken,
+            SimpleType::Token,
+        ] {
+            let v = canonical_value(t, &none).expect("unrestricted type has a value");
+            assert!(admits(t, &none, &v), "{t:?}: {v:?}");
+            assert_eq!(canonical_value(t, &none), Some(v));
+        }
+        // Enumeration members win when valid.
+        let f = Facets {
+            enumeration: vec!["red".into(), "blue".into()],
+            ..Facets::default()
+        };
+        assert_eq!(canonical_value(SimpleType::String, &f), Some("red".into()));
+        // Facet bounds are honored.
+        let f = Facets {
+            min_inclusive: Some("17".into()),
+            ..Facets::default()
+        };
+        let v = canonical_value(SimpleType::Integer, &f).unwrap();
+        assert!(admits(SimpleType::Integer, &f, &v));
+        // Contradictory restrictions yield no value.
+        let f = Facets {
+            enumeration: vec!["abc".into()],
+            ..Facets::default()
+        };
+        assert_eq!(canonical_value(SimpleType::Integer, &f), None);
+        let f = Facets {
+            min_length: Some(5),
+            max_length: Some(2),
+            ..Facets::default()
+        };
+        assert_eq!(canonical_value(SimpleType::String, &f), None);
+    }
+
+    #[test]
+    fn value_space_witnesses_split_differing_specs() {
+        let none = Facets::default();
+        // Identical specs (and same value class) → provably no witness.
+        assert_eq!(
+            value_space_witness((SimpleType::String, &none), (SimpleType::Token, &none)),
+            None
+        );
+        // String \ Integer: a non-numeric probe.
+        let w = value_space_witness((SimpleType::String, &none), (SimpleType::Integer, &none))
+            .expect("strings exceed integers");
+        assert!(admits(SimpleType::String, &none, &w));
+        assert!(!admits(SimpleType::Integer, &none, &w));
+        // Integer ⊆ Decimal lexically — no witness in that direction…
+        assert_eq!(
+            value_space_witness((SimpleType::Integer, &none), (SimpleType::Decimal, &none)),
+            None
+        );
+        // …but Decimal \ Integer has one.
+        assert!(
+            value_space_witness((SimpleType::Decimal, &none), (SimpleType::Integer, &none))
+                .is_some()
+        );
+        // Bound tightening: max 10 vs max 5 → a value in (5, 10].
+        let wide = Facets {
+            max_inclusive: Some("10".into()),
+            ..Facets::default()
+        };
+        let narrow = Facets {
+            max_inclusive: Some("5".into()),
+            ..Facets::default()
+        };
+        let w = value_space_witness((SimpleType::Integer, &wide), (SimpleType::Integer, &narrow))
+            .expect("loosened bound admits more");
+        assert!(admits(SimpleType::Integer, &wide, &w));
+        assert!(!admits(SimpleType::Integer, &narrow, &w));
+        assert_eq!(
+            value_space_witness((SimpleType::Integer, &narrow), (SimpleType::Integer, &wide)),
+            None
+        );
+        // Enumeration widening.
+        let two = Facets {
+            enumeration: vec!["a".into(), "b".into()],
+            ..Facets::default()
+        };
+        let one = Facets {
+            enumeration: vec!["a".into()],
+            ..Facets::default()
+        };
+        assert_eq!(
+            value_space_witness((SimpleType::String, &two), (SimpleType::String, &one)),
+            Some("b".into())
+        );
+        // Enumeration-escape probe: unrestricted vs enumerated.
+        let w = value_space_witness((SimpleType::String, &none), (SimpleType::String, &one))
+            .expect("enumeration restricts");
+        assert!(!admits(SimpleType::String, &one, &w));
+        // Length facets.
+        let short = Facets {
+            max_length: Some(3),
+            ..Facets::default()
+        };
+        let w = value_space_witness((SimpleType::String, &none), (SimpleType::String, &short))
+            .expect("length restricts");
+        assert!(w.chars().count() > 3);
     }
 }

@@ -5,8 +5,9 @@
 # both lexer engines (detected SIMD and forced scalar), a parse-only
 # front-end microbench as a smoke check that the zero-copy reader
 # still runs under both engines, and the
-# lint-corpus golden check (every seeded-defect fixture must produce
-# exactly its checked-in JSON report — codes, spans, witnesses).
+# lint-corpus and diff-corpus golden checks (every seeded-defect
+# fixture and schema pair must produce exactly its checked-in JSON
+# report — codes, spans, witnesses, verdicts).
 # CI and pre-commit both run exactly this.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -56,3 +57,25 @@ for f in examples/lint/*.bonxai examples/lint/*.xsd; do
     || { echo "lint golden mismatch: $f" >&2; exit 1; }
 done
 echo "lint corpus: $(ls examples/lint/golden | wc -l) golden reports match"
+
+# Diff corpus: `bonxai diff --format json` over the schema pairs in
+# examples/diff/ (known-equivalent, known-divergent, and a cross-
+# formalism BonXai×XSD pair) diffed against the golden reports. Exit 1
+# just means the pair differs (the divergent ones should); anything
+# worse is a bug. Then the diff benchmark smoke, cached and ablated,
+# which also asserts every identical pair diffs equivalent.
+for a in examples/diff/*.a.bonxai; do
+  base=$(basename "$a" .a.bonxai)
+  b=$(ls "examples/diff/$base".b.* | head -1)
+  status=0
+  "$BONXAI" diff "$a" "$b" --format json > "$tmp" || status=$?
+  if [ "$status" -gt 1 ]; then
+    echo "diff crashed on $base (exit $status)" >&2
+    exit 1
+  fi
+  diff -u "examples/diff/golden/$base.json" "$tmp" \
+    || { echo "diff golden mismatch: $base" >&2; exit 1; }
+done
+echo "diff corpus: $(ls examples/diff/golden | wc -l) golden reports match"
+cargo run --release -p bonxai-bench --bin exp_diff -- --smoke > /dev/null
+cargo run --release -p bonxai-bench --bin exp_diff -- --smoke --no-cache > /dev/null

@@ -32,12 +32,18 @@ const EXPECTED: &[(&str, &[Code])] = &[
     ("dead_rule.bonxai", &[Code::DeadRule]),
     ("unreachable.bonxai", &[Code::UnreachableRule]),
     ("upa.bonxai", &[Code::UpaViolation]),
-    ("vacuous.bonxai", &[Code::VacuousContent]),
+    // The vacuous `price` rule also renders its `doc` parent context
+    // unsatisfiable — BX010's contextual propagation of BX004.
+    (
+        "vacuous.bonxai",
+        &[Code::UnsatisfiableRule, Code::VacuousContent],
+    ),
     (
         "undefined_group.bonxai",
         &[Code::UndefinedReference, Code::UndefinedReference],
     ),
     ("unconstrained.bonxai", &[Code::UnconstrainedElement]),
+    ("unsat_rule.bonxai", &[Code::UnsatisfiableRule]),
     ("fragment_general.bonxai", &[]),
     ("upa.xsd", &[Code::UpaViolation]),
     ("duplicate_type.xsd", &[Code::UndefinedReference]),
