@@ -19,7 +19,7 @@ use bonxai_core::lint::{lint_ast_with, LintOptions};
 use bonxai_core::translate::{bxsd_to_xsd, TranslateOptions};
 use bonxai_core::validate::{CompiledBxsd, DEFAULT_PRODUCT_BUDGET};
 use bonxai_gen::web_corpus;
-use relang::cache::AutomataCache;
+use relang::cache::{AutomataCache, CacheStats};
 use relang::ops::{minimize, regex_to_dfa, RelevanceProduct};
 
 /// Per-schema stage timings in ms.
@@ -63,6 +63,8 @@ fn main() {
 
     // (k-class, stage timings) per schema.
     let mut rows: Vec<(Option<usize>, Stages)> = Vec::new();
+    // Aggregated per-stage cache counters across all schema compiles.
+    let mut cache_total = CacheStats::default();
     for entry in &corpus {
         let bxsd = &entry.bxsd;
         let n = bxsd.ename.len();
@@ -111,6 +113,7 @@ fn main() {
         });
         st.lint = ms;
 
+        cache_total.add(cache.stats());
         rows.push((entry.k, st));
     }
 
@@ -142,6 +145,20 @@ fn main() {
             "  \"total_ms\": {{ \"subset\": {:.2}, \"minimize\": {:.2}, \"product\": {:.2}, \
              \"compile\": {:.2}, \"translate\": {:.2}, \"lint\": {:.2} }},",
             grand.subset, grand.minimize, grand.product, grand.compile, grand.translate, grand.lint
+        );
+        println!(
+            "  \"cache_stats\": {{ \"raw\": {{ \"hits\": {}, \"misses\": {} }}, \
+             \"min\": {{ \"hits\": {}, \"misses\": {} }}, \
+             \"product\": {{ \"hits\": {}, \"misses\": {} }}, \
+             \"content\": {{ \"hits\": {}, \"misses\": {} }} }},",
+            cache_total.raw.hits,
+            cache_total.raw.misses,
+            cache_total.min.hits,
+            cache_total.min.misses,
+            cache_total.product.hits,
+            cache_total.product.misses,
+            cache_total.content.hits,
+            cache_total.content.misses,
         );
         println!("  \"classes\": [");
         for (i, (class, n, t)) in agg.iter().enumerate() {
@@ -201,5 +218,16 @@ fn main() {
         "\ntotals (ms): subset {:.1}  minimize {:.1}  product {:.1}  compile {:.1}  \
          translate {:.1}  lint {:.1}",
         grand.subset, grand.minimize, grand.product, grand.compile, grand.translate, grand.lint
+    );
+    println!(
+        "cache hits/misses: raw {}/{}  min {}/{}  product {}/{}  content {}/{}",
+        cache_total.raw.hits,
+        cache_total.raw.misses,
+        cache_total.min.hits,
+        cache_total.min.misses,
+        cache_total.product.hits,
+        cache_total.product.misses,
+        cache_total.content.hits,
+        cache_total.content.misses,
     );
 }

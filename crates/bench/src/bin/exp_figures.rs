@@ -35,16 +35,14 @@ fn main() {
     // Documents: the example plus targeted variants.
     let mut title_less = doc.clone();
     let content = title_less
-        .elements()
-        .into_iter()
+        .iter_elements()
         .find(|&n| title_less.name(n) == Some("content"))
         .expect("content");
     title_less.add_element(content, "section");
 
     let mut template_text = doc.clone();
     let template = template_text
-        .elements()
-        .into_iter()
+        .iter_elements()
         .find(|&n| template_text.name(n) == Some("template"))
         .expect("template");
     let tsec = template_text

@@ -1,0 +1,304 @@
+//! Experiment E21 — incremental revalidation and cross-version compile
+//! reuse: cost proportional to the edit, not the document.
+//!
+//! Part 1 (edit sweep): a figure5-conforming document at several sizes
+//! (~100 to ~100k element nodes), edited in place through the
+//! `xmltree::Document` mutation API. For each (document size, edit
+//! count) cell we measure a full `CompiledBxsd::validate` against
+//! `revalidate` over the edit log, plus how many per-element passes the
+//! delta run actually executed. The headline criterion: delta cost
+//! grows with edit size while full revalidation grows with document
+//! size (≥5x advantage for a ≤1% edit on the largest document).
+//!
+//! Part 2 (recompile reuse): the PR 9 `gen::perturb_bxsd` pair corpus
+//! compiled through one [`SchemaCompiler`] session per pair. The warm
+//! compile of the perturbed version must answer >50% of its automata
+//! constructions from the structural-hash cache, and be faster than a
+//! cold compile.
+//!
+//! Flags: `--json` for machine-readable output (redirect to
+//! `BENCH_incremental.json`), `--smoke` for a small CI liveness run.
+
+use bonxai_bench::{print_table, timed};
+use bonxai_core::pipeline::SchemaCompiler;
+use bonxai_core::{BonxaiSchema, CompiledBxsd};
+use bonxai_gen::diff_pair_corpus;
+use xmltree::{Document, NodeId};
+
+fn data(name: &str) -> String {
+    for base in [".", "..", "../.."] {
+        if let Ok(text) = std::fs::read_to_string(format!("{base}/data/{name}")) {
+            return text;
+        }
+    }
+    panic!("data file {name} not found (run from the workspace root)");
+}
+
+/// Builds a figure5-conforming document of `chunks` content chunks
+/// (each chunk is 4 element nodes across 3 nesting levels, so the
+/// document stays wide and of constant depth like the streaming-memory
+/// corpus in E12).
+fn build_doc(chunks: usize) -> Document {
+    let mut doc = Document::new("document");
+    let root = doc.root();
+    doc.add_element(root, "template");
+    doc.add_element(root, "userstyles");
+    let content = doc.add_element(root, "content");
+    for _ in 0..chunks {
+        let s1 = doc.add_element(content, "section");
+        doc.set_attribute(s1, "title", "Chapter");
+        doc.add_text(s1, "intro ");
+        let bold = doc.add_element(s1, "bold");
+        doc.add_text(bold, "text");
+        let s2 = doc.add_element(s1, "section");
+        doc.set_attribute(s2, "title", "Part");
+        doc.add_text(s2, "body");
+        let s3 = doc.add_element(s2, "section");
+        doc.set_attribute(s3, "title", "Detail");
+        doc.add_text(s3, "deep");
+    }
+    doc
+}
+
+/// One cell of the edit sweep.
+struct SweepRow {
+    elements: usize,
+    edits: usize,
+    full_ms: f64,
+    delta_ms: f64,
+    passes: usize,
+}
+
+impl SweepRow {
+    fn speedup(&self) -> f64 {
+        if self.delta_ms > 0.0 {
+            self.full_ms / self.delta_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Measures full-vs-delta revalidation for `edits` attribute toggles
+/// spread across a `chunks`-chunk document.
+fn sweep_cell(compiled: &CompiledBxsd<'_>, chunks: usize, edits: usize, reps: usize) -> SweepRow {
+    let mut doc = build_doc(chunks);
+    let elements = doc.element_count();
+    // The edit targets: deepest sections of evenly spaced chunks.
+    // (Toggling `title` flips each target between conforming and
+    // violating, so the delta run does real report maintenance.)
+    let targets: Vec<NodeId> = doc
+        .iter_elements()
+        .filter(|&n| doc.name(n) == Some("section") && doc.attribute(n, "title") == Some("Detail"))
+        .collect();
+    assert!(!targets.is_empty());
+
+    // Full revalidation cost (what every edit pays without the memo).
+    let (_, full_ms) = timed(|| {
+        for _ in 0..reps {
+            std::hint::black_box(compiled.validate(&doc));
+        }
+    });
+
+    doc.enable_edit_log();
+    let mut state = compiled.validate_persistent(&doc);
+    let mut from = state.generation();
+    let mut delta_ms = 0.0;
+    let mut passes = 0usize;
+    for r in 0..reps {
+        for e in 0..edits {
+            let t = targets[(e * targets.len()) / edits.max(1) % targets.len()];
+            if r % 2 == 0 {
+                doc.remove_attribute(t, "title");
+            } else {
+                doc.set_attribute(t, "title", "Detail");
+            }
+        }
+        let edit_slice: Vec<_> = doc.edit_log().unwrap().since(from).to_vec();
+        let (report, ms) = timed(|| compiled.revalidate(&doc, &mut state, &edit_slice));
+        std::hint::black_box(report);
+        from = state.generation();
+        delta_ms += ms;
+        passes += state.last_passes();
+    }
+    SweepRow {
+        elements,
+        edits,
+        full_ms: full_ms / reps as f64,
+        delta_ms: delta_ms / reps as f64,
+        passes: passes / reps,
+    }
+}
+
+/// Aggregates of the recompile-reuse part.
+struct RecompileResult {
+    pairs: usize,
+    warm_hits: u64,
+    warm_misses: u64,
+    fresh_ms: f64,
+    session_ms: f64,
+}
+
+impl RecompileResult {
+    fn reuse(&self) -> f64 {
+        self.warm_hits as f64 / (self.warm_hits + self.warm_misses).max(1) as f64
+    }
+}
+
+/// Compiles every perturbed pair of the diff corpus twice: cold (fresh
+/// compile of the new version) and warm (through the session cache that
+/// already compiled the old version).
+fn recompile_reuse(n_pairs: usize) -> RecompileResult {
+    let pairs = diff_pair_corpus(2015, n_pairs);
+    let mut warm_hits = 0u64;
+    let mut warm_misses = 0u64;
+    let mut fresh_ms = 0.0;
+    let mut session_ms = 0.0;
+    let mut measured = 0usize;
+    for pair in pairs.iter().filter(|p| p.perturbed) {
+        measured += 1;
+        let (_, ms) = timed(|| std::hint::black_box(CompiledBxsd::new(&pair.b)));
+        fresh_ms += ms;
+        let mut session = SchemaCompiler::new();
+        let _ = session.compile(&pair.a);
+        let (_, ms) = timed(|| std::hint::black_box(session.compile(&pair.b)));
+        session_ms += ms;
+        let warm = session.last_stats();
+        warm_hits += warm.hits();
+        warm_misses += warm.misses();
+    }
+    RecompileResult {
+        pairs: measured,
+        warm_hits,
+        warm_misses,
+        fresh_ms,
+        session_ms,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let schema = BonxaiSchema::parse(&data("figure5.bonxai")).expect("figure 5");
+    let compiled = CompiledBxsd::new(&schema.bxsd);
+
+    let (chunk_sizes, edit_counts, reps, n_pairs): (&[usize], &[usize], usize, usize) = if smoke {
+        (&[25, 250], &[1, 8], 3, 8)
+    } else {
+        (&[25, 250, 2500, 25000], &[1, 4, 16, 64, 256], 5, 60)
+    };
+
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for &chunks in chunk_sizes {
+        for &edits in edit_counts {
+            // Editing more distinct nodes than the document has targets
+            // would alias; skip cells where edits exceed chunk count.
+            if edits > chunks {
+                continue;
+            }
+            rows.push(sweep_cell(&compiled, chunks, edits, reps));
+        }
+    }
+
+    // Headline cell: the smallest edit on the largest document.
+    let headline = rows
+        .iter()
+        .filter(|r| r.elements == rows.iter().map(|r| r.elements).max().unwrap())
+        .min_by_key(|r| r.edits)
+        .expect("sweep is non-empty");
+    let recompile = recompile_reuse(n_pairs);
+
+    if json {
+        println!("{{");
+        println!("  \"experiment\": \"incremental\",");
+        println!("  \"smoke\": {smoke},");
+        println!("  \"edit_sweep\": [");
+        for (i, r) in rows.iter().enumerate() {
+            println!(
+                "    {{ \"elements\": {}, \"edits\": {}, \"full_ms\": {:.4}, \
+                 \"delta_ms\": {:.4}, \"speedup\": {:.1}, \"delta_passes\": {} }}{}",
+                r.elements,
+                r.edits,
+                r.full_ms,
+                r.delta_ms,
+                r.speedup(),
+                r.passes,
+                if i + 1 < rows.len() { "," } else { "" }
+            );
+        }
+        println!("  ],");
+        println!(
+            "  \"headline\": {{ \"elements\": {}, \"edits\": {}, \"speedup\": {:.1} }},",
+            headline.elements,
+            headline.edits,
+            headline.speedup()
+        );
+        println!(
+            "  \"recompile\": {{ \"pairs\": {}, \"warm_hits\": {}, \"warm_misses\": {}, \
+             \"reuse_fraction\": {:.3}, \"fresh_ms\": {:.2}, \"session_ms\": {:.2} }}",
+            recompile.pairs,
+            recompile.warm_hits,
+            recompile.warm_misses,
+            recompile.reuse(),
+            recompile.fresh_ms,
+            recompile.session_ms,
+        );
+        println!("}}");
+    } else {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.elements.to_string(),
+                    r.edits.to_string(),
+                    format!("{:.4}", r.full_ms),
+                    format!("{:.4}", r.delta_ms),
+                    format!("{:.1}x", r.speedup()),
+                    r.passes.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "E21 — full vs delta revalidation (figure5){}",
+                if smoke { " [smoke]" } else { "" }
+            ),
+            &[
+                "elements", "edits", "full ms", "delta ms", "speedup", "passes",
+            ],
+            &table,
+        );
+        println!(
+            "\nheadline: {} edits on {} elements → {:.1}x over full revalidation",
+            headline.edits,
+            headline.elements,
+            headline.speedup()
+        );
+        println!(
+            "recompile: {} perturbed pairs, warm reuse {:.1}% ({} hits / {} misses), \
+             fresh {:.2} ms vs session {:.2} ms",
+            recompile.pairs,
+            100.0 * recompile.reuse(),
+            recompile.warm_hits,
+            recompile.warm_misses,
+            recompile.fresh_ms,
+            recompile.session_ms,
+        );
+    }
+
+    // The acceptance gates, enforced wherever the bench runs.
+    assert!(
+        headline.speedup() >= 5.0,
+        "delta revalidation must be ≥5x full on the largest document \
+         (got {:.1}x)",
+        headline.speedup()
+    );
+    assert!(
+        recompile.reuse() > 0.5,
+        "perturbed-schema recompile must reuse >50% of constructions \
+         (got {:.1}%)",
+        100.0 * recompile.reuse()
+    );
+}

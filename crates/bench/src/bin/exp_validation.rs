@@ -164,8 +164,7 @@ fn scaling_table() {
             .expect("figure 3 has roots");
             // graft the sample's content sections under our content node
             let sc = sample
-                .elements()
-                .into_iter()
+                .iter_elements()
                 .find(|&n| sample.name(n) == Some("content"))
                 .expect("content");
             for child in sample.element_children(sc) {

@@ -117,10 +117,33 @@ pub fn validate(args: &[String]) -> Result<ExitCode, String> {
     }
     let [schema_path, doc_path] = pos.as_slice() else {
         return Err("usage: bonxai validate <schema> <document.xml>... \
-             [--jobs N] [--rules] [--matches] [--fast] [--lockstep]"
+             [--jobs N] [--rules] [--matches] [--fast] [--lockstep] [--stats]"
             .into());
     };
     let schema = load_schema(schema_path)?;
+    if has_flag(args, "--stats") {
+        // One compile through a session cache; the per-stage counters
+        // show what the structural-hash memo shared within the compile
+        // (misses = constructions actually run).
+        if let AnySchema::Bonxai(s) = &schema {
+            let mut session = pipeline::SchemaCompiler::new();
+            let _ = session.compile(&s.bxsd);
+            let st = session.last_stats();
+            println!(
+                "cache stats (hits/misses): raw {}/{}  min {}/{}  product {}/{}  content {}/{}",
+                st.raw.hits,
+                st.raw.misses,
+                st.min.hits,
+                st.min.misses,
+                st.product.hits,
+                st.product.misses,
+                st.content.hits,
+                st.content.misses,
+            );
+        } else {
+            println!("cache stats: (BonXai schemas only)");
+        }
+    }
     let show_rules = has_flag(args, "--rules");
     let show_matches = has_flag(args, "--matches");
     let opts = ValidateOptions {
@@ -156,7 +179,7 @@ pub fn validate(args: &[String]) -> Result<ExitCode, String> {
             }
             if show_rules {
                 println!("--- relevant rules ---");
-                for node in doc.elements() {
+                for node in doc.iter_elements() {
                     let m = &report.structure.matches[&node];
                     let rule = m
                         .relevant
@@ -167,7 +190,7 @@ pub fn validate(args: &[String]) -> Result<ExitCode, String> {
             }
             if show_matches {
                 println!("--- matching rules ---");
-                for node in doc.elements() {
+                for node in doc.iter_elements() {
                     let m = &report.structure.matches[&node];
                     let list = m
                         .matching
@@ -1079,8 +1102,13 @@ pub fn conform(args: &[String]) -> Result<ExitCode, String> {
         std::panic::set_hook(Box::new(|_| {}));
         let vreport = bonxai_gen::fuzz_validation(seed, fuzz_n);
         let dreport = bonxai_gen::fuzz_dtd(seed, fuzz_n);
+        let ereport = bonxai_gen::fuzz_edits(seed, fuzz_n);
         std::panic::set_hook(hook);
-        for (target, report) in [("validation", &vreport), ("dtd", &dreport)] {
+        for (target, report) in [
+            ("validation", &vreport),
+            ("dtd", &dreport),
+            ("edit-replay", &ereport),
+        ] {
             println!(
                 "fuzz {target}: {} iterations (seed {seed}): {} malformed, {} valid, {} invalid, {} finding(s)",
                 report.iterations, report.rejected, report.valid, report.invalid,

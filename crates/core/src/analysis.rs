@@ -1431,7 +1431,10 @@ pub fn diff_bxsd(
     let mut witnesses = wit_a;
     witnesses.extend(wit_b);
     let (cache_hits, cache_misses) = match (stats_before, cache.as_deref().map(|c| c.stats())) {
-        (Some(before), Some(after)) => (after.hits - before.hits, after.misses - before.misses),
+        (Some(before), Some(after)) => {
+            let d = after.since(before);
+            (d.hits(), d.misses())
+        }
         _ => (0, 0),
     };
     Ok(DiffReport {

@@ -152,8 +152,7 @@ pub fn check_constraints(
 
     // Precompute symbolic ancestor strings once.
     let paths: Vec<(NodeId, Option<Vec<Sym>>)> = doc
-        .elements()
-        .into_iter()
+        .iter_elements()
         .map(|n| {
             let path: Option<Vec<Sym>> = doc
                 .anc_str(n)

@@ -15,6 +15,9 @@
 //!   disagreement with the oracle as a bug;
 //! * [`batch`] — work-stealing multi-document validation (in-memory
 //!   trees or streamed files), deterministic in input order;
+//! * [`incremental`] — persistent [`incremental::ValidationState`] +
+//!   [`CompiledBxsd::revalidate`]: replay an edit log instead of
+//!   revalidating the whole document;
 //! * [`semantics`] — the universal/existential alternatives (Section 3.2)
 //!   for comparison;
 //! * [`translate`] — Algorithms 1–4 and the k-suffix fast paths
@@ -40,6 +43,7 @@ pub mod bxsd;
 pub mod conformance;
 pub mod constraints;
 pub mod dtd_import;
+pub mod incremental;
 pub mod lang;
 pub mod lint;
 pub mod oracle;
@@ -55,7 +59,10 @@ pub use analysis::{
 };
 pub use batch::{clamp_jobs, default_jobs, map_indexed, FileReport};
 pub use bxsd::{Bxsd, BxsdBuilder, BxsdError, Rule};
-pub use pipeline::{bonxai_to_xsd_text, xsd_to_bonxai_text, PipelineError, Translated};
+pub use incremental::ValidationState;
+pub use pipeline::{
+    bonxai_to_xsd_text, xsd_to_bonxai_text, PipelineError, SchemaCompiler, Translated,
+};
 pub use schema::{BonxaiSchema, ValidationReport};
 pub use semantics::{conforms, Semantics};
 pub use validate::{

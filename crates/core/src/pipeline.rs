@@ -5,14 +5,22 @@
 //! `<xs:schema>` documents and back, via the formal translations of
 //! Section 4.2 (taking the k-suffix fast paths of Section 4.4 whenever
 //! they apply).
+//!
+//! For workloads that compile *evolving* schemas repeatedly — a watch
+//! loop, the registry's hot reload, the schema-diff explorer —
+//! [`SchemaCompiler`] keeps one structural-hash [`AutomataCache`]
+//! across compiles, so recompiling an edited schema rebuilds only the
+//! rules the edit touched and reports per-stage reuse counters.
 
 use std::fmt;
 
+use relang::cache::{AutomataCache, CacheStats};
 use xsd::Xsd;
 
 use crate::bxsd::Bxsd;
 use crate::schema::BonxaiSchema;
 use crate::translate::{self, Path, TranslateOptions};
+use crate::validate::{CompiledBxsd, DEFAULT_PRODUCT_BUDGET};
 
 /// An error anywhere along a pipeline.
 #[derive(Clone, Debug)]
@@ -90,6 +98,74 @@ pub fn xsd_to_bonxai(xsd: &Xsd, opts: &TranslateOptions) -> (BonxaiSchema, Path)
     (BonxaiSchema::from_bxsd(bxsd), path)
 }
 
+/// A compile session that survives schema versions: every compile runs
+/// through one shared [`AutomataCache`], so ancestor DFAs, relevance
+/// products, and compiled content matchers of *unchanged* rules are
+/// reused when an edited schema is recompiled, and the per-stage
+/// [`CacheStats`] deltas make the reuse measurable.
+///
+/// ```
+/// use bonxai_core::pipeline::SchemaCompiler;
+/// use bonxai_core::BonxaiSchema;
+/// let v1 = BonxaiSchema::parse("global { a } grammar { a = { } }").unwrap();
+/// let v2 = BonxaiSchema::parse("global { a } grammar { a = mixed { } }").unwrap();
+/// let mut session = SchemaCompiler::new();
+/// let _ = session.compile(&v1.bxsd);
+/// let _ = session.compile(&v2.bxsd); // ancestor machinery is reused
+/// assert!(session.last_stats().hits() > 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct SchemaCompiler {
+    cache: AutomataCache,
+    budget: usize,
+    last: CacheStats,
+}
+
+impl SchemaCompiler {
+    /// A fresh session with the default relevance-product budget.
+    pub fn new() -> SchemaCompiler {
+        Self::with_budget(DEFAULT_PRODUCT_BUDGET)
+    }
+
+    /// A fresh session with an explicit relevance-product budget
+    /// (0 = always lock-step), see [`CompiledBxsd::with_budget`].
+    pub fn with_budget(budget: usize) -> SchemaCompiler {
+        SchemaCompiler {
+            cache: AutomataCache::new(),
+            budget,
+            last: CacheStats::default(),
+        }
+    }
+
+    /// Compiles `bxsd` through the session cache. The validator is
+    /// identical to [`CompiledBxsd::new`]'s; only construction work is
+    /// shared across versions.
+    pub fn compile<'a>(&mut self, bxsd: &'a Bxsd) -> CompiledBxsd<'a> {
+        let before = self.cache.stats();
+        let compiled = CompiledBxsd::with_cache(bxsd, self.budget, &mut self.cache);
+        self.last = self.cache.stats().since(before);
+        compiled
+    }
+
+    /// Per-stage hit/miss counters of the most recent
+    /// [`Self::compile`] only (hits = constructions reused from an
+    /// earlier version).
+    pub fn last_stats(&self) -> CacheStats {
+        self.last
+    }
+
+    /// Cumulative per-stage counters across the whole session.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The underlying cache, for callers composing with other memoized
+    /// passes (lint, diff).
+    pub fn cache_mut(&mut self) -> &mut AutomataCache {
+        &mut self.cache
+    }
+}
+
 /// Translates a BXSD into a BonXai schema and back to a BXSD through the
 /// surface syntax (used by round-trip tests; exposed for tools).
 pub fn bxsd_surface_roundtrip(bxsd: &Bxsd) -> Result<Bxsd, PipelineError> {
@@ -165,6 +241,58 @@ mod tests {
         let opts = TranslateOptions::default();
         let t = bonxai_to_xsd_text(BONXAI, &opts).unwrap();
         assert!(matches!(t.path, Path::Fast(k) if k <= 2), "{:?}", t.path);
+    }
+
+    #[test]
+    fn recompile_of_identical_schema_is_all_hits() {
+        let schema = BonxaiSchema::parse(BONXAI).unwrap();
+        let mut session = SchemaCompiler::new();
+        let _ = session.compile(&schema.bxsd);
+        let cold = session.last_stats();
+        assert!(cold.misses() > 0, "cold compile built something");
+        let _ = session.compile(&schema.bxsd);
+        let again = session.last_stats();
+        assert_eq!(
+            again.misses(),
+            0,
+            "warm compile rebuilt something: {again:?}"
+        );
+        assert!(again.hits() > 0);
+        assert_eq!(again.content.misses, 0);
+        assert_eq!(again.product.misses, 0);
+    }
+
+    #[test]
+    fn recompile_of_edited_schema_reuses_untouched_rules() {
+        let v1 = BonxaiSchema::parse(BONXAI).unwrap();
+        // Same schema with one content model edited (template now needs
+        // at least one section): only that rule's machinery rebuilds.
+        let v2 = BonxaiSchema::parse(&BONXAI.replace(
+            "template = { (element section)? }",
+            "template = { (element section)+ }",
+        ))
+        .unwrap();
+        let mut session = SchemaCompiler::new();
+        let _ = session.compile(&v1.bxsd);
+        let cold = session.last_stats();
+        let _ = session.compile(&v2.bxsd);
+        let warm = session.last_stats();
+        assert!(
+            warm.hits() > warm.misses(),
+            "edited recompile should mostly reuse: {warm:?} after {cold:?}"
+        );
+        // The one edited content model (and the changed ancestor set's
+        // product) is rebuilt, nothing more at the content level.
+        assert_eq!(warm.content.misses, 1, "{warm:?}");
+        let compiled = session.compile(&v2.bxsd);
+        assert_eq!(session.last_stats().misses(), 0);
+        // The session-compiled validator behaves like a fresh one.
+        for doc in &docs() {
+            assert_eq!(
+                compiled.validate(doc).is_valid(),
+                crate::validate::is_valid(&v2.bxsd, doc)
+            );
+        }
     }
 
     #[test]

@@ -102,10 +102,10 @@ impl BxsdReport {
 /// expression, one matcher per content model, and (budget permitting)
 /// the relevance product over the ancestor DFAs.
 pub struct CompiledBxsd<'a> {
-    bxsd: &'a Bxsd,
+    pub(crate) bxsd: &'a Bxsd,
     ancestor_dfas: Vec<Arc<Dfa>>,
-    content_matchers: Vec<CompiledDre>,
-    relevance: Option<Arc<RelevanceProduct>>,
+    pub(crate) content_matchers: Vec<Arc<CompiledDre>>,
+    pub(crate) relevance: Option<Arc<RelevanceProduct>>,
     /// Per rule: whether its content model declares a required attribute.
     /// When false and the element carries no attributes at all, the
     /// attribute check is provably a no-op and is skipped on the hot path.
@@ -152,7 +152,10 @@ impl<'a> CompiledBxsd<'a> {
         let content_matchers = bxsd
             .rules
             .iter()
-            .map(|r| CompiledDre::compile(&r.content.regex, n))
+            .map(|r| match cache.as_deref_mut() {
+                Some(c) => c.compiled_dre(&r.content.regex, n),
+                None => Arc::new(CompiledDre::compile(&r.content.regex, n)),
+            })
             .collect();
         let relevance = if budget == 0 {
             None
@@ -458,7 +461,7 @@ impl<'a> CompiledBxsd<'a> {
     /// Resolves the document's distinct element names against the schema
     /// alphabet once, so the per-child hot loop maps a node to its symbol
     /// with a single array load (`None` = name not in the schema).
-    fn resolve_names(&self, doc: &Document) -> Vec<Option<Sym>> {
+    pub(crate) fn resolve_names(&self, doc: &Document) -> Vec<Option<Sym>> {
         doc.distinct_names()
             .iter()
             .map(|n| self.bxsd.ename.lookup(n))
@@ -469,7 +472,11 @@ impl<'a> CompiledBxsd<'a> {
     /// `word` is the caller's scratch buffer, cleared here when the rare
     /// buffered fallback is selected.
     #[inline]
-    fn content_eval<'c>(&'c self, relevant: Option<usize>, word: &mut Vec<Sym>) -> ContentEval<'c> {
+    pub(crate) fn content_eval<'c>(
+        &'c self,
+        relevant: Option<usize>,
+        word: &mut Vec<Sym>,
+    ) -> ContentEval<'c> {
         let Some(i) = relevant else {
             return ContentEval::Skip;
         };
@@ -484,7 +491,7 @@ impl<'a> CompiledBxsd<'a> {
             }
         } else {
             word.clear();
-            ContentEval::Buffered(&self.content_matchers[i])
+            ContentEval::Buffered(self.content_matchers[i].as_ref())
         }
     }
 
@@ -493,7 +500,7 @@ impl<'a> CompiledBxsd<'a> {
     /// `has_text` (any non-whitespace text child) and `failed_at` (where
     /// content matching failed) are computed during the fused child pass
     /// so the children are only traversed once.
-    fn check_node(
+    pub(crate) fn check_node(
         &self,
         doc: &Document,
         node: NodeId,
@@ -644,7 +651,7 @@ impl<'a> CompiledBxsd<'a> {
 /// common case steps the relevant rule's content DFA child by child; the
 /// rare non-DFA matchers (`xs:all`, huge counters) buffer the child word
 /// and decide at [`ContentEval::finish`].
-enum ContentEval<'a> {
+pub(crate) enum ContentEval<'a> {
     /// No relevant rule: the node is unconstrained (Definition 1).
     Skip,
     /// Simple content: any element child at all fails at position 0.
@@ -662,7 +669,7 @@ enum ContentEval<'a> {
 impl ContentEval<'_> {
     /// Consumes the `pos`-th known element child.
     #[inline]
-    fn step(&mut self, sym: Sym, pos: usize, word: &mut Vec<Sym>) {
+    pub(crate) fn step(&mut self, sym: Sym, pos: usize, word: &mut Vec<Sym>) {
         match self {
             ContentEval::Skip | ContentEval::Simple => {}
             ContentEval::Dfa { dfa, q, failed } => {
@@ -680,7 +687,7 @@ impl ContentEval<'_> {
     /// Where content matching failed, `None` if the child word matches.
     /// Exactly [`CompiledDre::first_error`] over the known-child word.
     #[inline]
-    fn finish(self, count: usize, word: &[Sym]) -> Option<usize> {
+    pub(crate) fn finish(self, count: usize, word: &[Sym]) -> Option<usize> {
         match self {
             ContentEval::Skip => None,
             ContentEval::Simple => (count > 0).then_some(0),

@@ -30,7 +30,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use bonxai_core::bxsd::Bxsd;
 use bonxai_core::conformance;
+use bonxai_core::validate::{CompiledBxsd, ValidateOptions};
 use rand::prelude::*;
+use xmltree::{Document, Edit, NodeId};
 
 use crate::corpus::{random_regular_bxsd, random_suffix_bxsd, SchemaConfig};
 use crate::docgen::{sample_document, DocConfig};
@@ -290,6 +292,260 @@ pub fn fuzz_validation(seed: u64, iterations: usize) -> FuzzReport {
             panic,
             divergences,
         });
+    }
+    report
+}
+
+/// Attribute / text values used by the edit-replay fuzzer. All are
+/// attribute-safe (no tab/newline, which XML parsers normalize to
+/// spaces — that would make arena and reparse verdicts legitimately
+/// differ); several are simple-type edge cases.
+const EDIT_VALUES: &[&str] = &[
+    "",
+    "0",
+    "1",
+    "-3",
+    "hello",
+    "5.5",
+    "true",
+    "false",
+    "NaN",
+    "00",
+    " 5 ",
+    "999999999999999999999999999999999999999",
+];
+
+/// An element name drawn from the schema alphabet, or (sometimes) an
+/// intruder name no rule knows — the unknown-name poisoning path.
+fn random_name(bxsd: &Bxsd, rng: &mut impl Rng) -> String {
+    let names: Vec<&str> = bxsd.ename.entries().map(|(_, n)| n).collect();
+    if names.is_empty() || rng.gen_bool(0.15) {
+        "intruder".to_owned()
+    } else {
+        (*names.choose(rng).unwrap()).to_owned()
+    }
+}
+
+/// An attribute name some rule declares, or an undeclared one.
+fn random_attr_name(bxsd: &Bxsd, rng: &mut impl Rng) -> String {
+    let mut names: Vec<&str> = bxsd
+        .rules
+        .iter()
+        .flat_map(|r| r.content.attributes.iter().map(|a| a.name.as_str()))
+        .collect();
+    names.push("intruder");
+    (*names.choose(rng).unwrap()).to_owned()
+}
+
+/// Applies one random edit through the `Document` mutation API:
+/// attribute set/remove, text set/insert, child insert/append/remove,
+/// and subtree replacement — occasionally at the root, which forces
+/// [`CompiledBxsd::revalidate`]'s full-run escape hatch. Shared with
+/// `tests/incremental_equivalence.rs`.
+pub fn random_edit(bxsd: &Bxsd, doc: &mut Document, rng: &mut impl Rng) {
+    let elements: Vec<NodeId> = doc.iter_elements().collect();
+    let &target = elements.choose(rng).unwrap();
+    let name = random_name(bxsd, rng);
+    match rng.gen_range(0u32..8) {
+        0 => {
+            let attr = random_attr_name(bxsd, rng);
+            let value = EDIT_VALUES.choose(rng).unwrap();
+            doc.set_attribute(target, &attr, value);
+        }
+        1 => {
+            let attr = match doc.attributes(target).first() {
+                Some(a) => a.name.clone(),
+                None => random_attr_name(bxsd, rng),
+            };
+            doc.remove_attribute(target, &attr);
+        }
+        2 => {
+            let value = EDIT_VALUES.choose(rng).unwrap();
+            match doc.children(target).iter().find(|&&c| !doc.is_element(c)) {
+                Some(&text) => doc.set_text(text, value),
+                None => {
+                    let at = rng.gen_range(0..=doc.children(target).len());
+                    let _ = doc.insert_text(target, at, value);
+                }
+            }
+        }
+        3 => {
+            let at = rng.gen_range(0..=doc.children(target).len());
+            let _ = doc.insert_child(target, at, &name);
+        }
+        4 => {
+            let _ = doc.add_element(target, &name);
+        }
+        5 => {
+            let kids: Vec<NodeId> = doc.children(target).to_vec();
+            match kids.choose(rng) {
+                Some(&child) => doc.remove_child(target, child),
+                None => {
+                    let _ = doc.insert_child(target, 0, &name);
+                }
+            }
+        }
+        6 => {
+            // Replace an inner subtree with a freshly built one.
+            let mut src = Document::new(&name);
+            for _ in 0..rng.gen_range(0u32..3) {
+                let child = random_name(bxsd, rng);
+                src.add_element(src.root(), &child);
+            }
+            let _ = doc.replace_subtree(target, &src, src.root());
+        }
+        _ => {
+            // Replace the whole root.
+            let mut src = Document::new(&name);
+            if rng.gen_bool(0.5) {
+                let child = random_name(bxsd, rng);
+                src.add_element(src.root(), &child);
+            }
+            let root = doc.root();
+            let _ = doc.replace_subtree(root, &src, src.root());
+        }
+    }
+}
+
+/// Runs one edit script and collects divergence signals. Returns the
+/// serialized edited document, the divergences, and the final verdict.
+fn replay_edits(
+    bxsd: &Bxsd,
+    doc: &mut Document,
+    rng: &mut impl Rng,
+) -> (String, Vec<String>, bool) {
+    let compiled = CompiledBxsd::new(bxsd);
+    doc.enable_edit_log();
+    let mut state = compiled.validate_persistent(doc);
+    let mut divergences = Vec::new();
+    let n_edits = rng.gen_range(1usize..=5);
+    // Replay either after every edit or once for the whole script.
+    let stepwise = rng.gen_bool(0.5);
+    let mut from = state.generation();
+    let mut got = state.report();
+    for k in 0..n_edits {
+        random_edit(bxsd, doc, rng);
+        if stepwise || k + 1 == n_edits {
+            let edits: Vec<(u64, Edit)> = doc.edit_log().unwrap().since(from).to_vec();
+            got = compiled.revalidate(doc, &mut state, &edits);
+            from = state.generation();
+            let fresh = compiled.validate(doc);
+            if got.violations != fresh.violations {
+                divergences.push(format!(
+                    "revalidate vs tree-product after edit {k}: {:?} vs {:?}",
+                    got.violations, fresh.violations
+                ));
+            }
+        }
+    }
+    let lockstep = compiled.validate_with(
+        doc,
+        ValidateOptions {
+            record_matches: false,
+            force_lockstep: true,
+        },
+    );
+    if got.violations != lockstep.violations {
+        divergences.push(format!(
+            "revalidate vs tree-lockstep: {:?} vs {:?}",
+            got.violations, lockstep.violations
+        ));
+    }
+    let want = bonxai_core::oracle::validate(bxsd, doc);
+    if got.violations != want.violations {
+        divergences.push(format!(
+            "revalidate vs oracle: {:?} vs {:?}",
+            got.violations, want.violations
+        ));
+    }
+    // Serialize + reparse: the streaming paths see renumbered node ids,
+    // so parity with them is checked at verdict level through the full
+    // conformance harness (which also re-runs the tree paths, both
+    // engines, both byte sources).
+    let input = xmltree::to_string(doc);
+    let outcome = conformance::check(bxsd, &input, false);
+    divergences.extend(outcome.divergences.iter().map(ToString::to_string));
+    match outcome.verdict() {
+        None => divergences.push("serialized edited document no longer parses".to_owned()),
+        Some(verdict) if verdict != got.is_valid() => divergences.push(format!(
+            "reparsed verdict {verdict} != revalidate verdict {}",
+            got.is_valid()
+        )),
+        _ => {}
+    }
+    (input, divergences, got.is_valid())
+}
+
+/// Edit-replay fuzzing of the incremental engine: sample a conforming
+/// (schema, document) pair, apply a random edit script through the
+/// `Document` mutation API, and require [`CompiledBxsd::revalidate`] to
+/// be byte-identical to a fresh tree-product run, the lock-step run,
+/// and the oracle on the edited arena — then serialize the result and
+/// push it through the whole conformance harness for verdict parity
+/// with the streaming paths. Deterministic in `seed`.
+///
+/// Findings carry the serialized edited document; the bug lives in the
+/// edit script rather than the bytes, so no byte-level shrinking is
+/// attempted (`shrunk == input`).
+pub fn fuzz_edits(seed: u64, iterations: usize) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..iterations {
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let cfg = SchemaConfig {
+            n_names: rng.gen_range(3..8),
+            n_rules: rng.gen_range(1..6),
+            k: rng.gen_range(1..3),
+            ..SchemaConfig::default()
+        };
+        let bxsd = if rng.gen_bool(0.5) {
+            random_suffix_bxsd(&cfg, &mut rng)
+        } else {
+            random_regular_bxsd(&cfg, &mut rng)
+        };
+        let dfa_xsd = bonxai_core::translate::bxsd_to_dfa_xsd(&bxsd);
+        let doc_cfg = DocConfig {
+            max_nodes: 40,
+            ..DocConfig::default()
+        };
+        let Some(mut doc) = sample_document(&dfa_xsd, &doc_cfg, &mut rng) else {
+            continue;
+        };
+        report.iterations += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| replay_edits(&bxsd, &mut doc, &mut rng)));
+        match outcome {
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "opaque panic payload".into());
+                let input = xmltree::to_string(&doc);
+                report.findings.push(Finding {
+                    iteration: i,
+                    shrunk: input.clone(),
+                    input,
+                    panic: Some(msg),
+                    divergences: Vec::new(),
+                });
+            }
+            Ok((input, divergences, verdict)) => {
+                if divergences.is_empty() {
+                    if verdict {
+                        report.valid += 1;
+                    } else {
+                        report.invalid += 1;
+                    }
+                } else {
+                    report.findings.push(Finding {
+                        iteration: i,
+                        shrunk: input.clone(),
+                        input,
+                        panic: None,
+                        divergences,
+                    });
+                }
+            }
+        }
     }
     report
 }

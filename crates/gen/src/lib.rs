@@ -27,4 +27,4 @@ pub use corpus::{
 pub use docgen::{mutate_document, sample_document, sample_value, DocConfig};
 pub use dre::{random_dre, DreConfig};
 pub use families::{theorem8_xn, theorem9_bn};
-pub use fuzz::{fuzz_dtd, fuzz_validation, Finding, FuzzReport};
+pub use fuzz::{fuzz_dtd, fuzz_edits, fuzz_validation, random_edit, Finding, FuzzReport};

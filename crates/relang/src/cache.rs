@@ -4,7 +4,7 @@
 //! checks, Algorithm 3 translation — starts from the same primitive:
 //! "the (minimal) DFA of this regex over this alphabet". Before this
 //! module each caller rebuilt those DFAs from scratch, per rule *per
-//! check*. [`AutomataCache`] memoizes three levels:
+//! check*. [`AutomataCache`] memoizes four levels:
 //!
 //! * **raw DFAs** — the untouched subset-construction output of
 //!   [`regex_to_dfa`] (partial, unminimized). Budget-sensitive callers
@@ -17,7 +17,11 @@
 //!   list, keyed by the component regexes + budget, so the lint
 //!   blow-up probe and a subsequent validation compile of the same
 //!   schema share one construction (including a memoized `None` for
-//!   budget overflow).
+//!   budget overflow);
+//! * **compiled content matchers** — [`CompiledDre::compile`] output
+//!   (content DFA, `xs:all` counter, or derivative fallback), so
+//!   recompiling an edited schema rebuilds only the rules whose content
+//!   model changed.
 //!
 //! ## Why structural hashing is sound
 //!
@@ -42,6 +46,7 @@ use std::sync::Arc;
 
 use crate::dfa::Dfa;
 use crate::fxhash::{FxHashMap, FxHasher};
+use crate::matcher::CompiledDre;
 use crate::ops::language::regex_to_dfa;
 use crate::ops::minimize::minimize;
 use crate::ops::relevance::RelevanceProduct;
@@ -53,15 +58,76 @@ type DfaBucket = Vec<(Regex, usize, Arc<Dfa>)>;
 /// Bucket of product entries: (components, n_syms, budget, result).
 type ProductBucket = Vec<(Vec<Regex>, usize, usize, Option<Arc<RelevanceProduct>>)>;
 
-/// Hit/miss counters for one [`AutomataCache`] (every `*_dfa` /
-/// `relevance_product` lookup counts once; a miss that internally
-/// consults another level also counts that inner lookup).
+/// Bucket of compiled-content-matcher entries.
+type DreBucket = Vec<(Regex, usize, Arc<CompiledDre>)>;
+
+/// Hit/miss counters for one memo level.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CacheStats {
+pub struct StageStats {
     /// Lookups answered from the memo.
     pub hits: u64,
     /// Lookups that ran the underlying construction.
     pub misses: u64,
+}
+
+impl StageStats {
+    fn delta(self, before: StageStats) -> StageStats {
+        StageStats {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+        }
+    }
+}
+
+/// Per-stage hit/miss counters for one [`AutomataCache`] (every lookup
+/// counts once at its own level; a miss that internally consults
+/// another level also counts that inner lookup).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// [`AutomataCache::raw_dfa`] lookups.
+    pub raw: StageStats,
+    /// [`AutomataCache::min_dfa`] lookups.
+    pub min: StageStats,
+    /// [`AutomataCache::relevance_product`] lookups.
+    pub product: StageStats,
+    /// [`AutomataCache::compiled_dre`] lookups.
+    pub content: StageStats,
+}
+
+impl CacheStats {
+    /// Total lookups answered from the memo, across all levels.
+    pub fn hits(&self) -> u64 {
+        self.raw.hits + self.min.hits + self.product.hits + self.content.hits
+    }
+
+    /// Total lookups that ran a construction, across all levels.
+    pub fn misses(&self) -> u64 {
+        self.raw.misses + self.min.misses + self.product.misses + self.content.misses
+    }
+
+    /// Accumulates `other` into `self` — for aggregating counters
+    /// across many independent caches (per-schema, per-worker).
+    pub fn add(&mut self, other: CacheStats) {
+        self.raw.hits += other.raw.hits;
+        self.raw.misses += other.raw.misses;
+        self.min.hits += other.min.hits;
+        self.min.misses += other.min.misses;
+        self.product.hits += other.product.hits;
+        self.product.misses += other.product.misses;
+        self.content.hits += other.content.hits;
+        self.content.misses += other.content.misses;
+    }
+
+    /// Counter increments between `before` (an earlier [`Self`]
+    /// snapshot of the same cache) and this one.
+    pub fn since(&self, before: CacheStats) -> CacheStats {
+        CacheStats {
+            raw: self.raw.delta(before.raw),
+            min: self.min.delta(before.min),
+            product: self.product.delta(before.product),
+            content: self.content.delta(before.content),
+        }
+    }
 }
 
 /// A structural-hash-keyed memo for automata construction.
@@ -74,6 +140,7 @@ pub struct AutomataCache {
     raw: FxHashMap<u64, DfaBucket>,
     min: FxHashMap<u64, DfaBucket>,
     product: FxHashMap<u64, ProductBucket>,
+    content: FxHashMap<u64, DreBucket>,
     stats: CacheStats,
 }
 
@@ -98,12 +165,12 @@ impl AutomataCache {
         if let Some(bucket) = self.raw.get(&key) {
             for (k, n, d) in bucket {
                 if *n == n_syms && k == r {
-                    self.stats.hits += 1;
+                    self.stats.raw.hits += 1;
                     return Arc::clone(d);
                 }
             }
         }
-        self.stats.misses += 1;
+        self.stats.raw.misses += 1;
         let d = Arc::new(regex_to_dfa(r, n_syms));
         self.raw
             .entry(key)
@@ -120,12 +187,12 @@ impl AutomataCache {
         if let Some(bucket) = self.min.get(&key) {
             for (k, n, d) in bucket {
                 if *n == n_syms && k == r {
-                    self.stats.hits += 1;
+                    self.stats.min.hits += 1;
                     return Arc::clone(d);
                 }
             }
         }
-        self.stats.misses += 1;
+        self.stats.min.misses += 1;
         let raw = self.raw_dfa(r, n_syms);
         let d = Arc::new(minimize(&raw));
         self.min
@@ -155,12 +222,12 @@ impl AutomataCache {
         if let Some(bucket) = self.product.get(&key) {
             for (ks, n, b, p) in bucket {
                 if *n == n_syms && *b == budget && ks.as_slice() == ancestors {
-                    self.stats.hits += 1;
+                    self.stats.product.hits += 1;
                     return p.clone();
                 }
             }
         }
-        self.stats.misses += 1;
+        self.stats.product.misses += 1;
         let dfas: Vec<Arc<Dfa>> = ancestors.iter().map(|r| self.raw_dfa(r, n_syms)).collect();
         let refs: Vec<&Dfa> = dfas.iter().map(Arc::as_ref).collect();
         let p = RelevanceProduct::build_refs(n_syms, &refs, budget).map(Arc::new);
@@ -171,7 +238,31 @@ impl AutomataCache {
         p
     }
 
-    /// Hit/miss counters since construction.
+    /// The compiled content matcher of `r` over `n_syms` symbols —
+    /// memoized [`CompiledDre::compile`]. Compilation is deterministic
+    /// in `(r, n_syms)`, so the memoized matcher behaves identically to
+    /// a fresh one; recompiling an edited schema through the same cache
+    /// rebuilds only the rules whose content model actually changed.
+    pub fn compiled_dre(&mut self, r: &Regex, n_syms: usize) -> Arc<CompiledDre> {
+        let key = dfa_key_hash(r, n_syms);
+        if let Some(bucket) = self.content.get(&key) {
+            for (k, n, m) in bucket {
+                if *n == n_syms && k == r {
+                    self.stats.content.hits += 1;
+                    return Arc::clone(m);
+                }
+            }
+        }
+        self.stats.content.misses += 1;
+        let m = Arc::new(CompiledDre::compile(r, n_syms));
+        self.content
+            .entry(key)
+            .or_default()
+            .push((r.clone(), n_syms, Arc::clone(&m)));
+        m
+    }
+
+    /// Per-stage hit/miss counters since construction.
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
@@ -193,7 +284,7 @@ mod tests {
         let d1 = c.raw_dfa(&r, 2);
         let d2 = c.raw_dfa(&r, 2);
         assert!(Arc::ptr_eq(&d1, &d2));
-        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(c.stats().raw, StageStats { hits: 1, misses: 1 });
         // Same regex over a different alphabet size is a distinct key.
         let d3 = c.raw_dfa(&r, 3);
         assert!(!Arc::ptr_eq(&d1, &d3));
@@ -225,6 +316,18 @@ mod tests {
         assert!(c.relevance_product(1, &rules, 1).is_none());
         let before = c.stats();
         assert!(c.relevance_product(1, &rules, 1).is_none());
-        assert_eq!(c.stats().hits, before.hits + 1);
+        assert_eq!(c.stats().since(before).product.hits, 1);
+    }
+
+    #[test]
+    fn compiled_dre_memoizes() {
+        let mut c = AutomataCache::new();
+        let r = Regex::star(Regex::concat(vec![s(0), s(1)]));
+        let m1 = c.compiled_dre(&r, 2);
+        let m2 = c.compiled_dre(&r, 2);
+        assert!(Arc::ptr_eq(&m1, &m2));
+        assert_eq!(c.stats().content, StageStats { hits: 1, misses: 1 });
+        assert_eq!(m1.first_error(&[Sym(0), Sym(1)]), None);
+        assert_eq!(m1.first_error(&[Sym(1)]), Some(0));
     }
 }

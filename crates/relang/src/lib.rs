@@ -51,7 +51,7 @@ pub mod ops;
 pub mod regex;
 
 pub use alphabet::{Alphabet, Sym};
-pub use cache::AutomataCache;
+pub use cache::{AutomataCache, CacheStats, StageStats};
 pub use dfa::{Dfa, StateId};
 pub use matcher::CompiledDre;
 pub use nfa::Nfa;

@@ -230,7 +230,7 @@ mod tests {
             intersection_witness_with(&r1, &r2, 1, Some(&mut cache))
         );
         // The second and later calls reuse the memoized determinizations.
-        assert!(cache.stats().hits >= 6, "stats: {:?}", cache.stats());
+        assert!(cache.stats().hits() >= 6, "stats: {:?}", cache.stats());
     }
 
     #[test]

@@ -112,8 +112,8 @@ pub fn validate_compiled(compiled: &CompiledDtd<'_>, doc: &Document) -> Vec<DtdV
     let mut ids: BTreeMap<String, NodeId> = BTreeMap::new();
     let mut idrefs: Vec<(NodeId, String)> = Vec::new();
 
-    for node in doc.elements() {
-        let name = doc.name(node).expect("elements() yields elements");
+    for node in doc.iter_elements() {
+        let name = doc.name(node).expect("iter_elements yields elements");
         let Some(spec) = dtd.content_of(name) else {
             violations.push(DtdViolation {
                 node,

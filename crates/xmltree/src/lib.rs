@@ -48,4 +48,4 @@ pub use stream::{
     Attr, AttrList, EventSink, LazyName, NameId, TextChunk, TextInterest, XmlEvent, XmlReader,
     XmlToken,
 };
-pub use tree::{Attribute, Document, NodeId, NodeKind};
+pub use tree::{Attribute, Document, Edit, EditLog, ElementsIter, NodeId, NodeKind};

@@ -110,6 +110,56 @@ fn fnv1a(name: &str) -> u64 {
     h
 }
 
+/// One entry in a [`Document`]'s [`EditLog`]: the smallest unit of
+/// damage an incremental consumer must repair.
+///
+/// The variants are deliberately coarse — a consumer that re-examines
+/// the subtree under every `Dirty` node, discards state for every
+/// `Detached` node, and restarts from scratch on `RootReplaced` sees
+/// every effect of the mutation API.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Edit {
+    /// The element's label, attributes, child list, or a text child
+    /// changed: its subtree must be re-examined.
+    Dirty(NodeId),
+    /// The subtree rooted here was disconnected from the tree (by
+    /// [`Document::remove_child`] or [`Document::replace_subtree`]);
+    /// any per-node state for it is stale and must be dropped.
+    Detached(NodeId),
+    /// The root element itself was replaced: nothing survives.
+    RootReplaced,
+}
+
+/// An append-only log of [`Edit`]s, each stamped with the document
+/// generation the mutation produced. Enabled with
+/// [`Document::enable_edit_log`]; the parser never enables it, so the
+/// construction hot path pays only the generation increment.
+#[derive(Clone, Debug, Default)]
+pub struct EditLog {
+    /// `(generation, edit)` pairs in the order applied. Generations are
+    /// non-decreasing (one mutation may emit several entries).
+    entries: Vec<(u64, Edit)>,
+}
+
+impl EditLog {
+    /// Every logged edit, oldest first, with its generation stamp.
+    pub fn entries(&self) -> &[(u64, Edit)] {
+        &self.entries
+    }
+
+    /// The edits applied strictly after `generation` — the delta a
+    /// consumer whose state was captured at `generation` must replay.
+    pub fn since(&self, generation: u64) -> &[(u64, Edit)] {
+        let start = self.entries.partition_point(|&(g, _)| g <= generation);
+        &self.entries[start..]
+    }
+
+    /// Whether no edits have been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// An XML document: an arena of nodes with a single element root.
 #[derive(Clone, Debug)]
 pub struct Document {
@@ -118,6 +168,10 @@ pub struct Document {
     /// Per node: interned name id (element) or [`TEXT_ID`] (text).
     name_ids: Vec<u32>,
     name_index: NameIndex,
+    /// Bumped by every mutation; lets consumers detect staleness.
+    generation: u64,
+    /// Mutation log, present once [`Document::enable_edit_log`] ran.
+    edit_log: Option<EditLog>,
 }
 
 impl Document {
@@ -137,6 +191,47 @@ impl Document {
             root: NodeId(0),
             name_ids: vec![root_id],
             name_index,
+            generation: 0,
+            edit_log: None,
+        }
+    }
+
+    /// The document's generation: incremented by every mutation.
+    /// Consumers snapshot it to tell whether their derived state is
+    /// stale and which [`EditLog`] suffix to replay.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Starts recording mutations into an [`EditLog`]. Idempotent; a
+    /// freshly parsed or built document does not log (construction is
+    /// not an edit).
+    pub fn enable_edit_log(&mut self) {
+        if self.edit_log.is_none() {
+            self.edit_log = Some(EditLog::default());
+        }
+    }
+
+    /// The edit log, if [`Document::enable_edit_log`] was called.
+    pub fn edit_log(&self) -> Option<&EditLog> {
+        self.edit_log.as_ref()
+    }
+
+    /// Drops all logged entries (logging stays enabled). Called after a
+    /// consumer has replayed the log against its state.
+    pub fn clear_edit_log(&mut self) {
+        if let Some(log) = &mut self.edit_log {
+            log.entries.clear();
+        }
+    }
+
+    /// Stamps one mutation: bumps the generation and, when logging is
+    /// on, appends the edits under that single new generation.
+    fn log_edits(&mut self, edits: &[Edit]) {
+        self.generation += 1;
+        if let Some(log) = &mut self.edit_log {
+            let generation = self.generation;
+            log.entries.extend(edits.iter().map(|&e| (generation, e)));
         }
     }
 
@@ -187,6 +282,7 @@ impl Document {
         });
         self.name_ids.push(name_id);
         self.nodes[parent.0].children.push(id);
+        self.log_edits(&[Edit::Dirty(parent)]);
         id
     }
 
@@ -200,6 +296,7 @@ impl Document {
         });
         self.name_ids.push(TEXT_ID);
         self.nodes[parent.0].children.push(id);
+        self.log_edits(&[Edit::Dirty(parent)]);
         id
     }
 
@@ -220,6 +317,159 @@ impl Document {
             }
             NodeKind::Text(_) => panic!("cannot set attribute on a text node"),
         }
+        self.log_edits(&[Edit::Dirty(node)]);
+    }
+
+    /// Removes an attribute from an element node (no-op if absent).
+    ///
+    /// Panics if `node` is a text node.
+    pub fn remove_attribute(&mut self, node: NodeId, name: &str) {
+        match &mut self.nodes[node.0].kind {
+            NodeKind::Element { attributes, .. } => {
+                attributes.retain(|a| a.name != name);
+            }
+            NodeKind::Text(_) => panic!("cannot remove attribute from a text node"),
+        }
+        self.log_edits(&[Edit::Dirty(node)]);
+    }
+
+    /// Replaces the content of a text node.
+    ///
+    /// Panics if `node` is not a text node.
+    pub fn set_text(&mut self, node: NodeId, text: &str) {
+        match &mut self.nodes[node.0].kind {
+            NodeKind::Text(t) => *t = text.to_owned(),
+            NodeKind::Element { .. } => panic!("set_text on an element node"),
+        }
+        // Text verdicts live on the enclosing element, so the damage is
+        // the parent's, not the text node's.
+        let parent = self.nodes[node.0].parent.expect("text node has a parent");
+        self.log_edits(&[Edit::Dirty(parent)]);
+    }
+
+    /// Inserts a new element named `name` as the `index`-th child of
+    /// `parent` (panics if `index > children.len()`), returning it.
+    pub fn insert_child(&mut self, parent: NodeId, index: usize, name: &str) -> NodeId {
+        let name_id = self.name_index.intern(name);
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeData {
+            kind: NodeKind::Element {
+                name: name.to_owned(),
+                attributes: Vec::new(),
+            },
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.name_ids.push(name_id);
+        self.nodes[parent.0].children.insert(index, id);
+        self.log_edits(&[Edit::Dirty(parent)]);
+        id
+    }
+
+    /// Inserts a new text node as the `index`-th child of `parent`
+    /// (panics if `index > children.len()`), returning it.
+    pub fn insert_text(&mut self, parent: NodeId, index: usize, text: &str) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeData {
+            kind: NodeKind::Text(text.to_owned()),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.name_ids.push(TEXT_ID);
+        self.nodes[parent.0].children.insert(index, id);
+        self.log_edits(&[Edit::Dirty(parent)]);
+        id
+    }
+
+    /// Detaches `child` (and its whole subtree) from `parent`.
+    ///
+    /// The nodes stay in the arena — ids are never reused — but are no
+    /// longer reachable from the root; traversals skip them. Panics if
+    /// `child` is not a child of `parent`.
+    pub fn remove_child(&mut self, parent: NodeId, child: NodeId) {
+        let children = &mut self.nodes[parent.0].children;
+        let pos = children
+            .iter()
+            .position(|&c| c == child)
+            .expect("remove_child: not a child of parent");
+        children.remove(pos);
+        self.nodes[child.0].parent = None;
+        self.log_edits(&[Edit::Dirty(parent), Edit::Detached(child)]);
+    }
+
+    /// Replaces the subtree rooted at `target` with a deep copy of the
+    /// subtree rooted at `src_node` in `src`, returning the copy's root
+    /// (a fresh node in this document). The old subtree is detached, as
+    /// in [`Document::remove_child`]. Replacing the document root swaps
+    /// the root pointer itself and logs [`Edit::RootReplaced`].
+    ///
+    /// Panics if `src_node` is not an element.
+    pub fn replace_subtree(&mut self, target: NodeId, src: &Document, src_node: NodeId) -> NodeId {
+        assert!(
+            src.is_element(src_node),
+            "replace_subtree: src not an element"
+        );
+        let parent = self.nodes[target.0].parent;
+        let new_root = self.deep_copy(parent, src, src_node);
+        match parent {
+            Some(p) => {
+                let children = &mut self.nodes[p.0].children;
+                let pos = children
+                    .iter()
+                    .position(|&c| c == target)
+                    .expect("replace_subtree: target detached");
+                // deep_copy appended the copy at the end; move it into
+                // the old slot.
+                let appended = children.pop().expect("copy was appended");
+                debug_assert_eq!(appended, new_root);
+                children[pos] = new_root;
+                self.nodes[target.0].parent = None;
+                self.log_edits(&[Edit::Dirty(p), Edit::Detached(target)]);
+            }
+            None => {
+                assert_eq!(target, self.root, "replace_subtree: target is detached");
+                self.root = new_root;
+                self.log_edits(&[Edit::RootReplaced, Edit::Detached(target)]);
+            }
+        }
+        new_root
+    }
+
+    /// Appends a structural copy of `src`'s subtree at `src_node` under
+    /// `parent` (or detached when `parent` is `None`), interning names
+    /// into this document. Children recurse in order, so every copied
+    /// parent has a smaller id than its children.
+    fn deep_copy(&mut self, parent: Option<NodeId>, src: &Document, src_node: NodeId) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        match src.kind(src_node) {
+            NodeKind::Element { name, attributes } => {
+                let name_id = self.name_index.intern(name);
+                self.nodes.push(NodeData {
+                    kind: NodeKind::Element {
+                        name: name.clone(),
+                        attributes: attributes.clone(),
+                    },
+                    parent,
+                    children: Vec::new(),
+                });
+                self.name_ids.push(name_id);
+            }
+            NodeKind::Text(t) => {
+                self.nodes.push(NodeData {
+                    kind: NodeKind::Text(t.clone()),
+                    parent,
+                    children: Vec::new(),
+                });
+                self.name_ids.push(TEXT_ID);
+            }
+        }
+        if let Some(p) = parent {
+            self.nodes[p.0].children.push(id);
+        }
+        for &c in src.children(src_node) {
+            self.deep_copy(Some(id), src, c);
+        }
+        id
     }
 
     /// The node's payload.
@@ -348,26 +598,24 @@ impl Document {
     }
 
     /// All element nodes in depth-first (document) order, starting at the
-    /// root.
+    /// root. Allocates; prefer [`Document::iter_elements`] unless the
+    /// ids must outlive a borrow of the document.
     pub fn elements(&self) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        let mut stack = vec![self.root];
-        while let Some(n) = stack.pop() {
-            if self.is_element(n) {
-                out.push(n);
-                for &c in self.children(n).iter().rev() {
-                    stack.push(c);
-                }
-            }
-        }
-        out
+        self.iter_elements().collect()
     }
 
-    /// Number of element nodes.
+    /// All element nodes in depth-first (document) order, starting at
+    /// the root, without materializing a `Vec`.
+    pub fn iter_elements(&self) -> ElementsIter<'_> {
+        ElementsIter {
+            doc: self,
+            stack: vec![self.root],
+        }
+    }
+
+    /// Number of element nodes reachable from the root.
     pub fn element_count(&self) -> usize {
-        (0..self.nodes.len())
-            .filter(|&i| self.is_element(NodeId(i)))
-            .count()
+        self.iter_elements().count()
     }
 
     /// Maximum depth of the tree (root = 1).
@@ -376,6 +624,30 @@ impl Document {
             1 + d.element_children(n).map(|c| go(d, c)).max().unwrap_or(0)
         }
         go(self, self.root)
+    }
+}
+
+/// Depth-first pre-order traversal of a document's element nodes.
+/// Created by [`Document::iter_elements`].
+#[derive(Clone, Debug)]
+pub struct ElementsIter<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for ElementsIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while let Some(n) = self.stack.pop() {
+            if self.doc.is_element(n) {
+                for &c in self.doc.children(n).iter().rev() {
+                    self.stack.push(c);
+                }
+                return Some(n);
+            }
+        }
+        None
     }
 }
 
@@ -479,5 +751,113 @@ mod tests {
         let (d, _, _) = sample();
         assert_eq!(d.depth(), 3);
         assert_eq!(Document::new("r").depth(), 1);
+    }
+
+    #[test]
+    fn iter_elements_matches_elements() {
+        let (d, _, _) = sample();
+        let iterated: Vec<_> = d.iter_elements().collect();
+        assert_eq!(iterated, d.elements());
+        assert_eq!(d.element_count(), 4);
+    }
+
+    #[test]
+    fn generation_counts_mutations() {
+        let (mut d, _, s1) = sample();
+        let g = d.generation();
+        d.set_attribute(s1, "title", "New");
+        assert_eq!(d.generation(), g + 1);
+        d.add_element(d.root(), "extra");
+        assert_eq!(d.generation(), g + 2);
+    }
+
+    #[test]
+    fn edit_log_records_mutations() {
+        let (mut d, template, s1) = sample();
+        assert!(d.edit_log().is_none());
+        d.enable_edit_log();
+        let g0 = d.generation();
+        d.set_attribute(s1, "title", "New");
+        let t = d.insert_child(d.root(), 1, "middle");
+        d.remove_child(template, s1);
+        let edits: Vec<_> = d.edit_log().unwrap().since(g0).to_vec();
+        assert_eq!(
+            edits.iter().map(|&(_, e)| e).collect::<Vec<_>>(),
+            vec![
+                Edit::Dirty(s1),
+                Edit::Dirty(d.root()),
+                Edit::Dirty(template),
+                Edit::Detached(s1),
+            ]
+        );
+        // `since` slices by generation stamp.
+        let (g_insert, _) = edits[1];
+        assert_eq!(d.edit_log().unwrap().since(g_insert).len(), 2);
+        d.clear_edit_log();
+        assert!(d.edit_log().unwrap().is_empty());
+        assert_eq!(d.name(t), Some("middle"));
+    }
+
+    #[test]
+    fn insert_child_orders_siblings() {
+        let mut d = Document::new("r");
+        d.add_element(d.root(), "a");
+        d.add_element(d.root(), "c");
+        d.insert_child(d.root(), 1, "b");
+        assert_eq!(d.ch_str(d.root()), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn remove_child_detaches_subtree() {
+        let (mut d, template, s1) = sample();
+        d.remove_child(d.root(), template);
+        assert_eq!(d.parent(template), None);
+        assert_eq!(d.ch_str(d.root()), vec!["content"]);
+        // Detached nodes stay addressable but unreachable.
+        assert_eq!(d.name(s1), Some("section"));
+        assert!(!d.elements().contains(&template));
+        assert_eq!(d.element_count(), 2);
+    }
+
+    #[test]
+    fn set_text_and_insert_text() {
+        let (mut d, _, _) = sample();
+        let content = d.children(d.root())[1];
+        let text = d.children(content)[0];
+        d.set_text(text, "  ");
+        assert!(!d.has_significant_text(content));
+        d.insert_text(content, 0, "front");
+        assert_eq!(d.text(d.children(content)[0]), Some("front"));
+    }
+
+    #[test]
+    fn replace_subtree_splices_copy() {
+        let (mut d, template, s1) = sample();
+        let mut src = Document::new("section");
+        src.set_attribute(src.root(), "title", "Replacement");
+        src.add_text(src.root(), "body");
+        let fresh = d.replace_subtree(s1, &src, src.root());
+        assert_eq!(d.parent(fresh), Some(template));
+        assert_eq!(d.ch_str(template), vec!["section"]);
+        assert_eq!(d.attribute(fresh, "title"), Some("Replacement"));
+        assert_eq!(d.parent(s1), None);
+        assert!(fresh.0 > template.0, "copies append after their parent");
+    }
+
+    #[test]
+    fn replace_subtree_at_root() {
+        let (mut d, _, _) = sample();
+        d.enable_edit_log();
+        let g0 = d.generation();
+        let src = Document::new("fresh");
+        let new_root = d.replace_subtree(d.root(), &src, src.root());
+        assert_eq!(d.root(), new_root);
+        assert_eq!(d.name(d.root()), Some("fresh"));
+        assert!(d
+            .edit_log()
+            .unwrap()
+            .since(g0)
+            .iter()
+            .any(|&(_, e)| e == Edit::RootReplaced));
     }
 }

@@ -30,8 +30,7 @@ fn main() {
     // The expressiveness gap: a title-less section below content.
     let mut bad = doc.clone();
     let content = bad
-        .elements()
-        .into_iter()
+        .iter_elements()
         .find(|&n| bad.name(n) == Some("content"))
         .expect("content");
     bad.add_element(content, "section");

@@ -53,7 +53,7 @@ fn main() {
 
     // Matched-rule highlighting: which rule governs each element?
     println!("\nrelevant rule per element:");
-    for node in doc.elements() {
+    for node in doc.iter_elements() {
         let m = &report.structure.matches[&node];
         let rule = m
             .relevant

@@ -39,6 +39,14 @@ BONXAI_NO_SIMD=1 target/release/bonxai conform data/conformance > /dev/null \
 cargo run --release -p bonxai-bench --bin exp_compile -- --smoke > /dev/null
 cargo run --release -p bonxai-bench --bin exp_compile -- --smoke --no-cache > /dev/null
 
+# Incremental engine: the revalidate-vs-fresh-vs-oracle equivalence
+# proptest under both lexer engines (it serializes and reparses each
+# edited tree), then the E21 smoke, which asserts the delta-speedup
+# and recompile-reuse acceptance gates internally.
+cargo test -q -p bonxai --test incremental_equivalence
+BONXAI_NO_SIMD=1 cargo test -q -p bonxai --test incremental_equivalence
+cargo run --release -p bonxai-bench --bin exp_incremental -- --smoke > /dev/null
+
 # Lint corpus: `bonxai lint --format json` over examples/lint/ diffed
 # against the golden reports. Exit 1 from the linter just means the
 # fixture has error-level findings (it should); anything worse is a bug.
